@@ -1,0 +1,232 @@
+// The elevator case study of section 2 of the paper (Figures 1 and 2), in
+// concrete P syntax. This file is generated from lib/examples_lib/elevator.ml
+// (`pc print --example elevator`) and kept in sync by the test suite.
+//
+// Verify:   dune exec bin/pc.exe -- verify examples/p/elevator.p -d 3
+// Simulate: dune exec bin/pc.exe -- simulate examples/p/elevator.p --seed 7 --trace
+// Diagram:  dune exec bin/pc.exe -- graph examples/p/elevator.p --machine Elevator
+
+event unit;
+event StopTimerReturned;
+event OpenDoor;
+event CloseDoor;
+event DoorOpened;
+event DoorClosed;
+event DoorStopped;
+event ObjectDetected;
+event TimerFired;
+event TimerStopped;
+event SendCmdToOpen;
+event SendCmdToClose;
+event SendCmdToStop;
+event SendCmdToReset;
+event StartTimer;
+event StopTimer;
+ghost machine User {
+  var elevator : id;
+  state Init {
+    entry {
+      elevator := new Elevator();
+      raise(unit);
+    }
+  }
+  state Loop {
+    entry {
+      if (*) {
+        send(elevator, OpenDoor);
+      } else {
+        send(elevator, CloseDoor);
+      }
+      raise(unit);
+    }
+  }
+  step (Init, unit, Loop);
+  step (Loop, unit, Loop);
+}
+machine Elevator {
+  ghost var TimerV : id;
+  ghost var DoorV : id;
+  action Ignore {
+    skip;
+  }
+  state Init {
+    entry {
+      TimerV := null;
+      TimerV := new Timer(client = this);
+      DoorV := new Door(client = this);
+      raise(unit);
+    }
+  }
+  state Closed {
+    defer CloseDoor;
+    postpone CloseDoor;
+    entry {
+      send(DoorV, SendCmdToReset);
+    }
+  }
+  state Opening {
+    defer CloseDoor;
+    entry {
+      send(DoorV, SendCmdToOpen);
+    }
+  }
+  state Opened {
+    defer CloseDoor;
+    postpone CloseDoor;
+    entry {
+      send(DoorV, SendCmdToReset);
+      send(TimerV, StartTimer);
+    }
+  }
+  state OkToClose {
+    entry {
+      send(DoorV, SendCmdToReset);
+    }
+  }
+  state Closing {
+    defer CloseDoor;
+    postpone CloseDoor;
+    entry {
+      send(DoorV, SendCmdToClose);
+    }
+  }
+  state StoppingDoor {
+    defer CloseDoor;
+    postpone CloseDoor;
+    entry {
+      send(DoorV, SendCmdToStop);
+    }
+  }
+  state StoppingTimer {
+    defer OpenDoor,
+    CloseDoor,
+    ObjectDetected;
+    postpone CloseDoor;
+    entry {
+      send(TimerV, StopTimer);
+      raise(unit);
+    }
+  }
+  state WaitingForTimer {
+    defer OpenDoor,
+    CloseDoor,
+    ObjectDetected;
+    postpone CloseDoor;
+  }
+  state ReturnState {
+    entry {
+      raise(StopTimerReturned);
+    }
+  }
+  step (Init, unit, Closed);
+  step (Closed, OpenDoor, Opening);
+  step (Opening, DoorOpened, Opened);
+  step (Opened, TimerFired, OkToClose);
+  step (Opened, StopTimerReturned, Opened);
+  step (OkToClose, StopTimerReturned, Closing);
+  step (OkToClose, OpenDoor, Opened);
+  step (Closing, DoorClosed, Closed);
+  step (Closing, ObjectDetected, Opening);
+  step (Closing, OpenDoor, StoppingDoor);
+  step (StoppingDoor, DoorStopped, Opening);
+  step (StoppingDoor, DoorClosed, Closed);
+  step (StoppingDoor, ObjectDetected, Opening);
+  step (StoppingTimer, unit, WaitingForTimer);
+  step (WaitingForTimer, TimerFired, ReturnState);
+  step (WaitingForTimer, TimerStopped, ReturnState);
+  push (Opened, OpenDoor, StoppingTimer);
+  push (OkToClose, CloseDoor, StoppingTimer);
+  on (Opening, OpenDoor) do Ignore;
+  on (StoppingDoor, OpenDoor) do Ignore;
+  on (Closed, DoorStopped) do Ignore;
+  on (Closed, TimerStopped) do Ignore;
+  on (Opening, TimerStopped) do Ignore;
+  on (Opening, DoorStopped) do Ignore;
+  on (Opening, TimerFired) do Ignore;
+  on (Opened, TimerStopped) do Ignore;
+  on (OkToClose, TimerStopped) do Ignore;
+  on (OkToClose, TimerFired) do Ignore;
+  on (Closed, TimerFired) do Ignore;
+  on (Closing, TimerFired) do Ignore;
+  on (Closing, TimerStopped) do Ignore;
+  on (StoppingDoor, TimerFired) do Ignore;
+  on (StoppingDoor, TimerStopped) do Ignore;
+}
+ghost machine Door {
+  var client : id;
+  action Ignore {
+    skip;
+  }
+  state Init {
+  }
+  state OpeningDoor {
+    entry {
+      send(client, DoorOpened);
+      raise(unit);
+    }
+  }
+  state ConsiderClosing {
+    entry {
+      if (*) {
+        if (*) {
+          send(client, ObjectDetected);
+        } else {
+          send(client, DoorClosed);
+        }
+        raise(unit);
+      }
+    }
+  }
+  state StoppingDoorNow {
+    entry {
+      send(client, DoorStopped);
+      raise(unit);
+    }
+  }
+  step (Init, SendCmdToOpen, OpeningDoor);
+  step (Init, SendCmdToClose, ConsiderClosing);
+  step (Init, SendCmdToStop, StoppingDoorNow);
+  step (OpeningDoor, unit, Init);
+  step (ConsiderClosing, unit, Init);
+  step (ConsiderClosing, SendCmdToStop, StoppingDoorNow);
+  step (ConsiderClosing, SendCmdToOpen, OpeningDoor);
+  step (StoppingDoorNow, unit, Init);
+  on (Init, SendCmdToReset) do Ignore;
+  on (OpeningDoor, SendCmdToReset) do Ignore;
+  on (ConsiderClosing, SendCmdToReset) do Ignore;
+  on (ConsiderClosing, SendCmdToClose) do Ignore;
+  on (StoppingDoorNow, SendCmdToReset) do Ignore;
+}
+ghost machine Timer {
+  var client : id;
+  state Init {
+  }
+  state TimerStarted {
+    defer StartTimer;
+    postpone StartTimer;
+    entry {
+      if (*) {
+        raise(unit);
+      }
+    }
+  }
+  state FireTimer {
+    entry {
+      send(client, TimerFired);
+      raise(unit);
+    }
+  }
+  state AckStop {
+    entry {
+      send(client, TimerStopped);
+      raise(unit);
+    }
+  }
+  step (Init, StartTimer, TimerStarted);
+  step (Init, StopTimer, AckStop);
+  step (TimerStarted, unit, FireTimer);
+  step (TimerStarted, StopTimer, AckStop);
+  step (FireTimer, unit, Init);
+  step (AckStop, unit, Init);
+}
+main User();

@@ -1,0 +1,276 @@
+// A primary/backup failover protocol in concrete P syntax: a monitor pings
+// the primary; when the (ghost) network reports a loss it fails over to the
+// backup. The safety assertion checks that at most one node is ever
+// acknowledged active (split-brain freedom).
+//
+// Developing this file was a condensed rerun of the paper's methodology —
+// each revision fixed a defect the verifier found:
+//   1. a ghost network that could loop without sending (livelock, property 1);
+//   2. standby acks decrementing a counter that was never incremented;
+//   3. re-entry into Active re-announcing the promotion (double count);
+//   4. promoting the backup before the primary acknowledged its demotion
+//      (a genuine split-brain interleaving at delay bound 2);
+//   5. a second failover re-promoting the already-dead node.
+// The shipped version verifies clean through delay bound 5.
+//
+// Verify:   dune exec bin/pc.exe -- verify examples/p/failover.p -d 3 --max-states 400000
+// Coverage: dune exec bin/pc.exe -- coverage examples/p/failover.p -d 2
+// Diagram:  dune exec bin/pc.exe -- graph examples/p/failover.p
+
+event Ping(id);
+event Pong;
+event Promote;
+event Demote;
+event AckActive(int);
+event AckStandby(int);
+event Tick;
+event Crash;
+event unit;
+event halt;
+
+// A replica: starts standby, can be promoted to active, demoted back, and
+// may be crashed by the environment. Acks carry a wrapping sequence number
+// so the dedup queue never coalesces two acknowledgements in flight.
+machine Node {
+  var monitor : id;
+  var seqno : int;
+  var active : bool;
+
+  state Boot {
+    defer Promote, Demote;
+  }
+
+  state Wire {
+    entry {
+      monitor := arg;
+      seqno := 0;
+      active := false;
+      raise(unit);
+    }
+  }
+
+  state Standby {
+    entry {
+      // only acknowledge a demotion: the initial entry (never active)
+      // must not decrement the monitor's active count
+      if (active == true) {
+        active := false;
+        send(monitor, AckStandby, seqno);
+        seqno := (seqno + 1) % 8;
+      }
+    }
+  }
+
+  state Active {
+    entry {
+      // announce the promotion once: re-entering Active after answering a
+      // ping (RespondActive) must not re-send the acknowledgement
+      if (active == false) {
+        active := true;
+        send(monitor, AckActive, seqno);
+        seqno := (seqno + 1) % 8;
+      }
+    }
+  }
+
+  state Respond {
+    entry {
+      send(monitor, Pong);
+      raise(unit);
+    }
+  }
+
+  state Dead {
+    defer Promote, Demote, Ping;
+    postpone Promote, Demote, Ping;
+  }
+
+  step (Boot, Ping, Wire);
+  step (Wire, unit, Standby);
+  step (Standby, Promote, Active);
+  step (Standby, Ping, Respond);
+  step (Respond, unit, Standby);
+  step (Active, Demote, Standby);
+  step (Active, Ping, RespondActive);
+  step (RespondActive, unit, Active);
+  step (Standby, Crash, Dead);
+  step (Active, Crash, Dead);
+
+  state RespondActive {
+    entry {
+      send(monitor, Pong);
+      raise(unit);
+    }
+  }
+
+  action Ignore { skip; }
+  on (Boot, Crash) do Ignore;
+  on (Wire, Crash) do Ignore;
+  on (Respond, Crash) do Ignore;
+  on (RespondActive, Crash) do Ignore;
+}
+
+// The monitor: wires both nodes, promotes the primary, then probes it on
+// every (ghost) tick; when the network reports a loss it fails over —
+// demote first, promote after the standby acknowledgement arrives, so two
+// Actives can never overlap.
+machine Monitor {
+  var primary : id;
+  var backup : id;
+  var actives : int;
+  var spare : bool;
+
+  state Init {
+    defer Tick;
+    entry {
+      actives := 0;
+      spare := true;
+      primary := new Node();
+      backup := new Node();
+      send(primary, Ping, this);
+      send(backup, Ping, this);
+      send(primary, Promote);
+      raise(unit);
+    }
+  }
+
+  state Watch {
+    entry {
+      skip;
+    }
+  }
+
+  state Probe {
+    defer Tick;
+    entry {
+      send(primary, Ping, this);
+    }
+  }
+
+  // Demote, then WAIT for the standby acknowledgement before promoting the
+  // backup: the first version promoted immediately and the checker produced
+  // a split-brain trace (two AckActives with no AckStandby in between).
+  state Failover {
+    defer Tick, Pong;
+    entry {
+      send(primary, Demote);
+      send(primary, Crash);
+    }
+  }
+
+  state DoPromote {
+    defer Tick, Pong;
+    entry {
+      actives := actives - 1;
+      assert(actives >= 0);
+      spare := false;
+      send(backup, Promote);
+      raise(unit);
+    }
+  }
+
+  // a two-node system has one failover in it: a second loss halts the
+  // monitor rather than promoting the already-dead node (the checker found
+  // the second-failover path re-promoting a Dead machine)
+  state CheckSpare {
+    defer Tick, Pong;
+    entry {
+      if (spare == true) {
+        raise(unit);
+      } else {
+        raise(halt);
+      }
+    }
+  }
+
+  state Halt {
+    defer Tick, Pong, Crash, AckActive, AckStandby;
+    postpone Tick, Pong, Crash, AckActive, AckStandby;
+  }
+
+  state SwapDone {
+    defer Tick, Pong;
+    entry {
+      primary := backup;
+      raise(unit);
+    }
+  }
+
+  action CountActive {
+    actives := actives + 1;
+    assert(actives <= 1);
+  }
+
+  action CountStandby {
+    actives := actives - 1;
+    assert(actives >= 0);
+  }
+
+  action Ignore { skip; }
+
+  step (Init, unit, Watch);
+  step (Watch, Tick, Probe);
+  step (Probe, Pong, Watch);
+  step (Probe, Crash, CheckSpare);
+  step (CheckSpare, unit, Failover);
+  step (CheckSpare, halt, Halt);
+  step (Failover, AckStandby, DoPromote);
+  step (DoPromote, unit, SwapDone);
+  step (SwapDone, unit, Watch);
+
+  on (Watch, AckActive) do CountActive;
+  on (Probe, AckActive) do CountActive;
+  on (Failover, AckActive) do CountActive;
+  on (DoPromote, AckActive) do CountActive;
+  on (DoPromote, Crash) do Ignore;
+  on (CheckSpare, AckActive) do CountActive;
+  on (CheckSpare, AckStandby) do CountStandby;
+  on (CheckSpare, Crash) do Ignore;
+  on (SwapDone, AckActive) do CountActive;
+  on (Init, AckActive) do CountActive;
+  on (Watch, AckStandby) do CountStandby;
+  on (Probe, AckStandby) do CountStandby;
+  on (SwapDone, AckStandby) do CountStandby;
+  on (Init, AckStandby) do CountStandby;
+  on (Watch, Pong) do Ignore;
+  on (Watch, Crash) do Ignore;
+  on (SwapDone, Crash) do Ignore;
+  on (Failover, Crash) do Ignore;
+  on (Init, Pong) do Ignore;
+  on (Init, Crash) do Ignore;
+}
+
+// The ghost network/clock: ticks the monitor and may turn a probe into a
+// loss by "crashing" the link (reported to the monitor as Crash).
+ghost machine Net {
+  ghost var mon : id;
+
+  state Start {
+    entry {
+      mon := new Monitor();
+      raise(unit);
+    }
+  }
+
+  state Run {
+    entry {
+      // always perform some send before looping: a silent iteration would
+      // be a private-operation livelock (and the checker flags it)
+      if (*) {
+        send(mon, Tick);
+      } else {
+        if (*) {
+          send(mon, Crash);
+        } else {
+          send(mon, Tick);
+        }
+      }
+      raise(unit);
+    }
+  }
+
+  step (Start, unit, Run);
+  step (Run, unit, Run);
+}
+
+main Net();
