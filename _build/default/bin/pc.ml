@@ -1,0 +1,299 @@
+(* pc — the P compiler and verifier command-line driver.
+
+   Subcommands mirror the paper's toolchain: [check] (static checks and the
+   ghost-erasure type system), [verify] (systematic testing with the
+   delay-bounded scheduler, optionally the liveness checks), [simulate]
+   (the deterministic d=0 causal execution), [erase] (print the compiled
+   real-only program), [compile] (emit table-driven C), and [print]
+   (parse and pretty-print). Programs come from a .p file or from the
+   built-in example suite via --example. *)
+
+open Cmdliner
+
+let examples : (string * (unit -> P_syntax.Ast.program)) list =
+  [ ("elevator", fun () -> P_examples_lib.Elevator.program ());
+    ("elevator-buggy", fun () -> P_examples_lib.Elevator.buggy_program ());
+    ("pingpong", fun () -> P_examples_lib.Pingpong.program ());
+    ("pingpong-buggy", fun () -> P_examples_lib.Pingpong.buggy_program ());
+    ("german", fun () -> P_examples_lib.German.program ());
+    ("german-buggy", fun () -> P_examples_lib.German.buggy_program ());
+    ("switchled", fun () -> P_examples_lib.Switch_led.program ());
+    ("switchled-buggy", fun () -> P_examples_lib.Switch_led.buggy_program ());
+    ("tokenring", fun () -> P_examples_lib.Token_ring.program ());
+    ("tokenring-buggy", fun () -> P_examples_lib.Token_ring.buggy_program ());
+    ("boundedbuffer", fun () -> P_examples_lib.Bounded_buffer.program ());
+    ("boundedbuffer-buggy", fun () -> P_examples_lib.Bounded_buffer.buggy_program ());
+    ("usb-hsm", fun () -> P_usb.Gen.program_of_spec P_usb.Gen.hsm_spec);
+    ("usb-psm30", fun () -> P_usb.Gen.program_of_spec P_usb.Gen.psm30_spec);
+    ("usb-psm20", fun () -> P_usb.Gen.program_of_spec P_usb.Gen.psm20_spec);
+    ("usb-dsm", fun () -> P_usb.Gen.program_of_spec P_usb.Gen.dsm_spec);
+    ("usb-stack", fun () -> P_usb.Stack.program ());
+    ("usb-stack-buggy", fun () -> P_usb.Stack.buggy_program ()) ]
+
+let load_program file example =
+  match (file, example) with
+  | Some path, None -> (
+    try Ok (P_parser.Parser.program_of_file path) with
+    | P_parser.Parse_error.Error e -> Error (P_parser.Parse_error.to_string e)
+    | Sys_error msg -> Error msg)
+  | None, Some name -> (
+    match List.assoc_opt name examples with
+    | Some f -> Ok (f ())
+    | None ->
+      Error
+        (Fmt.str "unknown example %S; available: %s" name
+           (String.concat ", " (List.map fst examples))))
+  | Some _, Some _ -> Error "give either FILE or --example, not both"
+  | None, None -> Error "give a FILE or --example NAME"
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"P source file.")
+
+let example_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "example" ] ~docv:"NAME" ~doc:"Use a built-in example program instead of a file.")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Fmt.epr "pc: %s@." msg;
+    exit 2
+
+(* ---------------- check ---------------- *)
+
+let run_check file example =
+  let program = or_die (load_program file example) in
+  match P_static.Check.run program with
+  | { diagnostics = []; _ } ->
+    Fmt.pr "ok: %d event(s), %d machine(s), %d state(s), %d transition(s)@."
+      (List.length program.events)
+      (List.length program.machines)
+      (P_syntax.Ast.program_state_count program)
+      (P_syntax.Ast.program_transition_count program)
+  | { diagnostics; _ } ->
+    Fmt.pr "%a@." P_static.Check.pp_diagnostics diagnostics;
+    exit 1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the static checks (well-formedness, types, ghost erasure).")
+    Term.(const run_check $ file_arg $ example_arg)
+
+(* ---------------- verify ---------------- *)
+
+let run_verify file example delay_bound max_states liveness show_trace domains =
+  let program = or_die (load_program file example) in
+  let report =
+    match domains with
+    | None -> P_checker.Verifier.verify ~delay_bound ~max_states ~liveness program
+    | Some domains -> (
+      (* the multicore engine, behind the same report shape *)
+      match P_static.Check.run program with
+      | { diagnostics = (_ :: _) as ds; _ } ->
+        { P_checker.Verifier.static_diagnostics = ds; safety = None; liveness = None }
+      | { symtab; _ } ->
+        let safety = P_checker.Parallel.explore ~domains ~delay_bound ~max_states symtab in
+        { P_checker.Verifier.static_diagnostics = [];
+          safety = Some safety;
+          liveness =
+            (if liveness && safety.verdict = P_checker.Search.No_error then
+               Some (P_checker.Liveness.check symtab)
+             else None) })
+  in
+  Fmt.pr "%a" P_checker.Verifier.pp_report report;
+  (match report.safety with
+  | Some { verdict = P_checker.Search.Error_found ce; _ } when show_trace ->
+    Fmt.pr "counterexample trace:@.%a@." P_semantics.Trace.pp ce.trace
+  | _ -> ());
+  if not (P_checker.Verifier.is_clean report) then exit 1
+
+let verify_cmd =
+  let delay =
+    Arg.(value & opt int 2 & info [ "d"; "delay-bound" ] ~doc:"Delay bound for the scheduler.")
+  in
+  let max_states =
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~doc:"State budget for the search.")
+  in
+  let liveness =
+    Arg.(value & flag & info [ "liveness" ] ~doc:"Also run the responsiveness (liveness) checks.")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the counterexample trace.") in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Use the multicore exploration engine with N domains.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Systematic testing with the causal delay-bounded scheduler.")
+    Term.(
+      const run_verify $ file_arg $ example_arg $ delay $ max_states $ liveness $ trace
+      $ domains)
+
+(* ---------------- random ---------------- *)
+
+let run_random file example walks max_blocks seed show_trace =
+  let program = or_die (load_program file example) in
+  match P_static.Check.run program with
+  | { diagnostics = (_ :: _) as ds; _ } ->
+    Fmt.pr "%a@." P_static.Check.pp_diagnostics ds;
+    exit 1
+  | { symtab; _ } -> (
+    let r = P_checker.Random_walk.run ~walks ~max_blocks ~seed symtab in
+    Fmt.pr "random walks: %a@." P_checker.Random_walk.pp_result r;
+    match r.first_error with
+    | Some (_, trace, _) when show_trace ->
+      Fmt.pr "first failing trace:@.%a@." P_semantics.Trace.pp trace;
+      exit 1
+    | Some _ -> exit 1
+    | None -> ())
+
+let random_cmd =
+  let walks = Arg.(value & opt int 100 & info [ "walks" ] ~doc:"Number of random schedules.") in
+  let max_blocks =
+    Arg.(value & opt int 1_000 & info [ "max-blocks" ] ~doc:"Atomic-block budget per walk.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the first failing trace.") in
+  Cmd.v
+    (Cmd.info "random"
+       ~doc:"Random-walk testing (the baseline the systematic checker is compared to).")
+    Term.(const run_random $ file_arg $ example_arg $ walks $ max_blocks $ seed $ trace)
+
+(* ---------------- simulate ---------------- *)
+
+let run_simulate file example max_blocks seed show_trace =
+  let program = or_die (load_program file example) in
+  match P_static.Check.run program with
+  | { diagnostics = (_ :: _) as ds; _ } ->
+    Fmt.pr "%a@." P_static.Check.pp_diagnostics ds;
+    exit 1
+  | { symtab; _ } ->
+    let policy =
+      match seed with
+      | None -> P_semantics.Simulate.policy_const false
+      | Some s -> P_semantics.Simulate.policy_seeded s
+    in
+    let r = P_semantics.Simulate.run ~max_blocks ~policy symtab in
+    if show_trace then Fmt.pr "%a@." P_semantics.Trace.pp r.trace;
+    Fmt.pr "simulation: %a after %d atomic blocks@." P_semantics.Simulate.pp_status
+      r.status r.blocks;
+    (match r.status with P_semantics.Simulate.Error _ -> exit 1 | _ -> ())
+
+let simulate_cmd =
+  let max_blocks =
+    Arg.(value & opt int 10_000 & info [ "max-blocks" ] ~doc:"Atomic-block budget.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Resolve ghost choices pseudo-randomly from this seed.")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution trace.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Deterministic causal (d=0) execution of the closed program.")
+    Term.(const run_simulate $ file_arg $ example_arg $ max_blocks $ seed $ trace)
+
+(* ---------------- erase / compile / print ---------------- *)
+
+let run_erase file example =
+  let program = or_die (load_program file example) in
+  match P_static.Check.run program with
+  | { diagnostics = (_ :: _) as ds; _ } ->
+    Fmt.pr "%a@." P_static.Check.pp_diagnostics ds;
+    exit 1
+  | { symtab; _ } ->
+    print_string (P_syntax.Pretty.program_to_string (P_static.Erasure.erase symtab))
+
+let erase_cmd =
+  Cmd.v
+    (Cmd.info "erase" ~doc:"Print the compiled program after ghost erasure.")
+    Term.(const run_erase $ file_arg $ example_arg)
+
+let run_compile file example output =
+  let program = or_die (load_program file example) in
+  match P_compile.Compile.to_c program with
+  | c -> (
+    match output with
+    | None -> print_string c
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc c);
+      Fmt.pr "wrote %s (%d bytes)@." path (String.length c))
+  | exception P_compile.Compile.Error msg ->
+    Fmt.epr "pc: %s@." msg;
+    exit 1
+
+let compile_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output C file.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile to table-driven C source (section 4 of the paper).")
+    Term.(const run_compile $ file_arg $ example_arg $ output)
+
+let run_graph file example machine_filter =
+  let program = or_die (load_program file example) in
+  match machine_filter with
+  | None -> print_string (P_compile.Dot_emit.emit program)
+  | Some name -> (
+    match P_syntax.Ast.find_machine program (P_syntax.Names.Machine.of_string name) with
+    | Some m -> print_string (P_compile.Dot_emit.emit_one m)
+    | None ->
+      Fmt.epr "pc: no machine named %s@." name;
+      exit 2)
+
+let graph_cmd =
+  let machine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "machine" ] ~docv:"NAME" ~doc:"Render only this machine.")
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Render the state machines as a Graphviz (DOT) diagram.")
+    Term.(const run_graph $ file_arg $ example_arg $ machine)
+
+let run_coverage file example delay_bound max_states include_ghost =
+  let program = or_die (load_program file example) in
+  match P_static.Check.run program with
+  | { diagnostics = (_ :: _) as ds; _ } ->
+    Fmt.pr "%a@." P_static.Check.pp_diagnostics ds;
+    exit 1
+  | { symtab; _ } ->
+    let cov = P_checker.Coverage.of_exploration ~delay_bound ~max_states symtab in
+    Fmt.pr "%a@." P_checker.Coverage.pp_report
+      (P_checker.Coverage.report ~include_ghost cov)
+
+let coverage_cmd =
+  let delay =
+    Arg.(value & opt int 2 & info [ "d"; "delay-bound" ] ~doc:"Delay bound for the sweep.")
+  in
+  let max_states =
+    Arg.(value & opt int 100_000 & info [ "max-states" ] ~doc:"State budget.")
+  in
+  let ghost = Arg.(value & flag & info [ "ghost" ] ~doc:"Include ghost machines.") in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Report which states and handlers the bounded exploration exercises.")
+    Term.(const run_coverage $ file_arg $ example_arg $ delay $ max_states $ ghost)
+
+let run_print file example =
+  let program = or_die (load_program file example) in
+  print_string (P_syntax.Pretty.program_to_string program)
+
+let print_cmd =
+  Cmd.v
+    (Cmd.info "print" ~doc:"Parse and pretty-print the program.")
+    Term.(const run_print $ file_arg $ example_arg)
+
+let () =
+  let info = Cmd.info "pc" ~version:"1.0.0" ~doc:"The P language compiler and verifier." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; verify_cmd; simulate_cmd; erase_cmd; compile_cmd; print_cmd;
+            graph_cmd; coverage_cmd; random_cmd ]))

@@ -1,0 +1,1 @@
+examples/driver_sim.ml: Fmt P_examples_lib P_host

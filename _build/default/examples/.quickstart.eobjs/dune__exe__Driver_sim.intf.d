@@ -1,0 +1,1 @@
+examples/driver_sim.mli:

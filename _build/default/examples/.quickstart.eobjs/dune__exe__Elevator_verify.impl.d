@@ -1,0 +1,1 @@
+examples/elevator_verify.ml: Fmt List P_checker P_examples_lib P_static

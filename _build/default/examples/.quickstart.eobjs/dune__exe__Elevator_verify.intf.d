@@ -1,0 +1,1 @@
+examples/elevator_verify.mli:

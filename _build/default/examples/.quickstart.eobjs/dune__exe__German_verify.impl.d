@@ -1,0 +1,1 @@
+examples/german_verify.ml: Fmt List P_checker P_examples_lib P_semantics P_static

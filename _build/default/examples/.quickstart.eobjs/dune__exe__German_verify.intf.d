@@ -1,0 +1,1 @@
+examples/german_verify.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List P_checker P_compile P_examples_lib P_semantics P_static P_syntax String

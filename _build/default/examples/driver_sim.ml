@@ -1,0 +1,54 @@
+(* The full execution stack of section 4: compile the switch-and-LED P
+   program (erasing its ghost environment), load the tables into the
+   runtime, attach the generic KMDF-style interface skeleton, and drive it
+   from the simulated kernel at 100 events per second — the experiment of
+   section 4.1 — against the hand-written driver for the same device.
+
+   Run with: dune exec examples/driver_sim.exe *)
+
+let workload driver =
+  let device_events = 1_000 in
+  P_host.Workload.run ~rate_hz:100 ~events:device_events
+    ~make_event:(fun i ->
+      P_host.Os_events.Interrupt { line = "switch"; data = i mod 2 })
+    driver
+
+let () =
+  Fmt.pr "=== switch-and-LED under a 100 events/s interrupt load ===@.";
+
+  let device_p = P_examples_lib.Switch_led.new_device () in
+  let p_driver = P_examples_lib.Switch_led.p_driver device_p in
+  let p_stats = workload p_driver in
+  Fmt.pr "  P-generated driver:   %a@." P_host.Workload.pp_stats p_stats;
+  Fmt.pr "    LED writes: %d, final LED state: %b@." device_p.writes device_p.led_on;
+
+  let device_h = P_examples_lib.Switch_led.new_device () in
+  let h_driver = P_examples_lib.Switch_led.handwritten_driver device_h in
+  let h_stats = workload h_driver in
+  Fmt.pr "  hand-written driver:  %a@." P_host.Workload.pp_stats h_stats;
+  Fmt.pr "    LED writes: %d, final LED state: %b@." device_h.writes device_h.led_on;
+
+  assert (device_p.led_on = device_h.led_on);
+
+  let budget_ns = 1e9 /. 100.0 in
+  Fmt.pr
+    "@.at 100 events/s each event has a %.0f µs budget; the P driver uses %.4f%%\n\
+     of it per event (the hand-written one %.4f%%) — the asynchrony machinery\n\
+     is far below the device-bound 4 ms/event the paper reports.@."
+    (budget_ns /. 1e3)
+    (100.0 *. p_stats.mean_ns /. budget_ns)
+    (100.0 *. h_stats.mean_ns /. budget_ns);
+
+  (* a power/PnP storm exercises the remove path of the interface code *)
+  Fmt.pr "=== PnP remove/re-add cycle ===@.";
+  let device = P_examples_lib.Switch_led.new_device () in
+  let driver = P_examples_lib.Switch_led.p_driver device in
+  driver.P_host.Os_events.add_device ();
+  driver.P_host.Os_events.callback
+    (P_host.Os_events.Interrupt { line = "switch"; data = 1 });
+  assert device.led_on;
+  driver.P_host.Os_events.remove_device ();
+  driver.P_host.Os_events.add_device ();
+  driver.P_host.Os_events.callback
+    (P_host.Os_events.Interrupt { line = "switch"; data = 0 });
+  Fmt.pr "  device survived remove/re-add; LED = %b after SwitchOff@." device.led_on

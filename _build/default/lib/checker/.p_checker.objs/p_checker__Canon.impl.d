@@ -1,0 +1,1 @@
+lib/checker/canon.ml: Ast Buffer Char Digest Hashtbl List Names P_semantics P_static P_syntax

@@ -1,0 +1,1 @@
+lib/checker/canon.mli: P_semantics P_static

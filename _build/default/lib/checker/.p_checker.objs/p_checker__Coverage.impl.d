@@ -1,0 +1,1 @@
+lib/checker/coverage.ml: Ast Canon Delay_bounded Fmt Hashtbl List Names Option P_semantics P_static P_syntax Queue Search

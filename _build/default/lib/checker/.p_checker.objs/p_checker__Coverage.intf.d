@@ -1,0 +1,1 @@
+lib/checker/coverage.mli: Fmt P_semantics P_static P_syntax

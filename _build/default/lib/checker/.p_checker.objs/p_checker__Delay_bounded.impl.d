@@ -1,0 +1,1 @@
+lib/checker/delay_bounded.ml: Canon Dynarray Hashtbl List P_semantics P_static Queue Search Unix

@@ -1,0 +1,1 @@
+lib/checker/delay_bounded.mli: P_semantics P_static Search

@@ -1,0 +1,1 @@
+lib/checker/depth_bounded.ml: Canon Hashtbl List P_semantics P_static Queue Search Unix

@@ -1,0 +1,1 @@
+lib/checker/depth_bounded.mli: P_static Search

@@ -1,0 +1,1 @@
+lib/checker/dynarray.ml: Array List

@@ -1,0 +1,1 @@
+lib/checker/liveness.ml: Array Canon Dynarray Fmt Hashtbl List Names Option P_semantics P_static P_syntax Queue Search

@@ -1,0 +1,1 @@
+lib/checker/liveness.mli: Fmt P_semantics P_static P_syntax

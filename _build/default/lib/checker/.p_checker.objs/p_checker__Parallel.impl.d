@@ -1,0 +1,1 @@
+lib/checker/parallel.ml: Array Canon Delay_bounded Domain Dynarray Hashtbl List P_semantics P_static Search Unix

@@ -1,0 +1,1 @@
+lib/checker/parallel.mli: P_static Search

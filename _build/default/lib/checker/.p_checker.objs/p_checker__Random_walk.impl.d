@@ -1,0 +1,1 @@
+lib/checker/random_walk.ml: Fmt List P_semantics P_static Unix

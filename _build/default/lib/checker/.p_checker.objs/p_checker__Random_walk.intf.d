@@ -1,0 +1,1 @@
+lib/checker/random_walk.mli: Fmt P_semantics P_static

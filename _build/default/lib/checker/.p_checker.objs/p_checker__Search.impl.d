@@ -1,0 +1,1 @@
+lib/checker/search.ml: Fmt List P_semantics P_static

@@ -1,0 +1,1 @@
+lib/checker/search.mli: Fmt P_semantics P_static

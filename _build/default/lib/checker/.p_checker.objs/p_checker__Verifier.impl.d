@@ -1,0 +1,1 @@
+lib/checker/verifier.ml: Delay_bounded Fmt List Liveness P_static P_syntax Search

@@ -1,0 +1,1 @@
+lib/checker/verifier.mli: Fmt Liveness P_static P_syntax Search

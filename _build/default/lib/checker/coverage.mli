@@ -1,0 +1,37 @@
+(** Source-level coverage under bounded exploration: which states were
+    entered and which declared (state, event) handlers fired. Unexercised
+    handlers are dead protocol paths or a sign the environment model is too
+    weak — the elevator example was minimized against this report. *)
+
+type t
+(** Accumulated coverage observations. *)
+
+val create : P_static.Symtab.t -> t
+
+val observe :
+  t -> P_semantics.Config.t -> P_semantics.Mid.t -> P_semantics.Trace.item list -> unit
+(** Attribute one atomic block's happenings (state entries, pops, dequeued
+    and raised events) to the machine that ran it. *)
+
+val of_exploration :
+  ?max_states:int -> delay_bound:int -> P_static.Symtab.t -> t
+(** Run the delay-bounded BFS while recording coverage of every explored
+    transition. *)
+
+type report = {
+  states_total : int;
+  states_hit : int;
+  handlers_total : int;  (** statically declared (state, event) handlers *)
+  handlers_hit : int;
+  unvisited_states : (P_syntax.Names.Machine.t * P_syntax.Names.State.t) list;
+  unfired_handlers :
+    (P_syntax.Names.Machine.t * P_syntax.Names.State.t * P_syntax.Names.Event.t) list;
+}
+
+val report : ?include_ghost:bool -> t -> report
+(** Summarize against the program's declarations; ghost machines are
+    excluded unless [include_ghost]. A handler counts as fired when its
+    event was examined in its state — dequeued into it or raised while in
+    it. *)
+
+val pp_report : report Fmt.t

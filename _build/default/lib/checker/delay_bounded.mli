@@ -1,0 +1,47 @@
+(** Delay-bounded systematic testing with the paper's causal delaying
+    scheduler (section 5).
+
+    The scheduler keeps a stack of machine identifiers and runs the top
+    machine for one atomic block; created machines and send receivers are
+    pushed on top (so the default schedule follows the causal order of
+    events), and each *delay* — moving the top to the bottom — costs one
+    unit from the budget [delay_bound]. Ghost [*] choices are enumerated
+    exhaustively; the bound only limits scheduling nondeterminism. The
+    search is breadth-first over (configuration, stack) scheduler states, so
+    reported counterexamples are shortest in atomic blocks. *)
+
+(** Stack discipline on sends and creations: [Causal] pushes the receiver on
+    top (the paper's scheduler); [Round_robin] appends it at the bottom —
+    the generic delaying scheduler of Emmi et al., kept as an ablation
+    baseline. *)
+type discipline = Causal | Round_robin
+
+(** {2 Internals shared with the parallel engine}
+
+    These implement the scheduler-stack discipline and are exposed so that
+    {!Parallel} explores exactly the same transition system. *)
+
+val rotate_k : P_semantics.Mid.t list -> int -> P_semantics.Mid.t list
+(** Apply the delay operation [k] times: each moves the top to the bottom. *)
+
+val apply_outcome :
+  ?discipline:discipline ->
+  P_semantics.Mid.t list ->
+  P_semantics.Step.outcome ->
+  (P_semantics.Config.t * P_semantics.Mid.t list) option
+(** Update the scheduler stack after one atomic block; [None] for failures. *)
+
+val explore :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?discipline:discipline ->
+  ?dedup:bool ->
+  delay_bound:int ->
+  P_static.Symtab.t ->
+  Search.result
+(** [explore ~delay_bound tab] checks all schedules of at most [delay_bound]
+    delays for the error configurations of Figure 6, returning either the
+    first (shortest) counterexample with its replayed trace, or [No_error]
+    with exploration statistics. [max_states] (default 1e6) and [max_depth]
+    truncate the search, which is then flagged in the stats.
+    [dedup:false] disables the [⊕] queue append (ablation only). *)

@@ -1,0 +1,9 @@
+(** Depth-bounded systematic testing: the baseline bounding technique the
+    paper contrasts with delay bounding. Every enabled machine may run at
+    every scheduling point — full scheduling nondeterminism — and paths are
+    cut at [depth_bound] atomic blocks. *)
+
+val explore :
+  ?max_states:int -> depth_bound:int -> P_static.Symtab.t -> Search.result
+(** [explore ~depth_bound tab]: breadth-first over all interleavings of at
+    most [depth_bound] atomic blocks; shortest counterexample first. *)

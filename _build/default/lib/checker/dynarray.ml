@@ -1,0 +1,32 @@
+(** Minimal growable array (OCaml 5.1's stdlib predates [Dynarray]). *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Dynarray.get";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Dynarray.set";
+  t.data.(i) <- v
+
+let add_last t v =
+  if t.len = Array.length t.data then begin
+    let cap = max 8 (2 * Array.length t.data) in
+    let data = Array.make cap v in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.data.(i))

@@ -1,0 +1,56 @@
+(** The two responsiveness (liveness) checks of section 3.2, implemented by
+    fair-cycle detection over the (bounded) full-interleaving state graph.
+    The paper specifies these properties in LTL but leaves their
+    verification to future work; this module is that extension. *)
+
+type violation =
+  | Private_divergence of {
+      mid : P_semantics.Mid.t;
+      machine : P_syntax.Names.Machine.t;
+    }
+      (** property 1 ([∃m. ◇□ sched(m)]): the machine can run forever on a
+          cycle of its own steps *)
+  | Deferred_forever of {
+      mid : P_semantics.Mid.t;
+      machine : P_syntax.Names.Machine.t;
+      event : P_syntax.Names.Event.t;
+      payload : P_semantics.Value.t;
+    }
+      (** property 2: under fair scheduling the queue entry can stay pending
+          forever, and no [postpone] annotation excuses it *)
+
+val pp_violation : violation Fmt.t
+
+(** A lasso witness: a finite prefix from the initial configuration to the
+    violating strongly connected component, and one cycle inside it (for
+    property 1, a cycle of the diverging machine's own steps; for property
+    2, a representative cycle in which the starved entry stays queued). *)
+type witness = {
+  prefix : P_semantics.Trace.t;
+  cycle : P_semantics.Trace.t;
+  cycle_machines : P_semantics.Mid.t list;
+      (** who is scheduled around the cycle *)
+}
+
+val pp_witness : witness Fmt.t
+
+type result = {
+  violations : violation list;
+  witnesses : (violation * witness option) list;
+      (** the same violations, each with a lasso witness when one could be
+          reconstructed *)
+  explored_states : int;
+  complete : bool;  (** [false] when [max_states] truncated the graph *)
+}
+
+val check :
+  ?max_states:int ->
+  ?ignore_ghost_divergence:bool ->
+  P_static.Symtab.t ->
+  result
+(** [check tab] explores up to [max_states] (default 50000) configurations
+    under full scheduling nondeterminism, then analyses the strongly
+    connected components for fair violating cycles. Ghost environment
+    machines are exempt from the divergence check unless
+    [ignore_ghost_divergence:false]. Violations found on a truncated graph
+    are still real cycles; completeness requires [complete = true]. *)

@@ -1,0 +1,21 @@
+(** Multicore state-space exploration: a level-synchronous parallel BFS of
+    the delay-bounded search on OCaml 5 domains (the paper's case study
+    mentions "using multicores to scale the state exploration").
+
+    Semantically identical to {!Delay_bounded.explore} with the causal
+    discipline: states, transitions, and verdicts are independent of
+    [domains] (the test suite checks exact agreement); only wall-clock time
+    changes, and only on machines with more than one core. *)
+
+val explore :
+  ?max_states:int ->
+  ?domains:int ->
+  ?spawn_threshold:int ->
+  delay_bound:int ->
+  P_static.Symtab.t ->
+  Search.result
+(** [explore ~delay_bound tab] with frontier levels split across [domains]
+    workers (default 4). Levels smaller than [spawn_threshold] (default 64)
+    run sequentially — domain spawns and minor-GC synchronization only pay
+    off on real work. The [max_states] budget is checked between levels, so
+    the final count may overshoot slightly. *)

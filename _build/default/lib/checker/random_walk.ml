@@ -1,0 +1,105 @@
+(** Random-walk testing: the naive baseline systematic testing competes
+    against. Each walk repeatedly picks a uniformly random enabled machine
+    (full scheduling nondeterminism, no stack discipline) and random ghost
+    choices, until an error, quiescence, or the step budget. Seeded and
+    reproducible.
+
+    The delay-bounded scheduler's pitch (section 5) is that its *biased,
+    bounded* enumeration finds bugs with far fewer executions than unbiased
+    search; the [ablation] benchmark uses this module to show random walks
+    needing many more atomic blocks than the d ≤ 2 search to hit the same
+    seeded bugs — and missing the rarer ones entirely at equal budgets. *)
+
+module Config = P_semantics.Config
+module Step = P_semantics.Step
+module Errors = P_semantics.Errors
+module Trace = P_semantics.Trace
+module Mid = P_semantics.Mid
+module Symtab = P_static.Symtab
+
+type walk_result =
+  | Walk_error of Errors.t * Trace.t * int  (** error, trace, blocks taken *)
+  | Walk_quiescent of int
+  | Walk_budget of int
+
+type result = {
+  walks : int;
+  errors_found : int;
+  first_error : (Errors.t * Trace.t * int) option;
+      (** the first failing walk: error, trace, and its length in blocks *)
+  total_blocks : int;
+  elapsed_s : float;
+}
+
+let pp_result ppf r =
+  Fmt.pf ppf "%d walks, %d failing, %d total blocks%a, %.3fs" r.walks r.errors_found
+    r.total_blocks
+    (fun ppf -> function
+      | Some (e, _, blocks) ->
+        Fmt.pf ppf " (first: %a after %d blocks)" Errors.pp e blocks
+      | None -> ())
+    r.first_error r.elapsed_s
+
+(* A tiny self-contained PRNG (xorshift) so results are independent of any
+   global Random state. *)
+type rng = { mutable s : int }
+
+let make_rng seed = { s = (seed * 2654435761) lor 1 }
+
+let rand_int rng bound =
+  rng.s <- rng.s lxor (rng.s lsl 13);
+  rng.s <- rng.s lxor (rng.s lsr 7);
+  rng.s <- rng.s lxor (rng.s lsl 17);
+  (rng.s land max_int) mod bound
+
+let rand_bool rng = rand_int rng 2 = 1
+
+(* Run one atomic block with randomly resolved ghost choices. *)
+let run_block tab config mid rng =
+  let rec go choices =
+    match Step.run_atomic tab config mid ~choices with
+    | Step.Need_more_choices, _ -> go (choices @ [ rand_bool rng ])
+    | outcome, items -> (outcome, items)
+  in
+  go []
+
+let one_walk (tab : Symtab.t) rng ~max_blocks : walk_result =
+  let config0, _, items0 = Step.initial_config tab in
+  let rec go config blocks trace_rev =
+    if blocks >= max_blocks then Walk_budget blocks
+    else
+      match Step.enabled tab config with
+      | [] -> Walk_quiescent blocks
+      | enabled -> (
+        let mid = List.nth enabled (rand_int rng (List.length enabled)) in
+        let outcome, items = run_block tab config mid rng in
+        let trace_rev = List.rev_append items trace_rev in
+        match outcome with
+        | Step.Failed error -> Walk_error (error, List.rev trace_rev, blocks + 1)
+        | Step.Progress (config, _) | Step.Blocked config | Step.Terminated config ->
+          go config (blocks + 1) trace_rev
+        | Step.Need_more_choices -> assert false)
+  in
+  go config0 0 (List.rev items0)
+
+(** Run [walks] independent random schedules of at most [max_blocks] atomic
+    blocks each. *)
+let run ?(walks = 100) ?(max_blocks = 1_000) ?(seed = 1) (tab : Symtab.t) : result =
+  let started = Unix.gettimeofday () in
+  let errors = ref 0 in
+  let first = ref None in
+  let total = ref 0 in
+  for w = 0 to walks - 1 do
+    let rng = make_rng (seed + (w * 7919)) in
+    match one_walk tab rng ~max_blocks with
+    | Walk_error (e, trace, blocks) ->
+      incr errors;
+      total := !total + blocks;
+      if !first = None then first := Some (e, trace, blocks)
+    | Walk_quiescent blocks | Walk_budget blocks -> total := !total + blocks
+  done;
+  { walks;
+    errors_found = !errors;
+    first_error = !first;
+    total_blocks = !total;
+    elapsed_s = Unix.gettimeofday () -. started }

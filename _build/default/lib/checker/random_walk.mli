@@ -1,0 +1,21 @@
+(** Random-walk testing: seeded random schedules with full scheduling
+    nondeterminism — the naive baseline the delay-bounded scheduler is
+    compared against in the ablation benchmark. *)
+
+type result = {
+  walks : int;
+  errors_found : int;  (** how many walks ended in an error configuration *)
+  first_error : (P_semantics.Errors.t * P_semantics.Trace.t * int) option;
+      (** the first failing walk: error, trace, and its length in blocks *)
+  total_blocks : int;
+  elapsed_s : float;
+}
+
+val pp_result : result Fmt.t
+
+val run :
+  ?walks:int -> ?max_blocks:int -> ?seed:int -> P_static.Symtab.t -> result
+(** [run tab] executes [walks] (default 100) independent random schedules
+    of at most [max_blocks] (default 1000) atomic blocks each, with both
+    the scheduled machine and the ghost [*] choices drawn from a PRNG
+    derived from [seed]. Fully reproducible per seed. *)

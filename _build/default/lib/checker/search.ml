@@ -1,0 +1,70 @@
+(** Shared infrastructure of the systematic-testing engines: enumeration of
+    ghost [*] choices within one atomic block, exploration statistics, and
+    verdicts. *)
+
+module Step = P_semantics.Step
+module Config = P_semantics.Config
+module Errors = P_semantics.Errors
+module Trace = P_semantics.Trace
+module Mid = P_semantics.Mid
+module Symtab = P_static.Symtab
+
+(** One fully resolved atomic block: the outcome of running a machine with a
+    concrete resolution of its ghost choices. *)
+type resolved = {
+  choices : bool list;
+  outcome : Step.outcome;  (** never [Need_more_choices] *)
+  items : Trace.item list;
+}
+
+(** Enumerate every resolution of the ghost [*] choices hit while running
+    machine [mid] one atomic block from [config]. Depth-first, false first,
+    so resolutions come out in a deterministic order. *)
+let resolutions ?fuel ?dedup (tab : Symtab.t) (config : Config.t) (mid : Mid.t) :
+    resolved list =
+  let acc = ref [] in
+  let rec go choices =
+    match Step.run_atomic ?fuel ?dedup tab config mid ~choices with
+    | Step.Need_more_choices, _ ->
+      go (choices @ [ false ]);
+      go (choices @ [ true ])
+    | outcome, items -> acc := { choices; outcome; items } :: !acc
+  in
+  go [];
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Statistics and verdicts                                             *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable states : int;  (** distinct scheduler states visited *)
+  mutable transitions : int;  (** atomic blocks executed *)
+  mutable max_depth : int;  (** longest path from the initial state, in blocks *)
+  mutable truncated : bool;  (** a bound cut the exploration short *)
+  mutable elapsed_s : float;
+}
+
+let new_stats () =
+  { states = 0; transitions = 0; max_depth = 0; truncated = false; elapsed_s = 0. }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d states, %d transitions, depth %d%s, %.3fs" s.states s.transitions
+    s.max_depth
+    (if s.truncated then " (truncated)" else "")
+    s.elapsed_s
+
+type counterexample = { error : Errors.t; trace : Trace.t; depth : int }
+
+type verdict =
+  | No_error  (** the bounded exploration found no error configuration *)
+  | Error_found of counterexample
+
+type result = { verdict : verdict; stats : stats }
+
+let pp_verdict ppf = function
+  | No_error -> Fmt.string ppf "no error found"
+  | Error_found ce ->
+    Fmt.pf ppf "ERROR at depth %d: %a" ce.depth Errors.pp ce.error
+
+let pp_result ppf r = Fmt.pf ppf "%a (%a)" pp_verdict r.verdict pp_stats r.stats

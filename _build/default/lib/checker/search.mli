@@ -1,0 +1,42 @@
+(** Shared infrastructure of the systematic-testing engines: ghost-choice
+    enumeration, exploration statistics, and verdicts. *)
+
+type resolved = {
+  choices : bool list;
+  outcome : P_semantics.Step.outcome;  (** never [Need_more_choices] *)
+  items : P_semantics.Trace.item list;
+}
+
+val resolutions :
+  ?fuel:int ->
+  ?dedup:bool ->
+  P_static.Symtab.t ->
+  P_semantics.Config.t ->
+  P_semantics.Mid.t ->
+  resolved list
+(** Every resolution of the ghost [*] choices hit while running one atomic
+    block of the machine, in deterministic (false-first) order. *)
+
+type stats = {
+  mutable states : int;  (** distinct scheduler states visited *)
+  mutable transitions : int;  (** atomic blocks executed *)
+  mutable max_depth : int;
+  mutable truncated : bool;  (** a bound cut the exploration short *)
+  mutable elapsed_s : float;
+}
+
+val new_stats : unit -> stats
+val pp_stats : stats Fmt.t
+
+type counterexample = {
+  error : P_semantics.Errors.t;
+  trace : P_semantics.Trace.t;
+  depth : int;  (** atomic blocks from the initial configuration *)
+}
+
+type verdict = No_error | Error_found of counterexample
+
+type result = { verdict : verdict; stats : stats }
+
+val pp_verdict : verdict Fmt.t
+val pp_result : result Fmt.t

@@ -1,0 +1,59 @@
+(** One-call verification front end: static checks, bounded safety search
+    with the delay-bounded scheduler, and (optionally) the liveness checks.
+    This is the OCaml counterpart of the paper's "compile to Zing and
+    explore" pipeline. *)
+
+module Symtab = P_static.Symtab
+
+type report = {
+  static_diagnostics : Symtab.diagnostic list;
+  safety : Search.result option;  (** [None] when static checking failed *)
+  liveness : Liveness.result option;  (** [None] unless requested and static-clean *)
+}
+
+let is_clean r =
+  r.static_diagnostics = []
+  && (match r.safety with Some { verdict = Search.No_error; _ } -> true | Some _ -> false | None -> false)
+  && match r.liveness with
+     | None -> true
+     | Some { violations = []; _ } -> true
+     | Some _ -> false
+
+let pp_report ppf r =
+  (match r.static_diagnostics with
+  | [] -> Fmt.pf ppf "static checks: ok@."
+  | ds ->
+    Fmt.pf ppf "static checks: %d error(s)@." (List.length ds);
+    List.iter (fun d -> Fmt.pf ppf "  %a@." Symtab.pp_diagnostic d) ds);
+  (match r.safety with
+  | None -> ()
+  | Some res -> Fmt.pf ppf "safety: %a@." Search.pp_result res);
+  match r.liveness with
+  | None -> ()
+  | Some res ->
+    Fmt.pf ppf "liveness: %d violation(s) over %d states%s@."
+      (List.length res.violations) res.explored_states
+      (if res.complete then "" else " (truncated)");
+    List.iter
+      (fun (v, w) ->
+        Fmt.pf ppf "  %a@." Liveness.pp_violation v;
+        match w with
+        | Some w -> Fmt.pf ppf "  @[<v 2>witness lasso:@ %a@]@." Liveness.pp_witness w
+        | None -> ())
+      res.witnesses
+
+(** Verify a program: static checks, then delay-bounded safety search, then
+    (if [liveness]) the fair-cycle liveness analysis. *)
+let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
+    ?liveness_max_states (program : P_syntax.Ast.program) : report =
+  let { P_static.Check.symtab; diagnostics } = P_static.Check.run program in
+  if diagnostics <> [] then
+    { static_diagnostics = diagnostics; safety = None; liveness = None }
+  else
+    let safety = Delay_bounded.explore ~delay_bound ~max_states symtab in
+    let liveness_result =
+      if liveness && safety.verdict = Search.No_error then
+        Some (Liveness.check ?max_states:liveness_max_states symtab)
+      else None
+    in
+    { static_diagnostics = []; safety = Some safety; liveness = liveness_result }

@@ -1,0 +1,26 @@
+(** One-call verification front end: static checks, delay-bounded safety
+    search, and optionally the liveness checks — the OCaml counterpart of
+    the paper's "compile to Zing and explore" pipeline. *)
+
+type report = {
+  static_diagnostics : P_static.Symtab.diagnostic list;
+  safety : Search.result option;  (** [None] when static checking failed *)
+  liveness : Liveness.result option;
+      (** [None] unless requested and the safety search was clean *)
+}
+
+val is_clean : report -> bool
+(** No static diagnostics, no safety error, no liveness violation. *)
+
+val pp_report : report Fmt.t
+
+val verify :
+  ?delay_bound:int ->
+  ?max_states:int ->
+  ?liveness:bool ->
+  ?liveness_max_states:int ->
+  P_syntax.Ast.program ->
+  report
+(** [verify program] runs the full pipeline with [delay_bound] (default 2)
+    and a [max_states] budget (default 200000); [liveness:true] adds the
+    responsiveness checks of section 3.2. *)

@@ -1,0 +1,1 @@
+lib/compile/c_emit.ml: Array Buffer List Printf String Tables

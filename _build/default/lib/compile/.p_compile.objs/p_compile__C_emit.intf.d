@@ -1,0 +1,1 @@
+lib/compile/c_emit.mli: Tables

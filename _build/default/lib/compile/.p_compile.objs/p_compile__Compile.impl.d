@@ -1,0 +1,1 @@
+lib/compile/compile.ml: C_emit Fmt Lower P_static P_syntax Tables

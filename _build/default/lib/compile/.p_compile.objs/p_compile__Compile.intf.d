@@ -1,0 +1,1 @@
+lib/compile/compile.mli: P_syntax Tables

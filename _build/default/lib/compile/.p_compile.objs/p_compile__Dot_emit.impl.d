@@ -1,0 +1,1 @@
+lib/compile/dot_emit.ml: Ast Buffer Fmt List Names P_syntax String

@@ -1,0 +1,1 @@
+lib/compile/dot_emit.mli: P_syntax

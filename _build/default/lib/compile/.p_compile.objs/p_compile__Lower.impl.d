@@ -1,0 +1,1 @@
+lib/compile/lower.ml: Array Ast Fmt Hashtbl List Loc Names P_static P_syntax Tables

@@ -1,0 +1,1 @@
+lib/compile/lower.mli: P_syntax Tables

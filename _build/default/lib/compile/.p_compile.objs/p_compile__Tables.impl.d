@@ -1,0 +1,1 @@
+lib/compile/tables.ml: Array List P_syntax String

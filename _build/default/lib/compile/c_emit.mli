@@ -1,0 +1,8 @@
+(** C code generation in the style of section 4 of the paper: enumerations
+    for events/machines/variables/states, per-state tables of deferred
+    sets, transitions and actions, entry/exit/action function bodies
+    calling into the runtime, and a driver structure tying it together.
+    The output is one self-contained translation unit against
+    [p_runtime.h] (whose OCaml twin is {!P_runtime}). *)
+
+val emit : Tables.driver -> string

@@ -1,0 +1,32 @@
+(** The compilation pipeline: static checks, ghost erasure, lowering to
+    driver tables, and (optionally) C emission. Mirrors the paper's
+    compiler, whose output is "generated code + runtime" (section 4). *)
+
+type compiled = {
+  erased : P_syntax.Ast.program;  (** the real-only program after erasure *)
+  driver : Tables.driver;  (** tables interpreted by {!P_runtime} *)
+}
+
+exception Error of string
+
+(** Check, erase, and lower a P program. Raises [Error] with rendered
+    diagnostics when the program is statically rejected. *)
+let compile ?name (program : P_syntax.Ast.program) : compiled =
+  match P_static.Check.run program with
+  | { diagnostics = (_ :: _) as ds; _ } ->
+    raise (Error (Fmt.str "%a" P_static.Check.pp_diagnostics ds))
+  | { symtab; _ } ->
+    let erased = P_static.Erasure.erase symtab in
+    (* the erased program must itself be well formed — a successful Ghost
+       check guarantees it; re-validate as a cheap internal sanity check *)
+    (match P_static.Check.run erased with
+    | { diagnostics = []; _ } -> ()
+    | { diagnostics; _ } ->
+      raise
+        (Error
+           (Fmt.str "internal error: erasure produced an ill-formed program:@.%a"
+              P_static.Check.pp_diagnostics diagnostics)));
+    { erased; driver = Lower.lower ?name erased }
+
+(** Full pipeline to C source text. *)
+let to_c ?name program = C_emit.emit (compile ?name program).driver

@@ -1,0 +1,18 @@
+(** The compilation pipeline of section 4: static checks, ghost erasure,
+    lowering to the table IR, and C emission. *)
+
+type compiled = {
+  erased : P_syntax.Ast.program;  (** the real-only program after erasure *)
+  driver : Tables.driver;  (** tables interpreted by {!P_runtime} *)
+}
+
+exception Error of string
+(** Raised with rendered diagnostics when the program is statically
+    rejected (or, unreachable for checked programs, when erasure produces
+    an ill-formed result). *)
+
+val compile : ?name:string -> P_syntax.Ast.program -> compiled
+(** Check, erase, and lower. [name] labels the generated driver. *)
+
+val to_c : ?name:string -> P_syntax.Ast.program -> string
+(** Full pipeline to the table-driven C translation unit. *)

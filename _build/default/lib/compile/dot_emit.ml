@@ -1,0 +1,113 @@
+(** Graphviz (DOT) rendering of P machines.
+
+    The production P of the paper has a visual programming interface; the
+    closest faithful artefact for a textual toolchain is a generated state
+    diagram. Step transitions are solid edges, call transitions are double
+    (bold) edges as in the paper's Figure 1, action bindings are dashed
+    self-loops labelled with the action, and each state's deferred and
+    postponed sets are listed inside its node. Ghost machines are drawn
+    with dashed borders. *)
+
+open P_syntax
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\n"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_id machine state =
+  Fmt.str "%s__%s" (escape (Names.Machine.to_string machine)) (escape state)
+
+(* Lines are joined with DOT's own "\n" escape, applied after escaping the
+   user-controlled name fragments. *)
+let state_label (st : Ast.state) =
+  let lines =
+    [ escape (Names.State.to_string st.state_name) ]
+    @ (match st.deferred with
+      | [] -> []
+      | ds ->
+        [ "defer: " ^ escape (String.concat ", " (List.map Names.Event.to_string ds)) ])
+    @
+    match st.postponed with
+    | [] -> []
+    | ps ->
+      [ "postpone: " ^ escape (String.concat ", " (List.map Names.Event.to_string ps))
+      ]
+  in
+  String.concat "\\n" lines
+
+let emit_machine buf (m : Ast.machine) =
+  let mname = Names.Machine.to_string m.machine_name in
+  Buffer.add_string buf
+    (Fmt.str "  subgraph \"cluster_%s\" {\n    label = \"%s%s\";\n%s" (escape mname)
+       (if m.machine_ghost then "ghost machine " else "machine ")
+       (escape mname)
+       (if m.machine_ghost then "    style = dashed;\n" else ""));
+  (* states; the initial state gets a bold border and an entry arrow *)
+  List.iteri
+    (fun i (st : Ast.state) ->
+      Buffer.add_string buf
+        (Fmt.str "    \"%s\" [shape=box, style=rounded%s, label=\"%s\"];\n"
+           (node_id m.machine_name (Names.State.to_string st.state_name))
+           (if i = 0 then ",bold" else "")
+           (state_label st)))
+    m.states;
+  (match m.states with
+  | first :: _ ->
+    Buffer.add_string buf
+      (Fmt.str "    \"%s__entry\" [shape=point];\n    \"%s__entry\" -> \"%s\";\n"
+         (escape mname) (escape mname)
+         (node_id m.machine_name (Names.State.to_string first.state_name)))
+  | [] -> ());
+  (* step transitions: solid edges *)
+  List.iter
+    (fun (tr : Ast.transition) ->
+      Buffer.add_string buf
+        (Fmt.str "    \"%s\" -> \"%s\" [label=\"%s\"];\n"
+           (node_id m.machine_name (Names.State.to_string tr.tr_source))
+           (node_id m.machine_name (Names.State.to_string tr.tr_target))
+           (escape (Names.Event.to_string tr.tr_event))))
+    m.steps;
+  (* call transitions: the paper's double edges, rendered bold *)
+  List.iter
+    (fun (tr : Ast.transition) ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    \"%s\" -> \"%s\" [label=\"%s\", style=bold, color=\"black:white:black\"];\n"
+           (node_id m.machine_name (Names.State.to_string tr.tr_source))
+           (node_id m.machine_name (Names.State.to_string tr.tr_target))
+           (escape (Names.Event.to_string tr.tr_event))))
+    m.calls;
+  (* action bindings: dashed self-loops labelled event/action *)
+  List.iter
+    (fun (bd : Ast.binding) ->
+      Buffer.add_string buf
+        (Fmt.str "    \"%s\" -> \"%s\" [label=\"%s / %s\", style=dashed];\n"
+           (node_id m.machine_name (Names.State.to_string bd.bd_state))
+           (node_id m.machine_name (Names.State.to_string bd.bd_state))
+           (escape (Names.Event.to_string bd.bd_event))
+           (escape (Names.Action.to_string bd.bd_action))))
+    m.bindings;
+  Buffer.add_string buf "  }\n"
+
+(** Render the whole program, one cluster per machine. *)
+let emit (program : Ast.program) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph P {\n  rankdir = TB;\n  fontname = \"Helvetica\";\n";
+  List.iter (emit_machine buf) program.machines;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** Render a single machine as its own digraph. *)
+let emit_one (m : Ast.machine) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph P {\n  rankdir = TB;\n";
+  emit_machine buf m;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

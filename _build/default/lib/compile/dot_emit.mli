@@ -1,0 +1,10 @@
+(** Graphviz (DOT) rendering of P machines: states as boxes (with their
+    deferred and postponed sets), step transitions as solid edges, call
+    transitions as bold "double" edges (as in the paper's Figure 1), action
+    bindings as dashed self-loops, ghost machines with dashed borders. *)
+
+val emit : P_syntax.Ast.program -> string
+(** The whole program, one cluster per machine. *)
+
+val emit_one : P_syntax.Ast.machine -> string
+(** A single machine as its own digraph. *)

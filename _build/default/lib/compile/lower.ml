@@ -1,0 +1,257 @@
+(** Lowering an erased (real-only) P program to the table IR.
+
+    The input must have passed {!P_static.Check} and {!P_static.Erasure}:
+    lowering refuses ghost machines and the nondeterministic [*] expression,
+    both of which must have been erased before compilation. *)
+
+open P_syntax
+module Symtab = P_static.Symtab
+
+exception Not_compilable of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Not_compilable m)) fmt
+
+type env = {
+  events : (string, int) Hashtbl.t;
+  machines : (string, int) Hashtbl.t;
+  machine_vars : (string, (string, int) Hashtbl.t) Hashtbl.t;
+      (* variable tables of every machine, for [new] initializers *)
+  (* per current machine: *)
+  vars : (string, int) Hashtbl.t;
+  states : (string, int) Hashtbl.t;
+  actions : (string, int) Hashtbl.t;
+  foreigns : (string, int) Hashtbl.t;
+}
+
+let index_of tbl kind name =
+  match Hashtbl.find_opt tbl name with
+  | Some i -> i
+  | None -> fail "unknown %s %s during lowering" kind name
+
+let lower_unop : Ast.unop -> Tables.unop = function
+  | Ast.Not -> Tables.Not
+  | Ast.Neg -> Tables.Neg
+
+let lower_binop : Ast.binop -> Tables.binop = function
+  | Ast.Add -> Tables.Add
+  | Ast.Sub -> Tables.Sub
+  | Ast.Mul -> Tables.Mul
+  | Ast.Div -> Tables.Div
+  | Ast.Mod -> Tables.Mod
+  | Ast.And -> Tables.And
+  | Ast.Or -> Tables.Or
+  | Ast.Eq -> Tables.Eq
+  | Ast.Neq -> Tables.Neq
+  | Ast.Lt -> Tables.Lt
+  | Ast.Le -> Tables.Le
+  | Ast.Gt -> Tables.Gt
+  | Ast.Ge -> Tables.Ge
+
+let rec lower_expr env (e : Ast.expr) : Tables.cexpr =
+  match e.e with
+  | Ast.This -> Tables.CThis
+  | Ast.Msg -> Tables.CMsg
+  | Ast.Arg -> Tables.CArg
+  | Ast.Null -> Tables.CNull
+  | Ast.Bool_lit b -> Tables.CBool b
+  | Ast.Int_lit i -> Tables.CInt i
+  | Ast.Event_lit ev ->
+    Tables.CEvent (index_of env.events "event" (Names.Event.to_string ev))
+  | Ast.Var x -> Tables.CVar (index_of env.vars "variable" (Names.Var.to_string x))
+  | Ast.Nondet -> fail "nondeterministic '*' survived erasure"
+  | Ast.Unop (op, a) -> Tables.CUnop (lower_unop op, lower_expr env a)
+  | Ast.Binop (op, a, b) ->
+    Tables.CBinop (lower_binop op, lower_expr env a, lower_expr env b)
+  | Ast.Foreign_call (f, args) ->
+    Tables.CForeign_call
+      ( index_of env.foreigns "foreign function" (Names.Foreign.to_string f),
+        List.map (lower_expr env) args )
+
+let rec lower_stmt env (s : Ast.stmt) : Tables.code =
+  match s.s with
+  | Ast.Skip -> Tables.CSkip
+  | Ast.Assign (x, e) ->
+    Tables.CAssign
+      (index_of env.vars "variable" (Names.Var.to_string x), lower_expr env e)
+  | Ast.New (x, m, inits) ->
+    let mname = Names.Machine.to_string m in
+    let ty = index_of env.machines "machine" mname in
+    let target_vars =
+      match Hashtbl.find_opt env.machine_vars mname with
+      | Some tbl -> tbl
+      | None -> fail "unknown machine %s during lowering" mname
+    in
+    Tables.CNew
+      ( index_of env.vars "variable" (Names.Var.to_string x),
+        ty,
+        List.map
+          (fun (y, e) ->
+            (* initializer variable ids index the *created* machine's table *)
+            (index_of target_vars "variable" (Names.Var.to_string y), lower_expr env e))
+          inits )
+  | Ast.Delete -> Tables.CDelete
+  | Ast.Send (target, ev, payload) ->
+    Tables.CSend
+      ( lower_expr env target,
+        index_of env.events "event" (Names.Event.to_string ev),
+        lower_expr env payload )
+  | Ast.Raise (ev, payload) ->
+    Tables.CRaise
+      (index_of env.events "event" (Names.Event.to_string ev), lower_expr env payload)
+  | Ast.Leave -> Tables.CLeave
+  | Ast.Return -> Tables.CReturn
+  | Ast.Assert e ->
+    Tables.CAssert (lower_expr env e, Fmt.str "%a" Loc.pp s.sloc)
+  | Ast.Seq (a, b) -> Tables.CSeq (lower_stmt env a, lower_stmt env b)
+  | Ast.If (c, t, f) -> Tables.CIf (lower_expr env c, lower_stmt env t, lower_stmt env f)
+  | Ast.While (c, body) -> Tables.CWhile (lower_expr env c, lower_stmt env body)
+  | Ast.Call_state n ->
+    Tables.CCall_state (index_of env.states "state" (Names.State.to_string n))
+  | Ast.Foreign_stmt (f, args) ->
+    Tables.CForeign_stmt
+      ( index_of env.foreigns "foreign function" (Names.Foreign.to_string f),
+        List.map (lower_expr env) args )
+
+let lower_machine env_global (m : Ast.machine) (tab : Symtab.t) : Tables.machine_table =
+  if m.machine_ghost then
+    fail "machine %s is ghost and must be erased before compilation"
+      (Names.Machine.to_string m.machine_name);
+  let env =
+    { env_global with
+      vars = Hashtbl.create 16;
+      states = Hashtbl.create 16;
+      actions = Hashtbl.create 16;
+      foreigns = Hashtbl.create 8 }
+  in
+  List.iteri
+    (fun i (vd : Ast.var_decl) ->
+      Hashtbl.replace env.vars (Names.Var.to_string vd.var_name) i)
+    m.vars;
+  List.iteri
+    (fun i (st : Ast.state) ->
+      Hashtbl.replace env.states (Names.State.to_string st.state_name) i)
+    m.states;
+  List.iteri
+    (fun i (ad : Ast.action_decl) ->
+      Hashtbl.replace env.actions (Names.Action.to_string ad.action_name) i)
+    m.actions;
+  List.iteri
+    (fun i (fd : Ast.foreign_decl) ->
+      Hashtbl.replace env.foreigns (Names.Foreign.to_string fd.foreign_name) i)
+    m.foreigns;
+  let n_events = List.length tab.Symtab.program.events in
+  let mi = Symtab.machine_info_exn tab m.machine_name in
+  let states =
+    Array.of_list
+      (List.map
+         (fun (st : Ast.state) ->
+           let deferred = Array.make n_events false in
+           let steps = Array.make n_events None in
+           let calls = Array.make n_events None in
+           let actions = Array.make n_events None in
+           List.iteri
+             (fun i (ev : Ast.event_decl) ->
+               let e = ev.event_name in
+               if Names.Event.Set.mem e (Symtab.deferred_set mi st.state_name) then
+                 deferred.(i) <- true;
+               (match Symtab.step_target mi st.state_name e with
+               | Some n ->
+                 steps.(i) <-
+                   Some (index_of env.states "state" (Names.State.to_string n))
+               | None -> ());
+               (match Symtab.call_target mi st.state_name e with
+               | Some n ->
+                 calls.(i) <-
+                   Some (index_of env.states "state" (Names.State.to_string n))
+               | None -> ());
+               match Symtab.bound_action mi st.state_name e with
+               | Some a ->
+                 actions.(i) <-
+                   Some (index_of env.actions "action" (Names.Action.to_string a))
+               | None -> ())
+             tab.Symtab.program.events;
+           { Tables.st_name = Names.State.to_string st.state_name;
+             st_deferred = deferred;
+             st_steps = steps;
+             st_calls = calls;
+             st_actions = actions;
+             st_entry = lower_stmt env st.entry;
+             st_exit = lower_stmt env st.exit })
+         m.states)
+  in
+  { Tables.mt_name = Names.Machine.to_string m.machine_name;
+    mt_vars =
+      Array.of_list
+        (List.map
+           (fun (vd : Ast.var_decl) ->
+             (Names.Var.to_string vd.var_name, vd.var_type))
+           m.vars);
+    mt_actions =
+      Array.of_list
+        (List.map
+           (fun (ad : Ast.action_decl) ->
+             (Names.Action.to_string ad.action_name, lower_stmt env ad.action_body))
+           m.actions);
+    mt_states = states;
+    mt_foreigns =
+      Array.of_list
+        (List.map
+           (fun (fd : Ast.foreign_decl) ->
+             { Tables.fs_name = Names.Foreign.to_string fd.foreign_name;
+               fs_params = fd.foreign_params;
+               fs_ret = fd.foreign_ret })
+           m.foreigns) }
+
+(** Compile an erased program to driver tables. Raises {!Not_compilable} if
+    ghost fragments remain. *)
+let lower ?(name = "driver") (program : Ast.program) : Tables.driver =
+  let tab = Symtab.build program in
+  let env =
+    { events = Hashtbl.create 32;
+      machines = Hashtbl.create 16;
+      machine_vars = Hashtbl.create 16;
+      vars = Hashtbl.create 0;
+      states = Hashtbl.create 0;
+      actions = Hashtbl.create 0;
+      foreigns = Hashtbl.create 0 }
+  in
+  List.iter
+    (fun (m : Ast.machine) ->
+      let tbl = Hashtbl.create 8 in
+      List.iteri
+        (fun i (vd : Ast.var_decl) ->
+          Hashtbl.replace tbl (Names.Var.to_string vd.var_name) i)
+        m.vars;
+      Hashtbl.replace env.machine_vars (Names.Machine.to_string m.machine_name) tbl)
+    program.machines;
+  List.iteri
+    (fun i (ev : Ast.event_decl) ->
+      Hashtbl.replace env.events (Names.Event.to_string ev.event_name) i)
+    program.events;
+  List.iteri
+    (fun i (m : Ast.machine) ->
+      Hashtbl.replace env.machines (Names.Machine.to_string m.machine_name) i)
+    program.machines;
+  let machines =
+    Array.of_list (List.map (fun m -> lower_machine env m tab) program.machines)
+  in
+  { Tables.dr_name = name;
+    dr_events =
+      Array.of_list
+        (List.map
+           (fun (ev : Ast.event_decl) ->
+             (Names.Event.to_string ev.event_name, ev.event_payload))
+           program.events);
+    dr_machines = machines;
+    dr_main = Hashtbl.find_opt env.machines (Names.Machine.to_string program.main);
+    dr_main_init =
+      (match Hashtbl.find_opt env.machine_vars (Names.Machine.to_string program.main) with
+      | None -> []
+      | Some tbl ->
+        List.map
+          (fun ((x, e) : Names.Var.t * Ast.expr) ->
+            ( index_of tbl "variable" (Names.Var.to_string x),
+              lower_expr
+                { env with vars = tbl }
+                e ))
+          program.main_init) }

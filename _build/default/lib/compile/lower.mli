@@ -1,0 +1,11 @@
+(** Lowering an erased (real-only) P program to the table IR of
+    {!Tables}. The input must have passed {!P_static.Check} and
+    {!P_static.Erasure}: ghost machines and the nondeterministic [*]
+    expression are refused. *)
+
+exception Not_compilable of string
+
+val lower : ?name:string -> P_syntax.Ast.program -> Tables.driver
+(** Compile to driver tables; [name] labels the driver (default
+    ["driver"]). Raises {!Not_compilable} on surviving ghost fragments or
+    dangling names. *)

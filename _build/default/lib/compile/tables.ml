@@ -1,0 +1,140 @@
+(** The table-driven intermediate representation produced by compilation.
+
+    Section 4 of the paper describes the generated C as "a collection of
+    indexed and statically-allocated data structures examined by the runtime
+    when it executes the operational semantics": enumerations for events,
+    machine types, variables and states; per-state tables of outgoing
+    transitions, deferred events and installed actions; and entry/exit
+    functions. This IR is exactly those tables with all names resolved to
+    dense integer indices. {!C_emit} prints it as C source;
+    {!P_runtime.Exec} interprets it directly. *)
+
+type event_id = int
+type machine_ty = int (* index of a machine *type* in the driver *)
+type state_id = int
+type var_id = int
+type action_id = int
+type foreign_id = int
+
+type unop = Not | Neg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type cexpr =
+  | CThis
+  | CMsg
+  | CArg
+  | CNull
+  | CBool of bool
+  | CInt of int
+  | CEvent of event_id
+  | CVar of var_id
+  | CUnop of unop * cexpr
+  | CBinop of binop * cexpr * cexpr
+  | CForeign_call of foreign_id * cexpr list
+
+type code =
+  | CSkip
+  | CAssign of var_id * cexpr
+  | CNew of var_id * machine_ty * (var_id * cexpr) list
+  | CDelete
+  | CSend of cexpr * event_id * cexpr
+  | CRaise of event_id * cexpr
+  | CLeave
+  | CReturn
+  | CAssert of cexpr * string  (** message identifying the source assertion *)
+  | CSeq of code * code
+  | CIf of cexpr * code * code
+  | CWhile of cexpr * code
+  | CCall_state of state_id
+  | CForeign_stmt of foreign_id * cexpr list
+
+type state_table = {
+  st_name : string;
+  st_deferred : bool array;  (** indexed by [event_id] *)
+  st_steps : state_id option array;  (** indexed by [event_id] *)
+  st_calls : state_id option array;
+  st_actions : action_id option array;
+  st_entry : code;
+  st_exit : code;
+}
+
+type foreign_sig = {
+  fs_name : string;
+  fs_params : P_syntax.Ptype.t list;
+  fs_ret : P_syntax.Ptype.t;
+}
+
+type machine_table = {
+  mt_name : string;
+  mt_vars : (string * P_syntax.Ptype.t) array;
+  mt_actions : (string * code) array;
+  mt_states : state_table array;  (** index 0 is the initial state *)
+  mt_foreigns : foreign_sig array;
+}
+
+type driver = {
+  dr_name : string;
+  dr_events : (string * P_syntax.Ptype.t) array;
+  dr_machines : machine_table array;
+  dr_main : machine_ty option;
+      (** [None] when the program's main machine was ghost: the host creates
+          the first real machine itself, as the paper's interface code does
+          from the EvtAddDevice callback *)
+  dr_main_init : (var_id * cexpr) list;
+}
+
+let event_count d = Array.length d.dr_events
+
+let machine_ty_of_name d name =
+  let rec go i =
+    if i >= Array.length d.dr_machines then None
+    else if String.equal d.dr_machines.(i).mt_name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let event_id_of_name d name =
+  let rec go i =
+    if i >= Array.length d.dr_events then None
+    else if String.equal (fst d.dr_events.(i)) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Rough size metrics for reporting. *)
+let rec code_size = function
+  | CSkip | CDelete | CLeave | CReturn -> 1
+  | CAssign _ | CSend _ | CRaise _ | CAssert _ | CCall_state _ -> 1
+  | CNew (_, _, inits) -> 1 + List.length inits
+  | CSeq (a, b) -> code_size a + code_size b
+  | CIf (_, a, b) -> 1 + code_size a + code_size b
+  | CWhile (_, body) -> 1 + code_size body
+  | CForeign_stmt (_, args) -> 1 + List.length args
+
+let driver_size d =
+  Array.fold_left
+    (fun acc (mt : machine_table) ->
+      let states =
+        Array.fold_left
+          (fun acc st -> acc + code_size st.st_entry + code_size st.st_exit)
+          0 mt.mt_states
+      in
+      let actions =
+        Array.fold_left (fun acc (_, c) -> acc + code_size c) 0 mt.mt_actions
+      in
+      acc + states + actions)
+    0 d.dr_machines

@@ -1,0 +1,95 @@
+(** The public facade of the P toolchain.
+
+    Downstream users can depend on the single [pcaml] library and reach the
+    whole pipeline through this module; the underlying libraries remain
+    individually usable ([p_syntax], [p_parser], [p_static], [p_semantics],
+    [p_checker], [p_compile], [p_runtime], [p_host]).
+
+    Typical flows:
+
+    {[
+      (* parse → verify → compile *)
+      let program = Pcaml.parse_file "driver.p" in
+      let report = Pcaml.verify ~delay_bound:3 program in
+      assert (Pcaml.Verifier.is_clean report);
+      let c_source = Pcaml.to_c program in
+      ...
+    ]}
+
+    or, building programs in OCaml:
+
+    {[
+      let open Pcaml.Builder in
+      let m = machine "M" [ state "Init" ~entry:(raise_ "unit") ] ... in
+      let program = program ~events ~machines:[ m ] "M" in
+      Pcaml.simulate program
+    ]} *)
+
+(* ---------------- re-exports ---------------- *)
+
+module Loc = P_syntax.Loc
+module Names = P_syntax.Names
+module Ptype = P_syntax.Ptype
+module Ast = P_syntax.Ast
+module Pretty = P_syntax.Pretty
+module Builder = P_syntax.Builder
+
+module Parser = P_parser.Parser
+module Parse_error = P_parser.Parse_error
+
+module Symtab = P_static.Symtab
+module Check = P_static.Check
+module Erasure = P_static.Erasure
+
+module Value = P_semantics.Value
+module Trace = P_semantics.Trace
+module Errors = P_semantics.Errors
+module Simulate = P_semantics.Simulate
+
+module Verifier = P_checker.Verifier
+module Delay_bounded = P_checker.Delay_bounded
+module Depth_bounded = P_checker.Depth_bounded
+module Parallel = P_checker.Parallel
+module Liveness = P_checker.Liveness
+module Random_walk = P_checker.Random_walk
+module Coverage = P_checker.Coverage
+module Search = P_checker.Search
+
+module Compile = P_compile.Compile
+module C_emit = P_compile.C_emit
+module Dot_emit = P_compile.Dot_emit
+
+module Runtime = P_runtime.Api
+module Rt_value = P_runtime.Rt_value
+module Host_clock = P_host.Clock
+module Host_skeleton = P_host.Skeleton
+module Os_events = P_host.Os_events
+module Workload = P_host.Workload
+
+(* ---------------- convenience pipeline ---------------- *)
+
+(** Parse a program from concrete syntax. Raises {!Parse_error.Error}. *)
+let parse ?file src = Parser.program_of_string ?file src
+
+let parse_file path = Parser.program_of_file path
+
+(** Statically check; raises {!Check.Rejected} with diagnostics. *)
+let check program = Check.run_exn program
+
+(** Systematic testing with the causal delay-bounded scheduler (plus the
+    static phases); see {!Verifier.verify} for the knobs. *)
+let verify = Verifier.verify
+
+(** Deterministic causal (d = 0) execution of the closed program. *)
+let simulate ?max_blocks ?policy program =
+  Simulate.run ?max_blocks ?policy (check program)
+
+(** Compile to the table-driven C of the paper's section 4. *)
+let to_c ?name program = Compile.to_c ?name program
+
+(** Compile and load into the execution runtime; returns the runtime ready
+    for {!Runtime.register_foreign} and {!Runtime.create_machine}. *)
+let load ?name program = Runtime.create (Compile.compile ?name program).driver
+
+(** Render the machines as a Graphviz diagram. *)
+let to_dot program = Dot_emit.emit program

@@ -1,0 +1,1 @@
+lib/examples_lib/bounded_buffer.ml: List P_syntax

@@ -1,0 +1,1 @@
+lib/examples_lib/bounded_buffer.mli: P_syntax

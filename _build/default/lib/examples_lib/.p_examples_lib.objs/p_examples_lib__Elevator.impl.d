@@ -1,0 +1,1 @@
+lib/examples_lib/elevator.ml: List P_syntax Stdlib

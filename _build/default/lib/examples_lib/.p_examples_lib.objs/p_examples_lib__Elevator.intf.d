@@ -1,0 +1,1 @@
+lib/examples_lib/elevator.mli: P_syntax

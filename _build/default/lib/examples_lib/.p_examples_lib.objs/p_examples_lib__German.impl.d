@@ -1,0 +1,1 @@
+lib/examples_lib/german.ml: Fmt List P_syntax Stdlib

@@ -1,0 +1,1 @@
+lib/examples_lib/german.mli: P_syntax

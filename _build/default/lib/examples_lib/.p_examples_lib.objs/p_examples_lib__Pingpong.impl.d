@@ -1,0 +1,1 @@
+lib/examples_lib/pingpong.ml: List P_syntax

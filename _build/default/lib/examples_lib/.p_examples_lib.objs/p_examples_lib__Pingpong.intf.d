@@ -1,0 +1,1 @@
+lib/examples_lib/pingpong.mli: P_syntax

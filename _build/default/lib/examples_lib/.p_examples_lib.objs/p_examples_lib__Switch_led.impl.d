@@ -1,0 +1,1 @@
+lib/examples_lib/switch_led.ml: List P_compile P_host P_runtime P_syntax Stdlib

@@ -1,0 +1,1 @@
+lib/examples_lib/switch_led.mli: P_host P_syntax

@@ -1,0 +1,1 @@
+lib/examples_lib/token_ring.ml: Fmt List P_syntax Stdlib

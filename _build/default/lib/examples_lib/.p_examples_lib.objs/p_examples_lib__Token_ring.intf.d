@@ -1,0 +1,1 @@
+lib/examples_lib/token_ring.mli: P_syntax

@@ -1,0 +1,14 @@
+(** Producer/consumer over a credit-based bounded buffer; demonstrates the
+    paper's counter-in-the-payload idiom for the [⊕] dedup append and
+    deferral under back-pressure. *)
+
+val events : P_syntax.Ast.event_decl list
+val producer : items:int -> credits:int -> P_syntax.Ast.machine
+val consumer : P_syntax.Ast.machine
+
+val program : ?items:int -> ?credits:int -> unit -> P_syntax.Ast.program
+
+val buggy_program : ?items:int -> ?credits:int -> unit -> P_syntax.Ast.program
+(** The producer reuses one sequence number, so [⊕] swallows an in-flight
+    item and the ordering assertion fails — the very hazard the counter
+    idiom prevents. *)

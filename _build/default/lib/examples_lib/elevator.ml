@@ -1,0 +1,237 @@
+(** The elevator of section 2 of the paper (Figures 1 and 2): a real
+    [Elevator] machine closed with three ghost environment machines — a
+    [User] that nondeterministically presses the open/close buttons, a
+    [Door], and a [Timer] that may fire at any moment.
+
+    The machine follows the paper's figure: [Init], [Closed], [Opening]
+    (defers [CloseDoor], ignores [OpenDoor]), [Opened], [OkToClose],
+    [Closing], [StoppingDoor], and the three-state stop-the-timer subroutine
+    [StoppingTimer] / [WaitingForTimer] / [ReturnState] entered through call
+    transitions from [Opened] and [OkToClose] and exited by raising
+    [StopTimerReturned] (which pops back to the caller). *)
+
+open P_syntax.Builder
+
+let events =
+  List.map event
+    [ "unit";
+      "StopTimerReturned";
+      "OpenDoor";
+      "CloseDoor";
+      "DoorOpened";
+      "DoorClosed";
+      "DoorStopped";
+      "ObjectDetected";
+      "TimerFired";
+      "TimerStopped";
+      "SendCmdToOpen";
+      "SendCmdToClose";
+      "SendCmdToStop";
+      "SendCmdToReset";
+      "StartTimer";
+      "StopTimer" ]
+
+let elevator_machine =
+  machine "Elevator"
+    ~vars:
+      [ var_decl ~ghost:true "TimerV" P_syntax.Ptype.Machine_id;
+        var_decl ~ghost:true "DoorV" P_syntax.Ptype.Machine_id ]
+    ~actions:[ action "Ignore" skip ]
+    [ state "Init"
+        ~entry:
+          (seq
+             [ assign "TimerV" null;
+               new_ "TimerV" "Timer" [ ("client", this) ];
+               new_ "DoorV" "Door" [ ("client", this) ];
+               raise_ "unit" ]);
+      state "Closed" ~defer:[ "CloseDoor" ] ~postpone:[ "CloseDoor" ]
+        ~entry:(send (v "DoorV") "SendCmdToReset");
+      state "Opening" ~defer:[ "CloseDoor" ] ~entry:(send (v "DoorV") "SendCmdToOpen");
+      state "Opened" ~defer:[ "CloseDoor" ] ~postpone:[ "CloseDoor" ]
+        ~entry:
+          (seq [ send (v "DoorV") "SendCmdToReset"; send (v "TimerV") "StartTimer" ]);
+      state "OkToClose" ~entry:(send (v "DoorV") "SendCmdToReset");
+      (* the door may hang mid-close (its model answers nondeterministically),
+         so a second CloseDoor queued here can legitimately starve: postpone,
+         as for Closed *)
+      state "Closing" ~defer:[ "CloseDoor" ] ~postpone:[ "CloseDoor" ]
+        ~entry:(send (v "DoorV") "SendCmdToClose");
+      state "StoppingDoor" ~defer:[ "CloseDoor" ] ~postpone:[ "CloseDoor" ]
+        ~entry:(send (v "DoorV") "SendCmdToStop");
+      (* the stop-the-timer subroutine *)
+      state "StoppingTimer" ~defer:[ "OpenDoor"; "CloseDoor"; "ObjectDetected" ]
+        ~postpone:[ "CloseDoor" ]
+        ~entry:(seq [ send (v "TimerV") "StopTimer"; raise_ "unit" ]);
+      state "WaitingForTimer" ~defer:[ "OpenDoor"; "CloseDoor"; "ObjectDetected" ]
+        ~postpone:[ "CloseDoor" ]
+        ~entry:skip;
+      state "ReturnState" ~entry:(raise_ "StopTimerReturned") ]
+    ~steps:
+      [ ("Init", "unit", "Closed");
+        ("Closed", "OpenDoor", "Opening");
+        ("Opening", "DoorOpened", "Opened");
+        ("Opened", "TimerFired", "OkToClose");
+        ("Opened", "StopTimerReturned", "Opened");
+        ("OkToClose", "StopTimerReturned", "Closing");
+        ("OkToClose", "OpenDoor", "Opened");
+        ("Closing", "DoorClosed", "Closed");
+        ("Closing", "ObjectDetected", "Opening");
+        ("Closing", "OpenDoor", "StoppingDoor");
+        ("StoppingDoor", "DoorStopped", "Opening");
+        ("StoppingDoor", "DoorClosed", "Closed");
+        ("StoppingDoor", "ObjectDetected", "Opening");
+        ("StoppingTimer", "unit", "WaitingForTimer");
+        ("WaitingForTimer", "TimerFired", "ReturnState");
+        ("WaitingForTimer", "TimerStopped", "ReturnState") ]
+    ~calls:
+      [ ("Opened", "OpenDoor", "StoppingTimer");
+        ("OkToClose", "CloseDoor", "StoppingTimer") ]
+    ~bindings:
+      [ on ("Opening", "OpenDoor") ~do_:"Ignore";
+        on ("StoppingDoor", "OpenDoor") ~do_:"Ignore";
+        (* Stale notifications: commands and replies race, so late door and
+           timer responses can arrive after a state change. Each Ignore
+           below exists because the verifier flagged the unhandled event at
+           some delay bound during development — the paper's "forced us to
+           handle every event (or explicitly defer it) in every state",
+           with nothing speculative left over: P_checker.Coverage confirmed
+           each remaining pair fires within the d = 12 state space, and the
+           pairs it reported as unfired were removed again. *)
+        on ("Closed", "DoorStopped") ~do_:"Ignore";
+        on ("Closed", "TimerStopped") ~do_:"Ignore";
+        on ("Opening", "TimerStopped") ~do_:"Ignore";
+        on ("Opening", "DoorStopped") ~do_:"Ignore";
+        on ("Opening", "TimerFired") ~do_:"Ignore";
+        on ("Opened", "TimerStopped") ~do_:"Ignore";
+        on ("OkToClose", "TimerStopped") ~do_:"Ignore";
+        on ("OkToClose", "TimerFired") ~do_:"Ignore";
+        on ("Closed", "TimerFired") ~do_:"Ignore";
+        on ("Closing", "TimerFired") ~do_:"Ignore";
+        on ("Closing", "TimerStopped") ~do_:"Ignore";
+        on ("StoppingDoor", "TimerFired") ~do_:"Ignore";
+        on ("StoppingDoor", "TimerStopped") ~do_:"Ignore" ]
+
+(** The ghost door: obeys open/close/stop commands and may
+    nondeterministically detect an object while closing (Figure 2b). *)
+let door_machine =
+  machine "Door" ~ghost:true
+    ~vars:[ var_decl "client" P_syntax.Ptype.Machine_id ]
+    ~actions:[ action "Ignore" skip ]
+    [ state "Init" ~entry:skip;
+      state "OpeningDoor"
+        ~entry:(seq [ send (v "client") "DoorOpened"; raise_ "unit" ]);
+      (* closing is not instantaneous: the door may answer right away, or
+         keep moving (no answer yet) — in which case a stop command takes
+         effect and produces DoorStopped, or an open command re-opens *)
+      state "ConsiderClosing"
+        ~entry:
+          (if_ nondet
+             (seq
+                [ if_ nondet
+                    (send (v "client") "ObjectDetected")
+                    (send (v "client") "DoorClosed");
+                  raise_ "unit" ])
+             skip);
+      state "StoppingDoorNow"
+        ~entry:(seq [ send (v "client") "DoorStopped"; raise_ "unit" ]) ]
+    ~steps:
+      [ ("Init", "SendCmdToOpen", "OpeningDoor");
+        ("Init", "SendCmdToClose", "ConsiderClosing");
+        ("Init", "SendCmdToStop", "StoppingDoorNow");
+        ("OpeningDoor", "unit", "Init");
+        ("ConsiderClosing", "unit", "Init");
+        ("ConsiderClosing", "SendCmdToStop", "StoppingDoorNow");
+        ("ConsiderClosing", "SendCmdToOpen", "OpeningDoor");
+        ("StoppingDoorNow", "unit", "Init") ]
+    ~bindings:
+      [ on ("Init", "SendCmdToReset") ~do_:"Ignore";
+        on ("OpeningDoor", "SendCmdToReset") ~do_:"Ignore";
+        on ("ConsiderClosing", "SendCmdToReset") ~do_:"Ignore";
+        on ("ConsiderClosing", "SendCmdToClose") ~do_:"Ignore";
+        on ("StoppingDoorNow", "SendCmdToReset") ~do_:"Ignore" ]
+
+(** The ghost timer: once started it may fire at any moment (the [*] in the
+    entry of [TimerStarted], Figure 2c); a stop request is acknowledged with
+    [TimerStopped], racing against the fire. *)
+let timer_machine =
+  machine "Timer" ~ghost:true
+    ~vars:[ var_decl "client" P_syntax.Ptype.Machine_id ]
+    [ state "Init" ~entry:skip;
+      state "TimerStarted" ~defer:[ "StartTimer" ] ~postpone:[ "StartTimer" ]
+        ~entry:(if_nondet (raise_ "unit"));
+      state "FireTimer"
+        ~entry:(seq [ send (v "client") "TimerFired"; raise_ "unit" ]);
+      state "AckStop"
+        ~entry:(seq [ send (v "client") "TimerStopped"; raise_ "unit" ]) ]
+    ~steps:
+      [ ("Init", "StartTimer", "TimerStarted");
+        ("Init", "StopTimer", "AckStop");
+        ("TimerStarted", "unit", "FireTimer");
+        ("TimerStarted", "StopTimer", "AckStop");
+        ("FireTimer", "unit", "Init");
+        ("AckStop", "unit", "Init") ]
+
+(** The ghost user: creates the elevator and forever presses buttons
+    nondeterministically (Figure 2a). [presses <= 0] means unbounded. *)
+let user_machine ~presses =
+  let press_body =
+    seq
+      [ if_ nondet (send (v "elevator") "OpenDoor") (send (v "elevator") "CloseDoor");
+        raise_ "unit" ]
+  in
+  if Stdlib.(presses <= 0) then
+    machine "User" ~ghost:true
+      ~vars:[ var_decl "elevator" P_syntax.Ptype.Machine_id ]
+      [ state "Init" ~entry:(seq [ new_ "elevator" "Elevator" []; raise_ "unit" ]);
+        state "Loop" ~entry:press_body ]
+      ~steps:[ ("Init", "unit", "Loop"); ("Loop", "unit", "Loop") ]
+  else
+    machine "User" ~ghost:true
+      ~vars:
+        [ var_decl "elevator" P_syntax.Ptype.Machine_id;
+          var_decl "left" P_syntax.Ptype.Int ]
+      [ state "Init"
+          ~entry:
+            (seq [ new_ "elevator" "Elevator" []; assign "left" (int presses); raise_ "unit" ]);
+        state "Loop"
+          ~entry:
+            (if_ (v "left" > int 0)
+               (seq [ assign "left" (v "left" - int 1); press_body ])
+               skip);
+        state "Done" ~entry:skip ]
+      ~steps:[ ("Init", "unit", "Loop"); ("Loop", "unit", "Loop") ]
+
+(** The closed elevator program. [presses] bounds the ghost user's button
+    presses (0 = unbounded, as in the paper). *)
+let program ?(presses = 0) () =
+  program ~events
+    ~machines:[ user_machine ~presses; elevator_machine; door_machine; timer_machine ]
+    "User"
+
+(** A seeded bug for the bug-finding experiment (section 5, "Empirical
+    results"): the [Opening] state forgets both to defer [CloseDoor] and to
+    ignore a second [OpenDoor], so a user pressing a button while the door
+    motor runs triggers an unhandled-event error. *)
+let buggy_program ?(presses = 0) () =
+  let p = program ~presses () in
+  let machines =
+    List.map
+      (fun (m : P_syntax.Ast.machine) ->
+        if P_syntax.Names.Machine.to_string m.machine_name = "Elevator" then
+          { m with
+            states =
+              List.map
+                (fun (st : P_syntax.Ast.state) ->
+                  if P_syntax.Names.State.to_string st.state_name = "Opening" then
+                    { st with deferred = [] }
+                  else st)
+                m.states;
+            bindings =
+              List.filter
+                (fun (bd : P_syntax.Ast.binding) ->
+                  P_syntax.Names.State.to_string bd.bd_state <> "Opening")
+                m.bindings }
+        else m)
+      p.machines
+  in
+  { p with machines }

@@ -1,0 +1,21 @@
+(** The elevator of section 2 of the paper (Figures 1 and 2): the real
+    [Elevator] machine closed with ghost [User], [Door], and [Timer]
+    environment machines. Verified clean through delay bound 10 with 100%
+    handler coverage; liveness-clean given its [postpone] annotations. *)
+
+val elevator_machine : P_syntax.Ast.machine
+val door_machine : P_syntax.Ast.machine
+val timer_machine : P_syntax.Ast.machine
+
+val user_machine : presses:int -> P_syntax.Ast.machine
+(** The ghost user; [presses <= 0] presses buttons forever. *)
+
+val events : P_syntax.Ast.event_decl list
+
+val program : ?presses:int -> unit -> P_syntax.Ast.program
+(** The closed elevator program (default: unbounded user, as in the
+    paper). *)
+
+val buggy_program : ?presses:int -> unit -> P_syntax.Ast.program
+(** Seeded bug: [Opening] forgets to defer [CloseDoor] and to ignore a
+    second [OpenDoor] — an unhandled-event error found at delay bound 0. *)

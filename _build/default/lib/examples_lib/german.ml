@@ -1,0 +1,275 @@
+(** A software implementation of German's cache coherence protocol — the
+    third benchmark of the paper's Figure 7 ("a software implementation of
+    German's cache coherence protocol").
+
+    A directory ([Home]) serializes shared/exclusive requests from three
+    [Client] caches. An exclusive grant requires invalidating every sharer
+    and the current owner and collecting their acknowledgements; the
+    directory asserts the coherence invariant (no sharers and no owner) at
+    every exclusive grant, which is the safety property the checker
+    verifies. A ghost [Env] machine wires the instances together (machine
+    references are exchanged through the [SetHome] event) and
+    nondeterministically prods clients to issue requests.
+
+    The core P calculus has no set- or array-typed variables, so the
+    sharer list is expanded into per-client flags ([s1..s3]) — the same
+    style the original Teapot/Zing models of this protocol use. *)
+
+open P_syntax.Builder
+
+let events =
+  [ event "ReqS" ~payload:P_syntax.Ptype.Machine_id;
+    event "ReqE" ~payload:P_syntax.Ptype.Machine_id;
+    event "InvAck" ~payload:P_syntax.Ptype.Machine_id;
+    event "GntS";
+    event "GntE";
+    event "Inv";
+    event "DoReqS";
+    event "DoReqE";
+    event "SetHome" ~payload:P_syntax.Ptype.Machine_id;
+    event "unit";
+    event "grant" ]
+
+(* -------------------- the directory -------------------- *)
+
+(* The core calculus has no arrays, so the directory's sharer list unrolls
+   into per-client variables c<i>/s<i>; all uses below are generated from
+   the client count. *)
+let cvar i = Fmt.str "c%d" i
+let svar i = Fmt.str "s%d" i
+
+let set_sharer_of_curr ~n value =
+  seq (List.init n (fun i -> when_ (v "curr" == v (cvar i)) (assign (svar i) value)))
+
+let home_machine ~n =
+  let client_ids = List.init n (fun i -> i) in
+  machine "Home"
+    ~vars:
+      (List.concat_map
+         (fun i ->
+           [ var_decl (cvar i) P_syntax.Ptype.Machine_id;
+             var_decl (svar i) P_syntax.Ptype.Bool ])
+         client_ids
+      @ [ var_decl "has_owner" P_syntax.Ptype.Bool;
+          var_decl "owner" P_syntax.Ptype.Machine_id;
+          var_decl "curr" P_syntax.Ptype.Machine_id;
+          var_decl "pending" P_syntax.Ptype.Int ])
+    [ state "Boot"
+        ~entry:
+          (seq
+             (List.map (fun i -> assign (svar i) fls) client_ids
+             @ [ assign "has_owner" fls; assign "pending" (int 0) ]));
+      state "Idle" ~entry:skip;
+      (* shared request: invalidate the exclusive owner if any, then grant *)
+      state "ServeS" ~defer:[ "ReqS"; "ReqE" ]
+        ~entry:
+          (seq
+             [ assign "curr" arg;
+               if_ (v "has_owner")
+                 (seq [ send (v "owner") "Inv"; raise_ "unit" ])
+                 (raise_ "grant") ]);
+      state "WaitAckS" ~defer:[ "ReqS"; "ReqE" ] ~entry:skip;
+      state "AckedS" ~defer:[ "ReqS"; "ReqE" ]
+        ~entry:(seq [ assign "has_owner" fls; raise_ "grant" ]);
+      state "GrantS" ~defer:[ "ReqS"; "ReqE" ]
+        ~entry:
+          (seq
+             [ assert_ (not_ (v "has_owner"));
+               set_sharer_of_curr ~n tru;
+               send (v "curr") "GntS";
+               raise_ "unit" ]);
+      (* exclusive request: invalidate every sharer and the owner, collect
+         the acknowledgements, then grant *)
+      state "ServeE" ~defer:[ "ReqS"; "ReqE" ]
+        ~entry:
+          (seq
+             ([ assign "curr" arg; assign "pending" (int 0) ]
+             @ List.map
+                 (fun i ->
+                   when_ (v (svar i))
+                     (seq
+                        [ send (v (cvar i)) "Inv";
+                          assign "pending" (v "pending" + int 1);
+                          assign (svar i) fls ]))
+                 client_ids
+             @ [ when_ (v "has_owner")
+                   (seq
+                      [ send (v "owner") "Inv";
+                        assign "pending" (v "pending" + int 1);
+                        assign "has_owner" fls ]);
+                 raise_ "unit" ]));
+      state "CollectE" ~defer:[ "ReqS"; "ReqE" ]
+        ~entry:(if_ (v "pending" == int 0) (raise_ "grant") skip);
+      state "DecE" ~defer:[ "ReqS"; "ReqE" ]
+        ~entry:(seq [ assign "pending" (v "pending" - int 1); raise_ "unit" ]);
+      state "GrantE" ~defer:[ "ReqS"; "ReqE" ]
+        ~entry:
+          (seq
+             [ (* the coherence invariant: exclusive access only when nobody
+                  else holds the line *)
+               assert_
+                 (List.fold_left
+                    (fun acc i -> acc && not_ (v (svar i)))
+                    (not_ (v "has_owner"))
+                    client_ids);
+               assign "owner" (v "curr");
+               assign "has_owner" tru;
+               send (v "curr") "GntE";
+               raise_ "unit" ]) ]
+    ~steps:
+      [ ("Boot", "ReqS", "ServeS");
+        ("Boot", "ReqE", "ServeE");
+        ("Idle", "ReqS", "ServeS");
+        ("Idle", "ReqE", "ServeE");
+        ("ServeS", "unit", "WaitAckS");
+        ("ServeS", "grant", "GrantS");
+        ("WaitAckS", "InvAck", "AckedS");
+        ("AckedS", "grant", "GrantS");
+        ("GrantS", "unit", "Idle");
+        ("ServeE", "unit", "CollectE");
+        ("CollectE", "grant", "GrantE");
+        ("CollectE", "InvAck", "DecE");
+        ("DecE", "unit", "CollectE");
+        ("GrantE", "unit", "Idle") ]
+
+(* -------------------- the client caches -------------------- *)
+
+let client_machine =
+  machine "Client"
+    ~vars:[ var_decl "home" P_syntax.Ptype.Machine_id ]
+    ~actions:
+      [ action "Ignore" skip;
+        action "AckInv" (send (v "home") "InvAck" ~payload:this) ]
+    [ state "Boot" ~entry:skip;
+      state "Invalid" ~entry:skip;
+      state "RequestingS" ~entry:(send (v "home") "ReqS" ~payload:this);
+      state "Shared" ~entry:skip;
+      state "RequestingE" ~entry:(send (v "home") "ReqE" ~payload:this);
+      state "Exclusive" ~entry:skip;
+      state "AckingS"
+        ~entry:(seq [ send (v "home") "InvAck" ~payload:this; raise_ "unit" ]);
+      state "AckingE"
+        ~entry:(seq [ send (v "home") "InvAck" ~payload:this; raise_ "unit" ]) ]
+    ~steps:
+      [ ("Boot", "SetHome", "SetUp");
+        ("Invalid", "DoReqS", "RequestingS");
+        ("Invalid", "DoReqE", "RequestingE");
+        ("RequestingS", "GntS", "Shared");
+        ("RequestingE", "GntE", "Exclusive");
+        ("Shared", "Inv", "AckingS");
+        ("Exclusive", "Inv", "AckingE");
+        ("AckingS", "unit", "Invalid");
+        ("AckingE", "unit", "Invalid") ]
+    ~bindings:
+      [ on ("Invalid", "Inv") ~do_:"AckInv";
+        on ("RequestingS", "DoReqS") ~do_:"Ignore";
+        on ("RequestingS", "DoReqE") ~do_:"Ignore";
+        on ("RequestingE", "DoReqS") ~do_:"Ignore";
+        on ("RequestingE", "DoReqE") ~do_:"Ignore";
+        on ("Shared", "DoReqS") ~do_:"Ignore";
+        on ("Shared", "DoReqE") ~do_:"Ignore";
+        on ("Exclusive", "DoReqS") ~do_:"Ignore";
+        on ("Exclusive", "DoReqE") ~do_:"Ignore" ]
+
+(* The Boot→SetUp hop stores the directory reference delivered by the
+   environment, then settles into Invalid. *)
+let client_machine =
+  let m = client_machine in
+  { m with
+    P_syntax.Ast.states =
+      m.P_syntax.Ast.states
+      @ [ state "SetUp" ~entry:(seq [ assign "home" arg; raise_ "unit" ]) ];
+    P_syntax.Ast.steps =
+      m.P_syntax.Ast.steps @ [ P_syntax.Builder.step ("SetUp", "unit", "Invalid") ] }
+
+(* -------------------- the ghost environment -------------------- *)
+
+let kvar i = Fmt.str "k%d" i
+
+(** Creates the directory and the [n] clients, wires them up (machine
+    references travel through the [SetHome] event), then forever picks a
+    client and a request kind nondeterministically. [requests <= 0] means
+    unbounded, as used for Figure 7. *)
+let env_machine ?(n = 3) ~requests () =
+  let client_ids = List.init n (fun i -> i) in
+  (* a binary decision tree of ghost choices over the clients *)
+  let rec choose = function
+    | [] -> skip
+    | [ i ] ->
+      if_ nondet (send (v (kvar i)) "DoReqS") (send (v (kvar i)) "DoReqE")
+    | ids ->
+      let rec split k acc rest =
+        if Stdlib.( = ) k 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> split (Stdlib.( - ) k 1) (x :: acc) tl
+      in
+      let half, rest = split (Stdlib.( / ) (List.length ids) 2) [] ids in
+      if_ nondet (choose half) (choose rest)
+  in
+  let pick_and_poke = seq [ choose client_ids; raise_ "unit" ] in
+  let vars =
+    [ var_decl "h" P_syntax.Ptype.Machine_id ]
+    @ List.map (fun i -> var_decl (kvar i) P_syntax.Ptype.Machine_id) client_ids
+    @ (if Stdlib.(requests > 0) then [ var_decl "left" P_syntax.Ptype.Int ] else [])
+  in
+  let init_entry =
+    seq
+      (List.map (fun i -> new_ (kvar i) "Client" []) client_ids
+      @ [ new_ "h" "Home" (List.map (fun i -> (cvar i, v (kvar i))) client_ids) ]
+      @ List.map (fun i -> send (v (kvar i)) "SetHome" ~payload:(v "h")) client_ids
+      @ (if Stdlib.(requests > 0) then [ assign "left" (int requests) ] else [])
+      @ [ raise_ "unit" ])
+  in
+  let loop_entry =
+    if Stdlib.(requests > 0) then
+      if_ (v "left" > int 0)
+        (seq [ assign "left" (v "left" - int 1); pick_and_poke ])
+        skip
+    else pick_and_poke
+  in
+  machine "Env" ~ghost:true ~vars
+    [ state "Init" ~entry:init_entry; state "Loop" ~entry:loop_entry ]
+    ~steps:[ ("Init", "unit", "Loop"); ("Loop", "unit", "Loop") ]
+
+(** The closed German protocol program with [n] clients (default 3, as in
+    the Figure 7 benchmark). *)
+let program ?(n = 3) ?(requests = 0) () =
+  program ~events
+    ~machines:[ env_machine ~n ~requests (); home_machine ~n; client_machine ]
+    "Env"
+
+(** Seeded coherence bug: [ServeE] forgets to invalidate the exclusive
+    owner, so a second exclusive request violates the GrantE invariant. *)
+let buggy_program ?(n = 3) ?(requests = 0) () =
+  let p = program ~n ~requests () in
+  let client_ids = List.init n (fun i -> i) in
+  { p with
+    P_syntax.Ast.machines =
+      List.map
+        (fun (m : P_syntax.Ast.machine) ->
+          if P_syntax.Names.Machine.to_string m.machine_name = "Home" then
+            { m with
+              P_syntax.Ast.states =
+                List.map
+                  (fun (st : P_syntax.Ast.state) ->
+                    if P_syntax.Names.State.to_string st.state_name = "ServeE" then
+                      { st with
+                        P_syntax.Ast.entry =
+                          seq
+                            ([ assign "curr" arg; assign "pending" (int 0) ]
+                            @ List.map
+                                (fun i ->
+                                  when_ (v (svar i))
+                                    (seq
+                                       [ send (v (cvar i)) "Inv";
+                                         assign "pending" (v "pending" + int 1);
+                                         assign (svar i) fls ]))
+                                client_ids
+                            (* BUG: the exclusive owner is never invalidated *)
+                            @ [ raise_ "unit" ]) }
+                    else st)
+                  m.P_syntax.Ast.states }
+          else m)
+        p.P_syntax.Ast.machines }

@@ -1,0 +1,22 @@
+(** A software implementation of German's cache coherence protocol — the
+    third benchmark of Figure 7. A directory ([Home]) serializes
+    shared/exclusive requests from [n] [Client] caches and asserts the
+    coherence invariant at every exclusive grant. *)
+
+val home_machine : n:int -> P_syntax.Ast.machine
+(** The directory for [n] clients (the sharer list unrolls into per-client
+    flags, as the core calculus has no arrays). *)
+
+val client_machine : P_syntax.Ast.machine
+
+val env_machine : ?n:int -> requests:int -> unit -> P_syntax.Ast.machine
+(** The ghost environment; [requests <= 0] prods clients forever. *)
+
+val events : P_syntax.Ast.event_decl list
+
+val program : ?n:int -> ?requests:int -> unit -> P_syntax.Ast.program
+(** [n] clients (default 3, the Figure 7 configuration). *)
+
+val buggy_program : ?n:int -> ?requests:int -> unit -> P_syntax.Ast.program
+(** Seeded coherence bug: [ServeE] forgets to invalidate the exclusive
+    owner; the GrantE invariant fails at delay bound 0. *)

@@ -1,0 +1,91 @@
+(** Quickstart program: two machines exchanging Ping/Pong a bounded number
+    of times, with an assertion that the pong count never exceeds the number
+    of pings sent. Useful as the smallest closed P program exercising
+    machine creation, sends, payloads, and deferral-free dequeueing. *)
+
+open P_syntax.Builder
+
+let events =
+  [ event "Ping" ~payload:P_syntax.Ptype.Int;
+    event "Pong" ~payload:P_syntax.Ptype.Int;
+    event "Done";
+    event "unit" ]
+
+let ponger =
+  machine "Ponger"
+    ~vars:[ var_decl "client" P_syntax.Ptype.Machine_id ]
+    [ state "Serve" ~entry:skip;
+      state "Reply" ~entry:(seq [ send (v "client") "Pong" ~payload:arg; raise_ "unit" ]);
+      state "Stopped" ~entry:delete ]
+    ~steps:
+      [ ("Serve", "Ping", "Reply"); ("Reply", "unit", "Serve"); ("Serve", "Done", "Stopped") ]
+
+let pinger ~rounds =
+  machine "Pinger"
+    ~vars:
+      [ var_decl "peer" P_syntax.Ptype.Machine_id;
+        var_decl "sent" P_syntax.Ptype.Int;
+        var_decl "received" P_syntax.Ptype.Int ]
+    [ state "Init"
+        ~entry:
+          (seq
+             [ new_ "peer" "Ponger" [ ("client", this) ];
+               assign "sent" (int 0);
+               assign "received" (int 0);
+               raise_ "unit" ]);
+      state "Play"
+        ~entry:
+          (if_ (v "sent" < int rounds)
+             (seq [ assign "sent" (v "sent" + int 1); send (v "peer") "Ping" ~payload:(v "sent") ])
+             (seq [ send (v "peer") "Done"; raise_ "Done" ]));
+      state "Await" ~entry:skip;
+      state "Finished" ~entry:skip ]
+    ~steps:
+      [ ("Init", "unit", "Play");
+        ("Play", "Pong", "Count");
+        ("Play", "Done", "Finished");
+        ("Count", "unit", "Play") ]
+    ~actions:[ action "noop" skip ]
+
+(* The Count state validates the protocol invariant before looping. *)
+let pinger ~rounds =
+  let m = pinger ~rounds in
+  { m with
+    P_syntax.Ast.states =
+      m.P_syntax.Ast.states
+      @ [ state "Count"
+            ~entry:
+              (seq
+                 [ assign "received" (v "received" + int 1);
+                   assert_ (v "received" <= v "sent");
+                   assert_ (arg <= v "sent");
+                   raise_ "unit" ]) ] }
+
+(** Closed ping-pong program playing [rounds] rounds. *)
+let program ?(rounds = 3) () = program ~events ~machines:[ pinger ~rounds; ponger ] "Pinger"
+
+(** Variant with a protocol bug: the pinger under-counts [sent], so the
+    invariant [received <= sent] fails after the first pong. *)
+let buggy_program ?(rounds = 3) () =
+  let p = program ~rounds () in
+  let machines =
+    List.map
+      (fun (m : P_syntax.Ast.machine) ->
+        if P_syntax.Names.Machine.to_string m.machine_name = "Pinger" then
+          { m with
+            P_syntax.Ast.states =
+              List.map
+                (fun (st : P_syntax.Ast.state) ->
+                  if P_syntax.Names.State.to_string st.state_name = "Count" then
+                    state "Count"
+                      ~entry:
+                        (seq
+                           [ assign "received" (v "received" + int 1);
+                             assert_ (v "received" < v "sent");
+                             raise_ "unit" ])
+                  else st)
+                m.P_syntax.Ast.states }
+        else m)
+      p.machines
+  in
+  { p with machines }

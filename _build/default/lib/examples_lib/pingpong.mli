@@ -1,0 +1,13 @@
+(** Quickstart example: two machines exchanging counted Ping/Pong events
+    with an ordering invariant — the smallest closed P program exercising
+    creation, payloads, assertion checking, and deletion. *)
+
+val events : P_syntax.Ast.event_decl list
+val ponger : P_syntax.Ast.machine
+val pinger : rounds:int -> P_syntax.Ast.machine
+
+val program : ?rounds:int -> unit -> P_syntax.Ast.program
+(** Plays [rounds] (default 3) rounds, then the ponger deletes itself. *)
+
+val buggy_program : ?rounds:int -> unit -> P_syntax.Ast.program
+(** The invariant is made strict, failing on the first pong. *)

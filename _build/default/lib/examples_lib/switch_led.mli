@@ -1,0 +1,29 @@
+(** The switch-and-LED device of section 4.1: the P driver program (also
+    the "Switch-LED" benchmark of Figure 7), the simulated device, and the
+    hand-written baseline driver for the overhead comparison. *)
+
+val driver_machine : P_syntax.Ast.machine
+val switch_machine : P_syntax.Ast.machine
+val events : P_syntax.Ast.event_decl list
+
+val program : unit -> P_syntax.Ast.program
+(** The driver closed with its ghost switch. *)
+
+val buggy_program : unit -> P_syntax.Ast.program
+(** The driver forgets that a bouncing switch repeats events: unhandled
+    [SwitchOn]/[SwitchOff], found at delay bound 0. *)
+
+(** {2 The simulated device and the two drivers under test} *)
+
+type device = { mutable led_on : bool; mutable writes : int }
+
+val new_device : unit -> device
+val set_led : device -> bool -> unit
+
+val p_driver : device -> P_host.Os_events.driver
+(** Compile the P program (erasing the ghost switch), bring up the runtime
+    with [set_led] registered against [device], and wrap it in the generic
+    KMDF-style skeleton. *)
+
+val handwritten_driver : device -> P_host.Os_events.driver
+(** The same behaviour coded directly against host callbacks. *)

@@ -1,0 +1,111 @@
+(** A token ring: [n] nodes pass a counted token around; only the holder
+    may do "work". Exercises the [call n'] *statement* (section 3, "Other
+    features"): receiving the token calls into a [Work] state that returns
+    with [return], resuming the caller's remaining statements — the saved
+    continuation then forwards the token.
+
+    The safety assertion checks the token's hop counter: after a full lap
+    it must have grown by exactly the ring size (each node bumps it once —
+    double delivery or a lost hop would break the arithmetic). *)
+
+open P_syntax.Builder
+
+let events =
+  [ event "Token" ~payload:P_syntax.Ptype.Int;
+    event "SetNext" ~payload:P_syntax.Ptype.Machine_id;
+    event "unit" ]
+
+(* Each node: Idle until the token arrives; then *call* Work (which audits
+   and bumps the counter and returns), and forward the token from the saved
+   continuation. *)
+let node_machine =
+  machine "Node"
+    ~vars:
+      [ var_decl "next" P_syntax.Ptype.Machine_id;
+        var_decl "index" P_syntax.Ptype.Int;
+        var_decl "ring" P_syntax.Ptype.Int;
+        var_decl "hops" P_syntax.Ptype.Int ]
+    [ state "Boot" ~entry:skip;
+      state "Idle" ~entry:skip;
+      state "HoldToken"
+        ~entry:
+          (seq
+             [ assign "hops" arg;
+               (* enter the Work subroutine; its return resumes here *)
+               call_state "Work";
+               send (v "next") "Token" ~payload:(v "hops");
+               raise_ "unit" ]);
+      state "Work"
+        ~entry:
+          (seq
+             [ (* a lap delivers the token to this node with counter
+                  ≡ index (mod ring size) *)
+               assert_ (v "hops" % v "ring" == v "index");
+               (* wrap at a multiple of the ring size: keeps the lap
+                  arithmetic intact and the state space finite *)
+               assign "hops" ((v "hops" + int 1) % (v "ring" * int 8));
+               return ]) ]
+    ~steps:
+      [ ("Boot", "SetNext", "Wire");
+        ("Idle", "Token", "HoldToken");
+        ("HoldToken", "unit", "Idle") ]
+
+let node_machine =
+  let m = node_machine in
+  { m with
+    P_syntax.Ast.states =
+      m.P_syntax.Ast.states
+      @ [ state "Wire" ~entry:(seq [ assign "next" arg; raise_ "unit" ]) ];
+    P_syntax.Ast.steps = m.P_syntax.Ast.steps @ [ step ("Wire", "unit", "Idle") ] }
+
+(** The driver machine builds a ring of [n] nodes, injects the token with
+    counter 0, and lets it circulate [laps] full laps before quiescing. *)
+let starter ~n ~laps =
+  ignore laps;
+  let new_nodes =
+    List.concat
+      (List.init n (fun i ->
+           [ new_ (Fmt.str "n%d" i) "Node"
+               [ ("index", int i); ("ring", int n) ] ]))
+  in
+  let wire =
+    List.init n (fun i ->
+        send
+          (v (Fmt.str "n%d" i))
+          "SetNext"
+          ~payload:(v (Fmt.str "n%d" (Stdlib.( mod ) (Stdlib.( + ) i 1) n))))
+  in
+  machine "Starter"
+    ~vars:(List.init n (fun i -> var_decl (Fmt.str "n%d" i) P_syntax.Ptype.Machine_id))
+    [ state "Init"
+        ~entry:(seq (new_nodes @ wire @ [ send (v "n0") "Token" ~payload:(int 0) ])) ]
+
+(** Closed token-ring program. The ring circulates forever; simulation and
+    checking bound it by budget. *)
+let program ?(n = 3) () =
+  program ~events ~machines:[ starter ~n ~laps:0; node_machine ] "Starter"
+
+(** Seeded bug: one node forwards without bumping the counter, violating
+    the lap arithmetic at the next holder. *)
+let buggy_program ?(n = 3) () =
+  let p = program ~n () in
+  { p with
+    P_syntax.Ast.machines =
+      List.map
+        (fun (m : P_syntax.Ast.machine) ->
+          if P_syntax.Names.Machine.to_string m.machine_name = "Node" then
+            { m with
+              P_syntax.Ast.states =
+                List.map
+                  (fun (st : P_syntax.Ast.state) ->
+                    if P_syntax.Names.State.to_string st.state_name = "Work" then
+                      state "Work"
+                        ~entry:
+                          (seq
+                             [ assert_ (v "hops" % v "ring" == v "index");
+                               (* BUG: forgot to bump the hop counter *)
+                               return ])
+                    else st)
+                  m.P_syntax.Ast.states }
+          else m)
+        p.P_syntax.Ast.machines }

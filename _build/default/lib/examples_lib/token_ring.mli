@@ -1,0 +1,15 @@
+(** A token ring of [n] nodes passing a counted token; exercises the
+    [call n'] *statement* (saved continuations) and lap-arithmetic
+    assertions. *)
+
+val events : P_syntax.Ast.event_decl list
+val node_machine : P_syntax.Ast.machine
+val starter : n:int -> laps:int -> P_syntax.Ast.machine
+
+val program : ?n:int -> unit -> P_syntax.Ast.program
+(** A ring of [n] (default 3) nodes circulating forever (the counter wraps,
+    so the state space is finite). *)
+
+val buggy_program : ?n:int -> unit -> P_syntax.Ast.program
+(** One node forwards without bumping the counter; the next holder's
+    assertion fails. *)

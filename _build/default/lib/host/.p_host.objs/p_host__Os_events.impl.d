@@ -1,0 +1,1 @@
+lib/host/os_events.ml: Fmt

@@ -1,0 +1,1 @@
+lib/host/skeleton.ml: Os_events P_runtime

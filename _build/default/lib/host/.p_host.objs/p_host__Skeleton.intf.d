@@ -1,0 +1,1 @@
+lib/host/skeleton.mli: Os_events P_runtime

@@ -1,0 +1,1 @@
+lib/host/workload.ml: Array Clock Fmt Os_events Unix

@@ -1,0 +1,1 @@
+lib/host/workload.mli: Fmt Os_events

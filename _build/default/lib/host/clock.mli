@@ -1,0 +1,19 @@
+(** A discrete-event simulation clock: the time base of the simulated
+    driver host. Callbacks run in (time, insertion) order; the clock jumps
+    between events, so timed workloads run in wall-clock milliseconds while
+    preserving their arrival pattern. *)
+
+type t
+
+val create : unit -> t
+
+val now_us : t -> int
+(** Current simulated time in microseconds. *)
+
+val schedule : t -> delay_us:int -> (unit -> unit) -> unit
+(** Run a callback [delay_us] simulated microseconds from now; callbacks
+    may schedule further callbacks. Negative delays are rejected. *)
+
+val run : ?until_us:int -> t -> int
+(** Dispatch callbacks in time order until the queue empties or the clock
+    would pass [until_us]; returns the number dispatched. *)

@@ -1,0 +1,29 @@
+(** The callbacks a driver receives from the simulated kernel: plug-and-play
+    and power transitions, interrupts from hardware, and I/O requests — the
+    "large number of un-coordinated events sent from different sources such
+    as OS, hardware and other drivers" of the paper's case study. *)
+
+type t =
+  | Pnp_start
+  | Pnp_stop
+  | Power_suspend
+  | Power_resume
+  | Interrupt of { line : string; data : int }
+  | Io_request of { id : int; kind : string }
+
+let pp ppf = function
+  | Pnp_start -> Fmt.string ppf "PnP start"
+  | Pnp_stop -> Fmt.string ppf "PnP stop"
+  | Power_suspend -> Fmt.string ppf "power suspend"
+  | Power_resume -> Fmt.string ppf "power resume"
+  | Interrupt { line; data } -> Fmt.pf ppf "interrupt %s(%d)" line data
+  | Io_request { id; kind } -> Fmt.pf ppf "io %s #%d" kind id
+
+(** The interface every driver under test exposes to the host — with or
+    without P underneath. *)
+type driver = {
+  name : string;
+  add_device : unit -> unit;  (** EvtAddDevice *)
+  remove_device : unit -> unit;  (** EvtRemoveDevice *)
+  callback : t -> unit;  (** any other OS callback *)
+}

@@ -1,0 +1,22 @@
+(** The callbacks a driver receives from the simulated kernel: PnP and
+    power transitions, interrupts, and I/O requests — the "large number of
+    un-coordinated events" of the paper's case study. *)
+
+type t =
+  | Pnp_start
+  | Pnp_stop
+  | Power_suspend
+  | Power_resume
+  | Interrupt of { line : string; data : int }
+  | Io_request of { id : int; kind : string }
+
+val pp : t Fmt.t
+
+(** The interface every driver under test exposes to the host — with or
+    without P underneath. *)
+type driver = {
+  name : string;
+  add_device : unit -> unit;  (** EvtAddDevice *)
+  remove_device : unit -> unit;  (** EvtRemoveDevice *)
+  callback : t -> unit;  (** any other OS callback *)
+}

@@ -1,0 +1,54 @@
+(** Generic interface code for P drivers: the skeletal KMDF driver of
+    section 4 that "mediates between the OS and the P code". [EvtAddDevice]
+    creates the driver's main machine with [SMCreateMachine]; every other
+    callback is translated into a P event and queued with [SMAddEvent];
+    [EvtRemoveDevice] queues the distinguished [Delete] event, which every
+    P driver machine is required to handle by cleaning up and executing the
+    [delete] statement. The paper notes this code "is generic enough so that
+    it can be automatically generated for a particular class of drivers" —
+    here it is one functorized value. *)
+
+module Api = P_runtime.Api
+module Rt_value = P_runtime.Rt_value
+
+type t = {
+  runtime : Api.t;
+  main_machine : string;
+  translate : Os_events.t -> (string * Rt_value.t) option;
+  delete_event : string option;
+      (** the P event queued on EvtRemoveDevice; [None] if the driver has no
+          removal protocol *)
+  mutable handle : int option;
+}
+
+let attach ?(delete_event = Some "Delete") (runtime : Api.t) ~main_machine ~translate =
+  { runtime; main_machine; translate; delete_event; handle = None }
+
+let handle t =
+  match t.handle with
+  | Some h -> h
+  | None -> failwith "Skeleton: device not added yet"
+
+let driver ?(name = "p-driver") (t : t) : Os_events.driver =
+  { Os_events.name;
+    add_device =
+      (fun () ->
+        match t.handle with
+        | Some _ -> () (* single-device skeleton: idempotent *)
+        | None -> t.handle <- Some (Api.create_machine t.runtime t.main_machine));
+    remove_device =
+      (fun () ->
+        match (t.handle, t.delete_event) with
+        | Some h, Some ev ->
+          Api.add_event t.runtime h ev Rt_value.Null;
+          t.handle <- None
+        | Some _, None -> t.handle <- None
+        | None, _ -> ());
+    callback =
+      (fun os_event ->
+        match t.handle with
+        | None -> () (* callbacks before AddDevice are dropped, as in KMDF *)
+        | Some h -> (
+          match t.translate os_event with
+          | None -> ()
+          | Some (event, payload) -> Api.add_event t.runtime h event payload)) }

@@ -1,0 +1,25 @@
+(** Generic interface code for P drivers: the skeletal KMDF driver of
+    section 4. [EvtAddDevice] creates the driver's main machine; other
+    callbacks are translated into P events and queued; [EvtRemoveDevice]
+    queues the distinguished removal event, which the P machine must handle
+    by cleaning up and executing [delete]. *)
+
+type t
+
+val attach :
+  ?delete_event:string option ->
+  P_runtime.Api.t ->
+  main_machine:string ->
+  translate:(Os_events.t -> (string * P_runtime.Rt_value.t) option) ->
+  t
+(** Wire a runtime to the host. [translate] maps OS callbacks to P events
+    (returning [None] drops the callback); [delete_event] is the event
+    queued on device removal (default ["Delete"], [None] disables). *)
+
+val handle : t -> int
+(** The machine handle of the attached device.
+    @raise Failure before [add_device]. *)
+
+val driver : ?name:string -> t -> Os_events.driver
+(** The host-facing driver interface. Callbacks before [add_device] or
+    after [remove_device] are dropped, as in KMDF. *)

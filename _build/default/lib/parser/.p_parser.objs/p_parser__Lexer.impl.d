@@ -1,0 +1,1 @@
+lib/parser/lexer.ml: List P_syntax Parse_error String Token

@@ -1,0 +1,1 @@
+lib/parser/parse_error.ml: Fmt P_syntax

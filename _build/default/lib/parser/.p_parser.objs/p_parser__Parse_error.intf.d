@@ -1,0 +1,1 @@
+lib/parser/parse_error.mli: Fmt Format P_syntax

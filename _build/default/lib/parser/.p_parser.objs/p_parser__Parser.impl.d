@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Ast Fun Hashtbl Lexer List Loc Names P_syntax Parse_error Ptype Token

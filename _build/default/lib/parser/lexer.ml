@@ -1,0 +1,124 @@
+(** Hand-written lexer for the textual P syntax.
+
+    Supports [//] line comments and [/* ... */] block comments (nesting not
+    required), decimal integer literals, and the operators of Figure 3. *)
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let create ?(file = "<string>") src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let current_loc lx =
+  P_syntax.Loc.make ~file:lx.file ~line:lx.line ~col:(lx.pos - lx.bol)
+
+let is_eof lx = lx.pos >= String.length lx.src
+
+let peek_char lx = if is_eof lx then '\000' else lx.src.[lx.pos]
+
+let peek_char2 lx =
+  if lx.pos + 1 >= String.length lx.src then '\000' else lx.src.[lx.pos + 1]
+
+let advance lx =
+  (if peek_char lx = '\n' then begin
+     lx.line <- lx.line + 1;
+     lx.bol <- lx.pos + 1
+   end);
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | ' ' | '\t' | '\r' | '\n' ->
+    advance lx;
+    skip_trivia lx
+  | '/' when peek_char2 lx = '/' ->
+    while (not (is_eof lx)) && peek_char lx <> '\n' do
+      advance lx
+    done;
+    skip_trivia lx
+  | '/' when peek_char2 lx = '*' ->
+    let start = current_loc lx in
+    advance lx;
+    advance lx;
+    let rec finish () =
+      if is_eof lx then Parse_error.raise_at start "unterminated block comment"
+      else if peek_char lx = '*' && peek_char2 lx = '/' then begin
+        advance lx;
+        advance lx
+      end
+      else begin
+        advance lx;
+        finish ()
+      end
+    in
+    finish ();
+    skip_trivia lx
+  | _ -> ()
+
+let lex_ident lx =
+  let start = lx.pos in
+  while is_ident_char (peek_char lx) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let lex_int lx loc =
+  let start = lx.pos in
+  while is_digit (peek_char lx) do
+    advance lx
+  done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> n
+  | None -> Parse_error.raise_at loc "integer literal %s out of range" text
+
+(** [next lx] returns the next token together with its start location. *)
+let next lx : Token.t * P_syntax.Loc.t =
+  skip_trivia lx;
+  let loc = current_loc lx in
+  let simple tok = advance lx; (tok, loc) in
+  let double tok = advance lx; advance lx; (tok, loc) in
+  match peek_char lx with
+  | '\000' when is_eof lx -> (Token.EOF, loc)
+  | c when is_ident_start c -> (Token.of_ident (lex_ident lx), loc)
+  | c when is_digit c -> (Token.INT (lex_int lx loc), loc)
+  | '(' -> simple Token.LPAREN
+  | ')' -> simple Token.RPAREN
+  | '{' -> simple Token.LBRACE
+  | '}' -> simple Token.RBRACE
+  | ';' -> simple Token.SEMI
+  | ',' -> simple Token.COMMA
+  | ':' -> if peek_char2 lx = '=' then double Token.ASSIGN else simple Token.COLON
+  | '=' -> if peek_char2 lx = '=' then double Token.EQEQ else simple Token.EQUALS
+  | '*' -> simple Token.STAR
+  | '+' -> simple Token.PLUS
+  | '-' -> simple Token.MINUS
+  | '/' -> simple Token.SLASH
+  | '%' -> simple Token.PERCENT
+  | '!' -> if peek_char2 lx = '=' then double Token.BANGEQ else simple Token.BANG
+  | '&' ->
+    if peek_char2 lx = '&' then double Token.AMPAMP
+    else Parse_error.raise_at loc "unexpected character '&' (did you mean '&&'?)"
+  | '|' ->
+    if peek_char2 lx = '|' then double Token.BARBAR
+    else Parse_error.raise_at loc "unexpected character '|' (did you mean '||'?)"
+  | '<' -> if peek_char2 lx = '=' then double Token.LE else simple Token.LT
+  | '>' -> if peek_char2 lx = '=' then double Token.GE else simple Token.GT
+  | c -> Parse_error.raise_at loc "unexpected character %C" c
+
+(** Tokenize the whole input; used by tests. *)
+let all_tokens lx =
+  let rec loop acc =
+    match next lx with
+    | (Token.EOF, _) as t -> List.rev (t :: acc)
+    | t -> loop (t :: acc)
+  in
+  loop []

@@ -1,0 +1,14 @@
+(** Hand-written lexer for the textual P syntax: identifiers and keywords,
+    decimal integers, the Figure 3 operators, [//] line comments and
+    [/* ... */] block comments. Raises {!Parse_error.Error} on bad input. *)
+
+type t
+
+val create : ?file:string -> string -> t
+val current_loc : t -> P_syntax.Loc.t
+
+val next : t -> Token.t * P_syntax.Loc.t
+(** The next token with its start location; [EOF] at end of input. *)
+
+val all_tokens : t -> (Token.t * P_syntax.Loc.t) list
+(** Tokenize the whole input, ending with [EOF]; used by tests. *)

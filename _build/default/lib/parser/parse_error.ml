@@ -1,0 +1,12 @@
+(** Parse and lex errors with source locations. *)
+
+type t = { loc : P_syntax.Loc.t; message : string }
+
+exception Error of t
+
+let raise_at loc fmt = Fmt.kstr (fun message -> raise (Error { loc; message })) fmt
+
+let pp ppf { loc; message } =
+  Fmt.pf ppf "%a: syntax error: %s" P_syntax.Loc.pp loc message
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,11 @@
+(** Lex and parse errors, with source locations. *)
+
+type t = { loc : P_syntax.Loc.t; message : string }
+
+exception Error of t
+
+val raise_at : P_syntax.Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Format a message and raise {!Error} at the location. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

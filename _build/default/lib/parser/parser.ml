@@ -1,0 +1,563 @@
+(** Recursive-descent parser for the textual P syntax.
+
+    The grammar follows Figure 3 of the paper, with the surface conveniences
+    also used by the paper's examples: named [defer]/[postpone] sets inside
+    state blocks, [entry]/[exit] blocks, [on (n, e) do a] action bindings,
+    [push] for call transitions, and a [main M(x = e, ...);] initialization
+    statement.
+
+    Identifiers in expression position are resolved against the event
+    declarations (which the grammar places before all machines): a name
+    declared as an event parses to [Event_lit], anything else to [Var]. The
+    static checker independently enforces the paper's global-uniqueness rule,
+    so this resolution is unambiguous for well-formed programs. *)
+
+open P_syntax
+
+type t = {
+  lexer : Lexer.t;
+  mutable tok : Token.t;
+  mutable loc : Loc.t;
+  mutable events : (string, unit) Hashtbl.t;
+}
+
+let advance p =
+  let tok, loc = Lexer.next p.lexer in
+  p.tok <- tok;
+  p.loc <- loc
+
+let create ?file src =
+  let lexer = Lexer.create ?file src in
+  let p = { lexer; tok = Token.EOF; loc = Loc.none; events = Hashtbl.create 16 } in
+  advance p;
+  p
+
+let error p fmt = Parse_error.raise_at p.loc fmt
+
+let expect p tok =
+  if p.tok = tok then advance p
+  else error p "expected %s but found %s" (Token.to_string tok) (Token.to_string p.tok)
+
+let expect_ident p what =
+  match p.tok with
+  | Token.IDENT s ->
+    advance p;
+    s
+  | t -> error p "expected %s name but found %s" what (Token.to_string t)
+
+let accept p tok =
+  if p.tok = tok then begin
+    advance p;
+    true
+  end
+  else false
+
+let is_event p name = Hashtbl.mem p.events name
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_type p =
+  match p.tok with
+  | Token.KW_EVENT ->
+    (* the type [event] shares its spelling with the declaration keyword *)
+    advance p;
+    Ptype.Event
+  | Token.IDENT s -> (
+    match Ptype.of_string s with
+    | Some ty ->
+      advance p;
+      ty
+    | None -> error p "unknown type %S" s)
+  | t -> error p "expected a type but found %s" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+
+(* Precedence climbing over the binary operators of Figure 3. *)
+let binop_of_token = function
+  | Token.BARBAR -> Some (Ast.Or, 1)
+  | Token.AMPAMP -> Some (Ast.And, 2)
+  | Token.EQEQ -> Some (Ast.Eq, 3)
+  | Token.BANGEQ -> Some (Ast.Neq, 3)
+  | Token.LT -> Some (Ast.Lt, 4)
+  | Token.LE -> Some (Ast.Le, 4)
+  | Token.GT -> Some (Ast.Gt, 4)
+  | Token.GE -> Some (Ast.Ge, 4)
+  | Token.PLUS -> Some (Ast.Add, 5)
+  | Token.MINUS -> Some (Ast.Sub, 5)
+  | Token.STAR -> Some (Ast.Mul, 6)
+  | Token.SLASH -> Some (Ast.Div, 6)
+  | Token.PERCENT -> Some (Ast.Mod, 6)
+  | _ -> None
+
+let rec parse_expr p = parse_binary p 1
+
+and parse_binary p min_prec =
+  let lhs = parse_unary p in
+  let rec loop lhs =
+    match binop_of_token p.tok with
+    | Some (op, prec) when prec >= min_prec ->
+      let loc = p.loc in
+      advance p;
+      let rhs = parse_binary p (prec + 1) in
+      loop { Ast.e = Ast.Binop (op, lhs, rhs); eloc = loc }
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary p =
+  match p.tok with
+  | Token.BANG ->
+    let loc = p.loc in
+    advance p;
+    let a = parse_unary p in
+    { Ast.e = Ast.Unop (Ast.Not, a); eloc = loc }
+  | Token.MINUS ->
+    let loc = p.loc in
+    advance p;
+    let a = parse_unary p in
+    { Ast.e = Ast.Unop (Ast.Neg, a); eloc = loc }
+  | _ -> parse_primary p
+
+and parse_primary p =
+  let loc = p.loc in
+  match p.tok with
+  | Token.KW_THIS ->
+    advance p;
+    { Ast.e = Ast.This; eloc = loc }
+  | Token.KW_MSG ->
+    advance p;
+    { Ast.e = Ast.Msg; eloc = loc }
+  | Token.KW_ARG ->
+    advance p;
+    { Ast.e = Ast.Arg; eloc = loc }
+  | Token.KW_NULL ->
+    advance p;
+    { Ast.e = Ast.Null; eloc = loc }
+  | Token.KW_TRUE ->
+    advance p;
+    { Ast.e = Ast.Bool_lit true; eloc = loc }
+  | Token.KW_FALSE ->
+    advance p;
+    { Ast.e = Ast.Bool_lit false; eloc = loc }
+  | Token.INT n ->
+    advance p;
+    { Ast.e = Ast.Int_lit n; eloc = loc }
+  | Token.STAR ->
+    advance p;
+    { Ast.e = Ast.Nondet; eloc = loc }
+  | Token.LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p Token.RPAREN;
+    e
+  | Token.IDENT name ->
+    advance p;
+    if p.tok = Token.LPAREN then begin
+      (* foreign call in expression position *)
+      advance p;
+      let args = parse_expr_list p in
+      expect p Token.RPAREN;
+      { Ast.e = Ast.Foreign_call (Names.Foreign.of_string name, args); eloc = loc }
+    end
+    else if is_event p name then
+      { Ast.e = Ast.Event_lit (Names.Event.of_string name); eloc = loc }
+    else { Ast.e = Ast.Var (Names.Var.of_string name); eloc = loc }
+  | t -> error p "expected an expression but found %s" (Token.to_string t)
+
+and parse_expr_list p =
+  if p.tok = Token.RPAREN then []
+  else
+    let rec loop acc =
+      let e = parse_expr p in
+      if accept p Token.COMMA then loop (e :: acc) else List.rev (e :: acc)
+    in
+    loop []
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_init_list p =
+  if p.tok = Token.RPAREN then []
+  else
+    let rec loop acc =
+      let x = expect_ident p "variable" in
+      expect p Token.EQUALS;
+      let e = parse_expr p in
+      let acc = (Names.Var.of_string x, e) :: acc in
+      if accept p Token.COMMA then loop acc else List.rev acc
+    in
+    loop []
+
+let rec parse_stmt p : Ast.stmt =
+  let loc = p.loc in
+  let mk s : Ast.stmt = { Ast.s; sloc = loc } in
+  match p.tok with
+  | Token.KW_SKIP ->
+    advance p;
+    expect p Token.SEMI;
+    mk Ast.Skip
+  | Token.KW_DELETE ->
+    advance p;
+    expect p Token.SEMI;
+    mk Ast.Delete
+  | Token.KW_LEAVE ->
+    advance p;
+    expect p Token.SEMI;
+    mk Ast.Leave
+  | Token.KW_RETURN ->
+    advance p;
+    expect p Token.SEMI;
+    mk Ast.Return
+  | Token.KW_SEND ->
+    advance p;
+    expect p Token.LPAREN;
+    let target = parse_expr p in
+    expect p Token.COMMA;
+    let ev = expect_ident p "event" in
+    let payload =
+      if accept p Token.COMMA then parse_expr p else { Ast.e = Ast.Null; eloc = loc }
+    in
+    expect p Token.RPAREN;
+    expect p Token.SEMI;
+    mk (Ast.Send (target, Names.Event.of_string ev, payload))
+  | Token.KW_RAISE ->
+    advance p;
+    expect p Token.LPAREN;
+    let ev = expect_ident p "event" in
+    let payload =
+      if accept p Token.COMMA then parse_expr p else { Ast.e = Ast.Null; eloc = loc }
+    in
+    expect p Token.RPAREN;
+    expect p Token.SEMI;
+    mk (Ast.Raise (Names.Event.of_string ev, payload))
+  | Token.KW_ASSERT ->
+    advance p;
+    expect p Token.LPAREN;
+    let e = parse_expr p in
+    expect p Token.RPAREN;
+    expect p Token.SEMI;
+    mk (Ast.Assert e)
+  | Token.KW_IF ->
+    advance p;
+    expect p Token.LPAREN;
+    let c = parse_expr p in
+    expect p Token.RPAREN;
+    let then_ = parse_block p in
+    let else_ =
+      if accept p Token.KW_ELSE then
+        if p.tok = Token.KW_IF then parse_stmt p else parse_block p
+      else { Ast.s = Ast.Skip; sloc = loc }
+    in
+    mk (Ast.If (c, then_, else_))
+  | Token.KW_WHILE ->
+    advance p;
+    expect p Token.LPAREN;
+    let c = parse_expr p in
+    expect p Token.RPAREN;
+    let body = parse_block p in
+    mk (Ast.While (c, body))
+  | Token.KW_CALL ->
+    advance p;
+    let n = expect_ident p "state" in
+    expect p Token.SEMI;
+    mk (Ast.Call_state (Names.State.of_string n))
+  | Token.IDENT name -> (
+    advance p;
+    match p.tok with
+    | Token.ASSIGN ->
+      advance p;
+      if p.tok = Token.KW_NEW then begin
+        advance p;
+        let m = expect_ident p "machine" in
+        expect p Token.LPAREN;
+        let inits = parse_init_list p in
+        expect p Token.RPAREN;
+        expect p Token.SEMI;
+        mk (Ast.New (Names.Var.of_string name, Names.Machine.of_string m, inits))
+      end
+      else begin
+        let e = parse_expr p in
+        expect p Token.SEMI;
+        mk (Ast.Assign (Names.Var.of_string name, e))
+      end
+    | Token.LPAREN ->
+      advance p;
+      let args = parse_expr_list p in
+      expect p Token.RPAREN;
+      expect p Token.SEMI;
+      mk (Ast.Foreign_stmt (Names.Foreign.of_string name, args))
+    | t ->
+      error p "expected ':=' or '(' after identifier %S but found %s" name
+        (Token.to_string t))
+  | t -> error p "expected a statement but found %s" (Token.to_string t)
+
+(* A `{ ... }` block of statements, sequenced left to right; empty = skip. *)
+and parse_block p : Ast.stmt =
+  let loc = p.loc in
+  expect p Token.LBRACE;
+  let stmt = parse_stmts_until p Token.RBRACE loc in
+  expect p Token.RBRACE;
+  stmt
+
+and parse_stmts_until p closer loc : Ast.stmt =
+  let rec loop acc =
+    if p.tok = closer then acc
+    else
+      let s = parse_stmt p in
+      match acc with
+      | None -> loop (Some s)
+      | Some prev -> loop (Some { Ast.s = Ast.Seq (prev, s); sloc = prev.Ast.sloc })
+  in
+  match loop None with None -> { Ast.s = Ast.Skip; sloc = loc } | Some s -> s
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ident_list p what =
+  let rec loop acc =
+    let x = expect_ident p what in
+    if accept p Token.COMMA then loop (x :: acc) else List.rev (x :: acc)
+  in
+  loop []
+
+let parse_state p : Ast.state =
+  let state_loc = p.loc in
+  expect p Token.KW_STATE;
+  let name = expect_ident p "state" in
+  expect p Token.LBRACE;
+  let deferred = ref [] in
+  let postponed = ref [] in
+  let entry = ref { Ast.s = Ast.Skip; sloc = state_loc } in
+  let exit = ref { Ast.s = Ast.Skip; sloc = state_loc } in
+  let rec items () =
+    match p.tok with
+    | Token.KW_DEFER ->
+      advance p;
+      deferred := !deferred @ List.map Names.Event.of_string (parse_ident_list p "event");
+      expect p Token.SEMI;
+      items ()
+    | Token.KW_POSTPONE ->
+      advance p;
+      postponed :=
+        !postponed @ List.map Names.Event.of_string (parse_ident_list p "event");
+      expect p Token.SEMI;
+      items ()
+    | Token.KW_ENTRY ->
+      advance p;
+      entry := parse_block p;
+      items ()
+    | Token.KW_EXIT ->
+      advance p;
+      exit := parse_block p;
+      items ()
+    | _ -> ()
+  in
+  items ();
+  expect p Token.RBRACE;
+  { Ast.state_name = Names.State.of_string name;
+    deferred = !deferred;
+    postponed = !postponed;
+    entry = !entry;
+    exit = !exit;
+    state_loc }
+
+let parse_transition p : Ast.transition =
+  let tr_loc = p.loc in
+  (* the keyword (step / push) has already been consumed *)
+  expect p Token.LPAREN;
+  let source = expect_ident p "state" in
+  expect p Token.COMMA;
+  let ev = expect_ident p "event" in
+  expect p Token.COMMA;
+  let target = expect_ident p "state" in
+  expect p Token.RPAREN;
+  expect p Token.SEMI;
+  { Ast.tr_source = Names.State.of_string source;
+    tr_event = Names.Event.of_string ev;
+    tr_target = Names.State.of_string target;
+    tr_loc }
+
+let parse_machine p ~ghost : Ast.machine =
+  let machine_loc = p.loc in
+  expect p Token.KW_MACHINE;
+  let name = expect_ident p "machine" in
+  expect p Token.LBRACE;
+  let vars = ref [] in
+  let actions = ref [] in
+  let states = ref [] in
+  let steps = ref [] in
+  let calls = ref [] in
+  let bindings = ref [] in
+  let foreigns = ref [] in
+  let rec items () =
+    match p.tok with
+    | Token.KW_VAR | Token.KW_GHOST ->
+      let var_ghost = accept p Token.KW_GHOST in
+      let var_loc = p.loc in
+      expect p Token.KW_VAR;
+      let names = parse_ident_list p "variable" in
+      expect p Token.COLON;
+      let ty = parse_type p in
+      expect p Token.SEMI;
+      List.iter
+        (fun x ->
+          vars :=
+            { Ast.var_name = Names.Var.of_string x;
+              var_type = ty;
+              var_ghost;
+              var_loc }
+            :: !vars)
+        names;
+      items ()
+    | Token.KW_ACTION ->
+      let action_loc = p.loc in
+      advance p;
+      let aname = expect_ident p "action" in
+      let body = parse_block p in
+      actions :=
+        { Ast.action_name = Names.Action.of_string aname;
+          action_body = body;
+          action_loc }
+        :: !actions;
+      items ()
+    | Token.KW_STATE ->
+      states := parse_state p :: !states;
+      items ()
+    | Token.KW_STEP ->
+      advance p;
+      steps := parse_transition p :: !steps;
+      items ()
+    | Token.KW_PUSH ->
+      advance p;
+      calls := parse_transition p :: !calls;
+      items ()
+    | Token.KW_ON ->
+      let bd_loc = p.loc in
+      advance p;
+      expect p Token.LPAREN;
+      let st = expect_ident p "state" in
+      expect p Token.COMMA;
+      let ev = expect_ident p "event" in
+      expect p Token.RPAREN;
+      expect p Token.KW_DO;
+      let a = expect_ident p "action" in
+      expect p Token.SEMI;
+      bindings :=
+        { Ast.bd_state = Names.State.of_string st;
+          bd_event = Names.Event.of_string ev;
+          bd_action = Names.Action.of_string a;
+          bd_loc }
+        :: !bindings;
+      items ()
+    | Token.KW_FOREIGN ->
+      let foreign_loc = p.loc in
+      advance p;
+      let fname = expect_ident p "foreign function" in
+      expect p Token.LPAREN;
+      let params =
+        if p.tok = Token.RPAREN then []
+        else
+          let rec loop acc =
+            let ty = parse_type p in
+            if accept p Token.COMMA then loop (ty :: acc) else List.rev (ty :: acc)
+          in
+          loop []
+      in
+      expect p Token.RPAREN;
+      expect p Token.COLON;
+      let ret = parse_type p in
+      let model = if accept p Token.KW_MODEL then Some (parse_expr p) else None in
+      expect p Token.SEMI;
+      foreigns :=
+        { Ast.foreign_name = Names.Foreign.of_string fname;
+          foreign_params = params;
+          foreign_ret = ret;
+          foreign_model = model;
+          foreign_loc }
+        :: !foreigns;
+      items ()
+    | _ -> ()
+  in
+  items ();
+  expect p Token.RBRACE;
+  { Ast.machine_name = Names.Machine.of_string name;
+    machine_ghost = ghost;
+    vars = List.rev !vars;
+    actions = List.rev !actions;
+    states = List.rev !states;
+    steps = List.rev !steps;
+    calls = List.rev !calls;
+    bindings = List.rev !bindings;
+    foreigns = List.rev !foreigns;
+    machine_loc }
+
+let parse_event_decl p : Ast.event_decl list =
+  expect p Token.KW_EVENT;
+  let rec loop acc =
+    let event_loc = p.loc in
+    let name = expect_ident p "event" in
+    let payload =
+      if accept p Token.LPAREN then begin
+        let ty = parse_type p in
+        expect p Token.RPAREN;
+        ty
+      end
+      else Ptype.Void
+    in
+    Hashtbl.replace p.events name ();
+    let decl =
+      { Ast.event_name = Names.Event.of_string name;
+        event_payload = payload;
+        event_loc }
+    in
+    if accept p Token.COMMA then loop (decl :: acc) else List.rev (decl :: acc)
+  in
+  let decls = loop [] in
+  expect p Token.SEMI;
+  decls
+
+let parse_program p : Ast.program =
+  let events = ref [] in
+  while p.tok = Token.KW_EVENT do
+    events := !events @ parse_event_decl p
+  done;
+  let machines = ref [] in
+  let continue = ref true in
+  while !continue do
+    match p.tok with
+    | Token.KW_MACHINE -> machines := parse_machine p ~ghost:false :: !machines
+    | Token.KW_GHOST ->
+      advance p;
+      machines := parse_machine p ~ghost:true :: !machines
+    | _ -> continue := false
+  done;
+  expect p Token.KW_MAIN;
+  let main = expect_ident p "machine" in
+  expect p Token.LPAREN;
+  let main_init = parse_init_list p in
+  expect p Token.RPAREN;
+  expect p Token.SEMI;
+  expect p Token.EOF;
+  { Ast.events = !events;
+    machines = List.rev !machines;
+    main = Names.Machine.of_string main;
+    main_init }
+
+(** Parse a complete program from a string. Raises {!Parse_error.Error}. *)
+let program_of_string ?file src = parse_program (create ?file src)
+
+(** Parse a program from a file on disk. *)
+let program_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let src = really_input_string ic (in_channel_length ic) in
+      program_of_string ~file:path src)

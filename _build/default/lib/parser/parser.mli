@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the textual P syntax (Figure 3 of the
+    paper plus the surface conveniences used by its examples: [defer] /
+    [postpone] sets, [entry]/[exit] blocks, [on (n, e) do a] bindings,
+    [push] call transitions, and the [main M(...);] initialization
+    statement).
+
+    All entry points raise {!Parse_error.Error} on malformed input, with the
+    source location of the offending token. *)
+
+type t
+(** Parser state over one input. *)
+
+val create : ?file:string -> string -> t
+(** [create ?file src] starts parsing [src]; [file] labels locations. *)
+
+val parse_program : t -> P_syntax.Ast.program
+(** Parse a complete program and require end of input. *)
+
+val parse_expr : t -> P_syntax.Ast.expr
+(** Parse a single expression (used by tests and tooling). *)
+
+val parse_stmt : t -> P_syntax.Ast.stmt
+(** Parse a single statement. *)
+
+val program_of_string : ?file:string -> string -> P_syntax.Ast.program
+(** Parse a complete program from a string. *)
+
+val program_of_file : string -> P_syntax.Ast.program
+(** Parse a complete program from a file on disk. *)

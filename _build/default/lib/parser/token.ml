@@ -1,0 +1,138 @@
+(** Tokens of the textual P syntax. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  (* keywords *)
+  | KW_EVENT
+  | KW_MACHINE
+  | KW_GHOST
+  | KW_VAR
+  | KW_ACTION
+  | KW_STATE
+  | KW_DEFER
+  | KW_POSTPONE
+  | KW_ENTRY
+  | KW_EXIT
+  | KW_STEP
+  | KW_PUSH
+  | KW_ON
+  | KW_DO
+  | KW_FOREIGN
+  | KW_MODEL
+  | KW_MAIN
+  | KW_SKIP
+  | KW_NEW
+  | KW_DELETE
+  | KW_SEND
+  | KW_RAISE
+  | KW_LEAVE
+  | KW_RETURN
+  | KW_ASSERT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_CALL
+  | KW_THIS
+  | KW_MSG
+  | KW_ARG
+  | KW_NULL
+  | KW_TRUE
+  | KW_FALSE
+  (* punctuation and operators *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | COLON
+  | ASSIGN  (** [:=] *)
+  | EQUALS  (** [=] in initializers *)
+  | STAR  (** both multiplication and the ghost [*] expression *)
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | BANG
+  | AMPAMP
+  | BARBAR
+  | EQEQ
+  | BANGEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keyword_table : (string * t) list =
+  [ ("event", KW_EVENT);
+    ("machine", KW_MACHINE);
+    ("ghost", KW_GHOST);
+    ("var", KW_VAR);
+    ("action", KW_ACTION);
+    ("state", KW_STATE);
+    ("defer", KW_DEFER);
+    ("postpone", KW_POSTPONE);
+    ("entry", KW_ENTRY);
+    ("exit", KW_EXIT);
+    ("step", KW_STEP);
+    ("push", KW_PUSH);
+    ("on", KW_ON);
+    ("do", KW_DO);
+    ("foreign", KW_FOREIGN);
+    ("model", KW_MODEL);
+    ("main", KW_MAIN);
+    ("skip", KW_SKIP);
+    ("new", KW_NEW);
+    ("delete", KW_DELETE);
+    ("send", KW_SEND);
+    ("raise", KW_RAISE);
+    ("leave", KW_LEAVE);
+    ("return", KW_RETURN);
+    ("assert", KW_ASSERT);
+    ("if", KW_IF);
+    ("else", KW_ELSE);
+    ("while", KW_WHILE);
+    ("call", KW_CALL);
+    ("this", KW_THIS);
+    ("msg", KW_MSG);
+    ("arg", KW_ARG);
+    ("null", KW_NULL);
+    ("true", KW_TRUE);
+    ("false", KW_FALSE) ]
+
+let of_ident s =
+  match List.assoc_opt s keyword_table with Some kw -> kw | None -> IDENT s
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | ASSIGN -> "':='"
+  | EQUALS -> "'='"
+  | STAR -> "'*'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | BANG -> "'!'"
+  | AMPAMP -> "'&&'"
+  | BARBAR -> "'||'"
+  | EQEQ -> "'=='"
+  | BANGEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EOF -> "end of input"
+  | kw -> (
+    match List.find_opt (fun (_, t) -> t = kw) keyword_table with
+    | Some (name, _) -> Printf.sprintf "keyword %S" name
+    | None -> "<token>")

@@ -1,0 +1,1 @@
+lib/runtime/api.ml: Context Exec List Option P_compile Rt_value

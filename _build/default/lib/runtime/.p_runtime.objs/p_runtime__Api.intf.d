@@ -1,0 +1,1 @@
+lib/runtime/api.mli: Context Exec P_compile Rt_trace Rt_value

@@ -1,0 +1,1 @@
+lib/runtime/context.ml: Array List Mutex P_compile Rt_value

@@ -1,0 +1,1 @@
+lib/runtime/context.mli: Mutex P_compile Rt_value

@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Context Fmt Fun Hashtbl List Mutex P_compile P_syntax Rt_trace Rt_value

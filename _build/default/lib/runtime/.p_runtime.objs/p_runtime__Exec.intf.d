@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Context Format Hashtbl Mutex P_compile Rt_trace Rt_value

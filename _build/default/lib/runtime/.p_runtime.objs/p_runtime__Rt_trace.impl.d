@@ -1,0 +1,1 @@
+lib/runtime/rt_trace.ml: Fmt List Option P_semantics P_syntax String

@@ -1,0 +1,1 @@
+lib/runtime/rt_trace.mli: Fmt P_semantics

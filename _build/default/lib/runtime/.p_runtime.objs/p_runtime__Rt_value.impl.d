@@ -1,0 +1,1 @@
+lib/runtime/rt_value.ml: Fmt P_compile

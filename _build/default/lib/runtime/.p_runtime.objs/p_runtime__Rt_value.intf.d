@@ -1,0 +1,1 @@
+lib/runtime/rt_value.mli: Fmt P_compile

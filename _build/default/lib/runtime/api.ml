@@ -1,0 +1,66 @@
+(** The three-call runtime API of section 4, through which interface code
+    (the KMDF skeleton — here {!P_host}) interacts with the generated
+    driver:
+
+    - [SMCreateMachine] → {!create_machine}
+    - [SMAddEvent]      → {!add_event}
+    - [SMGetContext]    → {!get_context} (the external memory for foreign
+      code, not the machine state itself) *)
+
+module Tables = P_compile.Tables
+
+type t = Exec.t
+
+let create = Exec.create
+let register_foreign = Exec.register_foreign
+
+let set_trace_hook (rt : t) hook = rt.Exec.trace_hook <- hook
+
+(** Create (and start) an instance of a machine type by name. Returns its
+    handle. The entry statement of the initial state runs before this
+    returns, per run-to-completion. *)
+let create_machine (rt : t) (machine : string) : int =
+  match Tables.machine_ty_of_name rt.Exec.driver machine with
+  | None -> Exec.error "unknown machine type %s" machine
+  | Some ty ->
+    let ctx = Exec.create_instance rt ~creator:None ty in
+    Exec.run_if_idle rt ctx;
+    ctx.Context.self
+
+(** Queue an event into a machine; if the machine is idle the calling
+    thread runs it to completion (the paper's "drivers use calling threads
+    to do all the work"). *)
+let add_event (rt : t) (handle : int) (event : string) (payload : Rt_value.t) : unit =
+  match Tables.event_id_of_name rt.Exec.driver event with
+  | None -> Exec.error "unknown event %s" event
+  | Some e -> Exec.deliver rt ~src:(-1) handle e payload
+
+(** The external memory associated with a machine, reserved for foreign
+    functions and interface code. *)
+let get_context (rt : t) (handle : int) : Context.ext option =
+  match Exec.find_instance rt handle with
+  | None -> None
+  | Some ctx -> ctx.Context.external_mem
+
+let set_context (rt : t) (handle : int) (ext : Context.ext) : unit =
+  match Exec.find_instance rt handle with
+  | None -> Exec.error "set_context: unknown machine #%d" handle
+  | Some ctx -> ctx.Context.external_mem <- Some ext
+
+(** Introspection used by hosts and tests. *)
+let is_alive (rt : t) handle =
+  match Exec.find_instance rt handle with
+  | None -> false
+  | Some ctx -> ctx.Context.alive
+
+let current_state_name (rt : t) handle =
+  match Exec.find_instance rt handle with
+  | None -> None
+  | Some ctx ->
+    Option.map (fun s -> (Context.state_table ctx s).Tables.st_name)
+      (Context.current_state ctx)
+
+let queue_length (rt : t) handle =
+  match Exec.find_instance rt handle with
+  | None -> 0
+  | Some ctx -> List.length ctx.Context.inbox

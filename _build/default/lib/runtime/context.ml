@@ -1,0 +1,110 @@
+(** Machine instance contexts: the runtime twin of the paper's
+    [StateMachineContext] (section 4). Each dynamic instance carries its
+    variable values, call stack, input queue, a lock for synchronization
+    with concurrent host threads, and a [void*]-style pointer to external
+    memory reserved for foreign functions and interface code. *)
+
+module Tables = P_compile.Tables
+
+(** External memory attached to a machine for foreign code — the OCaml
+    rendering of the C runtime's [void *]. Extend the variant with one
+    constructor per driver, e.g.
+    [type Context.ext += Led_state of { mutable on : bool }]. *)
+type ext = ..
+
+type handler = HNone | HDefer | HAction of int
+
+type task =
+  | Exec of Tables.code
+  | Handle of int * Rt_value.t  (** dynamic raise(e, v) *)
+  | Pop_return
+  | Pop_frame
+  | Enter of int
+
+type frame = {
+  mutable f_state : int;
+  f_amap : handler array;  (** indexed by event id; inherited handler map *)
+  f_cont : task list;  (** caller continuation for [call] statements *)
+}
+
+type t = {
+  self : int;  (** instance handle *)
+  ty : int;  (** machine type index in the driver *)
+  table : Tables.machine_table;
+  vars : Rt_value.t array;
+  mutable msg : int option;
+  mutable arg : Rt_value.t;
+  mutable frames : frame list;  (** top first *)
+  mutable agenda : task list;
+  mutable inbox : (int * Rt_value.t) list;  (** front of the FIFO first *)
+  mutable alive : bool;
+  mutable scheduled : bool;  (** being run (or queued to run) by some thread *)
+  lock : Mutex.t;
+  mutable external_mem : ext option;
+}
+
+let create ~self ~ty ~(table : Tables.machine_table) : t =
+  let n_events =
+    match table.mt_states with
+    | [||] -> 0
+    | states -> Array.length states.(0).st_deferred
+  in
+  { self;
+    ty;
+    table;
+    vars = Array.make (max 1 (Array.length table.mt_vars)) Rt_value.Null;
+    msg = None;
+    arg = Rt_value.Null;
+    frames =
+      [ { f_state = 0; f_amap = Array.make (max 1 n_events) HNone; f_cont = [] } ];
+    agenda =
+      (match table.mt_states with
+      | [||] -> []
+      | states -> [ Exec states.(0).st_entry ]);
+    inbox = [];
+    alive = true;
+    scheduled = false;
+    lock = Mutex.create ();
+    external_mem = None }
+
+let current_state t = match t.frames with [] -> None | f :: _ -> Some f.f_state
+
+let state_table t i : Tables.state_table = t.table.mt_states.(i)
+
+(** The effective deferred set in the current state: inherited deferrals
+    plus the state's declared deferred set, minus events with a transition
+    or action defined here. *)
+let is_deferred t event =
+  match t.frames with
+  | [] -> false
+  | f :: _ ->
+    let st = state_table t f.f_state in
+    let declared = st.st_deferred.(event) in
+    let inherited = f.f_amap.(event) = HDefer in
+    let overridden =
+      st.st_steps.(event) <> None || st.st_calls.(event) <> None
+      || st.st_actions.(event) <> None
+    in
+    (declared || inherited) && not overridden
+
+(** Append with the deduplicating [⊕] of the SEND rule. *)
+let enqueue t event payload =
+  if not (List.exists (fun (e, v) -> e = event && Rt_value.equal v payload) t.inbox)
+  then t.inbox <- t.inbox @ [ (event, payload) ]
+
+(** Dequeue the first non-deferred entry, if any. *)
+let dequeue t : (int * Rt_value.t) option =
+  let rec scan skipped = function
+    | [] -> None
+    | ((e, _) as entry) :: rest ->
+      if is_deferred t e then scan (entry :: skipped) rest
+      else begin
+        t.inbox <- List.rev_append skipped rest;
+        Some entry
+      end
+  in
+  scan [] t.inbox
+
+let has_dequeuable t = List.exists (fun (e, _) -> not (is_deferred t e)) t.inbox
+
+let is_runnable t = t.alive && (t.agenda <> [] || has_dequeuable t)

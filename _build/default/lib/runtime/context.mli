@@ -1,0 +1,59 @@
+(** Machine instance contexts: the runtime twin of the paper's
+    [StateMachineContext] (section 4) — variable values, call stack, input
+    queue, a per-instance lock, and a [void*]-style pointer to external
+    memory for foreign functions and interface code. *)
+
+module Tables = P_compile.Tables
+
+(** External memory attached to a machine for foreign code. Extend with one
+    constructor per driver, e.g.
+    [type Context.ext += Led_state of { mutable on : bool }]. *)
+type ext = ..
+
+type handler = HNone | HDefer | HAction of int
+
+type task =
+  | Exec of Tables.code
+  | Handle of int * Rt_value.t  (** dynamic raise(e, v) *)
+  | Pop_return
+  | Pop_frame
+  | Enter of int
+
+type frame = {
+  mutable f_state : int;
+  f_amap : handler array;  (** indexed by event id; inherited handler map *)
+  f_cont : task list;  (** caller continuation for [call] statements *)
+}
+
+type t = {
+  self : int;  (** instance handle *)
+  ty : int;  (** machine type index in the driver *)
+  table : Tables.machine_table;
+  vars : Rt_value.t array;
+  mutable msg : int option;
+  mutable arg : Rt_value.t;
+  mutable frames : frame list;  (** top first *)
+  mutable agenda : task list;
+  mutable inbox : (int * Rt_value.t) list;  (** front of the FIFO first *)
+  mutable alive : bool;
+  mutable scheduled : bool;  (** being run (or queued to run) by some thread *)
+  lock : Mutex.t;
+  mutable external_mem : ext option;
+}
+
+val create : self:int -> ty:int -> table:Tables.machine_table -> t
+val current_state : t -> int option
+val state_table : t -> int -> Tables.state_table
+
+val is_deferred : t -> int -> bool
+(** The effective deferred set in the current state (inherited plus
+    declared, minus locally handled). *)
+
+val enqueue : t -> int -> Rt_value.t -> unit
+(** Append with the deduplicating [⊕] of the SEND rule. *)
+
+val dequeue : t -> (int * Rt_value.t) option
+(** Dequeue the first non-deferred entry, if any. *)
+
+val has_dequeuable : t -> bool
+val is_runnable : t -> bool

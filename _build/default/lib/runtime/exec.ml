@@ -1,0 +1,334 @@
+(** The execution engine of the P runtime: an independent, mutable,
+    table-driven implementation of the operational semantics, structured
+    like the C runtime of section 4.
+
+    Scheduling follows the paper's run-to-completion discipline: the thread
+    that delivers an event to an idle machine runs that machine until it has
+    nothing left to do. A send to an idle machine runs the receiver *nested*
+    on the same thread (the receiver preempts the sender and runs to
+    quiescence before the sender resumes), which is exactly the causal
+    stack order of the delay-bounded scheduler with d = 0 — the equivalence
+    the paper states in section 5 and that test/test_equiv.ml checks. A send
+    to a machine that is already running (or scheduled on another thread)
+    only enqueues; the receiver's own drain loop picks the event up.
+
+    Thread safety: each context has a [scheduled] flag; flags, the instance
+    table and every inbox are protected by the runtime's lock, which is
+    *not* held while machine code runs, so concurrent host threads can
+    drive disjoint machines in parallel (the per-instance locking the paper
+    describes). *)
+
+module Tables = P_compile.Tables
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+type foreign_fn = Context.t -> Rt_value.t list -> Rt_value.t
+
+type t = {
+  driver : Tables.driver;
+  instances : (int, Context.t) Hashtbl.t;
+  mutable next_handle : int;
+  foreigns : (string, foreign_fn) Hashtbl.t;
+  lock : Mutex.t;
+  mutable trace_hook : (Rt_trace.item -> unit) option;
+}
+
+let create (driver : Tables.driver) : t =
+  { driver;
+    instances = Hashtbl.create 16;
+    next_handle = 0;
+    foreigns = Hashtbl.create 16;
+    lock = Mutex.create ();
+    trace_hook = None }
+
+let emit rt item = match rt.trace_hook with None -> () | Some f -> f item
+
+let with_lock rt f =
+  Mutex.lock rt.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock rt.lock) f
+
+(** Register the implementation of a foreign function (the paper's
+    driver-specific C files). *)
+let register_foreign rt name fn = Hashtbl.replace rt.foreigns name fn
+
+let find_instance rt handle = with_lock rt (fun () -> Hashtbl.find_opt rt.instances handle)
+
+let event_name rt e = fst rt.driver.dr_events.(e)
+let state_name (ctx : Context.t) s = ctx.table.mt_states.(s).Tables.st_name
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval rt (ctx : Context.t) (e : Tables.cexpr) : Rt_value.t =
+  match e with
+  | Tables.CThis -> Rt_value.Machine ctx.self
+  | Tables.CMsg -> (
+    match ctx.msg with Some e -> Rt_value.Event e | None -> Rt_value.Null)
+  | Tables.CArg -> ctx.arg
+  | Tables.CNull -> Rt_value.Null
+  | Tables.CBool b -> Rt_value.Bool b
+  | Tables.CInt i -> Rt_value.Int i
+  | Tables.CEvent e -> Rt_value.Event e
+  | Tables.CVar x -> ctx.vars.(x)
+  | Tables.CUnop (op, a) -> Rt_value.unop op (eval rt ctx a)
+  | Tables.CBinop (op, a, b) -> Rt_value.binop op (eval rt ctx a) (eval rt ctx b)
+  | Tables.CForeign_call (f, args) ->
+    let fs = ctx.table.mt_foreigns.(f) in
+    let values = List.map (eval rt ctx) args in
+    call_foreign rt ctx fs.fs_name values
+
+and call_foreign rt ctx name values =
+  match Hashtbl.find_opt rt.foreigns name with
+  | Some fn -> fn ctx values
+  | None -> error "foreign function %s is not registered" name
+
+let assign (ctx : Context.t) x v =
+  let v =
+    match (snd ctx.table.mt_vars.(x), v) with
+    | P_syntax.Ptype.Byte, Rt_value.Int i -> Rt_value.Int (i land 0xff)
+    | _ -> v
+  in
+  ctx.vars.(x) <- v
+
+(* ------------------------------------------------------------------ *)
+(* The machine loop                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The CALL rule's pushed handler map (cf. Step.push_amap). *)
+let push_amap (ctx : Context.t) (caller_state : int) (amap : Context.handler array) :
+    Context.handler array =
+  let st = Context.state_table ctx caller_state in
+  Array.mapi
+    (fun e inherited ->
+      if st.Tables.st_steps.(e) <> None || st.Tables.st_calls.(e) <> None then
+        Context.HNone
+      else
+        match st.Tables.st_actions.(e) with
+        | Some a -> Context.HAction a
+        | None -> if st.Tables.st_deferred.(e) then Context.HDefer else inherited)
+    amap
+
+let rec run_machine rt (ctx : Context.t) : unit =
+  let continue = ref true in
+  while !continue && ctx.alive do
+    match ctx.agenda with
+    | [] -> (
+      (* DEQUEUE *)
+      let entry = with_lock rt (fun () -> Context.dequeue ctx) in
+      match entry with
+      | None -> continue := false
+      | Some (e, v) ->
+        emit rt (Rt_trace.Dequeued { mid = ctx.self; event = event_name rt e });
+        ctx.msg <- Some e;
+        ctx.arg <- v;
+        ctx.agenda <- [ Context.Handle (e, v) ])
+    | task :: rest -> exec_task rt ctx task rest
+  done
+
+and exec_task rt (ctx : Context.t) task rest =
+  match task with
+  | Context.Handle (e, v) -> handle_event rt ctx e v
+  | Context.Pop_frame -> (
+    match ctx.frames with
+    | [] -> error "machine %s #%d: call stack underflow" ctx.table.mt_name ctx.self
+    | _ :: below ->
+      ctx.frames <- below;
+      ctx.agenda <- rest)
+  | Context.Pop_return -> (
+    match ctx.frames with
+    | [] | [ _ ] ->
+      error "machine %s #%d: return from bottom state" ctx.table.mt_name ctx.self
+    | frame :: below ->
+      ctx.frames <- below;
+      ctx.agenda <- frame.f_cont)
+  | Context.Enter target -> (
+    match ctx.frames with
+    | [] -> error "machine %s #%d: no frame to enter" ctx.table.mt_name ctx.self
+    | frame :: _ ->
+      frame.f_state <- target;
+      emit rt (Rt_trace.Entered { mid = ctx.self; state = state_name ctx target });
+      ctx.agenda <- Context.Exec (Context.state_table ctx target).st_entry :: rest)
+  | Context.Exec code -> exec_code rt ctx code rest
+
+and handle_event rt (ctx : Context.t) e v =
+  match ctx.frames with
+  | [] ->
+    error "machine %s #%d: unhandled event %s" ctx.table.mt_name ctx.self
+      (event_name rt e)
+  | frame :: _ -> (
+    let st = Context.state_table ctx frame.f_state in
+    match st.st_steps.(e) with
+    | Some target -> ctx.agenda <- [ Context.Exec st.st_exit; Context.Enter target ]
+    | None -> (
+      match st.st_calls.(e) with
+      | Some target ->
+        let amap = push_amap ctx frame.f_state frame.f_amap in
+        ctx.frames <-
+          { Context.f_state = target; f_amap = amap; f_cont = [] } :: ctx.frames;
+        emit rt (Rt_trace.Entered { mid = ctx.self; state = state_name ctx target });
+        ctx.agenda <- [ Context.Exec (Context.state_table ctx target).st_entry ]
+      | None -> (
+        let action =
+          match st.st_actions.(e) with
+          | Some a -> Some a
+          | None -> (
+            match frame.f_amap.(e) with
+            | Context.HAction a -> Some a
+            | Context.HDefer | Context.HNone -> None)
+        in
+        match action with
+        | Some a -> ctx.agenda <- [ Context.Exec (snd ctx.table.mt_actions.(a)) ]
+        | None ->
+          (* POP1: exit, pop, re-raise in the caller *)
+          ctx.agenda <-
+            [ Context.Exec st.st_exit; Context.Pop_frame; Context.Handle (e, v) ])))
+
+and exec_code rt (ctx : Context.t) (code : Tables.code) rest =
+  match code with
+  | Tables.CSkip -> ctx.agenda <- rest
+  | Tables.CSeq (a, b) ->
+    ctx.agenda <- Context.Exec a :: Context.Exec b :: rest
+  | Tables.CAssign (x, e) ->
+    assign ctx x (eval rt ctx e);
+    ctx.agenda <- rest
+  | Tables.CIf (c, t, f) ->
+    ctx.agenda <- Context.Exec (if Rt_value.truth (eval rt ctx c) then t else f) :: rest
+  | Tables.CWhile (c, body) ->
+    if Rt_value.truth (eval rt ctx c) then
+      ctx.agenda <- Context.Exec body :: Context.Exec code :: rest
+    else ctx.agenda <- rest
+  | Tables.CAssert (e, msg) ->
+    if Rt_value.truth (eval rt ctx e) then ctx.agenda <- rest
+    else error "machine %s #%d: assertion failed (%s)" ctx.table.mt_name ctx.self msg
+  | Tables.CNew (x, ty, inits) ->
+    let values = List.map (fun (y, e) -> (y, eval rt ctx e)) inits in
+    let child = create_instance rt ~creator:(Some ctx.self) ty in
+    List.iter
+      (fun (y, v) ->
+        let v =
+          match (snd child.Context.table.mt_vars.(y), v) with
+          | P_syntax.Ptype.Byte, Rt_value.Int i -> Rt_value.Int (i land 0xff)
+          | _ -> v
+        in
+        child.Context.vars.(y) <- v)
+      values;
+    assign ctx x (Rt_value.Machine child.Context.self);
+    ctx.agenda <- rest;
+    (* the fresh machine preempts its creator, as in the d=0 schedule *)
+    run_if_idle rt child
+  | Tables.CDelete ->
+    emit rt (Rt_trace.Deleted { mid = ctx.self });
+    with_lock rt (fun () ->
+        ctx.alive <- false;
+        Hashtbl.remove rt.instances ctx.self);
+    ctx.agenda <- []
+  | Tables.CSend (target, e, payload) -> (
+    let v = eval rt ctx payload in
+    match eval rt ctx target with
+    | Rt_value.Null ->
+      error "machine %s #%d: send to null machine id" ctx.table.mt_name ctx.self
+    | Rt_value.Machine dst ->
+      ctx.agenda <- rest;
+      deliver rt ~src:ctx.self dst e v
+    | v ->
+      error "machine %s #%d: send target is %a, not a machine id" ctx.table.mt_name
+        ctx.self Rt_value.pp v)
+  | Tables.CRaise (e, payload) ->
+    let v = eval rt ctx payload in
+    ctx.msg <- Some e;
+    ctx.arg <- v;
+    ctx.agenda <- [ Context.Handle (e, v) ]
+  | Tables.CLeave -> ctx.agenda <- []
+  | Tables.CReturn -> (
+    match Context.current_state ctx with
+    | None -> error "machine %s #%d: return with empty stack" ctx.table.mt_name ctx.self
+    | Some s ->
+      ctx.agenda <-
+        [ Context.Exec (Context.state_table ctx s).st_exit; Context.Pop_return ])
+  | Tables.CCall_state target -> (
+    match ctx.frames with
+    | [] -> error "machine %s #%d: call with empty stack" ctx.table.mt_name ctx.self
+    | frame :: _ ->
+      let amap = push_amap ctx frame.f_state frame.f_amap in
+      ctx.frames <-
+        { Context.f_state = target; f_amap = amap; f_cont = rest } :: ctx.frames;
+      emit rt (Rt_trace.Entered { mid = ctx.self; state = state_name ctx target });
+      ctx.agenda <- [ Context.Exec (Context.state_table ctx target).st_entry ])
+  | Tables.CForeign_stmt (f, args) ->
+    let fs = ctx.table.mt_foreigns.(f) in
+    let values = List.map (eval rt ctx) args in
+    let _ = call_foreign rt ctx fs.fs_name values in
+    ctx.agenda <- rest
+
+(* ------------------------------------------------------------------ *)
+(* Instance management and scheduling                                  *)
+(* ------------------------------------------------------------------ *)
+
+and create_instance rt ~creator ty : Context.t =
+  let ctx =
+    with_lock rt (fun () ->
+        let handle = rt.next_handle in
+        rt.next_handle <- handle + 1;
+        let ctx = Context.create ~self:handle ~ty ~table:rt.driver.dr_machines.(ty) in
+        Hashtbl.replace rt.instances handle ctx;
+        ctx)
+  in
+  emit rt
+    (Rt_trace.Created
+       { creator; created = ctx.Context.self; kind = ctx.Context.table.mt_name });
+  emit rt
+    (Rt_trace.Entered
+       { mid = ctx.Context.self; state = state_name ctx 0 });
+  ctx
+
+(* Deliver an event: enqueue under the lock; if the receiver is idle, claim
+   it and run it on this thread (nested run-to-completion). *)
+and deliver rt ~src dst e v =
+  let target =
+    with_lock rt (fun () ->
+        match Hashtbl.find_opt rt.instances dst with
+        | None -> None
+        | Some target ->
+          Context.enqueue target e v;
+          Some target)
+  in
+  match target with
+  | None ->
+    error "send to deleted machine #%d (event %s)" dst (event_name rt e)
+  | Some target ->
+    emit rt
+      (Rt_trace.Sent
+         { src;
+           dst;
+           event = event_name rt e;
+           payload = Fmt.str "%a" Rt_value.pp v });
+    run_if_idle rt target
+
+(* Claim-and-run: set the scheduled flag if unset, then drain the machine,
+   re-checking for events that raced in while we were finishing. *)
+and run_if_idle rt (ctx : Context.t) : unit =
+  let claimed =
+    with_lock rt (fun () ->
+        if ctx.Context.scheduled || not ctx.Context.alive then false
+        else begin
+          ctx.Context.scheduled <- true;
+          true
+        end)
+  in
+  if claimed then
+    let rec drain () =
+      run_machine rt ctx;
+      let again =
+        with_lock rt (fun () ->
+            if Context.is_runnable ctx then true
+            else begin
+              ctx.Context.scheduled <- false;
+              false
+            end)
+      in
+      if again then drain ()
+    in
+    drain ()

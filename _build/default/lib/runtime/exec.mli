@@ -1,0 +1,45 @@
+(** The execution engine of the P runtime: an independent, mutable,
+    table-driven implementation of the operational semantics structured
+    like the C runtime of section 4. Run-to-completion: a send to an idle
+    machine runs the receiver nested on the same thread (exactly the d = 0
+    causal schedule); a send to a busy machine only enqueues. The runtime
+    lock protects instance bookkeeping and inboxes but is never held while
+    machine code runs, so host threads drive disjoint machines in
+    parallel. Most callers use the {!Api} wrapper. *)
+
+module Tables = P_compile.Tables
+
+exception Runtime_error of string
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Format and raise {!Runtime_error}. *)
+
+type foreign_fn = Context.t -> Rt_value.t list -> Rt_value.t
+
+type t = {
+  driver : Tables.driver;
+  instances : (int, Context.t) Hashtbl.t;
+  mutable next_handle : int;
+  foreigns : (string, foreign_fn) Hashtbl.t;
+  lock : Mutex.t;
+  mutable trace_hook : (Rt_trace.item -> unit) option;
+}
+
+val create : Tables.driver -> t
+val register_foreign : t -> string -> foreign_fn -> unit
+val find_instance : t -> int -> Context.t option
+
+val create_instance : t -> creator:int option -> int -> Context.t
+(** Allocate and register an instance of machine type [ty] (by index); the
+    entry statement is on its agenda but has not run. *)
+
+val deliver : t -> src:int -> int -> int -> Rt_value.t -> unit
+(** [deliver rt ~src dst event payload]: enqueue with [⊕]; if [dst] is
+    idle, claim it and run it to completion on this thread. *)
+
+val run_if_idle : t -> Context.t -> unit
+(** Claim-and-drain: run the machine if no other thread holds it,
+    re-checking for events that race in while finishing. *)
+
+val run_machine : t -> Context.t -> unit
+(** One drain pass (no claim); internal, exposed for tests. *)

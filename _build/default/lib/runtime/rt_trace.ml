@@ -1,0 +1,56 @@
+(** Observability hooks for the runtime: the same happenings as
+    {!P_semantics.Trace}, but with table indices resolved back to names so
+    the runtime-vs-checker equivalence tests can compare the two engines'
+    behaviour item by item. *)
+
+type item =
+  | Created of { creator : int option; created : int; kind : string }
+  | Sent of { src : int; dst : int; event : string; payload : string }
+  | Dequeued of { mid : int; event : string }
+  | Entered of { mid : int; state : string }
+  | Deleted of { mid : int }
+
+let pp_item ppf = function
+  | Created { creator; created; kind } ->
+    Fmt.pf ppf "%a creates #%d : %s"
+      Fmt.(option ~none:(any "<host>") (fmt "#%d"))
+      creator created kind
+  | Sent { src; dst; event; payload } ->
+    if String.equal payload "null" then Fmt.pf ppf "#%d -- %s --> #%d" src event dst
+    else Fmt.pf ppf "#%d -- %s(%s) --> #%d" src event payload dst
+  | Dequeued { mid; event } -> Fmt.pf ppf "#%d dequeues %s" mid event
+  | Entered { mid; state } -> Fmt.pf ppf "#%d enters %s" mid state
+  | Deleted { mid } -> Fmt.pf ppf "#%d deleted" mid
+
+(** Project a verifier trace to comparable items (creations, sends,
+    dequeues, deletions). *)
+let of_semantics_trace (t : P_semantics.Trace.t) : item list =
+  List.filter_map
+    (function
+      | P_semantics.Trace.Created { creator; created; kind } ->
+        Some
+          (Created
+             { creator = Option.map P_semantics.Mid.to_int creator;
+               created = P_semantics.Mid.to_int created;
+               kind = P_syntax.Names.Machine.to_string kind })
+      | P_semantics.Trace.Sent { src; dst; event; payload } ->
+        Some
+          (Sent
+             { src = P_semantics.Mid.to_int src;
+               dst = P_semantics.Mid.to_int dst;
+               event = P_syntax.Names.Event.to_string event;
+               payload = P_semantics.Value.to_string payload })
+      | P_semantics.Trace.Dequeued { mid; event; _ } ->
+        Some
+          (Dequeued
+             { mid = P_semantics.Mid.to_int mid;
+               event = P_syntax.Names.Event.to_string event })
+      | P_semantics.Trace.Deleted { mid } ->
+        Some (Deleted { mid = P_semantics.Mid.to_int mid })
+      | P_semantics.Trace.Raised _ | P_semantics.Trace.Entered _
+      | P_semantics.Trace.Popped _ -> None)
+    t
+
+(** Keep only the comparable kinds of a runtime trace (drop state entries). *)
+let observable (items : item list) : item list =
+  List.filter (function Entered _ -> false | _ -> true) items

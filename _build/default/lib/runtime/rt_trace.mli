@@ -1,0 +1,20 @@
+(** Observability hooks for the runtime: the same happenings as
+    {!P_semantics.Trace}, with table indices resolved back to names so the
+    runtime-vs-checker equivalence tests can compare the two engines item
+    by item. *)
+
+type item =
+  | Created of { creator : int option; created : int; kind : string }
+  | Sent of { src : int; dst : int; event : string; payload : string }
+  | Dequeued of { mid : int; event : string }
+  | Entered of { mid : int; state : string }
+  | Deleted of { mid : int }
+
+val pp_item : item Fmt.t
+
+val of_semantics_trace : P_semantics.Trace.t -> item list
+(** Project a verifier trace to the comparable kinds (creations, sends,
+    dequeues, deletions). *)
+
+val observable : item list -> item list
+(** Keep only the comparable kinds of a runtime trace. *)

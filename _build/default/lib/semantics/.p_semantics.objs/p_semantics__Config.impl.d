@@ -1,0 +1,1 @@
+lib/semantics/config.ml: Fmt List Machine Mid

@@ -1,0 +1,1 @@
+lib/semantics/config.mli: Fmt Machine Mid

@@ -1,0 +1,1 @@
+lib/semantics/equeue.ml: Fmt List Names P_syntax Value

@@ -1,0 +1,1 @@
+lib/semantics/equeue.mli: Fmt P_syntax Value

@@ -1,0 +1,1 @@
+lib/semantics/errors.ml: Fmt Loc Mid Names P_syntax

@@ -1,0 +1,1 @@
+lib/semantics/errors.mli: Fmt Loc Mid Names P_syntax

@@ -1,0 +1,1 @@
+lib/semantics/machine.ml: Ast Equeue Fmt List Mid Names Option P_static P_syntax Stdlib Value

@@ -1,0 +1,1 @@
+lib/semantics/machine.mli: Ast Equeue Fmt Mid Names P_static P_syntax Value

@@ -1,0 +1,1 @@
+lib/semantics/mid.ml: Fmt Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/semantics/mid.mli: Fmt Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/semantics/simulate.ml: Ast Config Errors Fmt List Mid P_static P_syntax Step Trace

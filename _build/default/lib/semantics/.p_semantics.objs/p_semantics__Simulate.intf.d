@@ -1,0 +1,1 @@
+lib/semantics/simulate.mli: Config Errors Fmt P_static P_syntax Trace

@@ -1,0 +1,1 @@
+lib/semantics/step.ml: Ast Config Equeue Errors List Loc Machine Mid Names P_static P_syntax Ptype Trace Value

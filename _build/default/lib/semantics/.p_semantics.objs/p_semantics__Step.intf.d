@@ -1,0 +1,1 @@
+lib/semantics/step.mli: Config Errors Mid P_static P_syntax Trace

@@ -1,0 +1,1 @@
+lib/semantics/trace.ml: Fmt List Mid Names P_syntax Value

@@ -1,0 +1,1 @@
+lib/semantics/trace.mli: Fmt Mid Names P_syntax Value

@@ -1,0 +1,1 @@
+lib/semantics/value.ml: Ast Bool Fmt Int Mid Names P_syntax

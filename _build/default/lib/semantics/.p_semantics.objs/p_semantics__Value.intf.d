@@ -1,0 +1,1 @@
+lib/semantics/value.mli: Fmt Mid P_syntax

@@ -1,0 +1,39 @@
+(** Global configurations: the map [M] from machine identifiers to machine
+    configurations, plus the deterministic identifier allocator. A machine
+    identifier smaller than [next_id] that is absent from [machines] belongs
+    to a deleted machine ([M[id] = ⊥] in the paper) — sending to it is the
+    SEND-FAIL2 error. *)
+
+type t = { machines : Machine.t Mid.Map.t; next_id : Mid.t }
+
+let empty = { machines = Mid.Map.empty; next_id = Mid.first }
+
+let find t id = Mid.Map.find_opt id t.machines
+
+let mem t id = Mid.Map.mem id t.machines
+
+let is_deleted t id = Mid.compare id t.next_id < 0 && not (mem t id)
+
+let update t id machine = { t with machines = Mid.Map.add id machine t.machines }
+
+let remove t id = { t with machines = Mid.Map.remove id t.machines }
+
+let alloc t = (t.next_id, { t with next_id = Mid.next t.next_id })
+
+let live_ids t = Mid.Map.fold (fun id _ acc -> id :: acc) t.machines [] |> List.rev
+
+let live_count t = Mid.Map.cardinal t.machines
+
+let fold f t acc = Mid.Map.fold f t.machines acc
+
+let compare a b =
+  match Mid.compare a.next_id b.next_id with
+  | 0 -> Mid.Map.compare Machine.compare a.machines b.machines
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.iter_bindings Mid.Map.iter (fun ppf (_, m) -> Machine.pp ppf m))
+    t.machines

@@ -1,0 +1,26 @@
+(** Global configurations: the map [M] from machine identifiers to machine
+    configurations, plus the deterministic identifier allocator. An
+    identifier smaller than [next_id] absent from the map belongs to a
+    deleted machine ([M[id] = ⊥]); sending to it is the SEND-FAIL2 error. *)
+
+type t = { machines : Machine.t Mid.Map.t; next_id : Mid.t }
+
+val empty : t
+val find : t -> Mid.t -> Machine.t option
+val mem : t -> Mid.t -> bool
+
+val is_deleted : t -> Mid.t -> bool
+(** Allocated in the past but no longer live. *)
+
+val update : t -> Mid.t -> Machine.t -> t
+val remove : t -> Mid.t -> t
+
+val alloc : t -> Mid.t * t
+(** Allocate the next machine identifier. *)
+
+val live_ids : t -> Mid.t list
+val live_count : t -> int
+val fold : (Mid.t -> Machine.t -> 'a -> 'a) -> t -> 'a -> 'a
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t

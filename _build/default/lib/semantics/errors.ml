@@ -1,0 +1,47 @@
+(** The error configurations of the operational semantics (Figure 6), plus
+    the dynamic evaluation errors our interpreter surfaces instead of getting
+    stuck, and the livelock detected for the first liveness property of
+    section 3.2. *)
+
+open P_syntax
+
+type kind =
+  | Assert_failure of Loc.t  (** rule ASSERT-FAIL *)
+  | Send_to_null of Loc.t  (** rule SEND-FAIL1: target evaluated to [⊥] *)
+  | Send_to_deleted of Mid.t * Loc.t
+      (** rule SEND-FAIL2: target machine was deleted (or never existed) *)
+  | Unhandled_event of Names.Event.t
+      (** rule POP-FAIL: the call stack emptied while an event was in flight —
+          the machine has no handler for the event in any frame *)
+  | Eval_error of string * Loc.t
+      (** no evaluation rule applies: dynamic type error, [⊥] used as a
+          branch condition, division by zero, ... *)
+  | Livelock
+      (** the machine executed a cycle of private operations without reaching
+          a scheduling point: a violation of the first liveness property
+          ([∃m. ◇□ sched(m)]) witnessed inside one atomic block *)
+  | Stack_underflow
+      (** rule POP-FAIL via [return]: the last frame was popped, leaving an
+          empty call stack *)
+  | Fuel_exhausted
+      (** the atomic block exceeded its step budget without repeating a local
+          configuration; reported distinctly because it is a bound, not a
+          proof of livelock *)
+
+type t = { machine : Names.Machine.t; mid : Mid.t; kind : kind }
+
+let pp_kind ppf = function
+  | Assert_failure loc -> Fmt.pf ppf "assertion failure at %a" Loc.pp loc
+  | Send_to_null loc -> Fmt.pf ppf "send to uninitialized (null) machine id at %a" Loc.pp loc
+  | Send_to_deleted (mid, loc) ->
+    Fmt.pf ppf "send to deleted machine %a at %a" Mid.pp mid Loc.pp loc
+  | Unhandled_event e -> Fmt.pf ppf "unhandled event %a" Names.Event.pp e
+  | Eval_error (msg, loc) -> Fmt.pf ppf "evaluation error at %a: %s" Loc.pp loc msg
+  | Livelock -> Fmt.string ppf "livelock: cycle of private operations"
+  | Stack_underflow -> Fmt.string ppf "call stack underflow (return from bottom state)"
+  | Fuel_exhausted -> Fmt.string ppf "atomic step budget exhausted"
+
+let pp ppf t =
+  Fmt.pf ppf "machine %a %a: %a" Names.Machine.pp t.machine Mid.pp t.mid pp_kind t.kind
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,29 @@
+(** The error configurations of the operational semantics (Figure 6), plus
+    the dynamic evaluation errors the interpreter surfaces instead of
+    getting stuck, and the livelock caught for the first liveness property
+    of section 3.2. *)
+
+open P_syntax
+
+type kind =
+  | Assert_failure of Loc.t  (** rule ASSERT-FAIL *)
+  | Send_to_null of Loc.t  (** rule SEND-FAIL1: target evaluated to [⊥] *)
+  | Send_to_deleted of Mid.t * Loc.t  (** rule SEND-FAIL2 *)
+  | Unhandled_event of Names.Event.t
+      (** rule POP-FAIL: the call stack emptied with an event in flight *)
+  | Eval_error of string * Loc.t
+      (** no evaluation rule applies: dynamic type error, [⊥] branch
+          condition, division by zero, ... *)
+  | Livelock
+      (** a cycle of private operations inside one atomic block — a
+          violation of the first liveness property caught eagerly *)
+  | Stack_underflow  (** rule POP-FAIL via [return] from the bottom state *)
+  | Fuel_exhausted
+      (** the atomic block exceeded its microstep budget without repeating
+          a local configuration (a bound, not a proof of livelock) *)
+
+type t = { machine : Names.Machine.t; mid : Mid.t; kind : kind }
+
+val pp_kind : kind Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

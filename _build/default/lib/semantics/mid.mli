@@ -1,0 +1,17 @@
+(** Machine identifiers: references to dynamically created machine
+    instances, allocated deterministically in creation order. *)
+
+type t
+
+val first : t
+val next : t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_int : t -> int
+val of_int : int -> t
+val pp : t Fmt.t
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

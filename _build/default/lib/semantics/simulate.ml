@@ -1,0 +1,89 @@
+(** Deterministic causal execution of a closed P program.
+
+    This is the delay-bound-0 schedule of the paper's delaying scheduler
+    (section 5): a stack of machine identifiers where the created machine and
+    the receiver of a send are pushed on top, so execution follows the causal
+    sequence of events — exactly the schedule of the single-threaded runtime.
+    The model checker's delay-bounded search generalizes this by allowing up
+    to [d] top-to-bottom rotations; the simulator is the [d = 0] slice and is
+    what examples and the runtime-equivalence tests run.
+
+    Ghost [*] choices are resolved by a [policy] function from the choice
+    index (within the current atomic block) to a boolean, making runs
+    reproducible. *)
+
+open P_syntax
+module Symtab = P_static.Symtab
+
+type status =
+  | Quiescent  (** every machine is waiting for events; no one can move *)
+  | Error of Errors.t
+  | Budget_exhausted  (** the program was still running after [max_blocks] *)
+
+type result = {
+  status : status;
+  config : Config.t;
+  trace : Trace.t;
+  blocks : int;  (** number of atomic blocks executed *)
+}
+
+let pp_status ppf = function
+  | Quiescent -> Fmt.string ppf "quiescent"
+  | Error e -> Fmt.pf ppf "error: %a" Errors.pp e
+  | Budget_exhausted -> Fmt.string ppf "budget exhausted (still running)"
+
+(** [policy_const b]: resolve every ghost choice to [b]. *)
+let policy_const b : int -> bool = fun _ -> b
+
+(** [policy_seeded seed]: a reproducible pseudo-random choice policy. *)
+let policy_seeded seed : int -> bool =
+  let state = ref (seed * 2654435761 land 0x3FFFFFFF) in
+  fun _ ->
+    state := (!state * 1103515245) + 12345;
+    !state land 0x10000 <> 0
+
+(* Run one atomic block, growing the choice list on demand via [policy]. *)
+let run_block tab config mid ~policy =
+  let rec go choices =
+    match Step.run_atomic tab config mid ~choices with
+    | Step.Need_more_choices, _ -> go (choices @ [ policy (List.length choices) ])
+    | outcome, trace -> (outcome, trace)
+  in
+  go []
+
+(** Execute the program from its initial configuration. *)
+let run ?(max_blocks = 10_000) ?(policy = policy_const false) (tab : Symtab.t) : result
+    =
+  let config0, id0, trace0 = Step.initial_config tab in
+  let rec drive config stack trace blocks =
+    if blocks >= max_blocks then
+      { status = Budget_exhausted; config; trace = List.rev trace; blocks }
+    else
+      match stack with
+      | [] -> { status = Quiescent; config; trace = List.rev trace; blocks }
+      | top :: rest -> (
+        let outcome, items = run_block tab config top ~policy in
+        let trace = List.rev_append items trace in
+        match outcome with
+        | Step.Progress (config, Step.Sent { target; _ }) ->
+          let stack =
+            if List.exists (Mid.equal target) stack then stack else target :: stack
+          in
+          drive config stack trace (blocks + 1)
+        | Step.Progress (config, Step.Created id) ->
+          drive config (id :: stack) trace (blocks + 1)
+        | Step.Blocked config ->
+          (* the machine is disabled; it re-enters the stack when someone
+             sends to it *)
+          drive config rest trace (blocks + 1)
+        | Step.Terminated config -> drive config rest trace (blocks + 1)
+        | Step.Failed err ->
+          { status = Error err; config; trace = List.rev trace; blocks }
+        | Step.Need_more_choices -> assert false (* handled by run_block *))
+  in
+  drive config0 [ id0 ] (List.rev trace0) 0
+
+(** Convenience: statically check, then simulate. *)
+let run_program ?max_blocks ?policy (program : Ast.program) : result =
+  let tab = P_static.Check.run_exn program in
+  run ?max_blocks ?policy tab

@@ -1,0 +1,37 @@
+(** Deterministic causal execution of a closed P program: the d = 0 slice
+    of the paper's delay-bounded scheduler (section 5), which is exactly the
+    schedule the single-threaded runtime executes. *)
+
+type status =
+  | Quiescent  (** every machine is waiting for events; no one can move *)
+  | Error of Errors.t  (** an error configuration of Figure 6 was reached *)
+  | Budget_exhausted  (** still running after [max_blocks] atomic blocks *)
+
+type result = {
+  status : status;
+  config : Config.t;  (** the final global configuration *)
+  trace : Trace.t;  (** chronological happenings of the run *)
+  blocks : int;  (** number of atomic blocks executed *)
+}
+
+val pp_status : status Fmt.t
+
+val policy_const : bool -> int -> bool
+(** [policy_const b]: resolve every ghost [*] choice to [b]. *)
+
+val policy_seeded : int -> int -> bool
+(** [policy_seeded seed]: a reproducible pseudo-random choice policy.
+    Policies carry internal state — build a fresh one per run. *)
+
+val run :
+  ?max_blocks:int ->
+  ?policy:(int -> bool) ->
+  P_static.Symtab.t ->
+  result
+(** Execute from the initial configuration until quiescence, an error, or
+    the [max_blocks] budget (default 10000). [policy] resolves ghost
+    choices (default: always [false]). *)
+
+val run_program :
+  ?max_blocks:int -> ?policy:(int -> bool) -> P_syntax.Ast.program -> result
+(** Statically check with {!P_static.Check.run_exn}, then {!run}. *)

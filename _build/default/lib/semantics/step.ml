@@ -1,0 +1,426 @@
+(** The small-step operational semantics of P (Figures 4, 5, and 6).
+
+    The unit of execution exposed here is the *atomic block* used by the
+    systematic-testing reduction of section 5: a machine runs from one
+    scheduling point to the next, where scheduling points are exactly the
+    [send] and [new] operations (receiving is a right mover, so no context
+    switch is needed after a dequeue). Within a block the machine is
+    deterministic except for the ghost [*] expression, whose outcomes are
+    supplied by an explicit choice list so that a caller can enumerate them.
+
+    One deliberate generalization of the literal rules: Figure 5 inserts the
+    exit statement of the *current* state when a raised or dequeued event
+    will step or pop, but says nothing about the exits of further frames
+    popped while an unhandled event propagates (rule POP1). We execute the
+    exit statement of every state that is popped or stepped away from, which
+    matches the prose ("the exit function of a state n is executed either
+    when a step transition out of n is taken or n is popped") and reduces to
+    the literal rules when pops are single-level. *)
+
+open P_syntax
+module Symtab = P_static.Symtab
+
+type yield_reason =
+  | Sent of { target : Mid.t; event : Names.Event.t }
+  | Created of Mid.t
+
+(** Result of running one atomic block of one machine. *)
+type outcome =
+  | Progress of Config.t * yield_reason  (** reached a scheduling point *)
+  | Blocked of Config.t
+      (** agenda drained and no dequeuable event; the machine is disabled
+          (though possibly after making local progress) *)
+  | Terminated of Config.t  (** the machine executed [delete] *)
+  | Failed of Errors.t  (** an error configuration of Figure 6 was reached *)
+  | Need_more_choices
+      (** a ghost [*] was evaluated beyond the supplied choice list; re-run
+          from the same configuration with the list extended *)
+
+exception Choice_exhausted
+exception Eval_failure of string * Loc.t
+exception Machine_failure of Errors.kind
+
+type oracle = { mutable remaining : bool list }
+
+let nondet oracle =
+  match oracle.remaining with
+  | [] -> raise Choice_exhausted
+  | b :: rest ->
+    oracle.remaining <- rest;
+    b
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval tab (mi : Symtab.machine_info) (m : Machine.t) oracle (expr : Ast.expr) :
+    Value.t =
+  match expr.e with
+  | Ast.This -> Value.Machine m.self
+  | Ast.Msg -> (
+    match m.msg with Some e -> Value.Event e | None -> Value.Null)
+  | Ast.Arg -> m.arg
+  | Ast.Null -> Value.Null
+  | Ast.Bool_lit b -> Value.Bool b
+  | Ast.Int_lit i -> Value.Int i
+  | Ast.Event_lit e -> Value.Event e
+  | Ast.Var x -> (
+    match Names.Var.Map.find_opt x m.store with
+    | Some v -> v
+    | None -> Value.Null (* uninitialized reads yield ⊥ *))
+  | Ast.Nondet -> Value.Bool (nondet oracle)
+  | Ast.Unop (op, a) -> (
+    match Value.unop op (eval tab mi m oracle a) with
+    | Value.Ok v -> v
+    | Value.Type_error msg -> raise (Eval_failure (msg, expr.eloc)))
+  | Ast.Binop (op, a, b) -> (
+    let va = eval tab mi m oracle a in
+    let vb = eval tab mi m oracle b in
+    match Value.binop op va vb with
+    | Value.Ok v -> v
+    | Value.Type_error msg -> raise (Eval_failure (msg, expr.eloc)))
+  | Ast.Foreign_call (f, args) -> (
+    (* arguments are evaluated for their value even though the model may
+       ignore them, mirroring call-by-value of the real C function *)
+    let _ = List.map (eval tab mi m oracle) args in
+    match Symtab.foreign_decl mi f with
+    | Some { Ast.foreign_model = Some model; _ } -> eval tab mi m oracle model
+    | Some _ | None -> Value.Null)
+
+(** Truth of a branch condition; a non-boolean (including [⊥]) leaves the
+    machine without an applicable rule, which we surface as an error. *)
+let eval_bool tab mi m oracle (expr : Ast.expr) =
+  match Value.truth (eval tab mi m oracle expr) with
+  | Some b -> b
+  | None ->
+    raise (Eval_failure ("branch condition is not a boolean (is it null?)", expr.eloc))
+
+(* [coerce_for_var]: byte-typed variables wrap modulo 256 on store. *)
+let coerce_for_var (mi : Symtab.machine_info) x (v : Value.t) =
+  match (Symtab.var_decl mi x, v) with
+  | Some { Ast.var_type = Ptype.Byte; _ }, Value.Int i -> Value.Int (i land 0xff)
+  | _ -> v
+
+(* ------------------------------------------------------------------ *)
+(* Event handling: the dynamic raise(e, v) of Figure 5                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The CALL rule's handler map for a pushed frame:
+   a'(e) = ⊥          if Trans(m,n,e) defined
+         | Action(..) if an action is bound to e in n
+         | T          if e ∈ Deferred(m,n)
+         | a(e)       otherwise. *)
+let push_amap tab (mi : Symtab.machine_info) state (amap : Machine.handler Names.Event.Map.t) =
+  List.fold_left
+    (fun acc e ->
+      if Symtab.trans_defined mi state e then Names.Event.Map.remove e acc
+      else
+        match Symtab.bound_action mi state e with
+        | Some a -> Names.Event.Map.add e (Machine.Do a) acc
+        | None ->
+          if Names.Event.Set.mem e (Symtab.deferred_set mi state) then
+            Names.Event.Map.add e Machine.Defer acc
+          else acc (* inherit a(e) *))
+    amap tab.Symtab.event_universe
+
+(* Resolve a dynamic raise at the top frame into the next agenda. [emit]
+   reports the state entered by a call transition (step targets are reported
+   when their Enter task runs). *)
+let handle_event ?(emit = fun (_ : Trace.item) -> ()) tab (mi : Symtab.machine_info)
+    (m : Machine.t) event payload : Machine.t =
+  match m.frames with
+  | [] -> raise (Machine_failure (Errors.Unhandled_event event))
+  | frame :: below -> (
+    let n = frame.fr_state in
+    let exit = Symtab.exit_stmt mi n in
+    match Symtab.step_target mi n event with
+    | Some n' ->
+      (* STEP: run Exit(n), then enter n' keeping the inherited map *)
+      { m with agenda = [ Machine.Exec exit; Machine.Enter n' ] }
+    | None -> (
+      match Symtab.call_target mi n event with
+      | Some n' ->
+        (* CALL: push (n', a'); no exit, the call does not leave n *)
+        let amap' = push_amap tab mi n frame.fr_amap in
+        let frame' =
+          { Machine.fr_state = n'; fr_amap = amap'; fr_cont = [] }
+        in
+        emit (Trace.Entered { mid = m.self; state = n' });
+        { m with
+          frames = frame' :: frame :: below;
+          agenda = [ Machine.Exec (Symtab.entry_stmt mi n') ] }
+      | None -> (
+        (* ACTION: a binding on the current state overrides the inherited
+           map; either way the machine stays in n *)
+        let action =
+          match Symtab.bound_action mi n event with
+          | Some a -> Some a
+          | None -> (
+            match Names.Event.Map.find_opt event frame.fr_amap with
+            | Some (Machine.Do a) -> Some a
+            | Some Machine.Defer | None -> None)
+        in
+        match action with
+        | Some a -> (
+          match Symtab.action_stmt mi a with
+          | Some body -> { m with agenda = [ Machine.Exec body ] }
+          | None -> raise (Machine_failure (Errors.Unhandled_event event)))
+        | None ->
+          (* POP1: run Exit(n), pop, re-raise in the caller. The popped
+             frame's saved continuation is discarded: an unhandled event
+             aborts a [call]-statement subroutine. *)
+          { m with
+            agenda =
+              [ Machine.Exec exit; Machine.Pop_frame; Machine.Handle (event, payload) ]
+          })))
+
+(* ------------------------------------------------------------------ *)
+(* One atomic block                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute tasks of machine [mid] until a scheduling point, quiescence,
+   termination, or an error. [trace] accumulates happenings in reverse. *)
+let run_atomic ?(fuel = 100_000) ?(dedup = true) (tab : Symtab.t) (config : Config.t)
+    (mid : Mid.t) ~(choices : bool list) : outcome * Trace.item list =
+  let oracle = { remaining = choices } in
+  let trace = ref [] in
+  let emit item = trace := item :: !trace in
+  let fail name kind = Failed { Errors.machine = name; mid; kind } in
+  (* Brent's cycle detection over the machine's local configuration: a saved
+     snapshot is compared against every subsequent microstep, and re-snapshot
+     at exponentially growing intervals. A machine looping through private
+     operations (no scheduling point) must repeat a local configuration and
+     is caught with O(1) work per microstep. *)
+  let rec loop (config : Config.t) fuel (snapshot, steps, next_snap) =
+    match Config.find config mid with
+    | None -> invalid_arg "Step.run_atomic: machine does not exist"
+    | Some m -> (
+      let mi = Symtab.machine_info_exn tab m.name in
+      if fuel <= 0 then (fail m.name Errors.Fuel_exhausted, List.rev !trace)
+      else if (match snapshot with Some s -> Machine.equal m s | None -> false) then
+        (fail m.name Errors.Livelock, List.rev !trace)
+      else
+        let seen =
+          if steps >= next_snap then (Some m, steps + 1, next_snap * 2)
+          else (snapshot, steps + 1, next_snap)
+        in
+        match m.agenda with
+        | [] -> (
+          (* DEQUEUE: scan past deferred events *)
+          let deferred = Machine.effective_deferred mi m in
+          match Equeue.dequeue_first ~deferred m.queue with
+          | None -> (Blocked config, List.rev !trace)
+          | Some (entry, rest) ->
+            emit (Trace.Dequeued { mid; event = entry.event; payload = entry.payload });
+            let m =
+              { m with
+                queue = rest;
+                msg = Some entry.event;
+                arg = entry.payload;
+                agenda = [ Machine.Handle (entry.event, entry.payload) ] }
+            in
+            loop (Config.update config mid m) (fuel - 1) seen)
+        | task :: rest -> (
+          match exec_task config mi m task rest with
+          | `Continue config -> loop config (fuel - 1) seen
+          | `Yield (config, reason) -> (Progress (config, reason), List.rev !trace)
+          | `Terminated config -> (Terminated config, List.rev !trace)
+          | `Failed (name, kind) -> (fail name kind, List.rev !trace)))
+  and exec_task config (mi : Symtab.machine_info) (m : Machine.t) task rest =
+    let continue m' = `Continue (Config.update config mid m') in
+    try
+      match task with
+      | Machine.Handle (event, payload) ->
+        emit (Trace.Raised { mid; event });
+        continue (handle_event ~emit tab mi m event payload)
+      | Machine.Pop_frame -> (
+        match m.frames with
+        | [] -> `Failed (m.name, Errors.Stack_underflow)
+        | _ :: below ->
+          emit
+            (Trace.Popped
+               { mid;
+                 state =
+                   (match below with [] -> None | f :: _ -> Some f.Machine.fr_state) });
+          continue { m with frames = below; agenda = rest })
+      | Machine.Pop_return -> (
+        match m.frames with
+        | [] | [ _ ] -> `Failed (m.name, Errors.Stack_underflow)
+        | frame :: below ->
+          emit
+            (Trace.Popped
+               { mid;
+                 state =
+                   (match below with [] -> None | f :: _ -> Some f.Machine.fr_state) });
+          (* POP2: resume the continuation saved when the frame was pushed *)
+          continue { m with frames = below; agenda = frame.fr_cont })
+      | Machine.Enter n' -> (
+        match m.frames with
+        | [] -> `Failed (m.name, Errors.Stack_underflow)
+        | frame :: below ->
+          emit (Trace.Entered { mid; state = n' });
+          let frame' = { frame with Machine.fr_state = n' } in
+          continue
+            { m with
+              frames = frame' :: below;
+              agenda = Machine.Exec (Symtab.entry_stmt mi n') :: rest })
+      | Machine.Exec stmt -> exec_stmt config mi m stmt rest
+    with
+    | Eval_failure (msg, loc) -> `Failed (m.name, Errors.Eval_error (msg, loc))
+    | Machine_failure kind -> `Failed (m.name, kind)
+  and exec_stmt config (mi : Symtab.machine_info) (m : Machine.t) (stmt : Ast.stmt) rest
+      =
+    let continue m' = `Continue (Config.update config mid m') in
+    match stmt.s with
+    | Ast.Skip -> continue { m with agenda = rest }
+    | Ast.Seq (a, b) ->
+      continue { m with agenda = Machine.Exec a :: Machine.Exec b :: rest }
+    | Ast.Assign (x, e) ->
+      let v = coerce_for_var mi x (eval tab mi m oracle e) in
+      continue { m with store = Names.Var.Map.add x v m.store; agenda = rest }
+    | Ast.If (c, t, f) ->
+      let branch = if eval_bool tab mi m oracle c then t else f in
+      continue { m with agenda = Machine.Exec branch :: rest }
+    | Ast.While (c, body) ->
+      if eval_bool tab mi m oracle c then
+        continue { m with agenda = Machine.Exec body :: Machine.Exec stmt :: rest }
+      else continue { m with agenda = rest }
+    | Ast.Assert e ->
+      if eval_bool tab mi m oracle e then continue { m with agenda = rest }
+      else `Failed (m.name, Errors.Assert_failure stmt.sloc)
+    | Ast.New (x, kind, inits) -> (
+      match Symtab.machine_info tab kind with
+      | None ->
+        `Failed (m.name, Errors.Eval_error ("new of unknown machine", stmt.sloc))
+      | Some target_mi ->
+        (* initializers are evaluated in the creating machine's store *)
+        let init_values =
+          List.map (fun (y, e) -> (y, eval tab mi m oracle e)) inits
+        in
+        let config = Config.update config mid m in
+        let id', config = Config.alloc config in
+        let store =
+          List.fold_left
+            (fun acc (vd : Ast.var_decl) -> Names.Var.Map.add vd.var_name Value.Null acc)
+            Names.Var.Map.empty target_mi.m_ast.vars
+        in
+        let store =
+          List.fold_left
+            (fun acc (y, v) -> Names.Var.Map.add y (coerce_for_var target_mi y v) acc)
+            store init_values
+        in
+        let created =
+          Machine.create ~name:kind ~self:id' ~initial:target_mi.m_initial
+            ~entry:(Symtab.entry_stmt target_mi target_mi.m_initial)
+            ~store
+        in
+        let m' =
+          { m with
+            store = Names.Var.Map.add x (Value.Machine id') m.store;
+            agenda = rest }
+        in
+        let config = Config.update (Config.update config id' created) mid m' in
+        emit (Trace.Created { creator = Some mid; created = id'; kind });
+        `Yield (config, Created id'))
+    | Ast.Delete ->
+      emit (Trace.Deleted { mid });
+      `Terminated (Config.remove config mid)
+    | Ast.Send (target, event, payload) -> (
+      match eval tab mi m oracle target with
+      | Value.Null -> `Failed (m.name, Errors.Send_to_null stmt.sloc)
+      | Value.Machine dst -> (
+        let v = eval tab mi m oracle payload in
+        let config = Config.update config mid { m with agenda = rest } in
+        match Config.find config dst with
+        | None -> `Failed (m.name, Errors.Send_to_deleted (dst, stmt.sloc))
+        | Some target_m ->
+          (* [dedup = false] disables the ⊕ operator for the ablation study *)
+          let append = if dedup then Equeue.append else Equeue.append_no_dedup in
+          let target_m = { target_m with queue = append target_m.queue event v } in
+          emit (Trace.Sent { src = mid; dst; event; payload = v });
+          `Yield (Config.update config dst target_m, Sent { target = dst; event }))
+      | _ ->
+        `Failed
+          (m.name, Errors.Eval_error ("send target is not a machine id", stmt.sloc)))
+    | Ast.Raise (event, payload) ->
+      let v = eval tab mi m oracle payload in
+      (* raise terminates the remaining statement: [rest] is discarded *)
+      continue
+        { m with
+          msg = Some event;
+          arg = v;
+          agenda = [ Machine.Handle (event, v) ] }
+    | Ast.Leave -> continue { m with agenda = [] }
+    | Ast.Return -> (
+      match Machine.current_state m with
+      | None -> `Failed (m.name, Errors.Stack_underflow)
+      | Some n ->
+        continue
+          { m with
+            agenda = [ Machine.Exec (Symtab.exit_stmt mi n); Machine.Pop_return ] })
+    | Ast.Call_state n' -> (
+      match m.frames with
+      | [] -> `Failed (m.name, Errors.Stack_underflow)
+      | frame :: _ ->
+        let amap' = push_amap tab mi frame.fr_state frame.fr_amap in
+        let frame' = { Machine.fr_state = n'; fr_amap = amap'; fr_cont = rest } in
+        emit (Trace.Entered { mid; state = n' });
+        continue
+          { m with
+            frames = frame' :: m.frames;
+            agenda = [ Machine.Exec (Symtab.entry_stmt mi n') ] })
+    | Ast.Foreign_stmt (f, args) ->
+      let _ = List.map (eval tab mi m oracle) args in
+      ignore f;
+      continue { m with agenda = rest }
+  in
+  try loop config fuel (None, 0, 16)
+  with Choice_exhausted -> (Need_more_choices, [])
+
+(* ------------------------------------------------------------------ *)
+(* Program initialization                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** The initial configuration: a single instance of the program's main
+    machine with an empty input queue, about to run the entry statement of
+    its initial state. *)
+let initial_config (tab : Symtab.t) : Config.t * Mid.t * Trace.item list =
+  let program = tab.Symtab.program in
+  let mi = Symtab.machine_info_exn tab program.main in
+  let id0, config = Config.alloc Config.empty in
+  let store =
+    List.fold_left
+      (fun acc (vd : Ast.var_decl) -> Names.Var.Map.add vd.var_name Value.Null acc)
+      Names.Var.Map.empty mi.m_ast.vars
+  in
+  let store =
+    List.fold_left
+      (fun acc ((x, e) : Names.Var.t * Ast.expr) ->
+        let v =
+          match e.e with
+          | Ast.Null -> Value.Null
+          | Ast.Bool_lit b -> Value.Bool b
+          | Ast.Int_lit i -> Value.Int i
+          | Ast.Event_lit ev -> Value.Event ev
+          | _ -> Value.Null (* rejected by Wellformed.check_main *)
+        in
+        Names.Var.Map.add x (coerce_for_var mi x v) acc)
+      store program.main_init
+  in
+  let machine =
+    Machine.create ~name:program.main ~self:id0 ~initial:mi.m_initial
+      ~entry:(Symtab.entry_stmt mi mi.m_initial) ~store
+  in
+  ( Config.update config id0 machine,
+    id0,
+    [ Trace.Created { creator = None; created = id0; kind = program.main } ] )
+
+(** [enabled tab config]: identifiers of machines that can take a step
+    (the [en(m)] predicate of section 3.2). *)
+let enabled tab (config : Config.t) : Mid.t list =
+  Config.fold
+    (fun id m acc ->
+      let mi = Symtab.machine_info_exn tab m.Machine.name in
+      if Machine.is_enabled mi m then id :: acc else acc)
+    config []
+  |> List.rev

@@ -1,0 +1,49 @@
+(** The small-step operational semantics of P (Figures 4, 5, and 6),
+    packaged as *atomic blocks*: a machine runs from one scheduling point
+    to the next, where scheduling points are exactly [send] and [new]
+    (section 5's atomicity reduction — receives are right movers). Within
+    a block the machine is deterministic except for the ghost [*]
+    expression, whose outcomes are supplied explicitly so callers can
+    enumerate them.
+
+    Deliberate, documented deviations from the literal rules: exit
+    statements run for every frame popped during unhandled-event
+    propagation (matching the paper's prose), and a [⊥]-valued branch
+    condition is surfaced as an {!Errors.Eval_error} rather than a stuck
+    machine. *)
+
+type yield_reason =
+  | Sent of { target : Mid.t; event : P_syntax.Names.Event.t }
+  | Created of Mid.t
+
+type outcome =
+  | Progress of Config.t * yield_reason  (** reached a scheduling point *)
+  | Blocked of Config.t
+      (** agenda drained and no dequeuable event — the machine is disabled *)
+  | Terminated of Config.t  (** the machine executed [delete] *)
+  | Failed of Errors.t  (** an error configuration of Figure 6 *)
+  | Need_more_choices
+      (** a ghost [*] was evaluated beyond the supplied choice list; re-run
+          from the same configuration with the list extended *)
+
+val run_atomic :
+  ?fuel:int ->
+  ?dedup:bool ->
+  P_static.Symtab.t ->
+  Config.t ->
+  Mid.t ->
+  choices:bool list ->
+  outcome * Trace.item list
+(** Run machine [mid] for one atomic block. [choices] resolves ghost [*]
+    expressions in evaluation order. [fuel] (default 100000) bounds the
+    microsteps; a repeated local configuration inside the block is reported
+    as [Errors.Livelock] (Brent cycle detection). [dedup:false] disables
+    the [⊕] queue append (ablation only). The returned items are the
+    chronological happenings of the block. *)
+
+val initial_config : P_static.Symtab.t -> Config.t * Mid.t * Trace.item list
+(** The single-instance initial configuration of the program's main
+    machine, about to run the entry statement of its initial state. *)
+
+val enabled : P_static.Symtab.t -> Config.t -> Mid.t list
+(** Machines that can take a step — the [en(m)] predicate of section 3.2. *)

@@ -1,0 +1,53 @@
+(** Execution traces: the observable happenings of a run, used for
+    counterexample reporting, the liveness predicates of section 3.2
+    ([enq], [deq], [sched]), and the d=0 runtime-equivalence tests. *)
+
+open P_syntax
+
+type item =
+  | Created of { creator : Mid.t option; created : Mid.t; kind : Names.Machine.t }
+  | Sent of { src : Mid.t; dst : Mid.t; event : Names.Event.t; payload : Value.t }
+  | Dequeued of { mid : Mid.t; event : Names.Event.t; payload : Value.t }
+  | Raised of { mid : Mid.t; event : Names.Event.t }
+  | Entered of { mid : Mid.t; state : Names.State.t }
+  | Popped of { mid : Mid.t; state : Names.State.t option }
+      (** a frame was popped; [state] is the new top of the call stack *)
+  | Deleted of { mid : Mid.t }
+
+let pp_item ppf = function
+  | Created { creator; created; kind } ->
+    Fmt.pf ppf "%a creates %a : %a"
+      Fmt.(option ~none:(any "<host>") Mid.pp)
+      creator Mid.pp created Names.Machine.pp kind
+  | Sent { src; dst; event; payload } ->
+    if Value.is_null payload then
+      Fmt.pf ppf "%a -- %a --> %a" Mid.pp src Names.Event.pp event Mid.pp dst
+    else
+      Fmt.pf ppf "%a -- %a(%a) --> %a" Mid.pp src Names.Event.pp event Value.pp payload
+        Mid.pp dst
+  | Dequeued { mid; event; _ } -> Fmt.pf ppf "%a dequeues %a" Mid.pp mid Names.Event.pp event
+  | Raised { mid; event } -> Fmt.pf ppf "%a raises %a" Mid.pp mid Names.Event.pp event
+  | Entered { mid; state } -> Fmt.pf ppf "%a enters %a" Mid.pp mid Names.State.pp state
+  | Popped { mid; state } ->
+    Fmt.pf ppf "%a pops to %a" Mid.pp mid
+      Fmt.(option ~none:(any "<empty>") Names.State.pp)
+      state
+  | Deleted { mid } -> Fmt.pf ppf "%a deleted" Mid.pp mid
+
+type t = item list (* chronological order *)
+
+let pp ppf (t : t) = Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_item) t
+
+(** Projection to the externally observable communication actions (creates,
+    sends, dequeues, deletes) restricted to a set of machines; used to compare
+    the checker's d=0 schedule with the runtime execution. *)
+let observable ?(only : Mid.Set.t option) (t : t) : item list =
+  let keep mid = match only with None -> true | Some s -> Mid.Set.mem mid s in
+  List.filter
+    (function
+      | Created { created; _ } -> keep created
+      | Sent { src; dst; _ } -> keep src && keep dst
+      | Dequeued { mid; _ } -> keep mid
+      | Deleted { mid } -> keep mid
+      | Raised _ | Entered _ | Popped _ -> false)
+    t

@@ -1,0 +1,108 @@
+(** Runtime values of P.
+
+    [Null] is the paper's undefined value [⊥]: it arises as the constant
+    [null], as the content of uninitialized variables, and it propagates
+    through every operator (section 3, "Expressions and evaluation"). *)
+
+open P_syntax
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Event of Names.Event.t
+  | Machine of Mid.t
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Event x, Event y -> Names.Event.equal x y
+  | Machine x, Machine y -> Mid.equal x y
+  | (Null | Bool _ | Int _ | Event _ | Machine _), _ -> false
+
+let compare a b =
+  let rank = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ -> 2
+    | Event _ -> 3
+    | Machine _ -> 4
+  in
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Event x, Event y -> Names.Event.compare x y
+  | Machine x, Machine y -> Mid.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Event e -> Names.Event.pp ppf e
+  | Machine id -> Mid.pp ppf id
+
+let to_string v = Fmt.str "%a" pp v
+
+let is_null = function Null -> true | _ -> false
+
+(** [truth v] is [Some b] when [v] is the boolean [b]; [None] otherwise
+    (including [⊥], for which neither IF-THEN nor IF-ELSE applies). *)
+let truth = function Bool b -> Some b | Null | Int _ | Event _ | Machine _ -> None
+
+(** Evaluation of operators. Any [⊥] operand yields [⊥]; a well-typed
+    non-null operand combination always succeeds; anything else is a dynamic
+    type error reported as [Error]. *)
+
+type 'a op_result = Ok of 'a | Type_error of string
+
+let unop (op : Ast.unop) (v : t) : t op_result =
+  match (op, v) with
+  | _, Null -> Ok Null
+  | Ast.Not, Bool b -> Ok (Bool (not b))
+  | Ast.Neg, Int i -> Ok (Int (-i))
+  | Ast.Not, (Int _ | Event _ | Machine _) -> Type_error "'!' applied to non-boolean"
+  | Ast.Neg, (Bool _ | Event _ | Machine _) -> Type_error "unary '-' applied to non-integer"
+
+let binop (op : Ast.binop) (a : t) (b : t) : t op_result =
+  let arith f =
+    match (a, b) with
+    | Null, _ | _, Null -> Ok Null
+    | Int x, Int y -> f x y
+    | _ -> Type_error "arithmetic on non-integers"
+  in
+  let cmp f =
+    match (a, b) with
+    | Null, _ | _, Null -> Ok Null
+    | Int x, Int y -> Ok (Bool (f x y))
+    | _ -> Type_error "comparison of non-integers"
+  in
+  let logic f =
+    match (a, b) with
+    | Null, _ | _, Null -> Ok Null
+    | Bool x, Bool y -> Ok (Bool (f x y))
+    | _ -> Type_error "boolean operator on non-booleans"
+  in
+  match op with
+  | Ast.Add -> arith (fun x y -> Ok (Int (x + y)))
+  | Ast.Sub -> arith (fun x y -> Ok (Int (x - y)))
+  | Ast.Mul -> arith (fun x y -> Ok (Int (x * y)))
+  | Ast.Div -> arith (fun x y -> if y = 0 then Type_error "division by zero" else Ok (Int (x / y)))
+  | Ast.Mod -> arith (fun x y -> if y = 0 then Type_error "modulo by zero" else Ok (Int (x mod y)))
+  | Ast.And -> logic ( && )
+  | Ast.Or -> logic ( || )
+  | Ast.Lt -> cmp ( < )
+  | Ast.Le -> cmp ( <= )
+  | Ast.Gt -> cmp ( > )
+  | Ast.Ge -> cmp ( >= )
+  | Ast.Eq -> (
+    match (a, b) with
+    | Null, _ | _, Null -> Ok Null
+    | _ -> Ok (Bool (equal a b)))
+  | Ast.Neq -> (
+    match (a, b) with
+    | Null, _ | _, Null -> Ok Null
+    | _ -> Ok (Bool (not (equal a b))))

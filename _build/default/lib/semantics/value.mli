@@ -1,0 +1,29 @@
+(** Runtime values of P. [Null] is the paper's undefined value [⊥]: it
+    arises as the constant [null] and from uninitialized variables, and it
+    propagates through every operator (section 3, "Expressions and
+    evaluation"). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Event of P_syntax.Names.Event.t
+  | Machine of Mid.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+val is_null : t -> bool
+
+val truth : t -> bool option
+(** [Some b] for booleans; [None] otherwise — including [⊥], on which no
+    branching rule of Figure 4 applies. *)
+
+type 'a op_result = Ok of 'a | Type_error of string
+
+val unop : P_syntax.Ast.unop -> t -> t op_result
+(** [⊥] operands yield [⊥]; ill-typed operands yield [Type_error]. *)
+
+val binop : P_syntax.Ast.binop -> t -> t -> t op_result
+(** As {!unop}; division and modulo by zero are [Type_error]. *)

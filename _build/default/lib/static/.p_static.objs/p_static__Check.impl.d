@@ -1,0 +1,1 @@
+lib/static/check.ml: Fmt Ghost P_syntax Printexc Symtab Typecheck Wellformed

@@ -1,0 +1,1 @@
+lib/static/check.mli: Fmt P_syntax Symtab

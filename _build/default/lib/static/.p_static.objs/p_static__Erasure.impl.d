@@ -1,0 +1,1 @@
+lib/static/erasure.ml: Ast Ghost List P_syntax Symtab

@@ -1,0 +1,1 @@
+lib/static/erasure.mli: P_syntax Symtab

@@ -1,0 +1,1 @@
+lib/static/ghost.mli: P_syntax Symtab

@@ -1,0 +1,1 @@
+lib/static/symtab.ml: Ast Fmt List Loc Names P_syntax Ptype

@@ -1,0 +1,1 @@
+lib/static/symtab.mli: Ast Fmt Format Loc Names P_syntax Ptype

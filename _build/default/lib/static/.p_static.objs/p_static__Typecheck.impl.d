@@ -1,0 +1,1 @@
+lib/static/typecheck.ml: Ast Fmt List Names P_syntax Ptype Symtab

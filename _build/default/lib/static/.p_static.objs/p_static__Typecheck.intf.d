@@ -1,0 +1,1 @@
+lib/static/typecheck.mli: Fmt P_syntax Symtab

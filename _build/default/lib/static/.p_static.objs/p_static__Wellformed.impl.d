@@ -1,0 +1,1 @@
+lib/static/wellformed.ml: Ast Fmt Format List Loc Names P_syntax Symtab

@@ -1,0 +1,1 @@
+lib/static/wellformed.mli: Symtab

@@ -1,0 +1,32 @@
+(** One-call front end over all static phases: symbol resolution,
+    well-formedness, type checking, and the ghost-erasure discipline. *)
+
+type result = { symtab : Symtab.t; diagnostics : Symtab.diagnostic list }
+
+(** Run every static check. [diagnostics] is empty iff the program is
+    accepted; later phases run even when earlier ones report errors, so a
+    single pass reports as much as possible. *)
+let run (program : P_syntax.Ast.program) : result =
+  let symtab = Symtab.build program in
+  let wf = Wellformed.check symtab in
+  let ty = Typecheck.check symtab in
+  let gh = Ghost.check symtab in
+  { symtab; diagnostics = wf @ ty @ gh }
+
+let is_ok r = r.diagnostics = []
+
+exception Rejected of Symtab.diagnostic list
+
+(** Like {!run} but raises {!Rejected} on any diagnostic; returns the symbol
+    table of an accepted program. *)
+let run_exn program =
+  let r = run program in
+  if is_ok r then r.symtab else raise (Rejected r.diagnostics)
+
+let pp_diagnostics ppf ds =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Symtab.pp_diagnostic) ds
+
+let () =
+  Printexc.register_printer (function
+    | Rejected ds -> Some (Fmt.str "Check.Rejected:@.%a" pp_diagnostics ds)
+    | _ -> None)

@@ -1,0 +1,19 @@
+(** One-call front end over all static phases: symbol resolution,
+    well-formedness, type checking, and the ghost-erasure discipline of
+    section 3.3. *)
+
+type result = { symtab : Symtab.t; diagnostics : Symtab.diagnostic list }
+
+val run : P_syntax.Ast.program -> result
+(** Run every static check; [diagnostics] is empty iff the program is
+    accepted. Later phases run even when earlier ones report errors, so one
+    pass reports as much as possible. *)
+
+val is_ok : result -> bool
+
+exception Rejected of Symtab.diagnostic list
+
+val run_exn : P_syntax.Ast.program -> Symtab.t
+(** Like {!run} but raises {!Rejected} on any diagnostic. *)
+
+val pp_diagnostics : Symtab.diagnostic list Fmt.t

@@ -1,0 +1,77 @@
+(** Ghost erasure: the compilation step that removes ghost machines, ghost
+    variables, ghost sends, and ghost assertions from a program
+    (section 3.3). {!Ghost.check} must have passed for the erasure to be
+    semantics preserving; [erase] itself is total and simply drops the ghost
+    fragments. *)
+
+open P_syntax
+
+let skip_at loc : Ast.stmt = { Ast.s = Ast.Skip; sloc = loc }
+
+let rec erase_stmt tab (mi : Symtab.machine_info) (stmt : Ast.stmt) : Ast.stmt =
+  let ghost = Ghost.ghost_tainted mi in
+  match stmt.s with
+  | Ast.Assign (x, _) when Ghost.is_ghost_var mi x -> skip_at stmt.sloc
+  | Ast.New (_, target, _) when Symtab.is_ghost_machine tab target -> skip_at stmt.sloc
+  | Ast.Send (target, _, _) when Ghost.id_ghostness mi target = Some true ->
+    skip_at stmt.sloc
+  | Ast.Assert e when ghost e -> skip_at stmt.sloc
+  | Ast.Seq (a, b) -> (
+    let a = erase_stmt tab mi a in
+    let b = erase_stmt tab mi b in
+    match (a.s, b.s) with
+    | Ast.Skip, _ -> b
+    | _, Ast.Skip -> a
+    | _ -> { stmt with s = Ast.Seq (a, b) })
+  | Ast.If (c, t, f) ->
+    { stmt with s = Ast.If (c, erase_stmt tab mi t, erase_stmt tab mi f) }
+  | Ast.While (c, body) -> { stmt with s = Ast.While (c, erase_stmt tab mi body) }
+  | Ast.Skip | Ast.Assign _ | Ast.New _ | Ast.Delete | Ast.Send _ | Ast.Raise _
+  | Ast.Leave | Ast.Return | Ast.Assert _ | Ast.Call_state _ | Ast.Foreign_stmt _ ->
+    stmt
+
+let erase_machine tab (mi : Symtab.machine_info) : Ast.machine =
+  let m = mi.m_ast in
+  { m with
+    vars = List.filter (fun (vd : Ast.var_decl) -> not vd.var_ghost) m.vars;
+    actions =
+      List.map
+        (fun (ad : Ast.action_decl) ->
+          { ad with action_body = erase_stmt tab mi ad.action_body })
+        m.actions;
+    states =
+      List.map
+        (fun (st : Ast.state) ->
+          { st with
+            entry = erase_stmt tab mi st.entry;
+            exit = erase_stmt tab mi st.exit })
+        m.states;
+    foreigns =
+      List.map (fun (fd : Ast.foreign_decl) -> { fd with foreign_model = None }) m.foreigns
+  }
+
+(** [erase tab] is the compiled (real-only) program: ghost machines dropped,
+    and every real machine scrubbed of ghost statements. The initialization
+    statement is preserved only when the main machine is real; a program whose
+    main machine is ghost is driven entirely by the environment after erasure,
+    which we represent by pointing [main] at the first real machine. *)
+let erase (tab : Symtab.t) : Ast.program =
+  let program = tab.Symtab.program in
+  let real_machines =
+    List.filter_map
+      (fun (m : Ast.machine) ->
+        if m.machine_ghost then None
+        else
+          match Symtab.machine_info tab m.machine_name with
+          | Some mi -> Some (erase_machine tab mi)
+          | None -> Some m)
+      program.machines
+  in
+  let main, main_init =
+    if Symtab.is_ghost_machine tab program.main then
+      match real_machines with
+      | [] -> (program.main, [])
+      | m :: _ -> (m.machine_name, [])
+    else (program.main, program.main_init)
+  in
+  { program with machines = real_machines; main; main_init }

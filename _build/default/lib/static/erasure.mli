@@ -1,0 +1,17 @@
+(** Ghost erasure: the compilation step that removes ghost machines, ghost
+    variables, ghost sends, and ghost assertions (section 3.3).
+    {!Ghost.check} must have passed for the erasure to be semantics
+    preserving; [erase] itself is total. *)
+
+val erase_stmt :
+  Symtab.t -> Symtab.machine_info -> P_syntax.Ast.stmt -> P_syntax.Ast.stmt
+(** Scrub one statement of a real machine (ghost assignments, ghost sends,
+    ghost-tainted assertions become [skip]; [skip]s are folded away). *)
+
+val erase_machine : Symtab.t -> Symtab.machine_info -> P_syntax.Ast.machine
+
+val erase : Symtab.t -> P_syntax.Ast.program
+(** The compiled (real-only) program. When the main machine was ghost, the
+    initialization statement is re-pointed at the first real machine — after
+    erasure the host creates the first machine, as the paper's interface
+    code does. *)

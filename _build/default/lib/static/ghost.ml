@@ -1,0 +1,135 @@
+(** The ghost-erasure type system (section 3.3 of the paper).
+
+    Ghost machines, ghost variables, and events sent to ghost machines exist
+    only for verification and are erased during compilation. This analysis
+    guarantees that the erasure is semantics preserving: within *real*
+    machines, ghost terms must not influence real computation (assertions
+    excepted), and machine-identifier values are completely separated — a
+    ghost [id] variable only ever refers to ghost machines and a real [id]
+    variable only to real machines — so every [send] targeting a ghost
+    machine can be identified syntactically and removed.
+
+    Concretely, in every real machine:
+    - an expression is ghost-tainted iff it mentions a ghost variable;
+    - real variables may not be assigned ghost-tainted expressions;
+    - [id]-typed assignments must preserve ghostness in both directions;
+    - branch and loop conditions must be real;
+    - [send] to a ghost-tainted target is a ghost send: it is erased, and its
+      payload may be ghost; a [send] with a real target must have a real
+      payload;
+    - [raise] drives the real machine itself, so its payload must be real;
+    - [new] of a ghost machine must store into a ghost variable (and vice
+      versa); initializers flowing into a real machine must be real;
+    - [assert] may freely mention ghost state (it is erased with its
+      ghost operands at compile time);
+    - arguments of foreign calls must be real (they execute at run time);
+      foreign *models* are verification-only and exempt.
+
+    Ghost machines themselves are unconstrained. *)
+
+open P_syntax
+
+let errs acc loc fmt = Fmt.kstr (fun dmsg -> acc := { Symtab.dloc = loc; dmsg } :: !acc) fmt
+
+let is_ghost_var (mi : Symtab.machine_info) x =
+  match Symtab.var_decl mi x with Some vd -> vd.Ast.var_ghost | None -> false
+
+(** An expression is ghost-tainted when it reads any ghost variable. *)
+let rec ghost_tainted mi (expr : Ast.expr) =
+  match expr.e with
+  | Ast.Var x -> is_ghost_var mi x
+  | Ast.Nondet -> true
+  | Ast.Unop (_, a) -> ghost_tainted mi a
+  | Ast.Binop (_, a, b) -> ghost_tainted mi a || ghost_tainted mi b
+  | Ast.Foreign_call (_, args) -> List.exists (ghost_tainted mi) args
+  | Ast.This | Ast.Msg | Ast.Arg | Ast.Null | Ast.Bool_lit _ | Ast.Int_lit _
+  | Ast.Event_lit _ -> false
+
+(* Ghostness of an id-typed expression, where determinable. [None] means the
+   expression is not a machine reference we can classify (e.g. [null]). *)
+let id_ghostness mi (expr : Ast.expr) =
+  match expr.e with
+  | Ast.Var x -> Some (is_ghost_var mi x)
+  | Ast.This -> Some false (* [this] in a real machine is a real reference *)
+  | _ -> None
+
+let check_real_expr mi acc what (e : Ast.expr) =
+  if ghost_tainted mi e then
+    errs acc e.eloc "%s in real machine %a must not depend on ghost state" what
+      Names.Machine.pp mi.Symtab.m_ast.machine_name
+
+let rec check_stmt tab (mi : Symtab.machine_info) acc (stmt : Ast.stmt) =
+  match stmt.s with
+  | Ast.Skip | Ast.Delete | Ast.Leave | Ast.Return | Ast.Call_state _ -> ()
+  | Ast.Assert _ -> () (* assertions may inspect ghost state *)
+  | Ast.Assign (x, e) ->
+    let xg = is_ghost_var mi x in
+    if (not xg) && ghost_tainted mi e then
+      errs acc stmt.sloc "real variable %a must not be assigned a ghost expression"
+        Names.Var.pp x;
+    (* complete separation of machine identifiers *)
+    (match Symtab.var_decl mi x with
+    | Some vd when vd.Ast.var_type = Ptype.Machine_id -> (
+      match id_ghostness mi e with
+      | Some eg when eg <> xg ->
+        errs acc stmt.sloc
+          "machine-identifier assignment mixes ghost and real references (%a)"
+          Names.Var.pp x
+      | Some _ | None -> ())
+    | Some _ | None -> ())
+  | Ast.New (x, target, inits) ->
+    let xg = is_ghost_var mi x in
+    let target_ghost = Symtab.is_ghost_machine tab target in
+    if target_ghost && not xg then
+      errs acc stmt.sloc
+        "reference to new ghost machine %a must be stored in a ghost variable"
+        Names.Machine.pp target;
+    if (not target_ghost) && xg then
+      errs acc stmt.sloc
+        "reference to new real machine %a must be stored in a real variable"
+        Names.Machine.pp target;
+    if not target_ghost then
+      List.iter
+        (fun (y, e) ->
+          match Symtab.machine_info tab target with
+          | Some tmi when not (is_ghost_var tmi y) ->
+            check_real_expr mi acc "initializer of a real machine" e
+          | Some _ | None -> ())
+        inits
+  | Ast.Send (target, _, payload) -> (
+    match id_ghostness mi target with
+    | Some true -> () (* ghost send: erased entirely; payload unconstrained *)
+    | Some false | None ->
+      check_real_expr mi acc "target of a real send" target;
+      check_real_expr mi acc "payload of a real send" payload)
+  | Ast.Raise (_, payload) -> check_real_expr mi acc "payload of raise" payload
+  | Ast.Seq (a, b) ->
+    check_stmt tab mi acc a;
+    check_stmt tab mi acc b
+  | Ast.If (c, t, f) ->
+    check_real_expr mi acc "branch condition" c;
+    check_stmt tab mi acc t;
+    check_stmt tab mi acc f
+  | Ast.While (c, body) ->
+    check_real_expr mi acc "loop condition" c;
+    check_stmt tab mi acc body
+  | Ast.Foreign_stmt (_, args) ->
+    List.iter (check_real_expr mi acc "argument of a foreign call") args
+
+let check_machine tab acc (mi : Symtab.machine_info) =
+  if not mi.m_ast.machine_ghost then begin
+    List.iter
+      (fun (st : Ast.state) ->
+        check_stmt tab mi acc st.Ast.entry;
+        check_stmt tab mi acc st.Ast.exit)
+      mi.m_ast.states;
+    List.iter
+      (fun (ad : Ast.action_decl) -> check_stmt tab mi acc ad.action_body)
+      mi.m_ast.actions
+  end
+
+(** Check the erasure discipline on every real machine. *)
+let check (tab : Symtab.t) : Symtab.diagnostic list =
+  let acc = ref [] in
+  Names.Machine.Tbl.iter (fun _ mi -> check_machine tab acc mi) tab.machines;
+  List.rev !acc

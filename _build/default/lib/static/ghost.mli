@@ -1,0 +1,18 @@
+(** The ghost-erasure type system (section 3.3): within real machines,
+    ghost state must not influence real computation (assertions excepted),
+    and machine-identifier values are completely separated between the
+    ghost and real worlds so every send to a ghost machine can be erased
+    syntactically. See the implementation header for the full rule list. *)
+
+val is_ghost_var : Symtab.machine_info -> P_syntax.Names.Var.t -> bool
+
+val ghost_tainted : Symtab.machine_info -> P_syntax.Ast.expr -> bool
+(** True when the expression reads any ghost variable (or [*]). *)
+
+val id_ghostness : Symtab.machine_info -> P_syntax.Ast.expr -> bool option
+(** Ghostness of an id-typed expression where determinable: [Some true] for
+    ghost references, [Some false] for real ones ([this], real variables),
+    [None] for unclassifiable expressions such as [null]. *)
+
+val check : Symtab.t -> Symtab.diagnostic list
+(** Check the erasure discipline on every real machine. *)

@@ -1,0 +1,257 @@
+(** Resolved symbol tables for a P program.
+
+    [Symtab.build] digests an {!P_syntax.Ast.program} into hash-consed lookup
+    structures for the meta-functions of the paper's operational semantics —
+    [Init(m)], [Step(m,n,e)], [Call(m,n,e)], [Action(m,n,e)], [Stmt(m,a)],
+    [Deferred(m,n)], [Entry(m,n)], [Exit(m,n)] — so that the interpreter and
+    model checker never scan declaration lists. Duplicate-name and
+    dangling-reference diagnostics are collected during the build; a table is
+    produced even for ill-formed programs so that later phases can report as
+    many errors as possible. *)
+
+open P_syntax
+
+type diagnostic = { dloc : Loc.t; dmsg : string }
+
+let diag dloc fmt = Fmt.kstr (fun dmsg -> { dloc; dmsg }) fmt
+
+let pp_diagnostic ppf d = Fmt.pf ppf "%a: %s" Loc.pp d.dloc d.dmsg
+
+(** Per-state resolved information. *)
+type state_info = {
+  st_ast : Ast.state;
+  st_deferred : Names.Event.Set.t;
+  st_postponed : Names.Event.Set.t;
+  st_steps : Names.State.t Names.Event.Map.t;
+  st_calls : Names.State.t Names.Event.Map.t;
+  st_actions : Names.Action.t Names.Event.Map.t;
+}
+
+(** Per-machine resolved information. *)
+type machine_info = {
+  m_ast : Ast.machine;
+  m_states : state_info Names.State.Tbl.t;
+  m_initial : Names.State.t;
+  m_vars : Ast.var_decl Names.Var.Tbl.t;
+  m_actions : Ast.stmt Names.Action.Tbl.t;
+  m_foreigns : Ast.foreign_decl Names.Foreign.Tbl.t;
+}
+
+type t = {
+  program : Ast.program;
+  events : Ast.event_decl Names.Event.Tbl.t;
+  machines : machine_info Names.Machine.Tbl.t;
+  event_universe : Names.Event.t list;  (** all declared events, in order *)
+  diagnostics : diagnostic list;  (** name-resolution problems, oldest first *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Accessors used by the interpreter (total over well-formed tables).  *)
+(* ------------------------------------------------------------------ *)
+
+let machine_info t name = Names.Machine.Tbl.find_opt t.machines name
+
+let machine_info_exn t name =
+  match machine_info t name with
+  | Some mi -> mi
+  | None -> invalid_arg (Fmt.str "Symtab: unknown machine %a" Names.Machine.pp name)
+
+let state_info mi name = Names.State.Tbl.find_opt mi.m_states name
+
+let state_info_exn mi name =
+  match state_info mi name with
+  | Some si -> si
+  | None -> invalid_arg (Fmt.str "Symtab: unknown state %a" Names.State.pp name)
+
+(** [Step(m, n, e)] *)
+let step_target mi state event =
+  match state_info mi state with
+  | None -> None
+  | Some si -> Names.Event.Map.find_opt event si.st_steps
+
+(** [Call(m, n, e)] *)
+let call_target mi state event =
+  match state_info mi state with
+  | None -> None
+  | Some si -> Names.Event.Map.find_opt event si.st_calls
+
+(** [Trans(m, n, e)] = [Step] ∪ [Call]. *)
+let trans_defined mi state event =
+  step_target mi state event <> None || call_target mi state event <> None
+
+(** [Action(m, n, e)] *)
+let bound_action mi state event =
+  match state_info mi state with
+  | None -> None
+  | Some si -> Names.Event.Map.find_opt event si.st_actions
+
+(** [Stmt(m, a)] *)
+let action_stmt mi action = Names.Action.Tbl.find_opt mi.m_actions action
+
+(** [Deferred(m, n)] *)
+let deferred_set mi state =
+  match state_info mi state with
+  | None -> Names.Event.Set.empty
+  | Some si -> si.st_deferred
+
+let postponed_set mi state =
+  match state_info mi state with
+  | None -> Names.Event.Set.empty
+  | Some si -> si.st_postponed
+
+let entry_stmt mi state = (state_info_exn mi state).st_ast.Ast.entry
+
+let exit_stmt mi state = (state_info_exn mi state).st_ast.Ast.exit
+
+let var_decl mi name = Names.Var.Tbl.find_opt mi.m_vars name
+
+let foreign_decl mi name = Names.Foreign.Tbl.find_opt mi.m_foreigns name
+
+let event_decl t name = Names.Event.Tbl.find_opt t.events name
+
+let event_payload_type t name =
+  match event_decl t name with
+  | Some ev -> ev.Ast.event_payload
+  | None -> Ptype.Void
+
+let is_ghost_machine t name =
+  match machine_info t name with Some mi -> mi.m_ast.Ast.machine_ghost | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build_state_info (m : Ast.machine) (st : Ast.state) diags =
+  let add_transition what map (tr : Ast.transition) =
+    match Names.Event.Map.find_opt tr.tr_event !map with
+    | Some _ ->
+      diags :=
+        diag tr.tr_loc "duplicate %s transition on event %a from state %a" what
+          Names.Event.pp tr.tr_event Names.State.pp tr.tr_source
+        :: !diags
+    | None -> map := Names.Event.Map.add tr.tr_event tr.tr_target !map
+  in
+  let steps = ref Names.Event.Map.empty in
+  let calls = ref Names.Event.Map.empty in
+  List.iter
+    (fun (tr : Ast.transition) ->
+      if Names.State.equal tr.tr_source st.state_name then
+        add_transition "step" steps tr)
+    m.steps;
+  List.iter
+    (fun (tr : Ast.transition) ->
+      if Names.State.equal tr.tr_source st.state_name then begin
+        (if Names.Event.Map.mem tr.tr_event !steps then
+           diags :=
+             diag tr.tr_loc
+               "event %a has both a step and a call transition from state %a"
+               Names.Event.pp tr.tr_event Names.State.pp tr.tr_source
+             :: !diags);
+        add_transition "call" calls tr
+      end)
+    m.calls;
+  let actions = ref Names.Event.Map.empty in
+  List.iter
+    (fun (bd : Ast.binding) ->
+      if Names.State.equal bd.bd_state st.state_name then
+        match Names.Event.Map.find_opt bd.bd_event !actions with
+        | Some _ ->
+          diags :=
+            diag bd.bd_loc "duplicate action binding for event %a in state %a"
+              Names.Event.pp bd.bd_event Names.State.pp bd.bd_state
+            :: !diags
+        | None -> actions := Names.Event.Map.add bd.bd_event bd.bd_action !actions)
+    m.bindings;
+  { st_ast = st;
+    st_deferred = Names.Event.Set.of_list st.deferred;
+    st_postponed = Names.Event.Set.of_list st.postponed;
+    st_steps = !steps;
+    st_calls = !calls;
+    st_actions = !actions }
+
+let build_machine_info (m : Ast.machine) diags =
+  let states = Names.State.Tbl.create 16 in
+  List.iter
+    (fun (st : Ast.state) ->
+      if Names.State.Tbl.mem states st.state_name then
+        diags :=
+          diag st.state_loc "duplicate state %a in machine %a" Names.State.pp
+            st.state_name Names.Machine.pp m.machine_name
+          :: !diags
+      else Names.State.Tbl.add states st.state_name (build_state_info m st diags))
+    m.states;
+  let vars = Names.Var.Tbl.create 16 in
+  List.iter
+    (fun (vd : Ast.var_decl) ->
+      if Names.Var.Tbl.mem vars vd.var_name then
+        diags :=
+          diag vd.var_loc "duplicate variable %a in machine %a" Names.Var.pp
+            vd.var_name Names.Machine.pp m.machine_name
+          :: !diags
+      else Names.Var.Tbl.add vars vd.var_name vd)
+    m.vars;
+  let actions = Names.Action.Tbl.create 16 in
+  List.iter
+    (fun (ad : Ast.action_decl) ->
+      if Names.Action.Tbl.mem actions ad.action_name then
+        diags :=
+          diag ad.action_loc "duplicate action %a in machine %a" Names.Action.pp
+            ad.action_name Names.Machine.pp m.machine_name
+          :: !diags
+      else Names.Action.Tbl.add actions ad.action_name ad.action_body)
+    m.actions;
+  let foreigns = Names.Foreign.Tbl.create 8 in
+  List.iter
+    (fun (fd : Ast.foreign_decl) ->
+      if Names.Foreign.Tbl.mem foreigns fd.foreign_name then
+        diags :=
+          diag fd.foreign_loc "duplicate foreign function %a in machine %a"
+            Names.Foreign.pp fd.foreign_name Names.Machine.pp m.machine_name
+          :: !diags
+      else Names.Foreign.Tbl.add foreigns fd.foreign_name fd)
+    m.foreigns;
+  let initial =
+    match m.states with
+    | [] ->
+      diags :=
+        diag m.machine_loc "machine %a has no states" Names.Machine.pp m.machine_name
+        :: !diags;
+      Names.State.of_string "<none>"
+    | st :: _ -> st.state_name
+  in
+  { m_ast = m;
+    m_states = states;
+    m_initial = initial;
+    m_vars = vars;
+    m_actions = actions;
+    m_foreigns = foreigns }
+
+let build (program : Ast.program) : t =
+  let diags = ref [] in
+  let events = Names.Event.Tbl.create 32 in
+  List.iter
+    (fun (ev : Ast.event_decl) ->
+      if Names.Event.Tbl.mem events ev.event_name then
+        diags :=
+          diag ev.event_loc "duplicate event %a" Names.Event.pp ev.event_name :: !diags
+      else Names.Event.Tbl.add events ev.event_name ev)
+    program.events;
+  let machines = Names.Machine.Tbl.create 16 in
+  List.iter
+    (fun (m : Ast.machine) ->
+      if Names.Machine.Tbl.mem machines m.machine_name then
+        diags :=
+          diag m.machine_loc "duplicate machine %a" Names.Machine.pp m.machine_name
+          :: !diags
+      else Names.Machine.Tbl.add machines m.machine_name (build_machine_info m diags))
+    program.machines;
+  (if not (Names.Machine.Tbl.mem machines program.main) then
+     diags :=
+       diag Loc.none "initialization statement names unknown machine %a"
+         Names.Machine.pp program.main
+       :: !diags);
+  { program;
+    events;
+    machines;
+    event_universe = List.map (fun (ev : Ast.event_decl) -> ev.event_name) program.events;
+    diagnostics = List.rev !diags }

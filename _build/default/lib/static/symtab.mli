@@ -1,0 +1,84 @@
+(** Resolved symbol tables: hash-consed lookup structures for the
+    meta-functions of the operational semantics — [Init(m)], [Step(m,n,e)],
+    [Call(m,n,e)], [Action(m,n,e)], [Stmt(m,a)], [Deferred(m,n)],
+    [Entry(m,n)], [Exit(m,n)] — so the interpreter and checker never scan
+    declaration lists. Duplicate-name diagnostics are collected during the
+    build; a table is produced even for ill-formed programs so later phases
+    can report as much as possible. *)
+
+open P_syntax
+
+type diagnostic = { dloc : Loc.t; dmsg : string }
+
+val diag : Loc.t -> ('a, Format.formatter, unit, diagnostic) format4 -> 'a
+val pp_diagnostic : diagnostic Fmt.t
+
+(** Per-state resolved information. *)
+type state_info = {
+  st_ast : Ast.state;
+  st_deferred : Names.Event.Set.t;
+  st_postponed : Names.Event.Set.t;
+  st_steps : Names.State.t Names.Event.Map.t;
+  st_calls : Names.State.t Names.Event.Map.t;
+  st_actions : Names.Action.t Names.Event.Map.t;
+}
+
+(** Per-machine resolved information. *)
+type machine_info = {
+  m_ast : Ast.machine;
+  m_states : state_info Names.State.Tbl.t;
+  m_initial : Names.State.t;
+  m_vars : Ast.var_decl Names.Var.Tbl.t;
+  m_actions : Ast.stmt Names.Action.Tbl.t;
+  m_foreigns : Ast.foreign_decl Names.Foreign.Tbl.t;
+}
+
+type t = {
+  program : Ast.program;
+  events : Ast.event_decl Names.Event.Tbl.t;
+  machines : machine_info Names.Machine.Tbl.t;
+  event_universe : Names.Event.t list;  (** all declared events, in order *)
+  diagnostics : diagnostic list;  (** name-resolution problems, oldest first *)
+}
+
+val build : Ast.program -> t
+
+(** {2 Accessors (the paper's meta-functions)} *)
+
+val machine_info : t -> Names.Machine.t -> machine_info option
+val machine_info_exn : t -> Names.Machine.t -> machine_info
+val state_info : machine_info -> Names.State.t -> state_info option
+val state_info_exn : machine_info -> Names.State.t -> state_info
+
+val step_target : machine_info -> Names.State.t -> Names.Event.t -> Names.State.t option
+(** [Step(m, n, e)] *)
+
+val call_target : machine_info -> Names.State.t -> Names.Event.t -> Names.State.t option
+(** [Call(m, n, e)] *)
+
+val trans_defined : machine_info -> Names.State.t -> Names.Event.t -> bool
+(** [Trans(m, n, e) ≠ ⊥] *)
+
+val bound_action :
+  machine_info -> Names.State.t -> Names.Event.t -> Names.Action.t option
+(** [Action(m, n, e)] *)
+
+val action_stmt : machine_info -> Names.Action.t -> Ast.stmt option
+(** [Stmt(m, a)] *)
+
+val deferred_set : machine_info -> Names.State.t -> Names.Event.Set.t
+(** [Deferred(m, n)] *)
+
+val postponed_set : machine_info -> Names.State.t -> Names.Event.Set.t
+
+val entry_stmt : machine_info -> Names.State.t -> Ast.stmt
+(** [Entry(m, n)]; the state must exist. *)
+
+val exit_stmt : machine_info -> Names.State.t -> Ast.stmt
+(** [Exit(m, n)]; the state must exist. *)
+
+val var_decl : machine_info -> Names.Var.t -> Ast.var_decl option
+val foreign_decl : machine_info -> Names.Foreign.t -> Ast.foreign_decl option
+val event_decl : t -> Names.Event.t -> Ast.event_decl option
+val event_payload_type : t -> Names.Event.t -> Ptype.t
+val is_ghost_machine : t -> Names.Machine.t -> bool

@@ -1,0 +1,187 @@
+(** The simple type system of P (section 3.3): expressions and statements are
+    checked against the declared types of variables and event payloads.
+
+    The special variable [arg] (the payload of the last received event) and
+    the constant [null] are dynamically typed — the paper's [⊥] value
+    inhabits every type — so both are given the unknown type, which is
+    compatible with everything; misuse is then caught at verification time
+    by the operational semantics. *)
+
+open P_syntax
+
+type ty = Known of Ptype.t | Unknown
+
+let pp_ty ppf = function
+  | Known t -> Ptype.pp ppf t
+  | Unknown -> Fmt.string ppf "<dynamic>"
+
+let compatible a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> true
+  | Known x, Known y ->
+    Ptype.assignable ~from:x ~into:y || Ptype.assignable ~from:y ~into:x
+
+let errs acc loc fmt = Fmt.kstr (fun dmsg -> acc := { Symtab.dloc = loc; dmsg } :: !acc) fmt
+
+let var_type (mi : Symtab.machine_info) x =
+  match Symtab.var_decl mi x with
+  | Some vd -> Known vd.Ast.var_type
+  | None -> Unknown (* unresolved names were already reported by Wellformed *)
+
+let rec type_of_expr tab (mi : Symtab.machine_info) acc (expr : Ast.expr) : ty =
+  let require what want e =
+    let t = type_of_expr tab mi acc e in
+    if not (compatible t (Known want)) then
+      errs acc e.Ast.eloc "%s must have type %a, found %a" what Ptype.pp want pp_ty t
+  in
+  match expr.e with
+  | Ast.This -> Known Ptype.Machine_id
+  | Ast.Msg -> Known Ptype.Event
+  | Ast.Arg -> Unknown
+  | Ast.Null -> Unknown
+  | Ast.Bool_lit _ -> Known Ptype.Bool
+  | Ast.Int_lit _ -> Known Ptype.Int
+  | Ast.Event_lit _ -> Known Ptype.Event
+  | Ast.Var x -> var_type mi x
+  | Ast.Nondet -> Known Ptype.Bool
+  | Ast.Unop (Ast.Not, a) ->
+    require "operand of '!'" Ptype.Bool a;
+    Known Ptype.Bool
+  | Ast.Unop (Ast.Neg, a) ->
+    require "operand of unary '-'" Ptype.Int a;
+    Known Ptype.Int
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b) ->
+    require "arithmetic operand" Ptype.Int a;
+    require "arithmetic operand" Ptype.Int b;
+    Known Ptype.Int
+  | Ast.Binop ((Ast.And | Ast.Or), a, b) ->
+    require "boolean operand" Ptype.Bool a;
+    require "boolean operand" Ptype.Bool b;
+    Known Ptype.Bool
+  | Ast.Binop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), a, b) ->
+    require "comparison operand" Ptype.Int a;
+    require "comparison operand" Ptype.Int b;
+    Known Ptype.Bool
+  | Ast.Binop ((Ast.Eq | Ast.Neq), a, b) ->
+    let ta = type_of_expr tab mi acc a in
+    let tb = type_of_expr tab mi acc b in
+    if not (compatible ta tb) then
+      errs acc expr.eloc "cannot compare %a with %a" pp_ty ta pp_ty tb;
+    Known Ptype.Bool
+  | Ast.Foreign_call (f, args) -> (
+    match Symtab.foreign_decl mi f with
+    | None -> Unknown
+    | Some fd ->
+      check_foreign_args tab mi acc expr.eloc fd args;
+      Known fd.foreign_ret)
+
+and check_foreign_args tab mi acc loc (fd : Ast.foreign_decl) args =
+  List.iteri
+    (fun i arg ->
+      match List.nth_opt fd.foreign_params i with
+      | None -> ()
+      | Some want ->
+        let t = type_of_expr tab mi acc arg in
+        if not (compatible t (Known want)) then
+          errs acc loc "argument %d of %a must have type %a, found %a" (i + 1)
+            Names.Foreign.pp fd.foreign_name Ptype.pp want pp_ty t)
+    args
+
+let check_payload tab mi acc loc event (payload : Ast.expr) =
+  match Symtab.event_decl tab event with
+  | None -> ()
+  | Some ev -> (
+    let t = type_of_expr tab mi acc payload in
+    match ev.event_payload with
+    | Ptype.Void ->
+      if not (compatible t Unknown) || (t <> Unknown && payload.e <> Ast.Null) then
+        (match payload.e with
+        | Ast.Null -> ()
+        | _ ->
+          errs acc loc "event %a carries no payload but one was supplied"
+            Names.Event.pp event)
+    | want ->
+      if not (compatible t (Known want)) then
+        errs acc loc "payload of event %a must have type %a, found %a" Names.Event.pp
+          event Ptype.pp want pp_ty t)
+
+let rec check_stmt tab (mi : Symtab.machine_info) acc (stmt : Ast.stmt) =
+  match stmt.s with
+  | Ast.Skip | Ast.Delete | Ast.Leave | Ast.Return | Ast.Call_state _ -> ()
+  | Ast.Assign (x, e) ->
+    let te = type_of_expr tab mi acc e in
+    let tx = var_type mi x in
+    if not (compatible te tx) then
+      errs acc stmt.sloc "cannot assign %a to variable %a of type %a" pp_ty te
+        Names.Var.pp x pp_ty tx
+  | Ast.New (x, target, inits) ->
+    (let tx = var_type mi x in
+     if not (compatible tx (Known Ptype.Machine_id)) then
+       errs acc stmt.sloc "variable %a receiving a new machine must have type id"
+         Names.Var.pp x);
+    (match Symtab.machine_info tab target with
+    | None -> ()
+    | Some target_mi ->
+      List.iter
+        (fun (y, e) ->
+          let te = type_of_expr tab mi acc e in
+          let ty = var_type target_mi y in
+          if not (compatible te ty) then
+            errs acc stmt.sloc "initializer %a = ... must have type %a, found %a"
+              Names.Var.pp y pp_ty ty pp_ty te)
+        inits)
+  | Ast.Send (target, ev, payload) ->
+    (let t = type_of_expr tab mi acc target in
+     if not (compatible t (Known Ptype.Machine_id)) then
+       errs acc stmt.sloc "send target must have type id, found %a" pp_ty t);
+    check_payload tab mi acc stmt.sloc ev payload
+  | Ast.Raise (ev, payload) -> check_payload tab mi acc stmt.sloc ev payload
+  | Ast.Assert e ->
+    let t = type_of_expr tab mi acc e in
+    if not (compatible t (Known Ptype.Bool)) then
+      errs acc stmt.sloc "assert condition must have type bool, found %a" pp_ty t
+  | Ast.Seq (a, b) ->
+    check_stmt tab mi acc a;
+    check_stmt tab mi acc b
+  | Ast.If (c, t, f) ->
+    (let tc = type_of_expr tab mi acc c in
+     if not (compatible tc (Known Ptype.Bool)) then
+       errs acc stmt.sloc "if condition must have type bool, found %a" pp_ty tc);
+    check_stmt tab mi acc t;
+    check_stmt tab mi acc f
+  | Ast.While (c, body) ->
+    (let tc = type_of_expr tab mi acc c in
+     if not (compatible tc (Known Ptype.Bool)) then
+       errs acc stmt.sloc "while condition must have type bool, found %a" pp_ty tc);
+    check_stmt tab mi acc body
+  | Ast.Foreign_stmt (f, args) -> (
+    match Symtab.foreign_decl mi f with
+    | None -> ()
+    | Some fd -> check_foreign_args tab mi acc stmt.sloc fd args)
+
+let check_machine tab acc (mi : Symtab.machine_info) =
+  List.iter
+    (fun (st : Ast.state) ->
+      check_stmt tab mi acc st.Ast.entry;
+      check_stmt tab mi acc st.Ast.exit)
+    mi.m_ast.states;
+  List.iter
+    (fun (ad : Ast.action_decl) -> check_stmt tab mi acc ad.action_body)
+    mi.m_ast.actions;
+  List.iter
+    (fun (fd : Ast.foreign_decl) ->
+      match fd.foreign_model with
+      | None -> ()
+      | Some model ->
+        let t = type_of_expr tab mi acc model in
+        if not (compatible t (Known fd.foreign_ret)) then
+          errs acc fd.foreign_loc
+            "model of foreign function %a must have type %a, found %a"
+            Names.Foreign.pp fd.foreign_name Ptype.pp fd.foreign_ret pp_ty t)
+    mi.m_ast.foreigns
+
+(** Type-check every machine; returns diagnostics oldest-first. *)
+let check (tab : Symtab.t) : Symtab.diagnostic list =
+  let acc = ref [] in
+  Names.Machine.Tbl.iter (fun _ mi -> check_machine tab acc mi) tab.machines;
+  List.rev !acc

@@ -1,0 +1,18 @@
+(** The simple type system of P (section 3.3): expressions and statements
+    against declared variable and event-payload types. The special
+    variable [arg] and the constant [null] are dynamically typed (the [⊥]
+    value inhabits every type); their misuse is caught at verification
+    time by the operational semantics. *)
+
+type ty = Known of P_syntax.Ptype.t | Unknown
+
+val pp_ty : ty Fmt.t
+val compatible : ty -> ty -> bool
+
+val type_of_expr :
+  Symtab.t -> Symtab.machine_info -> Symtab.diagnostic list ref -> P_syntax.Ast.expr -> ty
+(** Infer (and check) one expression, appending diagnostics to the
+    accumulator. Exposed for tooling; most callers want {!check}. *)
+
+val check : Symtab.t -> Symtab.diagnostic list
+(** Type-check every machine; diagnostics oldest-first. *)

@@ -1,0 +1,179 @@
+(** Structural well-formedness of a P program.
+
+    Together with the duplicate detection performed by {!Symtab.build}, this
+    module implements check (1) of the paper's type system (section 3.3):
+    identifiers are unique and every reference resolves. It additionally
+    enforces the Figure 5 assumption that exit statements contain no [raise],
+    [return], [leave], or [call] (the paper notes its implementation relaxes
+    this; we keep the formal rules' restriction and reject such programs),
+    and that only ghost machines use the nondeterministic [*] expression
+    (check (2): statements of real machines are deterministic). *)
+
+open P_syntax
+
+let errs : Symtab.diagnostic list ref -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a =
+ fun acc loc fmt -> Fmt.kstr (fun dmsg -> acc := { Symtab.dloc = loc; dmsg } :: !acc) fmt
+
+let check_event_known tab acc loc event =
+  if Symtab.event_decl tab event = None then
+    errs acc loc "unknown event %a" Names.Event.pp event
+
+let check_state_known (mi : Symtab.machine_info) acc loc state =
+  if Symtab.state_info mi state = None then
+    errs acc loc "unknown state %a in machine %a" Names.State.pp state Names.Machine.pp
+      mi.m_ast.machine_name
+
+let rec check_expr tab (mi : Symtab.machine_info) acc (expr : Ast.expr) =
+  match expr.e with
+  | Ast.Var x ->
+    if Symtab.var_decl mi x = None then
+      errs acc expr.eloc "unknown variable %a in machine %a" Names.Var.pp x
+        Names.Machine.pp mi.m_ast.machine_name
+  | Ast.Event_lit e -> check_event_known tab acc expr.eloc e
+  | Ast.Nondet ->
+    if not mi.m_ast.machine_ghost then
+      errs acc expr.eloc
+        "nondeterministic '*' is only allowed in ghost machines (machine %a is real)"
+        Names.Machine.pp mi.m_ast.machine_name
+  | Ast.Foreign_call (f, args) ->
+    (match Symtab.foreign_decl mi f with
+    | None ->
+      errs acc expr.eloc "unknown foreign function %a in machine %a" Names.Foreign.pp f
+        Names.Machine.pp mi.m_ast.machine_name
+    | Some fd ->
+      if List.length fd.foreign_params <> List.length args then
+        errs acc expr.eloc "foreign function %a expects %d argument(s), got %d"
+          Names.Foreign.pp f
+          (List.length fd.foreign_params)
+          (List.length args));
+    List.iter (check_expr tab mi acc) args
+  | Ast.Unop (_, a) -> check_expr tab mi acc a
+  | Ast.Binop (_, a, b) ->
+    check_expr tab mi acc a;
+    check_expr tab mi acc b
+  | Ast.This | Ast.Msg | Ast.Arg | Ast.Null | Ast.Bool_lit _ | Ast.Int_lit _ -> ()
+
+let check_new tab (mi : Symtab.machine_info) acc loc target inits =
+  match Symtab.machine_info tab target with
+  | None -> errs acc loc "new of unknown machine %a" Names.Machine.pp target
+  | Some target_mi ->
+    List.iter
+      (fun (x, e) ->
+        (if Symtab.var_decl target_mi x = None then
+           errs acc loc "initializer names unknown variable %a of machine %a"
+             Names.Var.pp x Names.Machine.pp target);
+        check_expr tab mi acc e)
+      inits
+
+let rec check_stmt tab (mi : Symtab.machine_info) acc ~in_exit (stmt : Ast.stmt) =
+  let check_no_control what =
+    if in_exit then
+      errs acc stmt.sloc "%s is not allowed inside an exit statement" what
+  in
+  List.iter (check_expr tab mi acc) (Ast.stmt_exprs stmt);
+  match stmt.s with
+  | Ast.Seq (a, b) ->
+    check_stmt tab mi acc ~in_exit a;
+    check_stmt tab mi acc ~in_exit b
+  | Ast.If (_, t, f) ->
+    check_stmt tab mi acc ~in_exit t;
+    check_stmt tab mi acc ~in_exit f
+  | Ast.While (_, body) -> check_stmt tab mi acc ~in_exit body
+  | Ast.New (x, target, inits) ->
+    (if Symtab.var_decl mi x = None then
+       errs acc stmt.sloc "unknown variable %a in machine %a" Names.Var.pp x
+         Names.Machine.pp mi.m_ast.machine_name);
+    check_new tab mi acc stmt.sloc target inits
+  | Ast.Assign (x, _) ->
+    if Symtab.var_decl mi x = None then
+      errs acc stmt.sloc "unknown variable %a in machine %a" Names.Var.pp x
+        Names.Machine.pp mi.m_ast.machine_name
+  | Ast.Send (_, ev, _) -> check_event_known tab acc stmt.sloc ev
+  | Ast.Raise (ev, _) ->
+    check_no_control "raise";
+    check_event_known tab acc stmt.sloc ev
+  | Ast.Return -> check_no_control "return"
+  | Ast.Leave -> check_no_control "leave"
+  | Ast.Call_state n ->
+    check_no_control "call";
+    check_state_known mi acc stmt.sloc n
+  | Ast.Foreign_stmt (f, args) -> (
+    match Symtab.foreign_decl mi f with
+    | None ->
+      errs acc stmt.sloc "unknown foreign function %a in machine %a" Names.Foreign.pp f
+        Names.Machine.pp mi.m_ast.machine_name
+    | Some fd ->
+      if List.length fd.foreign_params <> List.length args then
+        errs acc stmt.sloc "foreign function %a expects %d argument(s), got %d"
+          Names.Foreign.pp f
+          (List.length fd.foreign_params)
+          (List.length args))
+  | Ast.Skip | Ast.Delete | Ast.Assert _ -> ()
+
+let check_machine tab acc (mi : Symtab.machine_info) =
+  let m = mi.m_ast in
+  List.iter
+    (fun (st : Ast.state) ->
+      List.iter (check_event_known tab acc st.state_loc) st.deferred;
+      List.iter (check_event_known tab acc st.state_loc) st.postponed;
+      check_stmt tab mi acc ~in_exit:false st.entry;
+      check_stmt tab mi acc ~in_exit:true st.exit)
+    m.states;
+  List.iter
+    (fun (ad : Ast.action_decl) -> check_stmt tab mi acc ~in_exit:false ad.action_body)
+    m.actions;
+  List.iter
+    (fun (tr : Ast.transition) ->
+      check_state_known mi acc tr.tr_loc tr.tr_source;
+      check_state_known mi acc tr.tr_loc tr.tr_target;
+      check_event_known tab acc tr.tr_loc tr.tr_event)
+    (m.steps @ m.calls);
+  List.iter
+    (fun (bd : Ast.binding) ->
+      check_state_known mi acc bd.bd_loc bd.bd_state;
+      check_event_known tab acc bd.bd_loc bd.bd_event;
+      if Symtab.action_stmt mi bd.bd_action = None then
+        errs acc bd.bd_loc "binding names unknown action %a" Names.Action.pp
+          bd.bd_action)
+    m.bindings
+
+(* The parser resolves identifiers in expression position against the event
+   namespace first, so an event name reused as a variable would silently
+   change meaning; reject the collision outright (the paper requires global
+   uniqueness of identifiers anyway). *)
+let check_namespace_collisions tab acc =
+  Names.Machine.Tbl.iter
+    (fun _ (mi : Symtab.machine_info) ->
+      Names.Var.Tbl.iter
+        (fun v (vd : Ast.var_decl) ->
+          if Names.Event.Tbl.mem tab.Symtab.events (Names.Event.of_string (Names.Var.to_string v))
+          then
+            errs acc vd.var_loc "variable %a collides with an event of the same name"
+              Names.Var.pp v)
+        mi.m_vars)
+    tab.Symtab.machines
+
+let check_main tab acc =
+  match Symtab.machine_info tab tab.Symtab.program.main with
+  | None -> () (* already reported by Symtab.build *)
+  | Some mi ->
+    List.iter
+      (fun (x, (e : Ast.expr)) ->
+        (if Symtab.var_decl mi x = None then
+           errs acc e.eloc "initializer names unknown variable %a of machine %a"
+             Names.Var.pp x Names.Machine.pp tab.Symtab.program.main);
+        match e.e with
+        | Ast.Null | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.Event_lit _ -> ()
+        | _ ->
+          errs acc e.eloc
+            "initializers of the main machine must be literal constants")
+      tab.Symtab.program.main_init
+
+(** Run all well-formedness checks. Returns diagnostics oldest-first,
+    including those collected by {!Symtab.build}. *)
+let check (tab : Symtab.t) : Symtab.diagnostic list =
+  let acc = ref [] in
+  Names.Machine.Tbl.iter (fun _ mi -> check_machine tab acc mi) tab.machines;
+  check_namespace_collisions tab acc;
+  check_main tab acc;
+  tab.diagnostics @ List.rev !acc

@@ -1,0 +1,11 @@
+(** Structural well-formedness: every reference resolves (events, states,
+    variables, actions, machines, foreign functions with correct arity),
+    the nondeterministic [*] appears only in ghost machines, exit
+    statements contain no control transfer ([raise]/[return]/[leave]/
+    [call] — the Figure 5 assumption), variable names do not collide with
+    event names, and the main machine's initializers are literals.
+    Together with {!Symtab.build}'s duplicate detection this is check (1)
+    and check (2) of the paper's type system (section 3.3). *)
+
+val check : Symtab.t -> Symtab.diagnostic list
+(** Diagnostics oldest-first, including those from {!Symtab.build}. *)

@@ -1,0 +1,1 @@
+lib/syntax/builder.ml: Ast List Loc Names Ptype

@@ -1,0 +1,1 @@
+lib/syntax/builder.mli: Ast Names Ptype

@@ -1,0 +1,1 @@
+lib/syntax/names.ml: Fmt Hashtbl Map Set String

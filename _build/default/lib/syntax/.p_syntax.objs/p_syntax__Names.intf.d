@@ -1,0 +1,1 @@
+lib/syntax/names.mli: Fmt Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/syntax/pretty.ml: Ast Fmt List Names Ptype

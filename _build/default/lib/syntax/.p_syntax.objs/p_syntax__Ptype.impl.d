@@ -1,0 +1,1 @@
+lib/syntax/ptype.ml: Fmt Stdlib

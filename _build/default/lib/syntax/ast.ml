@@ -1,0 +1,291 @@
+(** Abstract syntax of core P, following Figure 3 of the paper.
+
+    A program is a list of event declarations, a non-empty list of machines,
+    and one machine-creation statement naming the initial machine. Each
+    machine has variables, actions, states (with deferred sets, entry and
+    exit statements), step transitions, call transitions, and action
+    bindings. Ghost machines and ghost variables exist only for
+    verification and are erased by compilation (section 3.3).
+
+    Extensions beyond the bare core calculus, all described in the paper:
+    - [Call_state]: the [call n'] statement of section 3 ("Other features"),
+      which pushes a state while saving the caller's continuation;
+    - [postponed] sets on states: the liveness refinement of section 3.2;
+    - foreign functions (section 3 / section 4) with an optional erasable
+      model used during verification. *)
+
+type unop = Not | Neg
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr = { e : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | This  (** identifier of the executing machine *)
+  | Msg  (** the event last dequeued or raised *)
+  | Arg  (** the payload of the last event *)
+  | Null  (** the undefined value [⊥] *)
+  | Bool_lit of bool
+  | Int_lit of int
+  | Event_lit of Names.Event.t  (** an event name used as a value *)
+  | Var of Names.Var.t
+  | Nondet  (** the ghost-only [*] expression *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Foreign_call of Names.Foreign.t * expr list
+      (** call of a foreign function in expression position *)
+
+type stmt = { s : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Skip
+  | Assign of Names.Var.t * expr
+  | New of Names.Var.t * Names.Machine.t * (Names.Var.t * expr) list
+      (** [x := new m(x1 = e1, ...)] *)
+  | Delete  (** terminate the executing machine and free its resources *)
+  | Send of expr * Names.Event.t * expr  (** [send(target, e, payload)] *)
+  | Raise of Names.Event.t * expr  (** [raise(e, payload)]; [e] must be local *)
+  | Leave  (** jump to the end of the entry statement and await an event *)
+  | Return  (** pop the current state off the call stack *)
+  | Assert of expr
+  | Seq of stmt * stmt
+  | If of expr * stmt * stmt
+  | While of expr * stmt
+  | Call_state of Names.State.t  (** the [call n'] statement *)
+  | Foreign_stmt of Names.Foreign.t * expr list
+      (** call of a foreign function for its effect only *)
+
+type state = {
+  state_name : Names.State.t;
+  deferred : Names.Event.t list;
+      (** events whose dequeue is delayed while control is in this state *)
+  postponed : Names.Event.t list;
+      (** events exempted from the second liveness check (section 3.2) *)
+  entry : stmt;
+  exit : stmt;
+  state_loc : Loc.t;
+}
+
+type var_decl = {
+  var_name : Names.Var.t;
+  var_type : Ptype.t;
+  var_ghost : bool;
+  var_loc : Loc.t;
+}
+
+type action_decl = {
+  action_name : Names.Action.t;
+  action_body : stmt;
+  action_loc : Loc.t;
+}
+
+type foreign_decl = {
+  foreign_name : Names.Foreign.t;
+  foreign_params : Ptype.t list;
+  foreign_ret : Ptype.t;
+  foreign_model : expr option;
+      (** erasable body used during verification in place of the C code;
+          evaluated in the calling machine's scope, may use [Nondet] *)
+  foreign_loc : Loc.t;
+}
+
+(** A transition [(n1, e, n2)]: on event [e] in state [n1], move to [n2]. *)
+type transition = {
+  tr_source : Names.State.t;
+  tr_event : Names.Event.t;
+  tr_target : Names.State.t;
+  tr_loc : Loc.t;
+}
+
+(** An action binding [(n, e, a)]: in state [n], event [e] runs action [a]. *)
+type binding = {
+  bd_state : Names.State.t;
+  bd_event : Names.Event.t;
+  bd_action : Names.Action.t;
+  bd_loc : Loc.t;
+}
+
+type machine = {
+  machine_name : Names.Machine.t;
+  machine_ghost : bool;
+  vars : var_decl list;
+  actions : action_decl list;
+  states : state list;  (** the first state is the initial state *)
+  steps : transition list;
+  calls : transition list;
+  bindings : binding list;
+  foreigns : foreign_decl list;
+  machine_loc : Loc.t;
+}
+
+type event_decl = {
+  event_name : Names.Event.t;
+  event_payload : Ptype.t;
+  event_loc : Loc.t;
+}
+
+type program = {
+  events : event_decl list;
+  machines : machine list;
+  main : Names.Machine.t;  (** machine created by the initialization statement *)
+  main_init : (Names.Var.t * expr) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lookup helpers mirroring the paper's meta-functions.                *)
+(* ------------------------------------------------------------------ *)
+
+let find_machine program name =
+  List.find_opt (fun m -> Names.Machine.equal m.machine_name name) program.machines
+
+let find_state machine name =
+  List.find_opt (fun st -> Names.State.equal st.state_name name) machine.states
+
+(** [Init(m)]: the initial state of a machine (first in its state list). *)
+let initial_state machine =
+  match machine.states with
+  | [] -> invalid_arg "Ast.initial_state: machine has no states"
+  | st :: _ -> st
+
+(** [Step(m, n, e)] of the paper. *)
+let step_target machine source event =
+  List.find_map
+    (fun tr ->
+      if Names.State.equal tr.tr_source source && Names.Event.equal tr.tr_event event
+      then Some tr.tr_target
+      else None)
+    machine.steps
+
+(** [Call(m, n, e)] of the paper. *)
+let call_target machine source event =
+  List.find_map
+    (fun tr ->
+      if Names.State.equal tr.tr_source source && Names.Event.equal tr.tr_event event
+      then Some tr.tr_target
+      else None)
+    machine.calls
+
+(** [Trans(m, n, e)]: the union of step and call transitions. *)
+let trans_target machine source event =
+  match step_target machine source event with
+  | Some _ as r -> r
+  | None -> call_target machine source event
+
+(** [Action(m, n, e)] of the paper: the action statically bound to event [e]
+    in state [n], if any. *)
+let bound_action machine state event =
+  List.find_map
+    (fun bd ->
+      if Names.State.equal bd.bd_state state && Names.Event.equal bd.bd_event event
+      then Some bd.bd_action
+      else None)
+    machine.bindings
+
+(** [Stmt(m, a)]: the statement of action [a]. *)
+let action_stmt machine action =
+  List.find_map
+    (fun ad ->
+      if Names.Action.equal ad.action_name action then Some ad.action_body else None)
+    machine.actions
+
+(** [Deferred(m, n)]: the declared deferred set of state [n]. *)
+let deferred_set machine state =
+  match find_state machine state with
+  | None -> Names.Event.Set.empty
+  | Some st -> Names.Event.Set.of_list st.deferred
+
+let postponed_set machine state =
+  match find_state machine state with
+  | None -> Names.Event.Set.empty
+  | Some st -> Names.Event.Set.of_list st.postponed
+
+let find_event program name =
+  List.find_opt (fun ev -> Names.Event.equal ev.event_name name) program.events
+
+let find_var machine name =
+  List.find_opt (fun vd -> Names.Var.equal vd.var_name name) machine.vars
+
+let find_foreign machine name =
+  List.find_opt (fun fd -> Names.Foreign.equal fd.foreign_name name) machine.foreigns
+
+(* ------------------------------------------------------------------ *)
+(* Structural size metrics (used by the Figure 8 reproduction).        *)
+(* ------------------------------------------------------------------ *)
+
+let machine_state_count m = List.length m.states
+
+let machine_transition_count m =
+  List.length m.steps + List.length m.calls + List.length m.bindings
+
+let program_state_count p =
+  List.fold_left (fun acc m -> acc + machine_state_count m) 0 p.machines
+
+let program_transition_count p =
+  List.fold_left (fun acc m -> acc + machine_transition_count m) 0 p.machines
+
+(* ------------------------------------------------------------------ *)
+(* Structural traversals.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [fold_stmt f acc s] folds [f] over every statement node of [s],
+    outermost first. *)
+let rec fold_stmt f acc stmt =
+  let acc = f acc stmt in
+  match stmt.s with
+  | Seq (a, b) -> fold_stmt f (fold_stmt f acc a) b
+  | If (_, a, b) -> fold_stmt f (fold_stmt f acc a) b
+  | While (_, body) -> fold_stmt f acc body
+  | Skip | Assign _ | New _ | Delete | Send _ | Raise _ | Leave | Return | Assert _
+  | Call_state _ | Foreign_stmt _ -> acc
+
+(** [fold_expr f acc e] folds [f] over every expression node of [e]. *)
+let rec fold_expr f acc expr =
+  let acc = f acc expr in
+  match expr.e with
+  | Unop (_, a) -> fold_expr f acc a
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Foreign_call (_, args) -> List.fold_left (fold_expr f) acc args
+  | This | Msg | Arg | Null | Bool_lit _ | Int_lit _ | Event_lit _ | Var _ | Nondet ->
+    acc
+
+(** Every expression appearing directly in one statement node. *)
+let stmt_exprs stmt =
+  match stmt.s with
+  | Assign (_, e) -> [ e ]
+  | New (_, _, inits) -> List.map snd inits
+  | Send (t, _, p) -> [ t; p ]
+  | Raise (_, p) -> [ p ]
+  | Assert e -> [ e ]
+  | If (c, _, _) -> [ c ]
+  | While (c, _) -> [ c ]
+  | Foreign_stmt (_, args) -> args
+  | Skip | Delete | Leave | Return | Seq _ | Call_state _ -> []
+
+(** [fold_stmt_exprs f acc s]: fold [f] over every expression anywhere in [s]. *)
+let fold_stmt_exprs f acc stmt =
+  fold_stmt
+    (fun acc st -> List.fold_left (fold_expr f) acc (stmt_exprs st))
+    acc stmt
+
+(** All statements of a machine: entries, exits, and action bodies. *)
+let machine_stmts m =
+  List.concat
+    [ List.concat_map (fun st -> [ st.entry; st.exit ]) m.states;
+      List.map (fun ad -> ad.action_body) m.actions ]
+
+(** True when the statement mentions the nondeterministic [*] expression. *)
+let stmt_has_nondet stmt =
+  fold_stmt_exprs (fun acc e -> acc || e.e = Nondet) false stmt

@@ -1,0 +1,124 @@
+(** Combinator EDSL for constructing P programs directly in OCaml.
+
+    The example programs, the seeded-bug variants, and the synthetic USB
+    models of the Figure 8 reproduction are all built with these
+    combinators; the textual front end ([P_parser]) produces the same AST.
+    All nodes carry [Loc.none]. *)
+
+open Ast
+
+let ev = Names.Event.of_string
+let mach = Names.Machine.of_string
+let st = Names.State.of_string
+let var = Names.Var.of_string
+let act = Names.Action.of_string
+let ffn = Names.Foreign.of_string
+
+(* ---------------- expressions ---------------- *)
+
+let mk_e e = { e; eloc = Loc.none }
+let this = mk_e This
+let msg = mk_e Msg
+let arg = mk_e Arg
+let null = mk_e Null
+let tru = mk_e (Bool_lit true)
+let fls = mk_e (Bool_lit false)
+let int n = mk_e (Int_lit n)
+let bool b = mk_e (Bool_lit b)
+let evt name = mk_e (Event_lit (ev name))
+let v name = mk_e (Var (var name))
+let nondet = mk_e Nondet
+let not_ a = mk_e (Unop (Not, a))
+let neg a = mk_e (Unop (Neg, a))
+let ( + ) a b = mk_e (Binop (Add, a, b))
+let ( - ) a b = mk_e (Binop (Sub, a, b))
+let ( * ) a b = mk_e (Binop (Mul, a, b))
+let ( / ) a b = mk_e (Binop (Div, a, b))
+let ( % ) a b = mk_e (Binop (Mod, a, b))
+let ( && ) a b = mk_e (Binop (And, a, b))
+let ( || ) a b = mk_e (Binop (Or, a, b))
+let ( == ) a b = mk_e (Binop (Eq, a, b))
+let ( != ) a b = mk_e (Binop (Neq, a, b))
+let ( < ) a b = mk_e (Binop (Lt, a, b))
+let ( <= ) a b = mk_e (Binop (Le, a, b))
+let ( > ) a b = mk_e (Binop (Gt, a, b))
+let ( >= ) a b = mk_e (Binop (Ge, a, b))
+let fcall name args = mk_e (Foreign_call (ffn name, args))
+
+(* ---------------- statements ---------------- *)
+
+let mk_s s = { s; sloc = Loc.none }
+let skip = mk_s Skip
+let assign x e = mk_s (Assign (var x, e))
+let new_ x m inits = mk_s (New (var x, mach m, List.map (fun (k, e) -> (var k, e)) inits))
+let delete = mk_s Delete
+let send ?(payload = null) target event = mk_s (Send (target, ev event, payload))
+let raise_ ?(payload = null) event = mk_s (Raise (ev event, payload))
+let leave = mk_s Leave
+let return = mk_s Return
+let assert_ e = mk_s (Assert e)
+let if_ c t f = mk_s (If (c, t, f))
+let when_ c t = mk_s (If (c, t, skip))
+let while_ c body = mk_s (While (c, body))
+let call_state name = mk_s (Call_state (st name))
+let fstmt name args = mk_s (Foreign_stmt (ffn name, args))
+
+(** [seq [s1; s2; ...]] chains statements; [seq []] is [skip]. *)
+let seq = function
+  | [] -> skip
+  | first :: rest -> List.fold_left (fun acc s -> mk_s (Seq (acc, s))) first rest
+
+(** [if * then s]: the ghost-machine nondeterministic conditional. *)
+let if_nondet t = if_ nondet t skip
+
+(* ---------------- declarations ---------------- *)
+
+let state ?(defer = []) ?(postpone = []) ?(entry = skip) ?(exit = skip) name =
+  { state_name = st name;
+    deferred = List.map ev defer;
+    postponed = List.map ev postpone;
+    entry;
+    exit;
+    state_loc = Loc.none }
+
+let var_decl ?(ghost = false) name ty =
+  { var_name = var name; var_type = ty; var_ghost = ghost; var_loc = Loc.none }
+
+let action name body = { action_name = act name; action_body = body; action_loc = Loc.none }
+
+let step (source, event, target) =
+  { tr_source = st source; tr_event = ev event; tr_target = st target; tr_loc = Loc.none }
+
+let push (source, event, target) = step (source, event, target)
+
+let on (state_, event) ~do_ =
+  { bd_state = st state_; bd_event = ev event; bd_action = act do_; bd_loc = Loc.none }
+
+let foreign ?(params = []) ?(ret = Ptype.Void) ?model name =
+  { foreign_name = ffn name;
+    foreign_params = params;
+    foreign_ret = ret;
+    foreign_model = model;
+    foreign_loc = Loc.none }
+
+let machine ?(ghost = false) ?(vars = []) ?(actions = []) ?(steps = []) ?(calls = [])
+    ?(bindings = []) ?(foreigns = []) name states =
+  { machine_name = mach name;
+    machine_ghost = ghost;
+    vars;
+    actions;
+    states;
+    steps = List.map step steps;
+    calls = List.map push calls;
+    bindings;
+    foreigns;
+    machine_loc = Loc.none }
+
+let event ?(payload = Ptype.Void) name =
+  { event_name = ev name; event_payload = payload; event_loc = Loc.none }
+
+let program ~events ~machines ?(init = []) main_name =
+  { events;
+    machines;
+    main = mach main_name;
+    main_init = List.map (fun (k, e) -> (var k, e)) init }

@@ -1,0 +1,109 @@
+(** Combinator EDSL for constructing P programs directly in OCaml: the
+    programmatic front end used by the example programs, the seeded-bug
+    variants, and the synthetic Figure 8 models. All nodes carry
+    [Loc.none].
+
+    Note the arithmetic, boolean, and comparison operators are shadowed to
+    build {!Ast.expr} values: code mixing OCaml integer arithmetic under
+    [open Builder] must qualify it ([Stdlib.( + )] etc.). *)
+
+(* name constructors *)
+val ev : string -> Names.Event.t
+val mach : string -> Names.Machine.t
+val st : string -> Names.State.t
+val var : string -> Names.Var.t
+val act : string -> Names.Action.t
+val ffn : string -> Names.Foreign.t
+
+(* expressions *)
+val this : Ast.expr
+val msg : Ast.expr
+val arg : Ast.expr
+val null : Ast.expr
+val tru : Ast.expr
+val fls : Ast.expr
+val int : int -> Ast.expr
+val bool : bool -> Ast.expr
+val evt : string -> Ast.expr
+val v : string -> Ast.expr
+val nondet : Ast.expr
+val not_ : Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( % ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( && ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( || ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( != ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val fcall : string -> Ast.expr list -> Ast.expr
+
+(* statements *)
+val skip : Ast.stmt
+val assign : string -> Ast.expr -> Ast.stmt
+val new_ : string -> string -> (string * Ast.expr) list -> Ast.stmt
+val delete : Ast.stmt
+val send : ?payload:Ast.expr -> Ast.expr -> string -> Ast.stmt
+val raise_ : ?payload:Ast.expr -> string -> Ast.stmt
+val leave : Ast.stmt
+val return : Ast.stmt
+val assert_ : Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.stmt -> Ast.stmt -> Ast.stmt
+val when_ : Ast.expr -> Ast.stmt -> Ast.stmt
+val while_ : Ast.expr -> Ast.stmt -> Ast.stmt
+val call_state : string -> Ast.stmt
+val fstmt : string -> Ast.expr list -> Ast.stmt
+
+val seq : Ast.stmt list -> Ast.stmt
+(** Left-nested sequence; [seq []] is [skip]. *)
+
+val if_nondet : Ast.stmt -> Ast.stmt
+(** [if * then s] — the ghost-machine nondeterministic conditional. *)
+
+(* declarations *)
+val state :
+  ?defer:string list ->
+  ?postpone:string list ->
+  ?entry:Ast.stmt ->
+  ?exit:Ast.stmt ->
+  string ->
+  Ast.state
+
+val var_decl : ?ghost:bool -> string -> Ptype.t -> Ast.var_decl
+val action : string -> Ast.stmt -> Ast.action_decl
+val step : string * string * string -> Ast.transition
+val push : string * string * string -> Ast.transition
+val on : string * string -> do_:string -> Ast.binding
+
+val foreign :
+  ?params:Ptype.t list -> ?ret:Ptype.t -> ?model:Ast.expr -> string -> Ast.foreign_decl
+
+val machine :
+  ?ghost:bool ->
+  ?vars:Ast.var_decl list ->
+  ?actions:Ast.action_decl list ->
+  ?steps:(string * string * string) list ->
+  ?calls:(string * string * string) list ->
+  ?bindings:Ast.binding list ->
+  ?foreigns:Ast.foreign_decl list ->
+  string ->
+  Ast.state list ->
+  Ast.machine
+(** The first state in the list is the machine's initial state. *)
+
+val event : ?payload:Ptype.t -> string -> Ast.event_decl
+
+val program :
+  events:Ast.event_decl list ->
+  machines:Ast.machine list ->
+  ?init:(string * Ast.expr) list ->
+  string ->
+  Ast.program
+(** [program ~events ~machines main]: the trailing "main M(init ...)"
+    initialization statement of Figure 3. *)

@@ -1,0 +1,26 @@
+(** Source locations for parser and static-checker diagnostics. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based line number; 0 when synthetic *)
+  col : int;  (** 0-based column of the first character *)
+}
+
+let none = { file = "<builtin>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let is_none t = t.line = 0
+
+let pp ppf t =
+  if is_none t then Fmt.string ppf t.file
+  else Fmt.pf ppf "%s:%d:%d" t.file t.line t.col
+
+let to_string t = Fmt.str "%a" pp t
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0

@@ -1,0 +1,17 @@
+(** Source locations for parser and static-checker diagnostics. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based line number; 0 when synthetic *)
+  col : int;  (** 0-based column of the first character *)
+}
+
+val none : t
+(** The synthetic location carried by builder-constructed AST nodes. *)
+
+val make : file:string -> line:int -> col:int -> t
+val is_none : t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,48 @@
+(** Typed name wrappers for the five identifier namespaces of a P program.
+
+    The paper requires "identifiers for machines, state names, events, and
+    variables are unique" (section 3.3). Giving each namespace its own module
+    keeps the interpreter and checker from ever confusing an event name with a
+    state name, at zero runtime cost. *)
+
+module type ID = sig
+  type t
+
+  val of_string : string -> t
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : t Fmt.t
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module String_id () : ID = struct
+  type t = string
+
+  let of_string s = s
+  let to_string s = s
+  let equal = String.equal
+  let compare = String.compare
+  let hash = Hashtbl.hash
+  let pp = Fmt.string
+
+  module Set = Set.Make (String)
+  module Map = Map.Make (String)
+  module Tbl = Hashtbl.Make (struct
+    type t = string
+
+    let equal = String.equal
+    let hash = Hashtbl.hash
+  end)
+end
+
+module Event = String_id ()
+module Machine = String_id ()
+module State = String_id ()
+module Var = String_id ()
+module Action = String_id ()
+module Foreign = String_id ()

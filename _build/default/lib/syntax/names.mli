@@ -1,0 +1,31 @@
+(** Typed name wrappers for the identifier namespaces of a P program.
+
+    The paper requires identifiers to be unique (section 3.3); giving each
+    namespace its own abstract type keeps the interpreter and checker from
+    ever confusing an event name with a state name, at zero runtime cost. *)
+
+module type ID = sig
+  type t
+
+  val of_string : string -> t
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : t Fmt.t
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module String_id () : ID
+(** Generative functor: each application creates a fresh, incompatible
+    namespace. *)
+
+module Event : ID
+module Machine : ID
+module State : ID
+module Var : ID
+module Action : ID
+module Foreign : ID

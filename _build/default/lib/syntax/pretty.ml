@@ -1,0 +1,168 @@
+(** Pretty-printer for the concrete textual syntax of P.
+
+    The printed form is exactly the syntax accepted by [P_parser.Parser], so
+    [parse (print p)] is the identity up to locations; the test suite checks
+    this round trip with qcheck. *)
+
+open Ast
+
+let pp_unop ppf = function Not -> Fmt.string ppf "!" | Neg -> Fmt.string ppf "-"
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | And -> "&&"
+  | Or -> "||"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* Precedence levels, loosest first; used to parenthesize minimally. *)
+let binop_prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let unop_prec = 7
+
+let rec pp_expr_prec prec ppf expr =
+  match expr.e with
+  | This -> Fmt.string ppf "this"
+  | Msg -> Fmt.string ppf "msg"
+  | Arg -> Fmt.string ppf "arg"
+  | Null -> Fmt.string ppf "null"
+  | Bool_lit true -> Fmt.string ppf "true"
+  | Bool_lit false -> Fmt.string ppf "false"
+  | Int_lit i -> if i < 0 then Fmt.pf ppf "(%d)" i else Fmt.int ppf i
+  | Event_lit e -> Names.Event.pp ppf e
+  | Var x -> Names.Var.pp ppf x
+  | Nondet -> Fmt.string ppf "*"
+  | Unop (op, a) ->
+    let doc ppf () = Fmt.pf ppf "%a%a" pp_unop op (pp_expr_prec unop_prec) a in
+    if prec > unop_prec then Fmt.pf ppf "(%a)" doc () else doc ppf ()
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    let doc ppf () =
+      Fmt.pf ppf "%a %s %a" (pp_expr_prec p) a (binop_symbol op) (pp_expr_prec (p + 1)) b
+    in
+    if prec > p then Fmt.pf ppf "(%a)" doc () else doc ppf ()
+  | Foreign_call (f, args) ->
+    Fmt.pf ppf "%a(%a)" Names.Foreign.pp f Fmt.(list ~sep:comma pp_expr) args
+
+and pp_expr ppf expr = pp_expr_prec 0 ppf expr
+
+let pp_init ppf (x, e) = Fmt.pf ppf "%a = %a" Names.Var.pp x pp_expr e
+
+let is_null expr = match expr.e with Null -> true | _ -> false
+
+let rec pp_stmt ppf stmt =
+  match stmt.s with
+  | Skip -> Fmt.string ppf "skip;"
+  | Assign (x, e) -> Fmt.pf ppf "%a := %a;" Names.Var.pp x pp_expr e
+  | New (x, m, inits) ->
+    Fmt.pf ppf "%a := new %a(%a);" Names.Var.pp x Names.Machine.pp m
+      Fmt.(list ~sep:comma pp_init)
+      inits
+  | Delete -> Fmt.string ppf "delete;"
+  | Send (target, ev, payload) ->
+    if is_null payload then
+      Fmt.pf ppf "send(%a, %a);" pp_expr target Names.Event.pp ev
+    else
+      Fmt.pf ppf "send(%a, %a, %a);" pp_expr target Names.Event.pp ev pp_expr payload
+  | Raise (ev, payload) ->
+    if is_null payload then Fmt.pf ppf "raise(%a);" Names.Event.pp ev
+    else Fmt.pf ppf "raise(%a, %a);" Names.Event.pp ev pp_expr payload
+  | Leave -> Fmt.string ppf "leave;"
+  | Return -> Fmt.string ppf "return;"
+  | Assert e -> Fmt.pf ppf "assert(%a);" pp_expr e
+  | Seq (a, b) -> Fmt.pf ppf "%a@ %a" pp_stmt a pp_stmt b
+  | If (c, t, f) -> (
+    match f.s with
+    | Skip ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@ %a@]@ }" pp_expr c pp_stmt t
+    | _ ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@ %a@]@ @[<v 2>} else {@ %a@]@ }" pp_expr c pp_stmt
+        t pp_stmt f)
+  | While (c, body) ->
+    Fmt.pf ppf "@[<v 2>while (%a) {@ %a@]@ }" pp_expr c pp_stmt body
+  | Call_state n -> Fmt.pf ppf "call %a;" Names.State.pp n
+  | Foreign_stmt (f, args) ->
+    Fmt.pf ppf "%a(%a);" Names.Foreign.pp f Fmt.(list ~sep:comma pp_expr) args
+
+let is_skip stmt = match stmt.s with Skip -> true | _ -> false
+
+let pp_event_list ppf evs = Fmt.(list ~sep:comma Names.Event.pp) ppf evs
+
+let pp_state ppf st =
+  Fmt.pf ppf "@[<v 2>state %a {" Names.State.pp st.state_name;
+  if st.deferred <> [] then Fmt.pf ppf "@ defer %a;" pp_event_list st.deferred;
+  if st.postponed <> [] then Fmt.pf ppf "@ postpone %a;" pp_event_list st.postponed;
+  if not (is_skip st.entry) then
+    Fmt.pf ppf "@ @[<v 2>entry {@ %a@]@ }" pp_stmt st.entry;
+  if not (is_skip st.exit) then Fmt.pf ppf "@ @[<v 2>exit {@ %a@]@ }" pp_stmt st.exit;
+  Fmt.pf ppf "@]@ }"
+
+let pp_var_decl ppf vd =
+  Fmt.pf ppf "%svar %a : %a;"
+    (if vd.var_ghost then "ghost " else "")
+    Names.Var.pp vd.var_name Ptype.pp vd.var_type
+
+let pp_action ppf ad =
+  Fmt.pf ppf "@[<v 2>action %a {@ %a@]@ }" Names.Action.pp ad.action_name pp_stmt
+    ad.action_body
+
+let pp_transition keyword ppf tr =
+  Fmt.pf ppf "%s (%a, %a, %a);" keyword Names.State.pp tr.tr_source Names.Event.pp
+    tr.tr_event Names.State.pp tr.tr_target
+
+let pp_binding ppf bd =
+  Fmt.pf ppf "on (%a, %a) do %a;" Names.State.pp bd.bd_state Names.Event.pp bd.bd_event
+    Names.Action.pp bd.bd_action
+
+let pp_foreign ppf fd =
+  Fmt.pf ppf "foreign %a(%a) : %a%a;" Names.Foreign.pp fd.foreign_name
+    Fmt.(list ~sep:comma Ptype.pp)
+    fd.foreign_params Ptype.pp fd.foreign_ret
+    (Fmt.option (fun ppf e -> Fmt.pf ppf " model %a" pp_expr e))
+    fd.foreign_model
+
+let pp_machine ppf m =
+  Fmt.pf ppf "@[<v 2>%smachine %a {"
+    (if m.machine_ghost then "ghost " else "")
+    Names.Machine.pp m.machine_name;
+  List.iter (fun vd -> Fmt.pf ppf "@ %a" pp_var_decl vd) m.vars;
+  List.iter (fun fd -> Fmt.pf ppf "@ %a" pp_foreign fd) m.foreigns;
+  List.iter (fun ad -> Fmt.pf ppf "@ %a" pp_action ad) m.actions;
+  List.iter (fun st -> Fmt.pf ppf "@ %a" pp_state st) m.states;
+  List.iter (fun tr -> Fmt.pf ppf "@ %a" (pp_transition "step") tr) m.steps;
+  List.iter (fun tr -> Fmt.pf ppf "@ %a" (pp_transition "push") tr) m.calls;
+  List.iter (fun bd -> Fmt.pf ppf "@ %a" pp_binding bd) m.bindings;
+  Fmt.pf ppf "@]@ }"
+
+let pp_event_decl ppf ev =
+  match ev.event_payload with
+  | Ptype.Void -> Fmt.pf ppf "event %a;" Names.Event.pp ev.event_name
+  | ty -> Fmt.pf ppf "event %a(%a);" Names.Event.pp ev.event_name Ptype.pp ty
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun ev -> Fmt.pf ppf "%a@ " pp_event_decl ev) p.events;
+  List.iter (fun m -> Fmt.pf ppf "%a@ " pp_machine m) p.machines;
+  Fmt.pf ppf "main %a(%a);@]" Names.Machine.pp p.main
+    Fmt.(list ~sep:comma pp_init)
+    p.main_init
+
+let program_to_string p = Fmt.str "%a@." pp_program p
+
+let stmt_to_string s = Fmt.str "@[<v>%a@]" pp_stmt s
+
+let expr_to_string e = Fmt.str "%a" pp_expr e

@@ -1,0 +1,18 @@
+(** Pretty-printer for the concrete textual syntax of P.
+
+    The printed form is exactly the syntax accepted by [P_parser.Parser]:
+    [parse (print p)] equals [p] up to locations, a round trip the test
+    suite checks with qcheck. *)
+
+val pp_expr : Ast.expr Fmt.t
+(** Minimal parenthesization under the Figure 3 operator precedences. *)
+
+val pp_stmt : Ast.stmt Fmt.t
+val pp_state : Ast.state Fmt.t
+val pp_machine : Ast.machine Fmt.t
+val pp_event_decl : Ast.event_decl Fmt.t
+val pp_program : Ast.program Fmt.t
+
+val program_to_string : Ast.program -> string
+val stmt_to_string : Ast.stmt -> string
+val expr_to_string : Ast.expr -> string

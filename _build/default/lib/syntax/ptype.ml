@@ -1,0 +1,46 @@
+(** The type language of core P (Figure 3 of the paper):
+    [void | bool | int | event | id], plus [byte] which the prose of
+    section 3 lists among variable types. *)
+
+type t =
+  | Void  (** the payload type of events that carry no data *)
+  | Bool
+  | Int
+  | Byte  (** 8-bit unsigned integer with wraparound arithmetic *)
+  | Event  (** an event name used as a first-class value *)
+  | Machine_id  (** the [id] type: a reference to a dynamically created machine *)
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_string = function
+  | Void -> "void"
+  | Bool -> "bool"
+  | Int -> "int"
+  | Byte -> "byte"
+  | Event -> "event"
+  | Machine_id -> "id"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let of_string = function
+  | "void" -> Some Void
+  | "bool" -> Some Bool
+  | "int" -> Some Int
+  | "byte" -> Some Byte
+  | "event" -> Some Event
+  | "id" -> Some Machine_id
+  | _ -> None
+
+(** [assignable ~from ~into] holds when a value of type [from] may be stored
+    in a location of type [into]. [Void] is the type of the null payload and
+    flows into every type (the null value [⊥] inhabits all types); [Byte]
+    narrows from [Int] and widens into it. *)
+let assignable ~from ~into =
+  equal from into
+  ||
+  match (from, into) with
+  | Void, _ -> true
+  | Byte, Int | Int, Byte -> true
+  | (Bool | Int | Byte | Event | Machine_id), _ -> false

@@ -1,0 +1,24 @@
+(** The type language of core P (Figure 3): [void | bool | int | event |
+    id], plus [byte] from the prose of section 3. *)
+
+type t =
+  | Void  (** the payload type of events that carry no data *)
+  | Bool
+  | Int
+  | Byte  (** 8-bit unsigned integer with wraparound arithmetic *)
+  | Event  (** an event name used as a first-class value *)
+  | Machine_id  (** the [id] type: a reference to a machine instance *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : t Fmt.t
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; [None] on unknown type names. *)
+
+val assignable : from:t -> into:t -> bool
+(** [assignable ~from ~into] holds when a value of type [from] may be
+    stored in a location of type [into]: identical types, [Void] (the null
+    payload, which inhabits every type) into anything, and [Byte]/[Int]
+    interchange. *)

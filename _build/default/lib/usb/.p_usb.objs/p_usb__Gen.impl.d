@@ -1,0 +1,1 @@
+lib/usb/gen.ml: Array Fmt Hashtbl List P_syntax Stdlib

@@ -1,0 +1,1 @@
+lib/usb/gen.mli: P_syntax

@@ -1,0 +1,1 @@
+lib/usb/stack.ml: Fmt List P_syntax Stdlib

@@ -1,0 +1,1 @@
+lib/usb/stack.mli: P_syntax

@@ -1,0 +1,174 @@
+(** Generator of synthetic driver state machines at the scale of the USB
+    hub driver case study (Figure 8).
+
+    The paper reports four machines — the hub state machine (HSM, 196
+    states / 361 transitions), the 3.0 and 2.0 port state machines (PSM,
+    295/752 and 457/1386) and the device state machine (DSM, 1919/4238) —
+    each explored to millions of states. The real sources are proprietary,
+    so this generator produces machines with the *same state and transition
+    counts* and the structural style the paper describes: long transaction
+    chains with error/recovery back edges, explicit Ignore handling for
+    stale events, deferred low-priority events, and per-machine counters
+    that give the exploration the value-state blowup real drivers exhibit.
+    Every (state, driving event) pair is handled — by a step, an action
+    binding, or a deferral — so the generated machine is
+    responsiveness-clean by construction, like the shipped hub driver.
+
+    Determinism: the shape is derived from a small seeded LCG so each named
+    machine is stable across runs. *)
+
+type spec = {
+  name : string;
+  n_states : int;
+  n_transitions : int;
+      (** steps + calls + action bindings, as counted by
+          {!P_syntax.Ast.machine_transition_count} *)
+  counter_moduli : int * int;
+      (** moduli of the two per-machine counters that inflate the value
+          state space *)
+}
+
+(* The published Figure 8 sizes. *)
+let hsm_spec = { name = "HSM"; n_states = 196; n_transitions = 361; counter_moduli = (64, 32) }
+let psm30_spec = { name = "PSM30"; n_states = 295; n_transitions = 752; counter_moduli = (32, 16) }
+let psm20_spec = { name = "PSM20"; n_states = 457; n_transitions = 1386; counter_moduli = (32, 16) }
+let dsm_spec = { name = "DSM"; n_states = 1919; n_transitions = 4238; counter_moduli = (16, 8) }
+
+let all_specs = [ hsm_spec; psm30_spec; psm20_spec; dsm_spec ]
+
+let lcg seed =
+  let state = ref (seed lor 1) in
+  fun bound ->
+    state := (!state * 1103515245) + 12345;
+    (!state lsr 16) mod bound
+
+(* Driving events: the machine's environment alphabet. The generator sizes
+   the alphabet so that handling every event in (almost) every state yields
+   at least [n_transitions] handled pairs; the surplus pairs are deferred. *)
+let alphabet_size spec =
+  max 2 ((spec.n_transitions + spec.n_states - 1) / spec.n_states)
+
+let event_name spec k = Fmt.str "%s_ev%d" spec.name k
+let state_name_of spec i = Fmt.str "%s_s%d" spec.name i
+
+(* The handler plan: for every (state, event) pair, what the machine does.
+   Computed with plain integer arithmetic before the Builder operators are
+   opened below. *)
+type handler_plan = Forward of int | Back of int | Ignore_it | Defer_it
+
+let plan_of_spec spec : handler_plan array array * string list =
+  let n = spec.n_states in
+  let a = alphabet_size spec in
+  let rand = lcg (Hashtbl.hash spec.name) in
+  let total_pairs = n * a in
+  let budget = min spec.n_transitions total_pairs in
+  let deficit = total_pairs - budget in
+  let plan = Array.make_matrix n a Defer_it in
+  (* Event 0 always takes a step, so every state both makes progress and
+     re-runs an entry statement (no state can absorb the machine with pure
+     Ignore handling, which would freeze the counters and close the state
+     space early). The deferral deficit is spread evenly over the remaining
+     (state, event) pairs. *)
+  let rest_pairs = n * (a - 1) in
+  for i = 0 to n - 1 do
+    plan.(i).(0) <- Forward ((i + 1 + rand 5) mod n);
+    for k = 1 to a - 1 do
+      let p = (i * (a - 1)) + (k - 1) in
+      let deferred =
+        rest_pairs > 0 && p * deficit / rest_pairs < (p + 1) * deficit / rest_pairs
+      in
+      if not deferred then begin
+        let kind = rand 100 in
+        if kind < 45 then plan.(i).(k) <- Forward ((i + 1 + rand 5) mod n)
+        else if kind < 75 then plan.(i).(k) <- Back (max 1 (i - (1 + rand 8)))
+        else plan.(i).(k) <- Ignore_it
+      end
+    done
+  done;
+  (plan, List.init a (event_name spec))
+
+(* ------------------------------------------------------------------ *)
+(* AST construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+open P_syntax.Builder
+
+(** Generate the real machine for [spec], together with the list of its
+    driving events (the alphabet the environment may send). *)
+let machine_of_spec spec : P_syntax.Ast.machine * string list =
+  let plan, alphabet = plan_of_spec spec in
+  let m1, m2 = spec.counter_moduli in
+  let steps = ref [] in
+  let bindings = ref [] in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun k h ->
+          match h with
+          | Forward j | Back j ->
+            steps := (state_name_of spec i, event_name spec k, state_name_of spec j) :: !steps
+          | Ignore_it ->
+            bindings := on (state_name_of spec i, event_name spec k) ~do_:"Ignore" :: !bindings
+          | Defer_it -> ())
+        row)
+    plan;
+  let deferred_of i =
+    let acc = ref [] in
+    Array.iteri
+      (fun k h -> match h with Defer_it -> acc := event_name spec k :: !acc | _ -> ())
+      plan.(i);
+    !acc
+  in
+  let counter_tick =
+    seq
+      [ assign "cnt1" ((v "cnt1" + int 1) % int m1);
+        when_ (v "cnt1" == int 0) (assign "cnt2" ((v "cnt2" + int 1) % int m2)) ]
+  in
+  let states =
+    List.init spec.n_states (fun i ->
+        let entry =
+          if Stdlib.( = ) i 0 then seq [ assign "cnt1" (int 0); assign "cnt2" (int 0) ]
+          else counter_tick
+        in
+        state ~defer:(deferred_of i) ~entry (state_name_of spec i))
+  in
+  let m =
+    machine spec.name
+      ~vars:[ var_decl "cnt1" P_syntax.Ptype.Int; var_decl "cnt2" P_syntax.Ptype.Int ]
+      ~actions:[ action "Ignore" skip ]
+      states ~steps:!steps
+  in
+  ({ m with P_syntax.Ast.bindings = !bindings }, alphabet)
+
+(** Ghost environment: forever picks one of the machine's driving events
+    nondeterministically — the "large number of un-coordinated events ...
+    from different sources" of the case study. *)
+let env_machine spec alphabet : P_syntax.Ast.machine =
+  (* a binary tree of nondeterministic choices over the alphabet *)
+  let rec choose evs =
+    match evs with
+    | [] -> skip
+    | [ ev ] -> send (v "target") ev
+    | _ ->
+      let rec split i acc rest =
+        if Stdlib.( = ) i 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> split (Stdlib.( - ) i 1) (x :: acc) tl
+      in
+      let half, rest = split (Stdlib.( / ) (List.length evs) 2) [] evs in
+      if_ nondet (choose half) (choose rest)
+  in
+  machine (spec.name ^ "_Env") ~ghost:true
+    ~vars:[ var_decl "target" P_syntax.Ptype.Machine_id ]
+    [ state "Init" ~entry:(seq [ new_ "target" spec.name []; raise_ "unit" ]);
+      state "Drive" ~entry:(seq [ choose alphabet; raise_ "unit" ]) ]
+    ~steps:[ ("Init", "unit", "Drive"); ("Drive", "unit", "Drive") ]
+
+(** The closed program for one Figure 8 machine: the synthetic driver
+    machine plus its nondeterministic ghost environment. *)
+let program_of_spec spec : P_syntax.Ast.program =
+  let m, alphabet = machine_of_spec spec in
+  let events = List.map event (alphabet @ [ "unit" ]) in
+  program ~events ~machines:[ env_machine spec alphabet; m ] (spec.name ^ "_Env")

@@ -1,0 +1,33 @@
+(** Generator of synthetic driver state machines at the published sizes of
+    the paper's Figure 8 (the real USB hub driver sources are proprietary;
+    see DESIGN.md, substitutions). Deterministic per spec name. *)
+
+type spec = {
+  name : string;
+  n_states : int;
+  n_transitions : int;
+      (** steps + calls + action bindings, as counted by
+          {!P_syntax.Ast.machine_transition_count} *)
+  counter_moduli : int * int;
+      (** moduli of the two per-machine counters that inflate the value
+          state space, as real drivers' variables do *)
+}
+
+val hsm_spec : spec  (** hub state machine: 196 states / 361 transitions *)
+
+val psm30_spec : spec  (** 3.0 port state machine: 295 / 752 *)
+
+val psm20_spec : spec  (** 2.0 port state machine: 457 / 1386 *)
+
+val dsm_spec : spec  (** device state machine: 1919 / 4238 *)
+
+val all_specs : spec list
+
+val machine_of_spec : spec -> P_syntax.Ast.machine * string list
+(** The generated real machine (exactly [n_states] and [n_transitions],
+    every state keeping at least one step so the space cannot wedge) and
+    its driving-event alphabet. *)
+
+val program_of_spec : spec -> P_syntax.Ast.program
+(** The closed program: the machine plus a ghost environment sending the
+    alphabet nondeterministically forever. *)

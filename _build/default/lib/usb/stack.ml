@@ -1,0 +1,304 @@
+(** A composed USB hub stack: the case-study architecture of section 6 —
+    "the hub, each of the ports, and each of the devices are designed as P
+    machines" — at demonstration scale.
+
+    A real [Hub] machine owns [n_ports] real [Port] machines (created once,
+    on the first start). Each port drives enumeration of the (ghost)
+    [DeviceHw] behind it: devices attach and detach at will and answer
+    enumeration requests correctly, with a failure, or not at all — the
+    "unexpected events from disabled or stopped devices [and] non-compliant
+    hardware" the paper's hub must survive. A ghost [Os] machine issues
+    un-coordinated start/stop/suspend/resume callbacks. Safety is the hub's
+    bookkeeping assertion (the count of enabled ports stays within
+    [0, n_ports]) plus, pervasively, the implicit every-event-handled
+    check: every Ignore binding and defer below exists because the checker
+    flagged that (state, event) pair during development — the methodology
+    of section 6 in miniature.
+
+    This model complements {!Gen}: that reproduces the published machine
+    *sizes* (Figure 8), this reproduces the *interaction structure*. *)
+
+open P_syntax.Builder
+
+let events =
+  [ (* OS -> hub *)
+    event "HubStart";
+    event "HubStop";
+    event "HubSuspend";
+    event "HubResume";
+    (* hub -> port *)
+    event "PortPower" ~payload:P_syntax.Ptype.Bool;
+    event "PortSuspend";
+    event "PortResume";
+    (* port -> hub *)
+    (* the payload is a per-port sequence number: two status changes of the
+       same kind can be in flight together, and the ⊕ dedup append would
+       coalesce them if the payloads matched — the counter-in-the-payload
+       idiom of section 3.1, found here by the checker (the hub's balance
+       assertion tripped) *)
+    event "PortUp" ~payload:P_syntax.Ptype.Int;
+    event "PortDown" ~payload:P_syntax.Ptype.Int;
+    (* device hardware <-> port *)
+    event "Attach";
+    event "Detach";
+    event "EnumRequest" ~payload:P_syntax.Ptype.Machine_id;
+    event "EnumOk";
+    event "EnumFail";
+    (* internal *)
+    event "unit";
+    event "halt" ]
+
+(* ------------------------------------------------------------------ *)
+(* The device hardware model (ghost)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let device_machine =
+  machine "DeviceHw" ~ghost:true
+    ~vars:[ var_decl "port" P_syntax.Ptype.Machine_id ]
+    ~actions:[ action "Ignore" skip ]
+    [ state "Detached"
+        ~entry:(if_nondet (seq [ send (v "port") "Attach"; raise_ "unit" ]));
+      state "Attached"
+        ~entry:(if_nondet (seq [ send (v "port") "Detach"; raise_ "halt" ]));
+      state "Answering"
+        ~entry:
+          (seq
+             [ (* correct answer, failure, or silence (a hung device) *)
+               if_ nondet
+                 (send (v "port") "EnumOk")
+                 (if_nondet (send (v "port") "EnumFail"));
+               raise_ "unit" ]) ]
+    ~steps:
+      [ ("Detached", "unit", "Attached");
+        ("Attached", "halt", "Detached");
+        ("Attached", "EnumRequest", "Answering");
+        ("Answering", "unit", "Attached");
+        ("Answering", "EnumRequest", "Answering") ]
+    ~bindings:
+      [ (* a request racing with a detach is hardware reality: drop it *)
+        on ("Detached", "EnumRequest") ~do_:"Ignore" ]
+
+(* ------------------------------------------------------------------ *)
+(* The port state machine (real)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The port reports PortUp exactly when it first enables a device and
+   PortDown exactly when an enabled device goes away (detach, suspend does
+   not count it down, power-off does); the [counted] flag keeps the
+   reporting balanced so the hub's counter assertion holds. *)
+let port_machine =
+  (* the tag combines the port's index and a wrapping sequence number, so no
+     two in-flight status events ever carry equal payloads — across ports or
+     within one *)
+  let tag = (v "pindex" * int 16) + v "seq" in
+  let bump_seq = assign "seq" ((v "seq" + int 1) % int 16) in
+  let report_up =
+    when_ (not_ (v "counted"))
+      (seq [ assign "counted" tru; send (v "hub") "PortUp" ~payload:tag; bump_seq ])
+  in
+  let report_down =
+    when_ (v "counted")
+      (seq [ assign "counted" fls; send (v "hub") "PortDown" ~payload:tag; bump_seq ])
+  in
+  let noise = [ "Attach"; "Detach"; "EnumOk"; "EnumFail"; "PortResume"; "PortSuspend" ] in
+  machine "Port"
+    ~vars:
+      [ var_decl "hub" P_syntax.Ptype.Machine_id;
+        var_decl ~ghost:true "dev" P_syntax.Ptype.Machine_id;
+        var_decl "retries" P_syntax.Ptype.Int;
+        var_decl "counted" P_syntax.Ptype.Bool;
+        var_decl "seq" P_syntax.Ptype.Int;
+        var_decl "pindex" P_syntax.Ptype.Int ]
+    ~actions:[ action "Ignore" skip ]
+    [ (* Off: never powered; the device model is created on first power *)
+      state "Off" ~entry:(seq [ assign "counted" fls; assign "seq" (int 0) ]);
+      state "FirstPower"
+        ~entry:
+          (if_ (arg == tru)
+             (seq [ new_ "dev" "DeviceHw" [ ("port", this) ]; raise_ "unit" ])
+             (raise_ "halt"));
+      state "Powered" ~entry:(assign "retries" (int 0));
+      state "Enumerating" ~defer:[ "PortSuspend" ]
+        ~entry:(send (v "dev") "EnumRequest" ~payload:this);
+      state "Retry" ~defer:[ "PortSuspend" ]
+        ~entry:
+          (seq
+             [ assign "retries" (v "retries" + int 1);
+               (* the hub "can fail requests from incorrect hardware" *)
+               if_ (v "retries" < int 3) (raise_ "unit") (raise_ "halt") ]);
+      state "Enabled" ~entry:report_up;
+      state "Failed" ~entry:skip;
+      state "Suspended" ~defer:[ "Attach"; "Detach"; "EnumOk"; "EnumFail" ] ~entry:skip;
+      (* power changed while running: count down if needed, then branch *)
+      state "PowerSwitch" ~defer:[ "Detach"; "Attach"; "EnumOk"; "EnumFail" ]
+        ~entry:(seq [ report_down; if_ (arg == tru) (raise_ "unit") (raise_ "halt") ]);
+      state "DeviceGone" ~entry:(seq [ report_down; raise_ "unit" ]);
+      state "Unpowered" ~postpone:[ "Attach"; "Detach"; "EnumOk"; "EnumFail" ]
+        ~entry:skip ]
+    ~steps:
+      [ ("Off", "PortPower", "FirstPower");
+        ("FirstPower", "unit", "Powered");
+        ("FirstPower", "halt", "Off");
+        ("Powered", "Attach", "Enumerating");
+        ("Powered", "PortPower", "PowerSwitch");
+        ("Enumerating", "EnumOk", "Enabled");
+        ("Enumerating", "EnumFail", "Retry");
+        ("Enumerating", "Detach", "Powered");
+        ("Enumerating", "PortPower", "PowerSwitch");
+        ("Retry", "unit", "Enumerating");
+        ("Retry", "halt", "Failed");
+        ("Retry", "Detach", "Powered");
+        ("Retry", "PortPower", "PowerSwitch");
+        ("Enabled", "Detach", "DeviceGone");
+        ("Enabled", "PortSuspend", "Suspended");
+        ("Enabled", "PortPower", "PowerSwitch");
+        ("DeviceGone", "unit", "Powered");
+        ("DeviceGone", "PortPower", "PowerSwitch");
+        ("Failed", "Detach", "Powered");
+        ("Failed", "PortPower", "PowerSwitch");
+        ("Suspended", "PortResume", "Enabled");
+        ("Suspended", "PortPower", "PowerSwitch");
+        ("PowerSwitch", "unit", "Powered");
+        ("PowerSwitch", "halt", "Unpowered");
+        ("Unpowered", "PortPower", "RePower") ]
+    ~bindings:
+      ((* stale events per state, each one a checker finding during
+          development *)
+       List.concat_map
+         (fun (st, evs) -> List.map (fun ev -> on (st, ev) ~do_:"Ignore") evs)
+         [ ("Off", [ "PortSuspend"; "PortResume"; "Attach"; "Detach"; "EnumOk"; "EnumFail" ]);
+           ("Powered", [ "PortSuspend"; "PortResume"; "EnumOk"; "EnumFail"; "Detach" ]);
+           ("Enumerating", [ "Attach"; "PortResume" ]);
+           ("Retry", [ "EnumOk"; "EnumFail"; "Attach"; "PortResume" ]);
+           ("Enabled", [ "Attach"; "EnumOk"; "EnumFail"; "PortResume" ]);
+           ("DeviceGone", noise);
+           ("Failed", [ "Attach"; "EnumOk"; "EnumFail"; "PortSuspend"; "PortResume" ]);
+           ("Suspended", [ "PortSuspend" ]);
+           ("PowerSwitch", [ "PortSuspend"; "PortResume" ]);
+           ("Unpowered", [ "PortSuspend"; "PortResume"; "Attach"; "Detach"; "EnumOk"; "EnumFail" ]);
+           ("FirstPower", noise);
+           ("RePower", noise) ])
+
+(* Re-powering an already-initialized port skips device creation. *)
+let port_machine =
+  let m = port_machine in
+  { m with
+    P_syntax.Ast.states =
+      m.P_syntax.Ast.states
+      @ [ state "RePower"
+            ~entry:(if_ (arg == tru) (raise_ "unit") (raise_ "halt")) ];
+    P_syntax.Ast.steps =
+      m.P_syntax.Ast.steps
+      @ [ step ("RePower", "unit", "Powered"); step ("RePower", "halt", "Unpowered") ]
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The hub state machine (real)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let hub_machine ~n_ports =
+  let port_var i = Fmt.str "p%d" i in
+  let ports = List.init n_ports port_var in
+  let broadcast ev payload = seq (List.map (fun p -> send (v p) ev ~payload) ports) in
+  let broadcast0 ev = seq (List.map (fun p -> send (v p) ev) ports) in
+  let lifecycle_ignores st evs = List.map (fun ev -> on (st, ev) ~do_:"Ignore") evs in
+  machine "Hub"
+    ~vars:
+      (List.map (fun p -> var_decl p P_syntax.Ptype.Machine_id) ports
+      @ [ var_decl "up" P_syntax.Ptype.Int; var_decl "inited" P_syntax.Ptype.Bool ])
+    ~actions:
+      [ action "CountUp"
+          (seq [ assign "up" (v "up" + int 1); assert_ (v "up" <= int n_ports) ]);
+        action "CountDown"
+          (seq [ assign "up" (v "up" - int 1); assert_ (v "up" >= int 0) ]);
+        action "Ignore" skip ]
+    [ state "Stopped" ~entry:(when_ (not_ (v "inited")) (assign "up" (int 0)));
+      state "Starting"
+        ~entry:
+          (seq
+             [ when_ (not_ (v "inited"))
+                 (seq
+                    (List.mapi
+                       (fun i p -> new_ p "Port" [ ("hub", this); ("pindex", int i) ])
+                       ports
+                    @ [ assign "inited" tru ]));
+               broadcast "PortPower" tru;
+               raise_ "unit" ]);
+      state "Running" ~entry:skip;
+      state "Suspending" ~entry:(seq [ broadcast0 "PortSuspend"; raise_ "unit" ]);
+      state "SuspendedHub" ~entry:skip;
+      state "Resuming" ~entry:(seq [ broadcast0 "PortResume"; raise_ "unit" ]);
+      state "Stopping" ~entry:(seq [ broadcast "PortPower" fls; raise_ "unit" ]) ]
+    ~steps:
+      [ ("Stopped", "HubStart", "Starting");
+        ("Starting", "unit", "Running");
+        ("Running", "HubSuspend", "Suspending");
+        ("Suspending", "unit", "SuspendedHub");
+        ("SuspendedHub", "HubResume", "Resuming");
+        ("Resuming", "unit", "Running");
+        ("Running", "HubStop", "Stopping");
+        ("SuspendedHub", "HubStop", "Stopping");
+        ("Stopping", "unit", "Stopped") ]
+    ~bindings:
+      ((* port status changes can arrive in every hub state *)
+       List.concat_map
+         (fun st ->
+           [ on (st, "PortUp") ~do_:"CountUp"; on (st, "PortDown") ~do_:"CountDown" ])
+         [ "Stopped"; "Starting"; "Running"; "Suspending"; "SuspendedHub"; "Resuming";
+           "Stopping" ]
+      @ lifecycle_ignores "Stopped" [ "HubStop"; "HubSuspend"; "HubResume" ]
+      @ lifecycle_ignores "Starting" [ "HubStart"; "HubSuspend"; "HubStop"; "HubResume" ]
+      @ lifecycle_ignores "Running" [ "HubStart"; "HubResume" ]
+      @ lifecycle_ignores "Suspending" [ "HubStart"; "HubSuspend"; "HubStop"; "HubResume" ]
+      @ lifecycle_ignores "SuspendedHub" [ "HubStart"; "HubSuspend" ]
+      @ lifecycle_ignores "Resuming" [ "HubStart"; "HubSuspend"; "HubStop"; "HubResume" ]
+      @ lifecycle_ignores "Stopping" [ "HubStart"; "HubSuspend"; "HubStop"; "HubResume" ])
+
+(* ------------------------------------------------------------------ *)
+(* The OS model (ghost)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let os_machine =
+  machine "Os" ~ghost:true
+    ~vars:[ var_decl "hub" P_syntax.Ptype.Machine_id ]
+    [ state "Boot"
+        ~entry:
+          (seq [ new_ "hub" "Hub" [ ("inited", fls); ("up", int 0) ]; raise_ "unit" ]);
+      state "Drive"
+        ~entry:
+          (seq
+             [ if_ nondet
+                 (if_ nondet (send (v "hub") "HubStart") (send (v "hub") "HubStop"))
+                 (if_ nondet (send (v "hub") "HubSuspend") (send (v "hub") "HubResume"));
+               raise_ "unit" ]) ]
+    ~steps:[ ("Boot", "unit", "Drive"); ("Drive", "unit", "Drive") ]
+
+(** The closed hub-stack program with [n_ports] ports. *)
+let program ?(n_ports = 2) () =
+  program ~events
+    ~machines:[ os_machine; hub_machine ~n_ports; port_machine; device_machine ]
+    "Os"
+
+(** Seeded bug for the case-study narrative: the stopped hub forgets that
+    ports still deliver late status changes after the power-down broadcast —
+    one of the "majority of the bugs ... due to unhandled events that we
+    did not anticipate arriving". *)
+let buggy_program ?(n_ports = 2) () =
+  let p = program ~n_ports () in
+  { p with
+    P_syntax.Ast.machines =
+      List.map
+        (fun (m : P_syntax.Ast.machine) ->
+          if P_syntax.Names.Machine.to_string m.machine_name = "Hub" then
+            { m with
+              P_syntax.Ast.bindings =
+                List.filter
+                  (fun (bd : P_syntax.Ast.binding) ->
+                    not
+                      Stdlib.(
+                        P_syntax.Names.State.to_string bd.bd_state = "Stopped"
+                        && (P_syntax.Names.Event.to_string bd.bd_event = "PortUp"
+                           || P_syntax.Names.Event.to_string bd.bd_event = "PortDown")))
+                  m.P_syntax.Ast.bindings }
+          else m)
+        p.P_syntax.Ast.machines }

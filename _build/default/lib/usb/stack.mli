@@ -1,0 +1,18 @@
+(** A composed USB hub stack at demonstration scale: real [Hub] and [Port]
+    machines, ghost device hardware and OS models — the interaction
+    structure of the paper's section 6 case study ("the hub, each of the
+    ports, and each of the devices are designed as P machines"). *)
+
+val device_machine : P_syntax.Ast.machine
+val port_machine : P_syntax.Ast.machine
+val hub_machine : n_ports:int -> P_syntax.Ast.machine
+val os_machine : P_syntax.Ast.machine
+
+val program : ?n_ports:int -> unit -> P_syntax.Ast.program
+(** The closed hub-stack program (default 2 ports). Verified clean within
+    the test budgets; its state space is large, like the real stack's. *)
+
+val buggy_program : ?n_ports:int -> unit -> P_syntax.Ast.program
+(** The stopped hub forgets late port status changes: an unhandled-event
+    bug of exactly the class the case study says dominated ("majority of
+    the bugs were due to unhandled events"), found at delay bound 0. *)

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Delay_bounded Depth_bounded Fmt List Liveness P_checker P_examples_lib P_parser P_semantics P_static P_syntax Search Verifier

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Astring_contains List Option P_compile P_examples_lib P_parser P_syntax String

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Fmt List P_compile P_examples_lib P_runtime P_semantics P_static

@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Array Delay_bounded Filename Fmt List P_checker P_compile P_examples_lib P_parser P_semantics P_static P_syntax P_usb Search String Sys Verifier

@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Astring_contains In_channel List P_examples_lib Pcaml String Sys

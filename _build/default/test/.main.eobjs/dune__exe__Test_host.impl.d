@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Float List P_compile P_examples_lib P_host P_runtime

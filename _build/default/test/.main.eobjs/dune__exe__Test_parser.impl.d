@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Builder Fmt List Loc Names Option P_examples_lib P_parser P_syntax P_usb Pretty Ptype QCheck2 QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Ast Builder Fmt List P_checker P_compile P_parser P_semantics P_static P_syntax Pretty Ptype QCheck2 QCheck_alcotest Stdlib String

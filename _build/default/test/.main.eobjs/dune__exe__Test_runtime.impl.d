@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Astring_contains Hashtbl List P_compile P_examples_lib P_runtime Thread

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Ast Builder Config Equeue Errors Fmt List Machine Mid Names Option P_examples_lib P_semantics P_static P_syntax Ptype QCheck2 QCheck_alcotest Simulate Step Value

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Ast Astring_contains Fmt List Names P_examples_lib P_parser P_static P_syntax

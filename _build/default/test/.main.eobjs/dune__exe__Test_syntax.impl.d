@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Ast Astring_contains Builder List Loc Map Names P_examples_lib P_syntax Pretty Ptype Set

@@ -1,0 +1,13 @@
+(* Substring search helper shared by the test suites. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let found = ref false in
+    let i = ref 0 in
+    while (not !found) && !i <= nh - nn do
+      if String.sub haystack !i nn = needle then found := true else incr i
+    done;
+    !found
+  end

@@ -1,0 +1,17 @@
+(* Test runner: one alcotest section per library plus integration suites. *)
+
+let () =
+  Alcotest.run "pcaml"
+    [ ("syntax", Test_syntax.suite);
+      ("parser", Test_parser.suite);
+      ("static", Test_static.suite);
+      ("semantics", Test_semantics.suite);
+      ("checker", Test_checker.suite);
+      ("compile", Test_compile.suite);
+      ("runtime", Test_runtime.suite);
+      ("equiv", Test_equiv.suite);
+      ("host", Test_host.suite);
+      ("examples", Test_examples.suite);
+      ("extensions", Test_extensions.suite);
+      ("facade", Test_facade.suite);
+      ("properties", Test_properties.suite) ]

@@ -1,0 +1,109 @@
+(* The d=0 equivalence of section 5: "for d = 0, the real part of schedules
+   explored by the delay bounded scheduler are exactly the same as the one
+   executed by the P runtime ... assuming no multithreading".
+
+   The runtime (P_runtime, table-driven and mutable) and the verifier-side
+   simulator (P_semantics.Simulate, the d=0 slice of the delaying scheduler)
+   are independent implementations; these tests compare their observable
+   traces item by item on ghost-free programs, where erasure is the
+   identity and the comparison is exact. *)
+
+module Rt_trace = P_runtime.Rt_trace
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let runtime_trace program main =
+  let { P_compile.Compile.driver; _ } = P_compile.Compile.compile program in
+  let rt = P_runtime.Api.create driver in
+  let items = ref [] in
+  P_runtime.Api.set_trace_hook rt (Some (fun it -> items := it :: !items));
+  let _ = P_runtime.Api.create_machine rt main in
+  Rt_trace.observable (List.rev !items)
+
+let simulator_trace program =
+  let tab = P_static.Check.run_exn program in
+  let r = P_semantics.Simulate.run tab in
+  (match r.status with
+  | P_semantics.Simulate.Error e ->
+    Alcotest.failf "simulator hit an error: %a" P_semantics.Errors.pp e
+  | _ -> ());
+  Rt_trace.of_semantics_trace r.trace
+
+let item_str it = Fmt.str "%a" Rt_trace.pp_item it
+
+let assert_equal_traces name rt_items sim_items =
+  let rt_strs = List.map item_str rt_items in
+  let sim_strs = List.map item_str sim_items in
+  if rt_strs <> sim_strs then begin
+    let pp = Fmt.str "@[<v>%a@]" Fmt.(list ~sep:cut string) in
+    Alcotest.failf "%s traces differ:@.--- runtime ---@.%s@.--- simulator ---@.%s" name
+      (pp rt_strs) (pp sim_strs)
+  end
+
+let equiv name program main =
+  assert_equal_traces name (runtime_trace program main) (simulator_trace program)
+
+let test_pingpong () =
+  List.iter
+    (fun rounds ->
+      equiv
+        (Fmt.str "pingpong-%d" rounds)
+        (P_examples_lib.Pingpong.program ~rounds ())
+        "Pinger")
+    [ 1; 2; 5; 10 ]
+
+let test_bounded_buffer () =
+  List.iter
+    (fun (items, credits) ->
+      equiv
+        (Fmt.str "boundedbuffer-%d-%d" items credits)
+        (P_examples_lib.Bounded_buffer.program ~items ~credits ())
+        "Producer")
+    [ (1, 1); (4, 2); (8, 3) ]
+
+let test_token_ring () =
+  (* the ring circulates forever; bound both sides identically by truncating
+     the traces to the same finite prefix *)
+  let program = P_examples_lib.Token_ring.program ~n:3 () in
+  let tab = P_static.Check.run_exn program in
+  let sim = P_semantics.Simulate.run ~max_blocks:60 tab in
+  let sim_items = Rt_trace.of_semantics_trace sim.trace in
+  let { P_compile.Compile.driver; _ } = P_compile.Compile.compile program in
+  let rt = P_runtime.Api.create driver in
+  let items = ref [] in
+  let count = ref 0 in
+  let exception Enough in
+  P_runtime.Api.set_trace_hook rt
+    (Some
+       (fun it ->
+         items := it :: !items;
+         incr count;
+         if !count > 2_000 then raise Enough));
+  (try ignore (P_runtime.Api.create_machine rt "Starter") with Enough -> ());
+  let rt_items = Rt_trace.observable (List.rev !items) in
+  let n = min (List.length sim_items) (List.length rt_items) in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  check bool_t "prefix agrees" true
+    (List.map item_str (take n rt_items) = List.map item_str (take n sim_items));
+  check bool_t "long enough to be meaningful" true (n > 30)
+
+let test_switch_led_erased () =
+  (* with the ghost switch erased, the driver alone comes up in Off and
+     quiesces; both engines must agree on that tiny trace too *)
+  let program = P_examples_lib.Switch_led.program () in
+  let { P_compile.Compile.erased; driver } = P_compile.Compile.compile program in
+  let rt = P_runtime.Api.create driver in
+  P_runtime.Api.register_foreign rt "set_led" (fun _ _ -> P_runtime.Rt_value.Null);
+  let items = ref [] in
+  P_runtime.Api.set_trace_hook rt (Some (fun it -> items := it :: !items));
+  let _ = P_runtime.Api.create_machine rt "SwitchLed" in
+  let rt_items = Rt_trace.observable (List.rev !items) in
+  let sim_items = simulator_trace erased in
+  assert_equal_traces "switchled-erased" rt_items sim_items
+
+let suite =
+  [ Alcotest.test_case "pingpong d=0 ≡ runtime" `Quick test_pingpong;
+    Alcotest.test_case "bounded buffer d=0 ≡ runtime" `Quick test_bounded_buffer;
+    Alcotest.test_case "token ring prefix ≡" `Quick test_token_ring;
+    Alcotest.test_case "erased switchled ≡" `Quick test_switch_led_erased ]

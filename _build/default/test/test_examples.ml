@@ -1,0 +1,235 @@
+(* Integration tests over the example corpus and the synthetic USB models:
+   every shipped program is statically clean, verifies at small delay
+   bounds, round-trips through the concrete syntax, and every seeded bug is
+   found within delay bound 2 (the paper's empirical claim). Also covers
+   the Figure 8 generator invariants and the .p sources on disk. *)
+
+open P_checker
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let good_examples =
+  [ ("elevator", P_examples_lib.Elevator.program ());
+    ("pingpong", P_examples_lib.Pingpong.program ());
+    ("german", P_examples_lib.German.program ());
+    ("switchled", P_examples_lib.Switch_led.program ());
+    ("tokenring", P_examples_lib.Token_ring.program ());
+    ("boundedbuffer", P_examples_lib.Bounded_buffer.program ()) ]
+
+let buggy_examples =
+  [ ("elevator", P_examples_lib.Elevator.buggy_program ());
+    ("pingpong", P_examples_lib.Pingpong.buggy_program ());
+    ("german", P_examples_lib.German.buggy_program ());
+    ("switchled", P_examples_lib.Switch_led.buggy_program ());
+    ("tokenring", P_examples_lib.Token_ring.buggy_program ());
+    ("boundedbuffer", P_examples_lib.Bounded_buffer.buggy_program ()) ]
+
+let test_examples_statically_clean () =
+  List.iter
+    (fun (name, p) ->
+      match P_static.Check.run p with
+      | { diagnostics = []; _ } -> ()
+      | { diagnostics; _ } ->
+        Alcotest.failf "%s rejected:@.%a" name P_static.Check.pp_diagnostics diagnostics)
+    (good_examples @ buggy_examples)
+
+let test_all_bugs_found_within_d2 () =
+  List.iter
+    (fun (name, p) ->
+      let tab = P_static.Check.run_exn p in
+      let found =
+        List.exists
+          (fun d ->
+            match
+              (Delay_bounded.explore ~delay_bound:d ~max_states:500_000 tab).verdict
+            with
+            | Search.Error_found _ -> true
+            | Search.No_error -> false)
+          [ 0; 1; 2 ]
+      in
+      check bool_t (name ^ ": bug within d<=2") true found)
+    buggy_examples
+
+let test_all_examples_compile () =
+  List.iter
+    (fun (name, p) ->
+      match P_compile.Compile.compile p with
+      | { driver; _ } ->
+        check bool_t (name ^ " has machines") true (Array.length driver.dr_machines > 0);
+        let c = P_compile.C_emit.emit driver in
+        check bool_t (name ^ " C nonempty") true (String.length c > 500)
+      | exception P_compile.Compile.Error msg -> Alcotest.failf "%s: %s" name msg)
+    good_examples
+
+let find_p_file name =
+  List.find Sys.file_exists
+    (List.map
+       (fun prefix -> Filename.concat prefix (Filename.concat "examples/p" name))
+       [ "."; ".."; "../.."; "../../.."; "../../../.." ])
+
+let test_example_p_file_parses_and_verifies () =
+  let p = P_parser.Parser.program_of_file (find_p_file "ring.p") in
+  let report = Verifier.verify ~delay_bound:2 p in
+  check bool_t "ring.p verifies" true (Verifier.is_clean report)
+
+let test_failover_p_verifies () =
+  let p = P_parser.Parser.program_of_file (find_p_file "failover.p") in
+  let tab = P_static.Check.run_exn p in
+  List.iter
+    (fun d ->
+      let r = Delay_bounded.explore ~delay_bound:d ~max_states:1_500_000 tab in
+      check bool_t (Fmt.str "failover clean at d=%d" d) true
+        (r.verdict = Search.No_error))
+    [ 0; 2; 4 ]
+
+let test_failover_split_brain_variant_caught () =
+  (* undo fix #4 (wait for the demotion ack): promote immediately instead;
+     the split-brain assertion must fire again *)
+  let p = P_parser.Parser.program_of_file (find_p_file "failover.p") in
+  let broken =
+    { p with
+      P_syntax.Ast.machines =
+        List.map
+          (fun (m : P_syntax.Ast.machine) ->
+            if P_syntax.Names.Machine.to_string m.machine_name = "Monitor" then
+              { m with
+                P_syntax.Ast.states =
+                  List.map
+                    (fun (st : P_syntax.Ast.state) ->
+                      if P_syntax.Names.State.to_string st.state_name = "Failover" then
+                        let module B = P_syntax.Builder in
+                        { st with
+                          P_syntax.Ast.entry =
+                            B.seq
+                              [ B.send (B.v "primary") "Demote";
+                                B.send (B.v "primary") "Crash";
+                                B.send (B.v "backup") "Promote" ] }
+                      else st)
+                    m.P_syntax.Ast.states }
+            else m)
+          p.P_syntax.Ast.machines }
+  in
+  let tab = P_static.Check.run_exn broken in
+  let found =
+    List.exists
+      (fun d ->
+        match (Delay_bounded.explore ~delay_bound:d ~max_states:1_000_000 tab).verdict with
+        | Search.Error_found _ -> true
+        | Search.No_error -> false)
+      [ 0; 1; 2 ]
+  in
+  check bool_t "split brain caught within d<=2" true found
+
+let test_german_scales_with_clients () =
+  let states n =
+    let tab = P_static.Check.run_exn (P_examples_lib.German.program ~n ()) in
+    (Delay_bounded.explore ~delay_bound:0 ~max_states:500_000 tab).stats.states
+  in
+  let s2 = states 2 and s3 = states 3 and s4 = states 4 in
+  check bool_t "n=3 > n=2" true (s3 > s2);
+  check bool_t "n=4 > n=3" true (s4 > s3);
+  (* protocol interleavings compound super-linearly *)
+  check bool_t "superlinear growth" true (s4 > 5 * s3)
+
+let test_german_bug_found_at_every_n () =
+  List.iter
+    (fun n ->
+      let tab = P_static.Check.run_exn (P_examples_lib.German.buggy_program ~n ()) in
+      let r = Delay_bounded.explore ~delay_bound:0 ~max_states:2_000_000 tab in
+      check bool_t (Fmt.str "n=%d bug found" n) true
+        (match r.verdict with Search.Error_found _ -> true | _ -> false))
+    [ 2; 3; 4 ]
+
+(* ---------------- Figure 8 generator ---------------- *)
+
+let test_usb_specs_exact_sizes () =
+  List.iter
+    (fun spec ->
+      let m, _ = P_usb.Gen.machine_of_spec spec in
+      check int_t
+        (spec.P_usb.Gen.name ^ " states")
+        spec.P_usb.Gen.n_states
+        (P_syntax.Ast.machine_state_count m);
+      check int_t
+        (spec.P_usb.Gen.name ^ " transitions")
+        spec.P_usb.Gen.n_transitions
+        (P_syntax.Ast.machine_transition_count m))
+    P_usb.Gen.all_specs
+
+let test_usb_generator_deterministic () =
+  let p1 = P_usb.Gen.program_of_spec P_usb.Gen.hsm_spec in
+  let p2 = P_usb.Gen.program_of_spec P_usb.Gen.hsm_spec in
+  check bool_t "same program" true
+    (String.equal
+       (P_syntax.Pretty.program_to_string p1)
+       (P_syntax.Pretty.program_to_string p2))
+
+let test_usb_no_dead_end_states () =
+  (* every state must keep at least one steppable event, or the machine can
+     wedge with its counters frozen *)
+  List.iter
+    (fun spec ->
+      let m, alphabet = P_usb.Gen.machine_of_spec spec in
+      List.iter
+        (fun (st : P_syntax.Ast.state) ->
+          let has_step =
+            List.exists
+              (fun ev ->
+                P_syntax.Ast.step_target m st.state_name
+                  (P_syntax.Names.Event.of_string ev)
+                <> None)
+              alphabet
+          in
+          if not has_step then
+            Alcotest.failf "%s: state %s has no step transition" spec.P_usb.Gen.name
+              (P_syntax.Names.State.to_string st.state_name))
+        m.states)
+    P_usb.Gen.all_specs
+
+let test_usb_programs_check_and_explore () =
+  List.iter
+    (fun spec ->
+      let p = P_usb.Gen.program_of_spec spec in
+      let tab = P_static.Check.run_exn p in
+      let r = Delay_bounded.explore ~delay_bound:0 ~max_states:5_000 tab in
+      (match r.verdict with
+      | Search.No_error -> ()
+      | Search.Error_found ce ->
+        Alcotest.failf "%s: unexpected error %a" spec.P_usb.Gen.name P_semantics.Errors.pp
+          ce.error);
+      check bool_t (spec.P_usb.Gen.name ^ " explores") true (r.stats.states > 100))
+    P_usb.Gen.all_specs
+
+(* ---------------- cross-engine agreement on the examples ---------------- *)
+
+let test_simulation_agrees_with_d0_count () =
+  (* deterministic (ghost-free) examples: d=0 search explores exactly the
+     simulator's linear path *)
+  List.iter
+    (fun (name, p, blocks_bound) ->
+      let tab = P_static.Check.run_exn p in
+      let sim = P_semantics.Simulate.run ~max_blocks:blocks_bound tab in
+      match sim.status with
+      | P_semantics.Simulate.Quiescent ->
+        let r = Delay_bounded.explore ~delay_bound:0 tab in
+        check int_t (name ^ ": linear path") (sim.blocks + 1) r.stats.states
+      | _ -> Alcotest.failf "%s: expected quiescence" name)
+    [ ("pingpong", P_examples_lib.Pingpong.program ~rounds:4 (), 10_000);
+      ("boundedbuffer", P_examples_lib.Bounded_buffer.program (), 10_000) ]
+
+let suite =
+  [ Alcotest.test_case "examples statically clean" `Quick test_examples_statically_clean;
+    Alcotest.test_case "bugs within d<=2" `Slow test_all_bugs_found_within_d2;
+    Alcotest.test_case "examples compile" `Quick test_all_examples_compile;
+    Alcotest.test_case "ring.p verifies" `Quick test_example_p_file_parses_and_verifies;
+    Alcotest.test_case "failover.p verifies" `Slow test_failover_p_verifies;
+    Alcotest.test_case "failover split-brain caught" `Slow test_failover_split_brain_variant_caught;
+    Alcotest.test_case "german scales" `Slow test_german_scales_with_clients;
+    Alcotest.test_case "german bug at every n" `Slow test_german_bug_found_at_every_n;
+    Alcotest.test_case "usb exact sizes" `Quick test_usb_specs_exact_sizes;
+    Alcotest.test_case "usb deterministic" `Quick test_usb_generator_deterministic;
+    Alcotest.test_case "usb no dead ends" `Quick test_usb_no_dead_end_states;
+    Alcotest.test_case "usb explores" `Slow test_usb_programs_check_and_explore;
+    Alcotest.test_case "simulation = d0 path" `Quick test_simulation_agrees_with_d0_count ]

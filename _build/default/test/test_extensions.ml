@@ -1,0 +1,215 @@
+(* Tests for the extension features: the multicore explorer, the Graphviz
+   exporter, and the composed USB stack model. *)
+
+open P_checker
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let contains = Astring_contains.contains
+
+(* ---------------- parallel exploration ---------------- *)
+
+let test_parallel_agrees_with_sequential () =
+  List.iter
+    (fun (name, p, d) ->
+      let tab = P_static.Check.run_exn p in
+      let seq = Delay_bounded.explore ~delay_bound:d tab in
+      let par = Parallel.explore ~domains:3 ~delay_bound:d tab in
+      check int_t (name ^ ": same states") seq.stats.states par.stats.states;
+      check int_t (name ^ ": same transitions") seq.stats.transitions
+        par.stats.transitions;
+      check bool_t (name ^ ": same verdict") true
+        ((seq.verdict = Search.No_error) = (par.verdict = Search.No_error)))
+    [ ("pingpong", P_examples_lib.Pingpong.program ~rounds:2 (), 2);
+      ("elevator", P_examples_lib.Elevator.program (), 1);
+      ("switchled", P_examples_lib.Switch_led.program (), 3) ]
+
+let test_parallel_deterministic_across_domains () =
+  let tab = P_static.Check.run_exn (P_examples_lib.Elevator.program ()) in
+  let states domains =
+    (Parallel.explore ~domains ~delay_bound:2 tab).stats.states
+  in
+  let s1 = states 1 in
+  check int_t "2 domains" s1 (states 2);
+  check int_t "4 domains" s1 (states 4)
+
+let test_parallel_finds_bug () =
+  let tab = P_static.Check.run_exn (P_examples_lib.German.buggy_program ()) in
+  let r = Parallel.explore ~domains:2 ~delay_bound:0 tab in
+  match r.verdict with
+  | Search.Error_found ce ->
+    check bool_t "trace replays" true (List.length ce.trace > 5);
+    (match ce.error.kind with
+    | P_semantics.Errors.Assert_failure _ -> ()
+    | k -> Alcotest.failf "wrong kind: %a" P_semantics.Errors.pp_kind k)
+  | Search.No_error -> Alcotest.fail "parallel engine missed the seeded bug"
+
+(* ---------------- DOT export ---------------- *)
+
+let test_dot_program_shape () =
+  let dot = P_compile.Dot_emit.emit (P_examples_lib.Elevator.program ()) in
+  List.iter
+    (fun frag ->
+      if not (contains dot frag) then Alcotest.failf "DOT lacks %S" frag)
+    [ "digraph P {";
+      "subgraph \"cluster_Elevator\"";
+      "label = \"ghost machine User\"";
+      "style = dashed";
+      (* a step edge *)
+      "\"Elevator__Closed\" -> \"Elevator__Opening\" [label=\"OpenDoor\"]";
+      (* a call transition rendered as the paper's double edge *)
+      "\"Elevator__Opened\" -> \"Elevator__StoppingTimer\" [label=\"OpenDoor\", style=bold";
+      (* an action binding as a dashed self-loop *)
+      "\"Elevator__Opening\" -> \"Elevator__Opening\" [label=\"OpenDoor / Ignore\", style=dashed]";
+      (* deferred set listed in the node *)
+      "defer: CloseDoor" ]
+
+let test_dot_single_machine () =
+  let m =
+    P_syntax.Ast.find_machine
+      (P_examples_lib.Pingpong.program ())
+      (P_syntax.Names.Machine.of_string "Ponger")
+    |> Option.get
+  in
+  let dot = P_compile.Dot_emit.emit_one m in
+  check bool_t "one cluster" true (contains dot "cluster_Ponger");
+  check bool_t "no other machines" false (contains dot "Pinger");
+  (* the initial state is marked and wired from the entry point *)
+  check bool_t "entry arrow" true (contains dot "\"Ponger__entry\" -> \"Ponger__Serve\"")
+
+let test_dot_escapes () =
+  (* names are attacker-ish strings; the emitter must not produce raw quotes *)
+  let open P_syntax.Builder in
+  let m = machine "M\"x" [ state "S\\n" ~entry:skip ] in
+  let dot = P_compile.Dot_emit.emit_one m in
+  check bool_t "escaped quote" true (contains dot "M\\\"x");
+  check bool_t "no naked quote in label" false (contains dot "label = \"machine M\"x\"")
+
+(* ---------------- random-walk testing ---------------- *)
+
+let test_random_walk_finds_easy_bug () =
+  let tab = P_static.Check.run_exn (P_examples_lib.Elevator.buggy_program ()) in
+  let r = Random_walk.run ~walks:30 ~max_blocks:300 ~seed:5 tab in
+  check bool_t "some walk fails" true (r.errors_found > 0);
+  match r.first_error with
+  | Some (e, trace, blocks) ->
+    check bool_t "an unhandled event" true
+      (match e.P_semantics.Errors.kind with
+      | P_semantics.Errors.Unhandled_event _ -> true
+      | _ -> false);
+    check bool_t "trace recorded" true (List.length trace > 3);
+    check bool_t "blocks positive" true (blocks > 0)
+  | None -> Alcotest.fail "errors_found > 0 but no first_error"
+
+let test_random_walk_clean_program () =
+  let tab = P_static.Check.run_exn (P_examples_lib.Pingpong.program ~rounds:2 ()) in
+  let r = Random_walk.run ~walks:20 ~max_blocks:200 ~seed:7 tab in
+  check int_t "no failures on a clean program" 0 r.errors_found
+
+let test_random_walk_reproducible () =
+  let tab = P_static.Check.run_exn (P_examples_lib.German.buggy_program ()) in
+  let r1 = Random_walk.run ~walks:20 ~max_blocks:200 ~seed:42 tab in
+  let r2 = Random_walk.run ~walks:20 ~max_blocks:200 ~seed:42 tab in
+  check int_t "same outcome per seed" r1.errors_found r2.errors_found;
+  check int_t "same total blocks" r1.total_blocks r2.total_blocks
+
+(* ---------------- coverage ---------------- *)
+
+let test_coverage_elevator_full () =
+  let tab = P_static.Check.run_exn (P_examples_lib.Elevator.program ()) in
+  let cov = Coverage.of_exploration ~delay_bound:8 ~max_states:60_000 tab in
+  let r = Coverage.report cov in
+  check int_t "all states entered" r.states_total r.states_hit;
+  (* the elevator was trimmed against this very report: full handler
+     coverage is a regression invariant now *)
+  check int_t "all handlers fired" r.handlers_total r.handlers_hit;
+  check bool_t "nontrivial" true (r.handlers_total > 20)
+
+let test_coverage_detects_dead_handler () =
+  let open P_syntax.Builder in
+  (* an Ignore binding for an event nobody ever sends must show as unfired *)
+  let m =
+    machine "M"
+      ~actions:[ action "Ignore" skip ]
+      [ state "S" ~entry:skip ]
+      ~bindings:[ on ("S", "never") ~do_:"Ignore" ]
+  in
+  let p = program ~events:[ event "never" ] ~machines:[ m ] "M" in
+  let tab = P_static.Check.run_exn p in
+  let cov = Coverage.of_exploration ~delay_bound:2 tab in
+  let r = Coverage.report cov in
+  check int_t "handler declared" 1 r.handlers_total;
+  check int_t "handler dead" 0 r.handlers_hit;
+  check int_t "listed" 1 (List.length r.unfired_handlers)
+
+let test_coverage_ghost_flag () =
+  let tab = P_static.Check.run_exn (P_examples_lib.Elevator.program ()) in
+  let cov = Coverage.of_exploration ~delay_bound:1 ~max_states:5_000 tab in
+  let without = Coverage.report cov in
+  let with_ghost = Coverage.report ~include_ghost:true cov in
+  check bool_t "ghost machines add states" true
+    (with_ghost.states_total > without.states_total)
+
+(* ---------------- the composed USB stack ---------------- *)
+
+let test_stack_statically_clean () =
+  match P_static.Check.run (P_usb.Stack.program ()) with
+  | { diagnostics = []; _ } -> ()
+  | { diagnostics; _ } ->
+    Alcotest.failf "%a" P_static.Check.pp_diagnostics diagnostics
+
+let test_stack_safe_within_budget () =
+  let tab = P_static.Check.run_exn (P_usb.Stack.program ()) in
+  let r = Delay_bounded.explore ~delay_bound:1 ~max_states:60_000 tab in
+  check bool_t "no error in budget" true (r.verdict = Search.No_error);
+  check bool_t "big space (truncated)" true r.stats.truncated
+
+let test_stack_bug_found () =
+  let tab = P_static.Check.run_exn (P_usb.Stack.buggy_program ()) in
+  let r = Delay_bounded.explore ~delay_bound:0 ~max_states:200_000 tab in
+  match r.verdict with
+  | Search.Error_found ce -> (
+    match ce.error.kind with
+    | P_semantics.Errors.Unhandled_event e ->
+      check bool_t "late status change" true
+        (P_syntax.Names.Event.to_string e = "PortDown"
+        || P_syntax.Names.Event.to_string e = "PortUp")
+    | k -> Alcotest.failf "wrong kind: %a" P_semantics.Errors.pp_kind k)
+  | Search.No_error -> Alcotest.fail "stack bug not found at d=0"
+
+let test_stack_simulates () =
+  let tab = P_static.Check.run_exn (P_usb.Stack.program ~n_ports:3 ()) in
+  let r =
+    P_semantics.Simulate.run ~max_blocks:3_000
+      ~policy:(P_semantics.Simulate.policy_seeded 3) tab
+  in
+  match r.status with
+  | P_semantics.Simulate.Error e -> Alcotest.failf "simulation error: %a" P_semantics.Errors.pp e
+  | _ -> ()
+
+let test_stack_roundtrips () =
+  let p = P_usb.Stack.program () in
+  let printed = P_syntax.Pretty.program_to_string p in
+  let p2 = P_parser.Parser.program_of_string printed in
+  check bool_t "concrete syntax roundtrip" true
+    (String.equal printed (P_syntax.Pretty.program_to_string p2))
+
+let suite =
+  [ Alcotest.test_case "parallel = sequential" `Slow test_parallel_agrees_with_sequential;
+    Alcotest.test_case "parallel deterministic" `Quick test_parallel_deterministic_across_domains;
+    Alcotest.test_case "parallel finds bug" `Quick test_parallel_finds_bug;
+    Alcotest.test_case "dot program shape" `Quick test_dot_program_shape;
+    Alcotest.test_case "dot single machine" `Quick test_dot_single_machine;
+    Alcotest.test_case "dot escaping" `Quick test_dot_escapes;
+    Alcotest.test_case "stack static" `Quick test_stack_statically_clean;
+    Alcotest.test_case "stack safe" `Slow test_stack_safe_within_budget;
+    Alcotest.test_case "stack bug found" `Quick test_stack_bug_found;
+    Alcotest.test_case "stack simulates" `Quick test_stack_simulates;
+    Alcotest.test_case "stack roundtrips" `Quick test_stack_roundtrips;
+    Alcotest.test_case "random walk finds bug" `Quick test_random_walk_finds_easy_bug;
+    Alcotest.test_case "random walk clean" `Quick test_random_walk_clean_program;
+    Alcotest.test_case "random walk reproducible" `Quick test_random_walk_reproducible;
+    Alcotest.test_case "coverage elevator full" `Slow test_coverage_elevator_full;
+    Alcotest.test_case "coverage dead handler" `Quick test_coverage_detects_dead_handler;
+    Alcotest.test_case "coverage ghost flag" `Quick test_coverage_ghost_flag ]

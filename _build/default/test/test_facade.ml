@@ -1,0 +1,80 @@
+(* Tests for the Pcaml facade: the single-entry public API a downstream
+   user depends on, plus the sync invariant between the shipped .p files
+   and the builder-defined examples. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let inline_src =
+  {|event go(int);
+machine M {
+  var n : int;
+  state S { entry { n := 0; raise(go, 1); } }
+  state T { entry { n := n + arg; assert(n < 10); } }
+  step (S, go, T);
+}
+main M();|}
+
+let test_parse_and_verify () =
+  let program = Pcaml.parse ~file:"inline.p" inline_src in
+  let report = Pcaml.verify ~delay_bound:2 program in
+  check bool_t "clean" true (Pcaml.Verifier.is_clean report)
+
+let test_simulate () =
+  let program = Pcaml.parse inline_src in
+  let sim = Pcaml.simulate program in
+  check bool_t "quiescent" true (sim.status = Pcaml.Simulate.Quiescent);
+  check bool_t "progressed" true (sim.blocks > 0)
+
+let test_to_c_and_dot () =
+  let program = Pcaml.parse inline_src in
+  check bool_t "C emitted" true
+    (Astring_contains.contains (Pcaml.to_c program) "P_EVENT_go");
+  check bool_t "DOT emitted" true
+    (Astring_contains.contains (Pcaml.to_dot program) "cluster_M")
+
+let test_load_and_run () =
+  let program = Pcaml.parse inline_src in
+  let rt = Pcaml.load program in
+  let h = Pcaml.Runtime.create_machine rt "M" in
+  check bool_t "reached T" true (Pcaml.Runtime.current_state_name rt h = Some "T")
+
+let test_check_rejects () =
+  let program = Pcaml.parse "event e;\nmachine M { state S { entry { x := 1; } } }\nmain M();" in
+  match Pcaml.check program with
+  | exception Pcaml.Check.Rejected _ -> ()
+  | _ -> Alcotest.fail "facade check must reject unknown variables"
+
+(* the shipped .p sources stay in sync with the builder-defined examples *)
+let find_file candidates =
+  List.find Sys.file_exists candidates
+
+let strip_comments src =
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> not (String.length l >= 2 && String.sub l 0 2 = "//"))
+  |> String.concat "\n" |> String.trim
+
+let test_elevator_p_in_sync () =
+  let path =
+    find_file
+      [ "examples/p/elevator.p"; "../examples/p/elevator.p"; "../../examples/p/elevator.p";
+        "../../../examples/p/elevator.p"; "../../../../examples/p/elevator.p" ]
+  in
+  let on_disk =
+    In_channel.with_open_bin path In_channel.input_all |> strip_comments
+  in
+  let generated =
+    Pcaml.Pretty.program_to_string (P_examples_lib.Elevator.program ()) |> String.trim
+  in
+  if not (String.equal on_disk generated) then
+    Alcotest.fail
+      "examples/p/elevator.p is out of sync; regenerate with `pc print --example \
+       elevator`"
+
+let suite =
+  [ Alcotest.test_case "parse + verify" `Quick test_parse_and_verify;
+    Alcotest.test_case "simulate" `Quick test_simulate;
+    Alcotest.test_case "to_c + to_dot" `Quick test_to_c_and_dot;
+    Alcotest.test_case "load + run" `Quick test_load_and_run;
+    Alcotest.test_case "check rejects" `Quick test_check_rejects;
+    Alcotest.test_case "elevator.p in sync" `Quick test_elevator_p_in_sync ]

@@ -1,0 +1,143 @@
+(* Tests for the simulated driver host: the discrete-event clock, the
+   KMDF-style skeleton, and the workload harness. *)
+
+module Clock = P_host.Clock
+module Os_events = P_host.Os_events
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ---------------- clock ---------------- *)
+
+let test_clock_orders_by_time () =
+  let clock = Clock.create () in
+  let log = ref [] in
+  Clock.schedule clock ~delay_us:30 (fun () -> log := 3 :: !log);
+  Clock.schedule clock ~delay_us:10 (fun () -> log := 1 :: !log);
+  Clock.schedule clock ~delay_us:20 (fun () -> log := 2 :: !log);
+  let n = Clock.run clock in
+  check int_t "dispatched" 3 n;
+  check bool_t "time order" true (List.rev !log = [ 1; 2; 3 ])
+
+let test_clock_stable_at_same_time () =
+  let clock = Clock.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Clock.schedule clock ~delay_us:7 (fun () -> log := i :: !log)
+  done;
+  let _ = Clock.run clock in
+  check bool_t "FIFO among simultaneous" true (List.rev !log = [ 1; 2; 3; 4; 5 ])
+
+let test_clock_nested_scheduling () =
+  let clock = Clock.create () in
+  let log = ref [] in
+  Clock.schedule clock ~delay_us:10 (fun () ->
+      log := "a" :: !log;
+      Clock.schedule clock ~delay_us:5 (fun () -> log := "b" :: !log));
+  Clock.schedule clock ~delay_us:12 (fun () -> log := "c" :: !log);
+  let _ = Clock.run clock in
+  (* a at 10, c at 12, b at 15 *)
+  check bool_t "nested callbacks interleave by time" true (List.rev !log = [ "a"; "c"; "b" ]);
+  check int_t "clock advanced" 15 (Clock.now_us clock)
+
+let test_clock_until () =
+  let clock = Clock.create () in
+  let hits = ref 0 in
+  Clock.schedule clock ~delay_us:5 (fun () -> incr hits);
+  Clock.schedule clock ~delay_us:50 (fun () -> incr hits);
+  let n = Clock.run ~until_us:10 clock in
+  check int_t "only the early one" 1 n;
+  let n = Clock.run clock in
+  check int_t "rest later" 1 n;
+  check int_t "both ran" 2 !hits
+
+let test_clock_rejects_negative_delay () =
+  let clock = Clock.create () in
+  match Clock.schedule clock ~delay_us:(-1) (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative delay must be rejected"
+
+(* ---------------- skeleton ---------------- *)
+
+let switchled_runtime () =
+  let { P_compile.Compile.driver; _ } =
+    P_compile.Compile.compile (P_examples_lib.Switch_led.program ())
+  in
+  let rt = P_runtime.Api.create driver in
+  P_runtime.Api.register_foreign rt "set_led" (fun _ _ -> P_runtime.Rt_value.Null);
+  rt
+
+let translate = function
+  | Os_events.Interrupt { line = "switch"; data } ->
+    Some ((if data <> 0 then "SwitchOn" else "SwitchOff"), P_runtime.Rt_value.Null)
+  | _ -> None
+
+let test_skeleton_lifecycle () =
+  let rt = switchled_runtime () in
+  let sk = P_host.Skeleton.attach rt ~main_machine:"SwitchLed" ~translate in
+  let d = P_host.Skeleton.driver sk in
+  (* callbacks before AddDevice are dropped like in KMDF *)
+  d.Os_events.callback (Os_events.Interrupt { line = "switch"; data = 1 });
+  d.Os_events.add_device ();
+  let h = P_host.Skeleton.handle sk in
+  check bool_t "created in Off" true (P_runtime.Api.current_state_name rt h = Some "Off");
+  d.Os_events.callback (Os_events.Interrupt { line = "switch"; data = 1 });
+  check bool_t "switched on" true (P_runtime.Api.current_state_name rt h = Some "On");
+  (* untranslated OS events are ignored *)
+  d.Os_events.callback Os_events.Power_suspend;
+  check bool_t "still on" true (P_runtime.Api.current_state_name rt h = Some "On");
+  d.Os_events.remove_device ();
+  check bool_t "machine deleted on remove" false (P_runtime.Api.is_alive rt h);
+  (* further callbacks after removal are dropped *)
+  d.Os_events.callback (Os_events.Interrupt { line = "switch"; data = 0 })
+
+let test_skeleton_add_idempotent () =
+  let rt = switchled_runtime () in
+  let sk = P_host.Skeleton.attach rt ~main_machine:"SwitchLed" ~translate in
+  let d = P_host.Skeleton.driver sk in
+  d.Os_events.add_device ();
+  let h1 = P_host.Skeleton.handle sk in
+  d.Os_events.add_device ();
+  check int_t "second AddDevice is a no-op" h1 (P_host.Skeleton.handle sk)
+
+(* ---------------- workload ---------------- *)
+
+let test_workload_stats () =
+  let device = P_examples_lib.Switch_led.new_device () in
+  let driver = P_examples_lib.Switch_led.handwritten_driver device in
+  let stats =
+    P_host.Workload.run ~rate_hz:1000 ~events:200
+      ~make_event:(fun i -> Os_events.Interrupt { line = "switch"; data = i mod 2 })
+      driver
+  in
+  check int_t "all events" 200 stats.events;
+  check bool_t "mean positive" true (stats.mean_ns >= 0.0);
+  check bool_t "p99 >= mean is usual but max >= p99 always" true
+    (stats.max_ns >= stats.p99_ns);
+  check bool_t "total consistent" true
+    (Float.abs ((stats.total_ns /. float_of_int stats.events) -. stats.mean_ns) < 1.0)
+
+let test_workload_drives_p_driver () =
+  let device = P_examples_lib.Switch_led.new_device () in
+  let driver = P_examples_lib.Switch_led.p_driver device in
+  let _ =
+    P_host.Workload.run ~rate_hz:100 ~events:100
+      ~make_event:(fun i -> Os_events.Interrupt { line = "switch"; data = i mod 2 })
+      driver
+  in
+  (* creation writes once (entry of Off); event 0 (SwitchOff while Off) is
+     ignored without re-entering; events 1..99 alternate transitions *)
+  check int_t "writes" 100 device.writes;
+  check bool_t "ends on (last event was SwitchOn)" true device.led_on
+
+let suite =
+  [ Alcotest.test_case "clock time order" `Quick test_clock_orders_by_time;
+    Alcotest.test_case "clock stability" `Quick test_clock_stable_at_same_time;
+    Alcotest.test_case "clock nesting" `Quick test_clock_nested_scheduling;
+    Alcotest.test_case "clock until" `Quick test_clock_until;
+    Alcotest.test_case "clock negative delay" `Quick test_clock_rejects_negative_delay;
+    Alcotest.test_case "skeleton lifecycle" `Quick test_skeleton_lifecycle;
+    Alcotest.test_case "skeleton add idempotent" `Quick test_skeleton_add_idempotent;
+    Alcotest.test_case "workload stats" `Quick test_workload_stats;
+    Alcotest.test_case "workload drives P driver" `Quick test_workload_drives_p_driver ]

@@ -1,0 +1,312 @@
+(* Tests for the lexer and the recursive-descent parser, including a qcheck
+   round-trip property: parse ∘ print is the identity on generated
+   programs (up to locations). *)
+
+open P_syntax
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* ---------------- lexer ---------------- *)
+
+let tokens_of s =
+  List.filter
+    (fun t -> t <> P_parser.Token.EOF)
+    (List.map fst (P_parser.Lexer.all_tokens (P_parser.Lexer.create s)))
+
+let test_lexer_basic () =
+  let open P_parser.Token in
+  check int_t "count" 6 (List.length (tokens_of "x := 1 + y;"));
+  (match tokens_of "x := 1 + y;" with
+  | [ IDENT "x"; ASSIGN; INT 1; PLUS; IDENT "y"; SEMI ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens");
+  match tokens_of "" with [] -> () | _ -> Alcotest.fail "empty input"
+
+let test_lexer_keywords () =
+  let open P_parser.Token in
+  (match tokens_of "machine ghost event state if else while" with
+  | [ KW_MACHINE; KW_GHOST; KW_EVENT; KW_STATE; KW_IF; KW_ELSE; KW_WHILE ] -> ()
+  | _ -> Alcotest.fail "keywords");
+  match tokens_of "machines" with
+  | [ IDENT "machines" ] -> ()
+  | _ -> Alcotest.fail "keyword prefix stays an identifier"
+
+let test_lexer_operators () =
+  let open P_parser.Token in
+  match tokens_of "== != <= >= < > && || ! = * / %" with
+  | [ EQEQ; BANGEQ; LE; GE; LT; GT; AMPAMP; BARBAR; BANG; EQUALS; STAR; SLASH; PERCENT ]
+    -> ()
+  | _ -> Alcotest.fail "operators"
+
+let test_lexer_comments () =
+  let open P_parser.Token in
+  (match tokens_of "a // line comment\n b" with
+  | [ IDENT "a"; IDENT "b" ] -> ()
+  | _ -> Alcotest.fail "line comment");
+  match tokens_of "a /* block \n comment */ b" with
+  | [ IDENT "a"; IDENT "b" ] -> ()
+  | _ -> Alcotest.fail "block comment"
+
+let test_lexer_locations () =
+  let lx = P_parser.Lexer.create ~file:"t.p" "ab\n  cd" in
+  let toks = P_parser.Lexer.all_tokens lx in
+  match toks with
+  | [ (_, l1); (_, l2); _ ] ->
+    check int_t "line 1" 1 l1.Loc.line;
+    check int_t "line 2" 2 l2.Loc.line;
+    check int_t "col 2" 2 l2.Loc.col
+  | _ -> Alcotest.fail "expected two tokens"
+
+let test_lexer_errors () =
+  let fails s =
+    match tokens_of s with
+    | exception P_parser.Parse_error.Error _ -> ()
+    | _ -> Alcotest.failf "lexing %S should fail" s
+  in
+  fails "@";
+  fails "a & b";
+  fails "a | b";
+  fails "/* unterminated"
+
+(* ---------------- parser ---------------- *)
+
+let parse s = P_parser.Parser.program_of_string s
+
+let minimal = "event e;\nmachine M { state S { } }\nmain M();"
+
+let test_parse_minimal () =
+  let p = parse minimal in
+  check int_t "events" 1 (List.length p.Ast.events);
+  check int_t "machines" 1 (List.length p.Ast.machines);
+  check string_t "main" "M" (Names.Machine.to_string p.Ast.main)
+
+let test_parse_event_payloads () =
+  let p = parse "event a(int);\nevent b, c(id);\nmachine M { state S { } }\nmain M();" in
+  let find n = Option.get (Ast.find_event p (Names.Event.of_string n)) in
+  check bool_t "a int" true ((find "a").event_payload = Ptype.Int);
+  check bool_t "b void" true ((find "b").event_payload = Ptype.Void);
+  check bool_t "c id" true ((find "c").event_payload = Ptype.Machine_id)
+
+let test_parse_event_literal_resolution () =
+  (* identifiers declared as events parse to Event_lit, others to Var *)
+  let p =
+    parse
+      "event e;\nmachine M { var x : event; state S { entry { x := e; } } }\nmain M();"
+  in
+  let m = List.hd p.Ast.machines in
+  let st = List.hd m.Ast.states in
+  match st.Ast.entry.s with
+  | Ast.Assign (_, { e = Ast.Event_lit ev; _ }) ->
+    check string_t "event lit" "e" (Names.Event.to_string ev)
+  | _ -> Alcotest.fail "expected event literal assignment"
+
+let test_parse_statements () =
+  let src =
+    {|event e(int);
+      machine M {
+        var x : int;
+        var m : id;
+        state S {
+          entry {
+            skip;
+            x := 1;
+            m := new M(x = 2);
+            send(m, e, x);
+            raise(e, 3);
+            assert(x == 1);
+            if (x < 2) { leave; } else { return; }
+            while (x > 0) { x := x - 1; }
+            call S;
+            delete;
+          }
+        }
+      }
+      main M();|}
+  in
+  let p = parse src in
+  let m = List.hd p.Ast.machines in
+  let count = Ast.fold_stmt (fun n _ -> n + 1) 0 (List.hd m.Ast.states).Ast.entry in
+  check bool_t "all statements parsed" true (count > 12)
+
+let test_parse_if_else_chain () =
+  let src =
+    {|event e;
+      machine M { var x : int;
+        state S { entry { if (x == 1) { skip; } else if (x == 2) { x := 3; } } } }
+      main M();|}
+  in
+  let p = parse src in
+  let m = List.hd p.Ast.machines in
+  match (List.hd m.Ast.states).Ast.entry.s with
+  | Ast.If (_, _, { s = Ast.If (_, _, { s = Ast.Skip; _ }); _ }) -> ()
+  | _ -> Alcotest.fail "else-if chain"
+
+let test_parse_transitions_and_bindings () =
+  let src =
+    {|event e1; event e2;
+      machine M {
+        action A { skip; }
+        state S { defer e1; postpone e2; }
+        state T { }
+        step (S, e2, T);
+        push (T, e1, S);
+        on (S, e2) do A;
+      }
+      main M();|}
+  in
+  let p = parse src in
+  let m = List.hd p.Ast.machines in
+  check int_t "steps" 1 (List.length m.Ast.steps);
+  check int_t "calls" 1 (List.length m.Ast.calls);
+  check int_t "bindings" 1 (List.length m.Ast.bindings);
+  let s0 = List.hd m.Ast.states in
+  check int_t "defer" 1 (List.length s0.Ast.deferred);
+  check int_t "postpone" 1 (List.length s0.Ast.postponed)
+
+let test_parse_ghost_and_foreign () =
+  let src =
+    {|event e;
+      ghost machine G {
+        ghost var g : id;
+        state S { entry { if (*) { skip; } } }
+      }
+      machine M {
+        foreign f(int, bool) : int model 42;
+        foreign g2() : void;
+        state S { entry { f(1, true); } }
+      }
+      main G();|}
+  in
+  let p = parse src in
+  let g = List.hd p.Ast.machines in
+  check bool_t "ghost machine" true g.Ast.machine_ghost;
+  check bool_t "ghost var" true (List.hd g.Ast.vars).Ast.var_ghost;
+  let m = List.nth p.Ast.machines 1 in
+  check int_t "foreigns" 2 (List.length m.Ast.foreigns);
+  let f = List.hd m.Ast.foreigns in
+  check int_t "params" 2 (List.length f.Ast.foreign_params);
+  check bool_t "model" true (f.Ast.foreign_model <> None)
+
+let test_parse_main_inits () =
+  let p = parse "event e;\nmachine M { var x : int; state S { } }\nmain M(x = 5);" in
+  check int_t "main init" 1 (List.length p.Ast.main_init)
+
+let test_parse_errors () =
+  let fails s =
+    match parse s with
+    | exception P_parser.Parse_error.Error _ -> ()
+    | _ -> Alcotest.failf "parsing should fail: %s" s
+  in
+  fails "";
+  fails "machine M { }";
+  (* no states is fine syntactically, but missing main is not *)
+  fails "event e; machine M { state S { } }";
+  fails "event e; machine M { state S { entry { x := ; } } } main M();";
+  fails "event e; machine M { state S { entry { send(); } } } main M();";
+  fails "event e; machine M { state S { } } main M()";
+  (* trailing garbage *)
+  fails "event e; machine M { state S { } } main M(); extra"
+
+let test_parse_error_location () =
+  match parse "event e;\nmachine M {\n  state S { entry { x := ; } }\n}\nmain M();" with
+  | exception P_parser.Parse_error.Error { loc; _ } ->
+    check int_t "error line" 3 loc.Loc.line
+  | _ -> Alcotest.fail "expected parse error"
+
+(* ---------------- round trips ---------------- *)
+
+let roundtrip_ok p =
+  let printed = Pretty.program_to_string p in
+  match P_parser.Parser.program_of_string printed with
+  | p2 -> String.equal printed (Pretty.program_to_string p2)
+  | exception P_parser.Parse_error.Error e ->
+    Alcotest.failf "re-parse failed: %s@.%s" (P_parser.Parse_error.to_string e) printed
+
+let test_roundtrip_examples () =
+  List.iter
+    (fun (name, p) ->
+      check bool_t (name ^ " roundtrips") true (roundtrip_ok p))
+    [ ("elevator", P_examples_lib.Elevator.program ());
+      ("pingpong", P_examples_lib.Pingpong.program ());
+      ("german", P_examples_lib.German.program ());
+      ("switchled", P_examples_lib.Switch_led.program ());
+      ("tokenring", P_examples_lib.Token_ring.program ());
+      ("boundedbuffer", P_examples_lib.Bounded_buffer.program ());
+      ("usb-hsm", P_usb.Gen.program_of_spec P_usb.Gen.hsm_spec) ]
+
+(* qcheck: generated random programs round-trip *)
+
+let gen_program : Ast.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let open Builder in
+  let ident prefix = map (fun i -> Fmt.str "%s%d" prefix i) (int_range 0 4) in
+  let gen_expr =
+    sized @@ fix (fun self n ->
+        if Stdlib.(n <= 0) then
+          oneof
+            [ map int (int_range 0 9);
+              pure this;
+              pure null;
+              pure tru;
+              map v (ident "x") ]
+        else
+          oneof
+            [ map2 ( + ) (self (Stdlib.( / ) n 2)) (self (Stdlib.( / ) n 2));
+              map2 ( < ) (self 0) (self 0);
+              map not_ (pure (v "x0"));
+              self 0 ])
+  in
+  let gen_stmt =
+    sized @@ fix (fun self n ->
+        if Stdlib.(n <= 0) then
+          oneof
+            [ pure skip;
+              map2 (fun x e -> assign x e) (ident "x") gen_expr;
+              map (fun e -> assert_ (e == e)) gen_expr;
+              map (fun ev -> raise_ ev) (ident "e");
+              pure leave ]
+        else
+          oneof
+            [ map2 (fun a b -> seq [ a; b ]) (self (Stdlib.( / ) n 2)) (self (Stdlib.( / ) n 2));
+              map3 (fun c a b -> if_ (c == c) a b) gen_expr (self (Stdlib.( / ) n 2))
+                (self (Stdlib.( / ) n 2));
+              map2 (fun c body -> while_ (c == c) body) gen_expr (self (Stdlib.( / ) n 2)) ])
+  in
+  let gen_state i =
+    let* entry = gen_stmt in
+    let* defer = oneofl [ []; [ "e0" ]; [ "e1"; "e2" ] ] in
+    pure (state ~defer ~entry (Fmt.str "S%d" i))
+  in
+  let* n_states = int_range 1 4 in
+  let* states = flatten_l (List.init n_states gen_state) in
+  let* n_vars = int_range 0 4 in
+  let vars = List.init n_vars (fun i -> var_decl (Fmt.str "x%d" i) Ptype.Int) in
+  let* ghost = QCheck2.Gen.bool in
+  let m = machine ~ghost "M" states ~vars in
+  let events = List.init 5 (fun i -> event (Fmt.str "e%d" i)) in
+  pure (program ~events ~machines:[ m ] "M")
+
+let roundtrip_prop =
+  QCheck2.Test.make ~name:"parse (print p) = p" ~count:200 gen_program roundtrip_ok
+
+let suite =
+  [ Alcotest.test_case "lexer basic" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer keywords" `Quick test_lexer_keywords;
+    Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer locations" `Quick test_lexer_locations;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+    Alcotest.test_case "parse payloads" `Quick test_parse_event_payloads;
+    Alcotest.test_case "parse event literals" `Quick test_parse_event_literal_resolution;
+    Alcotest.test_case "parse statements" `Quick test_parse_statements;
+    Alcotest.test_case "parse else-if" `Quick test_parse_if_else_chain;
+    Alcotest.test_case "parse transitions" `Quick test_parse_transitions_and_bindings;
+    Alcotest.test_case "parse ghost+foreign" `Quick test_parse_ghost_and_foreign;
+    Alcotest.test_case "parse main inits" `Quick test_parse_main_inits;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error location" `Quick test_parse_error_location;
+    Alcotest.test_case "roundtrip examples" `Quick test_roundtrip_examples;
+    QCheck_alcotest.to_alcotest roundtrip_prop ]

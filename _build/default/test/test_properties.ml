@@ -1,0 +1,221 @@
+(* Property-based tests over randomly generated, statically clean P
+   programs: the engines must never raise unexpected OCaml exceptions, the
+   searches must be deterministic and monotone in the delay bound, the
+   parallel engine must agree with the sequential one, erasure must be
+   idempotent, and compilation must be total on checked programs.
+
+   The generator builds closed programs that are clean by construction:
+   every (state, event) pair of the machine has a step transition (so no
+   unhandled-event errors), variables are initialized before use, loops are
+   bounded counting loops, and sends go to [this] (always live). Ghost
+   mains may use the [*] expression, exercising choice enumeration. *)
+
+open P_syntax
+open QCheck2.Gen
+
+let n_events = 3
+let n_states = 3
+let last_event = n_events - 1
+let last_state = n_states - 1
+let pairs = n_states * n_events
+let event_name i = Fmt.str "e%d" i
+let state_name i = Fmt.str "S%d" i
+
+(* ---------------- the program generator ---------------- *)
+
+let gen_int_expr : Ast.expr t =
+  let open Builder in
+  oneof
+    [ map int (int_range 0 5);
+      pure (v "x0");
+      pure (v "x1");
+      map2 ( + ) (map int (int_range 0 3)) (pure (v "x0"));
+      map2 ( - ) (pure (v "x1")) (map int (int_range 0 3)) ]
+
+let gen_bool_expr ~ghost : Ast.expr t =
+  let open Builder in
+  let base =
+    [ pure tru;
+      pure fls;
+      map2 ( < ) gen_int_expr gen_int_expr;
+      map2 ( == ) gen_int_expr gen_int_expr ]
+  in
+  oneof (if ghost then pure nondet :: base else base)
+
+let gen_simple_stmt ~ghost : Ast.stmt t =
+  let open Builder in
+  oneof
+    [ pure skip;
+      map2 (fun x e -> assign x e) (oneofl [ "x0"; "x1" ]) gen_int_expr;
+      map (fun e -> assert_ (e || not_ e)) (gen_bool_expr ~ghost);
+      map
+        (fun i -> send this (event_name i) ~payload:(v "x0"))
+        (int_range 0 last_event);
+      (* a bounded counting loop *)
+      map
+        (fun k ->
+          seq
+            [ assign "x0" (int 0);
+              while_ (v "x0" < int k) (assign "x0" (v "x0" + int 1)) ])
+        (int_range 0 4) ]
+
+let gen_entry ~ghost ~initial : Ast.stmt t =
+  let open Builder in
+  let* body = list_size (int_range 0 4) (gen_simple_stmt ~ghost) in
+  let* tail =
+    oneof
+      [ pure [];
+        map (fun i -> [ raise_ (event_name i) ~payload:(int 7) ]) (int_range 0 last_event);
+        pure [ leave ] ]
+  in
+  let init =
+    if initial then [ assign "x0" (int 0); assign "x1" (int 1) ] else []
+  in
+  let* cond_wrap = QCheck2.Gen.bool in
+  let stmts = init @ body @ tail in
+  if cond_wrap then
+    let* c = gen_bool_expr ~ghost in
+    pure (seq (init @ [ if_ c (seq body) skip ] @ tail))
+  else pure (seq stmts)
+
+let gen_program : Ast.program t =
+  let open Builder in
+  let* ghost = QCheck2.Gen.bool in
+  let* entries =
+    flatten_l
+      (List.init n_states (fun i -> gen_entry ~ghost ~initial:(Stdlib.( = ) i 0)))
+  in
+  let* targets = flatten_l (List.init pairs (fun _ -> int_range 0 last_state)) in
+  let states = List.mapi (fun i entry -> state ~entry (state_name i)) entries in
+  (* total step table: every event handled in every state *)
+  let steps =
+    List.concat
+      (List.init n_states (fun s ->
+           List.init n_events (fun e ->
+               ( state_name s,
+                 event_name e,
+                 state_name (List.nth targets (Stdlib.( + ) (Stdlib.( * ) s n_events) e))
+               ))))
+  in
+  let m =
+    machine ~ghost "M"
+      ~vars:[ var_decl "x0" Ptype.Int; var_decl "x1" Ptype.Int ]
+      states ~steps
+  in
+  let events =
+    List.init n_events (fun i -> event ~payload:Ptype.Int (event_name i))
+  in
+  (* a trivial real companion so that erasing a ghost main still leaves a
+     compilable program (the host would create it, per the erasure rules) *)
+  let companion = machine "R" [ state "Idle" ~entry:skip ] in
+  pure (program ~events ~machines:[ m; companion ] "M")
+
+(* ---------------- properties ---------------- *)
+
+let statically_clean p = (P_static.Check.run p).diagnostics = []
+
+let prop_generated_programs_clean =
+  QCheck2.Test.make ~name:"generated programs pass the static checks" ~count:200
+    gen_program statically_clean
+
+let prop_simulator_total =
+  QCheck2.Test.make ~name:"the simulator is total on clean programs" ~count:150
+    gen_program (fun p ->
+      let tab = P_static.Check.run_exn p in
+      let r = P_semantics.Simulate.run ~max_blocks:300 tab in
+      r.blocks <= 300
+      &&
+      match r.status with
+      | P_semantics.Simulate.Quiescent | P_semantics.Simulate.Budget_exhausted -> true
+      | P_semantics.Simulate.Error e -> (
+        (* the only error our construction permits is a livelock from a
+           self-send cycle; anything else is an engine bug *)
+        match e.kind with
+        | P_semantics.Errors.Livelock | P_semantics.Errors.Fuel_exhausted -> true
+        | _ -> false))
+
+let explore ?(d = 1) ?(max_states = 1_500) tab =
+  P_checker.Delay_bounded.explore ~delay_bound:d ~max_states tab
+
+let prop_checker_total_and_deterministic =
+  QCheck2.Test.make ~name:"the checker is total and deterministic" ~count:80
+    gen_program (fun p ->
+      let tab = P_static.Check.run_exn p in
+      let r1 = explore tab in
+      let r2 = explore tab in
+      r1.stats.states = r2.stats.states
+      && r1.stats.transitions = r2.stats.transitions
+      && (r1.verdict = P_checker.Search.No_error)
+         = (r2.verdict = P_checker.Search.No_error))
+
+let prop_states_monotone_in_delay_bound =
+  QCheck2.Test.make ~name:"visited states grow with the delay bound" ~count:60
+    gen_program (fun p ->
+      let tab = P_static.Check.run_exn p in
+      let s d = (explore ~d tab).stats.states in
+      s 0 <= s 1 && s 1 <= s 2)
+
+let prop_parallel_agrees =
+  QCheck2.Test.make ~name:"parallel exploration = sequential exploration" ~count:40
+    gen_program (fun p ->
+      let tab = P_static.Check.run_exn p in
+      let seq_r = explore ~max_states:1_000_000 ~d:1 tab in
+      (* only compare non-truncated runs: budgets are checked at different
+         granularities *)
+      QCheck2.assume (not seq_r.stats.truncated);
+      let par_r =
+        P_checker.Parallel.explore ~domains:2 ~delay_bound:1 ~max_states:1_000_000 tab
+      in
+      seq_r.stats.states = par_r.stats.states
+      && seq_r.stats.transitions = par_r.stats.transitions)
+
+let prop_erasure_idempotent =
+  QCheck2.Test.make ~name:"erasure is idempotent and removes all ghosts" ~count:100
+    gen_program (fun p ->
+      let tab = P_static.Check.run_exn p in
+      let e1 = P_static.Erasure.erase tab in
+      let tab1 = P_static.Check.run_exn e1 in
+      let e2 = P_static.Erasure.erase tab1 in
+      List.for_all (fun (m : Ast.machine) -> not m.machine_ghost) e1.machines
+      && String.equal
+           (Pretty.program_to_string e1)
+           (Pretty.program_to_string e2))
+
+let prop_compile_total =
+  QCheck2.Test.make ~name:"compilation is total on clean programs" ~count:100
+    gen_program (fun p ->
+      match P_compile.Compile.compile p with
+      | { driver; _ } ->
+        String.length (P_compile.C_emit.emit driver) > 0
+        && String.length (P_compile.Dot_emit.emit p) > 0
+      | exception P_compile.Compile.Error _ -> false)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse ∘ print is the identity (rich programs)" ~count:150
+    gen_program (fun p ->
+      let printed = Pretty.program_to_string p in
+      let p2 = P_parser.Parser.program_of_string printed in
+      String.equal printed (Pretty.program_to_string p2))
+
+let prop_digest_stable =
+  QCheck2.Test.make ~name:"state digests are stable across encoders" ~count:60
+    gen_program (fun p ->
+      let tab = P_static.Check.run_exn p in
+      let c1 = P_checker.Canon.create tab in
+      let c2 = P_checker.Canon.create tab in
+      let config, id0, _ = P_semantics.Step.initial_config tab in
+      String.equal
+        (P_checker.Canon.digest c1 config [ P_semantics.Mid.to_int id0 ])
+        (P_checker.Canon.digest c2 config [ P_semantics.Mid.to_int id0 ]))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_generated_programs_clean;
+      prop_simulator_total;
+      prop_checker_total_and_deterministic;
+      prop_states_monotone_in_delay_bound;
+      prop_parallel_agrees;
+      prop_erasure_idempotent;
+      prop_compile_total;
+      prop_roundtrip;
+      prop_digest_stable ]

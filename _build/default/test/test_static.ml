@@ -1,0 +1,327 @@
+(* Tests for the static phases: symbol resolution, well-formedness, the
+   simple type system, the ghost-erasure discipline, and the erasure
+   transform itself. *)
+
+open P_syntax
+module Check = P_static.Check
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let parse s = P_parser.Parser.program_of_string s
+
+let diagnostics_of src = (Check.run (parse src)).diagnostics
+
+let accepts src =
+  match diagnostics_of src with
+  | [] -> ()
+  | ds -> Alcotest.failf "expected acceptance, got:@.%a" Check.pp_diagnostics ds
+
+let rejects ?containing src =
+  match diagnostics_of src with
+  | [] -> Alcotest.fail "expected rejection, program accepted"
+  | ds -> (
+    match containing with
+    | None -> ()
+    | Some frag ->
+      let rendered = Fmt.str "%a" Check.pp_diagnostics ds in
+      if not (Astring_contains.contains rendered frag) then
+        Alcotest.failf "diagnostics %S do not mention %S" rendered frag)
+
+(* ---------------- well-formedness ---------------- *)
+
+let test_accept_minimal () = accepts "event e;\nmachine M { state S { } }\nmain M();"
+
+let test_duplicate_events () =
+  rejects ~containing:"duplicate event" "event e; event e;\nmachine M { state S { } }\nmain M();"
+
+let test_duplicate_machines () =
+  rejects ~containing:"duplicate machine"
+    "event e;\nmachine M { state S { } }\nmachine M { state S { } }\nmain M();"
+
+let test_duplicate_states () =
+  rejects ~containing:"duplicate state"
+    "event e;\nmachine M { state S { } state S { } }\nmain M();"
+
+let test_duplicate_vars () =
+  rejects ~containing:"duplicate variable"
+    "event e;\nmachine M { var x : int; var x : bool; state S { } }\nmain M();"
+
+let test_no_states () =
+  rejects ~containing:"no states" "event e;\nmachine M { }\nmain M();"
+
+let test_unknown_main () =
+  rejects ~containing:"unknown machine" "event e;\nmachine M { state S { } }\nmain N();"
+
+let test_unknown_event_in_transition () =
+  rejects ~containing:"unknown event"
+    "event e;\nmachine M { state S { } state T { } step (S, nope, T); }\nmain M();"
+
+let test_unknown_state_in_transition () =
+  rejects ~containing:"unknown state"
+    "event e;\nmachine M { state S { } step (S, e, T); }\nmain M();"
+
+let test_unknown_variable () =
+  rejects ~containing:"unknown variable"
+    "event e;\nmachine M { state S { entry { x := 1; } } }\nmain M();"
+
+let test_unknown_action () =
+  rejects ~containing:"unknown action"
+    "event e;\nmachine M { state S { } on (S, e) do A; }\nmain M();"
+
+let test_nondeterministic_transitions () =
+  rejects ~containing:"duplicate step"
+    "event e;\nmachine M { state S { } state T { } step (S, e, T); step (S, e, S); }\nmain M();"
+
+let test_step_and_call_conflict () =
+  rejects ~containing:"both a step and a call"
+    "event e;\nmachine M { state S { } state T { } step (S, e, T); push (S, e, T); }\nmain M();"
+
+let test_nondet_in_real_machine () =
+  rejects ~containing:"only allowed in ghost"
+    "event e;\nmachine M { state S { entry { if (*) { skip; } } } }\nmain M();"
+
+let test_nondet_in_ghost_ok () =
+  accepts "event e;\nghost machine M { state S { entry { if (*) { skip; } } } }\nmain M();"
+
+let test_raise_in_exit () =
+  rejects ~containing:"not allowed inside an exit"
+    "event e;\nmachine M { state S { exit { raise(e); } } }\nmain M();"
+
+let test_return_in_exit () =
+  rejects ~containing:"not allowed inside an exit"
+    "event e;\nmachine M { state S { exit { return; } } }\nmain M();"
+
+let test_foreign_arity () =
+  rejects ~containing:"expects 2 argument"
+    "event e;\nmachine M { foreign f(int, int) : void; state S { entry { f(1); } } }\nmain M();"
+
+let test_event_variable_collision () =
+  rejects ~containing:"collides with an event"
+    "event x;\nmachine M { var x : int; state S { } }\nmain M();"
+
+let test_main_init_literal () =
+  rejects ~containing:"literal constants"
+    "event e;\nmachine M { var x : int; state S { } }\nmain M(x = 1 + 2);"
+
+(* ---------------- type checking ---------------- *)
+
+let test_type_assign_mismatch () =
+  rejects ~containing:"cannot assign"
+    "event e;\nmachine M { var x : bool; state S { entry { x := 3; } } }\nmain M();"
+
+let test_type_cond_not_bool () =
+  rejects ~containing:"must have type bool"
+    "event e;\nmachine M { var x : int; state S { entry { if (x) { skip; } } } }\nmain M();"
+
+let test_type_arith_on_bool () =
+  rejects ~containing:"arithmetic operand"
+    "event e;\nmachine M { var x : int; state S { entry { x := true + 1; } } }\nmain M();"
+
+let test_type_send_target_not_id () =
+  rejects ~containing:"send target"
+    "event e;\nmachine M { var x : int; state S { entry { send(3, e); } } }\nmain M();"
+
+let test_type_payload_mismatch () =
+  rejects ~containing:"payload of event"
+    "event e(int);\nmachine M { state S { entry { send(this, e, true); } } }\nmain M();"
+
+let test_type_payload_on_void_event () =
+  rejects ~containing:"carries no payload"
+    "event e;\nmachine M { state S { entry { send(this, e, 3); } } }\nmain M();"
+
+let test_type_payload_ok () =
+  accepts "event e(int);\nmachine M { state S { entry { send(this, e, 1 + 2); } } }\nmain M();"
+
+let test_type_arg_is_dynamic () =
+  (* arg is dynamically typed: flows into anything *)
+  accepts
+    "event e(int);\nmachine M { var x : int; var b : bool; state S { entry { x := arg; b \
+     := arg; } } }\nmain M();"
+
+let test_type_compare_incompatible () =
+  rejects ~containing:"cannot compare"
+    "event e;\nmachine M { var x : int; var b : bool; state S { entry { assert(x == b); } \
+     } }\nmain M();"
+
+let test_type_byte_int_interchange () =
+  accepts
+    "event e;\nmachine M { var b : byte; var x : int; state S { entry { b := x + 1; x := \
+     b; } } }\nmain M();"
+
+let test_type_foreign_args_and_ret () =
+  rejects ~containing:"argument 1"
+    "event e;\nmachine M { var x : int; foreign f(bool) : int; state S { entry { x := \
+     f(3); } } }\nmain M();"
+
+let test_type_foreign_model_mismatch () =
+  rejects ~containing:"model of foreign"
+    "event e;\nmachine M { foreign f() : int model true; state S { } }\nmain M();"
+
+(* ---------------- ghost discipline ---------------- *)
+
+let ghost_prog body =
+  Fmt.str
+    "event e(int);\nghost machine G { state GS { } }\nmachine M { ghost var g : int; \
+     ghost var gm : id; var x : int; var m : id; %s }\nmain M();"
+    body
+
+let test_ghost_assign_to_real () =
+  rejects ~containing:"must not be assigned a ghost expression"
+    (ghost_prog "state S { entry { x := g + 1; } }")
+
+let test_ghost_assign_to_ghost_ok () =
+  accepts (ghost_prog "state S { entry { g := x + 1; } }")
+
+let test_ghost_condition () =
+  rejects ~containing:"branch condition"
+    (ghost_prog "state S { entry { if (g == 1) { skip; } } }")
+
+let test_ghost_loop_condition () =
+  rejects ~containing:"loop condition"
+    (ghost_prog "state S { entry { while (g == 1) { skip; } } }")
+
+let test_ghost_assert_ok () =
+  accepts (ghost_prog "state S { entry { assert(g == x); } }")
+
+let test_ghost_send_target_erased () =
+  (* sending to a ghost id: allowed, payload may be ghost *)
+  accepts (ghost_prog "state S { entry { send(gm, e, g); } }")
+
+let test_ghost_payload_on_real_send () =
+  rejects ~containing:"payload of a real send"
+    (ghost_prog "state S { entry { send(m, e, g); } }")
+
+let test_ghost_raise_payload () =
+  rejects ~containing:"payload of raise" (ghost_prog "state S { entry { raise(e, g); } }")
+
+let test_ghost_new_separation () =
+  rejects ~containing:"must be stored in a ghost variable"
+    (ghost_prog "state S { entry { m := new G(); } }")
+
+let test_ghost_new_real_into_ghost () =
+  rejects ~containing:"must be stored in a real variable"
+    (ghost_prog "state S { entry { gm := new M(); } }")
+
+let test_ghost_id_mixing () =
+  rejects ~containing:"mixes ghost and real"
+    (ghost_prog "state S { entry { m := gm; } }")
+
+let test_ghost_foreign_args_real () =
+  rejects ~containing:"argument of a foreign call"
+    "event e;\nmachine M { ghost var g : int; foreign f(int) : void; state S { entry { \
+     f(g); } } }\nmain M();"
+
+(* ---------------- erasure ---------------- *)
+
+let erased_of src =
+  let tab = Check.run_exn (parse src) in
+  P_static.Erasure.erase tab
+
+let test_erase_drops_ghost_machines () =
+  let p =
+    erased_of
+      "event e;\nghost machine G { state S { } }\nmachine M { state S { } }\nmain G();"
+  in
+  check int_t "one machine left" 1 (List.length p.Ast.machines);
+  check bool_t "main re-targeted" true (Names.Machine.to_string p.Ast.main = "M")
+
+let test_erase_scrubs_statements () =
+  let p =
+    erased_of
+      (ghost_prog
+         "state S { entry { g := 1; send(gm, e, 2); assert(g == 1); x := 5; } }")
+  in
+  let m = List.find (fun (m : Ast.machine) -> Names.Machine.to_string m.machine_name = "M") p.Ast.machines in
+  let st = List.hd m.Ast.states in
+  (* only the real assignment remains *)
+  (match st.Ast.entry.s with
+  | Ast.Assign (x, _) -> check bool_t "x := 5 remains" true (Names.Var.to_string x = "x")
+  | _ -> Alcotest.fail "expected the single real assignment to remain");
+  check bool_t "ghost vars dropped" true
+    (List.for_all (fun (vd : Ast.var_decl) -> not vd.var_ghost) m.Ast.vars)
+
+let test_erase_keeps_real_asserts () =
+  let p = erased_of (ghost_prog "state S { entry { assert(x == 1); } }") in
+  let m = List.find (fun (m : Ast.machine) -> Names.Machine.to_string m.machine_name = "M") p.Ast.machines in
+  match (List.hd m.Ast.states).Ast.entry.s with
+  | Ast.Assert _ -> ()
+  | _ -> Alcotest.fail "real assert must survive erasure"
+
+let test_erase_drops_foreign_models () =
+  let p =
+    erased_of
+      "event e;\nmachine M { foreign f() : int model 3; var x : int; state S { entry { x \
+       := f(); } } }\nmain M();"
+  in
+  let m = List.hd p.Ast.machines in
+  check bool_t "model dropped" true
+    ((List.hd m.Ast.foreigns).Ast.foreign_model = None)
+
+let test_erased_examples_recheck () =
+  (* erasing any accepted example yields an accepted program *)
+  List.iter
+    (fun (name, p) ->
+      let tab = Check.run_exn p in
+      let erased = P_static.Erasure.erase tab in
+      match Check.run erased with
+      | { diagnostics = []; _ } -> ()
+      | { diagnostics; _ } ->
+        Alcotest.failf "%s: erased program rejected:@.%a" name Check.pp_diagnostics
+          diagnostics)
+    [ ("elevator", P_examples_lib.Elevator.program ());
+      ("german", P_examples_lib.German.program ());
+      ("switchled", P_examples_lib.Switch_led.program ());
+      ("pingpong", P_examples_lib.Pingpong.program ()) ]
+
+let suite =
+  [ Alcotest.test_case "accept minimal" `Quick test_accept_minimal;
+    Alcotest.test_case "duplicate events" `Quick test_duplicate_events;
+    Alcotest.test_case "duplicate machines" `Quick test_duplicate_machines;
+    Alcotest.test_case "duplicate states" `Quick test_duplicate_states;
+    Alcotest.test_case "duplicate vars" `Quick test_duplicate_vars;
+    Alcotest.test_case "no states" `Quick test_no_states;
+    Alcotest.test_case "unknown main" `Quick test_unknown_main;
+    Alcotest.test_case "unknown event" `Quick test_unknown_event_in_transition;
+    Alcotest.test_case "unknown state" `Quick test_unknown_state_in_transition;
+    Alcotest.test_case "unknown variable" `Quick test_unknown_variable;
+    Alcotest.test_case "unknown action" `Quick test_unknown_action;
+    Alcotest.test_case "nondet transitions" `Quick test_nondeterministic_transitions;
+    Alcotest.test_case "step+call conflict" `Quick test_step_and_call_conflict;
+    Alcotest.test_case "nondet in real machine" `Quick test_nondet_in_real_machine;
+    Alcotest.test_case "nondet in ghost ok" `Quick test_nondet_in_ghost_ok;
+    Alcotest.test_case "raise in exit" `Quick test_raise_in_exit;
+    Alcotest.test_case "return in exit" `Quick test_return_in_exit;
+    Alcotest.test_case "foreign arity" `Quick test_foreign_arity;
+    Alcotest.test_case "event/var collision" `Quick test_event_variable_collision;
+    Alcotest.test_case "main init literal" `Quick test_main_init_literal;
+    Alcotest.test_case "type: assign mismatch" `Quick test_type_assign_mismatch;
+    Alcotest.test_case "type: cond not bool" `Quick test_type_cond_not_bool;
+    Alcotest.test_case "type: arith on bool" `Quick test_type_arith_on_bool;
+    Alcotest.test_case "type: send target" `Quick test_type_send_target_not_id;
+    Alcotest.test_case "type: payload mismatch" `Quick test_type_payload_mismatch;
+    Alcotest.test_case "type: payload on void" `Quick test_type_payload_on_void_event;
+    Alcotest.test_case "type: payload ok" `Quick test_type_payload_ok;
+    Alcotest.test_case "type: arg dynamic" `Quick test_type_arg_is_dynamic;
+    Alcotest.test_case "type: compare incompatible" `Quick test_type_compare_incompatible;
+    Alcotest.test_case "type: byte/int" `Quick test_type_byte_int_interchange;
+    Alcotest.test_case "type: foreign args" `Quick test_type_foreign_args_and_ret;
+    Alcotest.test_case "type: foreign model" `Quick test_type_foreign_model_mismatch;
+    Alcotest.test_case "ghost: assign to real" `Quick test_ghost_assign_to_real;
+    Alcotest.test_case "ghost: assign to ghost" `Quick test_ghost_assign_to_ghost_ok;
+    Alcotest.test_case "ghost: condition" `Quick test_ghost_condition;
+    Alcotest.test_case "ghost: loop condition" `Quick test_ghost_loop_condition;
+    Alcotest.test_case "ghost: assert ok" `Quick test_ghost_assert_ok;
+    Alcotest.test_case "ghost: send to ghost" `Quick test_ghost_send_target_erased;
+    Alcotest.test_case "ghost: real send payload" `Quick test_ghost_payload_on_real_send;
+    Alcotest.test_case "ghost: raise payload" `Quick test_ghost_raise_payload;
+    Alcotest.test_case "ghost: new separation" `Quick test_ghost_new_separation;
+    Alcotest.test_case "ghost: new real->ghost" `Quick test_ghost_new_real_into_ghost;
+    Alcotest.test_case "ghost: id mixing" `Quick test_ghost_id_mixing;
+    Alcotest.test_case "ghost: foreign args" `Quick test_ghost_foreign_args_real;
+    Alcotest.test_case "erase: ghost machines" `Quick test_erase_drops_ghost_machines;
+    Alcotest.test_case "erase: scrub statements" `Quick test_erase_scrubs_statements;
+    Alcotest.test_case "erase: keep real asserts" `Quick test_erase_keeps_real_asserts;
+    Alcotest.test_case "erase: foreign models" `Quick test_erase_drops_foreign_models;
+    Alcotest.test_case "erase: examples recheck" `Quick test_erased_examples_recheck ]
