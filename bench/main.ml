@@ -16,11 +16,36 @@
    in a few minutes. *)
 
 open P_checker
+module Json = P_obs.Json
 
 let line fmt = Fmt.pr (fmt ^^ "@.")
 let hr () = line "%s" (String.make 78 '-')
 
 let tab_of p = P_static.Check.run_exn p
+
+(* Every experiment records its numbers here; [--json FILE] writes them all
+   as one document (BENCH_results.json in the paper-reproduction workflow). *)
+let results : (string * Json.t) list ref = ref []
+
+let record key json = results := (key, json) :: !results
+
+let write_results path =
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String "p-bench/1");
+        ("results", Json.Obj (List.rev !results)) ]
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc (Json.to_string_pretty doc);
+      output_char oc '\n')
+
+let json_of_stats (s : Search.stats) : Json.t =
+  Json.Obj
+    [ ("states", Json.Int s.states);
+      ("transitions", Json.Int s.transitions);
+      ("max_depth", Json.Int s.max_depth);
+      ("truncated", Json.Bool s.truncated);
+      ("elapsed_s", Json.Float s.elapsed_s) ]
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: states explored with increasing delay bound               *)
@@ -38,18 +63,26 @@ let fig7 ?(max_states = 400_000) ?(bounds = [ 0; 1; 2; 3; 4; 5; 6; 8; 10; 12 ]) 
   let benchmarks = fig7_benchmarks () in
   line "%-12s %s" "d"
     (String.concat " " (List.map (fun (n, _) -> Fmt.str "%14s" n) benchmarks));
+  let rows = ref [] in
   List.iter
     (fun d ->
       let cells =
         List.map
-          (fun (_, tab) ->
+          (fun (name, tab) ->
             let r = Delay_bounded.explore ~delay_bound:d ~max_states tab in
+            rows :=
+              Json.Obj
+                [ ("benchmark", Json.String name);
+                  ("delay_bound", Json.Int d);
+                  ("stats", json_of_stats r.stats) ]
+              :: !rows;
             Fmt.str "%13d%s" r.stats.states (if r.stats.truncated then "+" else " "))
           benchmarks
       in
       line "%-12d %s" d (String.concat " " cells))
     bounds;
-  line "(+ marks exploration truncated at the %d-state budget)" max_states
+  line "(+ marks exploration truncated at the %d-state budget)" max_states;
+  record "fig7" (Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
 (* Bug finding at low delay bounds (section 5, empirical results)      *)
@@ -59,17 +92,33 @@ let bugs () =
   line "== Seeded bugs: smallest delay bound that finds each ==";
   line "   (paper: \"bugs are found within a delay bound of 2\")";
   line "%-14s %-8s %-10s %-8s %s" "benchmark" "found@d" "states" "depth" "error";
+  let rows = ref [] in
   List.iter
     (fun (name, p) ->
       let tab = tab_of p in
       let rec try_bound d =
-        if d > 4 then line "%-14s NOT FOUND within d<=4" name
+        if d > 4 then begin
+          line "%-14s NOT FOUND within d<=4" name;
+          rows :=
+            Json.Obj [ ("benchmark", Json.String name); ("found_at", Json.Null) ]
+            :: !rows
+        end
         else
           let r = Delay_bounded.explore ~delay_bound:d ~max_states:500_000 tab in
           match r.verdict with
           | Search.Error_found ce ->
             line "%-14s %-8d %-10d %-8d %a" name d r.stats.states ce.depth
-              P_semantics.Errors.pp_kind ce.error.kind
+              P_semantics.Errors.pp_kind ce.error.kind;
+            rows :=
+              Json.Obj
+                [ ("benchmark", Json.String name);
+                  ("found_at", Json.Int d);
+                  ("depth", Json.Int ce.depth);
+                  ( "error",
+                    Json.String
+                      (Fmt.str "%a" P_semantics.Errors.pp_kind ce.error.kind) );
+                  ("stats", json_of_stats r.stats) ]
+              :: !rows
           | Search.No_error -> try_bound (d + 1)
       in
       try_bound 0)
@@ -79,7 +128,8 @@ let bugs () =
       ("pingpong", P_examples_lib.Pingpong.buggy_program ());
       ("tokenring", P_examples_lib.Token_ring.buggy_program ());
       ("boundedbuffer", P_examples_lib.Bounded_buffer.buggy_program ());
-      ("usb-stack", P_usb.Stack.buggy_program ()) ]
+      ("usb-stack", P_usb.Stack.buggy_program ()) ];
+  record "bugs" (Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: the USB case-study machines                               *)
@@ -95,6 +145,7 @@ let fig8 ?(max_states = 250_000) ?(delay_bound = 1) () =
   line "    budget per machine and reports throughput for extrapolation)";
   line "%-8s %8s %13s %10s %10s %10s %12s" "machine" "P states" "P transitions"
     "explored" "time(s)" "alloc MB" "states/s";
+  let rows = ref [] in
   List.iter
     (fun spec ->
       let p = P_usb.Gen.program_of_spec spec in
@@ -120,11 +171,20 @@ let fig8 ?(max_states = 250_000) ?(delay_bound = 1) () =
         r.stats.states
         (if r.stats.truncated then "+" else " ")
         r.stats.elapsed_s heap_mb
-        (float_of_int r.stats.states /. r.stats.elapsed_s))
+        (float_of_int r.stats.states /. r.stats.elapsed_s);
+      rows :=
+        Json.Obj
+          [ ("machine", Json.String spec.P_usb.Gen.name);
+            ("p_states", Json.Int (P_syntax.Ast.machine_state_count m));
+            ("p_transitions", Json.Int (P_syntax.Ast.machine_transition_count m));
+            ("alloc_mb", Json.Float heap_mb);
+            ("stats", json_of_stats r.stats) ]
+        :: !rows)
     P_usb.Gen.all_specs;
   line
     "(+ = budget hit: the space is larger, like the paper's millions; multiply\n\
-    \ states/s by the paper's runtimes to compare scale)"
+    \ states/s by the paper's runtimes to compare scale)";
+  record "fig8" (Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
 (* Section 4.1: generated-driver efficiency                            *)
@@ -136,12 +196,22 @@ let overhead ?(events = 2_000) () =
   line "    adds no overhead to device-bound work; we measure the dispatch cost";
   line "    itself, and against a simulated 4 ms device budget)";
   let make_event i = P_host.Os_events.Interrupt { line = "switch"; data = i mod 2 } in
+  let rows = ref [] in
   let run name driver (device : P_examples_lib.Switch_led.device) =
     let stats = P_host.Workload.run ~rate_hz:100 ~events ~make_event driver in
     let budget_ns = 4e6 (* the paper's 4 ms/event processing time *) in
     line "%-22s %a" name P_host.Workload.pp_stats stats;
     line "%-22s -> %.5f%% of a 4 ms device-bound event" ""
       (100.0 *. stats.mean_ns /. budget_ns);
+    rows :=
+      Json.Obj
+        [ ("driver", Json.String name);
+          ("events", Json.Int stats.events);
+          ("mean_ns", Json.Float stats.mean_ns);
+          ("p99_ns", Json.Float stats.p99_ns);
+          ("max_ns", Json.Float stats.max_ns);
+          ("budget_fraction", Json.Float (stats.mean_ns /. budget_ns)) ]
+      :: !rows;
     device.writes
   in
   let dev_p = P_examples_lib.Switch_led.new_device () in
@@ -153,7 +223,13 @@ let overhead ?(events = 2_000) () =
   line "device writes: P=%d hand=%d (identical behaviour: %b)" writes_p writes_h
     (writes_p = writes_h);
   line "code size: P source %d machine states vs ~6000 lines of raw KMDF C in the paper"
-    (P_syntax.Ast.program_state_count (P_examples_lib.Switch_led.program ()))
+    (P_syntax.Ast.program_state_count (P_examples_lib.Switch_led.program ()));
+  record "overhead"
+    (Json.Obj
+       [ ("drivers", Json.List (List.rev !rows));
+         ("writes_p", Json.Int writes_p);
+         ("writes_hand", Json.Int writes_h);
+         ("identical", Json.Bool (writes_p = writes_h)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md)                                               *)
@@ -163,15 +239,23 @@ let ablation ?(max_states = 150_000) () =
   line "== Ablation 1: delay bounding vs depth bounding ==";
   line "   (paper section 1: depth-bounded search blows up with execution depth;";
   line "    delay bounding reaches deep executions cheaply)";
+  let ab1 = ref [] in
+  let ab1_row name stats =
+    ab1 :=
+      Json.Obj [ ("search", Json.String name); ("stats", json_of_stats stats) ]
+      :: !ab1
+  in
   let tab = tab_of (P_examples_lib.German.program ()) in
   line "%-28s %10s %10s %10s" "search" "states" "max depth" "time(s)";
   let d0 = Delay_bounded.explore ~delay_bound:0 ~max_states tab in
   line "%-28s %10d %10d %10.2f" "delay-bounded d=0" d0.stats.states d0.stats.max_depth
     d0.stats.elapsed_s;
+  ab1_row "delay-bounded d=0" d0.stats;
   let d2 = Delay_bounded.explore ~delay_bound:2 ~max_states tab in
   line "%-28s %9d%s %10d %10.2f" "delay-bounded d=2" d2.stats.states
     (if d2.stats.truncated then "+" else " ")
     d2.stats.max_depth d2.stats.elapsed_s;
+  ab1_row "delay-bounded d=2" d2.stats;
   List.iter
     (fun k ->
       let r = Depth_bounded.explore ~depth_bound:k ~max_states tab in
@@ -179,24 +263,38 @@ let ablation ?(max_states = 150_000) () =
         (Fmt.str "depth-bounded k=%d" k)
         r.stats.states
         (if r.stats.truncated then "+" else " ")
-        r.stats.max_depth r.stats.elapsed_s)
+        r.stats.max_depth r.stats.elapsed_s;
+      ab1_row (Fmt.str "depth-bounded k=%d" k) r.stats)
     [ 10; 14; 18 ];
   line "-> at equal budgets, depth bounding exhausts the budget at a fraction of";
   line "   the execution depth that d=0 reaches for free";
   hr ();
   line "== Ablation 2: causal vs round-robin delaying scheduler ==";
+  let ab2 = ref [] in
   let tab_b = tab_of (P_examples_lib.Elevator.buggy_program ()) in
   line "%-28s %12s %12s" "scheduler" "bug@d" "states";
   List.iter
     (fun (name, discipline) ->
       let rec find d =
-        if d > 6 then line "%-28s %12s %12s" name "none<=6" "-"
+        if d > 6 then begin
+          line "%-28s %12s %12s" name "none<=6" "-";
+          ab2 :=
+            Json.Obj [ ("scheduler", Json.String name); ("found_at", Json.Null) ]
+            :: !ab2
+        end
         else
           let r =
             Delay_bounded.explore ~discipline ~delay_bound:d ~max_states:500_000 tab_b
           in
           match r.verdict with
-          | Search.Error_found _ -> line "%-28s %12d %12d" name d r.stats.states
+          | Search.Error_found _ ->
+            line "%-28s %12d %12d" name d r.stats.states;
+            ab2 :=
+              Json.Obj
+                [ ("scheduler", Json.String name);
+                  ("found_at", Json.Int d);
+                  ("states", Json.Int r.stats.states) ]
+              :: !ab2
           | Search.No_error -> find (d + 1)
       in
       find 0)
@@ -204,19 +302,27 @@ let ablation ?(max_states = 150_000) () =
       ("round-robin (Emmi et al.)", Delay_bounded.Round_robin) ];
   hr ();
   line "== Ablation 3: the deduplicating queue append (the ⊕ operator) ==";
+  let ab3 = ref [] in
   let tab_e = tab_of (P_examples_lib.Elevator.program ()) in
   List.iter
     (fun (name, dedup) ->
       let r = Delay_bounded.explore ~dedup ~delay_bound:1 ~max_states tab_e in
       line "%-28s %9d%s states, %d transitions, closure: %b" name r.stats.states
         (if r.stats.truncated then "+" else " ")
-        r.stats.transitions (not r.stats.truncated))
+        r.stats.transitions (not r.stats.truncated);
+      ab3 :=
+        Json.Obj
+          [ ("append", Json.String name);
+            ("closes", Json.Bool (not r.stats.truncated));
+            ("stats", json_of_stats r.stats) ]
+        :: !ab3)
     [ ("with (+) dedup (paper)", true); ("plain FIFO append", false) ];
   line "-> without the dedup append the ghost user floods the elevator queue: the";
   line "   state space never closes (the paper motivates it with hardware events)";
   hr ();
   line "== Ablation 4: systematic (delay-bounded) vs random-walk testing ==";
   line "%-16s %-28s %s" "benchmark" "delay-bounded (d<=2)" "random walks (100 x 500 blocks)";
+  let ab4 = ref [] in
   List.iter
     (fun (name, p) ->
       let tab = tab_of p in
@@ -231,16 +337,31 @@ let ablation ?(max_states = 150_000) () =
       let sys_msg, sys_blocks = sys 0 in
       let rw = Random_walk.run ~walks:100 ~max_blocks:500 ~seed:11 tab in
       line "%-16s %-12s %5d blocks     %d/100 walks failing, %d blocks" name sys_msg
-        sys_blocks rw.errors_found rw.total_blocks)
+        sys_blocks rw.errors_found rw.total_blocks;
+      ab4 :=
+        Json.Obj
+          [ ("benchmark", Json.String name);
+            ("systematic", Json.String sys_msg);
+            ("systematic_blocks", Json.Int sys_blocks);
+            ("random_failing_walks", Json.Int rw.errors_found);
+            ("random_blocks", Json.Int rw.total_blocks) ]
+        :: !ab4)
     [ ("elevator", P_examples_lib.Elevator.buggy_program ());
       ("german", P_examples_lib.German.buggy_program ());
-      ("usb-stack", P_usb.Stack.buggy_program ()) ]
+      ("usb-stack", P_usb.Stack.buggy_program ()) ];
+  record "ablation"
+    (Json.Obj
+       [ ("delay_vs_depth", Json.List (List.rev !ab1));
+         ("causal_vs_round_robin", Json.List (List.rev !ab2));
+         ("dedup_append", Json.List (List.rev !ab3));
+         ("systematic_vs_random", Json.List (List.rev !ab4)) ])
 
 let protocol_scaling ?(max_states = 2_000_000) () =
   line "== Protocol scaling: German's directory with n clients ==";
   line "   (the per-client sharer flags and request interleavings compound:";
   line "    the classic exponential growth that motivates bounded exploration)";
   line "%-4s %12s %12s %10s %8s" "n" "d=0 states" "d=1 states" "bug@d=0" "time(s)";
+  let rows = ref [] in
   List.iter
     (fun n ->
       let tab = tab_of (P_examples_lib.German.program ~n ()) in
@@ -255,8 +376,19 @@ let protocol_scaling ?(max_states = 2_000_000) () =
         (match rb.verdict with
         | Search.Error_found ce -> Fmt.str "depth %d" ce.depth
         | Search.No_error -> "missed")
-        (r0.stats.elapsed_s +. r1.stats.elapsed_s))
-    [ 2; 3; 4 ]
+        (r0.stats.elapsed_s +. r1.stats.elapsed_s);
+      rows :=
+        Json.Obj
+          [ ("clients", Json.Int n);
+            ("d0", json_of_stats r0.stats);
+            ("d1", json_of_stats r1.stats);
+            ( "bug_depth",
+              match rb.verdict with
+              | Search.Error_found ce -> Json.Int ce.depth
+              | Search.No_error -> Json.Null ) ]
+        :: !rows)
+    [ 2; 3; 4 ];
+  record "protocol_scaling" (Json.List (List.rev !rows))
 
 let parallel_scaling ?(max_states = 120_000) () =
   line "== Multicore exploration (section 6: \"using multicores to scale the";
@@ -270,19 +402,31 @@ let parallel_scaling ?(max_states = 120_000) () =
     line "   on a multicore host the level-parallel BFS divides wall-clock time";
   let tab = tab_of (P_usb.Stack.program ()) in
   let base = ref 0.0 in
+  let rows = ref [] in
   List.iter
     (fun domains ->
       let r = Parallel.explore ~domains ~delay_bound:1 ~max_states tab in
       if domains = 1 then base := r.stats.elapsed_s;
       line "  %d domain(s): %7d states in %6.2fs  (speedup %.2fx)" domains
         r.stats.states r.stats.elapsed_s
-        (!base /. r.stats.elapsed_s))
+        (!base /. r.stats.elapsed_s);
+      rows :=
+        Json.Obj
+          [ ("domains", Json.Int domains);
+            ("speedup", Json.Float (!base /. r.stats.elapsed_s));
+            ("stats", json_of_stats r.stats) ]
+        :: !rows)
     [ 1; 2; 4 ];
   let seq = Delay_bounded.explore ~delay_bound:1 ~max_states tab in
   line
     "  sequential reference: %d states in %.2fs (the parallel engine explores the
     \  same transition system; its per-level budget check may overshoot slightly)"
-    seq.stats.states seq.stats.elapsed_s
+    seq.stats.states seq.stats.elapsed_s;
+  record "parallel_scaling"
+    (Json.Obj
+       [ ("cores", Json.Int cores);
+         ("runs", Json.List (List.rev !rows));
+         ("sequential", json_of_stats seq.stats) ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the engine primitives                  *)
@@ -350,16 +494,23 @@ let micro () =
       (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
       Instance.monotonic_clock results
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = analyze (benchmark test) in
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> line "%-45s %12.1f ns/run" name est
+          | Some [ est ] ->
+            line "%-45s %12.1f ns/run" name est;
+            rows :=
+              Json.Obj
+                [ ("name", Json.String name); ("ns_per_run", Json.Float est) ]
+              :: !rows
           | _ -> line "%-45s (no estimate)" name)
         results)
-    tests
+    tests;
+  record "micro" (Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
 
@@ -380,21 +531,49 @@ let all () =
   hr ();
   micro ()
 
+(* Pull [--json FILE] out of argv (any position after the subcommand),
+   returning the remaining arguments. *)
+let extract_json_path args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "fig7" :: _ -> fig7 ()
-  | _ :: "bugs" :: _ -> bugs ()
-  | _ :: "fig8" :: _ -> fig8 ()
-  | _ :: "overhead" :: _ -> overhead ()
-  | _ :: "ablation" :: _ -> ablation ()
-  | _ :: "parallel" :: _ -> parallel_scaling ()
-  | _ :: "scaling" :: _ -> protocol_scaling ()
-  | _ :: "micro" :: _ -> micro ()
-  | _ :: "quick" :: _ ->
+  let json_path, args = extract_json_path (List.tl (Array.to_list Sys.argv)) in
+  (* Fail on an unwritable --json path now, not after the benchmarks ran. *)
+  (match json_path with
+  | None -> ()
+  | Some path -> (
+    try close_out (open_out path)
+    with Sys_error msg ->
+      prerr_endline ("bench: cannot write " ^ msg);
+      exit 2));
+  (match args with
+  | "fig7" :: _ -> fig7 ()
+  | "bugs" :: _ -> bugs ()
+  | "fig8" :: _ -> fig8 ()
+  | "overhead" :: _ -> overhead ()
+  | "ablation" :: _ -> ablation ()
+  | "parallel" :: _ -> parallel_scaling ()
+  | "scaling" :: _ -> protocol_scaling ()
+  | "micro" :: _ -> micro ()
+  | "quick" :: _ ->
     (* a fast smoke pass *)
     fig7 ~max_states:20_000 ~bounds:[ 0; 1; 2 ] ();
     hr ();
     fig8 ~max_states:20_000 ();
     hr ();
     overhead ~events:200 ()
-  | _ :: [] | _ -> all ()
+  | "smoke" :: _ ->
+    (* tiny budgets: exercises every recorded code path in seconds, for the
+       @bench-smoke alias wired into dune runtest *)
+    fig7 ~max_states:2_000 ~bounds:[ 0; 1 ] ();
+    hr ();
+    fig8 ~max_states:2_000 ();
+    hr ();
+    overhead ~events:50 ()
+  | [] | _ -> all ());
+  match json_path with None -> () | Some path -> write_results path

@@ -61,6 +61,14 @@ let or_die = function
     Fmt.epr "pc: %s@." msg;
     exit 2
 
+(* Output files are opened before any search runs, so a bad path fails
+   fast instead of discarding a long exploration's results at the end. *)
+let open_out_or_die path =
+  try open_out path
+  with Sys_error msg ->
+    Fmt.epr "pc: cannot write %s@." msg;
+    exit 2
+
 (* ---------------- check ---------------- *)
 
 let run_check file example =
@@ -83,25 +91,68 @@ let check_cmd =
 
 (* ---------------- verify ---------------- *)
 
-let run_verify file example delay_bound max_states liveness show_trace domains =
+(* A stderr heartbeat for --progress: at most about one line per second,
+   driven by the engines' progress callback. *)
+let make_progress () =
+  let started = P_obs.Mclock.start () in
+  let last = ref 0.0 in
+  fun (s : P_checker.Search.stats) ->
+    let t = P_obs.Mclock.elapsed_s started in
+    if t -. !last >= 1.0 then begin
+      last := t;
+      Fmt.epr "pc: %d states, %d transitions, %.0f states/s@." s.states
+        s.transitions
+        (float_of_int s.states /. t)
+    end
+
+let run_verify file example delay_bound max_states liveness show_trace domains
+    stats_json trace_out progress =
   let program = or_die (load_program file example) in
+  let metrics =
+    match stats_json with None -> None | Some _ -> Some (P_obs.Metrics.create ())
+  in
+  let stats_oc = Option.map open_out_or_die stats_json in
+  let trace_oc = Option.map open_out_or_die trace_out in
+  let sink =
+    match trace_oc with None -> P_obs.Sink.null | Some oc -> P_obs.Sink.chrome oc
+  in
+  let progress_fn = if progress then Some (make_progress ()) else None in
+  let instr = P_checker.Search.instr ?metrics ~sink ?progress:progress_fn () in
   let report =
     match domains with
-    | None -> P_checker.Verifier.verify ~delay_bound ~max_states ~liveness program
+    | None ->
+      P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~instr program
     | Some domains -> (
       (* the multicore engine, behind the same report shape *)
       match P_static.Check.run program with
       | { diagnostics = (_ :: _) as ds; _ } ->
         { P_checker.Verifier.static_diagnostics = ds; safety = None; liveness = None }
       | { symtab; _ } ->
-        let safety = P_checker.Parallel.explore ~domains ~delay_bound ~max_states symtab in
+        let safety =
+          P_checker.Parallel.explore ~domains ~delay_bound ~max_states ~instr symtab
+        in
         { P_checker.Verifier.static_diagnostics = [];
           safety = Some safety;
           liveness =
             (if liveness && safety.verdict = P_checker.Search.No_error then
-               Some (P_checker.Liveness.check symtab)
+               Some (P_checker.Liveness.check ~instr symtab)
              else None) })
   in
+  (* the counterexample (when any) rides along in the trace file *)
+  (match report.safety with
+  | Some { verdict = P_checker.Search.Error_found ce; _ }
+    when P_obs.Sink.enabled sink -> P_obs.Sem_trace.emit sink ce.trace
+  | _ -> ());
+  P_obs.Sink.close sink;
+  Option.iter close_out trace_oc;
+  (match stats_oc with
+  | None -> ()
+  | Some oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        P_checker.Obs_report.write_channel oc
+          (P_checker.Obs_report.json_of_report ?metrics report)));
   Fmt.pr "%a" P_checker.Verifier.pp_report report;
   (match report.safety with
   | Some { verdict = P_checker.Search.Error_found ce; _ } when show_trace ->
@@ -127,11 +178,33 @@ let verify_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Use the multicore exploration engine with N domains.")
   in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write the verification report and a metrics dump as JSON to $(docv).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON file (openable in Perfetto or \
+             chrome://tracing) with engine spans and the counterexample trace.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Print a heartbeat (states, transitions, states/s) to stderr.")
+  in
   Cmd.v
     (Cmd.info "verify" ~doc:"Systematic testing with the causal delay-bounded scheduler.")
     Term.(
       const run_verify $ file_arg $ example_arg $ delay $ max_states $ liveness $ trace
-      $ domains)
+      $ domains $ stats_json $ trace_out $ progress)
 
 (* ---------------- random ---------------- *)
 
@@ -165,7 +238,7 @@ let random_cmd =
 
 (* ---------------- simulate ---------------- *)
 
-let run_simulate file example max_blocks seed show_trace =
+let run_simulate file example max_blocks seed show_trace trace_out =
   let program = or_die (load_program file example) in
   match P_static.Check.run program with
   | { diagnostics = (_ :: _) as ds; _ } ->
@@ -178,6 +251,16 @@ let run_simulate file example max_blocks seed show_trace =
       | Some s -> P_semantics.Simulate.policy_seeded s
     in
     let r = P_semantics.Simulate.run ~max_blocks ~policy symtab in
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_or_die path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let sink = P_obs.Sink.chrome oc in
+          P_obs.Sem_trace.emit sink r.trace;
+          P_obs.Sink.close sink));
     if show_trace then Fmt.pr "%a@." P_semantics.Trace.pp r.trace;
     Fmt.pr "simulation: %a after %d atomic blocks@." P_semantics.Simulate.pp_status
       r.status r.blocks;
@@ -194,9 +277,18 @@ let simulate_cmd =
       & info [ "seed" ] ~doc:"Resolve ghost choices pseudo-randomly from this seed.")
   in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the execution trace.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the execution trace as Chrome trace_event JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Deterministic causal (d=0) execution of the closed program.")
-    Term.(const run_simulate $ file_arg $ example_arg $ max_blocks $ seed $ trace)
+    Term.(
+      const run_simulate $ file_arg $ example_arg $ max_blocks $ seed $ trace
+      $ trace_out)
 
 (* ---------------- erase / compile / print ---------------- *)
 

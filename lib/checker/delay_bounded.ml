@@ -51,6 +51,8 @@ type t = {
   seen : (string, int) Hashtbl.t;  (* digest -> smallest delay count seen *)
   edges : edge option Dynarray.t;  (* indexed by node idx; None for the root *)
   stats : Search.stats;
+  meters : Search.meters option;
+  ticker : Search.ticker;
 }
 
 let rotate stack =
@@ -109,13 +111,23 @@ let record_node t node =
     Canon.digest t.canon node.config (List.map Mid.to_int node.stack)
   in
   match Hashtbl.find_opt t.seen digest with
-  | Some best when best <= node.delays -> `Seen
+  | Some best when best <= node.delays ->
+    (match t.meters with
+    | None -> ()
+    | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits);
+    `Seen
   | Some _ ->
     Hashtbl.replace t.seen digest node.delays;
     `Revisit
   | None ->
     Hashtbl.replace t.seen digest node.delays;
     t.stats.states <- t.stats.states + 1;
+    (match t.meters with
+    | None -> ()
+    | Some m ->
+      P_obs.Metrics.incr m.Search.m_states;
+      P_obs.Metrics.set_max m.Search.m_queue_hwm
+        (Search.queue_hwm_of_config node.config));
     `New
 
 let expand t queue node =
@@ -132,6 +144,10 @@ let expand t queue node =
       List.iter
         (fun (r : Search.resolved) ->
           t.stats.transitions <- t.stats.transitions + 1;
+          (match t.meters with
+          | None -> ()
+          | Some m -> P_obs.Metrics.incr m.Search.m_transitions);
+          Search.tick t.ticker;
           match r.outcome with
           | Step.Failed error ->
             let idx = Dynarray.length t.edges in
@@ -166,7 +182,9 @@ let expand t queue node =
 (** Explore all schedules of at most [delay_bound] delays. [max_states]
     and [max_depth] truncate the search (reported in the stats). *)
 let explore ?(max_states = 1_000_000) ?(max_depth = max_int) ?(discipline = Causal)
-    ?(dedup = true) ~delay_bound (tab : Symtab.t) : Search.result =
+    ?(dedup = true) ?(instr = Search.no_instr) ~delay_bound (tab : Symtab.t) :
+    Search.result =
+  let stats = Search.new_stats () in
   let t =
     { tab;
       canon = Canon.create tab;
@@ -177,11 +195,16 @@ let explore ?(max_states = 1_000_000) ?(max_depth = max_int) ?(discipline = Caus
       dedup;
       seen = Hashtbl.create 4096;
       edges = Dynarray.create ();
-      stats = Search.new_stats () }
+      stats;
+      meters = Search.meters ~engine:"delay_bounded" instr;
+      ticker = Search.ticker instr stats }
   in
-  let started = Unix.gettimeofday () in
+  let started = P_obs.Mclock.start () in
+  let t0_us = P_obs.Mclock.now_us () in
   let finish verdict =
-    t.stats.elapsed_s <- Unix.gettimeofday () -. started;
+    t.stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
+    Search.emit_run_span instr ~engine:"delay_bounded" ~t0_us ~stats:t.stats
+      [ ("delay_bound", P_obs.Json.Int delay_bound) ];
     { Search.verdict; stats = t.stats }
   in
   let config0, id0, _ = Step.initial_config tab in
@@ -196,10 +219,16 @@ let explore ?(max_states = 1_000_000) ?(max_depth = max_int) ?(discipline = Caus
         t.stats.truncated <- true;
         Queue.clear queue
       end
-      else
+      else begin
+        (match t.meters with
+        | None -> ()
+        | Some m ->
+          P_obs.Metrics.set_max m.Search.m_frontier
+            (float_of_int (Queue.length queue)));
         let node = Queue.pop queue in
         if node.depth < t.max_depth then expand t queue node
         else t.stats.truncated <- true
+      end
     done;
     finish Search.No_error
   with Found ce -> finish (Search.Error_found ce)

@@ -36,6 +36,7 @@ val explore :
   ?max_depth:int ->
   ?discipline:discipline ->
   ?dedup:bool ->
+  ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->
   Search.result
@@ -44,4 +45,6 @@ val explore :
     first (shortest) counterexample with its replayed trace, or [No_error]
     with exploration statistics. [max_states] (default 1e6) and [max_depth]
     truncate the search, which is then flagged in the stats.
-    [dedup:false] disables the [⊕] queue append (ablation only). *)
+    [dedup:false] disables the [⊕] queue append (ablation only).
+    [instr] reports metrics, a lifecycle span, and progress heartbeats
+    while the search runs; the result is identical with or without it. *)

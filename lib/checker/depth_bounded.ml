@@ -21,13 +21,19 @@ exception Found of Search.counterexample
     Breadth-first so reported counterexamples are shortest. Keeping the
     trace on each node is affordable because depth-bounded frontiers are
     shallow by construction. *)
-let explore ?(max_states = 1_000_000) ~depth_bound (tab : Symtab.t) : Search.result =
+let explore ?(max_states = 1_000_000) ?(instr = Search.no_instr) ~depth_bound
+    (tab : Symtab.t) : Search.result =
   let canon = Canon.create tab in
   let stats = Search.new_stats () in
   let seen = Hashtbl.create 4096 in
-  let started = Unix.gettimeofday () in
+  let meters = Search.meters ~engine:"depth_bounded" instr in
+  let ticker = Search.ticker instr stats in
+  let started = P_obs.Mclock.start () in
+  let t0_us = P_obs.Mclock.now_us () in
   let finish verdict =
-    stats.elapsed_s <- Unix.gettimeofday () -. started;
+    stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
+    Search.emit_run_span instr ~engine:"depth_bounded" ~t0_us ~stats
+      [ ("depth_bound", P_obs.Json.Int depth_bound) ];
     { Search.verdict; stats }
   in
   let config0, _, items0 = Step.initial_config tab in
@@ -38,13 +44,22 @@ let explore ?(max_states = 1_000_000) ~depth_bound (tab : Symtab.t) : Search.res
        deeper ones; recording the minimal depth achieves that *)
     let digest = Canon.digest canon config [] in
     match Hashtbl.find_opt seen digest with
-    | Some best when best <= depth -> ()
+    | Some best when best <= depth ->
+      (match meters with
+      | None -> ()
+      | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits)
     | Some _ ->
       Hashtbl.replace seen digest depth;
       Queue.add { config; depth; trace_rev } queue
     | None ->
       Hashtbl.replace seen digest depth;
       stats.states <- stats.states + 1;
+      (match meters with
+      | None -> ()
+      | Some m ->
+        P_obs.Metrics.incr m.Search.m_states;
+        P_obs.Metrics.set_max m.Search.m_queue_hwm
+          (Search.queue_hwm_of_config config));
       if depth > stats.max_depth then stats.max_depth <- depth;
       Queue.add { config; depth; trace_rev } queue
   in
@@ -55,7 +70,12 @@ let explore ?(max_states = 1_000_000) ~depth_bound (tab : Symtab.t) : Search.res
         stats.truncated <- true;
         Queue.clear queue
       end
-      else
+      else begin
+        (match meters with
+        | None -> ()
+        | Some m ->
+          P_obs.Metrics.set_max m.Search.m_frontier
+            (float_of_int (Queue.length queue)));
         let node = Queue.pop queue in
         if node.depth >= depth_bound then stats.truncated <- true
         else
@@ -64,6 +84,10 @@ let explore ?(max_states = 1_000_000) ~depth_bound (tab : Symtab.t) : Search.res
               List.iter
                 (fun (r : Search.resolved) ->
                   stats.transitions <- stats.transitions + 1;
+                  (match meters with
+                  | None -> ()
+                  | Some m -> P_obs.Metrics.incr m.Search.m_transitions);
+                  Search.tick ticker;
                   let trace_rev = List.rev_append r.items node.trace_rev in
                   match r.outcome with
                   | Step.Failed error ->
@@ -79,6 +103,7 @@ let explore ?(max_states = 1_000_000) ~depth_bound (tab : Symtab.t) : Search.res
                   | Step.Need_more_choices -> assert false)
                 (Search.resolutions tab node.config mid))
             (Step.enabled tab node.config)
+      end
     done;
     finish Search.No_error
   with Found ce -> finish (Search.Error_found ce)

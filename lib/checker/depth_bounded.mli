@@ -4,6 +4,11 @@
     cut at [depth_bound] atomic blocks. *)
 
 val explore :
-  ?max_states:int -> depth_bound:int -> P_static.Symtab.t -> Search.result
+  ?max_states:int ->
+  ?instr:Search.instr ->
+  depth_bound:int ->
+  P_static.Symtab.t ->
+  Search.result
 (** [explore ~depth_bound tab]: breadth-first over all interleavings of at
-    most [depth_bound] atomic blocks; shortest counterexample first. *)
+    most [depth_bound] atomic blocks; shortest counterexample first.
+    [instr] reports metrics and progress; results are unaffected. *)

@@ -73,6 +73,7 @@ type result = {
           reconstructed *)
   explored_states : int;
   complete : bool;  (** false when [max_states] truncated the graph *)
+  elapsed_s : float;  (** wall-clock for graph construction + analysis *)
 }
 
 (* ---------------- graph construction ---------------- *)
@@ -426,7 +427,10 @@ let dedup vs =
 
 (** Run both liveness checks on the (bounded) full-interleaving state graph,
     reconstructing a lasso witness for every violation found. *)
-let check ?max_states ?ignore_ghost_divergence (tab : Symtab.t) : result =
+let check ?max_states ?ignore_ghost_divergence ?(instr = Search.no_instr)
+    (tab : Symtab.t) : result =
+  let started = P_obs.Mclock.start () in
+  let t0_us = P_obs.Mclock.now_us () in
   let g, complete = build_graph ?max_states tab in
   let found =
     List.concat_map
@@ -443,4 +447,26 @@ let check ?max_states ?ignore_ghost_divergence (tab : Symtab.t) : result =
       (fun (v, (members, restrict)) -> (v, witness_of tab g members ~restrict))
       found
   in
-  { violations = List.map fst witnesses; witnesses; explored_states = g.n; complete }
+  let elapsed_s = P_obs.Mclock.elapsed_s started in
+  (match instr.Search.metrics with
+  | None -> ()
+  | Some reg ->
+    let labels = [ ("engine", "liveness") ] in
+    P_obs.Metrics.add (P_obs.Metrics.counter reg ~labels "checker.states") g.n;
+    P_obs.Metrics.add
+      (P_obs.Metrics.counter reg ~labels "checker.violations")
+      (List.length witnesses));
+  if P_obs.Sink.enabled instr.Search.sink then
+    P_obs.Sink.complete instr.Search.sink ~cat:"engine" ~name:"liveness.check"
+      ~ts_us:t0_us
+      ~dur_us:(P_obs.Mclock.now_us () -. t0_us)
+      ~args:
+        [ ("graph_states", P_obs.Json.Int g.n);
+          ("violations", P_obs.Json.Int (List.length witnesses));
+          ("complete", P_obs.Json.Bool complete) ]
+      ();
+  { violations = List.map fst witnesses;
+    witnesses;
+    explored_states = g.n;
+    complete;
+    elapsed_s }

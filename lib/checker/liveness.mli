@@ -41,11 +41,15 @@ type result = {
           reconstructed *)
   explored_states : int;
   complete : bool;  (** [false] when [max_states] truncated the graph *)
+  elapsed_s : float;
+      (** wall-clock seconds for graph construction + SCC analysis, read
+          from the monotonic clock *)
 }
 
 val check :
   ?max_states:int ->
   ?ignore_ghost_divergence:bool ->
+  ?instr:Search.instr ->
   P_static.Symtab.t ->
   result
 (** [check tab] explores up to [max_states] (default 50000) configurations
@@ -53,4 +57,6 @@ val check :
     connected components for fair violating cycles. Ghost environment
     machines are exempt from the divergence check unless
     [ignore_ghost_divergence:false]. Violations found on a truncated graph
-    are still real cycles; completeness requires [complete = true]. *)
+    are still real cycles; completeness requires [complete = true].
+    [instr] metrics: [checker.states] and [checker.violations] (labelled
+    [engine=liveness]); the trace sink gets a [liveness.check] span. *)

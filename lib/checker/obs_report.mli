@@ -1,0 +1,21 @@
+(** JSON rendering of verification results, backing [pc verify
+    --stats-json FILE]. The document schema is described in DESIGN.md
+    ("Observability"); notably [safety.stats.states] always equals
+    {!Search.result}'s [stats.states]. *)
+
+val json_of_stats : Search.stats -> P_obs.Json.t
+
+val json_of_safety : Search.result -> P_obs.Json.t
+
+val json_of_liveness : Liveness.result -> P_obs.Json.t
+
+val json_of_report : ?metrics:P_obs.Metrics.t -> Verifier.report -> P_obs.Json.t
+(** Render a full verification report. When [metrics] is given, its
+    registry dump is embedded under the ["metrics"] key. *)
+
+val write_channel : out_channel -> P_obs.Json.t -> unit
+(** Pretty-print the document to an already-open channel, followed by a
+    newline. The channel is not closed. *)
+
+val write_file : string -> P_obs.Json.t -> unit
+(** Pretty-print the document to [path], followed by a newline. *)

@@ -44,8 +44,9 @@ type successor = {
 
 let rotate_k = Delay_bounded.rotate_k
 
-(* Expand one node into raw successors (pure: shared state is read-only). *)
-let expand_node (tab : Symtab.t) (canon : Canon.t) ~delay_bound (n : node) :
+(* Expand one node into raw successors (pure except for the optional
+   expansion counter, which each worker bumps in its own domain shard). *)
+let expand_node ?expansions (tab : Symtab.t) (canon : Canon.t) ~delay_bound (n : node) :
     successor list =
   let acc = ref [] in
   let width = List.length n.stack in
@@ -57,6 +58,9 @@ let expand_node (tab : Symtab.t) (canon : Canon.t) ~delay_bound (n : node) :
     | top :: _ ->
       List.iter
         (fun (r : Search.resolved) ->
+          (match expansions with
+          | None -> ()
+          | Some c -> P_obs.Metrics.incr c);
           match r.outcome with
           | Step.Failed error ->
             acc :=
@@ -119,11 +123,28 @@ let replay tab (edges : edge option Dynarray.t) idx : P_semantics.Trace.t =
     {!Delay_bounded.explore} (Causal discipline, ⊕ queues); [domains] only
     affects wall-clock time. *)
 let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
-    ~delay_bound (tab : Symtab.t) : Search.result =
+    ?(instr = Search.no_instr) ~delay_bound (tab : Symtab.t) : Search.result =
   let stats = Search.new_stats () in
-  let started = Unix.gettimeofday () in
+  let meters = Search.meters ~engine:"parallel" instr in
+  (* the per-worker expansion counter: every worker increments the same
+     handle, each into its own domain's shard; reads merge the shards *)
+  let expansions =
+    match instr.metrics with
+    | None -> None
+    | Some reg ->
+      Some
+        (P_obs.Metrics.counter reg
+           ~labels:[ ("engine", "parallel") ]
+           "checker.expansions")
+  in
+  let ticker = Search.ticker instr stats in
+  let started = P_obs.Mclock.start () in
+  let t0_us = P_obs.Mclock.now_us () in
   let finish verdict =
-    stats.elapsed_s <- Unix.gettimeofday () -. started;
+    stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
+    Search.emit_run_span instr ~engine:"parallel" ~t0_us ~stats
+      [ ("delay_bound", P_obs.Json.Int delay_bound);
+        ("domains", P_obs.Json.Int domains) ];
     { Search.verdict; stats }
   in
   let main_canon = Canon.create tab in
@@ -134,6 +155,9 @@ let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
   Dynarray.add_last edges None;
   Hashtbl.replace seen (Canon.digest main_canon config0 [ Mid.to_int id0 ]) 0;
   stats.states <- 1;
+  (match meters with
+  | None -> ()
+  | Some m -> P_obs.Metrics.incr m.Search.m_states);
   let frontier = ref [ root ] in
   let depth = ref 0 in
   try
@@ -145,6 +169,11 @@ let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
       else begin
         incr depth;
         let nodes = Array.of_list !frontier in
+        (match meters with
+        | None -> ()
+        | Some m ->
+          P_obs.Metrics.set_max m.Search.m_frontier
+            (float_of_int (Array.length nodes)));
         (* small levels are cheaper sequentially: domain spawns and the
            stop-the-world minor GC synchronization only pay off once a
            level carries real work *)
@@ -161,7 +190,7 @@ let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
         let worker w () =
           (* worker-local canon: same deterministic interning, no sharing *)
           let canon = Canon.create tab in
-          List.concat_map (expand_node tab canon ~delay_bound) (slice w)
+          List.concat_map (expand_node ?expansions tab canon ~delay_bound) (slice w)
         in
         let results =
           if n_workers = 1 then [ worker 0 () ]
@@ -177,6 +206,10 @@ let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
             List.iter
               (fun (s : successor) ->
                 stats.transitions <- stats.transitions + 1;
+                (match meters with
+                | None -> ()
+                | Some m -> P_obs.Metrics.incr m.Search.m_transitions);
+                Search.tick ticker;
                 match s.s_error with
                 | Some error ->
                   let idx = Dynarray.length edges in
@@ -189,10 +222,21 @@ let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
                   raise (Found { Search.error; trace; depth = !depth })
                 | None -> (
                   match Hashtbl.find_opt seen s.s_digest with
-                  | Some best when best <= s.s_delays -> ()
+                  | Some best when best <= s.s_delays -> (
+                    match meters with
+                    | None -> ()
+                    | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits)
                   | known ->
                     Hashtbl.replace seen s.s_digest s.s_delays;
-                    if known = None then stats.states <- stats.states + 1;
+                    if known = None then begin
+                      stats.states <- stats.states + 1;
+                      match meters with
+                      | None -> ()
+                      | Some m ->
+                        P_obs.Metrics.incr m.Search.m_states;
+                        P_obs.Metrics.set_max m.Search.m_queue_hwm
+                          (Search.queue_hwm_of_config s.s_config)
+                    end;
                     let idx = Dynarray.length edges in
                     Dynarray.add_last edges
                       (Some

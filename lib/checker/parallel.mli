@@ -11,6 +11,7 @@ val explore :
   ?max_states:int ->
   ?domains:int ->
   ?spawn_threshold:int ->
+  ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->
   Search.result
@@ -18,4 +19,10 @@ val explore :
     workers (default 4). Levels smaller than [spawn_threshold] (default 64)
     run sequentially — domain spawns and minor-GC synchronization only pay
     off on real work. The [max_states] budget is checked between levels, so
-    the final count may overshoot slightly. *)
+    the final count may overshoot slightly.
+
+    With [instr] metrics on, workers additionally count
+    [checker.expansions] (labelled [engine=parallel]) from inside their
+    domains — each into its own registry shard, so instrumentation adds no
+    cross-domain contention; the merged total equals the sequential
+    transition count on clean programs. *)

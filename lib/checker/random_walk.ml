@@ -84,22 +84,55 @@ let one_walk (tab : Symtab.t) rng ~max_blocks : walk_result =
 
 (** Run [walks] independent random schedules of at most [max_blocks] atomic
     blocks each. *)
-let run ?(walks = 100) ?(max_blocks = 1_000) ?(seed = 1) (tab : Symtab.t) : result =
-  let started = Unix.gettimeofday () in
+let run ?(walks = 100) ?(max_blocks = 1_000) ?(seed = 1)
+    ?(instr = Search.no_instr) (tab : Symtab.t) : result =
+  let started = P_obs.Mclock.start () in
+  let t0_us = P_obs.Mclock.now_us () in
+  let wmeters =
+    match instr.Search.metrics with
+    | None -> None
+    | Some reg ->
+      let labels = [ ("engine", "random_walk") ] in
+      Some
+        ( P_obs.Metrics.counter reg ~labels "checker.walks",
+          P_obs.Metrics.counter reg ~labels "checker.walk_blocks",
+          P_obs.Metrics.counter reg ~labels "checker.walk_errors" )
+  in
   let errors = ref 0 in
   let first = ref None in
   let total = ref 0 in
   for w = 0 to walks - 1 do
     let rng = make_rng (seed + (w * 7919)) in
-    match one_walk tab rng ~max_blocks with
-    | Walk_error (e, trace, blocks) ->
-      incr errors;
-      total := !total + blocks;
-      if !first = None then first := Some (e, trace, blocks)
-    | Walk_quiescent blocks | Walk_budget blocks -> total := !total + blocks
+    let blocks =
+      match one_walk tab rng ~max_blocks with
+      | Walk_error (e, trace, blocks) ->
+        incr errors;
+        if !first = None then first := Some (e, trace, blocks);
+        (match wmeters with
+        | None -> ()
+        | Some (_, _, m_errors) -> P_obs.Metrics.incr m_errors);
+        blocks
+      | Walk_quiescent blocks | Walk_budget blocks -> blocks
+    in
+    total := !total + blocks;
+    match wmeters with
+    | None -> ()
+    | Some (m_walks, m_blocks, _) ->
+      P_obs.Metrics.incr m_walks;
+      P_obs.Metrics.add m_blocks blocks
   done;
+  let elapsed_s = P_obs.Mclock.elapsed_s started in
+  if P_obs.Sink.enabled instr.Search.sink then
+    P_obs.Sink.complete instr.Search.sink ~cat:"engine" ~name:"random_walk.run"
+      ~ts_us:t0_us
+      ~dur_us:(P_obs.Mclock.now_us () -. t0_us)
+      ~args:
+        [ ("walks", P_obs.Json.Int walks);
+          ("errors_found", P_obs.Json.Int !errors);
+          ("total_blocks", P_obs.Json.Int !total) ]
+      ();
   { walks;
     errors_found = !errors;
     first_error = !first;
     total_blocks = !total;
-    elapsed_s = Unix.gettimeofday () -. started }
+    elapsed_s }

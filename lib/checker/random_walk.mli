@@ -14,8 +14,15 @@ type result = {
 val pp_result : result Fmt.t
 
 val run :
-  ?walks:int -> ?max_blocks:int -> ?seed:int -> P_static.Symtab.t -> result
+  ?walks:int ->
+  ?max_blocks:int ->
+  ?seed:int ->
+  ?instr:Search.instr ->
+  P_static.Symtab.t ->
+  result
 (** [run tab] executes [walks] (default 100) independent random schedules
     of at most [max_blocks] (default 1000) atomic blocks each, with both
     the scheduled machine and the ghost [*] choices drawn from a PRNG
-    derived from [seed]. Fully reproducible per seed. *)
+    derived from [seed]. Fully reproducible per seed. [instr] metrics:
+    [checker.walks], [checker.walk_blocks], [checker.walk_errors]
+    (labelled [engine=random_walk]). *)

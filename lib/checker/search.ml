@@ -54,6 +54,92 @@ let pp_stats ppf s =
     (if s.truncated then " (truncated)" else "")
     s.elapsed_s
 
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** What an engine run reports while it runs: a metrics registry to count
+    into, a structured trace sink for lifecycle spans, and a progress
+    callback for heartbeats. The default {!no_instr} is free: engines guard
+    every instrumented point on it, and the property tests check results
+    are identical with instrumentation on. *)
+type instr = {
+  metrics : P_obs.Metrics.t option;
+  sink : P_obs.Sink.t;
+  progress : (stats -> unit) option;
+      (** called from the search loop roughly every [progress_every]
+          transitions, with the live (mutable) stats *)
+  progress_every : int;
+}
+
+let no_instr =
+  { metrics = None; sink = P_obs.Sink.null; progress = None; progress_every = 4096 }
+
+let instr ?metrics ?(sink = P_obs.Sink.null) ?progress ?(progress_every = 4096) () =
+  { metrics; sink; progress; progress_every }
+
+(** Metric handles pre-resolved for one engine run ([None] when metrics are
+    off), so hot loops never touch the registry's intern table. *)
+type meters = {
+  m_states : P_obs.Metrics.counter;  (** [checker.states] *)
+  m_transitions : P_obs.Metrics.counter;  (** [checker.transitions] *)
+  m_dedup_hits : P_obs.Metrics.counter;
+      (** [checker.dedup_hits] — digest already seen with no smaller budget *)
+  m_frontier : P_obs.Metrics.gauge;  (** [checker.frontier_depth] high-water *)
+  m_queue_hwm : P_obs.Metrics.gauge;
+      (** [checker.queue_len_hwm] — longest per-machine event queue seen *)
+}
+
+let meters ~engine (i : instr) : meters option =
+  match i.metrics with
+  | None -> None
+  | Some reg ->
+    let labels = [ ("engine", engine) ] in
+    Some
+      { m_states = P_obs.Metrics.counter reg ~labels "checker.states";
+        m_transitions = P_obs.Metrics.counter reg ~labels "checker.transitions";
+        m_dedup_hits = P_obs.Metrics.counter reg ~labels "checker.dedup_hits";
+        m_frontier = P_obs.Metrics.gauge reg ~labels "checker.frontier_depth";
+        m_queue_hwm = P_obs.Metrics.gauge reg ~labels "checker.queue_len_hwm" }
+
+(** Longest per-machine event queue in a configuration (for the high-water
+    gauge; computed only when metrics are on). *)
+let queue_hwm_of_config (config : Config.t) : float =
+  float_of_int
+    (Config.fold
+       (fun _ m acc -> max acc (P_semantics.Equeue.length m.P_semantics.Machine.queue))
+       config 0)
+
+(** A progress ticker: calls [instr.progress] every [progress_every]
+    transitions with the live stats. *)
+type ticker = { tk_instr : instr; tk_stats : stats; mutable tk_count : int }
+
+let ticker i stats = { tk_instr = i; tk_stats = stats; tk_count = 0 }
+
+let tick (t : ticker) =
+  match t.tk_instr.progress with
+  | None -> ()
+  | Some f ->
+    t.tk_count <- t.tk_count + 1;
+    if t.tk_count >= t.tk_instr.progress_every then begin
+      t.tk_count <- 0;
+      f t.tk_stats
+    end
+
+(** Emit the engine lifecycle span shared by all explorers: one complete
+    Chrome event covering the whole run, carrying the result stats. *)
+let emit_run_span (i : instr) ~engine ~t0_us ~(stats : stats) extra_args =
+  if P_obs.Sink.enabled i.sink then
+    P_obs.Sink.complete i.sink ~cat:"engine" ~name:(engine ^ ".explore") ~ts_us:t0_us
+      ~dur_us:(P_obs.Mclock.now_us () -. t0_us)
+      ~args:
+        ([ ("states", P_obs.Json.Int stats.states);
+           ("transitions", P_obs.Json.Int stats.transitions);
+           ("max_depth", P_obs.Json.Int stats.max_depth);
+           ("truncated", P_obs.Json.Bool stats.truncated) ]
+        @ extra_args)
+      ()
+
 type counterexample = { error : Errors.t; trace : Trace.t; depth : int }
 
 type verdict =

@@ -28,6 +28,61 @@ type stats = {
 val new_stats : unit -> stats
 val pp_stats : stats Fmt.t
 
+(** {2 Instrumentation}
+
+    Engines accept an {!instr} describing where to report: a metrics
+    registry (counted into per-domain shards — see {!P_obs.Metrics}), a
+    structured trace sink for lifecycle spans, and a progress callback.
+    {!no_instr}, the default, makes every instrumented point a no-op;
+    results are identical either way. *)
+
+type instr = {
+  metrics : P_obs.Metrics.t option;
+  sink : P_obs.Sink.t;
+  progress : (stats -> unit) option;
+      (** called roughly every [progress_every] transitions with the live
+          (mutable) stats *)
+  progress_every : int;
+}
+
+val no_instr : instr
+
+val instr :
+  ?metrics:P_obs.Metrics.t ->
+  ?sink:P_obs.Sink.t ->
+  ?progress:(stats -> unit) ->
+  ?progress_every:int ->
+  unit ->
+  instr
+
+(** Pre-resolved metric handles for one engine run. Metric names:
+    [checker.states], [checker.transitions], [checker.dedup_hits],
+    [checker.frontier_depth] (gauge, high-water), [checker.queue_len_hwm]
+    (gauge, high-water) — each labelled with [engine=<name>]. *)
+type meters = {
+  m_states : P_obs.Metrics.counter;
+  m_transitions : P_obs.Metrics.counter;
+  m_dedup_hits : P_obs.Metrics.counter;
+  m_frontier : P_obs.Metrics.gauge;
+  m_queue_hwm : P_obs.Metrics.gauge;
+}
+
+val meters : engine:string -> instr -> meters option
+val queue_hwm_of_config : P_semantics.Config.t -> float
+
+type ticker
+
+val ticker : instr -> stats -> ticker
+val tick : ticker -> unit
+
+val emit_run_span :
+  instr ->
+  engine:string ->
+  t0_us:float ->
+  stats:stats ->
+  (string * P_obs.Json.t) list ->
+  unit
+
 type counterexample = {
   error : P_semantics.Errors.t;
   trace : P_semantics.Trace.t;

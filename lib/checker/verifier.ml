@@ -31,9 +31,10 @@ let pp_report ppf r =
   match r.liveness with
   | None -> ()
   | Some res ->
-    Fmt.pf ppf "liveness: %d violation(s) over %d states%s@."
+    Fmt.pf ppf "liveness: %d violation(s) over %d states%s, %.3fs@."
       (List.length res.violations) res.explored_states
-      (if res.complete then "" else " (truncated)");
+      (if res.complete then "" else " (truncated)")
+      res.elapsed_s;
     List.iter
       (fun (v, w) ->
         Fmt.pf ppf "  %a@." Liveness.pp_violation v;
@@ -45,15 +46,16 @@ let pp_report ppf r =
 (** Verify a program: static checks, then delay-bounded safety search, then
     (if [liveness]) the fair-cycle liveness analysis. *)
 let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
-    ?liveness_max_states (program : P_syntax.Ast.program) : report =
+    ?liveness_max_states ?(instr = Search.no_instr)
+    (program : P_syntax.Ast.program) : report =
   let { P_static.Check.symtab; diagnostics } = P_static.Check.run program in
   if diagnostics <> [] then
     { static_diagnostics = diagnostics; safety = None; liveness = None }
   else
-    let safety = Delay_bounded.explore ~delay_bound ~max_states symtab in
+    let safety = Delay_bounded.explore ~delay_bound ~max_states ~instr symtab in
     let liveness_result =
       if liveness && safety.verdict = Search.No_error then
-        Some (Liveness.check ?max_states:liveness_max_states symtab)
+        Some (Liveness.check ?max_states:liveness_max_states ~instr symtab)
       else None
     in
     { static_diagnostics = []; safety = Some safety; liveness = liveness_result }

@@ -29,7 +29,26 @@ let handle t =
   | Some h -> h
   | None -> failwith "Skeleton: device not added yet"
 
-let driver ?(name = "p-driver") (t : t) : Os_events.driver =
+let driver ?(name = "p-driver") ?metrics (t : t) : Os_events.driver =
+  (* resolved once; the per-callback path is then a plain option match *)
+  let hmeters =
+    Option.map
+      (fun reg ->
+        ( P_obs.Metrics.counter reg "host.callbacks",
+          P_obs.Metrics.histogram reg "host.callback_s" ))
+      metrics
+  in
+  let timed_callback h event payload =
+    match hmeters with
+    | None -> Api.add_event t.runtime h event payload
+    | Some (m_calls, m_latency) ->
+      let span = P_obs.Mclock.start () in
+      Fun.protect
+        ~finally:(fun () ->
+          P_obs.Metrics.incr m_calls;
+          P_obs.Metrics.observe m_latency (P_obs.Mclock.elapsed_s span))
+        (fun () -> Api.add_event t.runtime h event payload)
+  in
   { Os_events.name;
     add_device =
       (fun () ->
@@ -40,7 +59,7 @@ let driver ?(name = "p-driver") (t : t) : Os_events.driver =
       (fun () ->
         match (t.handle, t.delete_event) with
         | Some h, Some ev ->
-          Api.add_event t.runtime h ev Rt_value.Null;
+          timed_callback h ev Rt_value.Null;
           t.handle <- None
         | Some _, None -> t.handle <- None
         | None, _ -> ());
@@ -51,4 +70,4 @@ let driver ?(name = "p-driver") (t : t) : Os_events.driver =
         | Some h -> (
           match t.translate os_event with
           | None -> ()
-          | Some (event, payload) -> Api.add_event t.runtime h event payload)) }
+          | Some (event, payload) -> timed_callback h event payload)) }

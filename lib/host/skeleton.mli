@@ -20,6 +20,8 @@ val handle : t -> int
 (** The machine handle of the attached device.
     @raise Failure before [add_device]. *)
 
-val driver : ?name:string -> t -> Os_events.driver
+val driver : ?name:string -> ?metrics:P_obs.Metrics.t -> t -> Os_events.driver
 (** The host-facing driver interface. Callbacks before [add_device] or
-    after [remove_device] are dropped, as in KMDF. *)
+    after [remove_device] are dropped, as in KMDF. With [metrics], every
+    dispatched callback counts into [host.callbacks] and records its
+    wall-clock latency in the [host.callback_s] histogram. *)

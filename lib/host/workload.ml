@@ -28,10 +28,9 @@ let run ?(rate_hz = 100) ?(events = 1000) ~(make_event : int -> Os_events.t)
   for i = 0 to events - 1 do
     Clock.schedule clock ~delay_us:((i + 1) * period_us) (fun () ->
         let ev = make_event i in
-        let t0 = Unix.gettimeofday () in
+        let span = P_obs.Mclock.start () in
         driver.Os_events.callback ev;
-        let t1 = Unix.gettimeofday () in
-        samples.(i) <- (t1 -. t0) *. 1e9)
+        samples.(i) <- Int64.to_float (P_obs.Mclock.elapsed_ns span))
   done;
   let dispatched = Clock.run clock in
   assert (dispatched = events);

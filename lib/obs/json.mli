@@ -1,0 +1,40 @@
+(** A minimal self-contained JSON tree, printer, and parser for the
+    observability layer: metrics dumps, Chrome trace_event files, and bench
+    result documents, plus the tests that read them back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. Non-finite floats print as [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering with a trailing newline, for files meant
+    to be read by humans as well as machines. *)
+
+val pp : t Fmt.t
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document. Raises {!Parse_error}. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+val path : t -> string list -> t option
+(** [path j ["a"; "b"]] is [j.a.b] when every step is an object field. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** Also accepts [Int] (JSON does not distinguish). *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

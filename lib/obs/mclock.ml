@@ -1,0 +1,24 @@
+(** The monotonic time base of the observability layer, replacing the
+    [Unix.gettimeofday] pairs that used to be scattered through the engines.
+    Wall-clock time can step backwards (NTP); CLOCK_MONOTONIC cannot, which
+    matters for elapsed-time accounting inside hours-long explorations. *)
+
+(* bechamel's C stub around clock_gettime(CLOCK_MONOTONIC), in ns *)
+let now_ns () : int64 = Monotonic_clock.now ()
+
+let now_us () : float = Int64.to_float (now_ns ()) /. 1e3
+
+(** An opaque starting point for elapsed-time measurement. *)
+type span = int64
+
+let start () : span = now_ns ()
+
+let elapsed_ns (t0 : span) : int64 = Int64.sub (now_ns ()) t0
+let elapsed_us (t0 : span) : float = Int64.to_float (elapsed_ns t0) /. 1e3
+let elapsed_s (t0 : span) : float = Int64.to_float (elapsed_ns t0) /. 1e9
+
+(** Time a thunk: [(result, elapsed seconds)]. *)
+let timed f =
+  let t0 = start () in
+  let r = f () in
+  (r, elapsed_s t0)

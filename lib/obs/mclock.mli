@@ -1,0 +1,19 @@
+(** Monotonic clock helper: the single time base for engine statistics,
+    trace timestamps, and latency histograms. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on CLOCK_MONOTONIC; meaningful only for differences. *)
+
+val now_us : unit -> float
+(** Same instant in microseconds (the Chrome trace_event unit). *)
+
+type span
+(** An opaque starting point for elapsed-time measurement. *)
+
+val start : unit -> span
+val elapsed_ns : span -> int64
+val elapsed_us : span -> float
+val elapsed_s : span -> float
+
+val timed : (unit -> 'a) -> 'a * float
+(** Run a thunk and return its result with the elapsed seconds. *)

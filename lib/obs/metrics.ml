@@ -1,0 +1,257 @@
+(** The metrics registry: named counters, gauges, and histograms with
+    labels, sharded per domain so the multicore explorer's workers never
+    contend on a cache line.
+
+    Shard discipline: each (metric, domain) pair owns a private cell.
+    Updates touch only the caller's own cell and take no lock; the one
+    synchronised operation is the first update from a new domain, which
+    registers its cell under the metric's mutex. Reads ([value], [snapshot],
+    [dump]) merge the cells: exact once the writing domains have joined
+    (the parallel explorer reads after [Domain.join]), monotonically
+    slightly stale while they are still running — fine for progress
+    heartbeats.
+
+    Merge rules: counters and histograms sum across shards; gauges take the
+    maximum, which makes them high-water marks under concurrency (the only
+    gauge semantics that merges meaningfully without a coordination
+    point — and exactly what queue-depth and frontier-depth tracking
+    want). *)
+
+(* One domain's shard of one metric. Counters use [count]; gauges use
+   [value]; histograms use [count]/[sum]/[max]/[buckets]. *)
+type cell = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmax : float;
+  mutable value : float;
+  buckets : int array;  (* one slot per upper bound, plus overflow *)
+}
+
+type kind = Counter | Gauge | Histogram
+
+type metric = {
+  name : string;
+  labels : (string * string) list;  (* sorted by key *)
+  kind : kind;
+  bounds : float array;  (* histogram bucket upper bounds; [||] otherwise *)
+  mutable cells : (int * cell) list;  (* domain id -> cell; prepend-only *)
+  lock : Mutex.t;
+}
+
+type t = {
+  table : (string * (string * string) list, metric) Hashtbl.t;
+  reg_lock : Mutex.t;
+}
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+let create () = { table = Hashtbl.create 64; reg_lock = Mutex.create () }
+
+(** Seconds-scale latency buckets, 1µs .. 10s. *)
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+
+let new_cell bounds =
+  { count = 0;
+    sum = 0.0;
+    vmax = neg_infinity;
+    value = 0.0;
+    buckets = Array.make (Array.length bounds + 1) 0 }
+
+(* Find or register a metric. Registration is idempotent: asking again with
+   the same name and labels returns the same metric, so engines can resolve
+   handles cheaply at [explore] entry and hot loops touch only cells. *)
+let intern (t : t) kind ?(labels = []) ?(buckets = default_buckets) name : metric =
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let key = (name, labels) in
+  Mutex.lock t.reg_lock;
+  let m =
+    match Hashtbl.find_opt t.table key with
+    | Some m ->
+      if m.kind <> kind then begin
+        Mutex.unlock t.reg_lock;
+        invalid_arg (Fmt.str "Metrics: %s re-registered with a different kind" name)
+      end;
+      m
+    | None ->
+      let m =
+        { name;
+          labels;
+          kind;
+          bounds = (match kind with Histogram -> buckets | _ -> [||]);
+          cells = [];
+          lock = Mutex.create () }
+      in
+      Hashtbl.replace t.table key m;
+      m
+  in
+  Mutex.unlock t.reg_lock;
+  m
+
+let counter t ?labels name : counter = intern t Counter ?labels name
+let gauge t ?labels name : gauge = intern t Gauge ?labels name
+
+let histogram t ?labels ?buckets name : histogram =
+  intern t Histogram ?labels ?buckets name
+
+(* The caller domain's cell, registering it on first use. The fast path is a
+   lock-free scan of the (short, prepend-only) shard list. *)
+let cell_for (m : metric) : cell =
+  let did = (Domain.self () :> int) in
+  let rec find = function
+    | [] -> None
+    | (d, c) :: rest -> if d = did then Some c else find rest
+  in
+  match find m.cells with
+  | Some c -> c
+  | None ->
+    Mutex.lock m.lock;
+    let c =
+      match find m.cells with
+      | Some c -> c
+      | None ->
+        let c = new_cell m.bounds in
+        m.cells <- (did, c) :: m.cells;
+        c
+    in
+    Mutex.unlock m.lock;
+    c
+
+(* ------------------------------------------------------------------ *)
+(* Updates (hot paths)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let incr (c : counter) =
+  let cell = cell_for c in
+  cell.count <- cell.count + 1
+
+let add (c : counter) n =
+  if n < 0 then invalid_arg "Metrics.add: counters only go up";
+  let cell = cell_for c in
+  cell.count <- cell.count + n
+
+let set (g : gauge) v =
+  let cell = cell_for g in
+  cell.value <- v
+
+let set_max (g : gauge) v =
+  let cell = cell_for g in
+  if v > cell.value then cell.value <- v
+
+let observe (h : histogram) v =
+  let cell = cell_for h in
+  cell.count <- cell.count + 1;
+  cell.sum <- cell.sum +. v;
+  if v > cell.vmax then cell.vmax <- v;
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  cell.buckets.(i) <- cell.buckets.(i) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let counter_value (c : counter) : int =
+  List.fold_left (fun acc (_, cell) -> acc + cell.count) 0 c.cells
+
+let gauge_value (g : gauge) : float =
+  match g.cells with
+  | [] -> 0.0
+  | cells -> List.fold_left (fun acc (_, cell) -> Float.max acc cell.value) neg_infinity cells
+
+type histogram_summary = {
+  h_count : int;
+  h_sum : float;
+  h_max : float;  (** largest observation; [nan] when empty *)
+  h_buckets : (float * int) list;
+      (** (upper bound, observations ≤ bound), non-cumulative; the final
+          entry has bound [infinity] *)
+}
+
+let histogram_summary (h : histogram) : histogram_summary =
+  let n = Array.length h.bounds in
+  let buckets = Array.make (n + 1) 0 in
+  let count = ref 0 and sum = ref 0.0 and vmax = ref neg_infinity in
+  List.iter
+    (fun (_, cell) ->
+      count := !count + cell.count;
+      sum := !sum +. cell.sum;
+      if cell.vmax > !vmax then vmax := cell.vmax;
+      Array.iteri (fun i b -> buckets.(i) <- buckets.(i) + b) cell.buckets)
+    h.cells;
+  { h_count = !count;
+    h_sum = !sum;
+    h_max = (if !count = 0 then Float.nan else !vmax);
+    h_buckets =
+      List.init (n + 1) (fun i ->
+          ((if i < n then h.bounds.(i) else infinity), buckets.(i))) }
+
+let shard_count (m : metric) = List.length m.cells
+
+type summary =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_summary
+
+let metric_summary (m : metric) : summary =
+  match m.kind with
+  | Counter -> Counter_v (counter_value m)
+  | Gauge -> Gauge_v (gauge_value m)
+  | Histogram -> Histogram_v (histogram_summary m)
+
+let snapshot (t : t) : (string * (string * string) list * summary) list =
+  Mutex.lock t.reg_lock;
+  let metrics = Hashtbl.fold (fun _ m acc -> m :: acc) t.table [] in
+  Mutex.unlock t.reg_lock;
+  metrics
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+  |> List.map (fun m -> (m.name, m.labels, metric_summary m))
+
+let json_of_summary = function
+  | Counter_v n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+  | Gauge_v v -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float v) ]
+  | Histogram_v h ->
+    Json.Obj
+      [ ("type", Json.String "histogram");
+        ("count", Json.Int h.h_count);
+        ("sum", Json.Float h.h_sum);
+        ("max", if h.h_count = 0 then Json.Null else Json.Float h.h_max);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (ub, n) ->
+                 Json.Obj
+                   [ ( "le",
+                       if ub = infinity then Json.String "+inf" else Json.Float ub );
+                     ("count", Json.Int n) ])
+               h.h_buckets) ) ]
+
+let dump (t : t) : Json.t =
+  Json.List
+    (List.map
+       (fun (name, labels, s) ->
+         let base =
+           [ ("name", Json.String name) ]
+           @ (if labels = [] then []
+              else
+                [ ( "labels",
+                    Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels) ) ])
+         in
+         match json_of_summary s with
+         | Json.Obj fields -> Json.Obj (base @ fields)
+         | j -> Json.Obj (base @ [ ("value", j) ]))
+       (snapshot t))
+
+(** Look a counter total up by name across all label sets (sum). *)
+let counter_total (t : t) name : int =
+  Mutex.lock t.reg_lock;
+  let total =
+    Hashtbl.fold
+      (fun (n, _) m acc -> if String.equal n name then acc + counter_value m else acc)
+      t.table 0
+  in
+  Mutex.unlock t.reg_lock;
+  total

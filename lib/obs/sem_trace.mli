@@ -1,0 +1,28 @@
+(** Serializing checker traces ({!P_semantics.Trace}) to a structured sink:
+    one instant event per item on the lane of its principal machine,
+    timestamped by trace position (logical traces — position is time), so a
+    counterexample opens in Perfetto with one lane per machine. *)
+
+val cat : string
+(** The Chrome-event category of P trace items ("ptrace"). *)
+
+val encode : P_semantics.Trace.item -> string * int * (string * Json.t) list
+(** [(name, principal machine id, args)] for one item; the args carry every
+    field so an item can be reconstructed from the JSON alone. *)
+
+val emit : Sink.t -> ?t0_us:float -> P_semantics.Trace.t -> unit
+(** Emit a whole trace; item [i] lands at [t0_us + i] microseconds. *)
+
+val key : P_semantics.Trace.item -> string
+(** A canonical comparison key — what {!key_of_args} reconstructs. *)
+
+val key_of_args : Json.t -> string option
+(** Rebuild a key from the [args] object of a parsed trace event; [None]
+    when the event is not a P trace item. *)
+
+val observable_keys : P_semantics.Trace.t -> string list
+(** Keys of the externally observable items, in order. *)
+
+val observable_keys_of_json : Json.t -> string list
+(** The same keys extracted from a parsed Chrome trace document, in
+    timestamp order — the round-trip inverse of {!emit} ∘ {!observable}. *)

@@ -1,0 +1,96 @@
+(** Structured trace sinks. Two on-disk formats share one emit API:
+
+    - [chrome]: the Chrome [trace_event] JSON format — an object with a
+      ["traceEvents"] array — loadable in chrome://tracing and Perfetto.
+      Events are streamed as written; [close] finishes the document.
+    - [jsonl]: one JSON object per line, for ad-hoc tooling (jq etc.).
+
+    The default sink is [null]: every emit is a no-op and [with_span] calls
+    its thunk directly, without even reading the clock, so instrumented code
+    paths cost nothing when tracing is off. *)
+
+type arg = string * Json.t
+
+type chrome = { c_oc : out_channel; mutable c_first : bool; mutable c_closed : bool }
+type jsonl = { j_oc : out_channel; mutable j_closed : bool }
+
+type t = Null | Chrome of chrome | Jsonl of jsonl
+
+let null = Null
+
+let enabled = function Null -> false | Chrome _ | Jsonl _ -> true
+
+(** The process id recorded on events; trace viewers group by it. *)
+let pid = 1
+
+let chrome oc =
+  output_string oc "{\"traceEvents\":[";
+  Chrome { c_oc = oc; c_first = true; c_closed = false }
+
+let jsonl oc = Jsonl { j_oc = oc; j_closed = false }
+
+(* One trace_event record. [ph] is the Chrome phase letter: "i" instant,
+   "X" complete (with dur), "C" counter, "M" metadata. *)
+let event_json ~name ~cat ~ph ~ts_us ?dur_us ?(tid = 0) ?(args = []) () : Json.t =
+  Json.Obj
+    ([ ("name", Json.String name);
+       ("cat", Json.String cat);
+       ("ph", Json.String ph);
+       ("ts", Json.Float ts_us);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid) ]
+    @ (match dur_us with None -> [] | Some d -> [ ("dur", Json.Float d) ])
+    @ (if ph = "i" then [ ("s", Json.String "t") ] else [])
+    @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let emit t j =
+  match t with
+  | Null -> ()
+  | Chrome c ->
+    if c.c_closed then invalid_arg "Sink: emit after close";
+    if c.c_first then c.c_first <- false else output_char c.c_oc ',';
+    output_string c.c_oc (Json.to_string j);
+    output_char c.c_oc '\n'
+  | Jsonl s ->
+    if s.j_closed then invalid_arg "Sink: emit after close";
+    output_string s.j_oc (Json.to_string j);
+    output_char s.j_oc '\n'
+
+let instant t ?(cat = "event") ?tid ?args ~name ~ts_us () =
+  if enabled t then emit t (event_json ~name ~cat ~ph:"i" ~ts_us ?tid ?args ())
+
+let complete t ?(cat = "span") ?tid ?args ~name ~ts_us ~dur_us () =
+  if enabled t then emit t (event_json ~name ~cat ~ph:"X" ~ts_us ~dur_us ?tid ?args ())
+
+let counter t ?(cat = "metric") ?tid ~name ~ts_us ~values () =
+  if enabled t then
+    emit t
+      (event_json ~name ~cat ~ph:"C" ~ts_us ?tid
+         ~args:(List.map (fun (k, v) -> (k, Json.Float v)) values)
+         ())
+
+(** Time a thunk and record it as a complete span. The [Null] sink runs the
+    thunk directly without touching the clock. *)
+let with_span t ?cat ?tid ?(args = []) ~name f =
+  match t with
+  | Null -> f ()
+  | _ ->
+    let t0 = Mclock.now_us () in
+    let finally () = complete t ?cat ?tid ~args ~name ~ts_us:t0 ~dur_us:(Mclock.now_us () -. t0) () in
+    Fun.protect ~finally f
+
+(** Finish the document (chrome: close the JSON array and object) and flush.
+    The underlying channel stays open — the opener closes it. *)
+let close = function
+  | Null -> ()
+  | Chrome c ->
+    if not c.c_closed then begin
+      c.c_closed <- true;
+      output_string c.c_oc "],\"displayTimeUnit\":\"ms\"}\n";
+      flush c.c_oc
+    end
+  | Jsonl s ->
+    if not s.j_closed then begin
+      s.j_closed <- true;
+      flush s.j_oc
+    end

@@ -1,0 +1,42 @@
+(** Structured trace sinks: Chrome [trace_event] JSON (chrome://tracing,
+    Perfetto) and JSONL. The default {!null} sink makes every emit a no-op
+    and {!with_span} call its thunk directly — instrumentation is free when
+    tracing is off. *)
+
+type arg = string * Json.t
+
+type t
+
+val null : t
+val enabled : t -> bool
+
+val chrome : out_channel -> t
+(** Start a [{"traceEvents":[…]}] document on the channel. Events stream as
+    emitted; call {!close} to finish the document. *)
+
+val jsonl : out_channel -> t
+(** One JSON object per line. *)
+
+val instant :
+  t -> ?cat:string -> ?tid:int -> ?args:arg list -> name:string -> ts_us:float ->
+  unit -> unit
+(** A point event ([ph:"i"], thread scope). Timestamps are microseconds. *)
+
+val complete :
+  t -> ?cat:string -> ?tid:int -> ?args:arg list -> name:string -> ts_us:float ->
+  dur_us:float -> unit -> unit
+(** A span with an explicit duration ([ph:"X"]). *)
+
+val counter :
+  t -> ?cat:string -> ?tid:int -> name:string -> ts_us:float ->
+  values:(string * float) list -> unit -> unit
+(** A counter sample ([ph:"C"]); viewers chart each key as a series. *)
+
+val with_span :
+  t -> ?cat:string -> ?tid:int -> ?args:arg list -> name:string -> (unit -> 'a) -> 'a
+(** Time a thunk on the monotonic clock and record it as a complete span
+    (even if it raises). On {!null}, runs the thunk without clock reads. *)
+
+val close : t -> unit
+(** Finish the document and flush. The channel itself stays open; whoever
+    opened it closes it. Idempotent. *)

@@ -16,6 +16,8 @@ let register_foreign = Exec.register_foreign
 
 let set_trace_hook (rt : t) hook = rt.Exec.trace_hook <- hook
 
+let set_metrics = Exec.set_metrics
+
 (** Create (and start) an instance of a machine type by name. Returns its
     handle. The entry statement of the initial state runs before this
     returns, per run-to-completion. *)

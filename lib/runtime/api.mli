@@ -24,6 +24,11 @@ val register_foreign : t -> string -> Exec.foreign_fn -> unit
 val set_trace_hook : t -> (Rt_trace.item -> unit) option -> unit
 (** Observe creations, sends, dequeues, state entries, and deletions. *)
 
+val set_metrics : t -> P_obs.Metrics.t option -> unit
+(** Count [runtime.sends], [runtime.dequeues], [runtime.creates] and track
+    the [runtime.queue_len_hwm] inbox high-water mark in the given
+    registry; [None] (the initial state) turns metrics off. *)
+
 val create_machine : t -> string -> int
 (** Create and start an instance of the named machine type; returns its
     handle. The entry statement of its initial state has completed when

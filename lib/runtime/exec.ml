@@ -26,6 +26,17 @@ let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
 
 type foreign_fn = Context.t -> Rt_value.t list -> Rt_value.t
 
+(** Metric handles resolved once in {!set_metrics}: sends, dequeues and
+    machine creations as counters, plus the longest inbox ever seen.
+    Updated under the runtime lock the bookkeeping already holds, so the
+    hot path gains no extra synchronization. *)
+type rt_meters = {
+  rm_sends : P_obs.Metrics.counter;  (** [runtime.sends] *)
+  rm_dequeues : P_obs.Metrics.counter;  (** [runtime.dequeues] *)
+  rm_creates : P_obs.Metrics.counter;  (** [runtime.creates] *)
+  rm_queue_hwm : P_obs.Metrics.gauge;  (** [runtime.queue_len_hwm] *)
+}
+
 type t = {
   driver : Tables.driver;
   instances : (int, Context.t) Hashtbl.t;
@@ -33,6 +44,7 @@ type t = {
   foreigns : (string, foreign_fn) Hashtbl.t;
   lock : Mutex.t;
   mutable trace_hook : (Rt_trace.item -> unit) option;
+  mutable meters : rt_meters option;
 }
 
 let create (driver : Tables.driver) : t =
@@ -41,7 +53,19 @@ let create (driver : Tables.driver) : t =
     next_handle = 0;
     foreigns = Hashtbl.create 16;
     lock = Mutex.create ();
-    trace_hook = None }
+    trace_hook = None;
+    meters = None }
+
+(** Point the runtime at a metrics registry ([None] turns metrics off). *)
+let set_metrics (rt : t) (reg : P_obs.Metrics.t option) : unit =
+  rt.meters <-
+    Option.map
+      (fun reg ->
+        { rm_sends = P_obs.Metrics.counter reg "runtime.sends";
+          rm_dequeues = P_obs.Metrics.counter reg "runtime.dequeues";
+          rm_creates = P_obs.Metrics.counter reg "runtime.creates";
+          rm_queue_hwm = P_obs.Metrics.gauge reg "runtime.queue_len_hwm" })
+      reg
 
 let emit rt item = match rt.trace_hook with None -> () | Some f -> f item
 
@@ -121,6 +145,9 @@ let rec run_machine rt (ctx : Context.t) : unit =
       match entry with
       | None -> continue := false
       | Some (e, v) ->
+        (match rt.meters with
+        | None -> ()
+        | Some m -> P_obs.Metrics.incr m.rm_dequeues);
         emit rt (Rt_trace.Dequeued { mid = ctx.self; event = event_name rt e });
         ctx.msg <- Some e;
         ctx.arg <- v;
@@ -276,6 +303,9 @@ and create_instance rt ~creator ty : Context.t =
         Hashtbl.replace rt.instances handle ctx;
         ctx)
   in
+  (match rt.meters with
+  | None -> ()
+  | Some m -> P_obs.Metrics.incr m.rm_creates);
   emit rt
     (Rt_trace.Created
        { creator; created = ctx.Context.self; kind = ctx.Context.table.mt_name });
@@ -293,6 +323,12 @@ and deliver rt ~src dst e v =
         | None -> None
         | Some target ->
           Context.enqueue target e v;
+          (match rt.meters with
+          | None -> ()
+          | Some m ->
+            P_obs.Metrics.incr m.rm_sends;
+            P_obs.Metrics.set_max m.rm_queue_hwm
+              (float_of_int (List.length target.Context.inbox)));
           Some target)
   in
   match target with

@@ -16,6 +16,16 @@ val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 type foreign_fn = Context.t -> Rt_value.t list -> Rt_value.t
 
+(** Metric handles resolved once by {!set_metrics}: [runtime.sends],
+    [runtime.dequeues], [runtime.creates] counters and the
+    [runtime.queue_len_hwm] inbox high-water gauge. *)
+type rt_meters = {
+  rm_sends : P_obs.Metrics.counter;
+  rm_dequeues : P_obs.Metrics.counter;
+  rm_creates : P_obs.Metrics.counter;
+  rm_queue_hwm : P_obs.Metrics.gauge;
+}
+
 type t = {
   driver : Tables.driver;
   instances : (int, Context.t) Hashtbl.t;
@@ -23,9 +33,15 @@ type t = {
   foreigns : (string, foreign_fn) Hashtbl.t;
   lock : Mutex.t;
   mutable trace_hook : (Rt_trace.item -> unit) option;
+  mutable meters : rt_meters option;
 }
 
 val create : Tables.driver -> t
+
+(** Point the runtime at a metrics registry; [None] (the initial state)
+    turns metrics off and makes every instrumented point a cheap
+    option-match. *)
+val set_metrics : t -> P_obs.Metrics.t option -> unit
 val register_foreign : t -> string -> foreign_fn -> unit
 val find_instance : t -> int -> Context.t option
 

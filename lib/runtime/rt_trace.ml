@@ -54,3 +54,57 @@ let of_semantics_trace (t : P_semantics.Trace.t) : item list =
 (** Keep only the comparable kinds of a runtime trace (drop state entries). *)
 let observable (items : item list) : item list =
   List.filter (function Entered _ -> false | _ -> true) items
+
+(* ------------------------------------------------------------------ *)
+(* Structured trace output                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Encode one runtime item for the trace sink: event name, the machine it
+    concerns (the Chrome "tid"), and structured args. *)
+let encode (item : item) : string * int * (string * P_obs.Json.t) list =
+  let open P_obs.Json in
+  match item with
+  | Created { creator; created; kind } ->
+    ( "created",
+      created,
+      [ ("kind", String "created");
+        ( "creator",
+          match creator with None -> Null | Some c -> Int c );
+        ("created", Int created);
+        ("machine", String kind) ] )
+  | Sent { src; dst; event; payload } ->
+    ( "sent",
+      src,
+      [ ("kind", String "sent");
+        ("src", Int src);
+        ("dst", Int dst);
+        ("event", String event);
+        ("payload", String payload) ] )
+  | Dequeued { mid; event } ->
+    ( "dequeued",
+      mid,
+      [ ("kind", String "dequeued"); ("mid", Int mid); ("event", String event) ] )
+  | Entered { mid; state } ->
+    ( "entered",
+      mid,
+      [ ("kind", String "entered"); ("mid", Int mid); ("state", String state) ] )
+  | Deleted { mid } ->
+    ("deleted", mid, [ ("kind", String "deleted"); ("mid", Int mid) ])
+
+let cat = "rttrace"
+
+(** A trace hook (for {!P_runtime.Api.set_trace_hook} — [Api.set_trace_hook
+    rt (Some (obs_hook sink))]) that forwards every runtime item to a
+    structured trace sink as a Chrome instant event, timestamped with the
+    monotonic clock relative to [t0_us] (default: hook creation time). The
+    runtime executes in real time, so unlike checker traces these
+    timestamps are meaningful durations. *)
+let obs_hook ?t0_us (sink : P_obs.Sink.t) : item -> unit =
+  let t0_us = match t0_us with Some t -> t | None -> P_obs.Mclock.now_us () in
+  fun item ->
+    if P_obs.Sink.enabled sink then begin
+      let name, tid, args = encode item in
+      P_obs.Sink.instant sink ~cat ~name ~tid
+        ~ts_us:(P_obs.Mclock.now_us () -. t0_us)
+        ~args ()
+    end

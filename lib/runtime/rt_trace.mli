@@ -18,3 +18,16 @@ val of_semantics_trace : P_semantics.Trace.t -> item list
 
 val observable : item list -> item list
 (** Keep only the comparable kinds of a runtime trace. *)
+
+val encode : item -> string * int * (string * P_obs.Json.t) list
+(** Structured encoding of one item for the trace sink: event name, the
+    machine concerned (the Chrome "tid"), and args including a ["kind"]. *)
+
+val cat : string
+(** The Chrome category runtime items are tagged with, ["rttrace"]. *)
+
+val obs_hook : ?t0_us:float -> P_obs.Sink.t -> item -> unit
+(** A trace hook forwarding every item to a structured sink as a Chrome
+    instant event, timestamped on the monotonic clock relative to [t0_us]
+    (default: hook creation time). Use with
+    [Api.set_trace_hook rt (Some (Rt_trace.obs_hook sink))]. *)

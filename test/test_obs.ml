@@ -1,0 +1,337 @@
+(* Tests for the observability subsystem (P_obs): the JSON tree and parser,
+   the sharded metrics registry, the Chrome trace sinks, the checker/runtime
+   instrumentation, and the --stats-json report schema. *)
+
+open P_checker
+module Json = P_obs.Json
+module Metrics = P_obs.Metrics
+module Sink = P_obs.Sink
+module Mclock = P_obs.Mclock
+module Sem_trace = P_obs.Sem_trace
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let tab_of p = P_static.Check.run_exn p
+
+let with_temp_file f =
+  let path = Filename.temp_file "p_obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+(* ---------------- JSON ---------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [ ("null", Json.Null);
+        ("t", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("tricky", Json.String "a\"b\\c\nd\te\x01f");
+        ("unicode", Json.String "état → 機械");
+        ("list", Json.List [ Json.Int 1; Json.Obj []; Json.List [] ]) ]
+  in
+  let reparsed = Json.of_string (Json.to_string doc) in
+  check bool_t "compact round-trips" true (reparsed = doc);
+  let reparsed = Json.of_string (Json.to_string_pretty doc) in
+  check bool_t "pretty round-trips" true (reparsed = doc)
+
+let test_json_parser_details () =
+  (* \uXXXX escapes, surrogate pairs, numbers *)
+  check bool_t "escape" true (Json.of_string {|"é"|} = Json.String "é");
+  check bool_t "surrogate pair" true
+    (Json.of_string {|"😀"|} = Json.String "😀");
+  check bool_t "float" true (Json.of_string "1e3" = Json.Float 1000.0);
+  check bool_t "int" true (Json.of_string "-17" = Json.Int (-17));
+  (* non-finite floats degrade to null rather than emitting invalid JSON *)
+  check bool_t "nan prints null" true
+    (Json.to_string (Json.Float Float.nan) = "null");
+  check bool_t "rejects trailing" true
+    (match Json.of_string "{} x" with
+    | exception Json.Parse_error _ -> true
+    | _ -> false)
+
+(* ---------------- metrics registry ---------------- *)
+
+let test_metrics_semantics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "test.counter" in
+  Metrics.incr c;
+  Metrics.add c 9;
+  check int_t "counter sums" 10 (Metrics.counter_value c);
+  (* find-or-register: the same (name, labels) is the same metric *)
+  Metrics.incr (Metrics.counter reg "test.counter");
+  check int_t "interned" 11 (Metrics.counter_value c);
+  check bool_t "negative add rejected" true
+    (match Metrics.add c (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* labels distinguish *)
+  let c_a = Metrics.counter reg ~labels:[ ("engine", "a") ] "test.counter" in
+  Metrics.incr c_a;
+  check int_t "labelled is separate" 1 (Metrics.counter_value c_a);
+  check int_t "counter_total sums label sets" 12
+    (Metrics.counter_total reg "test.counter");
+  (* gauges are high-water marks *)
+  let g = Metrics.gauge reg "test.gauge" in
+  Metrics.set g 5.0;
+  Metrics.set_max g 3.0;
+  check bool_t "set_max keeps max" true (Metrics.gauge_value g = 5.0);
+  Metrics.set_max g 8.0;
+  check bool_t "set_max raises" true (Metrics.gauge_value g = 8.0);
+  (* histograms *)
+  let h = Metrics.histogram reg ~buckets:[| 0.1; 1.0 |] "test.hist" in
+  List.iter (Metrics.observe h) [ 0.05; 0.5; 0.5; 5.0 ];
+  let s = Metrics.histogram_summary h in
+  check int_t "hist count" 4 s.h_count;
+  check bool_t "hist max" true (s.h_max = 5.0);
+  check bool_t "hist buckets" true
+    (List.map snd s.h_buckets = [ 1; 2; 1 ]);
+  (* the dump is valid JSON and mentions every metric *)
+  let dump = Json.of_string (Json.to_string (Metrics.dump reg)) in
+  match Json.to_list dump with
+  | Some items ->
+    check int_t "dump has all metrics" 4 (List.length items)
+  | None -> Alcotest.fail "dump is not a list"
+
+(* The tentpole concurrency claim: per-domain shards merged on read equal
+   the sequential totals. Run the parallel engine with a registry attached
+   and compare the worker-side expansion counter with the sequential
+   transition count. *)
+let test_shard_merge_equals_sequential () =
+  let tab = tab_of (P_examples_lib.Elevator.program ()) in
+  let seq = Delay_bounded.explore ~delay_bound:2 ~max_states:200_000 tab in
+  let reg = Metrics.create () in
+  let instr = Search.instr ~metrics:reg () in
+  let par =
+    Parallel.explore ~domains:3 ~spawn_threshold:1 ~delay_bound:2
+      ~max_states:200_000 ~instr tab
+  in
+  check int_t "parallel agrees with sequential" seq.stats.states par.stats.states;
+  check int_t "expansions merged across shards = sequential transitions"
+    seq.stats.transitions
+    (Metrics.counter_total reg "checker.expansions");
+  check int_t "merged states counter = states" par.stats.states
+    (Metrics.counter_total reg "checker.states");
+  check int_t "merged transitions counter = transitions" par.stats.transitions
+    (Metrics.counter_total reg "checker.transitions")
+
+(* ---------------- instrumentation is invisible in results ------------- *)
+
+let test_instrumented_results_identical () =
+  let tab = tab_of (P_examples_lib.Elevator.buggy_program ()) in
+  let reg = Metrics.create () in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let sink = Sink.chrome oc in
+      let instr = Search.instr ~metrics:reg ~sink () in
+      let plain = Delay_bounded.explore ~delay_bound:2 tab in
+      let instrumented = Delay_bounded.explore ~delay_bound:2 ~instr tab in
+      Sink.close sink;
+      close_out oc;
+      check int_t "states" plain.stats.states instrumented.stats.states;
+      check int_t "transitions" plain.stats.transitions
+        instrumented.stats.transitions;
+      check bool_t "same verdict" true
+        (match (plain.verdict, instrumented.verdict) with
+        | Search.Error_found a, Search.Error_found b ->
+          a.error = b.error && a.trace = b.trace && a.depth = b.depth
+        | Search.No_error, Search.No_error -> true
+        | _ -> false);
+      (* the metrics agree with the stats *)
+      check int_t "metrics states" plain.stats.states
+        (Metrics.counter_total reg "checker.states"))
+
+let test_progress_callback_fires () =
+  let tab = tab_of (P_examples_lib.Elevator.program ()) in
+  let fired = ref 0 in
+  let last_states = ref 0 in
+  let instr =
+    Search.instr
+      ~progress:(fun s ->
+        incr fired;
+        last_states := s.Search.states)
+      ~progress_every:100 ()
+  in
+  let r = Delay_bounded.explore ~delay_bound:2 ~instr tab in
+  check bool_t "fired" true (!fired > 0);
+  check bool_t "saw live stats" true
+    (!last_states > 0 && !last_states <= r.stats.states)
+
+(* ---------------- trace sinks ---------------- *)
+
+(* A known counterexample round-trips through the Chrome JSON: the
+   observable items recovered from the parsed file equal the observable
+   items of the trace itself, in order. *)
+let test_chrome_trace_roundtrip () =
+  let tab = tab_of (P_examples_lib.Elevator.buggy_program ()) in
+  let r = Delay_bounded.explore ~delay_bound:2 tab in
+  let ce =
+    match r.verdict with
+    | Search.Error_found ce -> ce
+    | Search.No_error -> Alcotest.fail "elevator-buggy must fail"
+  in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let sink = Sink.chrome oc in
+      Sem_trace.emit sink ce.trace;
+      Sink.close sink;
+      close_out oc;
+      let doc = Json.of_string (read_file path) in
+      (* well-formed Chrome trace: a traceEvents array of objects *)
+      (match Json.member "traceEvents" doc with
+      | Some (Json.List evs) ->
+        check bool_t "has events" true (List.length evs > 0)
+      | _ -> Alcotest.fail "no traceEvents array");
+      let expected = Sem_trace.observable_keys ce.trace in
+      let got = Sem_trace.observable_keys_of_json doc in
+      check bool_t "at least one observable item" true (expected <> []);
+      check bool_t "observable items round-trip in order" true (expected = got))
+
+let test_jsonl_sink_lines_parse () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let sink = Sink.jsonl oc in
+      Sink.instant sink ~name:"a" ~ts_us:1.0 ();
+      Sink.complete sink ~cat:"engine" ~name:"b" ~ts_us:0.0 ~dur_us:10.0
+        ~args:[ ("k", Json.Int 1) ] ();
+      Sink.counter sink ~name:"c" ~ts_us:2.0 ~values:[ ("v", 3.0) ] ();
+      Sink.close sink;
+      close_out oc;
+      let lines =
+        read_file path |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      check int_t "three lines" 3 (List.length lines);
+      List.iter
+        (fun l ->
+          match Json.of_string l with
+          | Json.Obj fields ->
+            check bool_t "has ph" true (List.mem_assoc "ph" fields)
+          | _ -> Alcotest.fail "line is not an object")
+        lines)
+
+let test_null_sink_disabled () =
+  check bool_t "null sink disabled" false (Sink.enabled Sink.null);
+  (* with_span on the null sink runs the thunk and nothing else *)
+  check int_t "with_span passthrough" 7
+    (Sink.with_span Sink.null ~name:"x" (fun () -> 7))
+
+(* ---------------- the --stats-json document ---------------- *)
+
+let test_stats_json_states_field () =
+  let report = Verifier.verify ~delay_bound:2 (P_examples_lib.Elevator.program ()) in
+  let safety = Option.get report.safety in
+  let doc = Json.of_string (Json.to_string (Obs_report.json_of_report report)) in
+  check bool_t "states field matches Search.result" true
+    (Json.path doc [ "safety"; "stats"; "states" ]
+    = Some (Json.Int safety.stats.states));
+  check bool_t "clean" true (Json.member "clean" doc = Some (Json.Bool true))
+
+(* ---------------- runtime and host metrics ---------------- *)
+
+let test_runtime_metrics () =
+  let { P_compile.Compile.driver; _ } =
+    P_compile.Compile.compile (P_examples_lib.Pingpong.program ~rounds:3 ())
+  in
+  let rt = P_runtime.Api.create driver in
+  let reg = Metrics.create () in
+  P_runtime.Api.set_metrics rt (Some reg);
+  ignore (P_runtime.Api.create_machine rt "Pinger");
+  (* 3 pings + 3 pongs + 1 done, as in the runtime trace test *)
+  check int_t "runtime.sends" 7 (Metrics.counter_total reg "runtime.sends");
+  check int_t "runtime.creates" 2 (Metrics.counter_total reg "runtime.creates");
+  check bool_t "runtime.dequeues counted" true
+    (Metrics.counter_total reg "runtime.dequeues" > 0)
+
+let test_runtime_trace_sink () =
+  let { P_compile.Compile.driver; _ } =
+    P_compile.Compile.compile (P_examples_lib.Pingpong.program ~rounds:2 ())
+  in
+  let rt = P_runtime.Api.create driver in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let sink = Sink.chrome oc in
+      P_runtime.Api.set_trace_hook rt (Some (P_runtime.Rt_trace.obs_hook sink));
+      ignore (P_runtime.Api.create_machine rt "Pinger");
+      Sink.close sink;
+      close_out oc;
+      let doc = Json.of_string (read_file path) in
+      match Json.member "traceEvents" doc with
+      | Some (Json.List evs) ->
+        let sends =
+          List.filter
+            (fun e ->
+              Json.path e [ "args"; "kind" ] = Some (Json.String "sent"))
+            evs
+        in
+        check int_t "runtime sends in trace" 5 (List.length sends)
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_host_callback_histogram () =
+  let device = P_examples_lib.Switch_led.new_device () in
+  let { P_compile.Compile.driver; _ } =
+    P_compile.Compile.compile ~name:"switchled" (P_examples_lib.Switch_led.program ())
+  in
+  let rt = P_runtime.Api.create driver in
+  P_runtime.Api.register_foreign rt "set_led" (fun _ctx args ->
+      (match args with
+      | [ P_runtime.Rt_value.Bool on ] -> P_examples_lib.Switch_led.set_led device on
+      | _ -> invalid_arg "set_led");
+      P_runtime.Rt_value.Null);
+  let sk =
+    P_host.Skeleton.attach rt ~main_machine:"SwitchLed" ~translate:(function
+      | P_host.Os_events.Interrupt { line = "switch"; data } ->
+        Some
+          ((if data <> 0 then "SwitchOn" else "SwitchOff"), P_runtime.Rt_value.Null)
+      | _ -> None)
+  in
+  let reg = Metrics.create () in
+  let d = P_host.Skeleton.driver ~metrics:reg sk in
+  d.P_host.Os_events.add_device ();
+  for i = 1 to 10 do
+    d.P_host.Os_events.callback
+      (P_host.Os_events.Interrupt { line = "switch"; data = i land 1 })
+  done;
+  check int_t "host.callbacks" 10 (Metrics.counter_total reg "host.callbacks");
+  let h = Metrics.histogram reg "host.callback_s" in
+  let s = Metrics.histogram_summary h in
+  check int_t "latency observations" 10 s.h_count;
+  check bool_t "latencies positive" true (s.h_sum > 0.0)
+
+(* ---------------- the monotonic clock ---------------- *)
+
+let test_mclock_monotonic () =
+  let a = Mclock.now_ns () in
+  let span = Mclock.start () in
+  let b = Mclock.now_ns () in
+  check bool_t "non-decreasing" true (Int64.compare b a >= 0);
+  check bool_t "elapsed non-negative" true (Mclock.elapsed_s span >= 0.0);
+  let x, dt = Mclock.timed (fun () -> 21 * 2) in
+  check int_t "timed result" 42 x;
+  check bool_t "timed duration" true (dt >= 0.0)
+
+let suite =
+  [ Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: parser details" `Quick test_json_parser_details;
+    Alcotest.test_case "metrics: semantics" `Quick test_metrics_semantics;
+    Alcotest.test_case "metrics: shard merge = sequential" `Quick
+      test_shard_merge_equals_sequential;
+    Alcotest.test_case "instr: results identical" `Quick
+      test_instrumented_results_identical;
+    Alcotest.test_case "instr: progress fires" `Quick test_progress_callback_fires;
+    Alcotest.test_case "sink: chrome trace round-trips" `Quick
+      test_chrome_trace_roundtrip;
+    Alcotest.test_case "sink: jsonl lines parse" `Quick test_jsonl_sink_lines_parse;
+    Alcotest.test_case "sink: null is free" `Quick test_null_sink_disabled;
+    Alcotest.test_case "report: stats-json states field" `Quick
+      test_stats_json_states_field;
+    Alcotest.test_case "runtime: metrics counters" `Quick test_runtime_metrics;
+    Alcotest.test_case "runtime: trace sink" `Quick test_runtime_trace_sink;
+    Alcotest.test_case "host: callback histogram" `Quick
+      test_host_callback_histogram;
+    Alcotest.test_case "mclock: monotonic" `Quick test_mclock_monotonic ]
