@@ -8,6 +8,8 @@
            dune exec bench/main.exe -- fig8    (Figure 8 table)
            dune exec bench/main.exe -- overhead (section 4.1 comparison)
            dune exec bench/main.exe -- ablation (design-choice ablations)
+           dune exec bench/main.exe -- digest-throughput
+                                               (incremental vs full fingerprints)
            dune exec bench/main.exe -- micro   (Bechamel micro-benchmarks)
 
    Absolute numbers will differ from the paper's 2013 testbed (Zing on a
@@ -429,6 +431,81 @@ let parallel_scaling ?(max_states = 120_000) () =
          ("sequential", json_of_stats seq.stats) ])
 
 (* ------------------------------------------------------------------ *)
+(* Digest throughput: incremental vs full state fingerprinting         *)
+(* ------------------------------------------------------------------ *)
+
+let digest_throughput ?(max_states = 30_000) ?(rounds = 5)
+    ?(explore_max = 120_000) () =
+  line "== Digest throughput: incremental per-machine cache vs full re-encoding ==";
+  line "   (the seen-set key of every engine; incremental mode reuses cached";
+  line "    per-machine digests for machines the last block left untouched)";
+  let tab = tab_of (P_examples_lib.German.program ()) in
+  (* a corpus of reachable configurations, in discovery order: successive
+     states of one exploration share untouched machines physically, exactly
+     the workload the per-machine cache is built for *)
+  let configs = ref [] in
+  let observer =
+    { Engine.on_state = (fun _ c -> configs := c :: !configs);
+      Engine.on_edge = (fun ~src:_ ~src_config:_ ~by:_ ~resolved:_ ~dst:_ -> ()) }
+  in
+  let spec =
+    Engine.spec ~bound:1 ~max_states (Engine.stack_sched Engine.Causal)
+  in
+  ignore (Engine.run ~observer ~engine:"digest_corpus" spec tab);
+  let configs = Array.of_list (List.rev !configs) in
+  let n = Array.length configs in
+  (* a fresh context per round reproduces an exploration's mix: one miss the
+     first time a machine value is seen, hits for every untouched machine *)
+  let time_mode mode =
+    let started = P_obs.Mclock.start () in
+    for _ = 1 to rounds do
+      let fp = Fingerprint.create ~mode tab in
+      Array.iter (fun c -> ignore (Fingerprint.digest fp c [])) configs
+    done;
+    float_of_int (n * rounds) /. P_obs.Mclock.elapsed_s started
+  in
+  let full_rate = time_mode Fingerprint.Full in
+  let incr_rate = time_mode Fingerprint.Incremental in
+  line "corpus: %d german configurations x %d rounds" n rounds;
+  line "  %-22s %12.0f digests/s" "full re-encoding" full_rate;
+  line "  %-22s %12.0f digests/s  (%.2fx)" "incremental" incr_rate
+    (incr_rate /. full_rate);
+  line "end-to-end: parallel explore d=1, %d-state budget" explore_max;
+  line "  %-12s %8s %10s %10s %12s" "mode" "domains" "states" "time(s)" "states/s";
+  let rows = ref [] in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun domains ->
+          let r =
+            Parallel.explore ~domains ~delay_bound:1 ~fingerprint:mode
+              ~max_states:explore_max tab
+          in
+          line "  %-12s %8d %10d %10.2f %12.0f"
+            (Fingerprint.mode_to_string mode)
+            domains r.stats.states r.stats.elapsed_s
+            (float_of_int r.stats.states /. r.stats.elapsed_s);
+          rows :=
+            Json.Obj
+              [ ("mode", Json.String (Fingerprint.mode_to_string mode));
+                ("domains", Json.Int domains);
+                ( "states_per_s",
+                  Json.Float (float_of_int r.stats.states /. r.stats.elapsed_s) );
+                ("stats", json_of_stats r.stats) ]
+            :: !rows)
+        [ 1; 2; 4 ])
+    [ Fingerprint.Full; Fingerprint.Incremental ];
+  record "digest_throughput"
+    (Json.Obj
+       [ ("benchmark", Json.String "german");
+         ("corpus_configs", Json.Int n);
+         ("rounds", Json.Int rounds);
+         ("full_digests_per_s", Json.Float full_rate);
+         ("incremental_digests_per_s", Json.Float incr_rate);
+         ("incremental_speedup", Json.Float (incr_rate /. full_rate));
+         ("explore", Json.List (List.rev !rows)) ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the engine primitives                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -529,6 +606,8 @@ let all () =
   hr ();
   parallel_scaling ();
   hr ();
+  digest_throughput ();
+  hr ();
   micro ()
 
 (* Pull [--json FILE] out of argv (any position after the subcommand),
@@ -559,6 +638,7 @@ let () =
   | "ablation" :: _ -> ablation ()
   | "parallel" :: _ -> parallel_scaling ()
   | "scaling" :: _ -> protocol_scaling ()
+  | "digest-throughput" :: _ | "digest" :: _ -> digest_throughput ()
   | "micro" :: _ -> micro ()
   | "quick" :: _ ->
     (* a fast smoke pass *)

@@ -106,8 +106,9 @@ let make_progress () =
     end
 
 let run_verify file example delay_bound max_states liveness show_trace domains
-    stats_json trace_out progress =
+    fingerprint stats_json trace_out progress =
   let program = or_die (load_program file example) in
+  let fingerprint = or_die (P_checker.Fingerprint.mode_of_string fingerprint) in
   let metrics =
     match stats_json with None -> None | Some _ -> Some (P_obs.Metrics.create ())
   in
@@ -121,7 +122,8 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   let report =
     match domains with
     | None ->
-      P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~instr program
+      P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~fingerprint
+        ~instr program
     | Some domains -> (
       (* the multicore engine, behind the same report shape *)
       match P_static.Check.run program with
@@ -129,7 +131,8 @@ let run_verify file example delay_bound max_states liveness show_trace domains
         { P_checker.Verifier.static_diagnostics = ds; safety = None; liveness = None }
       | { symtab; _ } ->
         let safety =
-          P_checker.Parallel.explore ~domains ~delay_bound ~max_states ~instr symtab
+          P_checker.Parallel.explore ~domains ~delay_bound ~max_states ~fingerprint
+            ~instr symtab
         in
         { P_checker.Verifier.static_diagnostics = [];
           safety = Some safety;
@@ -178,6 +181,18 @@ let verify_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Use the multicore exploration engine with N domains.")
   in
+  let fingerprint =
+    Arg.(
+      value
+      & opt string "incremental"
+      & info [ "fingerprint" ] ~docv:"MODE"
+          ~doc:
+            "State fingerprinting: $(b,incremental) (per-machine digest \
+             cache, the default), $(b,full) (re-encode every configuration), \
+             or $(b,paranoid) (compute both and report any disagreement in \
+             the checker.fp_collisions metric). Verdicts and state counts \
+             are identical in every mode.")
+  in
   let stats_json =
     Arg.(
       value
@@ -204,7 +219,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Systematic testing with the causal delay-bounded scheduler.")
     Term.(
       const run_verify $ file_arg $ example_arg $ delay $ max_states $ liveness $ trace
-      $ domains $ stats_json $ trace_out $ progress)
+      $ domains $ fingerprint $ stats_json $ trace_out $ progress)
 
 (* ---------------- random ---------------- *)
 

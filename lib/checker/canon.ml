@@ -187,6 +187,16 @@ let add_machine t (m : Machine.t) =
       add_value t entry.payload)
     (Equeue.to_list m.queue)
 
+(** [machine_digest t id m]: MD5 of the canonical encoding of the single
+    machine [m] bound at [id] — the per-machine unit the incremental
+    fingerprint caches. Mirrors exactly the per-machine segment of
+    {!digest}'s encoding. *)
+let machine_digest t (id : Mid.t) (m : Machine.t) : string =
+  Buffer.clear t.buf;
+  add_int t (Mid.to_int id);
+  add_machine t m;
+  Digest.string (Buffer.contents t.buf)
+
 (** [digest t config extra]: MD5 of the canonical encoding of [config]
     followed by the integers [extra] (used for the scheduler stack). *)
 let digest t (config : Config.t) (extra : int list) : string =

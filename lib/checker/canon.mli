@@ -14,3 +14,8 @@ val create : P_static.Symtab.t -> t
 val digest : t -> P_semantics.Config.t -> int list -> string
 (** [digest t config extra]: MD5 of the canonical encoding of [config]
     followed by the integers [extra] (used for the scheduler stack). *)
+
+val machine_digest :
+  t -> P_semantics.Mid.t -> P_semantics.Machine.t -> string
+(** MD5 of the canonical encoding of one machine binding — the unit the
+    incremental {!Fingerprint} caches per physical machine value. *)

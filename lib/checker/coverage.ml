@@ -64,39 +64,19 @@ let observe t (config_before : Config.t) (mid : Mid.t) (items : P_semantics.Trac
     block once more; counts are per distinct explored transition.) *)
 let of_exploration ?(max_states = 100_000) ~delay_bound (tab : Symtab.t) : t =
   let t = create tab in
-  (* a light re-implementation of the BFS loop with an observation hook;
-     reuses the Search/Delay_bounded building blocks *)
-  let canon = Canon.create tab in
-  let seen = Hashtbl.create 1024 in
-  let config0, id0, _ = Step.initial_config tab in
-  let queue = Queue.create () in
-  let visit config stack delays =
-    let digest = Canon.digest canon config (List.map Mid.to_int stack) in
-    match Hashtbl.find_opt seen digest with
-    | Some best when best <= delays -> ()
-    | _ ->
-      Hashtbl.replace seen digest delays;
-      Queue.add (config, stack, delays) queue
+  (* the delay-bounded spec with an edge observer: every explored block —
+     including duplicates and failing ones — is attributed exactly once *)
+  let observer =
+    { Engine.on_state = (fun _ _ -> ());
+      on_edge =
+        (fun ~src:_ ~src_config ~by ~resolved ~dst:_ ->
+          observe t src_config by resolved.Search.items) }
   in
-  visit config0 [ id0 ] 0;
-  while not (Queue.is_empty queue) && Hashtbl.length seen < max_states do
-    let config, stack, delays = Queue.pop queue in
-    let width = List.length stack in
-    let max_rot = if width <= 1 then 0 else min (delay_bound - delays) (width - 1) in
-    for k = 0 to max_rot do
-      let stack = Delay_bounded.rotate_k stack k in
-      match stack with
-      | [] -> ()
-      | top :: _ ->
-        List.iter
-          (fun (r : Search.resolved) ->
-            observe t config top r.items;
-            match Delay_bounded.apply_outcome stack r.outcome with
-            | Some (config', stack') -> visit config' stack' (delays + k)
-            | None -> ())
-          (Search.resolutions tab config top)
-    done
-  done;
+  let spec =
+    Engine.spec ~bound:delay_bound ~stop_on_error:false ~max_states
+      (Engine.stack_sched Engine.Causal)
+  in
+  ignore (Engine.run ~observer ~engine:"coverage" spec tab);
   t
 
 (* ------------------------------------------------------------------ *)

@@ -18,217 +18,27 @@
     enumerated exhaustively at every block — delays only bound *scheduling*
     nondeterminism, as in the paper.
 
-    The search is breadth-first over scheduler states [(configuration,
-    stack)]; a state is re-expanded if reached again with a strictly smaller
-    delay count, since the spare budget can reach new successors. *)
+    The exploration itself is {!Engine.run} over {!Engine.stack_sched}:
+    breadth-first over scheduler states [(configuration, stack)], budget =
+    delays spent, re-expanding a state reached again with a strictly
+    smaller delay count. *)
 
-module Config = P_semantics.Config
-module Step = P_semantics.Step
-module Mid = P_semantics.Mid
-module Trace = P_semantics.Trace
-module Symtab = P_static.Symtab
+type discipline = Engine.discipline = Causal | Round_robin
 
-(** Stack discipline on sends and creations: [Causal] pushes the receiver
-    on top (the paper's scheduler — it runs next); [Round_robin] appends it
-    at the bottom, the baseline delaying scheduler of Emmi et al. that the
-    ablation benchmark compares against. *)
-type discipline = Causal | Round_robin
-
-type node = { config : Config.t; stack : Mid.t list; delays : int; depth : int; idx : int }
-
-(* Edge bookkeeping for counterexample replay: to reach node [idx], rotate the
-   parent's stack [rotations] times and run the top machine with [choices]. *)
-type edge = { parent : int; rotations : int; choices : bool list }
-
-type t = {
-  tab : Symtab.t;
-  canon : Canon.t;
-  delay_bound : int;
-  max_states : int;
-  max_depth : int;
-  discipline : discipline;
-  dedup : bool;
-  seen : (string, int) Hashtbl.t;  (* digest -> smallest delay count seen *)
-  edges : edge option Dynarray.t;  (* indexed by node idx; None for the root *)
-  stats : Search.stats;
-  meters : Search.meters option;
-  ticker : Search.ticker;
-}
-
-let rotate stack =
-  match stack with
-  | [] | [ _ ] -> stack
-  | top :: rest -> rest @ [ top ]
-
-let rec rotate_k stack k = if k <= 0 then stack else rotate_k (rotate stack) (k - 1)
-
-(* Stack update shared by search, replay, and the d=0 equivalence argument. *)
-let apply_outcome ?(discipline = Causal) stack outcome =
-  let insert id stack =
-    match discipline with Causal -> id :: stack | Round_robin -> stack @ [ id ]
-  in
-  match (outcome : Step.outcome) with
-  | Step.Progress (config, Step.Sent { target; _ }) ->
-    let stack =
-      if List.exists (Mid.equal target) stack then stack else insert target stack
-    in
-    Some (config, stack)
-  | Step.Progress (config, Step.Created id) -> Some (config, insert id stack)
-  | Step.Blocked config | Step.Terminated config ->
-    Some (config, match stack with [] -> [] | _ :: rest -> rest)
-  | Step.Failed _ | Step.Need_more_choices -> None
-
-(* Replay the edge chain leading to node [idx] to rebuild its trace. *)
-let replay t idx : Trace.t =
-  let rec chain idx acc =
-    match Dynarray.get t.edges idx with
-    | None -> acc
-    | Some e -> chain e.parent (e :: acc)
-  in
-  let path = chain idx [] in
-  let config0, id0, items0 = Step.initial_config t.tab in
-  let rec follow config stack items = function
-    | [] -> items
-    | e :: rest -> (
-      let stack = rotate_k stack e.rotations in
-      match stack with
-      | [] -> items (* cannot happen on a recorded path *)
-      | top :: _ -> (
-        let outcome, new_items =
-          Step.run_atomic ~dedup:t.dedup t.tab config top ~choices:e.choices
-        in
-        let items = items @ new_items in
-        match apply_outcome ~discipline:t.discipline stack outcome with
-        | Some (config, stack) -> follow config stack items rest
-        | None -> items (* the final, failing edge *)))
-  in
-  follow config0 [ id0 ] items0 path
-
-exception Found of Search.counterexample
-
-let record_node t node =
-  let digest =
-    Canon.digest t.canon node.config (List.map Mid.to_int node.stack)
-  in
-  match Hashtbl.find_opt t.seen digest with
-  | Some best when best <= node.delays ->
-    (match t.meters with
-    | None -> ()
-    | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits);
-    `Seen
-  | Some _ ->
-    Hashtbl.replace t.seen digest node.delays;
-    `Revisit
-  | None ->
-    Hashtbl.replace t.seen digest node.delays;
-    t.stats.states <- t.stats.states + 1;
-    (match t.meters with
-    | None -> ()
-    | Some m ->
-      P_obs.Metrics.incr m.Search.m_states;
-      P_obs.Metrics.set_max m.Search.m_queue_hwm
-        (Search.queue_hwm_of_config node.config));
-    `New
-
-let expand t queue node =
-  let width = List.length node.stack in
-  let max_rot =
-    if width <= 1 then 0 else min (t.delay_bound - node.delays) (width - 1)
-  in
-  for k = 0 to max_rot do
-    let stack = rotate_k node.stack k in
-    match stack with
-    | [] -> ()
-    | top :: _ ->
-      let resolved = Search.resolutions ~dedup:t.dedup t.tab node.config top in
-      List.iter
-        (fun (r : Search.resolved) ->
-          t.stats.transitions <- t.stats.transitions + 1;
-          (match t.meters with
-          | None -> ()
-          | Some m -> P_obs.Metrics.incr m.Search.m_transitions);
-          Search.tick t.ticker;
-          match r.outcome with
-          | Step.Failed error ->
-            let idx = Dynarray.length t.edges in
-            Dynarray.add_last t.edges
-              (Some { parent = node.idx; rotations = k; choices = r.choices });
-            let trace = replay t idx in
-            raise (Found { Search.error; trace; depth = node.depth + 1 })
-          | Step.Need_more_choices -> assert false
-          | outcome -> (
-            match apply_outcome ~discipline:t.discipline stack outcome with
-            | None -> ()
-            | Some (config, stack') ->
-              let idx = Dynarray.length t.edges in
-              let child =
-                { config;
-                  stack = stack';
-                  delays = node.delays + k;
-                  depth = node.depth + 1;
-                  idx }
-              in
-              (match record_node t child with
-              | `Seen -> ()
-              | `New | `Revisit ->
-                Dynarray.add_last t.edges
-                  (Some { parent = node.idx; rotations = k; choices = r.choices });
-                if child.depth > t.stats.max_depth then
-                  t.stats.max_depth <- child.depth;
-                Queue.add child queue)))
-        resolved
-  done
+let rotate_k = Engine.rotate_k
+let apply_outcome = Engine.apply_outcome
 
 (** Explore all schedules of at most [delay_bound] delays. [max_states]
     and [max_depth] truncate the search (reported in the stats). *)
 let explore ?(max_states = 1_000_000) ?(max_depth = max_int) ?(discipline = Causal)
-    ?(dedup = true) ?(instr = Search.no_instr) ~delay_bound (tab : Symtab.t) :
+    ?(dedup = true) ?(fingerprint = Fingerprint.Incremental)
+    ?(instr = Search.no_instr) ~delay_bound (tab : P_static.Symtab.t) :
     Search.result =
-  let stats = Search.new_stats () in
-  let t =
-    { tab;
-      canon = Canon.create tab;
-      delay_bound;
-      max_states;
-      max_depth;
-      discipline;
-      dedup;
-      seen = Hashtbl.create 4096;
-      edges = Dynarray.create ();
-      stats;
-      meters = Search.meters ~engine:"delay_bounded" instr;
-      ticker = Search.ticker instr stats }
+  let spec =
+    Engine.spec ~bound:delay_bound ~dedup ~max_states ~max_depth
+      ~fp_mode:fingerprint
+      (Engine.stack_sched discipline)
   in
-  let started = P_obs.Mclock.start () in
-  let t0_us = P_obs.Mclock.now_us () in
-  let finish verdict =
-    t.stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
-    Search.emit_run_span instr ~engine:"delay_bounded" ~t0_us ~stats:t.stats
-      [ ("delay_bound", P_obs.Json.Int delay_bound) ];
-    { Search.verdict; stats = t.stats }
-  in
-  let config0, id0, _ = Step.initial_config tab in
-  let root = { config = config0; stack = [ id0 ]; delays = 0; depth = 0; idx = 0 } in
-  Dynarray.add_last t.edges None;
-  ignore (record_node t root);
-  let queue = Queue.create () in
-  Queue.add root queue;
-  try
-    while not (Queue.is_empty queue) do
-      if t.stats.states >= t.max_states then begin
-        t.stats.truncated <- true;
-        Queue.clear queue
-      end
-      else begin
-        (match t.meters with
-        | None -> ()
-        | Some m ->
-          P_obs.Metrics.set_max m.Search.m_frontier
-            (float_of_int (Queue.length queue)));
-        let node = Queue.pop queue in
-        if node.depth < t.max_depth then expand t queue node
-        else t.stats.truncated <- true
-      end
-    done;
-    finish Search.No_error
-  with Found ce -> finish (Search.Error_found ce)
+  Engine.run ~instr ~engine:"delay_bounded"
+    ~span_args:[ ("delay_bound", P_obs.Json.Int delay_bound) ]
+    spec tab

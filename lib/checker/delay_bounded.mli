@@ -7,19 +7,20 @@
     events), and each *delay* — moving the top to the bottom — costs one
     unit from the budget [delay_bound]. Ghost [*] choices are enumerated
     exhaustively; the bound only limits scheduling nondeterminism. The
-    search is breadth-first over (configuration, stack) scheduler states, so
-    reported counterexamples are shortest in atomic blocks. *)
+    search is an {!Engine.run} breadth-first over (configuration, stack)
+    scheduler states, so reported counterexamples are shortest in atomic
+    blocks. *)
 
 (** Stack discipline on sends and creations: [Causal] pushes the receiver on
     top (the paper's scheduler); [Round_robin] appends it at the bottom —
     the generic delaying scheduler of Emmi et al., kept as an ablation
-    baseline. *)
-type discipline = Causal | Round_robin
+    baseline. (Re-exported from {!Engine}.) *)
+type discipline = Engine.discipline = Causal | Round_robin
 
-(** {2 Internals shared with the parallel engine}
+(** {2 Scheduler-stack primitives}
 
-    These implement the scheduler-stack discipline and are exposed so that
-    {!Parallel} explores exactly the same transition system. *)
+    Aliases of the {!Engine} stack discipline, kept for the replay tools
+    and the d=0 ≡ runtime equivalence argument. *)
 
 val rotate_k : P_semantics.Mid.t list -> int -> P_semantics.Mid.t list
 (** Apply the delay operation [k] times: each moves the top to the bottom. *)
@@ -36,6 +37,7 @@ val explore :
   ?max_depth:int ->
   ?discipline:discipline ->
   ?dedup:bool ->
+  ?fingerprint:Fingerprint.mode ->
   ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->
@@ -46,5 +48,8 @@ val explore :
     with exploration statistics. [max_states] (default 1e6) and [max_depth]
     truncate the search, which is then flagged in the stats.
     [dedup:false] disables the [⊕] queue append (ablation only).
-    [instr] reports metrics, a lifecycle span, and progress heartbeats
-    while the search runs; the result is identical with or without it. *)
+    [fingerprint] selects the state-key strategy (default
+    [Incremental]; see {!Fingerprint.mode}) — the verdict and counts are
+    identical in every mode. [instr] reports metrics, a lifecycle span,
+    and progress heartbeats while the search runs; the result is identical
+    with or without it. *)

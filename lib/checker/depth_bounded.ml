@@ -5,105 +5,22 @@
     At every scheduling point any enabled machine may run next — full
     scheduling nondeterminism — and exploration is cut at [depth_bound]
     atomic blocks. Unlike the delaying scheduler there is no stack
-    discipline, so the branching factor is the number of enabled machines. *)
+    discipline, so the branching factor is the number of enabled machines.
 
-module Config = P_semantics.Config
-module Step = P_semantics.Step
-module Mid = P_semantics.Mid
-module Trace = P_semantics.Trace
-module Symtab = P_static.Symtab
-
-type node = { config : Config.t; depth : int; trace_rev : Trace.item list }
-
-exception Found of Search.counterexample
+    This is {!Engine.run} over {!Engine.full_nondet} with budget = depth
+    and [truncate_on_exhaust]: a node popped with its budget spent marks
+    the run truncated instead of expanding. Counterexamples are replayed
+    from the shared edge table — frontier nodes carry no traces. *)
 
 (** Explore every interleaving of at most [depth_bound] atomic blocks.
-    Breadth-first so reported counterexamples are shortest. Keeping the
-    trace on each node is affordable because depth-bounded frontiers are
-    shallow by construction. *)
-let explore ?(max_states = 1_000_000) ?(instr = Search.no_instr) ~depth_bound
-    (tab : Symtab.t) : Search.result =
-  let canon = Canon.create tab in
-  let stats = Search.new_stats () in
-  let seen = Hashtbl.create 4096 in
-  let meters = Search.meters ~engine:"depth_bounded" instr in
-  let ticker = Search.ticker instr stats in
-  let started = P_obs.Mclock.start () in
-  let t0_us = P_obs.Mclock.now_us () in
-  let finish verdict =
-    stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
-    Search.emit_run_span instr ~engine:"depth_bounded" ~t0_us ~stats
-      [ ("depth_bound", P_obs.Json.Int depth_bound) ];
-    { Search.verdict; stats }
+    Breadth-first so reported counterexamples are shortest. *)
+let explore ?(max_states = 1_000_000) ?(fingerprint = Fingerprint.Incremental)
+    ?(instr = Search.no_instr) ~depth_bound (tab : P_static.Symtab.t) :
+    Search.result =
+  let spec =
+    Engine.spec ~bound:depth_bound ~truncate_on_exhaust:true ~max_states
+      ~fp_mode:fingerprint Engine.full_nondet
   in
-  let config0, _, items0 = Step.initial_config tab in
-  let queue = Queue.create () in
-  let visit config depth trace_rev =
-    (* depth participates in the key: a configuration reached earlier has
-       more remaining budget, so shallower visits must not be blocked by
-       deeper ones; recording the minimal depth achieves that *)
-    let digest = Canon.digest canon config [] in
-    match Hashtbl.find_opt seen digest with
-    | Some best when best <= depth ->
-      (match meters with
-      | None -> ()
-      | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits)
-    | Some _ ->
-      Hashtbl.replace seen digest depth;
-      Queue.add { config; depth; trace_rev } queue
-    | None ->
-      Hashtbl.replace seen digest depth;
-      stats.states <- stats.states + 1;
-      (match meters with
-      | None -> ()
-      | Some m ->
-        P_obs.Metrics.incr m.Search.m_states;
-        P_obs.Metrics.set_max m.Search.m_queue_hwm
-          (Search.queue_hwm_of_config config));
-      if depth > stats.max_depth then stats.max_depth <- depth;
-      Queue.add { config; depth; trace_rev } queue
-  in
-  visit config0 0 (List.rev items0);
-  try
-    while not (Queue.is_empty queue) do
-      if stats.states >= max_states then begin
-        stats.truncated <- true;
-        Queue.clear queue
-      end
-      else begin
-        (match meters with
-        | None -> ()
-        | Some m ->
-          P_obs.Metrics.set_max m.Search.m_frontier
-            (float_of_int (Queue.length queue)));
-        let node = Queue.pop queue in
-        if node.depth >= depth_bound then stats.truncated <- true
-        else
-          List.iter
-            (fun mid ->
-              List.iter
-                (fun (r : Search.resolved) ->
-                  stats.transitions <- stats.transitions + 1;
-                  (match meters with
-                  | None -> ()
-                  | Some m -> P_obs.Metrics.incr m.Search.m_transitions);
-                  Search.tick ticker;
-                  let trace_rev = List.rev_append r.items node.trace_rev in
-                  match r.outcome with
-                  | Step.Failed error ->
-                    raise
-                      (Found
-                         { Search.error;
-                           trace = List.rev trace_rev;
-                           depth = node.depth + 1 })
-                  | Step.Progress (config, _)
-                  | Step.Blocked config
-                  | Step.Terminated config ->
-                    visit config (node.depth + 1) trace_rev
-                  | Step.Need_more_choices -> assert false)
-                (Search.resolutions tab node.config mid))
-            (Step.enabled tab node.config)
-      end
-    done;
-    finish Search.No_error
-  with Found ce -> finish (Search.Error_found ce)
+  Engine.run ~instr ~engine:"depth_bounded"
+    ~span_args:[ ("depth_bound", P_obs.Json.Int depth_bound) ]
+    spec tab

@@ -1,14 +1,17 @@
 (** Depth-bounded systematic testing: the baseline bounding technique the
     paper contrasts with delay bounding. Every enabled machine may run at
     every scheduling point — full scheduling nondeterminism — and paths are
-    cut at [depth_bound] atomic blocks. *)
+    cut at [depth_bound] atomic blocks. An {!Engine.run} instantiation
+    over {!Engine.full_nondet}. *)
 
 val explore :
   ?max_states:int ->
+  ?fingerprint:Fingerprint.mode ->
   ?instr:Search.instr ->
   depth_bound:int ->
   P_static.Symtab.t ->
   Search.result
 (** [explore ~depth_bound tab]: breadth-first over all interleavings of at
     most [depth_bound] atomic blocks; shortest counterexample first.
+    [fingerprint] selects the state-key strategy (default [Incremental]).
     [instr] reports metrics and progress; results are unaffected. *)

@@ -1,0 +1,578 @@
+(** The shared exploration core.
+
+    Every systematic-testing engine in this library walks the same
+    transition system — configurations stepped one atomic block at a time,
+    ghost [*] choices resolved per block — and differs only in *policy*:
+    which machine may run next (scheduler), what a schedule costs (budget),
+    how the frontier is ordered (BFS/DFS), whether ghost choices are
+    enumerated or sampled, and what happens on an error. Those policies
+    used to be five hand-copied BFS loops; this module is the single loop
+    they are now instantiations of:
+
+    - {!Delay_bounded}: stack scheduler, budget = delays, exhaustive
+      choices, BFS, stop at the first error;
+    - {!Depth_bounded}: full nondeterminism, budget = depth (truncating on
+      exhaustion), BFS;
+    - {!Parallel}: the delay-bounded spec driven by {!run_parallel}, a
+      level-synchronous frontier split across OCaml 5 domains;
+    - {!Random_walk}: a one-move random scheduler, sampled choices, no
+      seen set — each walk is a degenerate DFS;
+    - {!Liveness} and {!Coverage}: full-nondeterminism resp. delay-bounded
+      exploration with an {!observer} receiving every state and edge
+      ([stop_on_error = false] turns the loop into graph construction).
+
+    State identity is a {!Fingerprint} over the configuration plus the
+    scheduler's {!scheduler.encode} extras; counterexamples are replayed
+    from a compact edge table (parent index, move code, ghost choices)
+    instead of per-node traces, so frontier memory is O(1) per node for
+    every engine.
+
+    Determinism contract: for a fixed spec the loop visits nodes, counts
+    states/transitions, and reports verdicts identically run over run, and
+    {!run_parallel} agrees exactly with {!run} on the same spec (the merge
+    is sequential in worker order). The engine regression tests pin the
+    (verdict, states, transitions) triples to their pre-refactor values. *)
+
+module Config = P_semantics.Config
+module Step = P_semantics.Step
+module Mid = P_semantics.Mid
+module Trace = P_semantics.Trace
+module Errors = P_semantics.Errors
+module Symtab = P_static.Symtab
+
+(* ------------------------------------------------------------------ *)
+(* Schedulers                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Stack discipline on sends and creations: [Causal] pushes the receiver
+    on top (the paper's scheduler — it runs next); [Round_robin] appends
+    it at the bottom, the baseline delaying scheduler of Emmi et al. *)
+type discipline = Causal | Round_robin
+
+let rotate stack =
+  match stack with
+  | [] | [ _ ] -> stack
+  | top :: rest -> rest @ [ top ]
+
+let rec rotate_k stack k = if k <= 0 then stack else rotate_k (rotate stack) (k - 1)
+
+(* Stack update shared by search, replay, and the d=0 equivalence argument. *)
+let apply_outcome ?(discipline = Causal) stack outcome =
+  let insert id stack =
+    match discipline with Causal -> id :: stack | Round_robin -> stack @ [ id ]
+  in
+  match (outcome : Step.outcome) with
+  | Step.Progress (config, Step.Sent { target; _ }) ->
+    let stack =
+      if List.exists (Mid.equal target) stack then stack else insert target stack
+    in
+    Some (config, stack)
+  | Step.Progress (config, Step.Created id) -> Some (config, insert id stack)
+  | Step.Blocked config | Step.Terminated config ->
+    Some (config, match stack with [] -> [] | _ :: rest -> rest)
+  | Step.Failed _ | Step.Need_more_choices -> None
+
+type 'sched scheduler = {
+  init : Mid.t -> 'sched;
+  moves :
+    Symtab.t -> Config.t -> 'sched -> budget_left:int ->
+    (int * 'sched * Mid.t * int) list;
+      (** candidate moves in deterministic order, each as [(code,
+          scheduler-state positioned at the move, machine to run, budget
+          cost)]; [code] is what the edge table stores *)
+  decode : 'sched -> int -> ('sched * Mid.t) option;
+      (** re-position a recorded move code during replay *)
+  apply : 'sched -> Step.outcome -> (Config.t * 'sched) option;
+      (** advance past a non-failing outcome; [None] on failure *)
+  encode : 'sched -> int list;  (** scheduler part of the state key *)
+}
+
+let full_nondet : unit scheduler =
+  { init = (fun _ -> ());
+    moves =
+      (fun tab config () ~budget_left:_ ->
+        List.map (fun mid -> (Mid.to_int mid, (), mid, 1)) (Step.enabled tab config));
+    decode = (fun () code -> Some ((), Mid.of_int code));
+    apply = (fun () outcome -> Option.map (fun c -> (c, ())) (Step.outcome_config outcome));
+    encode = (fun () -> []) }
+
+let stack_sched discipline : Mid.t list scheduler =
+  { init = (fun id0 -> [ id0 ]);
+    moves =
+      (fun _tab _config stack ~budget_left ->
+        let width = List.length stack in
+        let max_rot = if width <= 1 then 0 else min budget_left (width - 1) in
+        let rec go k acc =
+          if k > max_rot then List.rev acc
+          else
+            match rotate_k stack k with
+            | [] -> List.rev acc
+            | top :: _ as s -> go (k + 1) ((k, s, top, k) :: acc)
+        in
+        go 0 []);
+    decode =
+      (fun stack k ->
+        match rotate_k stack k with [] -> None | top :: _ as s -> Some (s, top));
+    apply = (fun stack outcome -> apply_outcome ~discipline stack outcome);
+    encode = (fun stack -> List.map Mid.to_int stack) }
+
+let random_pick draw : unit scheduler =
+  { full_nondet with
+    moves =
+      (fun tab config () ~budget_left:_ ->
+        match Step.enabled tab config with
+        | [] -> []
+        | enabled ->
+          let mid = List.nth enabled (draw (List.length enabled)) in
+          [ (Mid.to_int mid, (), mid, 1) ]) }
+
+(* ------------------------------------------------------------------ *)
+(* Specs, observers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type resolver = Exhaustive | Sampled of (unit -> bool)
+type frontier = Bfs | Dfs
+
+type edge_dst =
+  | Dst_new of int  (** first visit; the state was just assigned this index *)
+  | Dst_seen of int  (** the seen set already held this state *)
+  | Dst_failed of Errors.t  (** the block reached an error configuration *)
+
+type observer = {
+  on_state : int -> Config.t -> unit;
+      (** a state enters the seen set, with its dense index (root is 0) *)
+  on_edge :
+    src:int -> src_config:Config.t -> by:Mid.t -> resolved:Search.resolved ->
+    dst:edge_dst -> unit;
+      (** every explored transition, including duplicates and failures *)
+}
+
+type 'sched spec = {
+  scheduler : 'sched scheduler;
+  bound : int;  (** the budget: delays, depth, or walk blocks *)
+  truncate_on_exhaust : bool;
+      (** pop-time check: a node with [spent >= bound] marks the stats
+          truncated instead of expanding (depth bounding, walk budgets);
+          when false the budget only limits [moves] (delay bounding) *)
+  frontier : frontier;
+  resolver : resolver;
+  track_seen : bool;  (** false = no fingerprints, no dedup (random walk) *)
+  dedup : bool;  (** the ⊕ queue append, forwarded to [run_atomic] *)
+  stop_on_error : bool;
+      (** raise at the first failure (with a replayed trace) vs record the
+          edge and keep exploring (graph construction) *)
+  max_states : int;
+  max_depth : int;
+  fp_mode : Fingerprint.mode;
+}
+
+let spec ?(bound = max_int) ?(truncate_on_exhaust = false) ?(frontier = Bfs)
+    ?(resolver = Exhaustive) ?(track_seen = true) ?(dedup = true)
+    ?(stop_on_error = true) ?(max_states = 1_000_000) ?(max_depth = max_int)
+    ?(fp_mode = Fingerprint.Incremental) scheduler =
+  { scheduler;
+    bound;
+    truncate_on_exhaust;
+    frontier;
+    resolver;
+    track_seen;
+    dedup;
+    stop_on_error;
+    max_states;
+    max_depth;
+    fp_mode }
+
+(* ------------------------------------------------------------------ *)
+(* The core                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'sched node = {
+  config : Config.t;
+  sched : 'sched;
+  spent : int;
+  depth : int;
+  idx : int;  (** edge-table index, for replay *)
+  sidx : int;  (** dense state index, for observers *)
+}
+
+(* Edge bookkeeping for counterexample replay: to reach node [idx], decode
+   [move] against the parent's scheduler state and run the resulting
+   machine with [choices]. *)
+type edge = { parent : int; move : int; choices : bool list }
+
+type 'sched t = {
+  tab : Symtab.t;
+  spec : 'sched spec;
+  seen : (string, int * int) Hashtbl.t;  (* digest -> (state idx, min spent) *)
+  edges : edge option Dynarray.t;  (* indexed by node idx; None for the root *)
+  stats : Search.stats;
+  meters : Search.meters option;
+  ticker : Search.ticker;
+  observer : observer option;
+}
+
+(* A successor produced by expansion, not yet integrated (the same shape
+   the parallel driver ships from its workers). *)
+type 'sched successor = {
+  s_digest : string;  (* "" when failed or the seen set is off *)
+  s_resolved : Search.resolved;
+  s_by : Mid.t;
+  s_next : (Config.t * 'sched) option;  (* None = the edge fails *)
+  s_spent : int;
+  s_depth : int;
+  s_parent_idx : int;
+  s_parent_sidx : int;
+  s_parent_config : Config.t;
+  s_move : int;
+}
+
+let resolve spec tab config mid : Search.resolved list =
+  match spec.resolver with
+  | Exhaustive -> Search.resolutions ~dedup:spec.dedup tab config mid
+  | Sampled draw ->
+    (* one sampled resolution; draw order matches the historical walker:
+       one boolean per Need_more_choices re-run, appended at the end *)
+    let rec go rev_choices =
+      let choices = List.rev rev_choices in
+      match Step.run_atomic ~dedup:spec.dedup tab config mid ~choices with
+      | Step.Need_more_choices, _ -> go (draw () :: rev_choices)
+      | outcome, items -> { Search.choices; outcome; items }
+    in
+    [ go [] ]
+
+(* Expand one node into raw successors. Pure apart from the fingerprint
+   cache and the optional per-resolution counter, both of which are
+   worker-local under [run_parallel]. *)
+let expand ?expansions ~fp (t : 'sched t) (node : 'sched node) :
+    'sched successor list =
+  let budget_left = t.spec.bound - node.spent in
+  List.concat_map
+    (fun (code, sched_m, mid, cost) ->
+      List.filter_map
+        (fun (r : Search.resolved) ->
+          (match expansions with
+          | None -> ()
+          | Some c -> P_obs.Metrics.incr c);
+          let mk s_digest s_next =
+            { s_digest;
+              s_resolved = r;
+              s_by = mid;
+              s_next;
+              s_spent = node.spent + cost;
+              s_depth = node.depth + 1;
+              s_parent_idx = node.idx;
+              s_parent_sidx = node.sidx;
+              s_parent_config = node.config;
+              s_move = code }
+          in
+          match r.outcome with
+          | Step.Failed _ -> Some (mk "" None)
+          | Step.Need_more_choices -> assert false
+          | outcome -> (
+            match t.spec.scheduler.apply sched_m outcome with
+            | None -> None
+            | Some ((config', sched') as next) ->
+              let digest =
+                match fp with
+                | None -> ""
+                | Some fp ->
+                  Fingerprint.digest fp config' (t.spec.scheduler.encode sched')
+              in
+              Some (mk digest (Some next))))
+        (resolve t.spec t.tab node.config mid))
+    (t.spec.scheduler.moves t.tab node.config node.sched ~budget_left)
+
+(* Replay the edge chain leading to edge-table index [idx] to rebuild the
+   trace from the initial configuration. *)
+let replay (t : 'sched t) idx : Trace.t =
+  let rec chain idx acc =
+    match Dynarray.get t.edges idx with
+    | None -> acc
+    | Some e -> chain e.parent (e :: acc)
+  in
+  let path = chain idx [] in
+  let config0, id0, items0 = Step.initial_config t.tab in
+  let rec follow config sched items = function
+    | [] -> items
+    | (e : edge) :: rest -> (
+      match t.spec.scheduler.decode sched e.move with
+      | None -> items (* cannot happen on a recorded path *)
+      | Some (sched_m, mid) -> (
+        let outcome, new_items =
+          Step.run_atomic ~dedup:t.spec.dedup t.tab config mid ~choices:e.choices
+        in
+        let items = items @ new_items in
+        match t.spec.scheduler.apply sched_m outcome with
+        | Some (config, sched) -> follow config sched items rest
+        | None -> items (* the final, failing edge *)))
+  in
+  follow config0 (t.spec.scheduler.init id0) items0 path
+
+exception Found of Search.counterexample
+
+let observe_edge t (s : 'sched successor) dst =
+  match t.observer with
+  | None -> ()
+  | Some o ->
+    o.on_edge ~src:s.s_parent_sidx ~src_config:s.s_parent_config ~by:s.s_by
+      ~resolved:s.s_resolved ~dst
+
+(* Merge one successor into the seen set / frontier. Sequential also under
+   [run_parallel], which keeps both drivers deterministic. *)
+let integrate (t : 'sched t) ~push (s : 'sched successor) =
+  t.stats.transitions <- t.stats.transitions + 1;
+  (match t.meters with
+  | None -> ()
+  | Some m -> P_obs.Metrics.incr m.Search.m_transitions);
+  Search.tick t.ticker;
+  match s.s_next with
+  | None ->
+    let error =
+      match s.s_resolved.outcome with Step.Failed e -> e | _ -> assert false
+    in
+    if t.spec.stop_on_error then begin
+      let idx = Dynarray.length t.edges in
+      Dynarray.add_last t.edges
+        (Some { parent = s.s_parent_idx; move = s.s_move; choices = s.s_resolved.choices });
+      let trace = replay t idx in
+      raise (Found { Search.error; trace; depth = s.s_depth })
+    end
+    else observe_edge t s (Dst_failed error)
+  | Some (config', sched') ->
+    let record_new () =
+      let sidx = t.stats.states in
+      t.stats.states <- t.stats.states + 1;
+      (match t.meters with
+      | None -> ()
+      | Some m ->
+        P_obs.Metrics.incr m.Search.m_states;
+        P_obs.Metrics.set_max m.Search.m_queue_hwm
+          (Search.queue_hwm_of_config config'));
+      (match t.observer with None -> () | Some o -> o.on_state sidx config');
+      sidx
+    in
+    let enqueue sidx =
+      let idx = Dynarray.length t.edges in
+      Dynarray.add_last t.edges
+        (Some { parent = s.s_parent_idx; move = s.s_move; choices = s.s_resolved.choices });
+      if s.s_depth > t.stats.max_depth then t.stats.max_depth <- s.s_depth;
+      push
+        { config = config';
+          sched = sched';
+          spent = s.s_spent;
+          depth = s.s_depth;
+          idx;
+          sidx }
+    in
+    if not t.spec.track_seen then begin
+      let sidx = record_new () in
+      observe_edge t s (Dst_new sidx);
+      enqueue sidx
+    end
+    else
+      match Hashtbl.find_opt t.seen s.s_digest with
+      | Some (sidx, best) when best <= s.s_spent ->
+        (match t.meters with
+        | None -> ()
+        | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits);
+        observe_edge t s (Dst_seen sidx)
+      | Some (sidx, _) ->
+        (* reached again with strictly smaller budget spent: the spare
+           budget can reach new successors, so re-expand *)
+        Hashtbl.replace t.seen s.s_digest (sidx, s.s_spent);
+        observe_edge t s (Dst_seen sidx);
+        enqueue sidx
+      | None ->
+        let sidx = record_new () in
+        Hashtbl.replace t.seen s.s_digest (sidx, s.s_spent);
+        observe_edge t s (Dst_new sidx);
+        enqueue sidx
+
+(* Shared prologue: context, root node, root bookkeeping. *)
+let init_run ?observer ~instr ~engine (spec : 'sched spec) tab ~fp =
+  let stats = Search.new_stats () in
+  let t =
+    { tab;
+      spec;
+      seen = Hashtbl.create 4096;
+      edges = Dynarray.create ();
+      stats;
+      meters = Search.meters ~engine instr;
+      ticker = Search.ticker instr stats;
+      observer }
+  in
+  let config0, id0, _ = Step.initial_config tab in
+  let sched0 = spec.scheduler.init id0 in
+  Dynarray.add_last t.edges None;
+  let root =
+    { config = config0; sched = sched0; spent = 0; depth = 0; idx = 0; sidx = 0 }
+  in
+  if spec.track_seen then begin
+    let fp = Option.get fp in
+    let digest = Fingerprint.digest fp config0 (spec.scheduler.encode sched0) in
+    Hashtbl.replace t.seen digest (0, 0)
+  end;
+  stats.states <- 1;
+  (match t.meters with
+  | None -> ()
+  | Some m ->
+    P_obs.Metrics.incr m.Search.m_states;
+    P_obs.Metrics.set_max m.Search.m_queue_hwm (Search.queue_hwm_of_config config0));
+  (match observer with None -> () | Some o -> o.on_state 0 config0);
+  (t, root)
+
+let flush_fp_meters (t : 'sched t) fps =
+  match t.meters with
+  | None -> ()
+  | Some m ->
+    List.iter
+      (fun fp ->
+        let add c n = if n > 0 then P_obs.Metrics.add c n in
+        add m.Search.m_fp_hits (Fingerprint.hits fp);
+        add m.Search.m_fp_misses (Fingerprint.misses fp);
+        add m.Search.m_fp_collisions (Fingerprint.collisions fp))
+      fps
+
+(** Run a spec to completion on the current domain. *)
+let run ?(instr = Search.no_instr) ?observer ?(span_args = []) ~engine
+    (spec : 'sched spec) (tab : Symtab.t) : Search.result =
+  let fp =
+    if spec.track_seen then Some (Fingerprint.create ~mode:spec.fp_mode tab)
+    else None
+  in
+  let started = P_obs.Mclock.start () in
+  let t0_us = P_obs.Mclock.now_us () in
+  let t, root = init_run ?observer ~instr ~engine spec tab ~fp in
+  let finish verdict =
+    t.stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
+    flush_fp_meters t (Option.to_list fp);
+    Search.emit_run_span instr ~engine ~t0_us ~stats:t.stats span_args;
+    { Search.verdict; stats = t.stats }
+  in
+  let queue = Queue.create () in
+  let dfs_stack = ref [] in
+  let push n =
+    match spec.frontier with Bfs -> Queue.add n queue | Dfs -> dfs_stack := n :: !dfs_stack
+  in
+  let is_empty () =
+    match spec.frontier with Bfs -> Queue.is_empty queue | Dfs -> !dfs_stack = []
+  in
+  let pop () =
+    match spec.frontier with
+    | Bfs -> Queue.pop queue
+    | Dfs -> (
+      match !dfs_stack with
+      | [] -> raise Queue.Empty
+      | n :: rest ->
+        dfs_stack := rest;
+        n)
+  in
+  let clear () =
+    Queue.clear queue;
+    dfs_stack := []
+  in
+  let frontier_len () =
+    match spec.frontier with Bfs -> Queue.length queue | Dfs -> List.length !dfs_stack
+  in
+  push root;
+  try
+    while not (is_empty ()) do
+      if t.stats.states >= spec.max_states then begin
+        t.stats.truncated <- true;
+        clear ()
+      end
+      else begin
+        (match t.meters with
+        | None -> ()
+        | Some m ->
+          P_obs.Metrics.set_max m.Search.m_frontier (float_of_int (frontier_len ())));
+        let node = pop () in
+        if node.depth >= spec.max_depth then t.stats.truncated <- true
+        else if spec.truncate_on_exhaust && node.spent >= spec.bound then
+          t.stats.truncated <- true
+        else List.iter (integrate t ~push) (expand ~fp t node)
+      end
+    done;
+    finish Search.No_error
+  with Found ce -> finish (Search.Error_found ce)
+
+(** Run a spec as a level-synchronous parallel BFS: each round the frontier
+    is split among [domains] workers which expand their slices with
+    worker-local fingerprints (digests are canonical, so worker-local
+    caches yield identical keys), then the main domain integrates all
+    successors sequentially in worker order — results are byte-identical
+    to {!run} on the same spec, independent of [domains]. The [max_states]
+    budget is checked between levels, so the final count may overshoot.
+    [spec.frontier] must be [Bfs]; observers are not supported here. *)
+let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
+    ~spawn_threshold (spec : 'sched spec) (tab : Symtab.t) : Search.result =
+  (* worker-local fingerprints, persistent across levels so the per-machine
+     cache keeps paying off; worker w is the only toucher of fps.(w) within
+     a level, and Domain.join orders levels *)
+  let fps =
+    if spec.track_seen then
+      Array.init (max 1 domains) (fun _ -> Fingerprint.create ~mode:spec.fp_mode tab)
+    else [||]
+  in
+  let fp_of w = if Array.length fps = 0 then None else Some fps.(w) in
+  let expansions =
+    match instr.Search.metrics with
+    | None -> None
+    | Some reg ->
+      Some
+        (P_obs.Metrics.counter reg ~labels:[ ("engine", engine) ] "checker.expansions")
+  in
+  let started = P_obs.Mclock.start () in
+  let t0_us = P_obs.Mclock.now_us () in
+  let t, root = init_run ~instr ~engine spec tab ~fp:(fp_of 0) in
+  let finish verdict =
+    t.stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
+    flush_fp_meters t (Array.to_list fps);
+    Search.emit_run_span instr ~engine ~t0_us ~stats:t.stats span_args;
+    { Search.verdict; stats = t.stats }
+  in
+  let frontier = ref [ root ] in
+  try
+    while !frontier <> [] do
+      if t.stats.states >= spec.max_states then begin
+        t.stats.truncated <- true;
+        frontier := []
+      end
+      else begin
+        let nodes = Array.of_list !frontier in
+        (match t.meters with
+        | None -> ()
+        | Some m ->
+          P_obs.Metrics.set_max m.Search.m_frontier
+            (float_of_int (Array.length nodes)));
+        (* small levels are cheaper sequentially: domain spawns and the
+           stop-the-world minor GC synchronization only pay off once a
+           level carries real work *)
+        let n_workers =
+          if Array.length nodes < spawn_threshold then 1
+          else max 1 (min domains (Array.length nodes))
+        in
+        let slice w =
+          let total = Array.length nodes in
+          let lo = total * w / n_workers and hi = total * (w + 1) / n_workers in
+          Array.to_list (Array.sub nodes lo (hi - lo))
+        in
+        let worker w () =
+          List.concat_map (expand ?expansions ~fp:(fp_of w) t) (slice w)
+        in
+        let results =
+          if n_workers = 1 then [ worker 0 () ]
+          else begin
+            let handles = List.init n_workers (fun w -> Domain.spawn (worker w)) in
+            List.map Domain.join handles
+          end
+        in
+        (* sequential merge keeps determinism *)
+        let next = ref [] in
+        let push n = next := n :: !next in
+        List.iter (List.iter (integrate t ~push)) results;
+        frontier := List.rev !next
+      end
+    done;
+    finish Search.No_error
+  with Found ce -> finish (Search.Error_found ce)

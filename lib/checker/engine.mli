@@ -1,0 +1,152 @@
+(** The shared exploration core: one loop, parameterized by scheduling
+    policy, budget discipline, frontier order, ghost-choice resolution, and
+    error handling. {!Delay_bounded}, {!Depth_bounded}, {!Parallel},
+    {!Random_walk}, {!Liveness}, and {!Coverage} are thin instantiations;
+    the engine regression tests pin their (verdict, states, transitions)
+    triples to the pre-refactor values.
+
+    State identity is a {!Fingerprint} over the configuration plus the
+    scheduler's [encode] extras; counterexamples are replayed from a
+    compact edge table (parent, move code, ghost choices), so frontier
+    nodes carry no traces. *)
+
+(** Stack discipline on sends and creations: [Causal] pushes the receiver
+    on top (it runs next); [Round_robin] appends at the bottom. *)
+type discipline = Causal | Round_robin
+
+val rotate : 'a list -> 'a list
+(** Move the top of the stack to the bottom — one delay. *)
+
+val rotate_k : 'a list -> int -> 'a list
+
+val apply_outcome :
+  ?discipline:discipline ->
+  P_semantics.Mid.t list ->
+  P_semantics.Step.outcome ->
+  (P_semantics.Config.t * P_semantics.Mid.t list) option
+(** Advance the causal stack past a non-failing outcome (default
+    [Causal]); [None] when the outcome is [Failed] or
+    [Need_more_choices]. *)
+
+(** A scheduling policy: which machines may run from a state, what each
+    move costs, and how moves are recorded (as an [int] code in the edge
+    table) and replayed. *)
+type 'sched scheduler = {
+  init : P_semantics.Mid.t -> 'sched;
+  moves :
+    P_static.Symtab.t ->
+    P_semantics.Config.t ->
+    'sched ->
+    budget_left:int ->
+    (int * 'sched * P_semantics.Mid.t * int) list;
+      (** candidate moves in deterministic order: [(code, scheduler state
+          positioned at the move, machine to run, budget cost)] *)
+  decode : 'sched -> int -> ('sched * P_semantics.Mid.t) option;
+      (** re-position a recorded move code during replay *)
+  apply :
+    'sched -> P_semantics.Step.outcome ->
+    (P_semantics.Config.t * 'sched) option;
+      (** advance past a non-failing outcome; [None] on failure *)
+  encode : 'sched -> int list;  (** scheduler part of the state key *)
+}
+
+val full_nondet : unit scheduler
+(** Any enabled machine may run, in {!P_semantics.Step.enabled} order;
+    each move costs 1 (so the budget is depth). *)
+
+val stack_sched : discipline -> P_semantics.Mid.t list scheduler
+(** The delaying scheduler: rotating the causal stack [k] places costs [k]
+    delays; the stack is part of the state key. *)
+
+val random_pick : (int -> int) -> unit scheduler
+(** [random_pick draw]: one move — a [draw]-selected enabled machine. *)
+
+type resolver =
+  | Exhaustive  (** enumerate every ghost-choice resolution *)
+  | Sampled of (unit -> bool)  (** draw one resolution per block *)
+
+type frontier = Bfs | Dfs
+
+type edge_dst =
+  | Dst_new of int  (** first visit; the state was just given this index *)
+  | Dst_seen of int  (** the seen set already held this state *)
+  | Dst_failed of P_semantics.Errors.t
+
+(** Callbacks for graph-building engines; state indices are dense, with
+    the root at 0 and indices assigned in discovery order. *)
+type observer = {
+  on_state : int -> P_semantics.Config.t -> unit;
+  on_edge :
+    src:int ->
+    src_config:P_semantics.Config.t ->
+    by:P_semantics.Mid.t ->
+    resolved:Search.resolved ->
+    dst:edge_dst ->
+    unit;
+      (** every explored transition, including duplicates and failures *)
+}
+
+type 'sched spec = {
+  scheduler : 'sched scheduler;
+  bound : int;  (** the budget: delays, depth, or walk blocks *)
+  truncate_on_exhaust : bool;
+      (** pop-time check: a node with [spent >= bound] marks the stats
+          truncated instead of expanding; when false the budget only
+          limits [moves] *)
+  frontier : frontier;
+  resolver : resolver;
+  track_seen : bool;  (** false = no fingerprints, no dedup *)
+  dedup : bool;  (** the ⊕ queue append, forwarded to [run_atomic] *)
+  stop_on_error : bool;
+      (** raise at the first failure (with a replayed trace) vs record the
+          edge and keep exploring *)
+  max_states : int;
+  max_depth : int;
+  fp_mode : Fingerprint.mode;
+}
+
+val spec :
+  ?bound:int ->
+  ?truncate_on_exhaust:bool ->
+  ?frontier:frontier ->
+  ?resolver:resolver ->
+  ?track_seen:bool ->
+  ?dedup:bool ->
+  ?stop_on_error:bool ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?fp_mode:Fingerprint.mode ->
+  'sched scheduler ->
+  'sched spec
+(** Spec builder with the common defaults: unbounded budget, BFS,
+    exhaustive choices, seen-set on, dedup on, stop at the first error,
+    [max_states] 1,000,000, incremental fingerprints. *)
+
+val run :
+  ?instr:Search.instr ->
+  ?observer:observer ->
+  ?span_args:(string * P_obs.Json.t) list ->
+  engine:string ->
+  'sched spec ->
+  P_static.Symtab.t ->
+  Search.result
+(** Run a spec to completion on the current domain. Deterministic for a
+    fixed spec. *)
+
+val run_parallel :
+  ?instr:Search.instr ->
+  ?span_args:(string * P_obs.Json.t) list ->
+  engine:string ->
+  domains:int ->
+  spawn_threshold:int ->
+  'sched spec ->
+  P_static.Symtab.t ->
+  Search.result
+(** Level-synchronous parallel BFS over the same spec: each round the
+    frontier is split among [domains] workers which expand their slices
+    with worker-local fingerprints, then successors are merged
+    sequentially in worker order — byte-identical results to {!run} on
+    the same spec, independent of [domains], except that [max_states] is
+    checked between levels (the final count may overshoot). Levels
+    smaller than [spawn_threshold] run on the main domain. Requires
+    [spec.frontier = Bfs]; observers are not supported. *)

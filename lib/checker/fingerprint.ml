@@ -1,0 +1,140 @@
+(** Incremental state fingerprinting.
+
+    The seen-set key of every engine used to be [Canon.digest], which
+    re-encodes every machine of the configuration and MD5s the whole buffer
+    on each query — O(state size) work per transition, even though one
+    atomic block touches at most a couple of machines. This module keys a
+    digest cache on *physical* machine identity: {!P_semantics.Step} updates
+    configurations through {!P_semantics.Config.update}, whose persistent
+    map shares every untouched machine between parent and successor, so a
+    cached per-machine digest is hit for every machine the block did not
+    touch and the successor fingerprint costs O(machines-changed) encoding
+    work plus one short MD5 combine.
+
+    The incremental fingerprint of a configuration is
+
+    {v MD5( varint next_id · varint live_count
+            · md5(machine_1) … md5(machine_k)      (in identifier order)
+            · varint |extra| · varint extra_i … ) v}
+
+    where [md5(machine_i)] is {!Canon.machine_digest} of that binding. The
+    per-machine digests are fixed-width, so the combine is injective in
+    them; the whole key is as collision-resistant as [Canon.digest] itself
+    (both stand on MD5). Incremental and full digests of the same
+    configuration are *different strings* — an engine must use one mode for
+    a whole run, which they do.
+
+    The "cache" is the machine value itself: {!P_semantics.Machine.t}
+    carries a mutable [digest_memo] slot that [Config.update] — the one
+    function through which every (re)built machine enters a configuration
+    — resets to [""]. A non-empty memo is therefore only ever observed on
+    a machine physically shared, untouched, with an already-digested
+    configuration, and reading it is a plain field load. An external table
+    keyed on physical identity cannot do this cheaply: OCaml has no
+    address-based hash, and a structural hash collapses the thousands of
+    near-identical versions of each machine into a handful of buckets.
+    (Under the parallel engine two domains can race to fill a memo; both
+    write the same canonical digest string, so either outcome is correct,
+    and hit/miss counts are exact only for single-domain runs.)
+
+    [Paranoid] computes both fingerprints for every query, returns the full
+    one (so a paranoid run is bit-for-bit a [Full] run), and checks the two
+    stay in bijection: a violation means either an MD5 collision or a stale
+    cache entry (i.e. a broken sharing guarantee), and is counted in
+    {!collisions}. *)
+
+module Config = P_semantics.Config
+module Machine = P_semantics.Machine
+module Mid = P_semantics.Mid
+
+type mode = Full | Incremental | Paranoid
+
+let mode_to_string = function
+  | Full -> "full"
+  | Incremental -> "incremental"
+  | Paranoid -> "paranoid"
+
+let mode_of_string = function
+  | "full" -> Ok Full
+  | "incremental" -> Ok Incremental
+  | "paranoid" -> Ok Paranoid
+  | s -> Error (Printf.sprintf "unknown fingerprint mode %S" s)
+
+type t = {
+  canon : Canon.t;
+  mode : mode;
+  buf : Buffer.t;
+  (* paranoid-mode bijection witnesses: incremental <-> full *)
+  incr_to_full : (string, string) Hashtbl.t;
+  full_to_incr : (string, string) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable collisions : int;
+}
+
+let create ?(mode = Incremental) tab =
+  { canon = Canon.create tab;
+    mode;
+    buf = Buffer.create 256;
+    incr_to_full = Hashtbl.create 64;
+    full_to_incr = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    collisions = 0 }
+
+let mode t = t.mode
+let hits t = t.hits
+let misses t = t.misses
+let collisions t = t.collisions
+
+(* Same varint as Canon.add_int (zigzag, 7 bits per byte). *)
+let add_int buf i =
+  let rec go i =
+    if i land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr i)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (i land 0x7f)));
+      go (i lsr 7)
+    end
+  in
+  go (if i < 0 then (-2 * i) - 1 else 2 * i)
+
+let machine_digest t id (m : Machine.t) =
+  let memo = m.Machine.digest_memo in
+  if String.length memo <> 0 then begin
+    t.hits <- t.hits + 1;
+    memo
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let d = Canon.machine_digest t.canon id m in
+    m.Machine.digest_memo <- d;
+    d
+  end
+
+let incremental t (config : Config.t) (extra : int list) : string =
+  Buffer.clear t.buf;
+  add_int t.buf (Mid.to_int config.next_id);
+  add_int t.buf (Config.live_count config);
+  Config.fold (fun id m () -> Buffer.add_string t.buf (machine_digest t id m)) config ();
+  add_int t.buf (List.length extra);
+  List.iter (add_int t.buf) extra;
+  Digest.string (Buffer.contents t.buf)
+
+let digest t (config : Config.t) (extra : int list) : string =
+  match t.mode with
+  | Full -> Canon.digest t.canon config extra
+  | Incremental -> incremental t config extra
+  | Paranoid ->
+    let inc = incremental t config extra in
+    let full = Canon.digest t.canon config extra in
+    (match Hashtbl.find_opt t.incr_to_full inc with
+    | Some full' when not (String.equal full full') ->
+      t.collisions <- t.collisions + 1
+    | Some _ -> ()
+    | None -> Hashtbl.add t.incr_to_full inc full);
+    (match Hashtbl.find_opt t.full_to_incr full with
+    | Some inc' when not (String.equal inc inc') ->
+      t.collisions <- t.collisions + 1
+    | Some _ -> ()
+    | None -> Hashtbl.add t.full_to_incr full inc);
+    full

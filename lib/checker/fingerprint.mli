@@ -1,0 +1,53 @@
+(** Incremental state fingerprinting for the exploration engines' seen
+    sets.
+
+    [Full] is the historical behavior: every query re-encodes the whole
+    configuration through {!Canon.digest}. [Incremental] memoises a
+    {!Canon.machine_digest} per *physical* machine value, in the machine's
+    own [digest_memo] slot — sound because every rebuilt machine enters a
+    configuration through [Config.update], which resets the slot, while
+    {!P_semantics.Step.run_atomic} physically shares every machine it did
+    not touch — and combines the memoised per-machine digests with
+    [next_id], the live count, and the scheduler extra, making a successor
+    fingerprint O(machines-changed) encoding work instead of
+    O(state-size). [Paranoid] computes both, returns the full digest (a
+    paranoid run explores exactly what a [Full] run does), and counts any
+    break of the incremental↔full bijection in {!collisions}.
+
+    Within one mode, equal fingerprints mean equal states up to MD5
+    collision, exactly like [Canon.digest]; fingerprints from different
+    modes are not comparable. Like {!Canon.t}, a fingerprint is stateful
+    and single-domain: use one per worker (digests are canonical, so
+    separate instances produce identical keys). *)
+
+type mode = Full | Incremental | Paranoid
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+type t
+
+val create : ?mode:mode -> P_static.Symtab.t -> t
+(** [create tab] builds a fingerprint context (default mode
+    [Incremental]). The per-machine memo lives inside the machine values
+    themselves, so separate contexts (e.g. one per parallel worker) share
+    it; each context keeps its own hit/miss/collision counters. *)
+
+val mode : t -> mode
+
+val digest : t -> P_semantics.Config.t -> int list -> string
+(** [digest t config extra]: the state key of [config] plus the scheduler
+    [extra] integers, per the context's mode. *)
+
+val hits : t -> int
+(** Per-machine memo hits served so far (incremental and paranoid). Under
+    the parallel engine another worker may fill a memo concurrently, so
+    hit/miss counts are exact only for single-domain runs. *)
+
+val misses : t -> int
+(** Per-machine encodings that had to be computed. *)
+
+val collisions : t -> int
+(** Paranoid mode only: incremental↔full bijection violations observed.
+    Anything other than zero indicates an MD5 collision or a stale cache
+    entry. *)

@@ -93,65 +93,41 @@ type graph = {
   n : int;
 }
 
+(* The full-interleaving graph is an {!Engine.run} over [full_nondet] with
+   an observer collecting states, edges, and the first-discovery tree;
+   [stop_on_error:false] turns the loop into pure graph construction. *)
 let build_graph ?(max_states = 50_000) (tab : Symtab.t) =
-  let canon = Canon.create tab in
-  let seen = Hashtbl.create 1024 in
   let configs = Dynarray.create () in
   let succs = Dynarray.create () in
   let parents = Dynarray.create () in
-  let config0, _, _ = Step.initial_config tab in
-  let truncated = ref false in
-  let node_of config =
-    let digest = Canon.digest canon config [] in
-    match Hashtbl.find_opt seen digest with
-    | Some i -> (i, false)
-    | None ->
-      let i = Dynarray.length configs in
-      Hashtbl.replace seen digest i;
-      Dynarray.add_last configs config;
-      Dynarray.add_last succs [];
-      Dynarray.add_last parents None;
-      (i, true)
+  let observer =
+    { Engine.on_state =
+        (fun _i config ->
+          Dynarray.add_last configs config;
+          Dynarray.add_last succs [];
+          Dynarray.add_last parents None);
+      on_edge =
+        (fun ~src ~src_config:_ ~by ~resolved ~dst ->
+          match dst with
+          | Engine.Dst_failed _ ->
+            () (* safety errors are the safety checker's job *)
+          | Engine.Dst_new j | Engine.Dst_seen j ->
+            let dequeued =
+              List.filter_map
+                (function
+                  | P_semantics.Trace.Dequeued { mid; event; payload } ->
+                    Some (mid, event, payload)
+                  | _ -> None)
+                resolved.Search.items
+            in
+            Dynarray.set succs src
+              ({ dst = j; by; choices = resolved.Search.choices; dequeued }
+              :: Dynarray.get succs src);
+            if match dst with Engine.Dst_new _ -> true | _ -> false then
+              Dynarray.set parents j (Some (src, by, resolved.Search.choices))) }
   in
-  let queue = Queue.create () in
-  let root, _ = node_of config0 in
-  Queue.add root queue;
-  while not (Queue.is_empty queue) do
-    if Dynarray.length configs >= max_states then begin
-      truncated := true;
-      Queue.clear queue
-    end
-    else
-      let i = Queue.pop queue in
-      let config = Dynarray.get configs i in
-      List.iter
-        (fun mid ->
-          List.iter
-            (fun (r : Search.resolved) ->
-              match r.outcome with
-              | Step.Failed _ -> () (* safety errors are the safety checker's job *)
-              | Step.Progress (config', _) | Step.Blocked config'
-              | Step.Terminated config' ->
-                let j, fresh = node_of config' in
-                let dequeued =
-                  List.filter_map
-                    (function
-                      | P_semantics.Trace.Dequeued { mid; event; payload } ->
-                        Some (mid, event, payload)
-                      | _ -> None)
-                    r.items
-                in
-                Dynarray.set succs i
-                  ({ dst = j; by = mid; choices = r.choices; dequeued }
-                  :: Dynarray.get succs i);
-                if fresh then begin
-                  Dynarray.set parents j (Some (i, mid, r.choices));
-                  Queue.add j queue
-                end
-              | Step.Need_more_choices -> assert false)
-            (Search.resolutions tab config mid))
-        (Step.enabled tab config)
-  done;
+  let spec = Engine.spec ~stop_on_error:false ~max_states Engine.full_nondet in
+  let r = Engine.run ~observer ~engine:"liveness" spec tab in
   let n = Dynarray.length configs in
   let arr = Array.make (max n 1) [] in
   let par = Array.make (max n 1) None in
@@ -159,7 +135,7 @@ let build_graph ?(max_states = 50_000) (tab : Symtab.t) =
     arr.(i) <- Dynarray.get succs i;
     par.(i) <- Dynarray.get parents i
   done;
-  ({ configs; succs = ref arr; parents = ref par; n }, not !truncated)
+  ({ configs; succs = ref arr; parents = ref par; n }, not r.Search.stats.truncated)
 
 (* ---------------- Tarjan SCC ---------------- *)
 

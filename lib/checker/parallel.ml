@@ -2,259 +2,32 @@
 
     The paper's case study notes the verifier ran "after using multicores to
     scale the state exploration"; this module is that scaling knob for our
-    checker: a level-synchronous parallel BFS of the delay-bounded search on
-    OCaml 5 domains. Each round, the frontier is split among [domains]
-    workers which run the atomic blocks and compute successor digests with
-    worker-local {!Canon} encoders (digests are canonical, so worker-local
-    interning yields identical keys); the main domain merges successors into
-    the seen set sequentially, which keeps the algorithm deterministic:
-    states, transitions, and the found-or-not verdict are independent of the
-    number of domains (only wall-clock changes). Counterexamples are
-    reported like the sequential engine's, with the trace rebuilt by replay.
+    checker: {!Engine.run_parallel} over the delay-bounded spec — a
+    level-synchronous parallel BFS on OCaml 5 domains. Each round, the
+    frontier is split among [domains] workers which run the atomic blocks
+    and compute successor fingerprints with worker-local {!Fingerprint}
+    contexts (digests are canonical, so worker-local caches yield identical
+    keys); the main domain merges successors into the seen set
+    sequentially, which keeps the algorithm deterministic: states,
+    transitions, and the found-or-not verdict are independent of the number
+    of domains (only wall-clock changes). Counterexamples are reported like
+    the sequential engine's, with the trace rebuilt by replay.
 
     The sequential {!Delay_bounded.explore} remains the reference; the test
     suite checks this engine agrees with it exactly. *)
-
-module Config = P_semantics.Config
-module Step = P_semantics.Step
-module Mid = P_semantics.Mid
-module Symtab = P_static.Symtab
-
-type node = {
-  config : Config.t;
-  stack : Mid.t list;
-  delays : int;
-  depth : int;
-  idx : int;
-}
-
-type edge = { parent : int; rotations : int; choices : bool list }
-
-(* A successor produced by a worker, not yet deduplicated. *)
-type successor = {
-  s_digest : string;
-  s_config : Config.t;
-  s_stack : Mid.t list;
-  s_delays : int;
-  s_parent : int;
-  s_rotations : int;
-  s_choices : bool list;
-  s_error : P_semantics.Errors.t option;  (* Some = this edge fails *)
-}
-
-let rotate_k = Delay_bounded.rotate_k
-
-(* Expand one node into raw successors (pure except for the optional
-   expansion counter, which each worker bumps in its own domain shard). *)
-let expand_node ?expansions (tab : Symtab.t) (canon : Canon.t) ~delay_bound (n : node) :
-    successor list =
-  let acc = ref [] in
-  let width = List.length n.stack in
-  let max_rot = if width <= 1 then 0 else min (delay_bound - n.delays) (width - 1) in
-  for k = 0 to max_rot do
-    let stack = rotate_k n.stack k in
-    match stack with
-    | [] -> ()
-    | top :: _ ->
-      List.iter
-        (fun (r : Search.resolved) ->
-          (match expansions with
-          | None -> ()
-          | Some c -> P_obs.Metrics.incr c);
-          match r.outcome with
-          | Step.Failed error ->
-            acc :=
-              { s_digest = "";
-                s_config = n.config;
-                s_stack = stack;
-                s_delays = n.delays + k;
-                s_parent = n.idx;
-                s_rotations = k;
-                s_choices = r.choices;
-                s_error = Some error }
-              :: !acc
-          | Step.Need_more_choices -> assert false
-          | outcome -> (
-            match Delay_bounded.apply_outcome stack outcome with
-            | None -> ()
-            | Some (config, stack') ->
-              let digest = Canon.digest canon config (List.map Mid.to_int stack') in
-              acc :=
-                { s_digest = digest;
-                  s_config = config;
-                  s_stack = stack';
-                  s_delays = n.delays + k;
-                  s_parent = n.idx;
-                  s_rotations = k;
-                  s_choices = r.choices;
-                  s_error = None }
-              :: !acc))
-        (Search.resolutions tab n.config top)
-  done;
-  List.rev !acc
-
-exception Found of Search.counterexample
-
-(* Replay an edge chain (as in Delay_bounded.replay). *)
-let replay tab (edges : edge option Dynarray.t) idx : P_semantics.Trace.t =
-  let rec chain idx acc =
-    match Dynarray.get edges idx with
-    | None -> acc
-    | Some e -> chain e.parent (e :: acc)
-  in
-  let path = chain idx [] in
-  let config0, id0, items0 = Step.initial_config tab in
-  let rec follow config stack items = function
-    | [] -> items
-    | (e : edge) :: rest -> (
-      let stack = rotate_k stack e.rotations in
-      match stack with
-      | [] -> items
-      | top :: _ -> (
-        let outcome, new_items = Step.run_atomic tab config top ~choices:e.choices in
-        let items = items @ new_items in
-        match Delay_bounded.apply_outcome stack outcome with
-        | Some (config, stack) -> follow config stack items rest
-        | None -> items))
-  in
-  follow config0 [ id0 ] items0 path
 
 (** Parallel delay-bounded exploration. Semantically identical to
     {!Delay_bounded.explore} (Causal discipline, ⊕ queues); [domains] only
     affects wall-clock time. *)
 let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
-    ?(instr = Search.no_instr) ~delay_bound (tab : Symtab.t) : Search.result =
-  let stats = Search.new_stats () in
-  let meters = Search.meters ~engine:"parallel" instr in
-  (* the per-worker expansion counter: every worker increments the same
-     handle, each into its own domain's shard; reads merge the shards *)
-  let expansions =
-    match instr.metrics with
-    | None -> None
-    | Some reg ->
-      Some
-        (P_obs.Metrics.counter reg
-           ~labels:[ ("engine", "parallel") ]
-           "checker.expansions")
+    ?(fingerprint = Fingerprint.Incremental) ?(instr = Search.no_instr)
+    ~delay_bound (tab : P_static.Symtab.t) : Search.result =
+  let spec =
+    Engine.spec ~bound:delay_bound ~max_states ~fp_mode:fingerprint
+      (Engine.stack_sched Engine.Causal)
   in
-  let ticker = Search.ticker instr stats in
-  let started = P_obs.Mclock.start () in
-  let t0_us = P_obs.Mclock.now_us () in
-  let finish verdict =
-    stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
-    Search.emit_run_span instr ~engine:"parallel" ~t0_us ~stats
+  Engine.run_parallel ~instr ~engine:"parallel"
+    ~span_args:
       [ ("delay_bound", P_obs.Json.Int delay_bound);
-        ("domains", P_obs.Json.Int domains) ];
-    { Search.verdict; stats }
-  in
-  let main_canon = Canon.create tab in
-  let seen : (string, int) Hashtbl.t = Hashtbl.create 4096 in
-  let edges : edge option Dynarray.t = Dynarray.create () in
-  let config0, id0, _ = Step.initial_config tab in
-  let root = { config = config0; stack = [ id0 ]; delays = 0; depth = 0; idx = 0 } in
-  Dynarray.add_last edges None;
-  Hashtbl.replace seen (Canon.digest main_canon config0 [ Mid.to_int id0 ]) 0;
-  stats.states <- 1;
-  (match meters with
-  | None -> ()
-  | Some m -> P_obs.Metrics.incr m.Search.m_states);
-  let frontier = ref [ root ] in
-  let depth = ref 0 in
-  try
-    while !frontier <> [] do
-      if stats.states >= max_states then begin
-        stats.truncated <- true;
-        frontier := []
-      end
-      else begin
-        incr depth;
-        let nodes = Array.of_list !frontier in
-        (match meters with
-        | None -> ()
-        | Some m ->
-          P_obs.Metrics.set_max m.Search.m_frontier
-            (float_of_int (Array.length nodes)));
-        (* small levels are cheaper sequentially: domain spawns and the
-           stop-the-world minor GC synchronization only pay off once a
-           level carries real work *)
-        let n_workers =
-          if Array.length nodes < spawn_threshold then 1
-          else max 1 (min domains (Array.length nodes))
-        in
-        (* split the frontier into [n_workers] contiguous slices *)
-        let slice w =
-          let total = Array.length nodes in
-          let lo = total * w / n_workers and hi = total * (w + 1) / n_workers in
-          Array.to_list (Array.sub nodes lo (hi - lo))
-        in
-        let worker w () =
-          (* worker-local canon: same deterministic interning, no sharing *)
-          let canon = Canon.create tab in
-          List.concat_map (expand_node ?expansions tab canon ~delay_bound) (slice w)
-        in
-        let results =
-          if n_workers = 1 then [ worker 0 () ]
-          else begin
-            let handles = List.init n_workers (fun w -> Domain.spawn (worker w)) in
-            List.map Domain.join handles
-          end
-        in
-        (* sequential merge keeps determinism *)
-        let next = ref [] in
-        List.iter
-          (fun succs ->
-            List.iter
-              (fun (s : successor) ->
-                stats.transitions <- stats.transitions + 1;
-                (match meters with
-                | None -> ()
-                | Some m -> P_obs.Metrics.incr m.Search.m_transitions);
-                Search.tick ticker;
-                match s.s_error with
-                | Some error ->
-                  let idx = Dynarray.length edges in
-                  Dynarray.add_last edges
-                    (Some
-                       { parent = s.s_parent;
-                         rotations = s.s_rotations;
-                         choices = s.s_choices });
-                  let trace = replay tab edges idx in
-                  raise (Found { Search.error; trace; depth = !depth })
-                | None -> (
-                  match Hashtbl.find_opt seen s.s_digest with
-                  | Some best when best <= s.s_delays -> (
-                    match meters with
-                    | None -> ()
-                    | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits)
-                  | known ->
-                    Hashtbl.replace seen s.s_digest s.s_delays;
-                    if known = None then begin
-                      stats.states <- stats.states + 1;
-                      match meters with
-                      | None -> ()
-                      | Some m ->
-                        P_obs.Metrics.incr m.Search.m_states;
-                        P_obs.Metrics.set_max m.Search.m_queue_hwm
-                          (Search.queue_hwm_of_config s.s_config)
-                    end;
-                    let idx = Dynarray.length edges in
-                    Dynarray.add_last edges
-                      (Some
-                         { parent = s.s_parent;
-                           rotations = s.s_rotations;
-                           choices = s.s_choices });
-                    if !depth > stats.max_depth then stats.max_depth <- !depth;
-                    next :=
-                      { config = s.s_config;
-                        stack = s.s_stack;
-                        delays = s.s_delays;
-                        depth = !depth;
-                        idx }
-                      :: !next))
-              succs)
-          results;
-        frontier := List.rev !next
-      end
-    done;
-    finish Search.No_error
-  with Found ce -> finish (Search.Error_found ce)
+        ("domains", P_obs.Json.Int domains) ]
+    ~domains ~spawn_threshold spec tab

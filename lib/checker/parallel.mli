@@ -1,6 +1,7 @@
-(** Multicore state-space exploration: a level-synchronous parallel BFS of
-    the delay-bounded search on OCaml 5 domains (the paper's case study
-    mentions "using multicores to scale the state exploration").
+(** Multicore state-space exploration: {!Engine.run_parallel} over the
+    delay-bounded spec — a level-synchronous parallel BFS on OCaml 5
+    domains (the paper's case study mentions "using multicores to scale
+    the state exploration").
 
     Semantically identical to {!Delay_bounded.explore} with the causal
     discipline: states, transitions, and verdicts are independent of
@@ -11,6 +12,7 @@ val explore :
   ?max_states:int ->
   ?domains:int ->
   ?spawn_threshold:int ->
+  ?fingerprint:Fingerprint.mode ->
   ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->
@@ -19,7 +21,9 @@ val explore :
     workers (default 4). Levels smaller than [spawn_threshold] (default 64)
     run sequentially — domain spawns and minor-GC synchronization only pay
     off on real work. The [max_states] budget is checked between levels, so
-    the final count may overshoot slightly.
+    the final count may overshoot slightly. [fingerprint] selects the
+    state-key strategy (default [Incremental]); each worker keeps its own
+    per-machine digest cache, persistent across levels.
 
     With [instr] metrics on, workers additionally count
     [checker.expansions] (labelled [engine=parallel]) from inside their

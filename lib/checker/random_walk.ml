@@ -8,14 +8,16 @@
     bounded* enumeration finds bugs with far fewer executions than unbiased
     search; the [ablation] benchmark uses this module to show random walks
     needing many more atomic blocks than the d ≤ 2 search to hit the same
-    seeded bugs — and missing the rarer ones entirely at equal budgets. *)
+    seeded bugs — and missing the rarer ones entirely at equal budgets.
 
-module Config = P_semantics.Config
-module Step = P_semantics.Step
+    Each walk is a degenerate {!Engine.run}: a {!Engine.random_pick}
+    scheduler offering one drawn move per state, [Sampled] ghost choices,
+    no seen set, budget = blocks. The per-walk draw sequence is identical
+    to the historical hand-rolled walker (one machine draw per block, then
+    one boolean per ghost choice), so results per seed are unchanged. *)
+
 module Errors = P_semantics.Errors
 module Trace = P_semantics.Trace
-module Mid = P_semantics.Mid
-module Symtab = P_static.Symtab
 
 type walk_result =
   | Walk_error of Errors.t * Trace.t * int  (** error, trace, blocks taken *)
@@ -54,38 +56,27 @@ let rand_int rng bound =
 
 let rand_bool rng = rand_int rng 2 = 1
 
-(* Run one atomic block with randomly resolved ghost choices. *)
-let run_block tab config mid rng =
-  let rec go choices =
-    match Step.run_atomic tab config mid ~choices with
-    | Step.Need_more_choices, _ -> go (choices @ [ rand_bool rng ])
-    | outcome, items -> (outcome, items)
+(* One walk = one engine run with a single-move random scheduler. The walk
+   length in blocks is exactly the transition count; a truncated clean run
+   hit the budget, an untruncated one went quiescent. Runs with no_instr:
+   the walk-level metrics and the single lifecycle span are this module's. *)
+let one_walk (tab : P_static.Symtab.t) rng ~max_blocks : walk_result =
+  let spec =
+    Engine.spec ~bound:max_blocks ~truncate_on_exhaust:true ~frontier:Engine.Dfs
+      ~resolver:(Engine.Sampled (fun () -> rand_bool rng))
+      ~track_seen:false ~max_states:max_int
+      (Engine.random_pick (rand_int rng))
   in
-  go []
-
-let one_walk (tab : Symtab.t) rng ~max_blocks : walk_result =
-  let config0, _, items0 = Step.initial_config tab in
-  let rec go config blocks trace_rev =
-    if blocks >= max_blocks then Walk_budget blocks
-    else
-      match Step.enabled tab config with
-      | [] -> Walk_quiescent blocks
-      | enabled -> (
-        let mid = List.nth enabled (rand_int rng (List.length enabled)) in
-        let outcome, items = run_block tab config mid rng in
-        let trace_rev = List.rev_append items trace_rev in
-        match outcome with
-        | Step.Failed error -> Walk_error (error, List.rev trace_rev, blocks + 1)
-        | Step.Progress (config, _) | Step.Blocked config | Step.Terminated config ->
-          go config (blocks + 1) trace_rev
-        | Step.Need_more_choices -> assert false)
-  in
-  go config0 0 (List.rev items0)
+  let r = Engine.run ~engine:"random_walk" spec tab in
+  match r.Search.verdict with
+  | Search.Error_found ce -> Walk_error (ce.error, ce.trace, ce.depth)
+  | Search.No_error when r.Search.stats.truncated -> Walk_budget r.Search.stats.transitions
+  | Search.No_error -> Walk_quiescent r.Search.stats.transitions
 
 (** Run [walks] independent random schedules of at most [max_blocks] atomic
     blocks each. *)
 let run ?(walks = 100) ?(max_blocks = 1_000) ?(seed = 1)
-    ?(instr = Search.no_instr) (tab : Symtab.t) : result =
+    ?(instr = Search.no_instr) (tab : P_static.Symtab.t) : result =
   let started = P_obs.Mclock.start () in
   let t0_us = P_obs.Mclock.now_us () in
   let wmeters =

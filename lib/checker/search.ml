@@ -19,15 +19,18 @@ type resolved = {
 
 (** Enumerate every resolution of the ghost [*] choices hit while running
     machine [mid] one atomic block from [config]. Depth-first, false first,
-    so resolutions come out in a deterministic order. *)
+    so resolutions come out in a deterministic order. The choice prefix is
+    carried reversed — extending it is a cons, not an O(depth) append — and
+    flipped forward once per [run_atomic] call. *)
 let resolutions ?fuel ?dedup (tab : Symtab.t) (config : Config.t) (mid : Mid.t) :
     resolved list =
   let acc = ref [] in
-  let rec go choices =
+  let rec go rev_choices =
+    let choices = List.rev rev_choices in
     match Step.run_atomic ?fuel ?dedup tab config mid ~choices with
     | Step.Need_more_choices, _ ->
-      go (choices @ [ false ]);
-      go (choices @ [ true ])
+      go (false :: rev_choices);
+      go (true :: rev_choices)
     | outcome, items -> acc := { choices; outcome; items } :: !acc
   in
   go [];
@@ -88,6 +91,12 @@ type meters = {
   m_frontier : P_obs.Metrics.gauge;  (** [checker.frontier_depth] high-water *)
   m_queue_hwm : P_obs.Metrics.gauge;
       (** [checker.queue_len_hwm] — longest per-machine event queue seen *)
+  m_fp_hits : P_obs.Metrics.counter;
+      (** [checker.fp_cache_hits] — per-machine fingerprint cache hits *)
+  m_fp_misses : P_obs.Metrics.counter;
+      (** [checker.fp_cache_misses] — per-machine encodings computed *)
+  m_fp_collisions : P_obs.Metrics.counter;
+      (** [checker.fp_collisions] — paranoid-mode bijection violations *)
 }
 
 let meters ~engine (i : instr) : meters option =
@@ -100,7 +109,10 @@ let meters ~engine (i : instr) : meters option =
         m_transitions = P_obs.Metrics.counter reg ~labels "checker.transitions";
         m_dedup_hits = P_obs.Metrics.counter reg ~labels "checker.dedup_hits";
         m_frontier = P_obs.Metrics.gauge reg ~labels "checker.frontier_depth";
-        m_queue_hwm = P_obs.Metrics.gauge reg ~labels "checker.queue_len_hwm" }
+        m_queue_hwm = P_obs.Metrics.gauge reg ~labels "checker.queue_len_hwm";
+        m_fp_hits = P_obs.Metrics.counter reg ~labels "checker.fp_cache_hits";
+        m_fp_misses = P_obs.Metrics.counter reg ~labels "checker.fp_cache_misses";
+        m_fp_collisions = P_obs.Metrics.counter reg ~labels "checker.fp_collisions" }
 
 (** Longest per-machine event queue in a configuration (for the high-water
     gauge; computed only when metrics are on). *)

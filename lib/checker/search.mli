@@ -58,13 +58,18 @@ val instr :
 (** Pre-resolved metric handles for one engine run. Metric names:
     [checker.states], [checker.transitions], [checker.dedup_hits],
     [checker.frontier_depth] (gauge, high-water), [checker.queue_len_hwm]
-    (gauge, high-water) — each labelled with [engine=<name>]. *)
+    (gauge, high-water), [checker.fp_cache_hits], [checker.fp_cache_misses],
+    and [checker.fp_collisions] (fingerprint cache totals, added at the end
+    of a run) — each labelled with [engine=<name>]. *)
 type meters = {
   m_states : P_obs.Metrics.counter;
   m_transitions : P_obs.Metrics.counter;
   m_dedup_hits : P_obs.Metrics.counter;
   m_frontier : P_obs.Metrics.gauge;
   m_queue_hwm : P_obs.Metrics.gauge;
+  m_fp_hits : P_obs.Metrics.counter;
+  m_fp_misses : P_obs.Metrics.counter;
+  m_fp_collisions : P_obs.Metrics.counter;
 }
 
 val meters : engine:string -> instr -> meters option

@@ -46,13 +46,15 @@ let pp_report ppf r =
 (** Verify a program: static checks, then delay-bounded safety search, then
     (if [liveness]) the fair-cycle liveness analysis. *)
 let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
-    ?liveness_max_states ?(instr = Search.no_instr)
-    (program : P_syntax.Ast.program) : report =
+    ?liveness_max_states ?(fingerprint = Fingerprint.Incremental)
+    ?(instr = Search.no_instr) (program : P_syntax.Ast.program) : report =
   let { P_static.Check.symtab; diagnostics } = P_static.Check.run program in
   if diagnostics <> [] then
     { static_diagnostics = diagnostics; safety = None; liveness = None }
   else
-    let safety = Delay_bounded.explore ~delay_bound ~max_states ~instr symtab in
+    let safety =
+      Delay_bounded.explore ~delay_bound ~max_states ~fingerprint ~instr symtab
+    in
     let liveness_result =
       if liveness && safety.verdict = Search.No_error then
         Some (Liveness.check ?max_states:liveness_max_states ~instr symtab)

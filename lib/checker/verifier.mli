@@ -19,11 +19,15 @@ val verify :
   ?max_states:int ->
   ?liveness:bool ->
   ?liveness_max_states:int ->
+  ?fingerprint:Fingerprint.mode ->
   ?instr:Search.instr ->
   P_syntax.Ast.program ->
   report
 (** [verify program] runs the full pipeline with [delay_bound] (default 2)
     and a [max_states] budget (default 200000); [liveness:true] adds the
-    responsiveness checks of section 3.2. [instr] is threaded to the safety
-    search and (when requested) the liveness analysis; with the default
-    {!Search.no_instr} the pipeline behaves exactly as before. *)
+    responsiveness checks of section 3.2. [fingerprint] selects the safety
+    search's state-key strategy (default [Incremental]; [Paranoid]
+    cross-checks the incremental cache against full re-encoding). [instr]
+    is threaded to the safety search and (when requested) the liveness
+    analysis; with the default {!Search.no_instr} the pipeline behaves
+    exactly as before. *)

@@ -21,6 +21,17 @@ val alloc : t -> Mid.t * t
 val live_ids : t -> Mid.t list
 val live_count : t -> int
 val fold : (Mid.t -> Machine.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val changed_machines :
+  before:t -> after:t -> (Mid.t * Machine.t) list
+(** Machines of [after] not physically ([==]) present in [before], in
+    identifier order. {!update} is a persistent-map add, so running one
+    atomic block shares every untouched machine between parent and
+    successor; the result is exactly the machines the block touched. This
+    sharing guarantee is what makes a physically-keyed per-machine digest
+    cache (see [P_checker.Fingerprint]) sound and O(machines-changed). *)
+
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : t Fmt.t

@@ -53,6 +53,14 @@ type t = {
   arg : Value.t;  (** the special variable [arg] *)
   agenda : task list;
   queue : Equeue.t;
+  mutable digest_memo : string;
+      (** scratch slot owned by [P_checker.Fingerprint]: the canonical
+          per-machine digest of this exact value, [""] when not yet
+          computed. Not part of the machine's semantic state: ignored by
+          {!compare}, reset by [Config.update] whenever a (possibly
+          rebuilt) machine is bound into a configuration, so a non-empty
+          memo is only ever carried by a physically shared, untouched
+          machine. *)
 }
 
 let top_frame t =
@@ -73,7 +81,8 @@ let create ~name ~self ~initial ~entry ~store =
     msg = None;
     arg = Value.Null;
     agenda = [ Exec entry ];
-    queue = Equeue.empty }
+    queue = Equeue.empty;
+    digest_memo = "" }
 
 (* ------------------------------------------------------------------ *)
 (* Effective deferred set and handler resolution (rule DEQUEUE).       *)

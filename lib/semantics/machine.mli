@@ -34,6 +34,12 @@ type t = {
   arg : Value.t;  (** the special variable [arg] *)
   agenda : task list;
   queue : Equeue.t;
+  mutable digest_memo : string;
+      (** scratch slot owned by [P_checker.Fingerprint]: the canonical
+          per-machine digest of this exact value, [""] when not yet
+          computed. Not semantic state — ignored by {!compare} and reset
+          by [Config.update] on every (re)binding, so a non-empty memo is
+          only ever carried by a physically shared, untouched machine. *)
 }
 
 val create :

@@ -36,6 +36,10 @@ type outcome =
       (** a ghost [*] was evaluated beyond the supplied choice list; re-run
           from the same configuration with the list extended *)
 
+let outcome_config = function
+  | Progress (config, _) | Blocked config | Terminated config -> Some config
+  | Failed _ | Need_more_choices -> None
+
 exception Choice_exhausted
 exception Eval_failure of string * Loc.t
 exception Machine_failure of Errors.kind

@@ -39,7 +39,18 @@ val run_atomic :
     microsteps; a repeated local configuration inside the block is reported
     as [Errors.Livelock] (Brent cycle detection). [dedup:false] disables
     the [⊕] queue append (ablation only). The returned items are the
-    chronological happenings of the block. *)
+    chronological happenings of the block.
+
+    Sharing guarantee: every configuration update inside the block goes
+    through {!Config.update}, so in the successor configuration only the
+    machines the block touched — the running machine, a send target, a
+    created machine — are fresh values; all others are physically shared
+    with the input ({!Config.changed_machines} witnesses this). The
+    checker's incremental fingerprint relies on this invariant. *)
+
+val outcome_config : outcome -> Config.t option
+(** The successor configuration: [Some] for [Progress]/[Blocked]/
+    [Terminated], [None] for [Failed]/[Need_more_choices]. *)
 
 val initial_config : P_static.Symtab.t -> Config.t * Mid.t * Trace.item list
 (** The single-instance initial configuration of the program's main

@@ -7,6 +7,7 @@ let () =
       ("static", Test_static.suite);
       ("semantics", Test_semantics.suite);
       ("checker", Test_checker.suite);
+      ("engine", Test_engine.suite);
       ("obs", Test_obs.suite);
       ("compile", Test_compile.suite);
       ("runtime", Test_runtime.suite);
