@@ -105,8 +105,25 @@ let make_progress () =
         (float_of_int s.states /. t)
     end
 
+(* Provenance string recorded in counterexample artifacts, so [pc replay] /
+   [pc shrink] can reload the program from the artifact alone. *)
+let program_provenance file example =
+  match (file, example) with
+  | Some path, None -> "file:" ^ path
+  | None, Some name -> "example:" ^ name
+  | _ -> assert false (* load_program already rejected these *)
+
+let default_ce_path file example =
+  match (file, example) with
+  | Some path, None -> Filename.remove_extension path ^ ".counterexample.jsonl"
+  | None, Some name -> name ^ ".counterexample.jsonl"
+  | _ -> "counterexample.jsonl"
+
 let run_verify file example delay_bound max_states liveness show_trace domains
-    fingerprint stats_json trace_out progress =
+    fingerprint stats_json trace_out progress seed ce_out no_ce =
+  (match (seed, domains) with
+  | Some _, Some _ -> or_die (Error "--seed is not supported with --domains")
+  | _ -> ());
   let program = or_die (load_program file example) in
   let fingerprint = or_die (P_checker.Fingerprint.mode_of_string fingerprint) in
   let metrics =
@@ -123,12 +140,15 @@ let run_verify file example delay_bound max_states liveness show_trace domains
     match domains with
     | None ->
       P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~fingerprint
-        ~instr program
+        ?seed ~instr program
     | Some domains -> (
       (* the multicore engine, behind the same report shape *)
       match P_static.Check.run program with
       | { diagnostics = (_ :: _) as ds; _ } ->
-        { P_checker.Verifier.static_diagnostics = ds; safety = None; liveness = None }
+        { P_checker.Verifier.static_diagnostics = ds;
+          safety = None;
+          liveness = None;
+          seed = None }
       | { symtab; _ } ->
         let safety =
           P_checker.Parallel.explore ~domains ~delay_bound ~max_states ~fingerprint
@@ -139,7 +159,8 @@ let run_verify file example delay_bound max_states liveness show_trace domains
           liveness =
             (if liveness && safety.verdict = P_checker.Search.No_error then
                Some (P_checker.Liveness.check ~instr symtab)
-             else None) })
+             else None);
+          seed = None })
   in
   (* the counterexample (when any) rides along in the trace file *)
   (match report.safety with
@@ -160,6 +181,25 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   (match report.safety with
   | Some { verdict = P_checker.Search.Error_found ce; _ } when show_trace ->
     Fmt.pr "counterexample trace:@.%a@." P_semantics.Trace.pp ce.trace
+  | _ -> ());
+  (* every failing verify leaves a replayable artifact behind *)
+  (match report.safety with
+  | Some { verdict = P_checker.Search.Error_found ce; _ } when not no_ce -> (
+    let path = Option.value ce_out ~default:(default_ce_path file example) in
+    let engine = match domains with None -> "delay_bounded" | Some _ -> "parallel" in
+    match P_static.Check.run program with
+    | { diagnostics = _ :: _; _ } -> ()
+    | { symtab; _ } -> (
+      match
+        P_checker.Replay.record_counterexample
+          ~program:(program_provenance file example)
+          ?seed ~engine symtab ce
+      with
+      | Ok tf ->
+        P_checker.Trace_file.write_file path tf;
+        Fmt.pr "counterexample: %s (inspect with: pc replay %s, minimize with: pc shrink %s)@."
+          path path path
+      | Error e -> Fmt.epr "pc: could not record the counterexample: %s@." e))
   | _ -> ());
   if not (P_checker.Verifier.is_clean report) then exit 1
 
@@ -215,15 +255,42 @@ let verify_cmd =
       & info [ "progress" ]
           ~doc:"Print a heartbeat (states, transitions, states/s) to stderr.")
   in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Sample ghost $(b,*) choices from a PRNG seeded with $(docv) \
+             instead of enumerating them. The seed is recorded in the \
+             report, the stats JSON, and any counterexample artifact, so a \
+             sampled failure is reproducible.")
+  in
+  let ce_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ce-out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the counterexample trace artifact when the \
+             search fails (default: derived from the program name, \
+             $(b,NAME.counterexample.jsonl)).")
+  in
+  let no_ce =
+    Arg.(
+      value & flag
+      & info [ "no-ce" ] ~doc:"Do not write a counterexample trace artifact on failure.")
+  in
   Cmd.v
     (Cmd.info "verify" ~doc:"Systematic testing with the causal delay-bounded scheduler.")
     Term.(
       const run_verify $ file_arg $ example_arg $ delay $ max_states $ liveness $ trace
-      $ domains $ fingerprint $ stats_json $ trace_out $ progress)
+      $ domains $ fingerprint $ stats_json $ trace_out $ progress $ seed $ ce_out
+      $ no_ce)
 
 (* ---------------- random ---------------- *)
 
-let run_random file example walks max_blocks seed show_trace =
+let run_random file example walks max_blocks seed show_trace ce_out no_ce =
   let program = or_die (load_program file example) in
   match P_static.Check.run program with
   | { diagnostics = (_ :: _) as ds; _ } ->
@@ -233,10 +300,23 @@ let run_random file example walks max_blocks seed show_trace =
     let r = P_checker.Random_walk.run ~walks ~max_blocks ~seed symtab in
     Fmt.pr "random walks: %a@." P_checker.Random_walk.pp_result r;
     match r.first_error with
-    | Some (_, trace, _) when show_trace ->
-      Fmt.pr "first failing trace:@.%a@." P_semantics.Trace.pp trace;
+    | Some f ->
+      if show_trace then
+        Fmt.pr "first failing trace:@.%a@." P_semantics.Trace.pp f.trace;
+      (if not no_ce then
+         let path = Option.value ce_out ~default:(default_ce_path file example) in
+         match
+           P_checker.Replay.record
+             ~program:(program_provenance file example)
+             ~seed:f.walk_seed ~engine:"random_walk" symtab f.schedule
+         with
+         | Ok tf ->
+           P_checker.Trace_file.write_file path tf;
+           Fmt.pr
+             "counterexample: %s (inspect with: pc replay %s, minimize with: pc shrink %s)@."
+             path path path
+         | Error e -> Fmt.epr "pc: could not record the counterexample: %s@." e);
       exit 1
-    | Some _ -> exit 1
     | None -> ())
 
 let random_cmd =
@@ -246,10 +326,26 @@ let random_cmd =
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the first failing trace.") in
+  let ce_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ce-out" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the first failing walk's trace artifact \
+             (default: derived from the program name).")
+  in
+  let no_ce =
+    Arg.(
+      value & flag
+      & info [ "no-ce" ] ~doc:"Do not write a counterexample trace artifact on failure.")
+  in
   Cmd.v
     (Cmd.info "random"
        ~doc:"Random-walk testing (the baseline the systematic checker is compared to).")
-    Term.(const run_random $ file_arg $ example_arg $ walks $ max_blocks $ seed $ trace)
+    Term.(
+      const run_random $ file_arg $ example_arg $ walks $ max_blocks $ seed $ trace
+      $ ce_out $ no_ce)
 
 (* ---------------- simulate ---------------- *)
 
@@ -388,6 +484,135 @@ let coverage_cmd =
        ~doc:"Report which states and handlers the bounded exploration exercises.")
     Term.(const run_coverage $ file_arg $ example_arg $ delay $ max_states $ ghost)
 
+(* ---------------- replay / shrink ---------------- *)
+
+let trace_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"Counterexample trace artifact (JSONL, from pc verify).")
+
+let program_override =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "program" ] ~docv:"FILE"
+        ~doc:
+          "Parse $(docv) instead of the program recorded in the trace's \
+           provenance header.")
+
+let load_trace path = or_die (P_checker.Trace_file.read_file path)
+
+(* Resolve the program a trace belongs to: explicit --program/--example
+   override the artifact's provenance header. *)
+let program_of_trace (t : P_checker.Trace_file.t) file example =
+  match (file, example) with
+  | Some _, _ | _, Some _ -> or_die (load_program file example)
+  | None, None -> (
+    let strip prefix p =
+      if String.starts_with ~prefix p then
+        Some (String.sub p (String.length prefix) (String.length p - String.length prefix))
+      else None
+    in
+    match t.program with
+    | None ->
+      or_die (Error "trace does not record its program; give --program or --example")
+    | Some p -> (
+      match (strip "example:" p, strip "file:" p) with
+      | Some name, _ -> or_die (load_program None (Some name))
+      | _, Some path -> or_die (load_program (Some path) None)
+      | None, None ->
+        or_die
+          (Error
+             (Fmt.str "unrecognised program provenance %S; give --program or --example" p))))
+
+let symtab_of_program program =
+  match P_static.Check.run program with
+  | { diagnostics = (_ :: _) as ds; _ } ->
+    Fmt.pr "%a@." P_static.Check.pp_diagnostics ds;
+    exit 1
+  | { symtab; _ } -> symtab
+
+let run_replay trace_path file example no_digests show_trace differential =
+  let t = load_trace trace_path in
+  let symtab = symtab_of_program (program_of_trace t file example) in
+  Fmt.pr "replaying %s: %a@." trace_path P_checker.Trace_file.pp_summary t;
+  let r = P_checker.Replay.run ~check_digests:(not no_digests) symtab t in
+  if show_trace then Fmt.pr "%a@." P_semantics.Trace.pp r.items;
+  Fmt.pr "%a@." P_checker.Replay.pp_outcome r.outcome;
+  (match r.outcome with P_checker.Replay.Diverged _ -> exit 1 | _ -> ());
+  if differential then begin
+    match P_checker.Differential.check_trace symtab t with
+    | Error e ->
+      Fmt.epr "pc: differential: %s@." e;
+      exit 1
+    | Ok o ->
+      Fmt.pr "differential: %a@." P_checker.Differential.pp_outcome o;
+      (match o with P_checker.Differential.Mismatch _ -> exit 1 | _ -> ())
+  end
+
+let replay_cmd =
+  let no_digests =
+    Arg.(
+      value & flag
+      & info [ "no-digests" ]
+          ~doc:
+            "Skip the per-step configuration fingerprint checks (verdict \
+             reproduction only).")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the replayed trace.") in
+  let differential =
+    Arg.(
+      value & flag
+      & info [ "differential" ]
+          ~doc:
+            "Additionally drive the schedule through the compiled runtime \
+             tables and cross-check every machine state against the \
+             interpreter.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded counterexample deterministically, checking \
+          the verdict and every configuration fingerprint.")
+    Term.(
+      const run_replay $ trace_arg $ program_override $ example_arg $ no_digests
+      $ trace $ differential)
+
+let run_shrink trace_path file example output =
+  let t = load_trace trace_path in
+  let symtab = symtab_of_program (program_of_trace t file example) in
+  Fmt.pr "shrinking %s: %a@." trace_path P_checker.Trace_file.pp_summary t;
+  match P_checker.Shrink.run symtab t with
+  | Error e ->
+    Fmt.epr "pc: %s@." e;
+    exit 1
+  | Ok (shrunk, stats) ->
+    let out =
+      match output with
+      | Some o -> o
+      | None -> Filename.remove_extension trace_path ^ ".min.jsonl"
+    in
+    P_checker.Trace_file.write_file out shrunk;
+    Fmt.pr "shrink: %a@." P_checker.Shrink.pp_stats stats;
+    Fmt.pr "wrote %s (replay with: pc replay %s)@." out out
+
+let shrink_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output trace file (default: TRACE with a .min.jsonl suffix).")
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Minimize a counterexample trace with delta debugging: remove \
+          schedule steps and simplify ghost choices while the same error \
+          still reproduces.")
+    Term.(const run_shrink $ trace_arg $ program_override $ example_arg $ output)
+
 let run_print file example =
   let program = or_die (load_program file example) in
   print_string (P_syntax.Pretty.program_to_string program)
@@ -402,5 +627,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; verify_cmd; simulate_cmd; erase_cmd; compile_cmd; print_cmd;
-            graph_cmd; coverage_cmd; random_cmd ]))
+          [ check_cmd; verify_cmd; replay_cmd; shrink_cmd; simulate_cmd; erase_cmd;
+            compile_cmd; print_cmd; graph_cmd; coverage_cmd; random_cmd ]))

@@ -32,11 +32,11 @@ let apply_outcome = Engine.apply_outcome
     and [max_depth] truncate the search (reported in the stats). *)
 let explore ?(max_states = 1_000_000) ?(max_depth = max_int) ?(discipline = Causal)
     ?(dedup = true) ?(fingerprint = Fingerprint.Incremental)
-    ?(instr = Search.no_instr) ~delay_bound (tab : P_static.Symtab.t) :
-    Search.result =
+    ?(resolver = Engine.Exhaustive) ?(instr = Search.no_instr) ~delay_bound
+    (tab : P_static.Symtab.t) : Search.result =
   let spec =
     Engine.spec ~bound:delay_bound ~dedup ~max_states ~max_depth
-      ~fp_mode:fingerprint
+      ~fp_mode:fingerprint ~resolver
       (Engine.stack_sched discipline)
   in
   Engine.run ~instr ~engine:"delay_bounded"

@@ -38,6 +38,7 @@ val explore :
   ?discipline:discipline ->
   ?dedup:bool ->
   ?fingerprint:Fingerprint.mode ->
+  ?resolver:Engine.resolver ->
   ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->
@@ -50,6 +51,8 @@ val explore :
     [dedup:false] disables the [⊕] queue append (ablation only).
     [fingerprint] selects the state-key strategy (default
     [Incremental]; see {!Fingerprint.mode}) — the verdict and counts are
-    identical in every mode. [instr] reports metrics, a lifecycle span,
+    identical in every mode. [resolver] (default [Exhaustive]) switches
+    ghost [*] resolution to sampling — one drawn outcome per block instead
+    of all of them — for seeded reproducible runs ([pc verify --seed]). [instr] reports metrics, a lifecycle span,
     and progress heartbeats while the search runs; the result is identical
     with or without it. *)

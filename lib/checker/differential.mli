@@ -1,0 +1,41 @@
+(** Differential replay: one recorded schedule, two implementations of the
+    operational semantics. Each atomic block is executed by both the
+    checker's interpreter ({!P_semantics.Step.run_atomic}) and the
+    compiled table-driven runtime ({!P_runtime.Exec.step_block} over
+    {!P_compile.Compile.compile_full} tables), and the resulting states —
+    control stacks, stores, queues, [msg]/[arg], the set of live machines
+    — are compared structurally after every block. Outcome kinds
+    (progress / blocked / terminated / error) are compared rather than
+    error messages, which the layers render differently.
+
+    This is the executable form of the paper's claim that verification
+    and execution share one semantics: any disagreement is a bug in the
+    compiler, the runtime, or the interpreter. *)
+
+type verdict =
+  | Agree_clean  (** the whole schedule ran; every intermediate state matched *)
+  | Agree_error of string
+      (** both layers hit an error configuration in the same block; the
+          payload is the interpreter's rendering *)
+
+type outcome =
+  | Agree of { blocks : int; verdict : verdict }
+  | Mismatch of { step : int; reason : string }
+      (** the layers disagreed after (or in) atomic block [step] *)
+
+val pp_outcome : outcome Fmt.t
+
+val run :
+  P_static.Symtab.t ->
+  (P_semantics.Mid.t * bool list) list ->
+  (outcome, string) result
+(** Run a schedule through both layers. [Error] is a setup or schedule
+    problem (uncompilable program, foreign models — which only the
+    interpreter can evaluate —, a machine neither layer has); the
+    interesting disagreements are [Ok (Mismatch _)]. *)
+
+val check_trace : P_static.Symtab.t -> Trace_file.t -> (outcome, string) result
+(** {!run} on the artifact's schedule, additionally holding the agreed
+    verdict against the error (or clean completion) the artifact
+    recorded. Requires a dedup trace: the runtime queue only implements
+    the paper's deduplicating [⊕]. *)

@@ -283,8 +283,11 @@ let expand ?expansions ~fp (t : 'sched t) (node : 'sched node) :
     (t.spec.scheduler.moves t.tab node.config node.sched ~budget_left)
 
 (* Replay the edge chain leading to edge-table index [idx] to rebuild the
-   trace from the initial configuration. *)
-let replay (t : 'sched t) idx : Trace.t =
+   trace from the initial configuration, along with the
+   scheduler-independent schedule — per block, the machine that ran and
+   the ghost choices it consumed — that {!Replay} and the on-disk trace
+   artifact re-execute. *)
+let replay (t : 'sched t) idx : Trace.t * (Mid.t * bool list) list =
   let rec chain idx acc =
     match Dynarray.get t.edges idx with
     | None -> acc
@@ -292,21 +295,22 @@ let replay (t : 'sched t) idx : Trace.t =
   in
   let path = chain idx [] in
   let config0, id0, items0 = Step.initial_config t.tab in
-  let rec follow config sched items = function
-    | [] -> items
+  let rec follow config sched items sched_rev = function
+    | [] -> (items, List.rev sched_rev)
     | (e : edge) :: rest -> (
       match t.spec.scheduler.decode sched e.move with
-      | None -> items (* cannot happen on a recorded path *)
+      | None -> (items, List.rev sched_rev) (* cannot happen on a recorded path *)
       | Some (sched_m, mid) -> (
         let outcome, new_items =
           Step.run_atomic ~dedup:t.spec.dedup t.tab config mid ~choices:e.choices
         in
         let items = items @ new_items in
+        let sched_rev = (mid, e.choices) :: sched_rev in
         match t.spec.scheduler.apply sched_m outcome with
-        | Some (config, sched) -> follow config sched items rest
-        | None -> items (* the final, failing edge *)))
+        | Some (config, sched) -> follow config sched items sched_rev rest
+        | None -> (items, List.rev sched_rev) (* the final, failing edge *)))
   in
-  follow config0 (t.spec.scheduler.init id0) items0 path
+  follow config0 (t.spec.scheduler.init id0) items0 [] path
 
 exception Found of Search.counterexample
 
@@ -334,8 +338,8 @@ let integrate (t : 'sched t) ~push (s : 'sched successor) =
       let idx = Dynarray.length t.edges in
       Dynarray.add_last t.edges
         (Some { parent = s.s_parent_idx; move = s.s_move; choices = s.s_resolved.choices });
-      let trace = replay t idx in
-      raise (Found { Search.error; trace; depth = s.s_depth })
+      let trace, schedule = replay t idx in
+      raise (Found { Search.error; trace; depth = s.s_depth; schedule })
     end
     else observe_edge t s (Dst_failed error)
   | Some (config', sched') ->

@@ -60,6 +60,8 @@ let json_of_report ?metrics (r : Verifier.report) : Json.t =
   in
   let fields =
     [ ("static", static);
+      ( "seed",
+        match r.seed with None -> Json.Null | Some s -> Json.Int s );
       ( "safety",
         match r.safety with None -> Json.Null | Some s -> json_of_safety s );
       ( "liveness",

@@ -19,26 +19,39 @@
 module Errors = P_semantics.Errors
 module Trace = P_semantics.Trace
 
+type failure = {
+  error : Errors.t;
+  trace : Trace.t;
+  blocks : int;  (** length of the failing walk, in atomic blocks *)
+  walk : int;  (** index of the failing walk *)
+  walk_seed : int;
+      (** the derived per-walk PRNG seed ([seed + walk * 7919]): rerunning
+          one walk with this seed reproduces the failure directly *)
+  schedule : (P_semantics.Mid.t * bool list) list;
+      (** replayable schedule of the failing walk (see {!Replay}) *)
+}
+
 type walk_result =
-  | Walk_error of Errors.t * Trace.t * int  (** error, trace, blocks taken *)
+  | Walk_error of Search.counterexample
   | Walk_quiescent of int
   | Walk_budget of int
 
 type result = {
   walks : int;
   errors_found : int;
-  first_error : (Errors.t * Trace.t * int) option;
-      (** the first failing walk: error, trace, and its length in blocks *)
+  first_error : failure option;
+  seed : int;  (** the base seed the walks were derived from *)
   total_blocks : int;
   elapsed_s : float;
 }
 
 let pp_result ppf r =
-  Fmt.pf ppf "%d walks, %d failing, %d total blocks%a, %.3fs" r.walks r.errors_found
-    r.total_blocks
+  Fmt.pf ppf "%d walks, %d failing, %d total blocks, seed %d%a, %.3fs" r.walks
+    r.errors_found r.total_blocks r.seed
     (fun ppf -> function
-      | Some (e, _, blocks) ->
-        Fmt.pf ppf " (first: %a after %d blocks)" Errors.pp e blocks
+      | Some f ->
+        Fmt.pf ppf " (first: %a after %d blocks, walk %d, walk seed %d)" Errors.pp
+          f.error f.blocks f.walk f.walk_seed
       | None -> ())
     r.first_error r.elapsed_s
 
@@ -69,7 +82,7 @@ let one_walk (tab : P_static.Symtab.t) rng ~max_blocks : walk_result =
   in
   let r = Engine.run ~engine:"random_walk" spec tab in
   match r.Search.verdict with
-  | Search.Error_found ce -> Walk_error (ce.error, ce.trace, ce.depth)
+  | Search.Error_found ce -> Walk_error ce
   | Search.No_error when r.Search.stats.truncated -> Walk_budget r.Search.stats.transitions
   | Search.No_error -> Walk_quiescent r.Search.stats.transitions
 
@@ -93,16 +106,25 @@ let run ?(walks = 100) ?(max_blocks = 1_000) ?(seed = 1)
   let first = ref None in
   let total = ref 0 in
   for w = 0 to walks - 1 do
-    let rng = make_rng (seed + (w * 7919)) in
+    let walk_seed = seed + (w * 7919) in
+    let rng = make_rng walk_seed in
     let blocks =
       match one_walk tab rng ~max_blocks with
-      | Walk_error (e, trace, blocks) ->
+      | Walk_error ce ->
         incr errors;
-        if !first = None then first := Some (e, trace, blocks);
+        if !first = None then
+          first :=
+            Some
+              { error = ce.Search.error;
+                trace = ce.Search.trace;
+                blocks = ce.Search.depth;
+                walk = w;
+                walk_seed;
+                schedule = ce.Search.schedule };
         (match wmeters with
         | None -> ()
         | Some (_, _, m_errors) -> P_obs.Metrics.incr m_errors);
-        blocks
+        ce.Search.depth
       | Walk_quiescent blocks | Walk_budget blocks -> blocks
     in
     total := !total + blocks;
@@ -125,5 +147,6 @@ let run ?(walks = 100) ?(max_blocks = 1_000) ?(seed = 1)
   { walks;
     errors_found = !errors;
     first_error = !first;
+    seed;
     total_blocks = !total;
     elapsed_s }

@@ -2,11 +2,24 @@
     nondeterminism — the naive baseline the delay-bounded scheduler is
     compared against in the ablation benchmark. *)
 
+(** A failing walk, with enough provenance to reproduce it two ways: rerun
+    with [walk_seed], or replay [schedule] directly (see {!Replay} /
+    {!Trace_file}). *)
+type failure = {
+  error : P_semantics.Errors.t;
+  trace : P_semantics.Trace.t;
+  blocks : int;  (** length of the failing walk, in atomic blocks *)
+  walk : int;  (** index of the failing walk *)
+  walk_seed : int;  (** the derived per-walk PRNG seed ([seed + walk * 7919]) *)
+  schedule : (P_semantics.Mid.t * bool list) list;
+      (** replayable schedule of the failing walk *)
+}
+
 type result = {
   walks : int;
   errors_found : int;  (** how many walks ended in an error configuration *)
-  first_error : (P_semantics.Errors.t * P_semantics.Trace.t * int) option;
-      (** the first failing walk: error, trace, and its length in blocks *)
+  first_error : failure option;
+  seed : int;  (** the base seed the walks were derived from *)
   total_blocks : int;
   elapsed_s : float;
 }

@@ -1,0 +1,95 @@
+(** Deterministic re-execution of recorded schedules through the
+    operational semantics: the consumer side of {!Trace_file} and the
+    validation core of {!Shrink}. *)
+
+type divergence =
+  | Init_digest_mismatch of { expected : string; got : string }
+  | Step_digest_mismatch of { step : int; expected : string; got : string }
+  | Unknown_machine of { step : int; mid : P_semantics.Mid.t }
+  | Choices_exhausted of { step : int; mid : P_semantics.Mid.t }
+  | Wrong_error of { step : int; expected : string; got : string }
+  | Unexpected_error of { step : int; error : string }
+  | No_error of { expected : string }
+  | Final_digest_mismatch of { expected : string; got : string }
+
+val pp_divergence : divergence Fmt.t
+
+type outcome =
+  | Reproduced of { steps_used : int; error : string }
+      (** the expected error re-occurred after [steps_used] atomic blocks
+          (early reproduction — fewer steps than the schedule — counts) *)
+  | Clean of { steps_used : int; final_digest : string }
+  | Diverged of divergence
+
+val pp_outcome : outcome Fmt.t
+
+type result = {
+  outcome : outcome;
+  items : P_semantics.Trace.t;
+      (** chronological happenings of the whole replay *)
+  final_config : P_semantics.Config.t option;
+      (** the last configuration that exists: after the final block of a
+          clean replay, or entering the failing block *)
+}
+
+val run_schedule :
+  ?dedup:bool ->
+  ?check_step:(int -> P_semantics.Config.t -> divergence option) ->
+  ?expected_error:string option ->
+  P_static.Symtab.t ->
+  (P_semantics.Mid.t * bool list) list ->
+  result
+(** Fold a schedule through {!P_semantics.Step.run_atomic} from the
+    initial configuration. [check_step i config] may veto the successor
+    configuration of step [i]; [expected_error] (rendered
+    {!P_semantics.Errors.t}) makes reproduction of exactly that error the
+    success criterion, [None] expects a clean run. *)
+
+val reproduces :
+  ?dedup:bool ->
+  P_static.Symtab.t ->
+  expected_error:string ->
+  (P_semantics.Mid.t * bool list) list ->
+  int option
+(** [Some steps_used] iff the schedule still reproduces [expected_error]
+    — the {!Shrink} candidate test. *)
+
+val schedule_of_trace : Trace_file.t -> (P_semantics.Mid.t * bool list) list
+
+val run : ?check_digests:bool -> P_static.Symtab.t -> Trace_file.t -> result
+(** Replay a trace artifact: re-execute its schedule and check the verdict
+    — and, unless [check_digests:false], the initial, per-step, and final
+    configuration fingerprints recorded in the artifact. *)
+
+val record :
+  ?program:string ->
+  ?seed:int ->
+  ?dedup:bool ->
+  engine:string ->
+  P_static.Symtab.t ->
+  (P_semantics.Mid.t * bool list) list ->
+  (Trace_file.t, string) Stdlib.result
+(** Execute a schedule and record it as a trace artifact with per-step
+    fingerprints. A failing run ends the artifact at the failing block and
+    records the rendered error; a clean run records a clean trace. *)
+
+val record_counterexample :
+  ?program:string ->
+  ?seed:int ->
+  ?dedup:bool ->
+  engine:string ->
+  P_static.Symtab.t ->
+  Search.counterexample ->
+  (Trace_file.t, string) Stdlib.result
+(** {!record} on the schedule of an engine counterexample. *)
+
+val sample_schedule :
+  ?seed:int ->
+  ?max_blocks:int ->
+  ?dedup:bool ->
+  P_static.Symtab.t ->
+  (P_semantics.Mid.t * bool list) list
+(** One seeded random walk recorded as a schedule (random enabled machine,
+    random ghost choices, until error / quiescence / [max_blocks],
+    defaults seed 1, 200 blocks) — input material for replay, shrink, and
+    differential tests. *)

@@ -152,7 +152,18 @@ let emit_run_span (i : instr) ~engine ~t0_us ~(stats : stats) extra_args =
         @ extra_args)
       ()
 
-type counterexample = { error : Errors.t; trace : Trace.t; depth : int }
+type counterexample = {
+  error : Errors.t;
+  trace : Trace.t;
+  depth : int;
+  schedule : (Mid.t * bool list) list;
+      (** the schedule that reaches the error: per atomic block, the
+          machine that ran and the ghost [*] resolutions it consumed, from
+          the initial configuration up to and including the failing block.
+          Scheduler-independent: replaying it through
+          {!P_semantics.Step.run_atomic} rebuilds the trace (this is what
+          {!Replay} and the on-disk {!Trace_file} artifact consume). *)
+}
 
 type verdict =
   | No_error  (** the bounded exploration found no error configuration *)

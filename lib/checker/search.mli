@@ -92,6 +92,12 @@ type counterexample = {
   error : P_semantics.Errors.t;
   trace : P_semantics.Trace.t;
   depth : int;  (** atomic blocks from the initial configuration *)
+  schedule : (P_semantics.Mid.t * bool list) list;
+      (** per atomic block: the machine that ran and the ghost [*]
+          resolutions it consumed, from the initial configuration up to
+          and including the failing block; scheduler-independent and
+          replayable through {!P_semantics.Step.run_atomic} (see
+          {!Replay} and {!Trace_file}) *)
 }
 
 type verdict = No_error | Error_found of counterexample

@@ -1,0 +1,208 @@
+(** Counterexample minimization: delta debugging over recorded schedules.
+
+    Raw counterexamples — especially from sampled runs — interleave the
+    failing path with hundreds of irrelevant blocks: machines that ran but
+    never influenced the error, ghost choices that picked the long way
+    round. Shrinking removes them by brute validation: propose a smaller
+    schedule, {!Replay} it, keep it iff the *same* error re-occurs.
+
+    Three reducers run to fixpoint:
+    - truncation — replay reproduces the error early, drop the tail;
+    - ddmin (Zeller's delta debugging) over the step list, removing
+      coarse chunks first and halving the granularity on failure, until
+      the schedule is 1-minimal: no single step can be removed;
+    - ghost-choice simplification — flip each [true] resolution to
+      [false], greedily, so the surviving choices are the all-false
+      baseline wherever the error does not depend on them.
+
+    Every candidate is validated by full re-execution, so the output
+    artifact is reproducible by construction; digests are recomputed by
+    {!Replay.record} on the final schedule. *)
+
+module Mid = P_semantics.Mid
+
+type schedule = (Mid.t * bool list) list
+
+type stats = {
+  original_steps : int;
+  shrunk_steps : int;
+  original_trues : int;  (** ghost choices resolved [true] before/after *)
+  shrunk_trues : int;
+  candidates : int;  (** schedules proposed *)
+  valid : int;  (** proposals that still reproduced the error *)
+  rounds : int;  (** reducer passes until fixpoint *)
+  elapsed_s : float;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d -> %d step(s), %d -> %d true choice(s), %d candidate(s) (%d valid), %d round(s), %.3fs"
+    s.original_steps s.shrunk_steps s.original_trues s.shrunk_trues s.candidates
+    s.valid s.rounds s.elapsed_s
+
+let count_trues (sched : schedule) =
+  List.fold_left
+    (fun acc (_, choices) -> acc + List.length (List.filter Fun.id choices))
+    0 sched
+
+(* ------------------------------------------------------------------ *)
+(* The shrink loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  tab : P_static.Symtab.t;
+  dedup : bool;
+  expected : string;
+  mutable c_candidates : int;
+  mutable c_valid : int;
+  m_candidates : P_obs.Metrics.counter option;
+  m_valid : P_obs.Metrics.counter option;
+  m_steps : P_obs.Metrics.gauge option;
+}
+
+(** Validate a candidate. [Some sched'] is the accepted (possibly further
+    truncated — early reproduction) schedule. *)
+let try_candidate (cx : ctx) (sched : schedule) : schedule option =
+  cx.c_candidates <- cx.c_candidates + 1;
+  Option.iter P_obs.Metrics.incr cx.m_candidates;
+  match Replay.reproduces ~dedup:cx.dedup cx.tab ~expected_error:cx.expected sched with
+  | None -> None
+  | Some steps_used ->
+    cx.c_valid <- cx.c_valid + 1;
+    Option.iter P_obs.Metrics.incr cx.m_valid;
+    let sched =
+      if steps_used < List.length sched then List.filteri (fun i _ -> i < steps_used) sched
+      else sched
+    in
+    Option.iter (fun g -> P_obs.Metrics.set g (float_of_int (List.length sched))) cx.m_steps;
+    Some sched
+
+(** Split [xs] into [n] contiguous chunks (as close to equal as possible,
+    every chunk non-empty; requires [n <= length xs]). *)
+let chunk_bounds len n =
+  (* chunk i covers [start i, start (i+1)) with start i = i*len/n *)
+  List.init n (fun i -> (i * len / n, (i + 1) * len / n))
+
+let without xs (lo, hi) = List.filteri (fun i _ -> i < lo || i >= hi) xs
+
+(** Zeller's ddmin over the schedule's step list: try removing each of [n]
+    contiguous chunks; on success restart coarse on the smaller schedule,
+    on total failure double the granularity, until chunks are single steps
+    and none can be removed (1-minimality). *)
+let ddmin (cx : ctx) (sched : schedule) : schedule =
+  let rec loop sched n =
+    let len = List.length sched in
+    if len <= 1 then sched
+    else
+      let n = min n len in
+      let rec try_chunks = function
+        | [] -> None
+        | bounds :: rest -> (
+          match try_candidate cx (without sched bounds) with
+          | Some smaller -> Some smaller
+          | None -> try_chunks rest)
+      in
+      match try_chunks (chunk_bounds len n) with
+      | Some smaller -> loop smaller (max (n - 1) 2)
+      | None -> if n < len then loop sched (min (2 * n) len) else sched
+  in
+  (* start coarse: halves *)
+  loop sched 2
+
+(** Greedy ghost-choice simplification: flip each [true] to [false], one at
+    a time, keeping flips that still reproduce. (Choice-list *lengths* are
+    dictated by execution, so flipping — not shortening — is the only
+    well-formed edit.) *)
+let simplify_choices (cx : ctx) (sched : schedule) : schedule =
+  let arr = Array.of_list sched in
+  for si = 0 to Array.length arr - 1 do
+    let mid, choices = arr.(si) in
+    for ci = 0 to List.length choices - 1 do
+      let current = snd arr.(si) in
+      if List.nth current ci then begin
+        let saved = arr.(si) in
+        arr.(si) <- (mid, List.mapi (fun j c -> if j = ci then false else c) current);
+        match try_candidate cx (Array.to_list arr) with
+        | Some sched' when List.length sched' = Array.length arr -> ()
+        | Some _ | None ->
+          (* revert — including truncating acceptances: this pass stays
+             length-stable, ddmin owns removals *)
+          arr.(si) <- saved
+      end
+    done
+  done;
+  Array.to_list arr
+
+let run ?(instr = Search.no_instr) (tab : P_static.Symtab.t) (t : Trace_file.t) :
+    (Trace_file.t * stats, string) Stdlib.result =
+  match t.error with
+  | None -> Error "trace is clean: there is no error to preserve while shrinking"
+  | Some expected ->
+    let started = P_obs.Mclock.start () in
+    let t0_us = P_obs.Mclock.now_us () in
+    let meter name =
+      Option.map
+        (fun reg -> P_obs.Metrics.counter reg ~labels:[ ("engine", "shrink") ] name)
+        instr.Search.metrics
+    in
+    let cx =
+      { tab;
+        dedup = t.dedup;
+        expected;
+        c_candidates = 0;
+        c_valid = 0;
+        m_candidates = meter "shrink.candidates";
+        m_valid = meter "shrink.valid";
+        m_steps =
+          Option.map
+            (fun reg ->
+              P_obs.Metrics.gauge reg ~labels:[ ("engine", "shrink") ] "shrink.steps")
+            instr.Search.metrics }
+    in
+    let sched0 = Replay.schedule_of_trace t in
+    (* the original must reproduce before we trust any shrinking *)
+    (match try_candidate cx sched0 with
+    | None ->
+      Error
+        (Fmt.str "trace does not reproduce its recorded error (%s) — refusing to shrink"
+           expected)
+    | Some sched ->
+      let rounds = ref 0 in
+      let rec fixpoint sched =
+        incr rounds;
+        let sched' = simplify_choices cx (ddmin cx sched) in
+        if List.length sched' < List.length sched || count_trues sched' < count_trues sched
+        then fixpoint sched'
+        else sched'
+      in
+      let final = fixpoint sched in
+      let stats =
+        { original_steps = List.length sched0;
+          shrunk_steps = List.length final;
+          original_trues = count_trues sched0;
+          shrunk_trues = count_trues final;
+          candidates = cx.c_candidates;
+          valid = cx.c_valid;
+          rounds = !rounds;
+          elapsed_s = P_obs.Mclock.elapsed_s started }
+      in
+      if P_obs.Sink.enabled instr.Search.sink then
+        P_obs.Sink.complete instr.Search.sink ~cat:"engine" ~name:"shrink.run"
+          ~ts_us:t0_us
+          ~dur_us:(P_obs.Mclock.now_us () -. t0_us)
+          ~args:
+            [ ("original_steps", P_obs.Json.Int stats.original_steps);
+              ("shrunk_steps", P_obs.Json.Int stats.shrunk_steps);
+              ("candidates", P_obs.Json.Int stats.candidates);
+              ("valid", P_obs.Json.Int stats.valid);
+              ("rounds", P_obs.Json.Int stats.rounds) ]
+          ();
+      match
+        Replay.record ?program:t.program ?seed:t.seed ~dedup:t.dedup ~engine:t.engine
+          tab final
+      with
+      | Error e -> Error (Fmt.str "re-recording the shrunk schedule failed: %s" e)
+      | Ok shrunk -> (
+        match shrunk.error with
+        | Some e when String.equal e expected -> Ok (shrunk, stats)
+        | _ ->
+          Error "internal error: shrunk schedule no longer reproduces (recorder disagreed with replayer)"))

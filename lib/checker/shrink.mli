@@ -1,0 +1,29 @@
+(** Counterexample minimization: ddmin over recorded schedules, plus
+    greedy ghost-choice simplification, every candidate validated by full
+    {!Replay} re-execution. The output trace reproduces the exact same
+    error as the input and is 1-minimal: no single step can be removed. *)
+
+type stats = {
+  original_steps : int;
+  shrunk_steps : int;
+  original_trues : int;  (** ghost choices resolved [true], before *)
+  shrunk_trues : int;  (** … and after simplification *)
+  candidates : int;  (** schedules proposed *)
+  valid : int;  (** proposals that still reproduced the error *)
+  rounds : int;  (** reducer passes until fixpoint *)
+  elapsed_s : float;
+}
+
+val pp_stats : stats Fmt.t
+
+val run :
+  ?instr:Search.instr ->
+  P_static.Symtab.t ->
+  Trace_file.t ->
+  (Trace_file.t * stats, string) Stdlib.result
+(** Shrink a failing trace. [Error] when the trace is clean (no error to
+    preserve) or does not reproduce its recorded error against [tab]. The
+    result's digests are recomputed by {!Replay.record}, so it is a valid
+    artifact in its own right. [instr] metrics (labelled [engine=shrink]):
+    [shrink.candidates], [shrink.valid], [shrink.steps] (gauge, current
+    best); one [shrink.run] span on the sink. *)

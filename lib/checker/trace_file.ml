@@ -1,0 +1,214 @@
+(** The versioned on-disk counterexample artifact: one JSON object per
+    line (JSONL via {!P_obs.Json}).
+
+    Line 1 is the header — format marker, version, the program the trace
+    belongs to, the engine that found it, the expected error (absent for a
+    clean trace), the PRNG seed when the run was sampled, and the hex MD5
+    fingerprints of the initial and final configurations. Every following
+    line is one schedule step: the machine that ran one atomic block, the
+    ghost [*] resolutions it consumed, and the configuration fingerprint
+    after the block ("" for the failing block, which has no successor
+    configuration).
+
+    The schedule representation is deliberately scheduler-independent —
+    machine identifiers and choices, not delay counts or stack rotations —
+    so the same artifact replays through the operational semantics
+    ({!Replay}), shrinks by step removal ({!Shrink}), and drives the
+    compiled runtime tables ({!Differential}) without knowing which engine
+    produced it. *)
+
+module Json = P_obs.Json
+
+let format_marker = "pcaml-trace"
+let current_version = 1
+
+type step = {
+  mid : int;  (** {!P_semantics.Mid.t} as its dense integer *)
+  choices : bool list;  (** ghost [*] resolutions, in evaluation order *)
+  digest : string;
+      (** hex MD5 of the configuration after this block; [""] when unknown
+          or when the block fails (no successor configuration) *)
+}
+
+type t = {
+  version : int;
+  program : string option;
+      (** where the program came from: ["example:NAME"] or ["file:PATH"],
+          so [pc replay]/[pc shrink] can reload it without being told *)
+  engine : string;  (** which engine recorded the schedule *)
+  error : string option;
+      (** rendered {!P_semantics.Errors.t} the trace must reproduce;
+          [None] for the trace of a clean (non-failing) run *)
+  seed : int option;  (** PRNG seed of a sampled run, for provenance *)
+  dedup : bool;  (** whether the [⊕] queue append was on (it always is
+                     outside ablations; replay must match) *)
+  init_digest : string;  (** hex MD5 fingerprint of the initial config *)
+  final_digest : string;
+      (** hex MD5 fingerprint of the last configuration that exists: the
+          final state of a clean trace, or the configuration *entering*
+          the failing block *)
+  steps : step list;
+}
+
+let make ?program ?error ?seed ?(dedup = true) ~engine ~init_digest ~final_digest
+    steps =
+  { version = current_version;
+    program;
+    engine;
+    error;
+    seed;
+    dedup;
+    init_digest;
+    final_digest;
+    steps }
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let opt_str = function None -> [] | Some s -> [ s ]
+
+let header_json (t : t) : Json.t =
+  Json.Obj
+    ([ ("format", Json.String format_marker); ("version", Json.Int t.version) ]
+    @ List.map (fun p -> ("program", Json.String p)) (opt_str t.program)
+    @ [ ("engine", Json.String t.engine) ]
+    @ List.map (fun e -> ("error", Json.String e)) (opt_str t.error)
+    @ (match t.seed with None -> [] | Some s -> [ ("seed", Json.Int s) ])
+    @ [ ("dedup", Json.Bool t.dedup);
+        ("init_digest", Json.String t.init_digest);
+        ("final_digest", Json.String t.final_digest);
+        ("steps", Json.Int (List.length t.steps)) ])
+
+let step_json i (s : step) : Json.t =
+  Json.Obj
+    ([ ("i", Json.Int i);
+       ("mid", Json.Int s.mid);
+       ("choices", Json.List (List.map (fun b -> Json.Bool b) s.choices)) ]
+    @ if s.digest = "" then [] else [ ("digest", Json.String s.digest) ])
+
+let write_channel oc (t : t) =
+  output_string oc (Json.to_string (header_json t));
+  output_char oc '\n';
+  List.iteri
+    (fun i s ->
+      output_string oc (Json.to_string (step_json i s));
+      output_char oc '\n')
+    t.steps
+
+let write_file path (t : t) =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel oc t)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let parse_line lineno line : (Json.t, string) result =
+  match Json.of_string line with
+  | j -> Ok j
+  | exception Json.Parse_error msg ->
+    Error (Fmt.str "line %d: not valid JSON (%s)" lineno msg)
+
+let field name j = Json.member name j
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Fmt.str "header: missing or ill-typed %s" what)
+
+let parse_header j : (t, string) result =
+  let* format = require "format" Option.(bind (field "format" j) Json.to_str) in
+  if format <> format_marker then
+    Error (Fmt.str "not a %s file (format %S)" format_marker format)
+  else
+    let* version = require "version" Option.(bind (field "version" j) Json.to_int) in
+    if version <> current_version then
+      Error (Fmt.str "unsupported trace version %d (this build reads %d)" version
+           current_version)
+    else
+      let* engine = require "engine" Option.(bind (field "engine" j) Json.to_str) in
+      let* dedup = require "dedup" Option.(bind (field "dedup" j) Json.to_bool) in
+      let* init_digest =
+        require "init_digest" Option.(bind (field "init_digest" j) Json.to_str)
+      in
+      let* final_digest =
+        require "final_digest" Option.(bind (field "final_digest" j) Json.to_str)
+      in
+      Ok
+        { version;
+          program = Option.bind (field "program" j) Json.to_str;
+          engine;
+          error = Option.bind (field "error" j) Json.to_str;
+          seed = Option.bind (field "seed" j) Json.to_int;
+          dedup;
+          init_digest;
+          final_digest;
+          steps = [] }
+
+let parse_step lineno j : (step, string) result =
+  let* mid =
+    match Option.(bind (field "mid" j) Json.to_int) with
+    | Some m -> Ok m
+    | None -> Error (Fmt.str "line %d: step is missing mid" lineno)
+  in
+  let* choices =
+    match Option.(bind (field "choices" j) Json.to_list) with
+    | None -> Error (Fmt.str "line %d: step is missing choices" lineno)
+    | Some l ->
+      List.fold_left
+        (fun acc c ->
+          let* acc = acc in
+          match Json.to_bool c with
+          | Some b -> Ok (b :: acc)
+          | None -> Error (Fmt.str "line %d: non-boolean ghost choice" lineno))
+        (Ok []) l
+      |> Result.map List.rev
+  in
+  let digest = Option.value ~default:"" (Option.bind (field "digest" j) Json.to_str) in
+  Ok { mid; choices; digest }
+
+let of_lines (lines : string list) : (t, string) result =
+  match lines with
+  | [] -> Error "empty trace file"
+  | header :: rest ->
+    let* hj = parse_line 1 header in
+    let* t = parse_header hj in
+    let* steps_rev =
+      List.fold_left
+        (fun acc (lineno, line) ->
+          let* acc = acc in
+          if String.trim line = "" then Ok acc
+          else
+            let* j = parse_line lineno line in
+            let* s = parse_step lineno j in
+            Ok (s :: acc))
+        (Ok [])
+        (List.mapi (fun i l -> (i + 2, l)) rest)
+    in
+    Ok { t with steps = List.rev steps_rev }
+
+let read_channel ic : (t, string) result =
+  let rec lines acc =
+    match input_line ic with
+    | line -> lines (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  of_lines (lines [])
+
+let read_file path : (t, string) result =
+  match open_in path with
+  | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+  | exception Sys_error msg -> Error msg
+
+let pp_summary ppf (t : t) =
+  Fmt.pf ppf "%d step(s), engine %s%a%a" (List.length t.steps) t.engine
+    (fun ppf -> function
+      | Some e -> Fmt.pf ppf ", expecting %s" e
+      | None -> Fmt.pf ppf ", clean")
+    t.error
+    (fun ppf -> function
+      | Some s -> Fmt.pf ppf ", seed %d" s
+      | None -> ())
+    t.seed

@@ -1,0 +1,66 @@
+(** Versioned on-disk counterexample traces (JSONL).
+
+    The artifact is a schedule, not a state dump: per atomic block, the
+    machine that ran and the ghost [*] resolutions it consumed, plus hex
+    MD5 fingerprints for drift detection. That makes it
+    scheduler-independent — any engine's counterexample replays through
+    {!P_semantics.Step.run_atomic} alone (see {!Replay}), shrinks by step
+    removal ({!Shrink}), and cross-checks against the compiled runtime
+    ({!Differential}). *)
+
+val format_marker : string
+(** Value of the header's ["format"] field: ["pcaml-trace"]. *)
+
+val current_version : int
+(** Version this build writes and reads. *)
+
+type step = {
+  mid : int;  (** {!P_semantics.Mid.t} as its dense integer *)
+  choices : bool list;  (** ghost [*] resolutions, in evaluation order *)
+  digest : string;
+      (** hex MD5 of the configuration after this block; [""] when unknown
+          or when the block fails (no successor configuration) *)
+}
+
+type t = {
+  version : int;
+  program : string option;
+      (** provenance: ["example:NAME"] or ["file:PATH"], so [pc replay] /
+          [pc shrink] can reload the program from the artifact alone *)
+  engine : string;  (** engine that recorded the schedule *)
+  error : string option;
+      (** rendered error the trace must reproduce; [None] for a clean run *)
+  seed : int option;  (** PRNG seed of a sampled run *)
+  dedup : bool;  (** whether [⊕] queue dedup was on; replay must match *)
+  init_digest : string;  (** hex MD5 fingerprint of the initial config *)
+  final_digest : string;
+      (** hex MD5 of the last configuration that exists: the final state of
+          a clean trace, or the configuration entering the failing block *)
+  steps : step list;
+}
+
+val make :
+  ?program:string ->
+  ?error:string ->
+  ?seed:int ->
+  ?dedup:bool ->
+  engine:string ->
+  init_digest:string ->
+  final_digest:string ->
+  step list ->
+  t
+(** Build a trace at {!current_version}. [dedup] defaults to [true]. *)
+
+val write_file : string -> t -> unit
+(** Write the JSONL artifact (header line, then one line per step). *)
+
+val read_file : string -> (t, string) result
+(** Parse an artifact back; [Error] carries a line-located diagnosis for
+    missing files, non-JSON lines, wrong format marker, or unsupported
+    versions. *)
+
+val of_lines : string list -> (t, string) result
+(** {!read_file} on in-memory lines (first line is the header). *)
+
+val pp_summary : t Fmt.t
+(** One-line description: step count, engine, expected error, seed. *)

@@ -9,6 +9,9 @@ type report = {
   static_diagnostics : Symtab.diagnostic list;
   safety : Search.result option;  (** [None] when static checking failed *)
   liveness : Liveness.result option;  (** [None] unless requested and static-clean *)
+  seed : int option;
+      (** the PRNG seed when the safety search sampled ghost choices
+          ([verify ?seed]); recorded so a failure report is reproducible *)
 }
 
 let is_clean r =
@@ -28,6 +31,9 @@ let pp_report ppf r =
   (match r.safety with
   | None -> ()
   | Some res -> Fmt.pf ppf "safety: %a@." Search.pp_result res);
+  (match r.seed with
+  | Some s -> Fmt.pf ppf "seed: %d (sampled ghost choices; rerun with --seed %d)@." s s
+  | None -> ());
   match r.liveness with
   | None -> ()
   | Some res ->
@@ -43,21 +49,39 @@ let pp_report ppf r =
         | None -> ())
       res.witnesses
 
+(* The same xorshift PRNG as {!Random_walk}, so seeded verification runs
+   are reproducible without global Random state. *)
+let sampled_resolver seed =
+  let s = ref ((seed * 2654435761) lor 1) in
+  Engine.Sampled
+    (fun () ->
+      s := !s lxor (!s lsl 13);
+      s := !s lxor (!s lsr 7);
+      s := !s lxor (!s lsl 17);
+      (!s land max_int) mod 2 = 1)
+
 (** Verify a program: static checks, then delay-bounded safety search, then
-    (if [liveness]) the fair-cycle liveness analysis. *)
+    (if [liveness]) the fair-cycle liveness analysis. With [seed] the
+    safety search samples ghost [*] choices from a PRNG instead of
+    enumerating them — a fast reproducible smoke run whose seed lands in
+    the report. *)
 let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
-    ?liveness_max_states ?(fingerprint = Fingerprint.Incremental)
+    ?liveness_max_states ?(fingerprint = Fingerprint.Incremental) ?seed
     ?(instr = Search.no_instr) (program : P_syntax.Ast.program) : report =
   let { P_static.Check.symtab; diagnostics } = P_static.Check.run program in
   if diagnostics <> [] then
-    { static_diagnostics = diagnostics; safety = None; liveness = None }
+    { static_diagnostics = diagnostics; safety = None; liveness = None; seed }
   else
+    let resolver =
+      match seed with None -> Engine.Exhaustive | Some s -> sampled_resolver s
+    in
     let safety =
-      Delay_bounded.explore ~delay_bound ~max_states ~fingerprint ~instr symtab
+      Delay_bounded.explore ~delay_bound ~max_states ~fingerprint ~resolver ~instr
+        symtab
     in
     let liveness_result =
       if liveness && safety.verdict = Search.No_error then
         Some (Liveness.check ?max_states:liveness_max_states ~instr symtab)
       else None
     in
-    { static_diagnostics = []; safety = Some safety; liveness = liveness_result }
+    { static_diagnostics = []; safety = Some safety; liveness = liveness_result; seed }

@@ -7,6 +7,9 @@ type report = {
   safety : Search.result option;  (** [None] when static checking failed *)
   liveness : Liveness.result option;
       (** [None] unless requested and the safety search was clean *)
+  seed : int option;
+      (** the PRNG seed when the safety search sampled ghost choices
+          ([verify ?seed]); recorded so a failure is reproducible *)
 }
 
 val is_clean : report -> bool
@@ -20,6 +23,7 @@ val verify :
   ?liveness:bool ->
   ?liveness_max_states:int ->
   ?fingerprint:Fingerprint.mode ->
+  ?seed:int ->
   ?instr:Search.instr ->
   P_syntax.Ast.program ->
   report
@@ -27,7 +31,10 @@ val verify :
     and a [max_states] budget (default 200000); [liveness:true] adds the
     responsiveness checks of section 3.2. [fingerprint] selects the safety
     search's state-key strategy (default [Incremental]; [Paranoid]
-    cross-checks the incremental cache against full re-encoding). [instr]
+    cross-checks the incremental cache against full re-encoding). [seed]
+    switches the safety search from exhaustive ghost-choice enumeration to
+    seeded sampling (one drawn resolution per block) and records the seed
+    in the report, so a sampled failure is reproducible. [instr]
     is threaded to the safety search and (when requested) the liveness
     analysis; with the default {!Search.no_instr} the pipeline behaves
     exactly as before. *)

@@ -63,6 +63,10 @@ let rec c_expr d mt (e : cexpr) : string =
     Printf.sprintf "%s(PrtGetContext(ctx)%s)" (sanitize fs.fs_name)
       (String.concat ""
          (List.map (fun a -> ", " ^ c_expr d mt a) args))
+  | CNondet ->
+    (* only full (un-erased) tables contain CNondet, and those exist solely
+       for the differential-replay executor *)
+    invalid_arg "C_emit: CNondet in tables — emit erased tables, not full ones"
 
 let rec c_code buf d mt indent (code : code) : unit =
   let pad = String.make indent ' ' in

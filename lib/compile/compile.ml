@@ -28,5 +28,15 @@ let compile ?name (program : P_syntax.Ast.program) : compiled =
               P_static.Check.pp_diagnostics diagnostics)));
     { erased; driver = Lower.lower ?name erased }
 
+(** Check and lower WITHOUT erasing: ghost machines and [*] survive into
+    the tables (as {!Tables.cexpr.CNondet}). The result is only meant for
+    the stepped executor used by differential replay — {!C_emit} rejects
+    it. *)
+let compile_full ?name (program : P_syntax.Ast.program) : Tables.driver =
+  match P_static.Check.run program with
+  | { diagnostics = (_ :: _) as ds; _ } ->
+    raise (Error (Fmt.str "%a" P_static.Check.pp_diagnostics ds))
+  | _ -> Lower.lower ?name ~full:true program
+
 (** Full pipeline to C source text. *)
 let to_c ?name program = C_emit.emit (compile ?name program).driver

@@ -14,5 +14,11 @@ exception Error of string
 val compile : ?name:string -> P_syntax.Ast.program -> compiled
 (** Check, erase, and lower. [name] labels the generated driver. *)
 
+val compile_full : ?name:string -> P_syntax.Ast.program -> Tables.driver
+(** Check and lower {e without} erasing: ghost machines survive and [*]
+    lowers to {!Tables.cexpr.CNondet}. Produces tables for the stepped
+    executor used by differential replay ({!P_checker.Differential});
+    {!C_emit} rejects them. *)
+
 val to_c : ?name:string -> P_syntax.Ast.program -> string
 (** Full pipeline to the table-driven C translation unit. *)

@@ -12,6 +12,9 @@ exception Not_compilable of string
 let fail fmt = Fmt.kstr (fun m -> raise (Not_compilable m)) fmt
 
 type env = {
+  full : bool;
+      (* [true] lowers the un-erased program: ghost machines are kept and
+         [*] becomes {!Tables.CNondet}. Used by differential replay only. *)
   events : (string, int) Hashtbl.t;
   machines : (string, int) Hashtbl.t;
   machine_vars : (string, (string, int) Hashtbl.t) Hashtbl.t;
@@ -58,7 +61,9 @@ let rec lower_expr env (e : Ast.expr) : Tables.cexpr =
   | Ast.Event_lit ev ->
     Tables.CEvent (index_of env.events "event" (Names.Event.to_string ev))
   | Ast.Var x -> Tables.CVar (index_of env.vars "variable" (Names.Var.to_string x))
-  | Ast.Nondet -> fail "nondeterministic '*' survived erasure"
+  | Ast.Nondet ->
+    if env.full then Tables.CNondet
+    else fail "nondeterministic '*' survived erasure"
   | Ast.Unop (op, a) -> Tables.CUnop (lower_unop op, lower_expr env a)
   | Ast.Binop (op, a, b) ->
     Tables.CBinop (lower_binop op, lower_expr env a, lower_expr env b)
@@ -113,7 +118,7 @@ let rec lower_stmt env (s : Ast.stmt) : Tables.code =
         List.map (lower_expr env) args )
 
 let lower_machine env_global (m : Ast.machine) (tab : Symtab.t) : Tables.machine_table =
-  if m.machine_ghost then
+  if m.machine_ghost && not env_global.full then
     fail "machine %s is ghost and must be erased before compilation"
       (Names.Machine.to_string m.machine_name);
   let env =
@@ -203,11 +208,13 @@ let lower_machine env_global (m : Ast.machine) (tab : Symtab.t) : Tables.machine
            m.foreigns) }
 
 (** Compile an erased program to driver tables. Raises {!Not_compilable} if
-    ghost fragments remain. *)
-let lower ?(name = "driver") (program : Ast.program) : Tables.driver =
+    ghost fragments remain (unless [full]). *)
+let lower ?(name = "driver") ?(full = false) (program : Ast.program) :
+    Tables.driver =
   let tab = Symtab.build program in
   let env =
-    { events = Hashtbl.create 32;
+    { full;
+      events = Hashtbl.create 32;
       machines = Hashtbl.create 16;
       machine_vars = Hashtbl.create 16;
       vars = Hashtbl.create 0;

@@ -5,7 +5,11 @@
 
 exception Not_compilable of string
 
-val lower : ?name:string -> P_syntax.Ast.program -> Tables.driver
+val lower :
+  ?name:string -> ?full:bool -> P_syntax.Ast.program -> Tables.driver
 (** Compile to driver tables; [name] labels the driver (default
     ["driver"]). Raises {!Not_compilable} on surviving ghost fragments or
-    dangling names. *)
+    dangling names. With [~full:true] the un-erased program is lowered
+    instead: ghost machines are kept and [*] becomes {!Tables.cexpr.CNondet}
+    — tables in this form are for the differential-replay executor only and
+    are rejected by {!C_emit}. *)

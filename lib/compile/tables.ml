@@ -45,6 +45,11 @@ type cexpr =
   | CUnop of unop * cexpr
   | CBinop of binop * cexpr * cexpr
   | CForeign_call of foreign_id * cexpr list
+  | CNondet
+      (** the ghost [*] expression. Never present in erased (production)
+          tables — only {!Lower.lower}[ ~full:true] emits it, for the
+          differential-replay driver, whose stepped executor resolves it
+          from a recorded choice list *)
 
 type code =
   | CSkip

@@ -21,13 +21,26 @@ type t = {
   mutable handle : int option;
 }
 
+type error = Device_not_added of { main_machine : string }
+
+exception Error of error
+
+let error_message (Device_not_added { main_machine }) =
+  Fmt.str
+    "skeleton for driver machine %s: no device attached — EvtAddDevice has \
+     not run (or EvtRemoveDevice already ran), so there is no machine handle"
+    main_machine
+
 let attach ?(delete_event = Some "Delete") (runtime : Api.t) ~main_machine ~translate =
   { runtime; main_machine; translate; delete_event; handle = None }
 
-let handle t =
+let handle_opt t : (int, error) result =
   match t.handle with
-  | Some h -> h
-  | None -> failwith "Skeleton: device not added yet"
+  | Some h -> Ok h
+  | None -> Result.Error (Device_not_added { main_machine = t.main_machine })
+
+let handle t =
+  match handle_opt t with Ok h -> h | Result.Error e -> raise (Error e)
 
 let driver ?(name = "p-driver") ?metrics (t : t) : Os_events.driver =
   (* resolved once; the per-callback path is then a plain option match *)

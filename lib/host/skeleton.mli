@@ -6,6 +6,18 @@
 
 type t
 
+(** Host-ordering failures the skeleton can report: a callback or handle
+    lookup raced ahead of [EvtAddDevice] (or behind [EvtRemoveDevice]). *)
+type error = Device_not_added of { main_machine : string }
+
+exception Error of error
+(** Raised by {!handle}; carries the same diagnosable payload that
+    {!handle_opt} returns, instead of the historical bare [Failure] that
+    aborted the simulated host with no context. *)
+
+val error_message : error -> string
+(** A human-readable diagnosis (which driver machine, what ordering). *)
+
 val attach :
   ?delete_event:string option ->
   P_runtime.Api.t ->
@@ -16,9 +28,14 @@ val attach :
     (returning [None] drops the callback); [delete_event] is the event
     queued on device removal (default ["Delete"], [None] disables). *)
 
+val handle_opt : t -> (int, error) result
+(** The machine handle of the attached device, or a typed
+    [Device_not_added] error before [add_device] / after
+    [remove_device]. *)
+
 val handle : t -> int
-(** The machine handle of the attached device.
-    @raise Failure before [add_device]. *)
+(** Like {!handle_opt}.
+    @raise Error before [add_device]. *)
 
 val driver : ?name:string -> ?metrics:P_obs.Metrics.t -> t -> Os_events.driver
 (** The host-facing driver interface. Callbacks before [add_device] or

@@ -65,4 +65,4 @@ let current_state_name (rt : t) handle =
 let queue_length (rt : t) handle =
   match Exec.find_instance rt handle with
   | None -> 0
-  | Some ctx -> List.length ctx.Context.inbox
+  | Some ctx -> Context.inbox_length ctx

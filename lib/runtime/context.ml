@@ -14,6 +14,19 @@ type ext = ..
 
 type handler = HNone | HDefer | HAction of int
 
+(** The input FIFO: a two-list functional queue (amortized O(1) enqueue)
+    plus a membership table for the deduplicating [⊕] of the SEND rule.
+    The historical representation was a plain list appended with [@],
+    which made every enqueue O(n) and bursty workloads O(n²). [⊕] keeps
+    the queue duplicate-free, so plain key presence is enough for the
+    membership table. *)
+type inbox = {
+  mutable ib_front : (int * Rt_value.t) list;  (** next to dequeue first *)
+  mutable ib_back : (int * Rt_value.t) list;  (** reversed: newest first *)
+  mutable ib_size : int;
+  ib_members : (int * Rt_value.t, unit) Hashtbl.t;
+}
+
 type task =
   | Exec of Tables.code
   | Handle of int * Rt_value.t  (** dynamic raise(e, v) *)
@@ -36,7 +49,7 @@ type t = {
   mutable arg : Rt_value.t;
   mutable frames : frame list;  (** top first *)
   mutable agenda : task list;
-  mutable inbox : (int * Rt_value.t) list;  (** front of the FIFO first *)
+  inbox : inbox;
   mutable alive : bool;
   mutable scheduled : bool;  (** being run (or queued to run) by some thread *)
   lock : Mutex.t;
@@ -61,7 +74,7 @@ let create ~self ~ty ~(table : Tables.machine_table) : t =
       (match table.mt_states with
       | [||] -> []
       | states -> [ Exec states.(0).st_entry ]);
-    inbox = [];
+    inbox = { ib_front = []; ib_back = []; ib_size = 0; ib_members = Hashtbl.create 16 };
     alive = true;
     scheduled = false;
     lock = Mutex.create ();
@@ -87,24 +100,53 @@ let is_deferred t event =
     in
     (declared || inherited) && not overridden
 
-(** Append with the deduplicating [⊕] of the SEND rule. *)
+(** Append with the deduplicating [⊕] of the SEND rule. Amortized O(1):
+    membership is a hash lookup ([Rt_value] values are plain immutable
+    variants, so generic hashing and equality agree with
+    {!Rt_value.equal}), and the entry is consed onto the back list. *)
 let enqueue t event payload =
-  if not (List.exists (fun (e, v) -> e = event && Rt_value.equal v payload) t.inbox)
-  then t.inbox <- t.inbox @ [ (event, payload) ]
+  let ib = t.inbox in
+  let key = (event, payload) in
+  if not (Hashtbl.mem ib.ib_members key) then begin
+    Hashtbl.replace ib.ib_members key ();
+    ib.ib_back <- key :: ib.ib_back;
+    ib.ib_size <- ib.ib_size + 1
+  end
 
-(** Dequeue the first non-deferred entry, if any. *)
+(* Move the back list to the front (once per element over the queue's
+   lifetime), so dequeue scans a single in-order list. *)
+let normalize (ib : inbox) =
+  if ib.ib_back <> [] then begin
+    ib.ib_front <- ib.ib_front @ List.rev ib.ib_back;
+    ib.ib_back <- []
+  end
+
+(** Dequeue the first non-deferred entry, if any; deferred entries keep
+    their queue positions (the DEQUEUE rule scans past them). *)
 let dequeue t : (int * Rt_value.t) option =
+  let ib = t.inbox in
+  normalize ib;
   let rec scan skipped = function
     | [] -> None
     | ((e, _) as entry) :: rest ->
       if is_deferred t e then scan (entry :: skipped) rest
       else begin
-        t.inbox <- List.rev_append skipped rest;
+        ib.ib_front <- List.rev_append skipped rest;
+        ib.ib_size <- ib.ib_size - 1;
+        Hashtbl.remove ib.ib_members entry;
         Some entry
       end
   in
-  scan [] t.inbox
+  scan [] ib.ib_front
 
-let has_dequeuable t = List.exists (fun (e, _) -> not (is_deferred t e)) t.inbox
+let inbox_length t = t.inbox.ib_size
+
+let inbox_list t = t.inbox.ib_front @ List.rev t.inbox.ib_back
+(** Front of the FIFO first. *)
+
+let has_dequeuable t =
+  let not_deferred (e, _) = not (is_deferred t e) in
+  List.exists not_deferred t.inbox.ib_front
+  || List.exists not_deferred t.inbox.ib_back
 
 let is_runnable t = t.alive && (t.agenda <> [] || has_dequeuable t)

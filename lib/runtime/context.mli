@@ -25,6 +25,16 @@ type frame = {
   f_cont : task list;  (** caller continuation for [call] statements *)
 }
 
+(** The input FIFO: a two-list functional queue with a membership table
+    for the deduplicating [⊕], making enqueue amortized O(1) (the
+    historical list-append representation made bursty workloads O(n²)). *)
+type inbox = {
+  mutable ib_front : (int * Rt_value.t) list;  (** next to dequeue first *)
+  mutable ib_back : (int * Rt_value.t) list;  (** reversed: newest first *)
+  mutable ib_size : int;
+  ib_members : (int * Rt_value.t, unit) Hashtbl.t;
+}
+
 type t = {
   self : int;  (** instance handle *)
   ty : int;  (** machine type index in the driver *)
@@ -34,7 +44,7 @@ type t = {
   mutable arg : Rt_value.t;
   mutable frames : frame list;  (** top first *)
   mutable agenda : task list;
-  mutable inbox : (int * Rt_value.t) list;  (** front of the FIFO first *)
+  inbox : inbox;
   mutable alive : bool;
   mutable scheduled : bool;  (** being run (or queued to run) by some thread *)
   lock : Mutex.t;
@@ -53,7 +63,13 @@ val enqueue : t -> int -> Rt_value.t -> unit
 (** Append with the deduplicating [⊕] of the SEND rule. *)
 
 val dequeue : t -> (int * Rt_value.t) option
-(** Dequeue the first non-deferred entry, if any. *)
+(** Dequeue the first non-deferred entry, if any; deferred entries keep
+    their queue positions. *)
+
+val inbox_length : t -> int
+
+val inbox_list : t -> (int * Rt_value.t) list
+(** Front of the FIFO first (for introspection and differential replay). *)
 
 val has_dequeuable : t -> bool
 val is_runnable : t -> bool

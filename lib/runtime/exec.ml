@@ -26,6 +26,23 @@ let error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
 
 type foreign_fn = Context.t -> Rt_value.t list -> Rt_value.t
 
+(** Stepped (differential-replay) mode. Normally the runtime is
+    run-to-completion: a send or [new] immediately runs the receiver/child
+    nested on the same thread. A checker schedule, however, is a list of
+    per-machine atomic blocks, each ending at a scheduling point. With
+    [stepped] set, a send only enqueues, [new] only creates, and either one
+    raises the yield flag so {!run_machine} stops at the block boundary —
+    letting {!step_block} drive the runtime machine-by-machine along a
+    recorded schedule. [sp_choices] supplies the block's recorded ghost
+    [*] resolutions (full tables lower [*] to {!Tables.cexpr.CNondet}). *)
+type stepped = {
+  mutable sp_choices : bool list;  (** remaining recorded [*] outcomes *)
+  mutable sp_yield : bool;  (** a scheduling point was reached *)
+}
+
+exception Choice_needed
+(** A [*] was evaluated past the end of [sp_choices]. *)
+
 (** Metric handles resolved once in {!set_metrics}: sends, dequeues and
     machine creations as counters, plus the longest inbox ever seen.
     Updated under the runtime lock the bookkeeping already holds, so the
@@ -45,6 +62,8 @@ type t = {
   lock : Mutex.t;
   mutable trace_hook : (Rt_trace.item -> unit) option;
   mutable meters : rt_meters option;
+  mutable stepped : stepped option;
+      (** [Some _] only inside {!step_block}; see {!stepped} *)
 }
 
 let create (driver : Tables.driver) : t =
@@ -54,7 +73,12 @@ let create (driver : Tables.driver) : t =
     foreigns = Hashtbl.create 16;
     lock = Mutex.create ();
     trace_hook = None;
-    meters = None }
+    meters = None;
+    stepped = None }
+
+let is_stepped rt = rt.stepped <> None
+let stepped_yield rt = match rt.stepped with Some sp -> sp.sp_yield | None -> false
+let set_yield rt = match rt.stepped with Some sp -> sp.sp_yield <- true | None -> ()
 
 (** Point the runtime at a metrics registry ([None] turns metrics off). *)
 let set_metrics (rt : t) (reg : P_obs.Metrics.t option) : unit =
@@ -103,6 +127,19 @@ let rec eval rt (ctx : Context.t) (e : Tables.cexpr) : Rt_value.t =
     let fs = ctx.table.mt_foreigns.(f) in
     let values = List.map (eval rt ctx) args in
     call_foreign rt ctx fs.fs_name values
+  | Tables.CNondet -> (
+    (* only full (differential) tables contain CNondet, and only stepped
+       execution can resolve it — from the recorded choice list *)
+    match rt.stepped with
+    | None ->
+      error "machine %s #%d: nondeterministic '*' outside stepped mode"
+        ctx.table.mt_name ctx.self
+    | Some sp -> (
+      match sp.sp_choices with
+      | [] -> raise Choice_needed
+      | b :: rest ->
+        sp.sp_choices <- rest;
+        Rt_value.Bool b))
 
 and call_foreign rt ctx name values =
   match Hashtbl.find_opt rt.foreigns name with
@@ -137,7 +174,7 @@ let push_amap (ctx : Context.t) (caller_state : int) (amap : Context.handler arr
 
 let rec run_machine rt (ctx : Context.t) : unit =
   let continue = ref true in
-  while !continue && ctx.alive do
+  while !continue && ctx.alive && not (stepped_yield rt) do
     match ctx.agenda with
     | [] -> (
       (* DEQUEUE *)
@@ -244,8 +281,13 @@ and exec_code rt (ctx : Context.t) (code : Tables.code) rest =
       values;
     assign ctx x (Rt_value.Machine child.Context.self);
     ctx.agenda <- rest;
-    (* the fresh machine preempts its creator, as in the d=0 schedule *)
-    run_if_idle rt child
+    if is_stepped rt then
+      (* NEW is a scheduling point; the replayed schedule decides when the
+         child's entry statement runs *)
+      set_yield rt
+    else
+      (* the fresh machine preempts its creator, as in the d=0 schedule *)
+      run_if_idle rt child
   | Tables.CDelete ->
     emit rt (Rt_trace.Deleted { mid = ctx.self });
     with_lock rt (fun () ->
@@ -328,7 +370,7 @@ and deliver rt ~src dst e v =
           | Some m ->
             P_obs.Metrics.incr m.rm_sends;
             P_obs.Metrics.set_max m.rm_queue_hwm
-              (float_of_int (List.length target.Context.inbox)));
+              (float_of_int (Context.inbox_length target)));
           Some target)
   in
   match target with
@@ -341,7 +383,11 @@ and deliver rt ~src dst e v =
            dst;
            event = event_name rt e;
            payload = Fmt.str "%a" Rt_value.pp v });
-    run_if_idle rt target
+    if is_stepped rt then
+      (* SEND is a scheduling point: enqueue only, stop at the block
+         boundary; the schedule decides when the receiver runs *)
+      set_yield rt
+    else run_if_idle rt target
 
 (* Claim-and-run: set the scheduled flag if unset, then drain the machine,
    re-checking for events that raced in while we were finishing. *)
@@ -359,7 +405,7 @@ and run_if_idle rt (ctx : Context.t) : unit =
       run_machine rt ctx;
       let again =
         with_lock rt (fun () ->
-            if Context.is_runnable ctx then true
+            if Context.is_runnable ctx && not (stepped_yield rt) then true
             else begin
               ctx.Context.scheduled <- false;
               false
@@ -368,3 +414,40 @@ and run_if_idle rt (ctx : Context.t) : unit =
       if again then drain ()
     in
     drain ()
+
+(* ------------------------------------------------------------------ *)
+(* Stepped execution (differential replay)                             *)
+(* ------------------------------------------------------------------ *)
+
+type block_result =
+  | Block_progress  (** reached a scheduling point (send or [new]) *)
+  | Block_blocked  (** agenda drained and nothing dequeuable *)
+  | Block_terminated  (** the machine executed [delete] *)
+  | Block_error of string  (** a runtime error configuration *)
+  | Block_choices_exhausted
+      (** a [*] was evaluated past the supplied choice list *)
+
+(** Run one atomic block of [ctx]: continue its agenda (or dequeue if the
+    agenda is empty) until a send/new scheduling point, quiescence,
+    termination, or an error — the runtime twin of
+    {!P_semantics.Step.run_atomic}. [choices] resolves the block's [*]
+    expressions in order. Single-threaded use only: no other thread may
+    drive [rt] while stepping. *)
+let step_block rt (ctx : Context.t) ~(choices : bool list) : block_result =
+  if is_stepped rt then invalid_arg "Exec.step_block: already stepping";
+  if not ctx.Context.alive then
+    invalid_arg "Exec.step_block: machine is deleted";
+  let sp = { sp_choices = choices; sp_yield = false } in
+  rt.stepped <- Some sp;
+  Fun.protect
+    ~finally:(fun () -> rt.stepped <- None)
+    (fun () ->
+      try
+        run_machine rt ctx;
+        if sp.sp_yield then Block_progress
+        else if not ctx.Context.alive then Block_terminated
+        else Block_blocked
+      with
+      | Runtime_error msg -> Block_error msg
+      | Rt_value.Type_error msg -> Block_error msg
+      | Choice_needed -> Block_choices_exhausted)

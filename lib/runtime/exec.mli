@@ -16,6 +16,18 @@ val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 type foreign_fn = Context.t -> Rt_value.t list -> Rt_value.t
 
+(** Stepped (differential-replay) mode: with this set, a send only
+    enqueues, [new] only creates, and either raises [sp_yield] so the
+    machine loop stops at the atomic-block boundary. [sp_choices] holds the
+    block's recorded ghost [*] resolutions. Managed by {!step_block}. *)
+type stepped = {
+  mutable sp_choices : bool list;
+  mutable sp_yield : bool;
+}
+
+exception Choice_needed
+(** A [*] was evaluated past the end of [sp_choices]. *)
+
 (** Metric handles resolved once by {!set_metrics}: [runtime.sends],
     [runtime.dequeues], [runtime.creates] counters and the
     [runtime.queue_len_hwm] inbox high-water gauge. *)
@@ -34,6 +46,8 @@ type t = {
   lock : Mutex.t;
   mutable trace_hook : (Rt_trace.item -> unit) option;
   mutable meters : rt_meters option;
+  mutable stepped : stepped option;
+      (** [Some _] only inside {!step_block} *)
 }
 
 val create : Tables.driver -> t
@@ -59,3 +73,29 @@ val run_if_idle : t -> Context.t -> unit
 
 val run_machine : t -> Context.t -> unit
 (** One drain pass (no claim); internal, exposed for tests. *)
+
+val eval : t -> Context.t -> Tables.cexpr -> Rt_value.t
+(** Evaluate a table expression in a machine context; exposed so
+    differential replay can apply {!Tables.driver.dr_main_init}. *)
+
+val assign : Context.t -> int -> Rt_value.t -> unit
+(** Store into a machine variable with the byte-narrowing coercion the
+    generated code applies. *)
+
+(** Outcome of one stepped atomic block, mirroring
+    {!P_semantics.Step.outcome}. *)
+type block_result =
+  | Block_progress  (** reached a scheduling point (send or [new]) *)
+  | Block_blocked  (** agenda drained and nothing dequeuable *)
+  | Block_terminated  (** the machine executed [delete] *)
+  | Block_error of string  (** a runtime error configuration *)
+  | Block_choices_exhausted
+      (** a [*] was evaluated past the supplied choice list *)
+
+val step_block : t -> Context.t -> choices:bool list -> block_result
+(** Run one atomic block of the given machine — continue its agenda (or
+    dequeue) until a send/new scheduling point, quiescence, termination or
+    an error — resolving ghost [*] expressions from [choices] in order.
+    The runtime twin of {!P_semantics.Step.run_atomic}, for driving a
+    checker schedule through the compiled tables. Single-threaded use
+    only. *)

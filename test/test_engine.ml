@@ -105,9 +105,9 @@ let test_random_walk_triples () =
   check int_t "elevator_buggy failing walks" 19 rb.errors_found;
   check int_t "elevator_buggy total blocks" 620 rb.total_blocks;
   (match rb.first_error with
-  | Some (_, trace, blocks) ->
-    check int_t "first failing walk blocks" 12 blocks;
-    check int_t "first failing trace items" 29 (List.length trace)
+  | Some f ->
+    check int_t "first failing walk blocks" 12 f.blocks;
+    check int_t "first failing trace items" 29 (List.length f.trace)
   | None -> Alcotest.fail "expected a failing walk");
   let rr = Random_walk.run ~walks:20 ~max_blocks:100 ~seed:42 (ring ()) in
   check int_t "ring walks clean" 0 rr.errors_found;

@@ -93,13 +93,16 @@ let test_random_walk_finds_easy_bug () =
   let r = Random_walk.run ~walks:30 ~max_blocks:300 ~seed:5 tab in
   check bool_t "some walk fails" true (r.errors_found > 0);
   match r.first_error with
-  | Some (e, trace, blocks) ->
+  | Some f ->
     check bool_t "an unhandled event" true
-      (match e.P_semantics.Errors.kind with
+      (match f.error.P_semantics.Errors.kind with
       | P_semantics.Errors.Unhandled_event _ -> true
       | _ -> false);
-    check bool_t "trace recorded" true (List.length trace > 3);
-    check bool_t "blocks positive" true (blocks > 0)
+    check bool_t "trace recorded" true (List.length f.trace > 3);
+    check bool_t "blocks positive" true (f.blocks > 0);
+    check bool_t "schedule matches blocks" true (List.length f.schedule = f.blocks);
+    check int_t "walk seed is derived from the base seed" f.walk_seed
+      (r.seed + (f.walk * 7919))
   | None -> Alcotest.fail "errors_found > 0 but no first_error"
 
 let test_random_walk_clean_program () =

@@ -101,6 +101,38 @@ let test_skeleton_add_idempotent () =
   d.Os_events.add_device ();
   check int_t "second AddDevice is a no-op" h1 (P_host.Skeleton.handle sk)
 
+let test_skeleton_typed_error_before_add () =
+  let rt = switchled_runtime () in
+  let sk = P_host.Skeleton.attach rt ~main_machine:"SwitchLed" ~translate in
+  (* before AddDevice there is no handle: a typed, diagnosable error
+     instead of the historical bare Failure *)
+  (match P_host.Skeleton.handle_opt sk with
+  | Error (P_host.Skeleton.Device_not_added { main_machine }) as e ->
+    check bool_t "names the driver machine" true (main_machine = "SwitchLed");
+    let msg =
+      match e with
+      | Error err -> P_host.Skeleton.error_message err
+      | Ok _ -> assert false
+    in
+    check bool_t "diagnosis mentions the machine" true
+      (Astring_contains.contains msg "SwitchLed");
+    check bool_t "diagnosis mentions EvtAddDevice" true
+      (Astring_contains.contains msg "EvtAddDevice")
+  | Ok _ -> Alcotest.fail "handle_opt before AddDevice must be an error");
+  (match P_host.Skeleton.handle sk with
+  | exception P_host.Skeleton.Error (P_host.Skeleton.Device_not_added _) -> ()
+  | exception e ->
+    Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "handle before AddDevice must raise");
+  (* after removal the handle is gone again, with the same typed error *)
+  let d = P_host.Skeleton.driver sk in
+  d.Os_events.add_device ();
+  check bool_t "handle after add" true (Result.is_ok (P_host.Skeleton.handle_opt sk));
+  d.Os_events.remove_device ();
+  match P_host.Skeleton.handle_opt sk with
+  | Error (P_host.Skeleton.Device_not_added _) -> ()
+  | Ok _ -> Alcotest.fail "handle must be gone after RemoveDevice"
+
 (* ---------------- workload ---------------- *)
 
 let test_workload_stats () =
@@ -139,5 +171,6 @@ let suite =
     Alcotest.test_case "clock negative delay" `Quick test_clock_rejects_negative_delay;
     Alcotest.test_case "skeleton lifecycle" `Quick test_skeleton_lifecycle;
     Alcotest.test_case "skeleton add idempotent" `Quick test_skeleton_add_idempotent;
+    Alcotest.test_case "skeleton typed error" `Quick test_skeleton_typed_error_before_add;
     Alcotest.test_case "workload stats" `Quick test_workload_stats;
     Alcotest.test_case "workload drives P driver" `Quick test_workload_drives_p_driver ]

@@ -172,8 +172,62 @@ let test_two_machines_two_threads () =
   check bool_t "machine 2 consistent" true (Hashtbl.find states h2 = false);
   check bool_t "both alive" true (Api.is_alive rt h1 && Api.is_alive rt h2)
 
+(* ---------------- inbox scalability ---------------- *)
+
+let test_inbox_bulk_enqueue_is_fast () =
+  (* regression for the O(n²) list-append inbox: 10k distinct enqueues and
+     a full FIFO drain must complete in linear-ish time *)
+  let { P_compile.Compile.driver; _ } =
+    P_compile.Compile.compile (P_examples_lib.Pingpong.program ())
+  in
+  let ctx = Context.create ~self:0 ~ty:0 ~table:driver.dr_machines.(0) in
+  (* drop entry code from the agenda so only the queue is in play *)
+  ctx.Context.agenda <- [];
+  let n = 10_000 in
+  let t0 = Sys.time () in
+  for i = 1 to n do
+    Context.enqueue ctx 0 (Rt_value.Int i)
+  done;
+  check int_t "all queued" n (Context.inbox_length ctx);
+  (* the deduplicating ⊕ drops an identical (event, payload) pair *)
+  Context.enqueue ctx 0 (Rt_value.Int 1);
+  check int_t "duplicate dropped" n (Context.inbox_length ctx);
+  (* drain in FIFO order *)
+  let ok = ref true in
+  for i = 1 to n do
+    match Context.dequeue ctx with
+    | Some (0, Rt_value.Int j) when j = i -> ()
+    | _ -> ok := false
+  done;
+  check bool_t "FIFO order preserved" true !ok;
+  check int_t "drained" 0 (Context.inbox_length ctx);
+  let elapsed = Sys.time () -. t0 in
+  check bool_t
+    (Printf.sprintf "linear-ish time (%.3fs)" elapsed)
+    true (elapsed < 2.0)
+
+let test_inbox_interleaved_enqueue_dequeue () =
+  (* enqueues racing a partially drained front list must not reorder *)
+  let { P_compile.Compile.driver; _ } =
+    P_compile.Compile.compile (P_examples_lib.Pingpong.program ())
+  in
+  let ctx = Context.create ~self:0 ~ty:0 ~table:driver.dr_machines.(0) in
+  ctx.Context.agenda <- [];
+  Context.enqueue ctx 0 (Rt_value.Int 1);
+  Context.enqueue ctx 0 (Rt_value.Int 2);
+  check bool_t "first out" true (Context.dequeue ctx = Some (0, Rt_value.Int 1));
+  Context.enqueue ctx 0 (Rt_value.Int 3);
+  check bool_t "second out" true (Context.dequeue ctx = Some (0, Rt_value.Int 2));
+  (* a dequeued pair may be enqueued again — membership must have aged out *)
+  Context.enqueue ctx 0 (Rt_value.Int 1);
+  check bool_t "third out" true (Context.dequeue ctx = Some (0, Rt_value.Int 3));
+  check bool_t "re-enqueued out" true (Context.dequeue ctx = Some (0, Rt_value.Int 1));
+  check bool_t "empty" true (Context.dequeue ctx = None)
+
 let suite =
   [ Alcotest.test_case "pingpong runs" `Quick test_pingpong_runs;
+    Alcotest.test_case "inbox bulk enqueue" `Quick test_inbox_bulk_enqueue_is_fast;
+    Alcotest.test_case "inbox interleaving" `Quick test_inbox_interleaved_enqueue_dequeue;
     Alcotest.test_case "add_event drives" `Quick test_add_event_drives_machine;
     Alcotest.test_case "assert raises" `Quick test_runtime_assert_raises;
     Alcotest.test_case "unhandled raises" `Quick test_runtime_unhandled_event_raises;
