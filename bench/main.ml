@@ -10,6 +10,9 @@
            dune exec bench/main.exe -- ablation (design-choice ablations)
            dune exec bench/main.exe -- digest-throughput
                                                (incremental vs full fingerprints)
+           dune exec bench/main.exe -- scaling (work-stealing engine across domains)
+           dune exec bench/main.exe -- protocol-scaling
+                                               (German's directory with n clients)
            dune exec bench/main.exe -- micro   (Bechamel micro-benchmarks)
 
    Absolute numbers will differ from the paper's 2013 testbed (Zing on a
@@ -392,43 +395,84 @@ let protocol_scaling ?(max_states = 2_000_000) () =
     [ 2; 3; 4 ];
   record "protocol_scaling" (Json.List (List.rev !rows))
 
-let parallel_scaling ?(max_states = 120_000) () =
-  line "== Multicore exploration (section 6: \"using multicores to scale the";
-  line "   state exploration\") ==";
+(* The work-stealing engine's scaling sweep (section 6: "using multicores to
+   scale the state exploration"): german and elevator at delay bounds 2-4,
+   across 1/2/4/8 domains. Each (benchmark, bound) cell asserts the
+   determinism contract — the (verdict, states, transitions) triple must be
+   byte-identical at every domain count — and reports speedup relative to
+   the single-domain run. On a single-core host the sweep still validates
+   determinism; the speedups it records are honestly ~1x or below. *)
+let parallel_scaling ?(max_states = 2_000_000) ?(domain_counts = [ 1; 2; 4; 8 ])
+    ?(bounds = [ 2; 3; 4 ]) () =
+  line "== Multicore scaling: work-stealing exploration across domains ==";
   let cores = Domain.recommended_domain_count () in
   line "   this machine reports %d core(s)%s" cores
     (if cores <= 1 then
-       " — domain runs below only demonstrate determinism, not speedup;"
+       " — runs below demonstrate cross-domain determinism, not speedup"
      else "");
-  if cores <= 1 then
-    line "   on a multicore host the level-parallel BFS divides wall-clock time";
-  let tab = tab_of (P_usb.Stack.program ()) in
-  let base = ref 0.0 in
+  let triple (r : Search.result) =
+    ( (match r.verdict with
+      | Search.Error_found ce -> Some ce.depth
+      | Search.No_error -> None),
+      r.stats.states,
+      r.stats.transitions )
+  in
+  let subjects =
+    [ ("german", tab_of (P_examples_lib.German.program ~n:3 ~requests:2 ()));
+      ("elevator", tab_of (P_examples_lib.Elevator.program ())) ]
+  in
   let rows = ref [] in
+  let all_identical = ref true in
   List.iter
-    (fun domains ->
-      let r = Parallel.explore ~domains ~delay_bound:1 ~max_states tab in
-      if domains = 1 then base := r.stats.elapsed_s;
-      line "  %d domain(s): %7d states in %6.2fs  (speedup %.2fx)" domains
-        r.stats.states r.stats.elapsed_s
-        (!base /. r.stats.elapsed_s);
-      rows :=
-        Json.Obj
-          [ ("domains", Json.Int domains);
-            ("speedup", Json.Float (!base /. r.stats.elapsed_s));
-            ("stats", json_of_stats r.stats) ]
-        :: !rows)
-    [ 1; 2; 4 ];
-  let seq = Delay_bounded.explore ~delay_bound:1 ~max_states tab in
-  line
-    "  sequential reference: %d states in %.2fs (the parallel engine explores the
-    \  same transition system; its per-level budget check may overshoot slightly)"
-    seq.stats.states seq.stats.elapsed_s;
+    (fun (name, tab) ->
+      List.iter
+        (fun delay_bound ->
+          line "%-10s d=%d" name delay_bound;
+          let base = ref 0.0 in
+          let base_triple = ref None in
+          let identical = ref true in
+          let runs = ref [] in
+          List.iter
+            (fun domains ->
+              let r = Parallel.explore ~domains ~delay_bound ~max_states tab in
+              if domains = 1 then begin
+                base := r.stats.elapsed_s;
+                base_triple := Some (triple r)
+              end
+              else if !base_triple <> Some (triple r) then identical := false;
+              let speedup = !base /. r.stats.elapsed_s in
+              line "  %2d domain(s): %8d states %9d transitions in %6.2fs  (speedup %.2fx)"
+                domains r.stats.states r.stats.transitions r.stats.elapsed_s
+                speedup;
+              runs :=
+                Json.Obj
+                  [ ("domains", Json.Int domains);
+                    ("speedup", Json.Float speedup);
+                    ("stats", json_of_stats r.stats) ]
+                :: !runs)
+            domain_counts;
+          if not !identical then begin
+            all_identical := false;
+            line "  !! DETERMINISM VIOLATION: triples differ across domain counts"
+          end;
+          rows :=
+            Json.Obj
+              [ ("benchmark", Json.String name);
+                ("delay_bound", Json.Int delay_bound);
+                ("triple_identical", Json.Bool !identical);
+                ("runs", Json.List (List.rev !runs)) ]
+            :: !rows)
+        bounds)
+    subjects;
+  line "(verdict, states, transitions) identical across domain counts: %b"
+    !all_identical;
   record "parallel_scaling"
     (Json.Obj
        [ ("cores", Json.Int cores);
-         ("runs", Json.List (List.rev !rows));
-         ("sequential", json_of_stats seq.stats) ])
+         ("domain_counts", Json.List (List.map (fun d -> Json.Int d) domain_counts));
+         ("triples_identical", Json.Bool !all_identical);
+         ("sweeps", Json.List (List.rev !rows)) ]);
+  !all_identical
 
 (* ------------------------------------------------------------------ *)
 (* Digest throughput: incremental vs full state fingerprinting         *)
@@ -604,7 +648,7 @@ let all () =
   hr ();
   protocol_scaling ();
   hr ();
-  parallel_scaling ();
+  ignore (parallel_scaling () : bool);
   hr ();
   digest_throughput ();
   hr ();
@@ -636,8 +680,9 @@ let () =
   | "fig8" :: _ -> fig8 ()
   | "overhead" :: _ -> overhead ()
   | "ablation" :: _ -> ablation ()
-  | "parallel" :: _ -> parallel_scaling ()
-  | "scaling" :: _ -> protocol_scaling ()
+  | "parallel" :: _ | "scaling" :: _ ->
+    if not (parallel_scaling ()) then exit 1
+  | "protocol-scaling" :: _ -> protocol_scaling ()
   | "digest-throughput" :: _ | "digest" :: _ -> digest_throughput ()
   | "micro" :: _ -> micro ()
   | "quick" :: _ ->
@@ -654,6 +699,12 @@ let () =
     hr ();
     fig8 ~max_states:2_000 ();
     hr ();
-    overhead ~events:50 ()
+    overhead ~events:50 ();
+    hr ();
+    (* determinism across domain counts is a hard contract: fail the smoke
+       run (and with it CI) if the triples ever diverge *)
+    if
+      not (parallel_scaling ~max_states:20_000 ~domain_counts:[ 1; 2 ] ~bounds:[ 2 ] ())
+    then exit 1
   | [] | _ -> all ());
   match json_path with None -> () | Some path -> write_results path

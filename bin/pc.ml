@@ -113,6 +113,19 @@ let program_provenance file example =
   | None, Some name -> "example:" ^ name
   | _ -> assert false (* load_program already rejected these *)
 
+(* Validate a --domains / --portfolio count: die with the typed error on an
+   impossible count (instead of the bare [Failure] the runtime would raise
+   past its hard limit), warn when merely oversubscribing this machine. *)
+let check_domain_count n =
+  match P_checker.Parallel.validate_domains ~hard:true n with
+  | Error e ->
+    or_die (Error (Fmt.str "%a" P_checker.Parallel.pp_domains_error e))
+  | Ok _ -> (
+    match P_checker.Parallel.validate_domains n with
+    | Ok _ -> ()
+    | Error e ->
+      Fmt.epr "pc: warning: %a@." P_checker.Parallel.pp_domains_error e)
+
 let default_ce_path file example =
   match (file, example) with
   | Some path, None -> Filename.remove_extension path ^ ".counterexample.jsonl"
@@ -124,6 +137,7 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   (match (seed, domains) with
   | Some _, Some _ -> or_die (Error "--seed is not supported with --domains")
   | _ -> ());
+  Option.iter check_domain_count domains;
   let program = or_die (load_program file example) in
   let fingerprint = or_die (P_checker.Fingerprint.mode_of_string fingerprint) in
   let metrics =
@@ -137,30 +151,8 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   let progress_fn = if progress then Some (make_progress ()) else None in
   let instr = P_checker.Search.instr ?metrics ~sink ?progress:progress_fn () in
   let report =
-    match domains with
-    | None ->
-      P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~fingerprint
-        ?seed ~instr program
-    | Some domains -> (
-      (* the multicore engine, behind the same report shape *)
-      match P_static.Check.run program with
-      | { diagnostics = (_ :: _) as ds; _ } ->
-        { P_checker.Verifier.static_diagnostics = ds;
-          safety = None;
-          liveness = None;
-          seed = None }
-      | { symtab; _ } ->
-        let safety =
-          P_checker.Parallel.explore ~domains ~delay_bound ~max_states ~fingerprint
-            ~instr symtab
-        in
-        { P_checker.Verifier.static_diagnostics = [];
-          safety = Some safety;
-          liveness =
-            (if liveness && safety.verdict = P_checker.Search.No_error then
-               Some (P_checker.Liveness.check ~instr symtab)
-             else None);
-          seed = None })
+    P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~fingerprint
+      ?seed ?domains ~instr program
   in
   (* the counterexample (when any) rides along in the trace file *)
   (match report.safety with
@@ -290,14 +282,22 @@ let verify_cmd =
 
 (* ---------------- random ---------------- *)
 
-let run_random file example walks max_blocks seed show_trace ce_out no_ce =
+let run_random file example walks max_blocks seed portfolio show_trace ce_out
+    no_ce =
+  Option.iter check_domain_count portfolio;
   let program = or_die (load_program file example) in
   match P_static.Check.run program with
   | { diagnostics = (_ :: _) as ds; _ } ->
     Fmt.pr "%a@." P_static.Check.pp_diagnostics ds;
     exit 1
   | { symtab; _ } -> (
-    let r = P_checker.Random_walk.run ~walks ~max_blocks ~seed symtab in
+    let r =
+      match portfolio with
+      | None -> P_checker.Random_walk.run ~walks ~max_blocks ~seed symtab
+      | Some domains ->
+        P_checker.Random_walk.run_portfolio ~walks ~max_blocks ~seed ~domains
+          symtab
+    in
     Fmt.pr "random walks: %a@." P_checker.Random_walk.pp_result r;
     match r.first_error with
     | Some f ->
@@ -325,6 +325,17 @@ let random_cmd =
     Arg.(value & opt int 1_000 & info [ "max-blocks" ] ~doc:"Atomic-block budget per walk.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let portfolio =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "portfolio" ] ~docv:"N"
+          ~doc:
+            "Race the seeded walks across $(docv) domains sharing only a \
+             found-it flag. Per-walk seeds are derived exactly as in the \
+             sequential mode, so the winning walk replays and shrinks \
+             unchanged.")
+  in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the first failing trace.") in
   let ce_out =
     Arg.(
@@ -344,8 +355,8 @@ let random_cmd =
     (Cmd.info "random"
        ~doc:"Random-walk testing (the baseline the systematic checker is compared to).")
     Term.(
-      const run_random $ file_arg $ example_arg $ walks $ max_blocks $ seed $ trace
-      $ ce_out $ no_ce)
+      const run_random $ file_arg $ example_arg $ walks $ max_blocks $ seed
+      $ portfolio $ trace $ ce_out $ no_ce)
 
 (* ---------------- simulate ---------------- *)
 

@@ -14,7 +14,7 @@
     - {!Depth_bounded}: full nondeterminism, budget = depth (truncating on
       exhaustion), BFS;
     - {!Parallel}: the delay-bounded spec driven by {!run_parallel}, a
-      level-synchronous frontier split across OCaml 5 domains;
+      work-stealing search across OCaml 5 domains over a sharded seen set;
     - {!Random_walk}: a one-move random scheduler, sampled choices, no
       seen set — each walk is a degenerate DFS;
     - {!Liveness} and {!Coverage}: full-nondeterminism resp. delay-bounded
@@ -28,10 +28,12 @@
     every engine.
 
     Determinism contract: for a fixed spec the loop visits nodes, counts
-    states/transitions, and reports verdicts identically run over run, and
-    {!run_parallel} agrees exactly with {!run} on the same spec (the merge
-    is sequential in worker order). The engine regression tests pin the
-    (verdict, states, transitions) triples to their pre-refactor values. *)
+    states/transitions, and reports verdicts identically run over run.
+    {!run_parallel} agrees with {!run} on the verdict and the state count
+    for any [domains], and its own (verdict, states, transitions) triple
+    is independent of [domains] (see its doc for the argument); the engine
+    regression tests pin the (verdict, states, transitions) triples to
+    their pre-refactor values. *)
 
 module Config = P_semantics.Config
 module Step = P_semantics.Step
@@ -226,9 +228,9 @@ type 'sched successor = {
   s_move : int;
 }
 
-let resolve spec tab config mid : Search.resolved list =
+let resolve ?on_overflow spec tab config mid : Search.resolved list =
   match spec.resolver with
-  | Exhaustive -> Search.resolutions ~dedup:spec.dedup tab config mid
+  | Exhaustive -> Search.resolutions ~dedup:spec.dedup ?on_overflow tab config mid
   | Sampled draw ->
     (* one sampled resolution; draw order matches the historical walker:
        one boolean per Need_more_choices re-run, appended at the end *)
@@ -243,7 +245,7 @@ let resolve spec tab config mid : Search.resolved list =
 (* Expand one node into raw successors. Pure apart from the fingerprint
    cache and the optional per-resolution counter, both of which are
    worker-local under [run_parallel]. *)
-let expand ?expansions ~fp (t : 'sched t) (node : 'sched node) :
+let expand ?expansions ?on_overflow ~fp (t : 'sched t) (node : 'sched node) :
     'sched successor list =
   let budget_left = t.spec.bound - node.spent in
   List.concat_map
@@ -279,7 +281,7 @@ let expand ?expansions ~fp (t : 'sched t) (node : 'sched node) :
                   Fingerprint.digest fp config' (t.spec.scheduler.encode sched')
               in
               Some (mk digest (Some next))))
-        (resolve t.spec t.tab node.config mid))
+        (resolve ?on_overflow t.spec t.tab node.config mid))
     (t.spec.scheduler.moves t.tab node.config node.sched ~budget_left)
 
 (* Replay the edge chain leading to edge-table index [idx] to rebuild the
@@ -432,6 +434,7 @@ let flush_fp_meters (t : 'sched t) fps =
     List.iter
       (fun fp ->
         let add c n = if n > 0 then P_obs.Metrics.add c n in
+        add m.Search.m_fp_requests (Fingerprint.requests fp);
         add m.Search.m_fp_hits (Fingerprint.hits fp);
         add m.Search.m_fp_misses (Fingerprint.misses fp);
         add m.Search.m_fp_collisions (Fingerprint.collisions fp))
@@ -494,89 +497,409 @@ let run ?(instr = Search.no_instr) ?observer ?(span_args = []) ~engine
         if node.depth >= spec.max_depth then t.stats.truncated <- true
         else if spec.truncate_on_exhaust && node.spent >= spec.bound then
           t.stats.truncated <- true
-        else List.iter (integrate t ~push) (expand ~fp t node)
+        else
+          List.iter (integrate t ~push)
+            (expand ~on_overflow:(fun () -> t.stats.truncated <- true) ~fp t node)
       end
     done;
     finish Search.No_error
   with Found ce -> finish (Search.Error_found ce)
 
-(** Run a spec as a level-synchronous parallel BFS: each round the frontier
-    is split among [domains] workers which expand their slices with
-    worker-local fingerprints (digests are canonical, so worker-local
-    caches yield identical keys), then the main domain integrates all
-    successors sequentially in worker order — results are byte-identical
-    to {!run} on the same spec, independent of [domains]. The [max_states]
-    budget is checked between levels, so the final count may overshoot.
-    [spec.frontier] must be [Bfs]; observers are not supported here. *)
+(* ------------------------------------------------------------------ *)
+(* Work-stealing parallel driver                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A reusable two-phase barrier: generation-counted so the same barrier
+   separates every stratum. [parties = 1] degenerates to a no-op, which is
+   how [run_parallel ~domains:1] runs the identical code path. *)
+module Barrier = struct
+  type t = {
+    lock : Mutex.t;
+    cond : Condition.t;
+    parties : int;
+    mutable waiting : int;
+    mutable generation : int;
+  }
+
+  let make parties =
+    { lock = Mutex.create ();
+      cond = Condition.create ();
+      parties;
+      waiting = 0;
+      generation = 0 }
+
+  let await b =
+    Mutex.lock b.lock;
+    let gen = b.generation in
+    b.waiting <- b.waiting + 1;
+    if b.waiting = b.parties then begin
+      b.waiting <- 0;
+      b.generation <- gen + 1;
+      Condition.broadcast b.cond
+    end
+    else
+      while b.generation = gen do
+        Condition.wait b.cond b.lock
+      done;
+    Mutex.unlock b.lock
+end
+
+(* The seen set, split into 2^k mutex-guarded shards keyed by the digest's
+   low bits, so inserts and lookups no longer funnel through one hashtable
+   on one domain. Each shard maps digest -> minimal budget spent (the
+   per-shard min-spent merge rule). *)
+type shard = { sh_lock : Mutex.t; sh_tbl : (string, int) Hashtbl.t }
+
+let shard_bits = 6
+let shard_count = 1 lsl shard_bits
+
+(** Run a spec as a work-stealing parallel search: [domains] workers, each
+    owning a Chase–Lev deque ({!Ws_deque}) of nodes, stealing from each
+    other when their own deque drains, over the sharded seen set.
+
+    The search is *stratified by budget spent*: zero-cost successors stay
+    in the current stratum (pushed on the discovering worker's deque);
+    positive-cost successors are buffered per worker and only claimed
+    against the seen set when their stratum starts, after a barrier. With
+    strata processed in ascending spent order, every state is claimed and
+    expanded exactly once, at its minimal spent (the min-spent re-expand
+    rule of {!integrate} can never fire), so the (states, transitions)
+    totals are independent of [domains] and of steal order — at most
+    [bound + 1] barriers total, where the level-synchronous predecessor of
+    this driver paid one barrier per BFS level.
+
+    On the first failing edge every worker stops and the counterexample is
+    re-derived by the sequential {!run} on the same spec, making the
+    reported (verdict, states, transitions, counterexample) byte-identical
+    to the sequential engine's — the deterministic tiebreak (sequential
+    discovery order = lowest dense state index), not arrival order. This
+    is sound because a worker only explores states the sequential engine
+    also reaches, and monotone budgets mean the sequential run finds an
+    error whenever any parallel worker did.
+
+    [max_states] is checked at claim time against a shared atomic, so a
+    truncated run may overshoot slightly and its counts may vary with
+    [domains]; non-truncated runs are exactly deterministic.
+    [spec.frontier] must be [Bfs]; observers are not supported. *)
 let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
-    ~spawn_threshold (spec : 'sched spec) (tab : Symtab.t) : Search.result =
-  (* worker-local fingerprints, persistent across levels so the per-machine
-     cache keeps paying off; worker w is the only toucher of fps.(w) within
-     a level, and Domain.join orders levels *)
-  let fps =
-    if spec.track_seen then
-      Array.init (max 1 domains) (fun _ -> Fingerprint.create ~mode:spec.fp_mode tab)
-    else [||]
-  in
-  let fp_of w = if Array.length fps = 0 then None else Some fps.(w) in
-  let expansions =
-    match instr.Search.metrics with
-    | None -> None
-    | Some reg ->
-      Some
-        (P_obs.Metrics.counter reg ~labels:[ ("engine", engine) ] "checker.expansions")
-  in
-  let started = P_obs.Mclock.start () in
-  let t0_us = P_obs.Mclock.now_us () in
-  let t, root = init_run ~instr ~engine spec tab ~fp:(fp_of 0) in
-  let finish verdict =
-    t.stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
-    flush_fp_meters t (Array.to_list fps);
-    Search.emit_run_span instr ~engine ~t0_us ~stats:t.stats span_args;
-    { Search.verdict; stats = t.stats }
-  in
-  let frontier = ref [ root ] in
-  try
-    while !frontier <> [] do
-      if t.stats.states >= spec.max_states then begin
-        t.stats.truncated <- true;
-        frontier := []
+    (spec : 'sched spec) (tab : Symtab.t) : Search.result =
+  if spec.frontier <> Bfs then
+    invalid_arg "Engine.run_parallel: frontier must be Bfs";
+  if not spec.track_seen then
+    (* without a seen set there is nothing to shard; the sequential loop is
+       the same search *)
+    run ~instr ~span_args ~engine spec tab
+  else begin
+    let n = max 1 domains in
+    let started = P_obs.Mclock.start () in
+    let t0_us = P_obs.Mclock.now_us () in
+    (* per-worker fingerprint contexts, persistent across strata; digests
+       are canonical, so separate caches yield identical keys *)
+    let fps = Array.init n (fun _ -> Fingerprint.create ~mode:spec.fp_mode tab) in
+    let counter name =
+      match instr.Search.metrics with
+      | None -> None
+      | Some reg ->
+        Some (P_obs.Metrics.counter reg ~labels:[ ("engine", engine) ] name)
+    in
+    let expansions = counter "checker.expansions" in
+    let m_steals = counter "checker.steals" in
+    let m_steal_attempts = counter "checker.steal_attempts" in
+    let m_contention = counter "checker.shard_contention" in
+    let stats = Search.new_stats () in
+    let t =
+      { tab;
+        spec;
+        seen = Hashtbl.create 1;  (* unused: the sharded set replaces it *)
+        edges = Dynarray.create ();
+        stats;
+        meters = Search.meters ~engine instr;
+        ticker = Search.ticker instr stats;
+        observer = None }
+    in
+    (* ---- shared state ---- *)
+    let shards =
+      Array.init shard_count (fun _ ->
+          { sh_lock = Mutex.create (); sh_tbl = Hashtbl.create 512 })
+    in
+    let states = Atomic.make 0 in
+    let pending = Atomic.make 0 in
+    (* stop = abandon the search (error found or max_states hit) *)
+    let stop = Atomic.make false in
+    let error_found = Atomic.make false in
+    let truncated = Atomic.make false in
+    let deques = Array.init n (fun _ -> Ws_deque.create ()) in
+    (* future-stratum nodes, buffered per worker: spent -> (digest, node) *)
+    let buckets : (int, (string * 'sched node) list) Hashtbl.t array =
+      Array.init n (fun _ -> Hashtbl.create 8)
+    in
+    (* written by worker 0 between the two barrier phases, read by all
+       after the second: the barrier's mutex publishes them *)
+    let continue_ = ref true in
+    let cur_stratum = ref 0 in
+    let barrier = Barrier.make n in
+    (* per-worker tallies, merged after the join *)
+    let w_transitions = Array.make n 0 in
+    let w_dedup = Array.make n 0 in
+    let w_maxdepth = Array.make n 0 in
+    let w_qhwm = Array.make n 0.0 in
+    let w_steals = Array.make n 0 in
+    let w_steal_attempts = Array.make n 0 in
+    let w_contention = Array.make n 0 in
+    let shard_of digest = Char.code (String.unsafe_get digest 0) land (shard_count - 1) in
+    (* Claim a digest at [spent]: the only writer of the seen set. [`New]
+       claims happen exactly once per state; because strata are processed
+       in ascending spent order, the first claim of a digest is already at
+       its minimal spent and [`Reexpand] is unreachable (kept for
+       safety). *)
+    let claim w digest spent =
+      let sh = shards.(shard_of digest) in
+      if not (Mutex.try_lock sh.sh_lock) then begin
+        w_contention.(w) <- w_contention.(w) + 1;
+        Mutex.lock sh.sh_lock
+      end;
+      let decision =
+        match Hashtbl.find_opt sh.sh_tbl digest with
+        | None ->
+          Hashtbl.replace sh.sh_tbl digest spent;
+          `New
+        | Some best when best <= spent -> `Dup
+        | Some _ ->
+          Hashtbl.replace sh.sh_tbl digest spent;
+          `Reexpand
+      in
+      Mutex.unlock sh.sh_lock;
+      decision
+    in
+    let bucket_add w spent entry =
+      let b = buckets.(w) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt b spent) in
+      Hashtbl.replace b spent (entry :: prev)
+    in
+    (* Claim a node for expansion in the current stratum; true = enqueued. *)
+    let claim_now w digest (node : 'sched node) =
+      if Atomic.get states >= spec.max_states then begin
+        Atomic.set truncated true;
+        Atomic.set stop true;
+        false
       end
-      else begin
-        let nodes = Array.of_list !frontier in
-        (match t.meters with
+      else
+        match claim w digest node.spent with
+        | `Dup ->
+          w_dedup.(w) <- w_dedup.(w) + 1;
+          false
+        | (`New | `Reexpand) as d ->
+          if d = `New then begin
+            Atomic.incr states;
+            match t.meters with
+            | None -> ()
+            | Some _ ->
+              let q = Search.queue_hwm_of_config node.config in
+              if q > w_qhwm.(w) then w_qhwm.(w) <- q
+          end;
+          if node.depth > w_maxdepth.(w) then w_maxdepth.(w) <- node.depth;
+          Atomic.incr pending;
+          Ws_deque.push deques.(w) node;
+          true
+    in
+    let process w (node : 'sched node) =
+      if node.depth >= spec.max_depth then Atomic.set truncated true
+      else if spec.truncate_on_exhaust && node.spent >= spec.bound then
+        Atomic.set truncated true
+      else
+        List.iter
+          (fun (s : 'sched successor) ->
+            w_transitions.(w) <- w_transitions.(w) + 1;
+            match s.s_next with
+            | None ->
+              (* a failing edge; [stop_on_error = false] graph builds are
+                 not driven through this engine (observers unsupported), so
+                 the edge only counts as a transition in that case *)
+              if spec.stop_on_error then begin
+                Atomic.set error_found true;
+                Atomic.set stop true
+              end
+            | Some (config', sched') ->
+              let node' =
+                { config = config';
+                  sched = sched';
+                  spent = s.s_spent;
+                  depth = s.s_depth;
+                  idx = 0;
+                  sidx = 0 }
+              in
+              if s.s_spent = node.spent then
+                ignore (claim_now w s.s_digest node')
+              else
+                (* claimed when its stratum is seeded: claiming here would
+                   race discoveries at smaller spent and make the expansion
+                   count depend on arrival order *)
+                bucket_add w s.s_spent (s.s_digest, node'))
+          (expand ?expansions
+             ~on_overflow:(fun () -> Atomic.set truncated true)
+             ~fp:(Some fps.(w)) t node)
+    in
+    let steal_from w =
+      let rec go k =
+        if k >= n - 1 then None
+        else begin
+          let v = (w + 1 + k) mod n in
+          w_steal_attempts.(w) <- w_steal_attempts.(w) + 1;
+          match Ws_deque.steal deques.(v) with
+          | Some _ as r ->
+            w_steals.(w) <- w_steals.(w) + 1;
+            r
+          | None -> go (k + 1)
+        end
+      in
+      go 0
+    in
+    (* worker 0 drives the shared progress ticker with approximate totals;
+       plain reads of other workers' tallies are racy but memory-safe *)
+    let tick_every = 1024 in
+    let ticked = ref 0 in
+    let tick w =
+      if w = 0 then begin
+        incr ticked;
+        if !ticked >= tick_every then begin
+          ticked := 0;
+          stats.states <- Atomic.get states;
+          stats.transitions <- Array.fold_left ( + ) 0 w_transitions;
+          Search.tick t.ticker
+        end
+      end
+    in
+    let rec work w =
+      if Atomic.get stop then ()
+      else
+        match Ws_deque.pop deques.(w) with
+        | Some node ->
+          process w node;
+          Atomic.decr pending;
+          tick w;
+          work w
+        | None ->
+          if Atomic.get pending = 0 then ()
+          else (
+            match steal_from w with
+            | Some node ->
+              process w node;
+              Atomic.decr pending;
+              tick w;
+              work w
+            | None ->
+              Domain.cpu_relax ();
+              work w)
+    in
+    (* seed this worker's buffered nodes for stratum [snum] *)
+    let seed w snum =
+      match Hashtbl.find_opt buckets.(w) snum with
+      | None -> ()
+      | Some entries ->
+        Hashtbl.remove buckets.(w) snum;
+        List.iter
+          (fun (digest, node) ->
+            if not (Atomic.get stop) then ignore (claim_now w digest node))
+          entries
+    in
+    let rec strata w =
+      seed w !cur_stratum;
+      work w;
+      Barrier.await barrier;
+      (* quiescent window: every worker is between the two barriers *)
+      if w = 0 then
+        if Atomic.get stop then continue_ := false
+        else begin
+          Atomic.set pending 0;
+          let next =
+            Array.fold_left
+              (fun acc b ->
+                Hashtbl.fold
+                  (fun k _ acc ->
+                    match acc with Some m when m <= k -> acc | _ -> Some k)
+                  b acc)
+              None buckets
+          in
+          match next with
+          | None -> continue_ := false
+          | Some snum ->
+            cur_stratum := snum;
+            continue_ := true;
+            (match t.meters with
+            | None -> ()
+            | Some m ->
+              let width =
+                Array.fold_left
+                  (fun acc b ->
+                    acc
+                    + List.length
+                        (Option.value ~default:[] (Hashtbl.find_opt b snum)))
+                  0 buckets
+              in
+              P_obs.Metrics.set_max m.Search.m_frontier (float_of_int width))
+        end;
+      Barrier.await barrier;
+      if !continue_ then strata w
+    in
+    (* root: stratum 0, worker 0's bucket *)
+    let config0, id0, _ = Step.initial_config tab in
+    let sched0 = spec.scheduler.init id0 in
+    let root_digest = Fingerprint.digest fps.(0) config0 (spec.scheduler.encode sched0) in
+    let root =
+      { config = config0; sched = sched0; spent = 0; depth = 0; idx = 0; sidx = 0 }
+    in
+    bucket_add 0 0 (root_digest, root);
+    let handles = List.init (n - 1) (fun i -> Domain.spawn (fun () -> strata (i + 1))) in
+    strata 0;
+    List.iter Domain.join handles;
+    (* merge the per-worker tallies *)
+    stats.states <- Atomic.get states;
+    stats.transitions <- Array.fold_left ( + ) 0 w_transitions;
+    stats.max_depth <- Array.fold_left max 0 w_maxdepth;
+    stats.truncated <- Atomic.get truncated;
+    let flush_steals () =
+      let add cm arr =
+        match cm with
         | None -> ()
-        | Some m ->
-          P_obs.Metrics.set_max m.Search.m_frontier
-            (float_of_int (Array.length nodes)));
-        (* small levels are cheaper sequentially: domain spawns and the
-           stop-the-world minor GC synchronization only pay off once a
-           level carries real work *)
-        let n_workers =
-          if Array.length nodes < spawn_threshold then 1
-          else max 1 (min domains (Array.length nodes))
-        in
-        let slice w =
-          let total = Array.length nodes in
-          let lo = total * w / n_workers and hi = total * (w + 1) / n_workers in
-          Array.to_list (Array.sub nodes lo (hi - lo))
-        in
-        let worker w () =
-          List.concat_map (expand ?expansions ~fp:(fp_of w) t) (slice w)
-        in
-        let results =
-          if n_workers = 1 then [ worker 0 () ]
-          else begin
-            let handles = List.init n_workers (fun w -> Domain.spawn (worker w)) in
-            List.map Domain.join handles
-          end
-        in
-        (* sequential merge keeps determinism *)
-        let next = ref [] in
-        let push n = next := n :: !next in
-        List.iter (List.iter (integrate t ~push)) results;
-        frontier := List.rev !next
-      end
-    done;
-    finish Search.No_error
-  with Found ce -> finish (Search.Error_found ce)
+        | Some c ->
+          let total = Array.fold_left ( + ) 0 arr in
+          if total > 0 then P_obs.Metrics.add c total
+      in
+      add m_steals w_steals;
+      add m_steal_attempts w_steal_attempts;
+      add m_contention w_contention
+    in
+    if Atomic.get error_found then begin
+      (* Deterministic counterexample: re-derive it sequentially on the
+         same spec. The result — verdict, counterexample, stats — is the
+         sequential engine's, byte-identical for every [domains]; the
+         parallel detection phase contributes only wall-clock, the
+         fingerprint/steal diagnostics flushed here, and the
+         [checker.expansions] it performed. *)
+      flush_steals ();
+      flush_fp_meters t (Array.to_list fps);
+      let r =
+        run ~instr ~engine
+          ~span_args:(span_args @ [ ("rederived", P_obs.Json.Bool true) ])
+          spec tab
+      in
+      r.Search.stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
+      r
+    end
+    else begin
+      stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
+      (match t.meters with
+      | None -> ()
+      | Some m ->
+        P_obs.Metrics.add m.Search.m_states stats.states;
+        P_obs.Metrics.add m.Search.m_transitions stats.transitions;
+        let dedup = Array.fold_left ( + ) 0 w_dedup in
+        if dedup > 0 then P_obs.Metrics.add m.Search.m_dedup_hits dedup;
+        P_obs.Metrics.set_max m.Search.m_queue_hwm
+          (Array.fold_left max 0.0 w_qhwm));
+      flush_steals ();
+      flush_fp_meters t (Array.to_list fps);
+      Search.emit_run_span instr ~engine ~t0_us ~stats span_args;
+      { Search.verdict = Search.No_error; stats }
+    end
+  end

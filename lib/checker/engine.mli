@@ -138,15 +138,36 @@ val run_parallel :
   ?span_args:(string * P_obs.Json.t) list ->
   engine:string ->
   domains:int ->
-  spawn_threshold:int ->
   'sched spec ->
   P_static.Symtab.t ->
   Search.result
-(** Level-synchronous parallel BFS over the same spec: each round the
-    frontier is split among [domains] workers which expand their slices
-    with worker-local fingerprints, then successors are merged
-    sequentially in worker order — byte-identical results to {!run} on
-    the same spec, independent of [domains], except that [max_states] is
-    checked between levels (the final count may overshoot). Levels
-    smaller than [spawn_threshold] run on the main domain. Requires
-    [spec.frontier = Bfs]; observers are not supported. *)
+(** Work-stealing parallel search over the same spec: [domains] workers
+    each own a Chase–Lev deque ({!Ws_deque}) and steal from each other
+    when idle, sharing a seen set split into mutex-guarded shards keyed by
+    the digest's low bits (min-spent merge applied per shard).
+
+    The search is stratified by budget spent: zero-cost successors stay in
+    the current stratum, positive-cost successors wait behind a barrier
+    until their stratum starts — so every state is expanded exactly once,
+    at its minimal spent, and the (verdict, states, transitions) triple is
+    independent of [domains] and of steal order. The verdict and state
+    count agree exactly with {!run}; the transition count is at most
+    {!run}'s (the sequential loop may re-expand a state it first reached
+    with a higher spent, which stratification never does). [stats.max_depth]
+    reports the depth of each state's claiming arrival, which may vary
+    with [domains] when several paths of equal spent reach a state.
+
+    On the first failing edge the counterexample is re-derived by the
+    sequential {!run} on the same spec, so error results — verdict,
+    counterexample, stats — are byte-identical to the sequential engine's
+    for every [domains] (the deterministic lowest-state-index tiebreak,
+    not arrival order).
+
+    [max_states] is checked at claim time against a shared atomic; a
+    truncated run may overshoot slightly and its counts may vary with
+    [domains]. With [instr] metrics on, workers count [checker.expansions],
+    [checker.steals], [checker.steal_attempts], and
+    [checker.shard_contention] (all labelled [engine=<engine>]) into their
+    own per-domain registry shards. Requires [spec.frontier = Bfs];
+    observers are not supported; [spec.track_seen = false] falls back to
+    the sequential {!run}. *)

@@ -34,8 +34,13 @@
     address-based hash, and a structural hash collapses the thousands of
     near-identical versions of each machine into a handful of buckets.
     (Under the parallel engine two domains can race to fill a memo; both
-    write the same canonical digest string, so either outcome is correct,
-    and hit/miss counts are exact only for single-domain runs.)
+    write the same canonical digest string, so either outcome is correct.
+    Each context — the engines keep one per worker domain — counts its own
+    {!requests}, {!hits}, and {!misses}, and every lookup lands in exactly
+    one of the latter two, so after the engine sums the per-worker
+    counters, [hits + misses = requests] holds exactly for any number of
+    domains; only the hit/miss *split* can vary run to run, by which
+    domain wins a memo-fill race.)
 
     [Paranoid] computes both fingerprints for every query, returns the full
     one (so a paranoid run is bit-for-bit a [Full] run), and checks the two
@@ -67,6 +72,7 @@ type t = {
   (* paranoid-mode bijection witnesses: incremental <-> full *)
   incr_to_full : (string, string) Hashtbl.t;
   full_to_incr : (string, string) Hashtbl.t;
+  mutable requests : int;
   mutable hits : int;
   mutable misses : int;
   mutable collisions : int;
@@ -78,11 +84,13 @@ let create ?(mode = Incremental) tab =
     buf = Buffer.create 256;
     incr_to_full = Hashtbl.create 64;
     full_to_incr = Hashtbl.create 64;
+    requests = 0;
     hits = 0;
     misses = 0;
     collisions = 0 }
 
 let mode t = t.mode
+let requests t = t.requests
 let hits t = t.hits
 let misses t = t.misses
 let collisions t = t.collisions
@@ -99,6 +107,7 @@ let add_int buf i =
   go (if i < 0 then (-2 * i) - 1 else 2 * i)
 
 let machine_digest t id (m : Machine.t) =
+  t.requests <- t.requests + 1;
   let memo = m.Machine.digest_memo in
   if String.length memo <> 0 then begin
     t.hits <- t.hits + 1;

@@ -39,10 +39,19 @@ val digest : t -> P_semantics.Config.t -> int list -> string
 (** [digest t config extra]: the state key of [config] plus the scheduler
     [extra] integers, per the context's mode. *)
 
+val requests : t -> int
+(** Per-machine digest lookups made through this context (incremental and
+    paranoid modes). Every request is counted as exactly one of {!hits} or
+    {!misses}, so [hits t + misses t = requests t] per context — and
+    because the engines keep one context per worker domain and sum them,
+    the identity also holds for the merged [checker.fp_*] metrics of a
+    multi-domain run. *)
+
 val hits : t -> int
 (** Per-machine memo hits served so far (incremental and paranoid). Under
-    the parallel engine another worker may fill a memo concurrently, so
-    hit/miss counts are exact only for single-domain runs. *)
+    the parallel engine another worker may fill a memo concurrently; a
+    race only moves a request between this context's {!hits} and
+    {!misses}, never out of their sum. *)
 
 val misses : t -> int
 (** Per-machine encodings that had to be computed. *)

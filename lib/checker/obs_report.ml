@@ -62,6 +62,8 @@ let json_of_report ?metrics (r : Verifier.report) : Json.t =
     [ ("static", static);
       ( "seed",
         match r.seed with None -> Json.Null | Some s -> Json.Int s );
+      ( "domains",
+        match r.domains with None -> Json.Null | Some d -> Json.Int d );
       ( "safety",
         match r.safety with None -> Json.Null | Some s -> json_of_safety s );
       ( "liveness",

@@ -3,25 +3,70 @@
     The paper's case study notes the verifier ran "after using multicores to
     scale the state exploration"; this module is that scaling knob for our
     checker: {!Engine.run_parallel} over the delay-bounded spec — a
-    level-synchronous parallel BFS on OCaml 5 domains. Each round, the
-    frontier is split among [domains] workers which run the atomic blocks
-    and compute successor fingerprints with worker-local {!Fingerprint}
-    contexts (digests are canonical, so worker-local caches yield identical
-    keys); the main domain merges successors into the seen set
-    sequentially, which keeps the algorithm deterministic: states,
-    transitions, and the found-or-not verdict are independent of the number
-    of domains (only wall-clock changes). Counterexamples are reported like
-    the sequential engine's, with the trace rebuilt by replay.
+    work-stealing search on OCaml 5 domains. Each worker owns a Chase–Lev
+    deque and steals from its peers when idle; the seen set is split into
+    mutex-guarded shards keyed by the state digest's low bits, with the
+    min-spent merge rule applied per shard. The search is stratified by
+    delays spent, which keeps it deterministic: the state count, the
+    transition count, and the found-or-not verdict are independent of the
+    number of domains (only wall-clock changes), and a counterexample is
+    always the sequential engine's — lowest dense state index, not
+    whichever worker won the race.
 
     The sequential {!Delay_bounded.explore} remains the reference; the test
-    suite checks this engine agrees with it exactly. *)
+    suite checks this engine agrees with it on verdicts and state counts,
+    and that its own triple is identical across domain counts. *)
 
-(** Parallel delay-bounded exploration. Semantically identical to
+type domains_error = { requested : int; recommended : int; hard_limit : int }
+
+exception Invalid_domains of domains_error
+
+(* OCaml's runtime refuses to run more than 128 domains at once
+   (Domain.spawn raises a bare Failure past that); stay under it and fail
+   with a typed error instead. *)
+let hard_limit = 128
+
+let pp_domains_error ppf (e : domains_error) =
+  if e.requested < 1 then
+    Fmt.pf ppf "%d domains requested; at least 1 is required" e.requested
+  else if e.requested > e.hard_limit then
+    Fmt.pf ppf
+      "%d domains requested; the OCaml runtime supports at most %d concurrent \
+       domains"
+      e.requested e.hard_limit
+  else
+    Fmt.pf ppf
+      "%d domains requested, but this machine only recommends %d \
+       (Domain.recommended_domain_count); extra domains oversubscribe cores \
+       and slow the search down"
+      e.requested e.recommended
+
+let validate_domains ?(hard = false) ?recommended requested =
+  let recommended =
+    match recommended with
+    | Some r -> r
+    | None -> Domain.recommended_domain_count ()
+  in
+  let err = { requested; recommended; hard_limit } in
+  if requested < 1 then Error err
+  else if requested > hard_limit then Error err
+  else if (not hard) && requested > recommended then Error err
+  else Ok requested
+
+(** Parallel delay-bounded exploration. Same verdicts and state counts as
     {!Delay_bounded.explore} (Causal discipline, ⊕ queues); [domains] only
     affects wall-clock time. *)
-let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
+let explore ?(max_states = 1_000_000) ?(domains = 4) ?spawn_threshold
     ?(fingerprint = Fingerprint.Incremental) ?(instr = Search.no_instr)
     ~delay_bound (tab : P_static.Symtab.t) : Search.result =
+  (* the work-stealing engine sizes itself; the level-synchronous engine's
+     spawn threshold is accepted for compatibility and ignored *)
+  ignore (spawn_threshold : int option);
+  let domains =
+    match validate_domains ~hard:true domains with
+    | Ok d -> d
+    | Error e -> raise (Invalid_domains e)
+  in
   let spec =
     Engine.spec ~bound:delay_bound ~max_states ~fp_mode:fingerprint
       (Engine.stack_sched Engine.Causal)
@@ -30,4 +75,4 @@ let explore ?(max_states = 1_000_000) ?(domains = 4) ?(spawn_threshold = 64)
     ~span_args:
       [ ("delay_bound", P_obs.Json.Int delay_bound);
         ("domains", P_obs.Json.Int domains) ]
-    ~domains ~spawn_threshold spec tab
+    ~domains spec tab

@@ -150,3 +150,103 @@ let run ?(walks = 100) ?(max_blocks = 1_000) ?(seed = 1)
     seed;
     total_blocks = !total;
     elapsed_s }
+
+(** Portfolio mode: the same seeded walks raced across [domains] OCaml
+    domains, sharing nothing but a found-it flag. Walk [w] runs on domain
+    [w mod domains] with the same derived seed [seed + w * 7919] as {!run},
+    so any reported failure is reproducible exactly like a sequential one:
+    rerun that single walk with its [walk_seed], or replay its schedule. *)
+let run_portfolio ?(walks = 100) ?(max_blocks = 1_000) ?(seed = 1)
+    ?(domains = 4) ?(instr = Search.no_instr) (tab : P_static.Symtab.t) :
+    result =
+  let domains =
+    match Parallel.validate_domains ~hard:true domains with
+    | Ok d -> d
+    | Error e -> raise (Parallel.Invalid_domains e)
+  in
+  if domains = 1 then run ~walks ~max_blocks ~seed ~instr tab
+  else begin
+    let started = P_obs.Mclock.start () in
+    let t0_us = P_obs.Mclock.now_us () in
+    let wmeters =
+      match instr.Search.metrics with
+      | None -> None
+      | Some reg ->
+        let labels = [ ("engine", "random_walk") ] in
+        Some
+          ( P_obs.Metrics.counter reg ~labels "checker.walks",
+            P_obs.Metrics.counter reg ~labels "checker.walk_blocks",
+            P_obs.Metrics.counter reg ~labels "checker.walk_errors" )
+    in
+    (* the found-it flag: walks in flight finish, nobody starts a new one *)
+    let found = Atomic.make false in
+    (* the winner: the reported failure with the smallest walk index among
+       those that completed before everyone drained *)
+    let best : (int * failure) option Atomic.t = Atomic.make None in
+    let errors = Atomic.make 0 in
+    let total = Atomic.make 0 in
+    let worker d () =
+      let w = ref d in
+      while !w < walks && not (Atomic.get found) do
+        let walk_seed = seed + (!w * 7919) in
+        let rng = make_rng walk_seed in
+        let blocks =
+          match one_walk tab rng ~max_blocks with
+          | Walk_error ce ->
+            Atomic.incr errors;
+            let f =
+              { error = ce.Search.error;
+                trace = ce.Search.trace;
+                blocks = ce.Search.depth;
+                walk = !w;
+                walk_seed;
+                schedule = ce.Search.schedule }
+            in
+            let rec record () =
+              match Atomic.get best with
+              | Some (w0, _) when w0 <= !w -> ()
+              | cur ->
+                if not (Atomic.compare_and_set best cur (Some (!w, f))) then
+                  record ()
+            in
+            record ();
+            Atomic.set found true;
+            (match wmeters with
+            | None -> ()
+            | Some (_, _, m_errors) -> P_obs.Metrics.incr m_errors);
+            ce.Search.depth
+          | Walk_quiescent blocks | Walk_budget blocks -> blocks
+        in
+        ignore (Atomic.fetch_and_add total blocks);
+        (match wmeters with
+        | None -> ()
+        | Some (m_walks, m_blocks, _) ->
+          P_obs.Metrics.incr m_walks;
+          P_obs.Metrics.add m_blocks blocks);
+        w := !w + domains
+      done
+    in
+    let handles =
+      List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1) ()))
+    in
+    worker 0 ();
+    List.iter Domain.join handles;
+    let first = Option.map snd (Atomic.get best) in
+    let elapsed_s = P_obs.Mclock.elapsed_s started in
+    if P_obs.Sink.enabled instr.Search.sink then
+      P_obs.Sink.complete instr.Search.sink ~cat:"engine"
+        ~name:"random_walk.portfolio" ~ts_us:t0_us
+        ~dur_us:(P_obs.Mclock.now_us () -. t0_us)
+        ~args:
+          [ ("walks", P_obs.Json.Int walks);
+            ("domains", P_obs.Json.Int domains);
+            ("errors_found", P_obs.Json.Int (Atomic.get errors));
+            ("total_blocks", P_obs.Json.Int (Atomic.get total)) ]
+        ();
+    { walks;
+      errors_found = Atomic.get errors;
+      first_error = first;
+      seed;
+      total_blocks = Atomic.get total;
+      elapsed_s }
+  end

@@ -39,3 +39,28 @@ val run :
     derived from [seed]. Fully reproducible per seed. [instr] metrics:
     [checker.walks], [checker.walk_blocks], [checker.walk_errors]
     (labelled [engine=random_walk]). *)
+
+val run_portfolio :
+  ?walks:int ->
+  ?max_blocks:int ->
+  ?seed:int ->
+  ?domains:int ->
+  ?instr:Search.instr ->
+  P_static.Symtab.t ->
+  result
+(** The same [walks] seeded walks as {!run}, raced across [domains]
+    (default 4) OCaml domains that share nothing but a found-it flag: walk
+    [w] runs on domain [w mod domains] with the derived seed
+    [seed + w * 7919], and the first failure stops everyone after their
+    current walk. Raises {!Parallel.Invalid_domains} on an impossible
+    [domains]; [domains = 1] is exactly {!run}.
+
+    Each individual walk is identical to the sequential one with the same
+    [walk_seed], so [first_error] reproduces deterministically: rerun with
+    its [walk_seed] or replay its [schedule] through {!Replay} /
+    {!Trace_file} — [pc shrink] and [pc replay] work unchanged. Aggregate
+    numbers are racy by design: [errors_found] and [total_blocks] cover
+    whichever walks completed before the flag drained the portfolio, and
+    [first_error] is the lowest-indexed failure *reported*, which on a
+    multi-core box may occasionally not be the lowest-indexed failure that
+    exists. *)

@@ -22,16 +22,35 @@ type resolved = {
     so resolutions come out in a deterministic order. The choice prefix is
     carried reversed — extending it is a cons, not an O(depth) append — and
     flipped forward once per [run_atomic] call. *)
-let resolutions ?fuel ?dedup (tab : Symtab.t) (config : Config.t) (mid : Mid.t) :
+let default_enumeration_budget = 256
+
+let resolutions ?fuel ?dedup ?(budget = default_enumeration_budget)
+    ?on_overflow (tab : Symtab.t) (config : Config.t) (mid : Mid.t) :
     resolved list =
   let acc = ref [] in
+  let remaining = ref budget in
+  let overflowed = ref false in
   let rec go rev_choices =
-    let choices = List.rev rev_choices in
-    match Step.run_atomic ?fuel ?dedup tab config mid ~choices with
-    | Step.Need_more_choices, _ ->
-      go (false :: rev_choices);
-      go (true :: rev_choices)
-    | outcome, items -> acc := { choices; outcome; items } :: !acc
+    if !remaining <= 0 then begin
+      (* a block that keeps demanding choices — e.g. a cycle of private
+         operations consuming a [*] every lap, invisible to the in-block
+         livelock detector because each lap runs under a different choice
+         prefix — would make this DFS diverge. Stop enumerating and let the
+         caller record the truncation, like a state-budget cut. *)
+      if not !overflowed then begin
+        overflowed := true;
+        Option.iter (fun f -> f ()) on_overflow
+      end
+    end
+    else begin
+      decr remaining;
+      let choices = List.rev rev_choices in
+      match Step.run_atomic ?fuel ?dedup tab config mid ~choices with
+      | Step.Need_more_choices, _ ->
+        go (false :: rev_choices);
+        go (true :: rev_choices)
+      | outcome, items -> acc := { choices; outcome; items } :: !acc
+    end
   in
   go [];
   List.rev !acc
@@ -91,6 +110,10 @@ type meters = {
   m_frontier : P_obs.Metrics.gauge;  (** [checker.frontier_depth] high-water *)
   m_queue_hwm : P_obs.Metrics.gauge;
       (** [checker.queue_len_hwm] — longest per-machine event queue seen *)
+  m_fp_requests : P_obs.Metrics.counter;
+      (** [checker.fp_requests] — per-machine fingerprint lookups; always
+          equals [fp_cache_hits + fp_cache_misses], including multi-domain
+          runs (per-worker counters summed at flush) *)
   m_fp_hits : P_obs.Metrics.counter;
       (** [checker.fp_cache_hits] — per-machine fingerprint cache hits *)
   m_fp_misses : P_obs.Metrics.counter;
@@ -110,6 +133,7 @@ let meters ~engine (i : instr) : meters option =
         m_dedup_hits = P_obs.Metrics.counter reg ~labels "checker.dedup_hits";
         m_frontier = P_obs.Metrics.gauge reg ~labels "checker.frontier_depth";
         m_queue_hwm = P_obs.Metrics.gauge reg ~labels "checker.queue_len_hwm";
+        m_fp_requests = P_obs.Metrics.counter reg ~labels "checker.fp_requests";
         m_fp_hits = P_obs.Metrics.counter reg ~labels "checker.fp_cache_hits";
         m_fp_misses = P_obs.Metrics.counter reg ~labels "checker.fp_cache_misses";
         m_fp_collisions = P_obs.Metrics.counter reg ~labels "checker.fp_collisions" }

@@ -7,15 +7,31 @@ type resolved = {
   items : P_semantics.Trace.item list;
 }
 
+val default_enumeration_budget : int
+(** Default cap on the number of [run_atomic] calls spent enumerating one
+    block's [*] resolutions (256 — room for 7 independent choices per
+    block, far beyond any realistic program). *)
+
 val resolutions :
   ?fuel:int ->
   ?dedup:bool ->
+  ?budget:int ->
+  ?on_overflow:(unit -> unit) ->
   P_static.Symtab.t ->
   P_semantics.Config.t ->
   P_semantics.Mid.t ->
   resolved list
 (** Every resolution of the ghost [*] choices hit while running one atomic
-    block of the machine, in deterministic (false-first) order. *)
+    block of the machine, in deterministic (false-first) order.
+
+    A block that keeps demanding choices — a cycle of private operations
+    that consumes a [*] every lap, which the in-block livelock detector
+    cannot see because each lap runs under a different choice prefix —
+    would make the depth-first enumeration diverge. [budget] bounds the
+    [run_atomic] calls one enumeration may spend; on exhaustion the
+    remaining branches are dropped and [on_overflow] fires once, so the
+    caller can flag the run as truncated, exactly like a state-budget
+    cut. *)
 
 type stats = {
   mutable states : int;  (** distinct scheduler states visited *)
@@ -58,7 +74,8 @@ val instr :
 (** Pre-resolved metric handles for one engine run. Metric names:
     [checker.states], [checker.transitions], [checker.dedup_hits],
     [checker.frontier_depth] (gauge, high-water), [checker.queue_len_hwm]
-    (gauge, high-water), [checker.fp_cache_hits], [checker.fp_cache_misses],
+    (gauge, high-water), [checker.fp_requests], [checker.fp_cache_hits],
+    [checker.fp_cache_misses],
     and [checker.fp_collisions] (fingerprint cache totals, added at the end
     of a run) — each labelled with [engine=<name>]. *)
 type meters = {
@@ -67,6 +84,7 @@ type meters = {
   m_dedup_hits : P_obs.Metrics.counter;
   m_frontier : P_obs.Metrics.gauge;
   m_queue_hwm : P_obs.Metrics.gauge;
+  m_fp_requests : P_obs.Metrics.counter;
   m_fp_hits : P_obs.Metrics.counter;
   m_fp_misses : P_obs.Metrics.counter;
   m_fp_collisions : P_obs.Metrics.counter;

@@ -12,6 +12,9 @@ type report = {
   seed : int option;
       (** the PRNG seed when the safety search sampled ghost choices
           ([verify ?seed]); recorded so a failure report is reproducible *)
+  domains : int option;
+      (** how many domains the safety search ran across ([verify
+          ?domains]); [None] for the sequential engine *)
 }
 
 let is_clean r =
@@ -33,6 +36,9 @@ let pp_report ppf r =
   | Some res -> Fmt.pf ppf "safety: %a@." Search.pp_result res);
   (match r.seed with
   | Some s -> Fmt.pf ppf "seed: %d (sampled ghost choices; rerun with --seed %d)@." s s
+  | None -> ());
+  (match r.domains with
+  | Some d -> Fmt.pf ppf "domains: %d (work-stealing parallel safety search)@." d
   | None -> ());
   match r.liveness with
   | None -> ()
@@ -67,21 +73,37 @@ let sampled_resolver seed =
     the report. *)
 let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
     ?liveness_max_states ?(fingerprint = Fingerprint.Incremental) ?seed
-    ?(instr = Search.no_instr) (program : P_syntax.Ast.program) : report =
+    ?domains ?(instr = Search.no_instr) (program : P_syntax.Ast.program) :
+    report =
+  (if seed <> None && domains <> None then
+     (* sampled resolution draws from one shared PRNG closure, which the
+        parallel workers would race on *)
+     invalid_arg "Verifier.verify: ~seed and ~domains are mutually exclusive");
   let { P_static.Check.symtab; diagnostics } = P_static.Check.run program in
   if diagnostics <> [] then
-    { static_diagnostics = diagnostics; safety = None; liveness = None; seed }
+    { static_diagnostics = diagnostics;
+      safety = None;
+      liveness = None;
+      seed;
+      domains }
   else
-    let resolver =
-      match seed with None -> Engine.Exhaustive | Some s -> sampled_resolver s
-    in
     let safety =
-      Delay_bounded.explore ~delay_bound ~max_states ~fingerprint ~resolver ~instr
-        symtab
+      match domains with
+      | Some d -> Parallel.explore ~domains:d ~delay_bound ~max_states ~fingerprint ~instr symtab
+      | None ->
+        let resolver =
+          match seed with None -> Engine.Exhaustive | Some s -> sampled_resolver s
+        in
+        Delay_bounded.explore ~delay_bound ~max_states ~fingerprint ~resolver
+          ~instr symtab
     in
     let liveness_result =
       if liveness && safety.verdict = Search.No_error then
         Some (Liveness.check ?max_states:liveness_max_states ~instr symtab)
       else None
     in
-    { static_diagnostics = []; safety = Some safety; liveness = liveness_result; seed }
+    { static_diagnostics = [];
+      safety = Some safety;
+      liveness = liveness_result;
+      seed;
+      domains }

@@ -10,6 +10,9 @@ type report = {
   seed : int option;
       (** the PRNG seed when the safety search sampled ghost choices
           ([verify ?seed]); recorded so a failure is reproducible *)
+  domains : int option;
+      (** how many domains the safety search ran across ([verify
+          ?domains]); [None] for the sequential engine *)
 }
 
 val is_clean : report -> bool
@@ -24,6 +27,7 @@ val verify :
   ?liveness_max_states:int ->
   ?fingerprint:Fingerprint.mode ->
   ?seed:int ->
+  ?domains:int ->
   ?instr:Search.instr ->
   P_syntax.Ast.program ->
   report
@@ -34,7 +38,12 @@ val verify :
     cross-checks the incremental cache against full re-encoding). [seed]
     switches the safety search from exhaustive ghost-choice enumeration to
     seeded sampling (one drawn resolution per block) and records the seed
-    in the report, so a sampled failure is reproducible. [instr]
-    is threaded to the safety search and (when requested) the liveness
-    analysis; with the default {!Search.no_instr} the pipeline behaves
-    exactly as before. *)
+    in the report, so a sampled failure is reproducible. [domains] runs
+    the safety search on {!Parallel.explore} across that many domains
+    instead of the sequential engine — verdicts, state counts, and any
+    counterexample are unchanged (see {!Parallel}); the count is recorded
+    in the report. [seed] and [domains] are mutually exclusive
+    ([Invalid_argument]): sampled resolution draws from one shared PRNG.
+    [instr] is threaded to the safety search and (when requested) the
+    liveness analysis; with the default {!Search.no_instr} the pipeline
+    behaves exactly as before. *)

@@ -1,0 +1,84 @@
+(** A Chase–Lev work-stealing deque on OCaml [Atomic]s.
+
+    One domain owns each deque and pushes/pops at the *bottom*; any other
+    domain may steal from the *top*. [top] is monotonically increasing
+    (claimed-index counter), which rules out ABA on the steal CAS; the
+    buffer is a power-of-two circular array grown by copying, and a grown
+    buffer never reuses the logical indices still visible to stealers, so
+    a stealer racing a grow reads the right element from either array.
+    This is the deque of Chase & Lev, "Dynamic circular work-stealing
+    deque" (SPAA 2005), restricted to what {!Engine.run_parallel} needs —
+    no shrinking.
+
+    OCaml [Atomic] operations are sequentially consistent, which makes the
+    published C11 fences of the algorithm implicit; the only relaxed data
+    is the buffer itself, and every slot a racy read can observe holds the
+    value the winning CAS claims (slots in [top, bottom) are never
+    rewritten while an index in that window is unclaimed). *)
+
+type 'a t = {
+  top : int Atomic.t;  (* next index to steal; never decreases *)
+  bottom : int Atomic.t;  (* next index to push *)
+  mutable buf : 'a option array;  (* length a power of two; owner-resized *)
+}
+
+let create () =
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Array.make 16 None }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+let is_empty t = size t = 0
+
+(* Owner only. Copy the live window [t, b) into a doubled buffer at the
+   same logical indices; stale readers of the old buffer still see the
+   same elements for every index they can successfully claim. *)
+let grow q b top =
+  let old = q.buf in
+  let osz = Array.length old in
+  let nsz = osz * 2 in
+  let nbuf = Array.make nsz None in
+  for i = top to b - 1 do
+    nbuf.(i land (nsz - 1)) <- old.(i land (osz - 1))
+  done;
+  q.buf <- nbuf
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let top = Atomic.get q.top in
+  (* keep one slot free so an in-flight stealer of index [top] never races
+     a push wrapping onto the same physical slot *)
+  if b - top >= Array.length q.buf - 1 then grow q b top;
+  let buf = q.buf in
+  buf.(b land (Array.length buf - 1)) <- Some x;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let top = Atomic.get q.top in
+  if b < top then begin
+    (* empty: undo the reservation *)
+    Atomic.set q.bottom top;
+    None
+  end
+  else begin
+    let buf = q.buf in
+    let x = buf.(b land (Array.length buf - 1)) in
+    if b > top then x
+    else begin
+      (* last element: race the stealers for it *)
+      let won = Atomic.compare_and_set q.top top (top + 1) in
+      Atomic.set q.bottom (top + 1);
+      if won then x else None
+    end
+  end
+
+let rec steal q =
+  let top = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if top >= b then None
+  else begin
+    let buf = q.buf in
+    let x = buf.(top land (Array.length buf - 1)) in
+    if Atomic.compare_and_set q.top top (top + 1) then x
+    else steal q (* lost to another stealer (or the owner's last pop) *)
+  end

@@ -1,0 +1,26 @@
+(** Chase–Lev work-stealing deque for {!Engine.run_parallel}: the owning
+    domain pushes and pops LIFO at the bottom, other domains steal FIFO
+    from the top with a single CAS. [top] is monotone (no ABA); the
+    circular buffer grows by copying and never shrinks. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: newest element, or [None] when empty (a concurrent stealer
+    may win the last element). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: oldest element, or [None] when the deque is (momentarily)
+    empty. Retries internally while losing CAS races against other
+    stealers. *)
+
+val size : 'a t -> int
+(** Racy snapshot — exact only when the owner is quiescent. *)
+
+val is_empty : 'a t -> bool
+(** Racy snapshot of [size t = 0]. *)

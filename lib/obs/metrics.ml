@@ -191,6 +191,12 @@ let histogram_summary (h : histogram) : histogram_summary =
 
 let shard_count (m : metric) = List.length m.cells
 
+(* Per-domain counter cells, oldest registration first ([cells] is
+   prepend-only, so reverse it). Racy-but-safe like every read: exact once
+   the writing domains have joined. *)
+let counter_per_domain (m : counter) : int list =
+  List.rev_map (fun ((_ : int), c) -> c.count) m.cells
+
 type summary =
   | Counter_v of int
   | Gauge_v of float

@@ -59,6 +59,12 @@ val histogram_summary : histogram -> histogram_summary
 val shard_count : counter -> int
 (** How many domains have written to this metric (for tests). *)
 
+val counter_per_domain : counter -> int list
+(** One entry per writing domain, in first-write order: the un-merged
+    shard values whose sum is {!counter_value}. Lets the scaling bench and tests
+    see how work (steals, expansions) distributed across the parallel
+    engine's workers. Exact once the writing domains have joined. *)
+
 type summary =
   | Counter_v of int
   | Gauge_v of float

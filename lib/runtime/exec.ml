@@ -122,7 +122,13 @@ let rec eval rt (ctx : Context.t) (e : Tables.cexpr) : Rt_value.t =
   | Tables.CEvent e -> Rt_value.Event e
   | Tables.CVar x -> ctx.vars.(x)
   | Tables.CUnop (op, a) -> Rt_value.unop op (eval rt ctx a)
-  | Tables.CBinop (op, a, b) -> Rt_value.binop op (eval rt ctx a) (eval rt ctx b)
+  | Tables.CBinop (op, a, b) ->
+    (* force left-to-right operand evaluation: OCaml's right-to-left
+       argument order would consume [*] choices in reverse of the
+       interpreter (Step.eval binds the left operand first) *)
+    let va = eval rt ctx a in
+    let vb = eval rt ctx b in
+    Rt_value.binop op va vb
   | Tables.CForeign_call (f, args) ->
     let fs = ctx.table.mt_foreigns.(f) in
     let values = List.map (eval rt ctx) args in
@@ -295,11 +301,14 @@ and exec_code rt (ctx : Context.t) (code : Tables.code) rest =
         Hashtbl.remove rt.instances ctx.self);
     ctx.agenda <- []
   | Tables.CSend (target, e, payload) -> (
-    let v = eval rt ctx payload in
+    (* the interpreter resolves the target before touching the payload (and
+       fails on a null target without evaluating it) — mirror that order so
+       both layers consume [*] choices identically *)
     match eval rt ctx target with
     | Rt_value.Null ->
       error "machine %s #%d: send to null machine id" ctx.table.mt_name ctx.self
     | Rt_value.Machine dst ->
+      let v = eval rt ctx payload in
       ctx.agenda <- rest;
       deliver rt ~src:ctx.self dst e v
     | v ->

@@ -16,5 +16,7 @@ let () =
       ("host", Test_host.suite);
       ("examples", Test_examples.suite);
       ("extensions", Test_extensions.suite);
+      ("parallel", Test_parallel.suite);
       ("facade", Test_facade.suite);
-      ("properties", Test_properties.suite) ]
+      ("properties", Test_properties.suite);
+      ("quickcheck", Test_quickcheck.suite) ]

@@ -82,6 +82,13 @@ let test_depth_bounded_triples () =
       ("german", german (), 6, (None, 33, 57));
       ("ring", ring (), 6, (None, 28, 40)) ]
 
+(* The work-stealing engine's pinned triples. Verdicts and state counts
+   match the sequential table above exactly; on clean programs its
+   transition count is ≤ the sequential one (each state is expanded exactly
+   once, at its minimal delay budget, where sequential BFS re-expands states
+   it first reached with more delays spent — elevator: 4523 vs 4659). Buggy
+   programs re-derive the counterexample sequentially, so those triples are
+   byte-identical to the sequential engine's. *)
 let test_parallel_matches_sequential_triples () =
   List.iter
     (fun (name, tab, expected) ->
@@ -92,10 +99,10 @@ let test_parallel_matches_sequential_triples () =
             (Parallel.explore ~domains ~delay_bound:2 ~max_states:500_000 tab)
             expected)
         [ 1; 2 ])
-    [ ("elevator", elevator (), (None, 2224, 4659));
+    [ ("elevator", elevator (), (None, 2224, 4523));
       ("elevator_buggy", elevator_buggy (), (Some 10, 132, 247));
       ("german_buggy", german_buggy (), (Some 19, 13080, 19491));
-      ("ring", ring (), (None, 198, 412)) ]
+      ("ring", ring (), (None, 198, 321)) ]
 
 let test_random_walk_triples () =
   let r = Random_walk.run ~walks:20 ~max_blocks:100 ~seed:42 (elevator ()) in

@@ -17,8 +17,11 @@ let test_parallel_agrees_with_sequential () =
       let seq = Delay_bounded.explore ~delay_bound:d tab in
       let par = Parallel.explore ~domains:3 ~delay_bound:d tab in
       check int_t (name ^ ": same states") seq.stats.states par.stats.states;
-      check int_t (name ^ ": same transitions") seq.stats.transitions
-        par.stats.transitions;
+      (* the work-stealing engine expands each state exactly once, at its
+         minimal delay budget; sequential BFS re-expands states it first
+         reached with more delays spent, so parallel transitions <= seq *)
+      check bool_t (name ^ ": transitions <= sequential") true
+        (par.stats.transitions <= seq.stats.transitions);
       check bool_t (name ^ ": same verdict") true
         ((seq.verdict = Search.No_error) = (par.verdict = Search.No_error)))
     [ ("pingpong", P_examples_lib.Pingpong.program ~rounds:2 (), 2);

@@ -112,9 +112,15 @@ let test_shard_merge_equals_sequential () =
       ~max_states:200_000 ~instr tab
   in
   check int_t "parallel agrees with sequential" seq.stats.states par.stats.states;
-  check int_t "expansions merged across shards = sequential transitions"
-    seq.stats.transitions
+  (* the work-stealing engine expands each state exactly once at its minimal
+     delay budget, so its transition count can be below the sequential one
+     (which re-expands states first reached at a higher budget); the shard
+     merge must reproduce the engine's own total exactly *)
+  check int_t "expansions merged across shards = parallel transitions"
+    par.stats.transitions
     (Metrics.counter_total reg "checker.expansions");
+  check bool_t "parallel transitions <= sequential" true
+    (par.stats.transitions <= seq.stats.transitions);
   check int_t "merged states counter = states" par.stats.states
     (Metrics.counter_total reg "checker.states");
   check int_t "merged transitions counter = transitions" par.stats.transitions

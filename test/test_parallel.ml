@@ -1,0 +1,300 @@
+(* Tests for the work-stealing parallel engine: the Chase–Lev deque, the
+   typed domain-count validation, the cross-domain determinism contract
+   (verdict, states, transitions independent of the domain count), the
+   deterministic counterexample tiebreak, the fingerprint counter
+   invariant, and portfolio random walks. *)
+
+open P_checker
+module Metrics = P_obs.Metrics
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let tab_of p = P_static.Check.run_exn p
+
+(* ---------------- Chase–Lev deque ---------------- *)
+
+let test_deque_owner_order () =
+  let q : int Ws_deque.t = Ws_deque.create () in
+  check bool_t "fresh deque empty" true (Ws_deque.is_empty q);
+  check bool_t "pop empty" true (Ws_deque.pop q = None);
+  check bool_t "steal empty" true (Ws_deque.steal q = None);
+  List.iter (Ws_deque.push q) [ 1; 2; 3 ];
+  check int_t "size" 3 (Ws_deque.size q);
+  (* owner pops LIFO *)
+  check bool_t "pop newest" true (Ws_deque.pop q = Some 3);
+  (* stealers take FIFO from the other end *)
+  check bool_t "steal oldest" true (Ws_deque.steal q = Some 1);
+  check bool_t "pop last" true (Ws_deque.pop q = Some 2);
+  check bool_t "drained" true (Ws_deque.pop q = None)
+
+let test_deque_grows () =
+  (* push far past the 16-slot initial buffer, interleaving steals so the
+     live window straddles grow boundaries *)
+  let q : int Ws_deque.t = Ws_deque.create () in
+  let stolen = ref [] in
+  for i = 0 to 999 do
+    Ws_deque.push q i;
+    if i mod 3 = 0 then
+      match Ws_deque.steal q with
+      | Some v -> stolen := v :: !stolen
+      | None -> Alcotest.fail "steal lost a pushed element"
+  done;
+  let popped = ref [] in
+  let rec drain () =
+    match Ws_deque.pop q with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let all = List.sort compare (!stolen @ !popped) in
+  check int_t "nothing lost" 1000 (List.length all);
+  check bool_t "each element exactly once" true
+    (List.mapi (fun i v -> i = v) all |> List.for_all Fun.id)
+
+let test_deque_concurrent_steal () =
+  (* one owner pushing/popping, one stealing domain: every element is
+     delivered exactly once across the two ends *)
+  let q : int Ws_deque.t = Ws_deque.create () in
+  let n = 20_000 in
+  let seen = Array.make n 0 in
+  let done_ = Atomic.make false in
+  let stealer =
+    Domain.spawn (fun () ->
+        let got = ref [] in
+        while not (Atomic.get done_) do
+          match Ws_deque.steal q with
+          | Some v -> got := v :: !got
+          | None -> Domain.cpu_relax ()
+        done;
+        (* final sweep after the owner finished *)
+        let rec sweep () =
+          match Ws_deque.steal q with
+          | Some v ->
+            got := v :: !got;
+            sweep ()
+          | None -> ()
+        in
+        sweep ();
+        !got)
+  in
+  let popped = ref [] in
+  for i = 0 to n - 1 do
+    Ws_deque.push q i;
+    if i land 7 = 0 then
+      match Ws_deque.pop q with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match Ws_deque.pop q with
+    | Some v ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set done_ true;
+  let stolen = Domain.join stealer in
+  List.iter (fun v -> seen.(v) <- seen.(v) + 1) !popped;
+  List.iter (fun v -> seen.(v) <- seen.(v) + 1) stolen;
+  check bool_t "every element delivered exactly once" true
+    (Array.for_all (fun c -> c = 1) seen)
+
+(* ---------------- typed domain-count validation ---------------- *)
+
+let test_validate_domains () =
+  (* strict mode: bounded by the recommended count (pinned here so the test
+     is independent of the machine it runs on) *)
+  check bool_t "4 of 4 ok" true
+    (Parallel.validate_domains ~recommended:4 4 = Ok 4);
+  check bool_t "5 of 4 refused" true
+    (Parallel.validate_domains ~recommended:4 5
+    = Error { Parallel.requested = 5; recommended = 4; hard_limit = 128 });
+  (* hard mode: only impossible counts are errors, oversubscription is fine *)
+  check bool_t "hard allows oversubscription" true
+    (Parallel.validate_domains ~hard:true ~recommended:1 8 = Ok 8);
+  check bool_t "zero refused" true
+    (match Parallel.validate_domains 0 with Error _ -> true | Ok _ -> false);
+  check bool_t "zero refused even hard" true
+    (match Parallel.validate_domains ~hard:true 0 with
+    | Error _ -> true
+    | Ok _ -> false);
+  check bool_t "past the runtime limit refused even hard" true
+    (match Parallel.validate_domains ~hard:true 129 with
+    | Error { Parallel.hard_limit = 128; _ } -> true
+    | _ -> false);
+  (* the rendered errors are explanatory, not a bare Failure *)
+  let msg n =
+    match Parallel.validate_domains ~recommended:4 n with
+    | Error e -> Fmt.str "%a" Parallel.pp_domains_error e
+    | Ok _ -> ""
+  in
+  check bool_t "too-many message names the limit" true
+    (Astring_contains.contains (msg 129) "128");
+  check bool_t "oversubscription message names the recommendation" true
+    (Astring_contains.contains (msg 6) "recommends")
+
+let test_explore_raises_typed_error () =
+  let tab = tab_of (P_examples_lib.Elevator.program ()) in
+  check bool_t "explore domains:0 raises Invalid_domains" true
+    (match Parallel.explore ~domains:0 ~delay_bound:1 tab with
+    | exception Parallel.Invalid_domains { requested = 0; _ } -> true
+    | _ -> false);
+  check bool_t "portfolio domains:200 raises Invalid_domains" true
+    (match Random_walk.run_portfolio ~walks:1 ~domains:200 tab with
+    | exception Parallel.Invalid_domains { requested = 200; _ } -> true
+    | _ -> false)
+
+(* ---------------- cross-domain determinism (stress) ---------------- *)
+
+let triple (r : Search.result) =
+  ( (match r.verdict with
+    | Search.Error_found ce -> Some ce.depth
+    | Search.No_error -> None),
+    r.stats.states,
+    r.stats.transitions )
+
+let triple_t = Alcotest.(triple (option int) int int)
+
+(* The determinism contract under load: repeated runs of the buggy
+   benchmarks at every domain count must produce one single (error depth,
+   states, transitions) triple. 20 runs x 4 domain counts x 2 programs. *)
+let test_determinism_stress () =
+  List.iter
+    (fun (name, tab, delay_bound, expected) ->
+      List.iter
+        (fun domains ->
+          for run = 1 to 20 do
+            let r =
+              Parallel.explore ~domains ~delay_bound ~max_states:500_000 tab
+            in
+            check triple_t
+              (Fmt.str "%s doms=%d run=%d" name domains run)
+              expected (triple r)
+          done)
+        [ 1; 2; 4; 8 ])
+    [ ( "german_buggy",
+        tab_of (P_examples_lib.German.buggy_program ()),
+        1,
+        (Some 20, 2070, 2354) );
+      ( "elevator_buggy",
+        tab_of (P_examples_lib.Elevator.buggy_program ()),
+        2,
+        (Some 10, 132, 247) ) ]
+
+(* The deterministic counterexample tiebreak: whatever failing edge a
+   worker races to first, the counterexample handed back is re-derived
+   sequentially, so it is byte-identical to the sequential engine's — same
+   error, same depth, same schedule, at every domain count. *)
+let test_counterexample_tiebreak () =
+  let tab = tab_of (P_examples_lib.German.buggy_program ()) in
+  let seq_ce =
+    match (Delay_bounded.explore ~delay_bound:1 ~max_states:500_000 tab).verdict with
+    | Search.Error_found ce -> ce
+    | Search.No_error -> Alcotest.fail "sequential engine missed the seeded bug"
+  in
+  check int_t "fixture depth" 20 seq_ce.depth;
+  List.iter
+    (fun domains ->
+      match
+        (Parallel.explore ~domains ~delay_bound:1 ~max_states:500_000 tab).verdict
+      with
+      | Search.No_error ->
+        Alcotest.failf "doms=%d missed the seeded bug" domains
+      | Search.Error_found ce ->
+        check int_t (Fmt.str "doms=%d same depth" domains) seq_ce.depth ce.depth;
+        check bool_t (Fmt.str "doms=%d same error" domains) true
+          (ce.error = seq_ce.error);
+        check bool_t
+          (Fmt.str "doms=%d same schedule" domains)
+          true
+          (ce.schedule = seq_ce.schedule))
+    [ 1; 2; 4 ]
+
+(* ---------------- fingerprint counter invariant ---------------- *)
+
+(* Each worker keeps a private fingerprint context whose counters are
+   flushed into the registry at the end, so even a multi-domain run
+   preserves requests = hits + misses exactly (only the hit/miss split may
+   shift with scheduling). *)
+let test_fp_counters_exact_multi_domain () =
+  let tab = tab_of (P_examples_lib.Elevator.program ()) in
+  let reg = Metrics.create () in
+  let instr = Search.instr ~metrics:reg () in
+  ignore
+    (Parallel.explore ~domains:4 ~delay_bound:2 ~max_states:500_000
+       ~fingerprint:Fingerprint.Incremental ~instr tab);
+  let requests = Metrics.counter_total reg "checker.fp_requests" in
+  let hits = Metrics.counter_total reg "checker.fp_cache_hits" in
+  let misses = Metrics.counter_total reg "checker.fp_cache_misses" in
+  check bool_t "digests were requested" true (requests > 0);
+  check int_t "requests = hits + misses under domains=4" requests
+    (hits + misses)
+
+let test_counter_per_domain_sums () =
+  let tab = tab_of (P_examples_lib.Elevator.program ()) in
+  let reg = Metrics.create () in
+  let instr = Search.instr ~metrics:reg () in
+  ignore (Parallel.explore ~domains:4 ~delay_bound:2 ~max_states:500_000 ~instr tab);
+  let c = Metrics.counter reg ~labels:[ ("engine", "parallel") ] "checker.expansions" in
+  let per_domain = Metrics.counter_per_domain c in
+  check int_t "one shard per writing domain" (Metrics.shard_count c)
+    (List.length per_domain);
+  check int_t "shards sum to the merged value" (Metrics.counter_value c)
+    (List.fold_left ( + ) 0 per_domain)
+
+(* ---------------- portfolio random walks ---------------- *)
+
+let test_portfolio_finds_and_reproduces () =
+  let tab = tab_of (P_examples_lib.Elevator.buggy_program ()) in
+  let r = Random_walk.run_portfolio ~walks:40 ~max_blocks:100 ~seed:42 ~domains:4 tab in
+  match r.first_error with
+  | None -> Alcotest.fail "portfolio missed the seeded bug"
+  | Some f ->
+    check int_t "walk_seed derivation unchanged" (42 + (f.walk * 7919)) f.walk_seed;
+    (* the winning walk replays identically as a lone sequential walk with
+       its recorded seed: that is what makes pc shrink / pc replay work on
+       portfolio counterexamples *)
+    let solo = Random_walk.run ~walks:1 ~max_blocks:100 ~seed:f.walk_seed tab in
+    (match solo.first_error with
+    | None -> Alcotest.fail "recorded walk_seed did not reproduce the failure"
+    | Some g ->
+      check int_t "same failing length" f.blocks g.blocks;
+      check bool_t "same error" true (f.error = g.error);
+      check bool_t "same schedule" true (f.schedule = g.schedule));
+    (* and its schedule replays through the deterministic replayer *)
+    check bool_t "schedule reproduces the recorded error" true
+      (Replay.reproduces tab
+         ~expected_error:(P_semantics.Errors.to_string f.error)
+         f.schedule
+      <> None)
+
+let test_portfolio_single_domain_is_run () =
+  let tab = tab_of (P_examples_lib.Elevator.buggy_program ()) in
+  let seq = Random_walk.run ~walks:20 ~max_blocks:100 ~seed:7 tab in
+  let par = Random_walk.run_portfolio ~walks:20 ~max_blocks:100 ~seed:7 ~domains:1 tab in
+  check int_t "errors_found" seq.errors_found par.errors_found;
+  check int_t "total_blocks" seq.total_blocks par.total_blocks;
+  check bool_t "same first failure" true
+    (match (seq.first_error, par.first_error) with
+    | Some a, Some b -> a.walk = b.walk && a.walk_seed = b.walk_seed
+    | None, None -> true
+    | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "deque owner order" `Quick test_deque_owner_order;
+    Alcotest.test_case "deque grows" `Quick test_deque_grows;
+    Alcotest.test_case "deque concurrent steal" `Quick test_deque_concurrent_steal;
+    Alcotest.test_case "validate domains" `Quick test_validate_domains;
+    Alcotest.test_case "typed error from engines" `Quick test_explore_raises_typed_error;
+    Alcotest.test_case "determinism stress" `Slow test_determinism_stress;
+    Alcotest.test_case "counterexample tiebreak" `Quick test_counterexample_tiebreak;
+    Alcotest.test_case "fp requests = hits + misses" `Quick
+      test_fp_counters_exact_multi_domain;
+    Alcotest.test_case "counter per domain" `Quick test_counter_per_domain_sums;
+    Alcotest.test_case "portfolio reproduces" `Quick test_portfolio_finds_and_reproduces;
+    Alcotest.test_case "portfolio domains=1" `Quick test_portfolio_single_domain_is_run ]

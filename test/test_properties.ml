@@ -42,26 +42,36 @@ let gen_bool_expr ~ghost : Ast.expr t =
   in
   oneof (if ghost then pure nondet :: base else base)
 
-let gen_simple_stmt ~ghost : Ast.stmt t =
+let gen_simple_stmt ?(risky = false) ~ghost () : Ast.stmt t =
   let open Builder in
   oneof
-    [ pure skip;
-      map2 (fun x e -> assign x e) (oneofl [ "x0"; "x1" ]) gen_int_expr;
-      map (fun e -> assert_ (e || not_ e)) (gen_bool_expr ~ghost);
-      map
-        (fun i -> send this (event_name i) ~payload:(v "x0"))
-        (int_range 0 last_event);
-      (* a bounded counting loop *)
-      map
-        (fun k ->
-          seq
-            [ assign "x0" (int 0);
-              while_ (v "x0" < int k) (assign "x0" (v "x0" + int 1)) ])
-        (int_range 0 4) ]
+    ([ pure skip;
+       map2 (fun x e -> assign x e) (oneofl [ "x0"; "x1" ]) gen_int_expr;
+       map (fun e -> assert_ (e || not_ e)) (gen_bool_expr ~ghost);
+       map
+         (fun i -> send this (event_name i) ~payload:(v "x0"))
+         (int_range 0 last_event);
+       (* a bounded counting loop *)
+       map
+         (fun k ->
+           seq
+             [ assign "x0" (int 0);
+               while_ (v "x0" < int k) (assign "x0" (v "x0" + int 1)) ])
+         (int_range 0 4) ]
+    (* [risky] adds asserts that genuinely can fail at runtime, so a
+       fraction of generated programs carry reachable counterexamples for
+       the differential harness to chase *)
+    @
+    if risky then
+      [ map2
+          (fun x k -> assert_ (v x < int k))
+          (oneofl [ "x0"; "x1" ])
+          (int_range 1 6) ]
+    else [])
 
-let gen_entry ~ghost ~initial : Ast.stmt t =
+let gen_entry ?risky ~ghost ~initial () : Ast.stmt t =
   let open Builder in
-  let* body = list_size (int_range 0 4) (gen_simple_stmt ~ghost) in
+  let* body = list_size (int_range 0 4) (gen_simple_stmt ?risky ~ghost ()) in
   let* tail =
     oneof
       [ pure [];
@@ -78,12 +88,15 @@ let gen_entry ~ghost ~initial : Ast.stmt t =
     pure (seq (init @ [ if_ c (seq body) skip ] @ tail))
   else pure (seq stmts)
 
-let gen_program : Ast.program t =
+(* The ghost-parameterized generator: [Test_quickcheck] drives the
+   ghost-free and ghost-bearing (and clean / possibly-failing) variants
+   explicitly. *)
+let gen_program_with ?risky ~ghost () : Ast.program t =
   let open Builder in
-  let* ghost = QCheck2.Gen.bool in
   let* entries =
     flatten_l
-      (List.init n_states (fun i -> gen_entry ~ghost ~initial:(Stdlib.( = ) i 0)))
+      (List.init n_states (fun i ->
+           gen_entry ?risky ~ghost ~initial:(Stdlib.( = ) i 0) ()))
   in
   let* targets = flatten_l (List.init pairs (fun _ -> int_range 0 last_state)) in
   let states = List.mapi (fun i entry -> state ~entry (state_name i)) entries in
@@ -109,6 +122,10 @@ let gen_program : Ast.program t =
      compilable program (the host would create it, per the erasure rules) *)
   let companion = machine "R" [ state "Idle" ~entry:skip ] in
   pure (program ~events ~machines:[ m; companion ] "M")
+
+let gen_program : Ast.program t =
+  let* ghost = QCheck2.Gen.bool in
+  gen_program_with ~ghost ()
 
 (* ---------------- properties ---------------- *)
 
@@ -166,8 +183,14 @@ let prop_parallel_agrees =
       let par_r =
         P_checker.Parallel.explore ~domains:2 ~delay_bound:1 ~max_states:1_000_000 tab
       in
+      (* states match exactly; the work-stealing engine expands each state
+         exactly once at its minimal delay budget, so its transition count
+         is at most the sequential one (which re-expands states first
+         reached at a higher budget) *)
       seq_r.stats.states = par_r.stats.states
-      && seq_r.stats.transitions = par_r.stats.transitions)
+      && par_r.stats.transitions <= seq_r.stats.transitions
+      && (seq_r.verdict = P_checker.Search.No_error)
+         = (par_r.verdict = P_checker.Search.No_error))
 
 let prop_erasure_idempotent =
   QCheck2.Test.make ~name:"erasure is idempotent and removes all ghosts" ~count:100

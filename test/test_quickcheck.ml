@@ -1,0 +1,126 @@
+(* Property-based differential harness: ~200 seeded random P programs per
+   runtest, each cross-checked three ways —
+
+   - [Delay_bounded.explore] (the sequential reference) vs the
+     work-stealing [Parallel.explore] at domains=1 and domains=N: verdicts
+     and state counts must agree, the parallel transition counts must be
+     identical to each other and at most the sequential one, and any
+     parallel counterexample must be byte-identical to the sequential
+     engine's (the deterministic re-derivation contract);
+   - any counterexample's schedule through [Differential.run]: the
+     checker's interpreter and the compiled table-driven runtime must fail
+     in the same atomic block.
+
+   Programs come from [Test_properties.gen_program_with] in four seeded
+   families: {ghost-free, ghost-bearing} x {clean-by-construction,
+   possibly-failing asserts} — the risky families are what exercises the
+   counterexample paths. Every failure message leads with the program's
+   seed; rerunning the harness reproduces it exactly (generation is keyed
+   on the seed alone).
+
+   N defaults to 4 and is overridden by PCAML_TEST_DOMAINS — the CI matrix
+   runs the suite at 1 and 4. *)
+
+open P_checker
+
+let programs_per_family = 50
+let base_seed = 0x5eed
+
+(* The parallel engine's second domain count (the first is always 1). *)
+let domains_under_test =
+  match Option.bind (Sys.getenv_opt "PCAML_TEST_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 && n <= 128 -> n
+  | Some _ | None -> 4
+
+let gen_one ~ghost ~risky seed : P_syntax.Ast.program =
+  let rand =
+    Random.State.make
+      [| base_seed; seed; (if ghost then 1 else 0); (if risky then 1 else 0) |]
+  in
+  QCheck2.Gen.generate1 ~rand (Test_properties.gen_program_with ~ghost ~risky ())
+
+let failf seed fmt = Alcotest.failf ("seed %d: " ^^ fmt) seed
+
+let verdict_kind (r : Search.result) =
+  match r.verdict with Search.Error_found _ -> "error" | Search.No_error -> "clean"
+
+let ce_of (r : Search.result) =
+  match r.verdict with Search.Error_found ce -> Some ce | Search.No_error -> None
+
+let check_program ~ghost ~risky seed =
+  let p = gen_one ~ghost ~risky seed in
+  let tab =
+    match P_static.Check.run p with
+    | { diagnostics = []; symtab } -> symtab
+    | { diagnostics; _ } ->
+      failf seed "generated program not statically clean: %a"
+        P_static.Check.pp_diagnostics diagnostics
+  in
+  let max_states = 4_000 in
+  let seq = Delay_bounded.explore ~delay_bound:1 ~max_states tab in
+  let par1 = Parallel.explore ~domains:1 ~delay_bound:1 ~max_states tab in
+  let parn =
+    Parallel.explore ~domains:domains_under_test ~delay_bound:1 ~max_states tab
+  in
+  (* truncated runs are excluded from the count comparisons: the engines
+     check the budget at different granularities (documented) *)
+  if
+    not
+      (seq.stats.truncated || par1.stats.truncated || parn.stats.truncated)
+  then begin
+    if seq.stats.states <> par1.stats.states then
+      failf seed "states: sequential %d <> parallel(1) %d" seq.stats.states
+        par1.stats.states;
+    if par1.stats.states <> parn.stats.states then
+      failf seed "states: parallel(1) %d <> parallel(%d) %d" par1.stats.states
+        domains_under_test parn.stats.states;
+    if par1.stats.transitions <> parn.stats.transitions then
+      failf seed "transitions: parallel(1) %d <> parallel(%d) %d"
+        par1.stats.transitions domains_under_test parn.stats.transitions;
+    if parn.stats.transitions > seq.stats.transitions then
+      failf seed "transitions: parallel %d > sequential %d"
+        parn.stats.transitions seq.stats.transitions;
+    if verdict_kind seq <> verdict_kind par1 || verdict_kind par1 <> verdict_kind parn
+    then
+      failf seed "verdicts disagree: seq=%s par1=%s par%d=%s" (verdict_kind seq)
+        (verdict_kind par1) domains_under_test (verdict_kind parn);
+    match (ce_of seq, ce_of par1, ce_of parn) with
+    | Some sce, Some ce1, Some cen ->
+      (* parallel counterexamples are re-derived sequentially: identical to
+         the sequential engine's at every domain count *)
+      List.iter
+        (fun (d, (ce : Search.counterexample)) ->
+          if ce.depth <> sce.depth then
+            failf seed "parallel(%d) ce depth %d <> sequential %d" d ce.depth
+              sce.depth;
+          if ce.error <> sce.error then
+            failf seed "parallel(%d) ce error differs from sequential" d;
+          if ce.schedule <> sce.schedule then
+            failf seed "parallel(%d) ce schedule differs from sequential" d)
+        [ (1, ce1); (domains_under_test, cen) ];
+      (* interpreter vs compiled runtime on the failing schedule — except
+         for livelock/fuel errors, which only the interpreter's cycle
+         detector can produce: the table-driven runtime would execute the
+         detected cycle of private operations forever *)
+      (match sce.error.kind with
+      | P_semantics.Errors.Livelock | P_semantics.Errors.Fuel_exhausted -> ()
+      | _ -> (
+        match Differential.run tab sce.schedule with
+        | Error e -> failf seed "differential setup failed: %s" e
+        | Ok (Differential.Agree { verdict = Differential.Agree_error _; _ }) -> ()
+        | Ok o -> failf seed "differential replay: %a" Differential.pp_outcome o))
+    | None, None, None -> ()
+    | _ -> () (* verdict kinds already compared above *)
+  end
+
+let family_case name ~ghost ~risky first_seed =
+  Alcotest.test_case name `Quick (fun () ->
+      for i = 0 to programs_per_family - 1 do
+        check_program ~ghost ~risky (first_seed + i)
+      done)
+
+let suite =
+  [ family_case "ghost-free clean" ~ghost:false ~risky:false 1_000;
+    family_case "ghost-free risky" ~ghost:false ~risky:true 2_000;
+    family_case "ghost-bearing clean" ~ghost:true ~risky:false 3_000;
+    family_case "ghost-bearing risky" ~ghost:true ~risky:true 4_000 ]

@@ -210,6 +210,31 @@ let test_differential_counterexamples () =
       | Ok o -> Alcotest.failf "%s: expected agreed error: %a" name Differential.pp_outcome o)
     (List.filter (fun (n, _) -> Filename.check_suffix n "-buggy") all_examples)
 
+let test_differential_binop_choice_order () =
+  (* regression: the runtime must consume [*] choices left-to-right inside
+     a binary operator, like the interpreter does (OCaml's right-to-left
+     argument evaluation once reversed them). With choices
+     [true; false; true], [assert (* || !*)] evaluates false || !true =
+     false in both layers — the reversed order read true || !false = true
+     and the layers diverged *)
+  let open P_syntax.Builder in
+  let m =
+    machine ~ghost:true "M"
+      [ state "S0" ~entry:(if_ nondet (assert_ (nondet || not_ nondet)) skip) ]
+      ~steps:[ ("S0", "e0", "S0") ]
+  in
+  let companion = machine "R" [ state "Idle" ~entry:skip ] in
+  let p =
+    program ~events:[ event "e0" ] ~machines:[ m; companion ] "M"
+  in
+  let tab = tab_of p in
+  let _config, main, _items = P_semantics.Step.initial_config tab in
+  match Differential.run tab [ (main, [ true; false; true ]) ] with
+  | Error e -> Alcotest.failf "setup failed: %s" e
+  | Ok (Differential.Agree { verdict = Differential.Agree_error msg; _ }) ->
+    check bool_t "assertion failure agreed" true (contains msg "assert")
+  | Ok o -> Alcotest.failf "expected agreed assertion failure: %a" Differential.pp_outcome o
+
 let test_differential_usb_stack () =
   let tab = tab_of (P_usb.Stack.program ()) in
   let schedule = Replay.sample_schedule ~seed:11 ~max_blocks:120 tab in
@@ -270,6 +295,8 @@ let suite =
     Alcotest.test_case "shrink refuses clean" `Quick test_shrink_refuses_clean_trace;
     Alcotest.test_case "differential sampled" `Slow test_differential_sampled_schedules;
     Alcotest.test_case "differential counterexamples" `Quick test_differential_counterexamples;
+    Alcotest.test_case "differential binop choice order" `Quick
+      test_differential_binop_choice_order;
     Alcotest.test_case "differential usb stack" `Slow test_differential_usb_stack;
     Alcotest.test_case "verifier records seed" `Quick test_verifier_records_seed;
     Alcotest.test_case "fixture replays" `Quick test_fixture_replays ]
