@@ -564,9 +564,11 @@ let shard_count = 1 lsl shard_bits
     strata processed in ascending spent order, every state is claimed and
     expanded exactly once, at its minimal spent (the min-spent re-expand
     rule of {!integrate} can never fire), so the (states, transitions)
-    totals are independent of [domains] and of steal order — at most
-    [bound + 1] barriers total, where the level-synchronous predecessor of
-    this driver paid one barrier per BFS level.
+    totals are independent of [domains] and of steal order — a constant
+    three barriers per stratum (buckets seeded / stratum drained / next
+    stratum chosen), at most [bound + 1] strata, where the
+    level-synchronous predecessor of this driver paid one barrier per BFS
+    level.
 
     On the first failing edge every worker stops and the counterexample is
     re-derived by the sequential {!run} on the same spec, making the
@@ -575,12 +577,16 @@ let shard_count = 1 lsl shard_bits
     discovery order = lowest dense state index), not arrival order. This
     is sound because a worker only explores states the sequential engine
     also reaches, and monotone budgets mean the sequential run finds an
-    error whenever any parallel worker did.
+    error whenever any parallel worker did. Because the sequential claim
+    order differs, a capped rerun that misses the observed error is
+    retried without [max_states] rather than reporting [No_error].
 
-    [max_states] is checked at claim time against a shared atomic, so a
-    truncated run may overshoot slightly and its counts may vary with
-    [domains]; non-truncated runs are exactly deterministic.
-    [spec.frontier] must be [Bfs]; observers are not supported. *)
+    [max_states] is charged against a shared atomic only when a claim
+    discovers a new state — as in the sequential loop, a run completes iff
+    it discovers strictly fewer than [max_states] states — so a truncated
+    run's counts may vary with [domains]; non-truncated runs are exactly
+    deterministic. [spec.frontier] must be [Bfs]; observers are not
+    supported. *)
 let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     (spec : 'sched spec) (tab : Symtab.t) : Search.result =
   if spec.frontier <> Bfs then
@@ -676,31 +682,42 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
       let prev = Option.value ~default:[] (Hashtbl.find_opt b spent) in
       Hashtbl.replace b spent (entry :: prev)
     in
-    (* Claim a node for expansion in the current stratum; true = enqueued. *)
+    (* Claim a node for expansion in the current stratum; true = enqueued.
+       The state budget is charged only on [`New] claims, mirroring the
+       sequential loop (which completes iff it discovers strictly fewer
+       than [max_states] states): duplicate successors arriving at the
+       boundary must not flag a completed run as truncated. The state
+       that reaches the budget is counted but never expanded, exactly as
+       the sequential engine counts it and then clears the frontier. *)
     let claim_now w digest (node : 'sched node) =
-      if Atomic.get states >= spec.max_states then begin
-        Atomic.set truncated true;
-        Atomic.set stop true;
+      match claim w digest node.spent with
+      | `Dup ->
+        w_dedup.(w) <- w_dedup.(w) + 1;
         false
-      end
-      else
-        match claim w digest node.spent with
-        | `Dup ->
-          w_dedup.(w) <- w_dedup.(w) + 1;
+      | (`New | `Reexpand) as d ->
+        let over_budget =
+          d = `New
+          && begin
+               let s = 1 + Atomic.fetch_and_add states 1 in
+               (match t.meters with
+               | None -> ()
+               | Some _ ->
+                 let q = Search.queue_hwm_of_config node.config in
+                 if q > w_qhwm.(w) then w_qhwm.(w) <- q);
+               s >= spec.max_states
+             end
+        in
+        if over_budget then begin
+          Atomic.set truncated true;
+          Atomic.set stop true;
           false
-        | (`New | `Reexpand) as d ->
-          if d = `New then begin
-            Atomic.incr states;
-            match t.meters with
-            | None -> ()
-            | Some _ ->
-              let q = Search.queue_hwm_of_config node.config in
-              if q > w_qhwm.(w) then w_qhwm.(w) <- q
-          end;
+        end
+        else begin
           if node.depth > w_maxdepth.(w) then w_maxdepth.(w) <- node.depth;
           Atomic.incr pending;
           Ws_deque.push deques.(w) node;
           true
+        end
     in
     let process w (node : 'sched node) =
       if node.depth >= spec.max_depth then Atomic.set truncated true
@@ -804,6 +821,11 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     in
     let rec strata w =
       seed w !cur_stratum;
+      (* every bucket is seeded (and [pending] fully incremented) before
+         any worker can enter [work]: otherwise a worker with an empty
+         bucket could observe [pending = 0], park for the stratum, and
+         leave its peers' freshly seeded nodes to fewer domains *)
+      Barrier.await barrier;
       work w;
       Barrier.await barrier;
       (* quiescent window: every worker is between the two barriers *)
@@ -882,6 +904,27 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
         run ~instr ~engine
           ~span_args:(span_args @ [ ("rederived", P_obs.Json.Bool true) ])
           spec tab
+      in
+      let r =
+        match r.Search.verdict with
+        | Search.Error_found _ -> r
+        | Search.No_error when spec.max_states < max_int ->
+          (* The sequential claim order differs from the stratified
+             parallel order, so the capped rerun can exhaust [max_states]
+             before reaching the error the parallel search actually
+             observed. That error is real (a parallel worker only expands
+             states the uncapped sequential engine also reaches, at no
+             larger spent), so retry without the state cap rather than
+             silently discarding the counterexample behind a clean
+             verdict. *)
+          run ~instr ~engine
+            ~span_args:
+              (span_args
+              @ [ ("rederived", P_obs.Json.Bool true);
+                  ("uncapped", P_obs.Json.Bool true) ])
+            { spec with max_states = max_int }
+            tab
+        | Search.No_error -> r
       in
       r.Search.stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
       r

@@ -12,18 +12,26 @@
 
     OCaml [Atomic] operations are sequentially consistent, which makes the
     published C11 fences of the algorithm implicit; the only relaxed data
-    is the buffer itself, and every slot a racy read can observe holds the
-    value the winning CAS claims (slots in [top, bottom) are never
-    rewritten while an index in that window is unclaimed). *)
+    is the buffer contents, and every slot a racy read can observe holds
+    the value the winning CAS claims (slots in [top, bottom) are never
+    rewritten while an index in that window is unclaimed). The buffer
+    *pointer* must not be relaxed: [grow] publishes the doubled array
+    through an [Atomic.set] (a release store, as in crossbeam's and the
+    C11 Chase–Lev's buffer swap) so a stealer that observes the new array
+    also observes the copied contents — with a plain mutable field, a
+    stealer could see the fresh pointer but stale [None] slots, win the
+    CAS for a claimed index, and silently drop the element. *)
 
 type 'a t = {
   top : int Atomic.t;  (* next index to steal; never decreases *)
   bottom : int Atomic.t;  (* next index to push *)
-  mutable buf : 'a option array;  (* length a power of two; owner-resized *)
+  buf : 'a option array Atomic.t;  (* length a power of two; owner-resized *)
 }
 
 let create () =
-  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Array.make 16 None }
+  { top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make 16 None) }
 
 let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
 let is_empty t = size t = 0
@@ -32,22 +40,24 @@ let is_empty t = size t = 0
    same logical indices; stale readers of the old buffer still see the
    same elements for every index they can successfully claim. *)
 let grow q b top =
-  let old = q.buf in
+  let old = Atomic.get q.buf in
   let osz = Array.length old in
   let nsz = osz * 2 in
   let nbuf = Array.make nsz None in
   for i = top to b - 1 do
     nbuf.(i land (nsz - 1)) <- old.(i land (osz - 1))
   done;
-  q.buf <- nbuf
+  (* release store: the copy above happens-before any stealer that reads
+     [nbuf] out of this atomic *)
+  Atomic.set q.buf nbuf
 
 let push q x =
   let b = Atomic.get q.bottom in
   let top = Atomic.get q.top in
   (* keep one slot free so an in-flight stealer of index [top] never races
      a push wrapping onto the same physical slot *)
-  if b - top >= Array.length q.buf - 1 then grow q b top;
-  let buf = q.buf in
+  if b - top >= Array.length (Atomic.get q.buf) - 1 then grow q b top;
+  let buf = Atomic.get q.buf in
   buf.(b land (Array.length buf - 1)) <- Some x;
   Atomic.set q.bottom (b + 1)
 
@@ -61,7 +71,7 @@ let pop q =
     None
   end
   else begin
-    let buf = q.buf in
+    let buf = Atomic.get q.buf in
     let x = buf.(b land (Array.length buf - 1)) in
     if b > top then x
     else begin
@@ -77,7 +87,10 @@ let rec steal q =
   let b = Atomic.get q.bottom in
   if top >= b then None
   else begin
-    let buf = q.buf in
+    (* read the buffer only after [bottom]: whichever array we observe,
+       the slot for an index we can still claim was published before the
+       [Atomic.set] (of [bottom] or of [buf]) that made it reachable *)
+    let buf = Atomic.get q.buf in
     let x = buf.(top land (Array.length buf - 1)) in
     if Atomic.compare_and_set q.top top (top + 1) then x
     else steal q (* lost to another stealer (or the owner's last pop) *)

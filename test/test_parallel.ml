@@ -215,6 +215,49 @@ let test_counterexample_tiebreak () =
           (ce.schedule = seq_ce.schedule))
     [ 1; 2; 4 ]
 
+(* ---------------- state-budget boundary parity ---------------- *)
+
+(* The state budget truncates identically in the sequential and parallel
+   engines: a run completes iff it discovers strictly fewer than
+   [max_states] states. Duplicate successors arriving once the budget is
+   reached never flag a completed run as truncated (the budget is charged
+   only on new-state claims), and a budget equal to the exact state count
+   truncates both engines alike, with the same state count. *)
+let test_max_states_boundary () =
+  let tab = tab_of (P_examples_lib.Elevator.program ()) in
+  let full = Delay_bounded.explore ~delay_bound:2 ~max_states:500_000 tab in
+  check bool_t "uncapped run completes" false full.stats.truncated;
+  let s = full.stats.states in
+  let par_full = Parallel.explore ~domains:1 ~delay_bound:2 ~max_states:500_000 tab in
+  (* states agree across engines; transitions are engine-specific (the
+     stratified engine expands each state once at minimal spent, so it
+     records no re-expansion edges) but deterministic per engine *)
+  check int_t "parallel counts the same states uncapped" s
+    par_full.stats.states;
+  (* one above the exact count: complete, identical triple at any count *)
+  List.iter
+    (fun domains ->
+      let r = Parallel.explore ~domains ~delay_bound:2 ~max_states:(s + 1) tab in
+      check bool_t (Fmt.str "doms=%d complete at s+1" domains) false
+        r.stats.truncated;
+      check triple_t (Fmt.str "doms=%d triple at s+1" domains) (triple par_full)
+        (triple r))
+    [ 1; 2; 4 ];
+  (* exactly the state count: the engine never expands the state that
+     reaches the budget, so sequential and parallel both truncate, both
+     having counted exactly [s] states (transitions legitimately vary) *)
+  let seq_cap = Delay_bounded.explore ~delay_bound:2 ~max_states:s tab in
+  check bool_t "sequential truncates at s" true seq_cap.stats.truncated;
+  check int_t "sequential counts s states" s seq_cap.stats.states;
+  List.iter
+    (fun domains ->
+      let r = Parallel.explore ~domains ~delay_bound:2 ~max_states:s tab in
+      check bool_t (Fmt.str "doms=%d truncates at s" domains) true
+        r.stats.truncated;
+      check int_t (Fmt.str "doms=%d counts s states" domains) s
+        r.stats.states)
+    [ 1; 2; 4 ]
+
 (* ---------------- fingerprint counter invariant ---------------- *)
 
 (* Each worker keeps a private fingerprint context whose counters are
@@ -293,6 +336,7 @@ let suite =
     Alcotest.test_case "typed error from engines" `Quick test_explore_raises_typed_error;
     Alcotest.test_case "determinism stress" `Slow test_determinism_stress;
     Alcotest.test_case "counterexample tiebreak" `Quick test_counterexample_tiebreak;
+    Alcotest.test_case "max_states boundary" `Quick test_max_states_boundary;
     Alcotest.test_case "fp requests = hits + misses" `Quick
       test_fp_counters_exact_multi_domain;
     Alcotest.test_case "counter per domain" `Quick test_counter_per_domain_sums;
