@@ -38,6 +38,10 @@ let write_results path =
   let doc =
     Json.Obj
       [ ("schema", Json.String "p-bench/1");
+        (* machine context (cores, OCaml version, word size, git rev): every
+           number in this document is meaningless without it, and [compare]
+           warns when two documents came from different machines *)
+        ("machine", P_obs.Machine_info.json ());
         ("results", Json.Obj (List.rev !results)) ]
   in
   Out_channel.with_open_bin path (fun oc ->
@@ -401,9 +405,12 @@ let protocol_scaling ?(max_states = 2_000_000) () =
    determinism contract — the (verdict, states, transitions) triple must be
    byte-identical at every domain count — and reports speedup relative to
    the single-domain run. On a single-core host the sweep still validates
-   determinism; the speedups it records are honestly ~1x or below. *)
+   determinism; the speedups it records are honestly ~1x or below, the
+   record is marked ["valid_parallelism": false], and under
+   [~require_multicore:true] the sweep fails outright — so CI on a 1-core
+   runner can never greenlight (or publish) a bogus scaling claim. *)
 let parallel_scaling ?(max_states = 2_000_000) ?(domain_counts = [ 1; 2; 4; 8 ])
-    ?(bounds = [ 2; 3; 4 ]) () =
+    ?(bounds = [ 2; 3; 4 ]) ?(require_multicore = false) () =
   line "== Multicore scaling: work-stealing exploration across domains ==";
   let cores = Domain.recommended_domain_count () in
   line "   this machine reports %d core(s)%s" cores
@@ -466,13 +473,25 @@ let parallel_scaling ?(max_states = 2_000_000) ?(domain_counts = [ 1; 2; 4; 8 ])
     subjects;
   line "(verdict, states, transitions) identical across domain counts: %b"
     !all_identical;
+  let valid_parallelism = cores > 1 in
+  if not valid_parallelism then
+    line
+      "   !! single-core host: speedup numbers above are NOT evidence of \
+       parallel scaling";
   record "parallel_scaling"
     (Json.Obj
        [ ("cores", Json.Int cores);
+         ("valid_parallelism", Json.Bool valid_parallelism);
          ("domain_counts", Json.List (List.map (fun d -> Json.Int d) domain_counts));
          ("triples_identical", Json.Bool !all_identical);
          ("sweeps", Json.List (List.rev !rows)) ]);
-  !all_identical
+  if require_multicore && not valid_parallelism then begin
+    line
+      "   !! --require-multicore: refusing to report scaling results from a \
+       %d-core machine" cores;
+    false
+  end
+  else !all_identical
 
 (* ------------------------------------------------------------------ *)
 (* Digest throughput: incremental vs full state fingerprinting         *)
@@ -634,6 +653,236 @@ let micro () =
   record "micro" (Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
+(* bench compare: regression gate between two p-bench/1 documents      *)
+(* ------------------------------------------------------------------ *)
+
+(* How a metric may legitimately move between two runs. Exact metrics are
+   the determinism contract (state/transition counts, verdicts, bug
+   depths): any difference at all is a regression, on any machine. The
+   other two are performance metrics and only gate within a relative
+   tolerance — and only when both documents came from comparable
+   machines, which is what [--exact-only] is for when they did not. *)
+type direction = Exact | Lower_better | Higher_better
+
+type mval = Num of float | Word of string
+
+let mval_str = function
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%g" f
+  | Word s -> s
+
+let ends_with suffix s = String.ends_with ~suffix s
+
+(* Classify a leaf by its key name, falling back on its runtime type.
+   [None] means context or identity, not a result (core counts, sweep
+   parameters, machine-dependent validity flags): never gated. *)
+let classify key (v : Json.t) : direction option =
+  if ends_with "per_s" key || key = "speedup" then Some Higher_better
+  else if
+    ends_with "elapsed_s" key || ends_with "_ns" key || key = "ns_per_run"
+    || ends_with "_mb" key
+  then Some Lower_better
+  else
+    match (key, v) with
+    | ("valid_parallelism" | "cores" | "delay_bound" | "domains"
+      | "clients" | "events" | "rounds"), _ -> None
+    | _, (Json.Bool _ | Json.Null | Json.String _ | Json.Int _) -> Some Exact
+    | _, (Json.Float _ | Json.Obj _ | Json.List _) -> None
+
+let mval_of (v : Json.t) : mval =
+  match v with
+  | Json.Int i -> Num (float_of_int i)
+  | Json.Float f -> Num f
+  | Json.Bool b -> Word (string_of_bool b)
+  | Json.String s -> Word s
+  | Json.Null -> Word "null"
+  | Json.Obj _ | Json.List _ -> Word "<composite>"
+
+(* A human-stable path segment for a list element: prefer its identity
+   fields over its position, so two documents whose sweeps enumerate the
+   same cells in a different order still line up metric-for-metric. *)
+let label_of_item fields =
+  let find k =
+    match List.assoc_opt k fields with
+    | Some (Json.String s) -> Some s
+    | Some (Json.Int n) -> Some (string_of_int n)
+    | _ -> None
+  in
+  let base =
+    List.find_map find
+      [ "benchmark"; "machine"; "driver"; "name"; "scheduler"; "search";
+        "append"; "mode" ]
+  in
+  let discs =
+    List.filter_map
+      (fun k -> Option.map (fun v -> k ^ "=" ^ v) (find k))
+      [ "delay_bound"; "domains"; "clients" ]
+  in
+  match (base, discs) with
+  | None, [] -> None
+  | None, ds -> Some (String.concat "," ds)
+  | Some b, [] -> Some b
+  | Some b, ds -> Some (b ^ "[" ^ String.concat "," ds ^ "]")
+
+let rec flatten path key (j : Json.t) acc =
+  match j with
+  | Json.Obj fields ->
+    let acc =
+      (* derived throughput: any stats-like block carrying both a state
+         count and a wall time gets a states_per_s metric, so a slowdown
+         is gated in the unit the default threshold is stated in *)
+      match
+        ( List.assoc_opt "states" fields,
+          List.assoc_opt "elapsed_s" fields )
+      with
+      | Some (Json.Int states), Some elapsed when states > 0 -> (
+        match Json.to_float elapsed with
+        | Some el when el > 0.0 ->
+          (path ^ "/states_per_s", Higher_better, Num (float_of_int states /. el))
+          :: acc
+        | _ -> acc)
+      | _ -> acc
+    in
+    List.fold_left (fun acc (k, v) -> flatten (path ^ "/" ^ k) k v acc) acc fields
+  | Json.List items ->
+    let _, acc =
+      List.fold_left
+        (fun (i, acc) item ->
+          let seg =
+            match item with
+            | Json.Obj fields -> (
+              match label_of_item fields with
+              | Some l -> l
+              | None -> string_of_int i)
+            | _ -> string_of_int i
+          in
+          (i + 1, flatten (path ^ "/" ^ seg) key item acc))
+        (0, acc) items
+    in
+    acc
+  | leaf -> (
+    (* the work-stealing subtree is special: its runs are truncated by the
+       smoke budget, and truncated parallel counts (states, transitions,
+       max_depth) are scheduling-dependent — the determinism contract only
+       pins them for non-truncated runs. Its booleans (triple_identical,
+       truncated) stay exact; everything else there is perf-only. *)
+    let dir =
+      if String.starts_with ~prefix:"/parallel_scaling" path then
+        match leaf with
+        | Json.Bool _ -> classify key leaf
+        | _ -> ( match classify key leaf with Some Exact -> None | d -> d)
+      else classify key leaf
+    in
+    match dir with
+    | None -> acc
+    | Some dir -> (path, dir, mval_of leaf) :: acc)
+
+(* Per-metric relative tolerance: derived throughput gates at the base
+   threshold (default 20%, [--threshold PCT]); raw wall-time and
+   allocation numbers are noisier in shared CI containers and get 1.5x
+   headroom. Exact metrics have no tolerance at all. *)
+let tolerance ~base key =
+  if ends_with "per_s" key || key = "speedup" then base else base *. 1.5
+
+let last_segment path =
+  match String.rindex_opt path '/' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let compare_docs ~threshold ~exact_only old_path new_path =
+  let load p =
+    match Json.of_string (In_channel.with_open_bin p In_channel.input_all) with
+    | j -> j
+    | exception Json.Parse_error msg ->
+      prerr_endline ("bench compare: " ^ p ^ ": " ^ msg);
+      exit 2
+    | exception Sys_error msg ->
+      prerr_endline ("bench compare: " ^ msg);
+      exit 2
+  in
+  let old_doc = load old_path and new_doc = load new_path in
+  (* Machine context: relative performance comparisons across different
+     machines are meaningless; warn loudly but keep gating the exact
+     (machine-independent) metrics either way. *)
+  let machine_field doc k =
+    match Json.path doc [ "machine"; k ] with
+    | Some (Json.String s) -> s
+    | Some (Json.Int n) -> string_of_int n
+    | _ -> "?"
+  in
+  List.iter
+    (fun k ->
+      let o = machine_field old_doc k and n = machine_field new_doc k in
+      if o <> n then
+        line
+          "warning: machine context differs (%s: %s -> %s)%s" k o n
+          (if exact_only then ""
+           else " — performance deltas below are not comparable"))
+    [ "cores"; "ocaml_version"; "word_size"; "os_type" ];
+  let orev = machine_field old_doc "git_rev"
+  and nrev = machine_field new_doc "git_rev" in
+  if orev <> nrev then line "comparing git revs %s -> %s" orev nrev;
+  let metrics doc p =
+    match Json.member "results" doc with
+    | Some r -> flatten "" "results" r []
+    | None ->
+      prerr_endline ("bench compare: " ^ p ^ ": no \"results\" object");
+      exit 2
+  in
+  let old_m = metrics old_doc old_path and new_m = metrics new_doc new_path in
+  let new_tbl = Hashtbl.create 256 and old_tbl = Hashtbl.create 256 in
+  List.iter (fun (p, _, v) -> Hashtbl.replace new_tbl p v) new_m;
+  List.iter (fun (p, _, _) -> Hashtbl.replace old_tbl p ()) old_m;
+  let compared = ref 0 and regressions = ref 0 and improved = ref 0 in
+  let regression fmt =
+    incr regressions;
+    line ("REGRESSION " ^^ fmt)
+  in
+  List.iter
+    (fun (path, dir, ov) ->
+      if (not exact_only) || dir = Exact then
+        match Hashtbl.find_opt new_tbl path with
+        | None ->
+          (* baseline coverage lost: a benchmark that stopped being run
+             can hide any regression, so it is one *)
+          regression "%-56s present in baseline, missing in new run" path
+        | Some nv -> (
+          incr compared;
+          let tol = tolerance ~base:threshold (last_segment path) in
+          match (dir, ov, nv) with
+          | Exact, _, _ ->
+            if ov <> nv then
+              regression "%-56s exact: %s -> %s" path (mval_str ov)
+                (mval_str nv)
+          | Lower_better, Num o, Num n ->
+            if o > 0.0 && n > o *. (1.0 +. tol) then
+              regression "%-56s %s -> %s (+%.0f%%, tolerance %.0f%%)" path
+                (mval_str ov) (mval_str nv)
+                ((n /. o -. 1.0) *. 100.0)
+                (tol *. 100.0)
+            else if o > 0.0 && n < o *. (1.0 -. tol) then incr improved
+          | Higher_better, Num o, Num n ->
+            if o > 0.0 && n < o *. (1.0 -. tol) then
+              regression "%-56s %s -> %s (-%.0f%%, tolerance %.0f%%)" path
+                (mval_str ov) (mval_str nv)
+                ((1.0 -. n /. o) *. 100.0)
+                (tol *. 100.0)
+            else if o > 0.0 && n > o *. (1.0 +. tol) then incr improved
+          | _, _, _ -> ()))
+    old_m;
+  let new_only =
+    List.length (List.filter (fun (p, _, _) -> not (Hashtbl.mem old_tbl p)) new_m)
+  in
+  line "compared %d metric(s)%s: %d regression(s), %d improvement(s)%s"
+    !compared
+    (if exact_only then " (exact only)" else "")
+    !regressions !improved
+    (if new_only > 0 then Printf.sprintf ", %d new-only metric(s)" new_only
+     else "");
+  !regressions = 0
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   fig7 ();
@@ -664,8 +913,27 @@ let extract_json_path args =
   in
   go [] args
 
+(* Pull a bare [--flag] out of argv, returning whether it was present. *)
+let extract_flag name args =
+  let rec go acc = function
+    | [] -> (false, List.rev acc)
+    | a :: rest when String.equal a name -> (true, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
+(* Pull [--opt VALUE] out of argv. *)
+let extract_value name args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | a :: v :: rest when String.equal a name -> (Some v, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] args
+
 let () =
   let json_path, args = extract_json_path (List.tl (Array.to_list Sys.argv)) in
+  let require_multicore, args = extract_flag "--require-multicore" args in
   (* Fail on an unwritable --json path now, not after the benchmarks ran. *)
   (match json_path with
   | None -> ()
@@ -681,7 +949,29 @@ let () =
   | "overhead" :: _ -> overhead ()
   | "ablation" :: _ -> ablation ()
   | "parallel" :: _ | "scaling" :: _ ->
-    if not (parallel_scaling ()) then exit 1
+    if not (parallel_scaling ~require_multicore ()) then exit 1
+  | "compare" :: rest -> (
+    let exact_only, rest = extract_flag "--exact-only" rest in
+    let threshold_s, rest = extract_value "--threshold" rest in
+    let threshold =
+      match threshold_s with
+      | None -> 0.20
+      | Some s -> (
+        match float_of_string_opt s with
+        | Some pct when pct >= 0.0 -> pct /. 100.0
+        | _ ->
+          prerr_endline ("bench compare: bad --threshold " ^ s);
+          exit 2)
+    in
+    match rest with
+    | [ old_path; new_path ] ->
+      if not (compare_docs ~threshold ~exact_only old_path new_path) then
+        exit 1
+    | _ ->
+      prerr_endline
+        "usage: bench compare OLD.json NEW.json [--threshold PCT] \
+         [--exact-only]";
+      exit 2)
   | "protocol-scaling" :: _ -> protocol_scaling ()
   | "digest-throughput" :: _ | "digest" :: _ -> digest_throughput ()
   | "micro" :: _ -> micro ()

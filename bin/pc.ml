@@ -92,17 +92,20 @@ let check_cmd =
 (* ---------------- verify ---------------- *)
 
 (* A stderr heartbeat for --progress: at most about one line per second,
-   driven by the engines' progress callback. *)
-let make_progress () =
-  let started = P_obs.Mclock.start () in
-  let last = ref 0.0 in
-  fun (s : P_checker.Search.stats) ->
-    let t = P_obs.Mclock.elapsed_s started in
-    if t -. !last >= 1.0 then begin
-      last := t;
-      Fmt.epr "pc: %d states, %d transitions, %.0f states/s@." s.states
-        s.transitions
-        (float_of_int s.states /. t)
+   driven by the telemetry sampler, so it reports live rates (over the
+   sampling interval) rather than averages since start. *)
+let make_heartbeat () =
+  let last = ref neg_infinity in
+  fun (x : P_obs.Telemetry.sample) ->
+    if x.elapsed_s -. !last >= 1.0 then begin
+      last := x.elapsed_s;
+      Fmt.epr
+        "pc: %.1fs: %d states (%.0f/s), %d transitions (%.0f/s), frontier %.0f, \
+         steal %.0f%%, %.0f B/state, heap %.1f MB@."
+        x.elapsed_s x.states x.states_per_s x.transitions x.transitions_per_s
+        x.frontier
+        (100.0 *. x.steal_success_rate)
+        x.bytes_per_state x.heap_mb
     end
 
 (* Provenance string recorded in counterexample artifacts, so [pc replay] /
@@ -133,7 +136,7 @@ let default_ce_path file example =
   | _ -> "counterexample.jsonl"
 
 let run_verify file example delay_bound max_states liveness show_trace domains
-    fingerprint stats_json trace_out progress seed ce_out no_ce =
+    fingerprint stats_json trace_out profile_out progress seed ce_out no_ce =
   (match (seed, domains) with
   | Some _, Some _ -> or_die (Error "--seed is not supported with --domains")
   | _ -> ());
@@ -145,15 +148,47 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   in
   let stats_oc = Option.map open_out_or_die stats_json in
   let trace_oc = Option.map open_out_or_die trace_out in
+  let profile_oc = Option.map open_out_or_die profile_out in
   let sink =
     match trace_oc with None -> P_obs.Sink.null | Some oc -> P_obs.Sink.chrome oc
   in
-  let progress_fn = if progress then Some (make_progress ()) else None in
-  let instr = P_checker.Search.instr ?metrics ~sink ?progress:progress_fn () in
+  (* --profile turns on the per-domain phase profiler (spans render in the
+     --trace-out timeline, exact totals in --stats-json) and the telemetry
+     sampler whose JSONL time series goes to the --profile file itself;
+     --progress reuses the same sampler for its heartbeat *)
+  let profiler =
+    match profile_oc with
+    | None -> P_obs.Profile.null
+    | Some _ ->
+      P_obs.Profile.create ~workers:(Option.value ~default:1 domains) ()
+  in
+  let telemetry =
+    if profile_oc = None && not progress then P_obs.Telemetry.null
+    else
+      P_obs.Telemetry.create
+        ?sink:(Option.map P_obs.Sink.jsonl profile_oc)
+        ?on_sample:(if progress then Some (make_heartbeat ()) else None)
+        ()
+  in
+  let telemetry_sink_close () =
+    match profile_oc with
+    | None -> ()
+    | Some oc ->
+      flush oc;
+      close_out oc
+  in
+  let instr =
+    P_checker.Search.instr ?metrics ~sink ~profile:profiler ~telemetry ()
+  in
+  P_obs.Profile.start_gc profiler;
   let report =
     P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~fingerprint
       ?seed ?domains ~instr program
   in
+  P_obs.Telemetry.force telemetry;
+  telemetry_sink_close ();
+  (* profiler lanes land in the same Chrome trace as the engine spans *)
+  P_obs.Profile.flush profiler sink;
   (* the counterexample (when any) rides along in the trace file *)
   (match report.safety with
   | Some { verdict = P_checker.Search.Error_found ce; _ }
@@ -168,7 +203,7 @@ let run_verify file example delay_bound max_states liveness show_trace domains
       ~finally:(fun () -> close_out oc)
       (fun () ->
         P_checker.Obs_report.write_channel oc
-          (P_checker.Obs_report.json_of_report ?metrics report)));
+          (P_checker.Obs_report.json_of_report ?metrics ~profile:profiler report)));
   Fmt.pr "%a" P_checker.Verifier.pp_report report;
   (match report.safety with
   | Some { verdict = P_checker.Search.Error_found ce; _ } when show_trace ->
@@ -241,11 +276,26 @@ let verify_cmd =
             "Write a Chrome trace_event JSON file (openable in Perfetto or \
              chrome://tracing) with engine spans and the counterexample trace.")
   in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Enable the per-domain phase profiler and write the telemetry \
+             time series (states/s, transitions/s, frontier occupancy, steal \
+             success rate, bytes/state) as JSONL to $(docv). Phase spans \
+             (expand, steal, barrier_wait, shard_lock, gc) render as \
+             per-worker lanes in the $(b,--trace-out) Chrome trace; exact \
+             per-phase totals are embedded in $(b,--stats-json).")
+  in
   let progress =
     Arg.(
       value & flag
       & info [ "progress" ]
-          ~doc:"Print a heartbeat (states, transitions, states/s) to stderr.")
+          ~doc:
+            "Print a heartbeat (live states/s, transitions/s, frontier, \
+             steal success, bytes/state, heap) to stderr about once a second.")
   in
   let seed =
     Arg.(
@@ -277,8 +327,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Systematic testing with the causal delay-bounded scheduler.")
     Term.(
       const run_verify $ file_arg $ example_arg $ delay $ max_states $ liveness $ trace
-      $ domains $ fingerprint $ stats_json $ trace_out $ progress $ seed $ ce_out
-      $ no_ce)
+      $ domains $ fingerprint $ stats_json $ trace_out $ profile_out $ progress
+      $ seed $ ce_out $ no_ce)
 
 (* ---------------- random ---------------- *)
 

@@ -481,6 +481,13 @@ let run ?(instr = Search.no_instr) ?observer ?(span_args = []) ~engine
   let frontier_len () =
     match spec.frontier with Bfs -> Queue.length queue | Dfs -> List.length !dfs_stack
   in
+  P_obs.Profile.register_worker instr.Search.profile ~worker:0;
+  P_obs.Telemetry.set_probe instr.Search.telemetry (fun () ->
+      { P_obs.Telemetry.states = t.stats.states;
+        transitions = t.stats.transitions;
+        frontier = float_of_int (frontier_len ());
+        steals = 0;
+        steal_attempts = 0 });
   push root;
   try
     while not (is_empty ()) do
@@ -497,9 +504,15 @@ let run ?(instr = Search.no_instr) ?observer ?(span_args = []) ~engine
         if node.depth >= spec.max_depth then t.stats.truncated <- true
         else if spec.truncate_on_exhaust && node.spent >= spec.bound then
           t.stats.truncated <- true
-        else
+        else begin
+          (* one [Expand] span per node; a [Found] raise loses only the
+             final span, never the aggregate totals of completed ones *)
+          let pt0 = P_obs.Profile.start instr.Search.profile in
           List.iter (integrate t ~push)
-            (expand ~on_overflow:(fun () -> t.stats.truncated <- true) ~fp t node)
+            (expand ~on_overflow:(fun () -> t.stats.truncated <- true) ~fp t node);
+          P_obs.Profile.record instr.Search.profile ~worker:0 P_obs.Profile.Expand
+            ~t0:pt0
+        end
       end
     done;
     finish Search.No_error
@@ -611,7 +624,9 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     let expansions = counter "checker.expansions" in
     let m_steals = counter "checker.steals" in
     let m_steal_attempts = counter "checker.steal_attempts" in
+    let m_steal_retries = counter "checker.steal_retries" in
     let m_contention = counter "checker.shard_contention" in
+    let prof = instr.Search.profile in
     let stats = Search.new_stats () in
     let t =
       { tab;
@@ -651,7 +666,22 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     let w_qhwm = Array.make n 0.0 in
     let w_steals = Array.make n 0 in
     let w_steal_attempts = Array.make n 0 in
+    let w_steal_retries = Array.make n 0 in
     let w_contention = Array.make n 0 in
+    (* pre-allocated per worker so the steal loop passes a closure without
+       allocating one per attempt *)
+    let on_retry =
+      Array.init n (fun w () -> w_steal_retries.(w) <- w_steal_retries.(w) + 1)
+    in
+    (* live totals for the telemetry sampler: racy plain reads of the
+       per-worker tallies, memory-safe and monotonically slightly stale,
+       like the progress ticker's *)
+    P_obs.Telemetry.set_probe instr.Search.telemetry (fun () ->
+        { P_obs.Telemetry.states = Atomic.get states;
+          transitions = Array.fold_left ( + ) 0 w_transitions;
+          frontier = float_of_int (Atomic.get pending);
+          steals = Array.fold_left ( + ) 0 w_steals;
+          steal_attempts = Array.fold_left ( + ) 0 w_steal_attempts });
     let shard_of digest = Char.code (String.unsafe_get digest 0) land (shard_count - 1) in
     (* Claim a digest at [spent]: the only writer of the seen set. [`New]
        claims happen exactly once per state; because strata are processed
@@ -662,7 +692,11 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
       let sh = shards.(shard_of digest) in
       if not (Mutex.try_lock sh.sh_lock) then begin
         w_contention.(w) <- w_contention.(w) + 1;
-        Mutex.lock sh.sh_lock
+        (* only the *blocked* acquisition is profiled: the uncontended
+           try-lock above is the hot path and stays span-free *)
+        let pt0 = P_obs.Profile.start prof in
+        Mutex.lock sh.sh_lock;
+        P_obs.Profile.record prof ~worker:w P_obs.Profile.Shard_lock ~t0:pt0
       end;
       let decision =
         match Hashtbl.find_opt sh.sh_tbl digest with
@@ -762,7 +796,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
         else begin
           let v = (w + 1 + k) mod n in
           w_steal_attempts.(w) <- w_steal_attempts.(w) + 1;
-          match Ws_deque.steal deques.(v) with
+          match Ws_deque.steal ~on_retry:on_retry.(w) deques.(v) with
           | Some _ as r ->
             w_steals.(w) <- w_steals.(w) + 1;
             r
@@ -782,31 +816,45 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
           ticked := 0;
           stats.states <- Atomic.get states;
           stats.transitions <- Array.fold_left ( + ) 0 w_transitions;
-          Search.tick t.ticker
+          Search.tick t.ticker;
+          (* directly, not through the ticker's own count gate: this point
+             already fires only once per [tick_every] pops, and both calls
+             are further time-gated internally *)
+          P_obs.Telemetry.tick instr.Search.telemetry;
+          P_obs.Profile.poll_gc prof
         end
       end
+    in
+    let expand_profiled w node =
+      let pt0 = P_obs.Profile.start prof in
+      process w node;
+      P_obs.Profile.record prof ~worker:w P_obs.Profile.Expand ~t0:pt0
     in
     let rec work w =
       if Atomic.get stop then ()
       else
         match Ws_deque.pop deques.(w) with
         | Some node ->
-          process w node;
+          expand_profiled w node;
           Atomic.decr pending;
           tick w;
           work w
         | None ->
           if Atomic.get pending = 0 then ()
-          else (
-            match steal_from w with
+          else begin
+            let pt0 = P_obs.Profile.start prof in
+            let stolen = steal_from w in
+            P_obs.Profile.record prof ~worker:w P_obs.Profile.Steal ~t0:pt0;
+            match stolen with
             | Some node ->
-              process w node;
+              expand_profiled w node;
               Atomic.decr pending;
               tick w;
               work w
             | None ->
               Domain.cpu_relax ();
-              work w)
+              work w
+          end
     in
     (* seed this worker's buffered nodes for stratum [snum] *)
     let seed w snum =
@@ -819,15 +867,20 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
             if not (Atomic.get stop) then ignore (claim_now w digest node))
           entries
     in
+    let await_profiled w =
+      let pt0 = P_obs.Profile.start prof in
+      Barrier.await barrier;
+      P_obs.Profile.record prof ~worker:w P_obs.Profile.Barrier_wait ~t0:pt0
+    in
     let rec strata w =
       seed w !cur_stratum;
       (* every bucket is seeded (and [pending] fully incremented) before
          any worker can enter [work]: otherwise a worker with an empty
          bucket could observe [pending = 0], park for the stratum, and
          leave its peers' freshly seeded nodes to fewer domains *)
-      Barrier.await barrier;
+      await_profiled w;
       work w;
-      Barrier.await barrier;
+      await_profiled w;
       (* quiescent window: every worker is between the two barriers *)
       if w = 0 then
         if Atomic.get stop then continue_ := false
@@ -860,7 +913,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
               in
               P_obs.Metrics.set_max m.Search.m_frontier (float_of_int width))
         end;
-      Barrier.await barrier;
+      await_profiled w;
       if !continue_ then strata w
     in
     (* root: stratum 0, worker 0's bucket *)
@@ -871,7 +924,13 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
       { config = config0; sched = sched0; spent = 0; depth = 0; idx = 0; sidx = 0 }
     in
     bucket_add 0 0 (root_digest, root);
-    let handles = List.init (n - 1) (fun i -> Domain.spawn (fun () -> strata (i + 1))) in
+    let handles =
+      List.init (n - 1) (fun i ->
+          Domain.spawn (fun () ->
+              P_obs.Profile.register_worker prof ~worker:(i + 1);
+              strata (i + 1)))
+    in
+    P_obs.Profile.register_worker prof ~worker:0;
     strata 0;
     List.iter Domain.join handles;
     (* merge the per-worker tallies *)
@@ -889,6 +948,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
       in
       add m_steals w_steals;
       add m_steal_attempts w_steal_attempts;
+      add m_steal_retries w_steal_retries;
       add m_contention w_contention
     in
     if Atomic.get error_found then begin

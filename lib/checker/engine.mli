@@ -166,8 +166,11 @@ val run_parallel :
     [max_states] is checked at claim time against a shared atomic; a
     truncated run may overshoot slightly and its counts may vary with
     [domains]. With [instr] metrics on, workers count [checker.expansions],
-    [checker.steals], [checker.steal_attempts], and
-    [checker.shard_contention] (all labelled [engine=<engine>]) into their
-    own per-domain registry shards. Requires [spec.frontier = Bfs];
+    [checker.steals], [checker.steal_attempts], [checker.steal_retries]
+    (lost steal-CAS races), and [checker.shard_contention] (all labelled
+    [engine=<engine>]) into their own per-domain registry shards. With an
+    [instr] profiler on, each worker records expand / steal / barrier_wait
+    / shard_lock spans onto its own lane and worker 0 polls the runtime's
+    GC events from its tick point. Requires [spec.frontier = Bfs];
     observers are not supported; [spec.track_seen = false] falls back to
     the sequential {!run}. *)

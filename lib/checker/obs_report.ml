@@ -47,7 +47,7 @@ let json_of_liveness (r : Liveness.result) : Json.t =
       ("complete", Json.Bool r.complete);
       ("elapsed_s", Json.Float r.elapsed_s) ]
 
-let json_of_report ?metrics (r : Verifier.report) : Json.t =
+let json_of_report ?metrics ?profile (r : Verifier.report) : Json.t =
   let static =
     Json.Obj
       [ ("ok", Json.Bool (r.static_diagnostics = []));
@@ -70,12 +70,21 @@ let json_of_report ?metrics (r : Verifier.report) : Json.t =
         match r.liveness with
         | None -> Json.Null
         | Some l -> json_of_liveness l );
-      ("clean", Json.Bool (Verifier.is_clean r)) ]
+      ("clean", Json.Bool (Verifier.is_clean r));
+      (* machine context stamps every stats document, so numbers compared
+         across checkouts or hosts carry their provenance with them *)
+      ("machine", P_obs.Machine_info.json ()) ]
   in
   let fields =
     match metrics with
     | None -> fields
     | Some reg -> fields @ [ ("metrics", P_obs.Metrics.dump reg) ]
+  in
+  let fields =
+    match profile with
+    | Some p when P_obs.Profile.enabled p ->
+      fields @ [ ("profile", P_obs.Profile.summary_json p) ]
+    | _ -> fields
   in
   Json.Obj fields
 

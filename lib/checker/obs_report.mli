@@ -9,11 +9,17 @@ val json_of_safety : Search.result -> P_obs.Json.t
 
 val json_of_liveness : Liveness.result -> P_obs.Json.t
 
-val json_of_report : ?metrics:P_obs.Metrics.t -> Verifier.report -> P_obs.Json.t
+val json_of_report :
+  ?metrics:P_obs.Metrics.t ->
+  ?profile:P_obs.Profile.t ->
+  Verifier.report ->
+  P_obs.Json.t
 (** Render a full verification report — including the [seed] and
     [domains] provenance fields ([null] unless the safety search sampled
-    resp. ran in parallel). When [metrics] is given, its registry dump is
-    embedded under the ["metrics"] key. *)
+    resp. ran in parallel) and a ["machine"] context block (cores, OCaml
+    version, word size, git rev). When [metrics] is given, its registry
+    dump is embedded under the ["metrics"] key; when [profile] is given
+    and enabled, its exact per-phase aggregates land under ["profile"]. *)
 
 val write_channel : out_channel -> P_obs.Json.t -> unit
 (** Pretty-print the document to an already-open channel, followed by a

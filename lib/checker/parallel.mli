@@ -54,8 +54,12 @@ val explore :
     the whole run.
 
     With [instr] metrics on, workers additionally count
-    [checker.expansions], [checker.steals], [checker.steal_attempts], and
-    [checker.shard_contention] (labelled [engine=parallel]) from inside
-    their domains — each into its own registry shard, so instrumentation
-    adds no cross-domain contention; the merged [checker.expansions] total
-    equals this engine's transition count on clean programs. *)
+    [checker.expansions], [checker.steals], [checker.steal_attempts],
+    [checker.steal_retries], and [checker.shard_contention] (labelled
+    [engine=parallel]) from inside their domains — each into its own
+    registry shard, so instrumentation adds no cross-domain contention;
+    the merged [checker.expansions] total equals this engine's transition
+    count on clean programs. With an [instr] profiler and telemetry on,
+    workers record per-domain expand / steal / barrier_wait / shard_lock
+    spans and worker 0 drives the states/s sampler (see
+    {!P_obs.Profile} and {!P_obs.Telemetry}). *)

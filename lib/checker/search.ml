@@ -92,13 +92,27 @@ type instr = {
       (** called from the search loop roughly every [progress_every]
           transitions, with the live (mutable) stats *)
   progress_every : int;
+  profile : P_obs.Profile.t;
+      (** per-domain phase profiler; engines record expand / steal /
+          barrier / shard-lock spans into it and poll its GC cursor from
+          their tick points. {!P_obs.Profile.null} (the default) makes
+          every hook a no-op. *)
+  telemetry : P_obs.Telemetry.t;
+      (** sampling ticker; engines install a probe over their live
+          counters and poke it from their tick points *)
 }
 
 let no_instr =
-  { metrics = None; sink = P_obs.Sink.null; progress = None; progress_every = 4096 }
+  { metrics = None;
+    sink = P_obs.Sink.null;
+    progress = None;
+    progress_every = 4096;
+    profile = P_obs.Profile.null;
+    telemetry = P_obs.Telemetry.null }
 
-let instr ?metrics ?(sink = P_obs.Sink.null) ?progress ?(progress_every = 4096) () =
-  { metrics; sink; progress; progress_every }
+let instr ?metrics ?(sink = P_obs.Sink.null) ?progress ?(progress_every = 4096)
+    ?(profile = P_obs.Profile.null) ?(telemetry = P_obs.Telemetry.null) () =
+  { metrics; sink; progress; progress_every; profile; telemetry }
 
 (** Metric handles pre-resolved for one engine run ([None] when metrics are
     off), so hot loops never touch the registry's intern table. *)
@@ -147,20 +161,38 @@ let queue_hwm_of_config (config : Config.t) : float =
        config 0)
 
 (** A progress ticker: calls [instr.progress] every [progress_every]
-    transitions with the live stats. *)
-type ticker = { tk_instr : instr; tk_stats : stats; mutable tk_count : int }
+    transitions with the live stats, and pokes the telemetry sampler and
+    the profiler's GC cursor every [obs_every] ticks (both are further
+    time-gated internally, so the cadence here only bounds staleness). *)
+type ticker = {
+  tk_instr : instr;
+  tk_stats : stats;
+  mutable tk_count : int;
+  mutable tk_obs : int;
+}
 
-let ticker i stats = { tk_instr = i; tk_stats = stats; tk_count = 0 }
+let obs_every = 256
+
+let ticker i stats = { tk_instr = i; tk_stats = stats; tk_count = 0; tk_obs = obs_every }
 
 let tick (t : ticker) =
-  match t.tk_instr.progress with
+  let i = t.tk_instr in
+  (match i.progress with
   | None -> ()
   | Some f ->
     t.tk_count <- t.tk_count + 1;
-    if t.tk_count >= t.tk_instr.progress_every then begin
+    if t.tk_count >= i.progress_every then begin
       t.tk_count <- 0;
       f t.tk_stats
+    end);
+  if P_obs.Telemetry.enabled i.telemetry || P_obs.Profile.enabled i.profile then begin
+    t.tk_obs <- t.tk_obs - 1;
+    if t.tk_obs <= 0 then begin
+      t.tk_obs <- obs_every;
+      P_obs.Telemetry.tick i.telemetry;
+      P_obs.Profile.poll_gc i.profile
     end
+  end
 
 (** Emit the engine lifecycle span shared by all explorers: one complete
     Chrome event covering the whole run, carrying the result stats. *)

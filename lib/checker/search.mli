@@ -59,6 +59,14 @@ type instr = {
       (** called roughly every [progress_every] transitions with the live
           (mutable) stats *)
   progress_every : int;
+  profile : P_obs.Profile.t;
+      (** per-domain phase profiler (expand / steal / barrier_wait /
+          shard_lock / gc spans); {!P_obs.Profile.null} by default. The
+          caller owns its lifecycle: start its GC cursor before the run,
+          flush it to a sink after. *)
+  telemetry : P_obs.Telemetry.t;
+      (** sampling ticker for the states/s time series; engines install a
+          probe over their live counters and poke it from tick points *)
 }
 
 val no_instr : instr
@@ -68,6 +76,8 @@ val instr :
   ?sink:P_obs.Sink.t ->
   ?progress:(stats -> unit) ->
   ?progress_every:int ->
+  ?profile:P_obs.Profile.t ->
+  ?telemetry:P_obs.Telemetry.t ->
   unit ->
   instr
 

@@ -82,16 +82,23 @@ let pop q =
     end
   end
 
-let rec steal q =
-  let top = Atomic.get q.top in
-  let b = Atomic.get q.bottom in
-  if top >= b then None
-  else begin
-    (* read the buffer only after [bottom]: whichever array we observe,
-       the slot for an index we can still claim was published before the
-       [Atomic.set] (of [bottom] or of [buf]) that made it reachable *)
-    let buf = Atomic.get q.buf in
-    let x = buf.(top land (Array.length buf - 1)) in
-    if Atomic.compare_and_set q.top top (top + 1) then x
-    else steal q (* lost to another stealer (or the owner's last pop) *)
-  end
+let steal ?on_retry q =
+  let rec go () =
+    let top = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if top >= b then None
+    else begin
+      (* read the buffer only after [bottom]: whichever array we observe,
+         the slot for an index we can still claim was published before the
+         [Atomic.set] (of [bottom] or of [buf]) that made it reachable *)
+      let buf = Atomic.get q.buf in
+      let x = buf.(top land (Array.length buf - 1)) in
+      if Atomic.compare_and_set q.top top (top + 1) then x
+      else begin
+        (* lost to another stealer (or the owner's last pop) *)
+        (match on_retry with Some f -> f () | None -> ());
+        go ()
+      end
+    end
+  in
+  go ()

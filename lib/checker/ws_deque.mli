@@ -14,10 +14,11 @@ val pop : 'a t -> 'a option
 (** Owner only: newest element, or [None] when empty (a concurrent stealer
     may win the last element). *)
 
-val steal : 'a t -> 'a option
+val steal : ?on_retry:(unit -> unit) -> 'a t -> 'a option
 (** Any domain: oldest element, or [None] when the deque is (momentarily)
     empty. Retries internally while losing CAS races against other
-    stealers. *)
+    stealers; [on_retry] fires once per lost race (the
+    [checker.steal_retries] contention diagnostic). *)
 
 val size : 'a t -> int
 (** Racy snapshot — exact only when the owner is quiescent. *)

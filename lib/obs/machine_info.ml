@@ -1,0 +1,81 @@
+(** Machine context for measurement artifacts. See the interface for the
+    shape; everything here is best-effort and must never raise — a bench
+    run should not die because [.git] is missing or oddly shaped. *)
+
+let cores () = Domain.recommended_domain_count ()
+
+let read_first_line path =
+  try
+    In_channel.with_open_text path (fun ic ->
+        match In_channel.input_line ic with
+        | Some l -> Some (String.trim l)
+        | None -> None)
+  with Sys_error _ -> None
+
+(* Walk up from [dir] to the filesystem root looking for a .git entry. *)
+let rec find_git_entry dir =
+  let cand = Filename.concat dir ".git" in
+  if Sys.file_exists cand then Some cand
+  else
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then None else find_git_entry parent
+
+(* Resolve a symbolic ref ("refs/heads/main") to a hash: loose ref file
+   first, then the packed-refs table. *)
+let resolve_ref git_dir r =
+  match read_first_line (Filename.concat git_dir r) with
+  | Some hash -> Some hash
+  | None -> (
+    try
+      In_channel.with_open_text (Filename.concat git_dir "packed-refs") (fun ic ->
+          let rec go () =
+            match In_channel.input_line ic with
+            | None -> None
+            | Some line -> (
+              match String.index_opt line ' ' with
+              | Some i
+                when String.length line > i + 1
+                     && String.equal
+                          (String.sub line (i + 1) (String.length line - i - 1))
+                          r -> Some (String.sub line 0 i)
+              | _ -> go ())
+          in
+          go ())
+    with Sys_error _ -> None)
+
+let git_rev () =
+  try
+    match find_git_entry (Sys.getcwd ()) with
+    | None -> None
+    | Some entry ->
+      (* worktrees and submodules use a ".git" *file* pointing elsewhere *)
+      let git_dir =
+        if Sys.is_directory entry then entry
+        else
+          match read_first_line entry with
+          | Some l when String.starts_with ~prefix:"gitdir: " l ->
+            String.sub l 8 (String.length l - 8)
+          | _ -> entry
+      in
+      (match read_first_line (Filename.concat git_dir "HEAD") with
+      | None -> None
+      | Some head ->
+        if String.starts_with ~prefix:"ref: " head then
+          resolve_ref git_dir (String.sub head 5 (String.length head - 5))
+        else Some head)
+  with Sys_error _ | Invalid_argument _ -> None
+
+let fields () =
+  [ ("cores", Json.Int (cores ()));
+    ("ocaml_version", Json.String Sys.ocaml_version);
+    ("word_size", Json.Int Sys.word_size);
+    ("os_type", Json.String Sys.os_type);
+    ( "backend",
+      Json.String
+        (match Sys.backend_type with
+        | Sys.Native -> "native"
+        | Sys.Bytecode -> "bytecode"
+        | Sys.Other s -> s) );
+    ("git_rev", match git_rev () with Some r -> Json.String r | None -> Json.Null) ]
+
+let json () = Json.Obj (fields ())

@@ -1,0 +1,27 @@
+(** The machine-context block stamped into every measurement artifact
+    (bench JSON documents, [--stats-json] reports, telemetry JSONL
+    headers): the facts needed to decide whether two recorded runs are
+    comparable at all — core count, OCaml version, word size, backend,
+    and the git revision the binary was built from.
+
+    Dependency-free by design (like the rest of [P_obs]): the git
+    revision is read straight out of [.git] (walking up from the current
+    directory, following worktree indirections and packed refs) rather
+    than by shelling out. *)
+
+val cores : unit -> int
+(** [Domain.recommended_domain_count ()] — the parallelism this host can
+    actually deliver. 1 means parallel speedups are unmeasurable here. *)
+
+val git_rev : unit -> string option
+(** The commit hash of HEAD, or [None] outside a git checkout (e.g. the
+    dune sandbox of a test run, or an installed binary). *)
+
+val json : unit -> Json.t
+(** The context block:
+    [{"cores": N, "ocaml_version": "5.1.1", "word_size": 64,
+      "os_type": "Unix", "backend": "native", "git_rev": <hash or null>}] *)
+
+val fields : unit -> (string * Json.t) list
+(** The same block as an association list, for splicing into a larger
+    object. *)

@@ -261,3 +261,18 @@ let counter_total (t : t) name : int =
   in
   Mutex.unlock t.reg_lock;
   total
+
+(** Look a gauge up by name across all label sets (max — the gauges' merge
+    rule). [0.0] when absent or never set; the telemetry ticker reads
+    engine gauges this way without knowing their label sets. *)
+let gauge_max (t : t) name : float =
+  Mutex.lock t.reg_lock;
+  let v =
+    Hashtbl.fold
+      (fun (n, _) m acc ->
+        if String.equal n name && m.kind = Gauge then Float.max acc (gauge_value m)
+        else acc)
+      t.table 0.0
+  in
+  Mutex.unlock t.reg_lock;
+  v

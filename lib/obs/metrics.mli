@@ -78,3 +78,7 @@ val dump : t -> Json.t
 
 val counter_total : t -> string -> int
 (** Sum of a counter across all its label sets; 0 when absent. *)
+
+val gauge_max : t -> string -> float
+(** Maximum of a gauge across all its label sets (the gauge merge rule);
+    [0.0] when absent. *)

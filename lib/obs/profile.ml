@@ -1,0 +1,440 @@
+(** Per-domain phase profiler. See the interface for the model; the notes
+    here are about the two implementation constraints:
+
+    - Hot-path cost. [record] fires once per expanded node (millions per
+      run), so it must be two clock reads, a few float stores, and no
+      allocation. Each worker writes only its own [lane], so there is no
+      lock; spans are kept in a flat float array of stride 3
+      (phase code, start, duration) grown by doubling.
+
+    - Trace size. Rendered spans are coalesced: a new span of the same
+      phase starting within [coalesce_us] of the previous one's end
+      extends it instead of starting a record. The per-phase aggregate
+      [counts]/[totals] are updated from the raw durations before
+      coalescing, so they stay exact; only the rendering is merged.
+
+    GC attribution uses the runtime's own [Runtime_events] ring buffers:
+    every domain's runtime phases (GC slices and friends) arrive as
+    begin/end events stamped on the same [CLOCK_MONOTONIC] timeline as
+    {!Mclock}, so they land correctly between the worker-recorded spans
+    without any epoch correction. Only the *top-level* runtime span per
+    ring is kept (the runtime nests phases several levels deep); nested
+    begin/ends just track depth. Ring indexes are mapped to worker lanes
+    through {!register_worker}'s domain registry, falling back to the ring
+    index itself — in a fresh process the runtime assigns ring slots in
+    spawn order, so the fallback is almost always already right. *)
+
+type phase = Expand | Steal | Barrier_wait | Shard_lock | Gc
+
+let phase_name = function
+  | Expand -> "expand"
+  | Steal -> "steal"
+  | Barrier_wait -> "barrier_wait"
+  | Shard_lock -> "shard_lock"
+  | Gc -> "gc"
+
+let code_of_phase = function
+  | Expand -> 0
+  | Steal -> 1
+  | Barrier_wait -> 2
+  | Shard_lock -> 3
+  | Gc -> 4
+
+let name_of_code = [| "expand"; "steal"; "barrier_wait"; "shard_lock"; "gc" |]
+let n_phases = 5
+let gc_code = 4
+
+(* One worker's recording slot: a pending (coalescing) span and the stored
+   span buffer, stride 3: code, start ts, duration (all µs). Written only
+   by the owning worker. *)
+type lane = {
+  mutable p_code : int;  (* pending span's phase code; -1 = none *)
+  mutable p_ts : float;
+  mutable p_end : float;
+  mutable buf : float array;
+  mutable len : int;  (* floats used *)
+  mutable dropped : bool;
+  counts : int array;  (* per phase code, raw (pre-coalescing) *)
+  totals : float array;  (* per phase code, µs, raw *)
+}
+
+let max_rings = 128 (* the runtime's Max_domains *)
+
+type state = {
+  workers : int;
+  coalesce_us : float;
+  max_floats : int;  (* per lane *)
+  lanes : lane array;
+  (* domain-id -> worker lane, filled by [register_worker]; read at flush *)
+  map_lock : Mutex.t;
+  dmap : (int, int) Hashtbl.t;
+  (* --- GC, all under [gc_lock] (pollers serialise; workers never enter) *)
+  gc_lock : Mutex.t;
+  mutable gc_cursor : Runtime_events.cursor option;
+  mutable gc_callbacks : Runtime_events.Callbacks.t option;
+  mutable gc_failed : bool;
+  mutable gc_last_poll : float;
+  gc_depth : int array;  (* per ring: live nesting of runtime phases *)
+  gc_start : float array;  (* per ring: top-level span start, µs *)
+  (* per-ring pending (coalescing) span *)
+  gc_p_active : bool array;
+  gc_p_ts : float array;
+  gc_p_end : float array;
+  mutable gc_buf : float array;  (* stride 3: ring, start ts, duration *)
+  mutable gc_len : int;
+  mutable gc_dropped : bool;
+  gc_counts : int array;  (* per ring, raw *)
+  gc_totals : float array;  (* per ring, µs, raw *)
+}
+
+type t = Null | On of state
+
+let null = Null
+let enabled = function Null -> false | On _ -> true
+
+let new_lane () =
+  { p_code = -1;
+    p_ts = 0.0;
+    p_end = 0.0;
+    buf = Array.make (3 * 256) 0.0;
+    len = 0;
+    dropped = false;
+    counts = Array.make n_phases 0;
+    totals = Array.make n_phases 0.0 }
+
+let create ?(coalesce_us = 50.0) ?(max_spans = 100_000) ~workers () =
+  let workers = max 1 workers in
+  On
+    { workers;
+      coalesce_us;
+      max_floats = 3 * max 1 max_spans;
+      lanes = Array.init workers (fun _ -> new_lane ());
+      map_lock = Mutex.create ();
+      dmap = Hashtbl.create 8;
+      gc_lock = Mutex.create ();
+      gc_cursor = None;
+      gc_callbacks = None;
+      gc_failed = false;
+      gc_last_poll = 0.0;
+      gc_depth = Array.make max_rings 0;
+      gc_start = Array.make max_rings 0.0;
+      gc_p_active = Array.make max_rings false;
+      gc_p_ts = Array.make max_rings 0.0;
+      gc_p_end = Array.make max_rings 0.0;
+      gc_buf = Array.make (3 * 64) 0.0;
+      gc_len = 0;
+      gc_dropped = false;
+      gc_counts = Array.make max_rings 0;
+      gc_totals = Array.make max_rings 0.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Worker-recorded spans                                               *)
+(* ------------------------------------------------------------------ *)
+
+let store_lane (s : state) (l : lane) code ts dur =
+  if l.len + 3 > Array.length l.buf then begin
+    let cap = Array.length l.buf in
+    if cap >= s.max_floats then l.dropped <- true
+    else begin
+      let buf' = Array.make (min s.max_floats (2 * cap)) 0.0 in
+      Array.blit l.buf 0 buf' 0 l.len;
+      l.buf <- buf'
+    end
+  end;
+  if l.len + 3 <= Array.length l.buf then begin
+    l.buf.(l.len) <- float_of_int code;
+    l.buf.(l.len + 1) <- ts;
+    l.buf.(l.len + 2) <- dur;
+    l.len <- l.len + 3
+  end
+  else l.dropped <- true
+
+let flush_pending s (l : lane) =
+  if l.p_code >= 0 then begin
+    store_lane s l l.p_code l.p_ts (l.p_end -. l.p_ts);
+    l.p_code <- -1
+  end
+
+(* Coalesce-or-store. [ts]/[dur] are the raw span; aggregates were already
+   bumped by the caller. *)
+let add_span s (l : lane) code ts dur =
+  if l.p_code = code && ts -. l.p_end <= s.coalesce_us then begin
+    let e = ts +. dur in
+    if e > l.p_end then l.p_end <- e
+  end
+  else begin
+    flush_pending s l;
+    l.p_code <- code;
+    l.p_ts <- ts;
+    l.p_end <- ts +. dur
+  end
+
+let start = function Null -> 0.0 | On _ -> Mclock.now_us ()
+
+let record t ~worker phase ~t0 =
+  match t with
+  | Null -> ()
+  | On s ->
+    if worker >= 0 && worker < s.workers then begin
+      let l = s.lanes.(worker) in
+      let code = code_of_phase phase in
+      let dur = Mclock.now_us () -. t0 in
+      l.counts.(code) <- l.counts.(code) + 1;
+      l.totals.(code) <- l.totals.(code) +. dur;
+      add_span s l code t0 dur
+    end
+
+(* ------------------------------------------------------------------ *)
+(* GC spans from Runtime_events                                        *)
+(* ------------------------------------------------------------------ *)
+
+let register_worker t ~worker =
+  match t with
+  | Null -> ()
+  | On s ->
+    Mutex.lock s.map_lock;
+    Hashtbl.replace s.dmap (Domain.self () :> int) worker;
+    Mutex.unlock s.map_lock
+
+let ts_us ts = Int64.to_float (Runtime_events.Timestamp.to_int64 ts) /. 1e3
+
+(* Store one completed top-level runtime span for [ring]. Under [gc_lock]. *)
+let gc_store (s : state) ring ts dur =
+  if ring >= 0 && ring < max_rings then begin
+    s.gc_counts.(ring) <- s.gc_counts.(ring) + 1;
+    s.gc_totals.(ring) <- s.gc_totals.(ring) +. dur;
+    (* per-ring coalescing, mirroring [add_span] *)
+    if s.gc_p_active.(ring) && ts -. s.gc_p_end.(ring) <= s.coalesce_us then begin
+      let e = ts +. dur in
+      if e > s.gc_p_end.(ring) then s.gc_p_end.(ring) <- e
+    end
+    else begin
+      if s.gc_p_active.(ring) then begin
+        (* flush the previous pending span to the buffer *)
+        if s.gc_len + 3 > Array.length s.gc_buf then begin
+          let cap = Array.length s.gc_buf in
+          if cap >= s.max_floats then s.gc_dropped <- true
+          else begin
+            let buf' = Array.make (min s.max_floats (2 * cap)) 0.0 in
+            Array.blit s.gc_buf 0 buf' 0 s.gc_len;
+            s.gc_buf <- buf'
+          end
+        end;
+        if s.gc_len + 3 <= Array.length s.gc_buf then begin
+          s.gc_buf.(s.gc_len) <- float_of_int ring;
+          s.gc_buf.(s.gc_len + 1) <- s.gc_p_ts.(ring);
+          s.gc_buf.(s.gc_len + 2) <- s.gc_p_end.(ring) -. s.gc_p_ts.(ring);
+          s.gc_len <- s.gc_len + 3
+        end
+        else s.gc_dropped <- true
+      end;
+      s.gc_p_active.(ring) <- true;
+      s.gc_p_ts.(ring) <- ts;
+      s.gc_p_end.(ring) <- ts +. dur
+    end
+  end
+
+let start_gc t =
+  match t with
+  | Null -> ()
+  | On s ->
+    Mutex.lock s.gc_lock;
+    (if s.gc_cursor = None && not s.gc_failed then
+       try
+         Runtime_events.start ();
+         let cursor = Runtime_events.create_cursor None in
+         let runtime_begin ring ts (_ : Runtime_events.runtime_phase) =
+           if ring >= 0 && ring < max_rings then begin
+             let d = s.gc_depth.(ring) in
+             if d = 0 then s.gc_start.(ring) <- ts_us ts;
+             s.gc_depth.(ring) <- d + 1
+           end
+         in
+         let runtime_end ring ts (_ : Runtime_events.runtime_phase) =
+           if ring >= 0 && ring < max_rings && s.gc_depth.(ring) > 0 then begin
+             s.gc_depth.(ring) <- s.gc_depth.(ring) - 1;
+             if s.gc_depth.(ring) = 0 then begin
+               let t1 = ts_us ts in
+               let t0 = s.gc_start.(ring) in
+               if t1 > t0 then gc_store s ring t0 (t1 -. t0)
+             end
+           end
+         in
+         s.gc_callbacks <-
+           Some (Runtime_events.Callbacks.create ~runtime_begin ~runtime_end ());
+         s.gc_cursor <- Some cursor
+       with _ -> s.gc_failed <- true);
+    Mutex.unlock s.gc_lock
+
+let poll_interval_us = 1_000.0
+
+let poll_gc t =
+  match t with
+  | Null -> ()
+  | On s -> (
+    match s.gc_cursor with
+    | None -> ()
+    | Some _ ->
+      if Mutex.try_lock s.gc_lock then begin
+        (match s.gc_cursor with
+        | Some cursor ->
+          let now = Mclock.now_us () in
+          if now -. s.gc_last_poll >= poll_interval_us then begin
+            s.gc_last_poll <- now;
+            match s.gc_callbacks with
+            | Some cb -> ( try ignore (Runtime_events.read_poll cursor cb None) with _ -> ())
+            | None -> ()
+          end
+        | None -> ());
+        Mutex.unlock s.gc_lock
+      end)
+
+let stop_gc t =
+  match t with
+  | Null -> ()
+  | On s ->
+    Mutex.lock s.gc_lock;
+    (match s.gc_cursor with
+    | None -> ()
+    | Some cursor ->
+      (match s.gc_callbacks with
+      | Some cb -> ( try ignore (Runtime_events.read_poll cursor cb None) with _ -> ())
+      | None -> ());
+      (try Runtime_events.free_cursor cursor with _ -> ());
+      s.gc_cursor <- None);
+    Mutex.unlock s.gc_lock
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker lane for a ring index: the registered mapping if a worker domain
+   claimed that id, else the ring index itself (spawn order ≈ slot order in
+   a fresh process). *)
+let tid_of_ring (s : state) ring =
+  Mutex.lock s.map_lock;
+  let tid = Option.value ~default:ring (Hashtbl.find_opt s.dmap ring) in
+  Mutex.unlock s.map_lock;
+  tid
+
+let flush t sink =
+  match t with
+  | Null -> ()
+  | On s ->
+    stop_gc t;
+    if Sink.enabled sink then begin
+      for w = 0 to s.workers - 1 do
+        Sink.thread_name sink ~tid:w (Fmt.str "worker %d" w)
+      done;
+      Array.iteri
+        (fun w (l : lane) ->
+          flush_pending s l;
+          let i = ref 0 in
+          while !i < l.len do
+            let code = int_of_float l.buf.(!i) in
+            Sink.complete sink ~cat:"profile" ~tid:w ~name:name_of_code.(code)
+              ~ts_us:l.buf.(!i + 1) ~dur_us:l.buf.(!i + 2) ();
+            i := !i + 3
+          done;
+          if l.dropped then
+            Sink.instant sink ~cat:"profile" ~tid:w ~name:"profile.spans_dropped"
+              ~ts_us:l.p_end ())
+        s.lanes;
+      (* flush per-ring pending GC spans, then emit the GC buffer *)
+      Mutex.lock s.gc_lock;
+      for ring = 0 to max_rings - 1 do
+        if s.gc_p_active.(ring) then begin
+          s.gc_p_active.(ring) <- false;
+          Sink.complete sink ~cat:"profile" ~tid:(tid_of_ring s ring)
+            ~name:name_of_code.(gc_code) ~ts_us:s.gc_p_ts.(ring)
+            ~dur_us:(s.gc_p_end.(ring) -. s.gc_p_ts.(ring)) ()
+        end
+      done;
+      let i = ref 0 in
+      while !i < s.gc_len do
+        let ring = int_of_float s.gc_buf.(!i) in
+        Sink.complete sink ~cat:"profile" ~tid:(tid_of_ring s ring)
+          ~name:name_of_code.(gc_code) ~ts_us:s.gc_buf.(!i + 1)
+          ~dur_us:s.gc_buf.(!i + 2) ();
+        i := !i + 3
+      done;
+      if s.gc_dropped then
+        Sink.instant sink ~cat:"profile" ~tid:0 ~name:"profile.spans_dropped"
+          ~ts_us:0.0 ()
+      ;
+      Mutex.unlock s.gc_lock
+    end
+
+let total_us t phase =
+  match t with
+  | Null -> 0.0
+  | On s ->
+    if phase = Gc then Array.fold_left ( +. ) 0.0 s.gc_totals
+    else
+      let code = code_of_phase phase in
+      Array.fold_left (fun acc (l : lane) -> acc +. l.totals.(code)) 0.0 s.lanes
+
+let span_count t =
+  match t with
+  | Null -> 0
+  | On s ->
+    let lane_spans =
+      Array.fold_left
+        (fun acc (l : lane) ->
+          acc + (l.len / 3) + (if l.p_code >= 0 then 1 else 0))
+        0 s.lanes
+    in
+    let gc_pending =
+      Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 s.gc_p_active
+    in
+    lane_spans + (s.gc_len / 3) + gc_pending
+
+let summary_json t =
+  match t with
+  | Null -> Json.Null
+  | On s ->
+    let worker_phase code =
+      let per =
+        Array.to_list
+          (Array.map (fun (l : lane) -> Json.Float l.totals.(code)) s.lanes)
+      in
+      let count =
+        Array.fold_left (fun acc (l : lane) -> acc + l.counts.(code)) 0 s.lanes
+      in
+      let total =
+        Array.fold_left (fun acc (l : lane) -> acc +. l.totals.(code)) 0.0 s.lanes
+      in
+      Json.Obj
+        [ ("count", Json.Int count);
+          ("total_us", Json.Float total);
+          ("per_worker_us", Json.List per) ]
+    in
+    let gc_phase =
+      let per = Array.make s.workers 0.0 in
+      for ring = 0 to max_rings - 1 do
+        if s.gc_totals.(ring) > 0.0 then begin
+          let tid = tid_of_ring s ring in
+          if tid >= 0 && tid < s.workers then per.(tid) <- per.(tid) +. s.gc_totals.(ring)
+        end
+      done;
+      Json.Obj
+        [ ("count", Json.Int (Array.fold_left ( + ) 0 s.gc_counts));
+          ("total_us", Json.Float (Array.fold_left ( +. ) 0.0 s.gc_totals));
+          ( "per_worker_us",
+            Json.List (Array.to_list (Array.map (fun v -> Json.Float v) per)) ) ]
+    in
+    Json.Obj
+      [ ( "phases",
+          Json.Obj
+            [ ("expand", worker_phase 0);
+              ("steal", worker_phase 1);
+              ("barrier_wait", worker_phase 2);
+              ("shard_lock", worker_phase 3);
+              ("gc", gc_phase) ] );
+        ("workers", Json.Int s.workers);
+        ("spans_stored", Json.Int (span_count t));
+        ( "spans_dropped",
+          Json.Bool
+            (s.gc_dropped
+            || Array.exists (fun (l : lane) -> l.dropped) s.lanes) );
+        ("coalesce_us", Json.Float s.coalesce_us) ]

@@ -1,0 +1,102 @@
+(** Per-domain phase profiler for the exploration engines.
+
+    Attributes wall time to the phases a worker domain can be in —
+    expanding nodes, stealing, waiting at a stratum barrier, blocked on a
+    seen-set shard lock, or inside the OCaml runtime (GC) — and renders
+    the result as per-worker timeline lanes in the existing Chrome
+    [trace_event] sink, one [tid] per worker.
+
+    The contract mirrors {!Sink}: the default {!null} profiler makes every
+    hook a no-op ({!start} does not even read the clock), so engines can
+    instrument unconditionally and pay nothing when profiling is off.
+
+    Concurrency discipline: each worker records only into its own slot
+    ([record] with its own [worker] index), so the hot path takes no lock.
+    GC spans come from the runtime's own [Runtime_events] ring buffers,
+    polled by whichever single domain drives the ticker; they are kept in
+    a separate buffer guarded by the poll lock, never touching the
+    per-worker slots. {!flush} and {!summary_json} are for after the
+    workers have joined.
+
+    Span volume: a big run expands millions of nodes; one trace event per
+    expansion would produce gigabyte traces. Consecutive spans of the same
+    phase separated by at most [coalesce_us] are merged into one rendered
+    span (the gap is included in its duration), and each worker stores at
+    most [max_spans] spans — on overflow it stops storing and the trace
+    gains a [profile.spans_dropped] instant. The per-phase aggregate
+    counts and totals ({!summary_json}, {!total_us}) are exact and
+    unaffected by coalescing or overflow. *)
+
+type phase =
+  | Expand  (** running atomic blocks and integrating successors *)
+  | Steal  (** scanning peer deques after the local deque drained *)
+  | Barrier_wait  (** inside {!Barrier.await} between strata *)
+  | Shard_lock  (** blocked acquiring a contended seen-set shard lock *)
+  | Gc  (** inside the OCaml runtime (GC slices, from [Runtime_events]) *)
+
+val phase_name : phase -> string
+(** ["expand"], ["steal"], ["barrier_wait"], ["shard_lock"], ["gc"]. *)
+
+type t
+
+val null : t
+(** Every operation is a no-op; {!start} returns [0.] without reading the
+    clock. *)
+
+val enabled : t -> bool
+
+val create : ?coalesce_us:float -> ?max_spans:int -> workers:int -> unit -> t
+(** A profiler for [workers] worker lanes (sequential engines use
+    [~workers:1] and record as worker 0). [coalesce_us] (default [50.])
+    merges same-phase spans separated by at most that many microseconds;
+    [max_spans] (default [100_000]) caps stored spans per worker. *)
+
+(** {2 Hot-path hooks} *)
+
+val start : t -> float
+(** The timestamp to pass back to {!record}; [0.] when disabled. *)
+
+val record : t -> worker:int -> phase -> t0:float -> unit
+(** Close the span opened at [t0] (from {!start}) and attribute it to
+    [phase] on [worker]'s lane. Must be called from the worker that owns
+    the slot. No-op when disabled. *)
+
+(** {2 GC attribution via [Runtime_events]} *)
+
+val start_gc : t -> unit
+(** Start the runtime's event ring and attach a cursor. Idempotent;
+    best-effort — failure to start (e.g. an exotic runtime) disables GC
+    attribution and nothing else. No-op when disabled. *)
+
+val register_worker : t -> worker:int -> unit
+(** Map the calling domain to [worker], so runtime events from its ring
+    render on that worker's lane. Call once from each worker domain (and
+    from the main domain for sequential runs). *)
+
+val poll_gc : t -> unit
+(** Drain pending runtime events into GC spans. Rate-limited internally
+    and guarded by a try-lock, so it is safe (and cheap) to call from the
+    engines' existing tick points on any domain. *)
+
+val stop_gc : t -> unit
+(** Final poll and cursor release. Idempotent. *)
+
+(** {2 Output (after workers join)} *)
+
+val flush : t -> Sink.t -> unit
+(** Emit the recorded timeline: a [thread_name] metadata record per
+    worker lane, every stored span as a complete event ([cat:"profile"],
+    [tid] = worker), and a [profile.spans_dropped] instant per lane that
+    overflowed. *)
+
+val summary_json : t -> Json.t
+(** Exact per-phase aggregates:
+    [{"phases": {"expand": {"count", "total_us", "per_worker_us"}, …},
+      "workers", "spans_stored", "spans_dropped", "coalesce_us"}]. *)
+
+val total_us : t -> phase -> float
+(** Exact total wall time attributed to [phase] across workers (for
+    tests); [0.] when disabled. *)
+
+val span_count : t -> int
+(** Stored (post-coalescing) span count across workers, GC included. *)

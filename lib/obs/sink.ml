@@ -69,6 +69,25 @@ let counter t ?(cat = "metric") ?tid ~name ~ts_us ~values () =
          ~args:(List.map (fun (k, v) -> (k, Json.Float v)) values)
          ())
 
+(** Name a timeline lane: the Chrome [thread_name] metadata record, so a
+    per-domain trace renders as "worker 0", "worker 1", … instead of bare
+    tids. *)
+let thread_name t ~tid name =
+  if enabled t then
+    emit t
+      (Json.Obj
+         [ ("name", Json.String "thread_name");
+           ("ph", Json.String "M");
+           ("pid", Json.Int pid);
+           ("tid", Json.Int tid);
+           ("args", Json.Obj [ ("name", Json.String name) ]) ])
+
+(** Write an arbitrary record. On a [jsonl] sink this is one line of the
+    stream (the telemetry time series uses it); on a [chrome] sink the
+    object lands in the [traceEvents] array, so it should carry a [ph]
+    field if a viewer is meant to render it. *)
+let raw t j = if enabled t then emit t j
+
 (** Time a thunk and record it as a complete span. The [Null] sink runs the
     thunk directly without touching the clock. *)
 let with_span t ?cat ?tid ?(args = []) ~name f =

@@ -32,6 +32,15 @@ val counter :
   values:(string * float) list -> unit -> unit
 (** A counter sample ([ph:"C"]); viewers chart each key as a series. *)
 
+val thread_name : t -> tid:int -> string -> unit
+(** Chrome [thread_name] metadata: label the [tid] lane (e.g. "worker 3")
+    in trace viewers. *)
+
+val raw : t -> Json.t -> unit
+(** Write one record verbatim: a line on a [jsonl] sink (the telemetry
+    time series), an element of the [traceEvents] array on a [chrome]
+    sink. No-op on {!null}. *)
+
 val with_span :
   t -> ?cat:string -> ?tid:int -> ?args:arg list -> name:string -> (unit -> 'a) -> 'a
 (** Time a thunk on the monotonic clock and record it as a complete span

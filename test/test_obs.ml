@@ -9,9 +9,21 @@ module Sink = P_obs.Sink
 module Mclock = P_obs.Mclock
 module Sem_trace = P_obs.Sem_trace
 
+module Profile = P_obs.Profile
+module Telemetry = P_obs.Telemetry
+module Machine_info = P_obs.Machine_info
+
 let check = Alcotest.check
 let bool_t = Alcotest.bool
 let int_t = Alcotest.int
+
+(* The multi-domain tests run at this width — the CI matrix exercises the
+   suite at PCAML_TEST_DOMAINS 1 and 4 (same convention as
+   test_quickcheck.ml). *)
+let domains_under_test =
+  match Option.bind (Sys.getenv_opt "PCAML_TEST_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 && n <= 128 -> n
+  | Some _ | None -> 4
 
 let tab_of p = P_static.Check.run_exn p
 
@@ -309,6 +321,258 @@ let test_host_callback_histogram () =
   check int_t "latency observations" 10 s.h_count;
   check bool_t "latencies positive" true (s.h_sum > 0.0)
 
+(* ---------------- concurrent emission: histograms ---------------- *)
+
+(* N domains hammer the same named histogram concurrently; each lands in
+   its own registry shard, and the merged summary must account for every
+   single observation — the shard-merge contract under real races, not
+   just after a polite single-writer run. *)
+let test_histogram_multi_domain_race () =
+  let n = domains_under_test in
+  let per_domain = 10_000 in
+  let reg = Metrics.create () in
+  let worker d () =
+    let h = Metrics.histogram reg ~buckets:[| 0.5 |] "race.hist" in
+    for i = 1 to per_domain do
+      (* deterministic values: half below the 0.5 bound, half above *)
+      Metrics.observe h (if i land 1 = 0 then 0.25 else 0.75)
+    done;
+    ignore d
+  in
+  let domains = List.init n (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  let s = Metrics.histogram_summary (Metrics.histogram reg "race.hist") in
+  check int_t "every observation counted" (n * per_domain) s.h_count;
+  check bool_t "sum exact" true
+    (Float.abs (s.h_sum -. (float_of_int (n * per_domain) *. 0.5)) < 1e-6);
+  check bool_t "buckets split evenly" true
+    (List.map snd s.h_buckets = [ n * per_domain / 2; n * per_domain / 2 ])
+
+(* ---------------- concurrent emission: profiler spans ---------------- *)
+
+let phase_count summary phase =
+  match Json.path summary [ "phases"; Profile.phase_name phase; "count" ] with
+  | Some (Json.Int n) -> n
+  | _ -> -1
+
+(* N worker domains record into their own profiler lanes concurrently.
+   The per-phase aggregate counts are exact (unaffected by coalescing),
+   so every recorded span must be accounted for, attributed to the right
+   phase. *)
+let test_profiler_multi_domain_race () =
+  let n = domains_under_test in
+  let per_worker = 2_000 in
+  let p = Profile.create ~workers:n () in
+  check bool_t "enabled" true (Profile.enabled p);
+  let worker w () =
+    Profile.register_worker p ~worker:w;
+    for i = 1 to per_worker do
+      let t0 = Profile.start p in
+      let phase = if i land 1 = 0 then Profile.Expand else Profile.Steal in
+      Profile.record p ~worker:w phase ~t0
+    done
+  in
+  let domains = List.init n (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join domains;
+  let summary = Profile.summary_json p in
+  check int_t "expand spans all counted" (n * per_worker / 2)
+    (phase_count summary Profile.Expand);
+  check int_t "steal spans all counted" (n * per_worker / 2)
+    (phase_count summary Profile.Steal);
+  check bool_t "stored spans exist" true (Profile.span_count p > 0);
+  (* the flushed trace is valid JSONL: one thread_name lane per worker,
+     profile spans with tid inside [0, n) *)
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let sink = Sink.jsonl oc in
+      Profile.flush p sink;
+      Sink.close sink;
+      close_out oc;
+      let lines =
+        read_file path |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+        |> List.map Json.of_string
+      in
+      let lanes =
+        List.filter
+          (fun j -> Json.member "name" j = Some (Json.String "thread_name"))
+          lines
+      in
+      check int_t "one lane per worker" n (List.length lanes);
+      let spans =
+        List.filter
+          (fun j -> Json.member "cat" j = Some (Json.String "profile"))
+          lines
+      in
+      check bool_t "spans flushed" true (spans <> []);
+      check bool_t "span tids within worker range" true
+        (List.for_all
+           (fun j ->
+             match Json.member "tid" j with
+             | Some (Json.Int tid) -> tid >= 0 && tid < n
+             | _ -> false)
+           spans))
+
+(* Coalescing merges back-to-back same-phase spans into one stored span
+   while the aggregate count stays exact; the null profiler does nothing
+   and reads as zero. *)
+let test_profiler_coalescing_and_null () =
+  let p = Profile.create ~coalesce_us:1e9 ~workers:1 () in
+  Profile.register_worker p ~worker:0;
+  for _ = 1 to 100 do
+    let t0 = Profile.start p in
+    Profile.record p ~worker:0 Profile.Expand ~t0
+  done;
+  check int_t "aggregate count exact" 100
+    (phase_count (Profile.summary_json p) Profile.Expand);
+  check int_t "coalesced to one stored span" 1 (Profile.span_count p);
+  check bool_t "total time non-negative" true
+    (Profile.total_us p Profile.Expand >= 0.0);
+  (* null profiler: free and silent *)
+  check bool_t "null disabled" false (Profile.enabled Profile.null);
+  check bool_t "null start is 0" true (Profile.start Profile.null = 0.0);
+  Profile.record Profile.null ~worker:0 Profile.Gc ~t0:0.0;
+  Profile.poll_gc Profile.null;
+  check bool_t "null totals zero" true
+    (Profile.total_us Profile.null Profile.Expand = 0.0);
+  check int_t "null span count" 0 (Profile.span_count Profile.null)
+
+(* ---------------- telemetry ---------------- *)
+
+let test_telemetry_sampling () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let sink = Sink.jsonl oc in
+      let seen = ref [] in
+      (* interval 0: every tick is due *)
+      let t =
+        Telemetry.create ~interval_us:0.0 ~sink
+          ~on_sample:(fun s -> seen := s :: !seen)
+          ()
+      in
+      check bool_t "enabled" true (Telemetry.enabled t);
+      (* no probe installed yet: ticks are no-ops *)
+      Telemetry.tick t;
+      check int_t "no probe, no sample" 0 (Telemetry.samples_taken t);
+      let states = ref 0 in
+      Telemetry.set_probe t (fun () ->
+          { Telemetry.states = !states;
+            transitions = 2 * !states;
+            frontier = 7.0;
+            steals = 3;
+            steal_attempts = 4 });
+      states := 1_000;
+      Telemetry.tick t;
+      states := 3_000;
+      Telemetry.force t;
+      close_out oc;
+      check int_t "two samples" 2 (Telemetry.samples_taken t);
+      (match !seen with
+      | [ s2; s1 ] ->
+        check int_t "first sample states" 1_000 s1.Telemetry.states;
+        check int_t "second sample states" 3_000 s2.Telemetry.states;
+        check bool_t "rate positive between samples" true
+          (s2.Telemetry.states_per_s > 0.0);
+        check bool_t "steal success rate" true
+          (Float.abs (s2.Telemetry.steal_success_rate -. 0.75) < 1e-9);
+        check bool_t "frontier carried" true (s2.Telemetry.frontier = 7.0);
+        check bool_t "bytes per state positive" true
+          (s2.Telemetry.bytes_per_state > 0.0)
+      | _ -> Alcotest.fail "expected exactly two samples");
+      (* the JSONL stream: one meta header carrying the machine block and
+         the allocation-scope caveat, then one record per sample *)
+      let lines =
+        read_file path |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+        |> List.map Json.of_string
+      in
+      (match lines with
+      | meta :: samples ->
+        check bool_t "meta header first" true
+          (Json.member "type" meta = Some (Json.String "meta"));
+        check bool_t "meta has machine block" true
+          (Json.path meta [ "machine"; "cores" ] <> None);
+        check bool_t "meta flags alloc scope" true
+          (Json.member "alloc_scope" meta
+          = Some (Json.String "sampling-domain"));
+        check int_t "one line per sample" 2 (List.length samples);
+        check bool_t "samples typed" true
+          (List.for_all
+             (fun j -> Json.member "type" j = Some (Json.String "sample"))
+             samples)
+      | [] -> Alcotest.fail "telemetry file empty");
+      (* null telemetry: free *)
+      check bool_t "null disabled" false (Telemetry.enabled Telemetry.null);
+      Telemetry.tick Telemetry.null;
+      Telemetry.force Telemetry.null;
+      check int_t "null takes no samples" 0
+        (Telemetry.samples_taken Telemetry.null))
+
+(* ---------------- machine context ---------------- *)
+
+let test_machine_info () =
+  check bool_t "cores positive" true (Machine_info.cores () >= 1);
+  let doc = Json.of_string (Json.to_string (Machine_info.json ())) in
+  check bool_t "cores" true
+    (Json.member "cores" doc = Some (Json.Int (Machine_info.cores ())));
+  check bool_t "ocaml version" true
+    (Json.member "ocaml_version" doc = Some (Json.String Sys.ocaml_version));
+  check bool_t "word size" true
+    (Json.member "word_size" doc = Some (Json.Int Sys.word_size));
+  (* git_rev is a 40-hex commit inside a checkout, null elsewhere (the
+     dune sandbox qualifies as elsewhere) *)
+  (match Json.member "git_rev" doc with
+  | Some Json.Null -> ()
+  | Some (Json.String rev) ->
+    check bool_t "rev is 40-hex" true
+      (String.length rev = 40
+      && String.for_all
+           (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+           rev)
+  | _ -> Alcotest.fail "git_rev missing");
+  (* fields () splices to the same content as json () *)
+  check bool_t "fields = json" true
+    (Json.Obj (Machine_info.fields ()) = Machine_info.json ())
+
+(* ---------------- end-to-end: instrumented parallel run -------------- *)
+
+(* The full stack at once: the parallel engine under metrics + profiler +
+   telemetry must produce the same verdict and counts as a bare run, while
+   yielding expand spans and at least one telemetry sample. *)
+let test_parallel_profiled_run () =
+  let tab = tab_of (P_examples_lib.Elevator.program ()) in
+  let plain =
+    Parallel.explore ~domains:domains_under_test ~delay_bound:2
+      ~max_states:200_000 tab
+  in
+  let profiler = Profile.create ~workers:domains_under_test () in
+  let samples = ref 0 in
+  let telemetry =
+    Telemetry.create ~interval_us:0.0 ~on_sample:(fun _ -> incr samples) ()
+  in
+  let reg = Metrics.create () in
+  let instr = Search.instr ~metrics:reg ~profile:profiler ~telemetry () in
+  let r =
+    Parallel.explore ~domains:domains_under_test ~delay_bound:2
+      ~max_states:200_000 ~instr tab
+  in
+  (* a short run may finish between ticker firings; the engines' callers
+     (pc verify) force a final sample, and so does this test *)
+  Telemetry.force telemetry;
+  check int_t "states identical under full instrumentation"
+    plain.stats.states r.stats.states;
+  check int_t "transitions identical" plain.stats.transitions
+    r.stats.transitions;
+  check bool_t "expand time attributed" true
+    (Profile.total_us profiler Profile.Expand > 0.0);
+  (* one Expand span per node popped; the work-stealing engine expands
+     each state at most once, so the exact aggregate count is bounded by
+     the state count *)
+  let expands = phase_count (Profile.summary_json profiler) Profile.Expand in
+  check bool_t "expand spans cover the run" true
+    (expands > 0 && expands <= r.stats.states);
+  check bool_t "telemetry sampled" true (!samples >= 1)
+
 (* ---------------- the monotonic clock ---------------- *)
 
 let test_mclock_monotonic () =
@@ -334,6 +598,16 @@ let suite =
       test_chrome_trace_roundtrip;
     Alcotest.test_case "sink: jsonl lines parse" `Quick test_jsonl_sink_lines_parse;
     Alcotest.test_case "sink: null is free" `Quick test_null_sink_disabled;
+    Alcotest.test_case "metrics: histogram multi-domain race" `Quick
+      test_histogram_multi_domain_race;
+    Alcotest.test_case "profile: multi-domain span race" `Quick
+      test_profiler_multi_domain_race;
+    Alcotest.test_case "profile: coalescing and null" `Quick
+      test_profiler_coalescing_and_null;
+    Alcotest.test_case "telemetry: sampling" `Quick test_telemetry_sampling;
+    Alcotest.test_case "machine: context block" `Quick test_machine_info;
+    Alcotest.test_case "e2e: instrumented parallel run" `Quick
+      test_parallel_profiled_run;
     Alcotest.test_case "report: stats-json states field" `Quick
       test_stats_json_states_field;
     Alcotest.test_case "runtime: metrics counters" `Quick test_runtime_metrics;
