@@ -5,7 +5,10 @@
    Usage:  dune exec bench/main.exe            (all experiments, bounded)
            dune exec bench/main.exe -- fig7    (Figure 7 sweep)
            dune exec bench/main.exe -- bugs    (bug-finding at low delay bounds)
-           dune exec bench/main.exe -- fig8    (Figure 8 table)
+           dune exec bench/main.exe -- fig8    (Figure 8 table + per-store deep run;
+                                                --store exact|compact|bitstate
+                                                selects one store, --smoke shrinks
+                                                the budgets to CI scale)
            dune exec bench/main.exe -- overhead (section 4.1 comparison)
            dune exec bench/main.exe -- ablation (design-choice ablations)
            dune exec bench/main.exe -- digest-throughput
@@ -194,6 +197,72 @@ let fig8 ?(max_states = 250_000) ?(delay_bound = 1) () =
     "(+ = budget hit: the space is larger, like the paper's millions; multiply\n\
     \ states/s by the paper's runtimes to compare scale)";
   record "fig8" (Json.List (List.rev !rows))
+
+(* Figure 8, continued: one paper-scale exploration of the USB stack per
+   state store. The paper's table reaches millions of states on an
+   hours-scale testbed; the compact store holds a run of that class in a
+   flat off-heap fingerprint arena (no per-state heap allocation, several
+   times fewer bytes per state than the exact hashtable), and bitstate
+   reports an explicit omission bound for the states it may merge away.
+   Every row records the store's measured footprint so [bench compare]
+   gates memory, not just wall clock. *)
+let store_kinds = [ State_store.Exact; State_store.Compact; State_store.Bitstate ]
+
+let fig8_stores ?(max_states = 1_050_000) ?(delay_bound = 1)
+    ?(stores = store_kinds) () =
+  line "== Figure 8 (deep): USB stack, one run per state store ==";
+  line "   (d=%d, %d-state budget; 'vs exact' is the bytes-per-state reduction"
+    delay_bound max_states;
+  line "    relative to the exact store's hashtable footprint)";
+  let tab = tab_of (P_usb.Stack.program ()) in
+  line "%-9s %9s %12s %8s %10s %9s %8s %9s" "store" "explored" "transitions"
+    "time(s)" "states/s" "store MB" "B/state" "vs exact";
+  let exact_bps = ref 0.0 in
+  let rows = ref [] in
+  List.iter
+    (fun store ->
+      let r = Delay_bounded.explore ~store ~delay_bound ~max_states tab in
+      let st =
+        match r.stats.store with
+        | Some st -> st
+        | None -> Fmt.failwith "run carries no store summary"
+      in
+      let bps =
+        if r.stats.states = 0 then 0.0
+        else float_of_int st.State_store.s_bytes /. float_of_int r.stats.states
+      in
+      if store = State_store.Exact then exact_bps := bps;
+      let reduction =
+        if bps > 0.0 && !exact_bps > 0.0 then !exact_bps /. bps else 0.0
+      in
+      line "%-9s %8d%s %12d %8.2f %10.0f %9.1f %8.1f %9s"
+        (State_store.kind_to_string store)
+        r.stats.states
+        (if r.stats.truncated then "+" else " ")
+        r.stats.transitions r.stats.elapsed_s
+        (float_of_int r.stats.states /. r.stats.elapsed_s)
+        (float_of_int st.State_store.s_bytes /. 1e6)
+        bps
+        (if reduction > 0.0 && store <> State_store.Exact then
+           Fmt.str "%.1fx" reduction
+         else "-");
+      rows :=
+        Json.Obj
+          ([ ("store", Json.String (State_store.kind_to_string store));
+             ("stats", json_of_stats r.stats);
+             ( "store_mb",
+               Json.Float (float_of_int st.State_store.s_bytes /. 1e6) );
+             ("bytes_per_state", Json.Float bps);
+             ("occupancy", Json.Float st.State_store.s_occupancy);
+             ("omission_bound", Json.Float st.State_store.s_omission_bound);
+             ("lossy_dups", Json.Int st.State_store.s_lossy_dups) ]
+          @
+          if reduction > 0.0 && store <> State_store.Exact then
+            [ ("reduction_vs_exact", Json.Float reduction) ]
+          else [])
+        :: !rows)
+    stores;
+  record "fig8_store" (Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
 (* Section 4.1: generated-driver efficiency                            *)
@@ -681,7 +750,7 @@ let classify key (v : Json.t) : direction option =
   if ends_with "per_s" key || key = "speedup" then Some Higher_better
   else if
     ends_with "elapsed_s" key || ends_with "_ns" key || key = "ns_per_run"
-    || ends_with "_mb" key
+    || ends_with "_mb" key || key = "bytes_per_state"
   then Some Lower_better
   else
     match (key, v) with
@@ -712,7 +781,7 @@ let label_of_item fields =
   let base =
     List.find_map find
       [ "benchmark"; "machine"; "driver"; "name"; "scheduler"; "search";
-        "append"; "mode" ]
+        "append"; "mode"; "store" ]
   in
   let discs =
     List.filter_map
@@ -891,6 +960,8 @@ let all () =
   hr ();
   fig8 ();
   hr ();
+  fig8_stores ();
+  hr ();
   overhead ();
   hr ();
   ablation ();
@@ -945,7 +1016,29 @@ let () =
   (match args with
   | "fig7" :: _ -> fig7 ()
   | "bugs" :: _ -> bugs ()
-  | "fig8" :: _ -> fig8 ()
+  | "fig8" :: rest ->
+    let smoke, rest = extract_flag "--smoke" rest in
+    let store_s, _rest = extract_value "--store" rest in
+    let stores =
+      match store_s with
+      | None -> store_kinds
+      | Some s -> (
+        match State_store.kind_of_string s with
+        | Ok k -> [ k ]
+        | Error e ->
+          prerr_endline ("bench fig8: " ^ e);
+          exit 2)
+    in
+    if smoke then begin
+      fig8 ~max_states:2_000 ();
+      hr ();
+      fig8_stores ~max_states:20_000 ~stores ()
+    end
+    else begin
+      fig8 ();
+      hr ();
+      fig8_stores ~stores ()
+    end
   | "overhead" :: _ -> overhead ()
   | "ablation" :: _ -> ablation ()
   | "parallel" :: _ | "scaling" :: _ ->
@@ -988,6 +1081,8 @@ let () =
     fig7 ~max_states:2_000 ~bounds:[ 0; 1 ] ();
     hr ();
     fig8 ~max_states:2_000 ();
+    hr ();
+    fig8_stores ~max_states:5_000 ();
     hr ();
     overhead ~events:50 ();
     hr ();

@@ -105,7 +105,10 @@ let make_heartbeat () =
         x.elapsed_s x.states x.states_per_s x.transitions x.transitions_per_s
         x.frontier
         (100.0 *. x.steal_success_rate)
-        x.bytes_per_state x.heap_mb
+        x.bytes_per_state x.heap_mb;
+      if x.store_mb > 0.0 then
+        Fmt.epr "pc:   store: %.1f MB (%.1f B/state)@." x.store_mb
+          x.store_bytes_per_state
     end
 
 (* Provenance string recorded in counterexample artifacts, so [pc replay] /
@@ -136,13 +139,20 @@ let default_ce_path file example =
   | _ -> "counterexample.jsonl"
 
 let run_verify file example delay_bound max_states liveness show_trace domains
-    fingerprint stats_json trace_out profile_out progress seed ce_out no_ce =
+    fingerprint store store_capacity stats_json trace_out profile_out progress
+    seed ce_out no_ce =
   (match (seed, domains) with
   | Some _, Some _ -> or_die (Error "--seed is not supported with --domains")
   | _ -> ());
   Option.iter check_domain_count domains;
   let program = or_die (load_program file example) in
   let fingerprint = or_die (P_checker.Fingerprint.mode_of_string fingerprint) in
+  let store = or_die (P_checker.State_store.kind_of_string store) in
+  (match store_capacity with
+  | Some c when c < 1 -> or_die (Error "--store-capacity must be positive")
+  | Some _ when store = P_checker.State_store.Exact ->
+    or_die (Error "--store-capacity only applies to --store compact|bitstate")
+  | _ -> ());
   let metrics =
     match stats_json with None -> None | Some _ -> Some (P_obs.Metrics.create ())
   in
@@ -183,7 +193,7 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   P_obs.Profile.start_gc profiler;
   let report =
     P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~fingerprint
-      ?seed ?domains ~instr program
+      ~store ?store_capacity ?seed ?domains ~instr program
   in
   P_obs.Telemetry.force telemetry;
   telemetry_sink_close ();
@@ -260,6 +270,30 @@ let verify_cmd =
              the checker.fp_collisions metric). Verdicts and state counts \
              are identical in every mode.")
   in
+  let store =
+    Arg.(
+      value
+      & opt string "exact"
+      & info [ "store" ] ~docv:"KIND"
+          ~doc:
+            "Seen-set representation: $(b,exact) (string-keyed hashtable, \
+             ground truth, the default), $(b,compact) (open-addressing \
+             64-bit fingerprint arena off the OCaml heap \u{2014} \u{2265}4x \
+             smaller, lock-free CAS claims under $(b,--domains), merges \
+             distinct states only on a 47-bit tag collision), or \
+             $(b,bitstate) (double-hashed bit array, smallest footprint, \
+             reports an expected-omission bound; never un-finds an error).")
+  in
+  let store_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "store-capacity" ] ~docv:"N"
+          ~doc:
+            "Arena size for $(b,--store compact) (slots) or $(b,bitstate) \
+             (bits); rounded up to a power of two. Default: sized from \
+             $(b,--max-states).")
+  in
   let stats_json =
     Arg.(
       value
@@ -327,8 +361,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Systematic testing with the causal delay-bounded scheduler.")
     Term.(
       const run_verify $ file_arg $ example_arg $ delay $ max_states $ liveness $ trace
-      $ domains $ fingerprint $ stats_json $ trace_out $ profile_out $ progress
-      $ seed $ ce_out $ no_ce)
+      $ domains $ fingerprint $ store $ store_capacity $ stats_json $ trace_out
+      $ profile_out $ progress $ seed $ ce_out $ no_ce)
 
 (* ---------------- random ---------------- *)
 

@@ -29,14 +29,17 @@ let rotate_k = Engine.rotate_k
 let apply_outcome = Engine.apply_outcome
 
 (** Explore all schedules of at most [delay_bound] delays. [max_states]
-    and [max_depth] truncate the search (reported in the stats). *)
+    and [max_depth] truncate the search (reported in the stats). [store]
+    picks the seen-set representation ({!State_store.kind}, default
+    [Exact]). *)
 let explore ?(max_states = 1_000_000) ?(max_depth = max_int) ?(discipline = Causal)
     ?(dedup = true) ?(fingerprint = Fingerprint.Incremental)
-    ?(resolver = Engine.Exhaustive) ?(instr = Search.no_instr) ~delay_bound
+    ?(resolver = Engine.Exhaustive) ?(store = State_store.Exact)
+    ?store_capacity ?(instr = Search.no_instr) ~delay_bound
     (tab : P_static.Symtab.t) : Search.result =
   let spec =
     Engine.spec ~bound:delay_bound ~dedup ~max_states ~max_depth
-      ~fp_mode:fingerprint ~resolver
+      ~fp_mode:fingerprint ~resolver ~store ?store_capacity
       (Engine.stack_sched discipline)
   in
   Engine.run ~instr ~engine:"delay_bounded"

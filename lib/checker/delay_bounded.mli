@@ -39,6 +39,8 @@ val explore :
   ?dedup:bool ->
   ?fingerprint:Fingerprint.mode ->
   ?resolver:Engine.resolver ->
+  ?store:State_store.kind ->
+  ?store_capacity:int ->
   ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->
@@ -51,7 +53,10 @@ val explore :
     [dedup:false] disables the [⊕] queue append (ablation only).
     [fingerprint] selects the state-key strategy (default
     [Incremental]; see {!Fingerprint.mode}) — the verdict and counts are
-    identical in every mode. [resolver] (default [Exhaustive]) switches
+    identical in every mode. [store] picks the seen-set representation
+    (default [Exact]; [Compact] and [Bitstate] trade ground truth for an
+    off-heap arena — see {!State_store} — and report their omission bound
+    in [stats.store]). [resolver] (default [Exhaustive]) switches
     ghost [*] resolution to sampling — one drawn outcome per block instead
     of all of them — for seeded reproducible runs ([pc verify --seed]). [instr] reports metrics, a lifecycle span,
     and progress heartbeats while the search runs; the result is identical

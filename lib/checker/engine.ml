@@ -166,12 +166,16 @@ type 'sched spec = {
   max_states : int;
   max_depth : int;
   fp_mode : Fingerprint.mode;
+  store : State_store.kind;  (** seen-set representation (default exact) *)
+  store_capacity : int option;
+      (** arena slots/bits override; [None] sizes from [max_states] *)
 }
 
 let spec ?(bound = max_int) ?(truncate_on_exhaust = false) ?(frontier = Bfs)
     ?(resolver = Exhaustive) ?(track_seen = true) ?(dedup = true)
     ?(stop_on_error = true) ?(max_states = 1_000_000) ?(max_depth = max_int)
-    ?(fp_mode = Fingerprint.Incremental) scheduler =
+    ?(fp_mode = Fingerprint.Incremental) ?(store = State_store.Exact)
+    ?store_capacity scheduler =
   { scheduler;
     bound;
     truncate_on_exhaust;
@@ -182,7 +186,9 @@ let spec ?(bound = max_int) ?(truncate_on_exhaust = false) ?(frontier = Bfs)
     stop_on_error;
     max_states;
     max_depth;
-    fp_mode }
+    fp_mode;
+    store;
+    store_capacity }
 
 (* ------------------------------------------------------------------ *)
 (* The core                                                            *)
@@ -205,7 +211,7 @@ type edge = { parent : int; move : int; choices : bool list }
 type 'sched t = {
   tab : Symtab.t;
   spec : 'sched spec;
-  seen : (string, int * int) Hashtbl.t;  (* digest -> (state idx, min spent) *)
+  seen : State_store.t option;  (* None iff [track_seen] is off *)
   edges : edge option Dynarray.t;  (* indexed by node idx; None for the root *)
   stats : Search.stats;
   meters : Search.meters option;
@@ -214,9 +220,11 @@ type 'sched t = {
 }
 
 (* A successor produced by expansion, not yet integrated (the same shape
-   the parallel driver ships from its workers). *)
+   the parallel driver ships from its workers). The state key is either
+   [s_digest] (exact store) or [s_fp] (arena stores) — never both. *)
 type 'sched successor = {
-  s_digest : string;  (* "" when failed or the seen set is off *)
+  s_digest : string;  (* "" when failed, keyed by [s_fp], or seen set off *)
+  s_fp : int;  (* 63-bit fingerprint; 0 when keyed by [s_digest] *)
   s_resolved : Search.resolved;
   s_by : Mid.t;
   s_next : (Config.t * 'sched) option;  (* None = the edge fails *)
@@ -255,8 +263,9 @@ let expand ?expansions ?on_overflow ~fp (t : 'sched t) (node : 'sched node) :
           (match expansions with
           | None -> ()
           | Some c -> P_obs.Metrics.incr c);
-          let mk s_digest s_next =
+          let mk ?(s_fp = 0) s_digest s_next =
             { s_digest;
+              s_fp;
               s_resolved = r;
               s_by = mid;
               s_next;
@@ -273,14 +282,17 @@ let expand ?expansions ?on_overflow ~fp (t : 'sched t) (node : 'sched node) :
           | outcome -> (
             match t.spec.scheduler.apply sched_m outcome with
             | None -> None
-            | Some ((config', sched') as next) ->
-              let digest =
-                match fp with
-                | None -> ""
-                | Some fp ->
-                  Fingerprint.digest fp config' (t.spec.scheduler.encode sched')
-              in
-              Some (mk digest (Some next))))
+            | Some ((config', sched') as next) -> (
+              match fp with
+              | None -> Some (mk "" (Some next))
+              | Some fp ->
+                let extras = t.spec.scheduler.encode sched' in
+                if t.spec.store = State_store.Exact then
+                  Some (mk (Fingerprint.digest fp config' extras) (Some next))
+                else
+                  Some
+                    (mk ~s_fp:(Fingerprint.digest_int fp config' extras) ""
+                       (Some next)))))
         (resolve ?on_overflow t.spec t.tab node.config mid))
     (t.spec.scheduler.moves t.tab node.config node.sched ~budget_left)
 
@@ -375,32 +387,75 @@ let integrate (t : 'sched t) ~push (s : 'sched successor) =
       observe_edge t s (Dst_new sidx);
       enqueue sidx
     end
-    else
-      match Hashtbl.find_opt t.seen s.s_digest with
-      | Some (sidx, best) when best <= s.s_spent ->
-        (match t.meters with
-        | None -> ()
-        | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits);
-        observe_edge t s (Dst_seen sidx)
-      | Some (sidx, _) ->
-        (* reached again with strictly smaller budget spent: the spare
-           budget can reach new successors, so re-expand *)
-        Hashtbl.replace t.seen s.s_digest (sidx, s.s_spent);
-        observe_edge t s (Dst_seen sidx);
-        enqueue sidx
-      | None ->
-        let sidx = record_new () in
-        Hashtbl.replace t.seen s.s_digest (sidx, s.s_spent);
-        observe_edge t s (Dst_new sidx);
-        enqueue sidx
+    else begin
+      (* one merge decision, one observation point: whatever the store
+         answers, exactly one [observe_edge] fires for this transition *)
+      let dst, expand_as =
+        match
+          State_store.claim (Option.get t.seen) ~worker:0 ~digest:s.s_digest
+            ~fp:s.s_fp ~spent:s.s_spent ~new_sidx:t.stats.states
+        with
+        | State_store.New ->
+          let sidx = record_new () in
+          (Dst_new sidx, Some sidx)
+        | State_store.Dup sidx ->
+          (match t.meters with
+          | None -> ()
+          | Some m -> P_obs.Metrics.incr m.Search.m_dedup_hits);
+          (Dst_seen sidx, None)
+        | State_store.Reexpand sidx ->
+          (* reached again with strictly smaller budget spent: the spare
+             budget can reach new successors, so re-expand *)
+          (Dst_seen sidx, Some sidx)
+        | State_store.Dropped ->
+          (* the fixed-capacity store is full: the state is unexplorable,
+             exactly like exhausting [max_states] *)
+          t.stats.truncated <- true;
+          (Dst_seen (-1), None)
+      in
+      observe_edge t s dst;
+      match expand_as with None -> () | Some sidx -> enqueue sidx
+    end
+
+(* Guards shared by both drivers: the lossy stores cannot support every
+   spec. Budgets past the compact store's 15-bit spent field would break
+   the min-spent merge rule silently; observers need real state indices,
+   which bitstate never has. *)
+let check_store_spec ?observer (spec : 'sched spec) =
+  if spec.store <> State_store.Exact then begin
+    if spec.bound > State_store.max_exact_spent then
+      invalid_arg
+        (Printf.sprintf
+           "Engine: the %s store tracks budgets up to %d (bound %d given); \
+            use --store exact"
+           (State_store.kind_to_string spec.store)
+           State_store.max_exact_spent spec.bound);
+    if spec.store = State_store.Bitstate && observer <> None then
+      invalid_arg "Engine: the bitstate store keeps no state indices for observers"
+  end
+
+let make_store ?observer ~workers ~profile (spec : 'sched spec) =
+  if not spec.track_seen then None
+  else
+    Some
+      (State_store.create ?capacity:spec.store_capacity
+         ~need_sidx:(observer <> None && spec.store = State_store.Compact)
+         ~profile ~kind:spec.store ~workers ~max_states:spec.max_states ())
+
+(* The root's key under whichever store the spec picked. *)
+let root_key (spec : 'sched spec) fp config0 sched0 =
+  let extras = spec.scheduler.encode sched0 in
+  if spec.store = State_store.Exact then (Fingerprint.digest fp config0 extras, 0)
+  else ("", Fingerprint.digest_int fp config0 extras)
 
 (* Shared prologue: context, root node, root bookkeeping. *)
 let init_run ?observer ~instr ~engine (spec : 'sched spec) tab ~fp =
+  check_store_spec ?observer spec;
   let stats = Search.new_stats () in
   let t =
     { tab;
       spec;
-      seen = Hashtbl.create 4096;
+      seen = make_store ?observer ~workers:1 ~profile:P_obs.Profile.null spec;
       edges = Dynarray.create ();
       stats;
       meters = Search.meters ~engine instr;
@@ -414,9 +469,10 @@ let init_run ?observer ~instr ~engine (spec : 'sched spec) tab ~fp =
     { config = config0; sched = sched0; spent = 0; depth = 0; idx = 0; sidx = 0 }
   in
   if spec.track_seen then begin
-    let fp = Option.get fp in
-    let digest = Fingerprint.digest fp config0 (spec.scheduler.encode sched0) in
-    Hashtbl.replace t.seen digest (0, 0)
+    let digest, fpi = root_key spec (Option.get fp) config0 sched0 in
+    ignore
+      (State_store.claim (Option.get t.seen) ~worker:0 ~digest ~fp:fpi ~spent:0
+         ~new_sidx:0)
   end;
   stats.states <- 1;
   (match t.meters with
@@ -452,6 +508,9 @@ let run ?(instr = Search.no_instr) ?observer ?(span_args = []) ~engine
   let t, root = init_run ?observer ~instr ~engine spec tab ~fp in
   let finish verdict =
     t.stats.elapsed_s <- P_obs.Mclock.elapsed_s started;
+    (match t.seen with
+    | None -> ()
+    | Some st -> t.stats.store <- Some (State_store.summary st));
     flush_fp_meters t (Option.to_list fp);
     Search.emit_run_span instr ~engine ~t0_us ~stats:t.stats span_args;
     { Search.verdict; stats = t.stats }
@@ -482,12 +541,18 @@ let run ?(instr = Search.no_instr) ?observer ?(span_args = []) ~engine
     match spec.frontier with Bfs -> Queue.length queue | Dfs -> List.length !dfs_stack
   in
   P_obs.Profile.register_worker instr.Search.profile ~worker:0;
+  P_obs.Telemetry.set_meta instr.Search.telemetry
+    [ ("store", P_obs.Json.String (State_store.kind_to_string spec.store)) ];
   P_obs.Telemetry.set_probe instr.Search.telemetry (fun () ->
       { P_obs.Telemetry.states = t.stats.states;
         transitions = t.stats.transitions;
         frontier = float_of_int (frontier_len ());
         steals = 0;
-        steal_attempts = 0 });
+        steal_attempts = 0;
+        store_bytes =
+          (match t.seen with
+          | None -> 0
+          | Some st -> State_store.live_bytes st) });
   push root;
   try
     while not (is_empty ()) do
@@ -557,18 +622,11 @@ module Barrier = struct
     Mutex.unlock b.lock
 end
 
-(* The seen set, split into 2^k mutex-guarded shards keyed by the digest's
-   low bits, so inserts and lookups no longer funnel through one hashtable
-   on one domain. Each shard maps digest -> minimal budget spent (the
-   per-shard min-spent merge rule). *)
-type shard = { sh_lock : Mutex.t; sh_tbl : (string, int) Hashtbl.t }
-
-let shard_bits = 6
-let shard_count = 1 lsl shard_bits
-
 (** Run a spec as a work-stealing parallel search: [domains] workers, each
     owning a Chase–Lev deque ({!Ws_deque}) of nodes, stealing from each
-    other when their own deque drains, over the sharded seen set.
+    other when their own deque drains, over a shared {!State_store} (the
+    exact store shards itself behind mutexes; the compact store arbitrates
+    claims with lock-free CAS on its off-heap arena).
 
     The search is *stratified by budget spent*: zero-cost successors stay
     in the current stratum (pushed on the discovering worker's deque);
@@ -605,10 +663,11 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
   if spec.frontier <> Bfs then
     invalid_arg "Engine.run_parallel: frontier must be Bfs";
   if not spec.track_seen then
-    (* without a seen set there is nothing to shard; the sequential loop is
+    (* without a seen set there is nothing to share; the sequential loop is
        the same search *)
     run ~instr ~span_args ~engine spec tab
   else begin
+    check_store_spec spec;
     let n = max 1 domains in
     let started = P_obs.Mclock.start () in
     let t0_us = P_obs.Mclock.now_us () in
@@ -626,22 +685,23 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     let m_steal_attempts = counter "checker.steal_attempts" in
     let m_steal_retries = counter "checker.steal_retries" in
     let m_contention = counter "checker.shard_contention" in
+    let m_cas_retries = counter "checker.store_cas_retries" in
     let prof = instr.Search.profile in
     let stats = Search.new_stats () in
+    (* ---- shared state ---- *)
+    let store =
+      Option.get (make_store ~workers:n ~profile:prof spec)
+      (* track_seen holds on this branch *)
+    in
     let t =
       { tab;
         spec;
-        seen = Hashtbl.create 1;  (* unused: the sharded set replaces it *)
+        seen = Some store;
         edges = Dynarray.create ();
         stats;
         meters = Search.meters ~engine instr;
         ticker = Search.ticker instr stats;
         observer = None }
-    in
-    (* ---- shared state ---- *)
-    let shards =
-      Array.init shard_count (fun _ ->
-          { sh_lock = Mutex.create (); sh_tbl = Hashtbl.create 512 })
     in
     let states = Atomic.make 0 in
     let pending = Atomic.make 0 in
@@ -650,8 +710,8 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     let error_found = Atomic.make false in
     let truncated = Atomic.make false in
     let deques = Array.init n (fun _ -> Ws_deque.create ()) in
-    (* future-stratum nodes, buffered per worker: spent -> (digest, node) *)
-    let buckets : (int, (string * 'sched node) list) Hashtbl.t array =
+    (* future-stratum nodes, buffered per worker: spent -> (key, node) *)
+    let buckets : (int, (string * int * 'sched node) list) Hashtbl.t array =
       Array.init n (fun _ -> Hashtbl.create 8)
     in
     (* written by worker 0 between the two barrier phases, read by all
@@ -667,7 +727,6 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     let w_steals = Array.make n 0 in
     let w_steal_attempts = Array.make n 0 in
     let w_steal_retries = Array.make n 0 in
-    let w_contention = Array.make n 0 in
     (* pre-allocated per worker so the steal loop passes a closure without
        allocating one per attempt *)
     let on_retry =
@@ -676,61 +735,48 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     (* live totals for the telemetry sampler: racy plain reads of the
        per-worker tallies, memory-safe and monotonically slightly stale,
        like the progress ticker's *)
+    P_obs.Telemetry.set_meta instr.Search.telemetry
+      [ ("store", P_obs.Json.String (State_store.kind_to_string spec.store)) ];
     P_obs.Telemetry.set_probe instr.Search.telemetry (fun () ->
         { P_obs.Telemetry.states = Atomic.get states;
           transitions = Array.fold_left ( + ) 0 w_transitions;
           frontier = float_of_int (Atomic.get pending);
           steals = Array.fold_left ( + ) 0 w_steals;
-          steal_attempts = Array.fold_left ( + ) 0 w_steal_attempts });
-    let shard_of digest = Char.code (String.unsafe_get digest 0) land (shard_count - 1) in
-    (* Claim a digest at [spent]: the only writer of the seen set. [`New]
-       claims happen exactly once per state; because strata are processed
-       in ascending spent order, the first claim of a digest is already at
-       its minimal spent and [`Reexpand] is unreachable (kept for
-       safety). *)
-    let claim w digest spent =
-      let sh = shards.(shard_of digest) in
-      if not (Mutex.try_lock sh.sh_lock) then begin
-        w_contention.(w) <- w_contention.(w) + 1;
-        (* only the *blocked* acquisition is profiled: the uncontended
-           try-lock above is the hot path and stays span-free *)
-        let pt0 = P_obs.Profile.start prof in
-        Mutex.lock sh.sh_lock;
-        P_obs.Profile.record prof ~worker:w P_obs.Profile.Shard_lock ~t0:pt0
-      end;
-      let decision =
-        match Hashtbl.find_opt sh.sh_tbl digest with
-        | None ->
-          Hashtbl.replace sh.sh_tbl digest spent;
-          `New
-        | Some best when best <= spent -> `Dup
-        | Some _ ->
-          Hashtbl.replace sh.sh_tbl digest spent;
-          `Reexpand
-      in
-      Mutex.unlock sh.sh_lock;
-      decision
-    in
+          steal_attempts = Array.fold_left ( + ) 0 w_steal_attempts;
+          store_bytes = State_store.live_bytes store });
     let bucket_add w spent entry =
       let b = buckets.(w) in
       let prev = Option.value ~default:[] (Hashtbl.find_opt b spent) in
       Hashtbl.replace b spent (entry :: prev)
     in
     (* Claim a node for expansion in the current stratum; true = enqueued.
-       The state budget is charged only on [`New] claims, mirroring the
+       The claim is the store's — CAS-arbitrated (compact) or shard-locked
+       (exact), either way exactly one winner per state. [New] claims
+       happen exactly once per state; because strata are processed in
+       ascending spent order, the first claim of a state is already at its
+       minimal spent and [Reexpand] is unreachable (kept for safety).
+       The state budget is charged only on [New] claims, mirroring the
        sequential loop (which completes iff it discovers strictly fewer
        than [max_states] states): duplicate successors arriving at the
        boundary must not flag a completed run as truncated. The state
        that reaches the budget is counted but never expanded, exactly as
        the sequential engine counts it and then clears the frontier. *)
-    let claim_now w digest (node : 'sched node) =
-      match claim w digest node.spent with
-      | `Dup ->
+    let claim_now w digest fp (node : 'sched node) =
+      match
+        State_store.claim store ~worker:w ~digest ~fp ~spent:node.spent
+          ~new_sidx:0
+      with
+      | State_store.Dup _ ->
         w_dedup.(w) <- w_dedup.(w) + 1;
         false
-      | (`New | `Reexpand) as d ->
+      | State_store.Dropped ->
+        (* the store's arena is full: like exhausting [max_states] *)
+        Atomic.set truncated true;
+        Atomic.set stop true;
+        false
+      | (State_store.New | State_store.Reexpand _) as d ->
         let over_budget =
-          d = `New
+          d = State_store.New
           && begin
                let s = 1 + Atomic.fetch_and_add states 1 in
                (match t.meters with
@@ -780,12 +826,12 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
                   sidx = 0 }
               in
               if s.s_spent = node.spent then
-                ignore (claim_now w s.s_digest node')
+                ignore (claim_now w s.s_digest s.s_fp node')
               else
                 (* claimed when its stratum is seeded: claiming here would
                    race discoveries at smaller spent and make the expansion
                    count depend on arrival order *)
-                bucket_add w s.s_spent (s.s_digest, node'))
+                bucket_add w s.s_spent (s.s_digest, s.s_fp, node'))
           (expand ?expansions
              ~on_overflow:(fun () -> Atomic.set truncated true)
              ~fp:(Some fps.(w)) t node)
@@ -863,8 +909,8 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
       | Some entries ->
         Hashtbl.remove buckets.(w) snum;
         List.iter
-          (fun (digest, node) ->
-            if not (Atomic.get stop) then ignore (claim_now w digest node))
+          (fun (digest, fp, node) ->
+            if not (Atomic.get stop) then ignore (claim_now w digest fp node))
           entries
     in
     let await_profiled w =
@@ -919,11 +965,11 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     (* root: stratum 0, worker 0's bucket *)
     let config0, id0, _ = Step.initial_config tab in
     let sched0 = spec.scheduler.init id0 in
-    let root_digest = Fingerprint.digest fps.(0) config0 (spec.scheduler.encode sched0) in
+    let root_digest, root_fp = root_key spec fps.(0) config0 sched0 in
     let root =
       { config = config0; sched = sched0; spent = 0; depth = 0; idx = 0; sidx = 0 }
     in
-    bucket_add 0 0 (root_digest, root);
+    bucket_add 0 0 (root_digest, root_fp, root);
     let handles =
       List.init (n - 1) (fun i ->
           Domain.spawn (fun () ->
@@ -938,6 +984,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     stats.transitions <- Array.fold_left ( + ) 0 w_transitions;
     stats.max_depth <- Array.fold_left max 0 w_maxdepth;
     stats.truncated <- Atomic.get truncated;
+    stats.store <- Some (State_store.summary store);
     let flush_steals () =
       let add cm arr =
         match cm with
@@ -949,7 +996,16 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
       add m_steals w_steals;
       add m_steal_attempts w_steal_attempts;
       add m_steal_retries w_steal_retries;
-      add m_contention w_contention
+      (* claim-arbitration diagnostics come from the store: blocked shard
+         locks for exact, lost CAS races for compact *)
+      let add_n cm v =
+        match cm with
+        | None -> ()
+        | Some c -> if v > 0 then P_obs.Metrics.add c v
+      in
+      let sm = State_store.summary store in
+      add_n m_contention sm.State_store.s_contention;
+      add_n m_cas_retries sm.State_store.s_cas_retries
     in
     if Atomic.get error_found then begin
       (* Deterministic counterexample: re-derive it sequentially on the

@@ -103,6 +103,12 @@ type 'sched spec = {
   max_states : int;
   max_depth : int;
   fp_mode : Fingerprint.mode;
+  store : State_store.kind;
+      (** seen-set representation: [Exact] (default, ground truth),
+          [Compact] (off-heap fingerprint arena), or [Bitstate]
+          (supertrace bit array with a reported omission bound) *)
+  store_capacity : int option;
+      (** arena slots/bits override; [None] sizes from [max_states] *)
 }
 
 val spec :
@@ -116,11 +122,23 @@ val spec :
   ?max_states:int ->
   ?max_depth:int ->
   ?fp_mode:Fingerprint.mode ->
+  ?store:State_store.kind ->
+  ?store_capacity:int ->
   'sched scheduler ->
   'sched spec
 (** Spec builder with the common defaults: unbounded budget, BFS,
     exhaustive choices, seen-set on, dedup on, stop at the first error,
-    [max_states] 1,000,000, incremental fingerprints. *)
+    [max_states] 1,000,000, incremental fingerprints, exact store.
+
+    Non-exact stores refuse (at run time, [Invalid_argument]) specs whose
+    [bound] exceeds {!State_store.max_exact_spent} — the compact slot
+    word keeps 15 bits of budget — and the bitstate store refuses
+    observers (it keeps no state indices). A run with a non-exact store
+    keys states by a 63-bit {!Fingerprint.digest_int}; compact runs merge
+    distinct states only on a 47-bit tag collision at the same slot
+    (expected pairs n²/2⁴⁸, reported as the summary's omission bound),
+    bitstate runs merge at the Bloom-filter rate and report
+    [dups × occupancy^k]. *)
 
 val run :
   ?instr:Search.instr ->
@@ -143,8 +161,10 @@ val run_parallel :
   Search.result
 (** Work-stealing parallel search over the same spec: [domains] workers
     each own a Chase–Lev deque ({!Ws_deque}) and steal from each other
-    when idle, sharing a seen set split into mutex-guarded shards keyed by
-    the digest's low bits (min-spent merge applied per shard).
+    when idle, sharing one {!State_store} — the exact store arbitrates
+    claims behind mutex-guarded shards keyed by the digest's first byte,
+    the compact store with lock-free CAS on its off-heap slot arena
+    (min-spent merge applied per claim either way).
 
     The search is stratified by budget spent: zero-cost successors stay in
     the current stratum, positive-cost successors wait behind a barrier
@@ -167,10 +187,13 @@ val run_parallel :
     truncated run may overshoot slightly and its counts may vary with
     [domains]. With [instr] metrics on, workers count [checker.expansions],
     [checker.steals], [checker.steal_attempts], [checker.steal_retries]
-    (lost steal-CAS races), and [checker.shard_contention] (all labelled
-    [engine=<engine>]) into their own per-domain registry shards. With an
-    [instr] profiler on, each worker records expand / steal / barrier_wait
-    / shard_lock spans onto its own lane and worker 0 polls the runtime's
-    GC events from its tick point. Requires [spec.frontier = Bfs];
-    observers are not supported; [spec.track_seen = false] falls back to
-    the sequential {!run}. *)
+    (lost steal-CAS races), [checker.shard_contention] (exact store:
+    blocked shard-lock acquisitions), and [checker.store_cas_retries]
+    (compact store: lost slot-CAS races) into their own per-domain
+    registry shards. With an [instr] profiler on, each worker records
+    expand / steal / barrier_wait spans onto its own lane — plus
+    shard_lock spans under the exact store; the compact store has no
+    locks to block on, so a compact profile shows no shard_lock phase at
+    all — and worker 0 polls the runtime's GC events from its tick point.
+    Requires [spec.frontier = Bfs]; observers are not supported;
+    [spec.track_seen = false] falls back to the sequential {!run}. *)

@@ -129,6 +129,42 @@ let incremental t (config : Config.t) (extra : int list) : string =
   List.iter (add_int t.buf) extra;
   Digest.string (Buffer.contents t.buf)
 
+(* ------------------------------------------------------------------ *)
+(* Integer fingerprints (for the arena-backed state stores)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Streaming 63-bit FNV-1a over the same byte stream as [incremental],
+   finished with a splitmix-style avalanche so low bits are usable as
+   table indices. Runs entirely on immediate native ints: no Buffer, no
+   Digest string, no allocation per state. *)
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x3bf29ce484222325 (* the 64-bit FNV basis folded to 62 bits *)
+
+let fnv_byte h b = (h lxor b) * fnv_prime land max_int
+
+let fnv_int h i =
+  let h = ref h in
+  let i = ref i in
+  for _ = 0 to 7 do
+    h := fnv_byte !h (!i land 0xff);
+    i := !i lsr 8
+  done;
+  !h
+
+let fnv_string h s =
+  let h = ref h in
+  for i = 0 to String.length s - 1 do
+    h := fnv_byte !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+let finalize h =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x3f58476d1ce4e5b9 land max_int in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x14d049bb133111eb land max_int in
+  h lxor (h lsr 31)
+
 let digest t (config : Config.t) (extra : int list) : string =
   match t.mode with
   | Full -> Canon.digest t.canon config extra
@@ -147,3 +183,20 @@ let digest t (config : Config.t) (extra : int list) : string =
     | Some _ -> ()
     | None -> Hashtbl.add t.full_to_incr full inc);
     full
+
+(** A 63-bit integer fingerprint of [config], for the compact and
+    bitstate stores. [Incremental] streams the per-machine digest cache
+    straight into the hash with no per-state string; [Full]/[Paranoid]
+    hash the canonical digest string (keeping paranoid's bijection
+    check), so every mode still keys on the same canonical encoding. *)
+let digest_int t (config : Config.t) (extra : int list) : int =
+  match t.mode with
+  | Full | Paranoid -> finalize (fnv_string fnv_basis (digest t config extra))
+  | Incremental ->
+    let h = fnv_int fnv_basis (Mid.to_int config.next_id) in
+    let h = fnv_int h (Config.live_count config) in
+    let h =
+      Config.fold (fun id m h -> fnv_string h (machine_digest t id m)) config h
+    in
+    let h = fnv_int h (List.length extra) in
+    finalize (List.fold_left fnv_int h extra)

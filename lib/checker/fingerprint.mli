@@ -39,6 +39,15 @@ val digest : t -> P_semantics.Config.t -> int list -> string
 (** [digest t config extra]: the state key of [config] plus the scheduler
     [extra] integers, per the context's mode. *)
 
+val digest_int : t -> P_semantics.Config.t -> int list -> int
+(** A 63-bit integer fingerprint of the same state key, for the arena
+    state stores ({!State_store}): [Incremental] streams the memoised
+    per-machine digests straight into a FNV-1a hash with no per-state
+    string; [Full]/[Paranoid] hash the canonical digest string (paranoid
+    keeps its bijection check). Same mode caveat as {!digest}: integer
+    and string fingerprints of different modes are not comparable, and
+    within a store one run uses one of the two key forms throughout. *)
+
 val requests : t -> int
 (** Per-machine digest lookups made through this context (incremental and
     paranoid modes). Every request is counted as exactly one of {!hits} or

@@ -7,11 +7,25 @@ module Json = P_obs.Json
 
 let json_of_stats (s : Search.stats) : Json.t =
   Json.Obj
-    [ ("states", Json.Int s.states);
-      ("transitions", Json.Int s.transitions);
-      ("max_depth", Json.Int s.max_depth);
-      ("truncated", Json.Bool s.truncated);
-      ("elapsed_s", Json.Float s.elapsed_s) ]
+    ([ ("states", Json.Int s.states);
+       ("transitions", Json.Int s.transitions);
+       ("max_depth", Json.Int s.max_depth);
+       ("truncated", Json.Bool s.truncated);
+       ("elapsed_s", Json.Float s.elapsed_s) ]
+    @
+    match s.store with
+    | None -> []
+    | Some st ->
+      (* kind, capacity, occupancy, and measured bytes/state: what the
+         bench compare gate needs to hold the memory footprint, not just
+         the wall clock *)
+      [ ("store", State_store.json_of_summary st);
+        ( "store_bytes_per_state",
+          Json.Float
+            (if s.states = 0 then 0.0
+             else
+               float_of_int st.State_store.s_bytes /. float_of_int s.states) )
+      ])
 
 let json_of_safety (r : Search.result) : Json.t =
   let verdict_fields =

@@ -4,9 +4,10 @@
     scale the state exploration"; this module is that scaling knob for our
     checker: {!Engine.run_parallel} over the delay-bounded spec — a
     work-stealing search on OCaml 5 domains. Each worker owns a Chase–Lev
-    deque and steals from its peers when idle; the seen set is split into
-    mutex-guarded shards keyed by the state digest's low bits, with the
-    min-spent merge rule applied per shard. The search is stratified by
+    deque and steals from its peers when idle; the seen set is a shared
+    {!State_store} — mutex-guarded shards for the exact store, lock-free
+    CAS claims on an off-heap arena for the compact store — with the
+    min-spent merge rule applied per claim. The search is stratified by
     delays spent, which keeps it deterministic: the state count, the
     transition count, and the found-or-not verdict are independent of the
     number of domains (only wall-clock changes), and a counterexample is
@@ -57,7 +58,8 @@ let validate_domains ?(hard = false) ?recommended requested =
     {!Delay_bounded.explore} (Causal discipline, ⊕ queues); [domains] only
     affects wall-clock time. *)
 let explore ?(max_states = 1_000_000) ?(domains = 4) ?spawn_threshold
-    ?(fingerprint = Fingerprint.Incremental) ?(instr = Search.no_instr)
+    ?(fingerprint = Fingerprint.Incremental) ?(store = State_store.Exact)
+    ?store_capacity ?(instr = Search.no_instr)
     ~delay_bound (tab : P_static.Symtab.t) : Search.result =
   (* the work-stealing engine sizes itself; the level-synchronous engine's
      spawn threshold is accepted for compatibility and ignored *)
@@ -68,7 +70,8 @@ let explore ?(max_states = 1_000_000) ?(domains = 4) ?spawn_threshold
     | Error e -> raise (Invalid_domains e)
   in
   let spec =
-    Engine.spec ~bound:delay_bound ~max_states ~fp_mode:fingerprint
+    Engine.spec ~bound:delay_bound ~max_states ~fp_mode:fingerprint ~store
+      ?store_capacity
       (Engine.stack_sched Engine.Causal)
   in
   Engine.run_parallel ~instr ~engine:"parallel"

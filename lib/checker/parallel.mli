@@ -38,6 +38,8 @@ val explore :
   ?domains:int ->
   ?spawn_threshold:int ->
   ?fingerprint:Fingerprint.mode ->
+  ?store:State_store.kind ->
+  ?store_capacity:int ->
   ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->
@@ -51,7 +53,11 @@ val explore :
     its counts may vary with [domains] (non-truncated runs are exactly
     deterministic). [fingerprint] selects the state-key strategy (default
     [Incremental]); each worker keeps its own per-machine digest cache for
-    the whole run.
+    the whole run. [store] picks the seen-set representation (default
+    [Exact]); with [Compact] the workers claim states by lock-free CAS on
+    an off-heap arena — no shard mutexes, no [shard_lock] profile phase —
+    while keeping the same min-spent merge rule and the same
+    domain-count-independent triple.
 
     With [instr] metrics on, workers additionally count
     [checker.expansions], [checker.steals], [checker.steal_attempts],

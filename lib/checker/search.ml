@@ -65,16 +65,40 @@ type stats = {
   mutable max_depth : int;  (** longest path from the initial state, in blocks *)
   mutable truncated : bool;  (** a bound cut the exploration short *)
   mutable elapsed_s : float;
+  mutable store : State_store.summary option;
+      (** the seen set's end-of-run summary (kind, footprint, occupancy,
+          omission bound); [None] for engines that keep no seen set *)
 }
 
 let new_stats () =
-  { states = 0; transitions = 0; max_depth = 0; truncated = false; elapsed_s = 0. }
+  { states = 0;
+    transitions = 0;
+    max_depth = 0;
+    truncated = false;
+    elapsed_s = 0.;
+    store = None }
 
 let pp_stats ppf s =
   Fmt.pf ppf "%d states, %d transitions, depth %d%s, %.3fs" s.states s.transitions
     s.max_depth
     (if s.truncated then " (truncated)" else "")
-    s.elapsed_s
+    s.elapsed_s;
+  (* the default exact store is the historical output; only the lossy
+     stores announce themselves (and their honesty bound) *)
+  match s.store with
+  | Some st when st.State_store.s_kind <> "exact" ->
+    Fmt.pf ppf " [store %s, %.1f MB" st.State_store.s_kind
+      (float_of_int st.State_store.s_bytes /. 1e6);
+    (* bitstate keeps no budget, so every merged answer may hide a state
+       exact would have (re-)expanded; the probabilistic bound covers only
+       the hash false positives on top of that *)
+    if st.State_store.s_lossy_dups > 0 then
+      Fmt.pf ppf ", approximate: %d lossy merges" st.State_store.s_lossy_dups;
+    if st.State_store.s_omission_bound > 0.0 then
+      Fmt.pf ppf ", expected hash omissions <= %.3g"
+        st.State_store.s_omission_bound;
+    Fmt.pf ppf "]"
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Instrumentation                                                     *)

@@ -39,10 +39,16 @@ type stats = {
   mutable max_depth : int;
   mutable truncated : bool;  (** a bound cut the exploration short *)
   mutable elapsed_s : float;
+  mutable store : State_store.summary option;
+      (** the seen set's end-of-run summary (kind, footprint, occupancy,
+          omission bound); [None] for engines without a seen set *)
 }
 
 val new_stats : unit -> stats
+
 val pp_stats : stats Fmt.t
+(** Historical one-line format; a non-exact store appends its footprint
+    and (when positive) expected-omission bound. *)
 
 (** {2 Instrumentation}
 

@@ -1,0 +1,471 @@
+(** The pluggable seen-set of the exploration engines.
+
+    Every systematic engine asks one question millions of times: "was this
+    state seen before, and at what minimal budget?" This module answers it
+    behind one [claim] call with three interchangeable representations:
+
+    - {b Exact} — the ground truth: a hashtable keyed on the full 16-byte
+      MD5 digest string, mapping to [(dense state index, minimal budget
+      spent)]. Under a multi-worker engine it splits into 2^6
+      mutex-guarded shards keyed on the digest's first byte (the blocked
+      acquisition is profiled as the [Shard_lock] phase). Collision
+      probability is MD5's (~n²/2¹²⁹): zero for any feasible run.
+
+    - {b Compact} — hash compaction: an open-addressing table over 63-bit
+      integer fingerprints in an {e off-heap} [Bigarray] arena. One slot
+      is one 64-bit word packing [(47-bit fingerprint tag, 15-bit
+      saturating minimal spent)]; claims are lock-free CAS on the slot
+      word (C11 atomics via {!store_stubs.c} — the arena never moves, so
+      raw atomics on it are sound). Zero per-state heap allocation, zero
+      locks, zero GC pressure: the whole table is invisible to the OCaml
+      GC. The price is a tag-collision probability of about
+      n²/2⁴⁸ expected merged pairs (reported as [omission_bound]) — ~0.004
+      at a million states, which is why the differential tests can demand
+      byte-identical triples vs Exact and pass.
+
+    - {b Bitstate} — Holzmann's supertrace: a double-hashed Bloom filter
+      over the same arena ([k = 3] probes per state). Smallest possible
+      footprint and an {e explicit} omission bound: every "seen" answer
+      had probability ≤ (occupancy)^k of being a false positive, so the
+      summary reports [dups × p] as the expected number of wrongly-merged
+      states. A bitstate run can therefore miss states (and with them
+      errors) — flagged, never silent — but a found error is always real:
+      the store only ever answers membership, it cannot un-find a failing
+      edge. Bitstate keeps no spent values, so the min-spent re-expansion
+      rule degrades to "first visit wins" (more omission, also flagged by
+      the same bound).
+
+    The [claim] contract (all representations):
+    - [New]: the caller now owns this state — exactly one claimant per
+      state per run, even under concurrent claims (CAS-arbitrated).
+    - [Dup sidx]: seen before at a budget ≤ [spent]; [sidx] is the dense
+      state index recorded at first claim, or [-1] if this representation
+      does not keep one (compact without [need_sidx], bitstate).
+    - [Reexpand sidx]: seen before but only at a strictly larger budget;
+      the record was lowered to [spent] and the caller should re-expand.
+    - [Dropped]: the fixed-capacity arena is full; the caller must mark
+      the run truncated (exactly like exhausting [max_states]).
+
+    Parallel bitstate claims are {e not} linearizable per state (two
+    workers racing on the same state across k bits can both see [New]);
+    the engines therefore only drive Bitstate from one worker. Exact and
+    Compact are single-winner under any number of workers. *)
+
+type kind = Exact | Compact | Bitstate
+
+let kind_to_string = function
+  | Exact -> "exact"
+  | Compact -> "compact"
+  | Bitstate -> "bitstate"
+
+let kind_of_string = function
+  | "exact" -> Ok Exact
+  | "compact" -> Ok Compact
+  | "bitstate" -> Ok Bitstate
+  | s -> Error (Printf.sprintf "unknown state store %S (exact|compact|bitstate)" s)
+
+type claim = New | Dup of int | Reexpand of int | Dropped
+
+(* ------------------------------------------------------------------ *)
+(* The off-heap arena and its atomic primitives                        *)
+(* ------------------------------------------------------------------ *)
+
+type arena = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external arena_get : arena -> int -> int = "pcaml_store_get" [@@noalloc]
+external arena_set : arena -> int -> int -> unit = "pcaml_store_set" [@@noalloc]
+
+external arena_cas : arena -> int -> int -> int -> bool = "pcaml_store_cas"
+  [@@noalloc]
+
+external arena_fetch_or : arena -> int -> int -> int = "pcaml_store_fetch_or"
+  [@@noalloc]
+
+let make_arena words =
+  let a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout words in
+  Bigarray.Array1.fill a 0L;
+  a
+
+(* ------------------------------------------------------------------ *)
+(* Exact                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type shard = { sh_lock : Mutex.t; sh_tbl : (string, int * int) Hashtbl.t }
+
+let shard_bits = 6
+let shard_count = 1 lsl shard_bits
+
+type exact = {
+  e_shards : shard array;  (* length 1 (single worker, no locking) or 2^6 *)
+  e_profile : P_obs.Profile.t;
+  e_contention : int array;  (* per worker: blocked shard acquisitions *)
+}
+
+let exact_claim (e : exact) ~worker ~digest ~spent ~new_sidx : claim =
+  let locked = Array.length e.e_shards > 1 in
+  let sh =
+    if locked then
+      e.e_shards.(Char.code (String.unsafe_get digest 0) land (shard_count - 1))
+    else e.e_shards.(0)
+  in
+  if locked && not (Mutex.try_lock sh.sh_lock) then begin
+    e.e_contention.(worker) <- e.e_contention.(worker) + 1;
+    (* only the *blocked* acquisition is profiled: the uncontended try-lock
+       above is the hot path and stays span-free *)
+    let pt0 = P_obs.Profile.start e.e_profile in
+    Mutex.lock sh.sh_lock;
+    P_obs.Profile.record e.e_profile ~worker P_obs.Profile.Shard_lock ~t0:pt0
+  end;
+  let decision =
+    match Hashtbl.find_opt sh.sh_tbl digest with
+    | None ->
+      Hashtbl.replace sh.sh_tbl digest (new_sidx, spent);
+      New
+    | Some (sidx, best) when best <= spent -> Dup sidx
+    | Some (sidx, _) ->
+      (* reached again with strictly smaller budget spent: the spare budget
+         can reach new successors, so lower the record and re-expand *)
+      Hashtbl.replace sh.sh_tbl digest (sidx, spent);
+      Reexpand sidx
+  in
+  if locked then Mutex.unlock sh.sh_lock;
+  decision
+
+(* Footprint estimate, documented in DESIGN.md ("State storage"): per
+   entry one bucket cons (4 words), the 16-byte digest string (4 words)
+   and the (sidx, spent) tuple (3 words), plus the live bucket array. *)
+let exact_summary_parts (e : exact) =
+  Array.fold_left
+    (fun (entries, buckets) sh ->
+      let st = Hashtbl.stats sh.sh_tbl in
+      (entries + st.Hashtbl.num_bindings, buckets + st.Hashtbl.num_buckets))
+    (0, 0) e.e_shards
+
+(* ------------------------------------------------------------------ *)
+(* Compact                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let spent_bits = 15
+let spent_mask = (1 lsl spent_bits) - 1  (* 32767 = "spent >= 32767" *)
+let tag_mask = (1 lsl 47) - 1
+
+(* The spent field saturates at [spent_mask]; engines refuse to pair the
+   compact store with a budget that could reach it (see Engine). *)
+let max_exact_spent = spent_mask - 1
+
+type compact = {
+  c_slots : arena;
+  c_mask : int;  (* capacity - 1; capacity is a power of two *)
+  c_probe_limit : int;
+  c_sidx : (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t option;
+      (* dense state indices for observer support; single-worker engines
+         only — the parallel driver neither needs nor maintains them *)
+  c_new : int array;  (* per worker: slots claimed *)
+  c_retries : int array;  (* per worker: CAS retries (contention) *)
+  mutable c_dropped : bool;
+}
+
+let tag_of fp =
+  let tg = (fp lsr 16) land tag_mask in
+  if tg = 0 then 1 else tg
+
+let compact_sidx_at c i =
+  match c.c_sidx with
+  | None -> -1
+  | Some a -> Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
+let compact_claim (c : compact) ~worker ~fp ~spent ~new_sidx : claim =
+  let sp = if spent >= spent_mask then spent_mask else spent in
+  let tag = tag_of fp in
+  let word = (tag lsl spent_bits) lor sp in
+  let rec probe i dist =
+    if dist > c.c_probe_limit then begin
+      c.c_dropped <- true;
+      Dropped
+    end
+    else
+      let w = arena_get c.c_slots i in
+      if w = 0 then
+        if arena_cas c.c_slots i 0 word then begin
+          c.c_new.(worker) <- c.c_new.(worker) + 1;
+          (match c.c_sidx with
+          | None -> ()
+          | Some a -> Bigarray.Array1.unsafe_set a i (Int32.of_int new_sidx));
+          New
+        end
+        else begin
+          (* another worker just claimed this slot: re-read it — it may
+             even be our own state *)
+          c.c_retries.(worker) <- c.c_retries.(worker) + 1;
+          probe i dist
+        end
+      else if w lsr spent_bits = tag then begin
+        let best = w land spent_mask in
+        if best <= sp then Dup (compact_sidx_at c i)
+        else if arena_cas c.c_slots i w ((tag lsl spent_bits) lor sp) then
+          Reexpand (compact_sidx_at c i)
+        else begin
+          c.c_retries.(worker) <- c.c_retries.(worker) + 1;
+          probe i dist
+        end
+      end
+      else probe ((i + 1) land c.c_mask) (dist + 1)
+  in
+  probe (fp land c.c_mask) 0
+
+(* ------------------------------------------------------------------ *)
+(* Bitstate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* 32 usable bits per 64-bit arena word: bit masks must stay immediate
+   OCaml ints, and [1 lsl 63] is not one. The factor-of-two padding is
+   reported honestly in [bytes]. *)
+let bits_per_word_shift = 5
+
+let bitstate_hashes = 3
+
+type bitstate = {
+  b_bits : arena;
+  b_mask : int;  (* bit-count - 1; bit count is a power of two *)
+  b_set : int array;  (* per worker: bits newly set *)
+  b_new : int array;  (* per worker: states claimed *)
+  b_dups : int array;  (* per worker: "seen" answers (each a possible FP) *)
+}
+
+(* splitmix-style avalanche for the second, independent probe stride *)
+let remix h =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x3f58476d1ce4e5b9 land max_int in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x14d049bb133111eb land max_int in
+  h lxor (h lsr 31)
+
+let bitstate_claim (b : bitstate) ~worker ~fp : claim =
+  let h2 = remix fp lor 1 in
+  let all_set = ref true in
+  for j = 0 to bitstate_hashes - 1 do
+    let pos = (fp + (j * h2)) land b.b_mask in
+    let w = arena_get b.b_bits (pos lsr bits_per_word_shift) in
+    if w land (1 lsl (pos land 31)) = 0 then all_set := false
+  done;
+  if !all_set then begin
+    b.b_dups.(worker) <- b.b_dups.(worker) + 1;
+    Dup (-1)
+  end
+  else begin
+    for j = 0 to bitstate_hashes - 1 do
+      let pos = (fp + (j * h2)) land b.b_mask in
+      let mask = 1 lsl (pos land 31) in
+      let old = arena_fetch_or b.b_bits (pos lsr bits_per_word_shift) mask in
+      if old land mask = 0 then b.b_set.(worker) <- b.b_set.(worker) + 1
+    done;
+    b.b_new.(worker) <- b.b_new.(worker) + 1;
+    New
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The store                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type repr = R_exact of exact | R_compact of compact | R_bitstate of bitstate
+
+type t = { kind : kind; repr : repr; capacity : int }
+
+let kind_of t = t.kind
+let kind_name t = kind_to_string t.kind
+
+(** Exact keys on the digest string; the arena stores key on the integer
+    fingerprint alone and never touch the string. *)
+let needs_string t = t.kind = Exact
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+(** Slot count (Compact) or bit count (Bitstate) sized from the state
+    budget: 1.5 slots per possible state (≤ 67% load at a full run), 64
+    bits per state (k=3 false-positive rate ≈ 1e-4). Both clamp to a
+    256 MiB arena so an uncapped run cannot demand unbounded memory —
+    past the clamp the store answers [Dropped] and the run reports
+    truncation, exactly like exhausting [max_states]. *)
+let default_capacity ~kind ~max_states =
+  match kind with
+  | Exact -> 0
+  | Compact ->
+    if max_states >= 1 lsl 24 then 1 lsl 25
+    else pow2_at_least (max 4096 (max_states + (max_states lsr 1) + 64)) 4096
+  | Bitstate ->
+    if max_states >= 1 lsl 25 then 1 lsl 31
+    else pow2_at_least (max 65536 (64 * max_states)) 65536
+
+let create ?capacity ?(need_sidx = false) ?(profile = P_obs.Profile.null)
+    ~kind ~workers ~max_states () : t =
+  let workers = max 1 workers in
+  let capacity =
+    match capacity with
+    | Some c -> pow2_at_least (max 1024 c) 1024
+    | None -> default_capacity ~kind ~max_states
+  in
+  match kind with
+  | Exact ->
+    let n = if workers > 1 then shard_count else 1 in
+    let shards =
+      Array.init n (fun _ ->
+          { sh_lock = Mutex.create ();
+            sh_tbl = Hashtbl.create (if n = 1 then 4096 else 512) })
+    in
+    { kind;
+      repr = R_exact { e_shards = shards; e_profile = profile; e_contention = Array.make workers 0 };
+      capacity = 0 }
+  | Compact ->
+    if need_sidx && workers > 1 then
+      invalid_arg "State_store.create: compact sidx tracking is single-worker";
+    let slots = make_arena capacity in
+    let sidx =
+      if need_sidx then begin
+        let a =
+          Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout capacity
+        in
+        Bigarray.Array1.fill a 0l;
+        Some a
+      end
+      else None
+    in
+    { kind;
+      repr =
+        R_compact
+          { c_slots = slots;
+            c_mask = capacity - 1;
+            c_probe_limit = min capacity 65536;
+            c_sidx = sidx;
+            c_new = Array.make workers 0;
+            c_retries = Array.make workers 0;
+            c_dropped = false };
+      capacity }
+  | Bitstate ->
+    if need_sidx then
+      invalid_arg "State_store.create: the bitstate store keeps no state indices";
+    let words = capacity lsr bits_per_word_shift in
+    { kind;
+      repr =
+        R_bitstate
+          { b_bits = make_arena words;
+            b_mask = capacity - 1;
+            b_set = Array.make workers 0;
+            b_new = Array.make workers 0;
+            b_dups = Array.make workers 0 };
+      capacity }
+
+(** Claim [digest]/[fp] at budget [spent] for [worker]. [new_sidx] is the
+    dense index this state receives if the claim answers [New]; only
+    sidx-tracking representations record it. Exact reads [digest] and
+    ignores [fp]; the arena stores read [fp] and ignore [digest]. *)
+let claim t ~worker ~digest ~fp ~spent ~new_sidx : claim =
+  match t.repr with
+  | R_exact e -> exact_claim e ~worker ~digest ~spent ~new_sidx
+  | R_compact c -> compact_claim c ~worker ~fp ~spent ~new_sidx
+  | R_bitstate b -> bitstate_claim b ~worker ~fp
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  s_kind : string;
+  s_capacity : int;  (** slots (compact), bits (bitstate), buckets (exact) *)
+  s_entries : int;  (** states recorded (bitstate: bits set) *)
+  s_bytes : int;  (** measured (arena) or estimated (exact) footprint *)
+  s_occupancy : float;  (** entries / capacity *)
+  s_omission_bound : float;
+      (** expected states wrongly merged by hashing: 0 for exact, the
+          n²/2⁴⁸ tag birthday bound for compact, dups × (occupancy)^k for
+          bitstate *)
+  s_lossy_dups : int;
+      (** bitstate only: "seen" answers, {e every one} of which may hide a
+          state the exact store would have expanded or re-expanded —
+          bitstate keeps no budget, so its first-visit-wins rule loses the
+          min-spent re-expansions on top of the Bloom false positives.
+          Nonzero means the run is approximate regardless of how small
+          [s_omission_bound] is; [0] means the bitstate run provably
+          explored exactly what exact would (no merge ever answered). *)
+  s_contention : int;  (** exact: blocked shard-lock acquisitions *)
+  s_cas_retries : int;  (** compact: lost CAS races *)
+  s_dropped : bool;  (** the arena filled up; the run is truncated *)
+}
+
+let sum = Array.fold_left ( + ) 0
+
+let summary t : summary =
+  match t.repr with
+  | R_exact e ->
+    let entries, buckets = exact_summary_parts e in
+    { s_kind = kind_to_string t.kind;
+      s_capacity = buckets;
+      s_entries = entries;
+      s_bytes = ((entries * 11) + buckets) * (Sys.word_size / 8);
+      s_occupancy =
+        (if buckets = 0 then 0.0 else float_of_int entries /. float_of_int buckets);
+      s_omission_bound = 0.0;
+      s_lossy_dups = 0;
+      s_contention = sum e.e_contention;
+      s_cas_retries = 0;
+      s_dropped = false }
+  | R_compact c ->
+    let entries = sum c.c_new in
+    let n = float_of_int entries in
+    { s_kind = kind_to_string t.kind;
+      s_capacity = t.capacity;
+      s_entries = entries;
+      s_bytes =
+        (t.capacity * 8)
+        + (match c.c_sidx with None -> 0 | Some _ -> t.capacity * 4);
+      s_occupancy = n /. float_of_int t.capacity;
+      s_omission_bound = n *. n /. 2.8e14 (* n²/2⁴⁸ tag birthday bound *);
+      s_lossy_dups = 0;
+      s_contention = 0;
+      s_cas_retries = sum c.c_retries;
+      s_dropped = c.c_dropped }
+  | R_bitstate b ->
+    let set = sum b.b_set in
+    let occupancy = float_of_int set /. float_of_int t.capacity in
+    let p =
+      (* probability a fresh state answers "seen": all k probes land on
+         set bits, at final occupancy (an upper bound over the run) *)
+      occupancy ** float_of_int bitstate_hashes
+    in
+    { s_kind = kind_to_string t.kind;
+      s_capacity = t.capacity;
+      s_entries = sum b.b_new;
+      s_bytes = (t.capacity lsr bits_per_word_shift) * 8;
+      s_occupancy = occupancy;
+      s_omission_bound = float_of_int (sum b.b_dups) *. p;
+      s_lossy_dups = sum b.b_dups;
+      s_contention = 0;
+      s_cas_retries = 0;
+      s_dropped = false }
+
+(** Live footprint in bytes, cheap enough for a telemetry probe: the
+    exact store is estimated from [Hashtbl.length] alone (buckets ≈
+    entries at the stdlib's resize load), O(1) per sample; [summary]
+    reports the measured bucket count at end of run. *)
+let live_bytes t =
+  match t.repr with
+  | R_exact e ->
+    let entries =
+      Array.fold_left (fun n sh -> n + Hashtbl.length sh.sh_tbl) 0 e.e_shards
+    in
+    entries * 12 * (Sys.word_size / 8)
+  | R_compact c ->
+    (t.capacity * 8) + (match c.c_sidx with None -> 0 | Some _ -> t.capacity * 4)
+  | R_bitstate _ -> (t.capacity lsr bits_per_word_shift) * 8
+
+let json_of_summary (s : summary) : P_obs.Json.t =
+  P_obs.Json.Obj
+    [ ("kind", P_obs.Json.String s.s_kind);
+      ("capacity", P_obs.Json.Int s.s_capacity);
+      ("entries", P_obs.Json.Int s.s_entries);
+      ("bytes", P_obs.Json.Int s.s_bytes);
+      ("occupancy", P_obs.Json.Float s.s_occupancy);
+      ("omission_bound", P_obs.Json.Float s.s_omission_bound);
+      ("lossy_dups", P_obs.Json.Int s.s_lossy_dups);
+      ("contention", P_obs.Json.Int s.s_contention);
+      ("cas_retries", P_obs.Json.Int s.s_cas_retries);
+      ("dropped", P_obs.Json.Bool s.s_dropped) ]

@@ -72,7 +72,8 @@ let sampled_resolver seed =
     enumerating them — a fast reproducible smoke run whose seed lands in
     the report. *)
 let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
-    ?liveness_max_states ?(fingerprint = Fingerprint.Incremental) ?seed
+    ?liveness_max_states ?(fingerprint = Fingerprint.Incremental)
+    ?(store = State_store.Exact) ?store_capacity ?seed
     ?domains ?(instr = Search.no_instr) (program : P_syntax.Ast.program) :
     report =
   (if seed <> None && domains <> None then
@@ -89,13 +90,15 @@ let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
   else
     let safety =
       match domains with
-      | Some d -> Parallel.explore ~domains:d ~delay_bound ~max_states ~fingerprint ~instr symtab
+      | Some d ->
+        Parallel.explore ~domains:d ~delay_bound ~max_states ~fingerprint
+          ~store ?store_capacity ~instr symtab
       | None ->
         let resolver =
           match seed with None -> Engine.Exhaustive | Some s -> sampled_resolver s
         in
         Delay_bounded.explore ~delay_bound ~max_states ~fingerprint ~resolver
-          ~instr symtab
+          ~store ?store_capacity ~instr symtab
     in
     let liveness_result =
       if liveness && safety.verdict = Search.No_error then

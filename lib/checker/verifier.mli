@@ -26,6 +26,8 @@ val verify :
   ?liveness:bool ->
   ?liveness_max_states:int ->
   ?fingerprint:Fingerprint.mode ->
+  ?store:State_store.kind ->
+  ?store_capacity:int ->
   ?seed:int ->
   ?domains:int ->
   ?instr:Search.instr ->
@@ -35,7 +37,10 @@ val verify :
     and a [max_states] budget (default 200000); [liveness:true] adds the
     responsiveness checks of section 3.2. [fingerprint] selects the safety
     search's state-key strategy (default [Incremental]; [Paranoid]
-    cross-checks the incremental cache against full re-encoding). [seed]
+    cross-checks the incremental cache against full re-encoding). [store]
+    picks the safety search's seen-set representation (default [Exact];
+    see {!State_store}), [store_capacity] overrides the arena sizing.
+    [seed]
     switches the safety search from exhaustive ghost-choice enumeration to
     seeded sampling (one drawn resolution per block) and records the seed
     in the report, so a sampled failure is reproducible. [domains] runs

@@ -18,9 +18,18 @@ type sample = {
   alloc_mb : float;
   bytes_per_state : float;
   heap_mb : float;
+  store_mb : float;
+  store_bytes_per_state : float;
 }
 
-type probe = { states : int; transitions : int; frontier : float; steals : int; steal_attempts : int }
+type probe = {
+  states : int;
+  transitions : int;
+  frontier : float;
+  steals : int;
+  steal_attempts : int;
+  store_bytes : int;
+}
 
 type state = {
   interval_us : float;
@@ -35,6 +44,7 @@ type state = {
   mutable last_transitions : int;
   mutable n_samples : int;
   mutable meta_done : bool;
+  mutable extra_meta : (string * Json.t) list;
 }
 
 type t = Null | On of state
@@ -67,9 +77,11 @@ let create ?(interval_us = 100_000.0) ?(sink = Sink.null) ?on_sample () =
       last_states = 0;
       last_transitions = 0;
       n_samples = 0;
-      meta_done = false }
+      meta_done = false;
+      extra_meta = [] }
 
 let set_probe t f = match t with Null -> () | On s -> s.probe <- Some f
+let set_meta t kv = match t with Null -> () | On s -> s.extra_meta <- s.extra_meta @ kv
 
 let emit_meta (s : state) =
   if not s.meta_done then begin
@@ -77,11 +89,12 @@ let emit_meta (s : state) =
     if Sink.enabled s.sink then
       Sink.raw s.sink
         (Json.Obj
-           [ ("type", Json.String "meta");
-             ("schema", Json.String "p-telemetry/1");
-             ("interval_us", Json.Float s.interval_us);
-             ("alloc_scope", Json.String "sampling-domain");
-             ("machine", Machine_info.json ()) ])
+           ([ ("type", Json.String "meta");
+              ("schema", Json.String "p-telemetry/1");
+              ("interval_us", Json.Float s.interval_us);
+              ("alloc_scope", Json.String "sampling-domain");
+              ("machine", Machine_info.json ()) ]
+           @ s.extra_meta))
   end
 
 let json_of_sample (x : sample) =
@@ -99,7 +112,9 @@ let json_of_sample (x : sample) =
       ("steal_success_rate", Json.Float x.steal_success_rate);
       ("alloc_mb", Json.Float x.alloc_mb);
       ("bytes_per_state", Json.Float x.bytes_per_state);
-      ("heap_mb", Json.Float x.heap_mb) ]
+      ("heap_mb", Json.Float x.heap_mb);
+      ("store_mb", Json.Float x.store_mb);
+      ("store_bytes_per_state", Json.Float x.store_bytes_per_state) ]
 
 (* Take one sample. Caller holds [s.lock]. *)
 let sample_locked (s : state) now =
@@ -128,7 +143,11 @@ let sample_locked (s : state) now =
            else float_of_int p.steals /. float_of_int p.steal_attempts);
         alloc_mb = alloc_b /. 1e6;
         bytes_per_state = (if p.states = 0 then 0.0 else alloc_b /. float_of_int p.states);
-        heap_mb = float_of_int g.Gc.heap_words *. bytes_per_word /. 1e6 }
+        heap_mb = float_of_int g.Gc.heap_words *. bytes_per_word /. 1e6;
+        store_mb = float_of_int p.store_bytes /. 1e6;
+        store_bytes_per_state =
+          (if p.states = 0 then 0.0
+           else float_of_int p.store_bytes /. float_of_int p.states) }
     in
     s.last_us <- now;
     s.last_states <- p.states;

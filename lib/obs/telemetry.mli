@@ -16,7 +16,10 @@
     the sample, so under the parallel engine [bytes_per_state] is the
     sampling worker's allocation rate, not the whole process's — an
     approximation, flagged in the meta record as
-    ["alloc_scope": "sampling-domain"]. *)
+    ["alloc_scope": "sampling-domain"]. The seen-set figures
+    ([store_bytes] via the probe) are exact: the store reports its own
+    footprint, so [store_bytes_per_state] no longer has to be derived
+    from cumulative allocation alone. *)
 
 type sample = {
   ts_us : float;  (** monotonic clock, µs (same timeline as trace spans) *)
@@ -32,9 +35,18 @@ type sample = {
   alloc_mb : float;  (** allocated since {!create}, sampling domain, MB *)
   bytes_per_state : float;  (** cumulative allocation / states *)
   heap_mb : float;  (** major heap size now, MB *)
+  store_mb : float;  (** seen-set footprint now, MB ([0.] without one) *)
+  store_bytes_per_state : float;  (** seen-set footprint / states *)
 }
 
-type probe = { states : int; transitions : int; frontier : float; steals : int; steal_attempts : int }
+type probe = {
+  states : int;
+  transitions : int;
+  frontier : float;
+  steals : int;
+  steal_attempts : int;
+  store_bytes : int;  (** live seen-set footprint; [0] without a seen set *)
+}
 (** What the engine reports when asked: its live totals. Sequential
     engines leave the steal fields 0. *)
 
@@ -58,6 +70,11 @@ val create :
 val set_probe : t -> (unit -> probe) -> unit
 (** Install the engine's counter closure. Until a probe is installed,
     ticks are no-ops. *)
+
+val set_meta : t -> (string * Json.t) list -> unit
+(** Extra fields for the [{"type":"meta", …}] header (the engine's store
+    kind and capacity). Must be called before the first sample; later
+    calls are recorded but the header is already out. *)
 
 val tick : t -> unit
 (** Take a sample if one is due. Cheap when not due; serialized by a

@@ -8,6 +8,7 @@ let () =
       ("semantics", Test_semantics.suite);
       ("checker", Test_checker.suite);
       ("engine", Test_engine.suite);
+      ("store", Test_store.suite);
       ("replay", Test_replay.suite);
       ("obs", Test_obs.suite);
       ("compile", Test_compile.suite);

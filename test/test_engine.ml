@@ -130,6 +130,58 @@ let test_liveness_triples () =
   check int_t "ring explored" 101 rr.explored_states;
   check bool_t "ring complete" true rr.complete
 
+(* ---------------- the observed edge stream is pinned ---------------- *)
+
+(* Every observer event of a run, folded into one hash: state discoveries
+   in index order, then per edge the source, the machine that ran, the
+   ghost-choice resolution, and the destination disposition. The golden
+   values below pin the exact stream — order, dedup decisions, Dst_new vs
+   Dst_seen, everything — so a refactor of [Engine.integrate] (the
+   single merge-and-observe point) cannot reorder, drop, or duplicate an
+   observation without this test noticing. *)
+let edge_stream_hash tab ~delay_bound ~max_states =
+  let h = ref 0x9e3779b9 in
+  let mix i = h := (!h lxor i) * 0x100000001b3 land max_int in
+  let observer =
+    { Engine.on_state =
+        (fun sidx _ ->
+          mix 1;
+          mix sidx);
+      Engine.on_edge =
+        (fun ~src ~src_config:_ ~by ~resolved ~dst ->
+          mix 2;
+          mix src;
+          mix (P_semantics.Mid.to_int by);
+          List.iter (fun b -> mix (if b then 3 else 4)) resolved.Search.choices;
+          match dst with
+          | Engine.Dst_new i ->
+            mix 5;
+            mix i
+          | Engine.Dst_seen i ->
+            mix 6;
+            mix i
+          | Engine.Dst_failed _ -> mix 7) }
+  in
+  let spec =
+    Engine.spec ~bound:delay_bound ~max_states ~stop_on_error:false
+      (Engine.stack_sched Engine.Causal)
+  in
+  let r = Engine.run ~observer ~engine:"edge_stream" spec tab in
+  (!h, r.stats.states, r.stats.transitions)
+
+let test_edge_stream_pinned () =
+  List.iter
+    (fun (name, tab, expected_hash, expected_states, expected_transitions) ->
+      let h, states, transitions =
+        edge_stream_hash tab ~delay_bound:1 ~max_states:50_000
+      in
+      check int_t (name ^ " edge-stream hash") expected_hash h;
+      check int_t (name ^ " states") expected_states states;
+      check int_t (name ^ " transitions") expected_transitions transitions)
+    [ ("elevator", elevator (), 2994106453711014078, 729, 1186);
+      ("german", german (), 248796328542932357, 50_000, 73_439);
+      ("elevator_buggy", elevator_buggy (), 1848275993151437324, 670, 1092) ]
+
 (* ---------------- fingerprint modes agree ---------------- *)
 
 let test_fingerprint_modes_same_triples () =
@@ -310,6 +362,8 @@ let suite =
     Alcotest.test_case "random-walk pre-refactor results" `Quick
       test_random_walk_triples;
     Alcotest.test_case "liveness pre-refactor results" `Slow test_liveness_triples;
+    Alcotest.test_case "observed edge stream is pinned" `Quick
+      test_edge_stream_pinned;
     Alcotest.test_case "fingerprint modes report identical triples" `Quick
       test_fingerprint_modes_same_triples;
     Alcotest.test_case "paranoid mode sees zero collisions" `Quick

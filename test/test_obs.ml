@@ -460,7 +460,8 @@ let test_telemetry_sampling () =
             transitions = 2 * !states;
             frontier = 7.0;
             steals = 3;
-            steal_attempts = 4 });
+            steal_attempts = 4;
+            store_bytes = 8 * !states });
       states := 1_000;
       Telemetry.tick t;
       states := 3_000;

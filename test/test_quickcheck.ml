@@ -19,7 +19,21 @@
    on the seed alone).
 
    N defaults to 4 and is overridden by PCAML_TEST_DOMAINS — the CI matrix
-   runs the suite at 1 and 4. *)
+   runs the suite at 1 and 4.
+
+   PCAML_TEST_STORE adds a second axis over the seen-set representation:
+
+   - [compact] re-runs all three explorations with the off-heap
+     fingerprint store and demands (verdict, states, transitions) triples
+     and counterexample schedules *byte-identical* to the exact store's —
+     hash compaction must be a pure representation change at these sizes
+     (the 47-bit tag birthday bound at 4000 states is ~6e-8);
+   - [bitstate] re-runs the sequential exploration with the supertrace bit
+     array, which may legitimately omit states — but never silently: it
+     must explore at most as many states as exact, any error it reports
+     must also be one exact reports, and whenever it is more optimistic
+     than exact (fewer states, or a missed error) its summary must flag
+     the loss (lossy_dups > 0). *)
 
 open P_checker
 
@@ -31,6 +45,16 @@ let domains_under_test =
   match Option.bind (Sys.getenv_opt "PCAML_TEST_DOMAINS") int_of_string_opt with
   | Some n when n >= 1 && n <= 128 -> n
   | Some _ | None -> 4
+
+(* The seen-set representation under differential test (the exact store
+   always runs as the reference). *)
+let store_under_test =
+  match Sys.getenv_opt "PCAML_TEST_STORE" with
+  | None | Some "" -> State_store.Exact
+  | Some s -> (
+    match State_store.kind_of_string s with
+    | Ok k -> k
+    | Error e -> failwith ("PCAML_TEST_STORE: " ^ e))
 
 let gen_one ~ghost ~risky seed : P_syntax.Ast.program =
   let rand =
@@ -111,7 +135,82 @@ let check_program ~ghost ~risky seed =
         | Ok o -> failf seed "differential replay: %a" Differential.pp_outcome o))
     | None, None, None -> ()
     | _ -> () (* verdict kinds already compared above *)
-  end
+  end;
+  match store_under_test with
+  | State_store.Exact -> ()
+  | State_store.Compact ->
+    (* hash compaction is a representation change only: every driver must
+       reproduce its exact-store run byte for byte *)
+    let cseq =
+      Delay_bounded.explore ~store:State_store.Compact ~delay_bound:1 ~max_states
+        tab
+    in
+    let cpar1 =
+      Parallel.explore ~store:State_store.Compact ~domains:1 ~delay_bound:1
+        ~max_states tab
+    in
+    let cparn =
+      Parallel.explore ~store:State_store.Compact ~domains:domains_under_test
+        ~delay_bound:1 ~max_states tab
+    in
+    List.iter
+      (fun (driver, (exact : Search.result), (compact : Search.result)) ->
+        if exact.stats.truncated <> compact.stats.truncated then
+          failf seed "%s: compact truncated %b <> exact %b" driver
+            compact.stats.truncated exact.stats.truncated;
+        if not (exact.stats.truncated || compact.stats.truncated) then begin
+          if compact.stats.states <> exact.stats.states then
+            failf seed "%s: compact states %d <> exact %d" driver
+              compact.stats.states exact.stats.states;
+          if compact.stats.transitions <> exact.stats.transitions then
+            failf seed "%s: compact transitions %d <> exact %d" driver
+              compact.stats.transitions exact.stats.transitions
+        end;
+        if verdict_kind exact <> verdict_kind compact then
+          failf seed "%s: compact verdict %s <> exact %s" driver
+            (verdict_kind compact) (verdict_kind exact);
+        match (ce_of exact, ce_of compact) with
+        | Some e, Some c ->
+          if c.depth <> e.depth then
+            failf seed "%s: compact ce depth %d <> exact %d" driver c.depth
+              e.depth;
+          if c.error <> e.error then
+            failf seed "%s: compact ce error differs from exact" driver;
+          if c.schedule <> e.schedule then
+            failf seed "%s: compact ce schedule differs from exact" driver
+        | None, None -> ()
+        | _ -> ())
+      [ ("sequential", seq, cseq);
+        ("parallel(1)", par1, cpar1);
+        (Fmt.str "parallel(%d)" domains_under_test, parn, cparn) ]
+  | State_store.Bitstate ->
+    (* supertrace may omit states, never silently: at most exact's state
+       count, any error it finds is one exact's superset also contains,
+       and any optimism (fewer states, or exact's error missed) must be
+       flagged by a nonzero lossy-merge count *)
+    let bseq =
+      Delay_bounded.explore ~store:State_store.Bitstate ~delay_bound:1
+        ~max_states tab
+    in
+    let lossy =
+      match bseq.stats.store with
+      | Some st -> st.State_store.s_lossy_dups
+      | None -> failf seed "bitstate run carries no store summary"
+    in
+    if not (seq.stats.truncated || bseq.stats.truncated) then begin
+      if bseq.stats.states > seq.stats.states then
+        failf seed "bitstate explored %d states, exact only %d"
+          bseq.stats.states seq.stats.states;
+      if bseq.stats.states < seq.stats.states && lossy = 0 then
+        failf seed "bitstate omitted %d states without flagging a lossy merge"
+          (seq.stats.states - bseq.stats.states);
+      match (ce_of seq, ce_of bseq) with
+      | Some _, None when lossy = 0 ->
+        failf seed "bitstate missed the error without flagging a lossy merge"
+      | None, Some _ ->
+        failf seed "bitstate reports an error the exact store does not"
+      | _ -> ()
+    end
 
 let family_case name ~ghost ~risky first_seed =
   Alcotest.test_case name `Quick (fun () ->
