@@ -444,7 +444,120 @@ let random_cmd =
 
 (* ---------------- simulate ---------------- *)
 
-let run_simulate file example max_blocks seed show_trace trace_out =
+(* --shards N: execute the compiled tables on the effects-based sharded
+   serving runtime instead of the semantics interpreter — the production
+   execution path under a simulation driver. Full tables (ghosts kept),
+   so closed programs drive themselves; [*] choices resolve from --seed.
+   The --max-blocks budget maps onto events processed, polled against the
+   racy shard counters. *)
+let run_simulate_sharded program shards max_blocks seed stats_json =
+  let module Shard = P_runtime.Shard in
+  let module Exec = P_runtime.Exec in
+  (match P_static.Check.run program with
+  | { diagnostics = (_ :: _) as ds; _ } ->
+    Fmt.pr "%a@." P_static.Check.pp_diagnostics ds;
+    exit 1
+  | _ -> ());
+  let driver = P_compile.Compile.compile_full program in
+  let metrics =
+    match stats_json with None -> None | Some _ -> Some (P_obs.Metrics.create ())
+  in
+  let stats_oc = Option.map open_out_or_die stats_json in
+  let t = Shard.create ~shards ?seed ?metrics driver in
+  (* stub every declared foreign with the ⊥ the interpreter would produce
+     for a model-free foreign (the differential harness's convention) *)
+  Array.iter
+    (fun (mt : P_compile.Tables.machine_table) ->
+      Array.iter
+        (fun (fs : P_compile.Tables.foreign_sig) ->
+          Shard.register_foreign t fs.fs_name (fun _ _ -> P_runtime.Rt_value.Null))
+        mt.mt_foreigns)
+    driver.P_compile.Tables.dr_machines;
+  let main_ty =
+    match driver.P_compile.Tables.dr_main with
+    | Some ty -> ty
+    | None -> or_die (Error "program has no main machine")
+  in
+  let main_name = driver.P_compile.Tables.dr_machines.(main_ty).mt_name in
+  let main = Shard.create_machine t main_name in
+  (* apply the trailing main-initialization of Figure 3 before the entry
+     statement runs (the shards are not started yet) *)
+  let main_rt = Shard.exec_of t (Shard.home t main) in
+  (match Exec.find_instance main_rt main with
+  | None -> assert false
+  | Some ctx ->
+    List.iter
+      (fun (x, e) -> Exec.assign ctx x (Exec.eval main_rt ctx e))
+      driver.P_compile.Tables.dr_main_init);
+  Shard.start t;
+  let rec drive () =
+    if Shard.events_processed t >= max_blocks then false
+    else if Shard.quiesce ~timeout_s:0.1 t then true
+    else drive ()
+  in
+  let quiescent = drive () in
+  let outcome =
+    match Shard.stop t with
+    | st -> Ok st
+    | exception Exec.Runtime_error msg -> Error msg
+  in
+  let st = match outcome with Ok st -> st | Error _ -> Shard.stats t in
+  (match stats_oc with
+  | None -> ()
+  | Some oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let fields =
+          [ ("schema", P_obs.Json.String "p-sim-stats/1");
+            ("machine", P_obs.Machine_info.json ());
+            ("shards", P_obs.Json.Int st.Shard.sh_shards);
+            ("quiescent", P_obs.Json.Bool quiescent);
+            ( "status",
+              P_obs.Json.String
+                (match outcome with Ok _ -> "ok" | Error m -> m) );
+            ("machines", P_obs.Json.Int st.Shard.sh_machines);
+            ("events", P_obs.Json.Int st.Shard.sh_dequeues);
+            ("sends", P_obs.Json.Int st.Shard.sh_sends);
+            ("spawns", P_obs.Json.Int st.Shard.sh_spawns);
+            ("activations", P_obs.Json.Int st.Shard.sh_activations);
+            ("yields", P_obs.Json.Int st.Shard.sh_yields);
+            ("shed_mailbox", P_obs.Json.Int st.Shard.sh_shed_mailbox);
+            ("shed_ingress", P_obs.Json.Int st.Shard.sh_shed_ingress);
+            ("dead_letters", P_obs.Json.Int st.Shard.sh_dead_letters);
+            ("xfer_batches", P_obs.Json.Int st.Shard.sh_xfer_batches);
+            ("xfer_msgs", P_obs.Json.Int st.Shard.sh_xfer_msgs) ]
+        in
+        let fields =
+          match metrics with
+          | None -> fields
+          | Some reg -> fields @ [ ("metrics", P_obs.Metrics.dump reg) ]
+        in
+        output_string oc (P_obs.Json.to_string_pretty (P_obs.Json.Obj fields));
+        output_char oc '\n'));
+  (match outcome with
+  | Ok _ ->
+    Fmt.pr
+      "sharded simulation: %s after %d event(s) on %d shard(s) (%d machine(s) \
+       live, %d send(s), %d spawn(s), %d cross-shard message(s), %d shed)@."
+      (if quiescent then "quiescent" else "block budget exhausted")
+      st.Shard.sh_dequeues st.Shard.sh_shards st.Shard.sh_machines
+      st.Shard.sh_sends st.Shard.sh_spawns st.Shard.sh_xfer_msgs
+      (st.Shard.sh_shed_mailbox + st.Shard.sh_shed_ingress)
+  | Error msg ->
+    Fmt.pr "sharded simulation: error: %s@." msg;
+    exit 1)
+
+let run_simulate file example max_blocks seed show_trace trace_out shards
+    stats_json =
+  match shards with
+  | Some n when n >= 1 ->
+    if show_trace || trace_out <> None then
+      or_die (Error "--trace/--trace-out are not supported with --shards");
+    let program = or_die (load_program file example) in
+    run_simulate_sharded program n max_blocks seed stats_json
+  | Some _ -> or_die (Error "--shards must be at least 1")
+  | None ->
   let program = or_die (load_program file example) in
   match P_static.Check.run program with
   | { diagnostics = (_ :: _) as ds; _ } ->
@@ -490,11 +603,32 @@ let simulate_cmd =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Write the execution trace as Chrome trace_event JSON to $(docv).")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Execute on the effects-based sharded serving runtime with N \
+             scheduler domains instead of the semantics interpreter \
+             (ghost choices need $(b,--seed); the block budget counts \
+             events processed).")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--shards): write runtime counters (events, sends, \
+             sheds, cross-shard traffic, the runtime.* metrics) as JSON \
+             to $(docv).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Deterministic causal (d=0) execution of the closed program.")
     Term.(
       const run_simulate $ file_arg $ example_arg $ max_blocks $ seed $ trace
-      $ trace_out)
+      $ trace_out $ shards $ stats_json)
 
 (* ---------------- erase / compile / print ---------------- *)
 

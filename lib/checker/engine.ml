@@ -552,7 +552,8 @@ let run ?(instr = Search.no_instr) ?observer ?(span_args = []) ~engine
         store_bytes =
           (match t.seen with
           | None -> 0
-          | Some st -> State_store.live_bytes st) });
+          | Some st -> State_store.live_bytes st);
+        shed = 0 });
   push root;
   try
     while not (is_empty ()) do
@@ -743,7 +744,8 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
           frontier = float_of_int (Atomic.get pending);
           steals = Array.fold_left ( + ) 0 w_steals;
           steal_attempts = Array.fold_left ( + ) 0 w_steal_attempts;
-          store_bytes = State_store.live_bytes store });
+          store_bytes = State_store.live_bytes store;
+          shed = 0 });
     let bucket_add w spent entry =
       let b = buckets.(w) in
       let prev = Option.value ~default:[] (Hashtbl.find_opt b spent) in

@@ -19,6 +19,8 @@ type t = {
       (** the P event queued on EvtRemoveDevice; [None] if the driver has no
           removal protocol *)
   mutable handle : int option;
+  mutable sheds : int;
+      (** callbacks dropped at the machine's bounded mailbox (backpressure) *)
 }
 
 type error = Device_not_added of { main_machine : string }
@@ -32,7 +34,9 @@ let error_message (Device_not_added { main_machine }) =
     main_machine
 
 let attach ?(delete_event = Some "Delete") (runtime : Api.t) ~main_machine ~translate =
-  { runtime; main_machine; translate; delete_event; handle = None }
+  { runtime; main_machine; translate; delete_event; handle = None; sheds = 0 }
+
+let sheds t = t.sheds
 
 let handle_opt t : (int, error) result =
   match t.handle with
@@ -48,19 +52,30 @@ let driver ?(name = "p-driver") ?metrics (t : t) : Os_events.driver =
     Option.map
       (fun reg ->
         ( P_obs.Metrics.counter reg "host.callbacks",
+          P_obs.Metrics.counter reg "host.shed",
           P_obs.Metrics.histogram reg "host.callback_s" ))
       metrics
   in
+  (* backpressure, not OOM: a full bounded mailbox sheds the callback (the
+     OS retries or drops, as real interface code would) instead of letting
+     the queue grow without bound or tearing the host down *)
+  let deliver h event payload =
+    match Api.try_add_event t.runtime h event payload with
+    | P_runtime.Context.Accepted | P_runtime.Context.Queued -> false
+    | P_runtime.Context.Shed ->
+      t.sheds <- t.sheds + 1;
+      true
+  in
   let timed_callback h event payload =
     match hmeters with
-    | None -> Api.add_event t.runtime h event payload
-    | Some (m_calls, m_latency) ->
+    | None -> ignore (deliver h event payload : bool)
+    | Some (m_calls, m_shed, m_latency) ->
       let span = P_obs.Mclock.start () in
       Fun.protect
         ~finally:(fun () ->
           P_obs.Metrics.incr m_calls;
           P_obs.Metrics.observe m_latency (P_obs.Mclock.elapsed_s span))
-        (fun () -> Api.add_event t.runtime h event payload)
+        (fun () -> if deliver h event payload then P_obs.Metrics.incr m_shed)
   in
   { Os_events.name;
     add_device =

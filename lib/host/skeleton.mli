@@ -37,8 +37,15 @@ val handle : t -> int
 (** Like {!handle_opt}.
     @raise Error before [add_device]. *)
 
+val sheds : t -> int
+(** Callbacks shed at the machine's bounded mailbox so far: with a
+    capacity set via {!P_runtime.Api.set_mailbox_capacity}, overload
+    surfaces here (and in the [host.shed] counter) as dropped events
+    rather than unbounded queue growth. *)
+
 val driver : ?name:string -> ?metrics:P_obs.Metrics.t -> t -> Os_events.driver
 (** The host-facing driver interface. Callbacks before [add_device] or
     after [remove_device] are dropped, as in KMDF. With [metrics], every
     dispatched callback counts into [host.callbacks] and records its
-    wall-clock latency in the [host.callback_s] histogram. *)
+    wall-clock latency in the [host.callback_s] histogram; shed callbacks
+    count into [host.shed]. *)

@@ -20,6 +20,7 @@ type sample = {
   heap_mb : float;
   store_mb : float;
   store_bytes_per_state : float;
+  shed : int;
 }
 
 type probe = {
@@ -29,6 +30,7 @@ type probe = {
   steals : int;
   steal_attempts : int;
   store_bytes : int;
+  shed : int;
 }
 
 type state = {
@@ -114,7 +116,8 @@ let json_of_sample (x : sample) =
       ("bytes_per_state", Json.Float x.bytes_per_state);
       ("heap_mb", Json.Float x.heap_mb);
       ("store_mb", Json.Float x.store_mb);
-      ("store_bytes_per_state", Json.Float x.store_bytes_per_state) ]
+      ("store_bytes_per_state", Json.Float x.store_bytes_per_state);
+      ("shed", Json.Int x.shed) ]
 
 (* Take one sample. Caller holds [s.lock]. *)
 let sample_locked (s : state) now =
@@ -147,7 +150,8 @@ let sample_locked (s : state) now =
         store_mb = float_of_int p.store_bytes /. 1e6;
         store_bytes_per_state =
           (if p.states = 0 then 0.0
-           else float_of_int p.store_bytes /. float_of_int p.states) }
+           else float_of_int p.store_bytes /. float_of_int p.states);
+        shed = p.shed }
     in
     s.last_us <- now;
     s.last_states <- p.states;

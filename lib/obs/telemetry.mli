@@ -37,6 +37,7 @@ type sample = {
   heap_mb : float;  (** major heap size now, MB *)
   store_mb : float;  (** seen-set footprint now, MB ([0.] without one) *)
   store_bytes_per_state : float;  (** seen-set footprint / states *)
+  shed : int;  (** cumulative events dropped by backpressure; [0] for engines *)
 }
 
 type probe = {
@@ -46,9 +47,12 @@ type probe = {
   steals : int;
   steal_attempts : int;
   store_bytes : int;  (** live seen-set footprint; [0] without a seen set *)
+  shed : int;  (** cumulative backpressure drops; [0] without bounds *)
 }
 (** What the engine reports when asked: its live totals. Sequential
-    engines leave the steal fields 0. *)
+    engines leave the steal fields 0; the serving runtime ({!P_runtime}'s
+    shard layer) maps states to events processed, transitions to local
+    deliveries, frontier to ready fibers, and counts its sheds. *)
 
 type t
 

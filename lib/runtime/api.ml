@@ -17,6 +17,7 @@ let register_foreign = Exec.register_foreign
 let set_trace_hook (rt : t) hook = rt.Exec.trace_hook <- hook
 
 let set_metrics = Exec.set_metrics
+let set_mailbox_capacity = Exec.set_mailbox_capacity
 
 (** Create (and start) an instance of a machine type by name. Returns its
     handle. The entry statement of the initial state runs before this
@@ -26,13 +27,27 @@ let create_machine (rt : t) (machine : string) : int =
   | None -> Exec.error "unknown machine type %s" machine
   | Some ty ->
     let ctx = Exec.create_instance rt ~creator:None ty in
-    Exec.run_if_idle rt ctx;
+    ignore (Exec.run_if_idle rt ctx : bool);
     ctx.Context.self
 
 (** Queue an event into a machine; if the machine is idle the calling
     thread runs it to completion (the paper's "drivers use calling threads
-    to do all the work"). *)
+    to do all the work"). Raises {!Exec.Mailbox_overflow} if the machine's
+    bounded mailbox is full — hosts that want to shed instead use
+    {!try_add_event}. *)
 let add_event (rt : t) (handle : int) (event : string) (payload : Rt_value.t) : unit =
+  match Tables.event_id_of_name rt.Exec.driver event with
+  | None -> Exec.error "unknown event %s" event
+  | Some e -> (
+    match Exec.deliver rt ~src:(-1) handle e payload with
+    | Context.Accepted | Context.Queued -> ()
+    | Context.Shed -> Exec.raise_overflow rt handle e)
+
+(** Like {!add_event}, but a full mailbox sheds (returns
+    [Context.Shed]) instead of raising — the host skeleton's backpressure
+    entry point. *)
+let try_add_event (rt : t) (handle : int) (event : string) (payload : Rt_value.t) :
+    Context.backpressure =
   match Tables.event_id_of_name rt.Exec.driver event with
   | None -> Exec.error "unknown event %s" event
   | Some e -> Exec.deliver rt ~src:(-1) handle e payload

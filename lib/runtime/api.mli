@@ -29,6 +29,10 @@ val set_metrics : t -> P_obs.Metrics.t option -> unit
     the [runtime.queue_len_hwm] inbox high-water mark in the given
     registry; [None] (the initial state) turns metrics off. *)
 
+val set_mailbox_capacity : t -> int -> unit
+(** Bound the mailboxes of machines created from here on; the default is
+    unbounded (the formal semantics' queues). *)
+
 val create_machine : t -> string -> int
 (** Create and start an instance of the named machine type; returns its
     handle. The entry statement of its initial state has completed when
@@ -36,7 +40,14 @@ val create_machine : t -> string -> int
 
 val add_event : t -> int -> string -> Rt_value.t -> unit
 (** Queue an event (with payload) into a machine; if the machine is idle,
-    the calling thread runs it to completion. *)
+    the calling thread runs it to completion. Raises
+    {!Exec.Mailbox_overflow} when the machine's bounded mailbox (see
+    {!Exec.set_mailbox_capacity}) is full. *)
+
+val try_add_event : t -> int -> string -> Rt_value.t -> Context.backpressure
+(** Like {!add_event} but reports the outcome instead of raising on a full
+    mailbox: [Accepted] (receiver ran on this thread), [Queued], or
+    [Shed] (bounded mailbox full, event dropped). *)
 
 val get_context : t -> int -> Context.ext option
 (** The external memory attached to a machine, reserved for foreign

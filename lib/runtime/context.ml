@@ -14,6 +14,19 @@ type ext = ..
 
 type handler = HNone | HDefer | HAction of int
 
+(** What happened to an event offered to the runtime — the typed
+    backpressure contract of the serving scheduler. [Accepted] means the
+    receiver was idle and ran (run-to-completion drivers) or the event was
+    taken for immediate processing; [Queued] means it sits in a mailbox
+    behind other work; [Shed] means a bounded mailbox (or shard ingress)
+    was full and the event was dropped. *)
+type backpressure = Accepted | Queued | Shed
+
+(** Outcome of a single mailbox [enqueue]. [Enq_duplicate] is the
+    deduplicating [⊕] of the SEND rule absorbing an entry already
+    present — not an error and not an overflow. *)
+type enqueue_result = Enq_ok | Enq_duplicate | Enq_overflow
+
 (** The input FIFO: a two-list functional queue (amortized O(1) enqueue)
     plus a membership table for the deduplicating [⊕] of the SEND rule.
     The historical representation was a plain list appended with [@],
@@ -52,11 +65,12 @@ type t = {
   inbox : inbox;
   mutable alive : bool;
   mutable scheduled : bool;  (** being run (or queued to run) by some thread *)
+  capacity : int;  (** mailbox bound; [max_int] = unbounded (semantics mode) *)
   lock : Mutex.t;
   mutable external_mem : ext option;
 }
 
-let create ~self ~ty ~(table : Tables.machine_table) : t =
+let create ?(capacity = max_int) ~self ~ty ~(table : Tables.machine_table) () : t =
   let n_events =
     match table.mt_states with
     | [||] -> 0
@@ -77,6 +91,7 @@ let create ~self ~ty ~(table : Tables.machine_table) : t =
     inbox = { ib_front = []; ib_back = []; ib_size = 0; ib_members = Hashtbl.create 16 };
     alive = true;
     scheduled = false;
+    capacity = (if capacity <= 0 then invalid_arg "Context.create: capacity" else capacity);
     lock = Mutex.create ();
     external_mem = None }
 
@@ -104,13 +119,16 @@ let is_deferred t event =
     membership is a hash lookup ([Rt_value] values are plain immutable
     variants, so generic hashing and equality agree with
     {!Rt_value.equal}), and the entry is consed onto the back list. *)
-let enqueue t event payload =
+let enqueue t event payload : enqueue_result =
   let ib = t.inbox in
   let key = (event, payload) in
-  if not (Hashtbl.mem ib.ib_members key) then begin
+  if Hashtbl.mem ib.ib_members key then Enq_duplicate
+  else if ib.ib_size >= t.capacity then Enq_overflow
+  else begin
     Hashtbl.replace ib.ib_members key ();
     ib.ib_back <- key :: ib.ib_back;
-    ib.ib_size <- ib.ib_size + 1
+    ib.ib_size <- ib.ib_size + 1;
+    Enq_ok
   end
 
 (* Move the back list to the front (once per element over the queue's

@@ -12,6 +12,17 @@ type ext = ..
 
 type handler = HNone | HDefer | HAction of int
 
+(** What happened to an event offered to the runtime: ran immediately
+    ([Accepted]), parked in a mailbox ([Queued]), or dropped because a
+    bound was reached ([Shed]). The typed backpressure contract shared by
+    {!Api}, the effects scheduler and the shard layer. *)
+type backpressure = Accepted | Queued | Shed
+
+(** Outcome of a single mailbox [enqueue]: [Enq_duplicate] is the
+    deduplicating [⊕] absorbing an entry already present; [Enq_overflow]
+    reports a full bounded mailbox (nothing was enqueued). *)
+type enqueue_result = Enq_ok | Enq_duplicate | Enq_overflow
+
 type task =
   | Exec of Tables.code
   | Handle of int * Rt_value.t  (** dynamic raise(e, v) *)
@@ -47,11 +58,17 @@ type t = {
   inbox : inbox;
   mutable alive : bool;
   mutable scheduled : bool;  (** being run (or queued to run) by some thread *)
+  capacity : int;  (** mailbox bound; [max_int] = unbounded (semantics mode) *)
   lock : Mutex.t;
   mutable external_mem : ext option;
 }
 
-val create : self:int -> ty:int -> table:Tables.machine_table -> t
+val create :
+  ?capacity:int -> self:int -> ty:int -> table:Tables.machine_table -> unit -> t
+(** [capacity] bounds the inbox ([max_int], the default, preserves the
+    formal semantics' unbounded queues); raises [Invalid_argument] when
+    not positive. *)
+
 val current_state : t -> int option
 val state_table : t -> int -> Tables.state_table
 
@@ -59,8 +76,9 @@ val is_deferred : t -> int -> bool
 (** The effective deferred set in the current state (inherited plus
     declared, minus locally handled). *)
 
-val enqueue : t -> int -> Rt_value.t -> unit
-(** Append with the deduplicating [⊕] of the SEND rule. *)
+val enqueue : t -> int -> Rt_value.t -> enqueue_result
+(** Append with the deduplicating [⊕] of the SEND rule, respecting the
+    mailbox capacity. *)
 
 val dequeue : t -> (int * Rt_value.t) option
 (** Dequeue the first non-deferred entry, if any; deferred entries keep

@@ -43,6 +43,54 @@ type stepped = {
 exception Choice_needed
 (** A [*] was evaluated past the end of [sp_choices]. *)
 
+(** Scheduled (effects) mode: sends, spawns, [*] choices and quantum
+    expiry perform effects instead of recursing on the caller's stack, so
+    a {!Sched} handler can multiplex thousands of machine fibers on one
+    domain. [sc_left] is the remaining dequeue budget of the running
+    fiber; when it reaches zero the machine loop performs {!Sched_yield}
+    at its next dequeue point (a scheduling point in the semantics), which
+    lets a serving scheduler preempt chatty machines without breaking
+    atomic-block boundaries. *)
+type sched_mode = {
+  sc_quantum : int;
+  mutable sc_left : int;
+}
+
+type mode =
+  | Nested  (** run-to-completion on the calling thread (the d = 0 schedule) *)
+  | Stepped of stepped  (** differential replay via {!step_block} *)
+  | Scheduled of sched_mode  (** cooperative fibers under a {!Sched} handler *)
+
+(** The effects performed by machine code in [Scheduled] mode. Declared
+    here (the lowest layer) so the machine loop can perform them; handled
+    exclusively by [Sched.run_fiber]. *)
+type _ Effect.t +=
+  | Sched_send : {
+      src : Context.t;
+      dst : int;
+      event : int;
+      payload : Rt_value.t;
+    }
+      -> Context.backpressure Effect.t
+  | Sched_spawn : {
+      creator : Context.t;
+      ty : int;
+      inits : (int * Rt_value.t) list;
+    }
+      -> int Effect.t
+  | Sched_yield : Context.t -> unit Effect.t
+  | Sched_choose : Context.t -> bool Effect.t
+
+exception
+  Mailbox_overflow of {
+    dst : int;
+    event : string;
+    capacity : int;
+  }
+(** A bounded mailbox rejected an event in a mode with no shed path
+    (run-to-completion delivery via {!Api.add_event} or a machine-code
+    send in [Nested] mode). *)
+
 (** Metric handles resolved once in {!set_metrics}: sends, dequeues and
     machine creations as counters, plus the longest inbox ever seen.
     Updated under the runtime lock the bookkeeping already holds, so the
@@ -62,8 +110,12 @@ type t = {
   lock : Mutex.t;
   mutable trace_hook : (Rt_trace.item -> unit) option;
   mutable meters : rt_meters option;
-  mutable stepped : stepped option;
-      (** [Some _] only inside {!step_block}; see {!stepped} *)
+  mutable mode : mode;
+      (** [Stepped _] only inside {!step_block}; [Scheduled _] only under a
+          {!Sched} handler *)
+  mutable default_capacity : int;
+      (** mailbox capacity for instances created from here on *)
+  mutable n_dequeued : int;  (** events processed, all modes; cheap stat *)
 }
 
 let create (driver : Tables.driver) : t =
@@ -74,11 +126,26 @@ let create (driver : Tables.driver) : t =
     lock = Mutex.create ();
     trace_hook = None;
     meters = None;
-    stepped = None }
+    mode = Nested;
+    default_capacity = max_int;
+    n_dequeued = 0 }
 
-let is_stepped rt = rt.stepped <> None
-let stepped_yield rt = match rt.stepped with Some sp -> sp.sp_yield | None -> false
-let set_yield rt = match rt.stepped with Some sp -> sp.sp_yield <- true | None -> ()
+let is_stepped rt = match rt.mode with Stepped _ -> true | _ -> false
+let stepped_yield rt = match rt.mode with Stepped sp -> sp.sp_yield | _ -> false
+let set_yield rt = match rt.mode with Stepped sp -> sp.sp_yield <- true | _ -> ()
+
+let set_mailbox_capacity rt capacity =
+  if capacity <= 0 then invalid_arg "Exec.set_mailbox_capacity";
+  rt.default_capacity <- capacity
+
+let scheduled_mode rt ~quantum =
+  if quantum <= 0 then invalid_arg "Exec.scheduled_mode: quantum";
+  rt.mode <- Scheduled { sc_quantum = quantum; sc_left = quantum }
+
+let reset_quantum rt =
+  match rt.mode with Scheduled sc -> sc.sc_left <- sc.sc_quantum | _ -> ()
+
+let events_dequeued rt = rt.n_dequeued
 
 (** Point the runtime at a metrics registry ([None] turns metrics off). *)
 let set_metrics (rt : t) (reg : P_obs.Metrics.t option) : unit =
@@ -134,13 +201,15 @@ let rec eval rt (ctx : Context.t) (e : Tables.cexpr) : Rt_value.t =
     let values = List.map (eval rt ctx) args in
     call_foreign rt ctx fs.fs_name values
   | Tables.CNondet -> (
-    (* only full (differential) tables contain CNondet, and only stepped
-       execution can resolve it — from the recorded choice list *)
-    match rt.stepped with
-    | None ->
+    (* only full (differential) tables contain CNondet; stepped execution
+       resolves it from the recorded choice list, scheduled execution asks
+       its handler (which may hold a seeded generator) *)
+    match rt.mode with
+    | Nested ->
       error "machine %s #%d: nondeterministic '*' outside stepped mode"
         ctx.table.mt_name ctx.self
-    | Some sp -> (
+    | Scheduled _ -> Rt_value.Bool (Effect.perform (Sched_choose ctx))
+    | Stepped sp -> (
       match sp.sp_choices with
       | [] -> raise Choice_needed
       | b :: rest ->
@@ -178,9 +247,29 @@ let push_amap (ctx : Context.t) (caller_state : int) (amap : Context.handler arr
         | None -> if st.Tables.st_deferred.(e) then Context.HDefer else inherited)
     amap
 
+let raise_overflow rt dst e =
+  let capacity =
+    match find_instance rt dst with
+    | Some c -> c.Context.capacity
+    | None -> rt.default_capacity
+  in
+  raise (Mailbox_overflow { dst; event = event_name rt e; capacity })
+
 let rec run_machine rt (ctx : Context.t) : unit =
   let continue = ref true in
   while !continue && ctx.alive && not (stepped_yield rt) do
+    (* Preemption point — only at block boundaries: before a dequeue and
+       before handling a raised event. Raised events count against the
+       quantum too (CRaise decrements it), otherwise a raise-driven
+       generator (entry sends, raises, re-enters) never reaches the
+       dequeue point and holds its scheduler forever. *)
+    (match (rt.mode, ctx.agenda) with
+    | Scheduled sc, ([] | Context.Handle _ :: _) ->
+      if sc.sc_left <= 0 then begin
+        Effect.perform (Sched_yield ctx);
+        sc.sc_left <- sc.sc_quantum
+      end
+    | _ -> ());
     match ctx.agenda with
     | [] -> (
       (* DEQUEUE *)
@@ -188,6 +277,8 @@ let rec run_machine rt (ctx : Context.t) : unit =
       match entry with
       | None -> continue := false
       | Some (e, v) ->
+        rt.n_dequeued <- rt.n_dequeued + 1;
+        (match rt.mode with Scheduled sc -> sc.sc_left <- sc.sc_left - 1 | _ -> ());
         (match rt.meters with
         | None -> ()
         | Some m -> P_obs.Metrics.incr m.rm_dequeues);
@@ -273,27 +364,27 @@ and exec_code rt (ctx : Context.t) (code : Tables.code) rest =
   | Tables.CAssert (e, msg) ->
     if Rt_value.truth (eval rt ctx e) then ctx.agenda <- rest
     else error "machine %s #%d: assertion failed (%s)" ctx.table.mt_name ctx.self msg
-  | Tables.CNew (x, ty, inits) ->
+  | Tables.CNew (x, ty, inits) -> (
     let values = List.map (fun (y, e) -> (y, eval rt ctx e)) inits in
-    let child = create_instance rt ~creator:(Some ctx.self) ty in
-    List.iter
-      (fun (y, v) ->
-        let v =
-          match (snd child.Context.table.mt_vars.(y), v) with
-          | P_syntax.Ptype.Byte, Rt_value.Int i -> Rt_value.Int (i land 0xff)
-          | _ -> v
-        in
-        child.Context.vars.(y) <- v)
-      values;
-    assign ctx x (Rt_value.Machine child.Context.self);
-    ctx.agenda <- rest;
-    if is_stepped rt then
-      (* NEW is a scheduling point; the replayed schedule decides when the
-         child's entry statement runs *)
-      set_yield rt
-    else
-      (* the fresh machine preempts its creator, as in the d=0 schedule *)
-      run_if_idle rt child
+    match rt.mode with
+    | Scheduled _ ->
+      (* the handler owns instance creation: it may place the child on
+         another shard and decides when its entry statement runs *)
+      let handle = Effect.perform (Sched_spawn { creator = ctx; ty; inits = values }) in
+      assign ctx x (Rt_value.Machine handle);
+      ctx.agenda <- rest
+    | Nested | Stepped _ ->
+      let child = create_instance rt ~creator:(Some ctx.self) ty in
+      List.iter (fun (y, v) -> assign child y v) values;
+      assign ctx x (Rt_value.Machine child.Context.self);
+      ctx.agenda <- rest;
+      if is_stepped rt then
+        (* NEW is a scheduling point; the replayed schedule decides when
+           the child's entry statement runs *)
+        set_yield rt
+      else
+        (* the fresh machine preempts its creator, as in the d=0 schedule *)
+        ignore (run_if_idle rt child : bool))
   | Tables.CDelete ->
     emit rt (Rt_trace.Deleted { mid = ctx.self });
     with_lock rt (fun () ->
@@ -307,15 +398,31 @@ and exec_code rt (ctx : Context.t) (code : Tables.code) rest =
     match eval rt ctx target with
     | Rt_value.Null ->
       error "machine %s #%d: send to null machine id" ctx.table.mt_name ctx.self
-    | Rt_value.Machine dst ->
+    | Rt_value.Machine dst -> (
       let v = eval rt ctx payload in
       ctx.agenda <- rest;
-      deliver rt ~src:ctx.self dst e v
+      match rt.mode with
+      | Scheduled _ ->
+        (* the handler routes the send (possibly cross-shard); a serving
+           scheduler may shed at a bounded mailbox — machine code cannot
+           react to backpressure, so the drop is the handler's to count *)
+        let (_ : Context.backpressure) =
+          Effect.perform (Sched_send { src = ctx; dst; event = e; payload = v })
+        in
+        ()
+      | Nested | Stepped _ -> (
+        match deliver rt ~src:ctx.self dst e v with
+        | Context.Accepted | Context.Queued -> ()
+        | Context.Shed ->
+          (* run-to-completion semantics has no shed path: a configured
+             bound overflowing is a runtime error, not silent loss *)
+          raise_overflow rt dst e))
     | v ->
       error "machine %s #%d: send target is %a, not a machine id" ctx.table.mt_name
         ctx.self Rt_value.pp v)
   | Tables.CRaise (e, payload) ->
     let v = eval rt ctx payload in
+    (match rt.mode with Scheduled sc -> sc.sc_left <- sc.sc_left - 1 | _ -> ());
     ctx.msg <- Some e;
     ctx.arg <- v;
     ctx.agenda <- [ Context.Handle (e, v) ]
@@ -345,13 +452,17 @@ and exec_code rt (ctx : Context.t) (code : Tables.code) rest =
 (* Instance management and scheduling                                  *)
 (* ------------------------------------------------------------------ *)
 
-and create_instance rt ~creator ty : Context.t =
+and adopt_instance rt ~self ~creator ty : Context.t =
   let ctx =
     with_lock rt (fun () ->
-        let handle = rt.next_handle in
-        rt.next_handle <- handle + 1;
-        let ctx = Context.create ~self:handle ~ty ~table:rt.driver.dr_machines.(ty) in
-        Hashtbl.replace rt.instances handle ctx;
+        if Hashtbl.mem rt.instances self then
+          invalid_arg "Exec.adopt_instance: handle already registered";
+        if self >= rt.next_handle then rt.next_handle <- self + 1;
+        let ctx =
+          Context.create ~capacity:rt.default_capacity ~self ~ty
+            ~table:rt.driver.dr_machines.(ty) ()
+        in
+        Hashtbl.replace rt.instances self ctx;
         ctx)
   in
   (match rt.meters with
@@ -365,42 +476,57 @@ and create_instance rt ~creator ty : Context.t =
        { mid = ctx.Context.self; state = state_name ctx 0 });
   ctx
 
+and create_instance rt ~creator ty : Context.t =
+  let self = fresh_handle rt in
+  adopt_instance rt ~self ~creator ty
+
+and fresh_handle rt =
+  with_lock rt (fun () ->
+      let handle = rt.next_handle in
+      rt.next_handle <- handle + 1;
+      handle)
+
 (* Deliver an event: enqueue under the lock; if the receiver is idle, claim
    it and run it on this thread (nested run-to-completion). *)
-and deliver rt ~src dst e v =
+and deliver rt ~src dst e v : Context.backpressure =
   let target =
     with_lock rt (fun () ->
         match Hashtbl.find_opt rt.instances dst with
         | None -> None
         | Some target ->
-          Context.enqueue target e v;
+          let enq = Context.enqueue target e v in
           (match rt.meters with
           | None -> ()
           | Some m ->
             P_obs.Metrics.incr m.rm_sends;
             P_obs.Metrics.set_max m.rm_queue_hwm
               (float_of_int (Context.inbox_length target)));
-          Some target)
+          Some (target, enq))
   in
   match target with
   | None ->
     error "send to deleted machine #%d (event %s)" dst (event_name rt e)
-  | Some target ->
+  | Some (_, Context.Enq_overflow) -> Context.Shed
+  | Some (target, (Context.Enq_ok | Context.Enq_duplicate)) ->
     emit rt
       (Rt_trace.Sent
          { src;
            dst;
            event = event_name rt e;
            payload = Fmt.str "%a" Rt_value.pp v });
-    if is_stepped rt then
+    if is_stepped rt then begin
       (* SEND is a scheduling point: enqueue only, stop at the block
          boundary; the schedule decides when the receiver runs *)
-      set_yield rt
-    else run_if_idle rt target
+      set_yield rt;
+      Context.Queued
+    end
+    else if run_if_idle rt target then Context.Accepted
+    else Context.Queued
 
 (* Claim-and-run: set the scheduled flag if unset, then drain the machine,
-   re-checking for events that raced in while we were finishing. *)
-and run_if_idle rt (ctx : Context.t) : unit =
+   re-checking for events that raced in while we were finishing. Returns
+   whether this thread claimed (and therefore ran) the machine. *)
+and run_if_idle rt (ctx : Context.t) : bool =
   let claimed =
     with_lock rt (fun () ->
         if ctx.Context.scheduled || not ctx.Context.alive then false
@@ -409,7 +535,7 @@ and run_if_idle rt (ctx : Context.t) : unit =
           true
         end)
   in
-  if claimed then
+  if claimed then begin
     let rec drain () =
       run_machine rt ctx;
       let again =
@@ -423,6 +549,8 @@ and run_if_idle rt (ctx : Context.t) : unit =
       if again then drain ()
     in
     drain ()
+  end;
+  claimed
 
 (* ------------------------------------------------------------------ *)
 (* Stepped execution (differential replay)                             *)
@@ -443,13 +571,16 @@ type block_result =
     expressions in order. Single-threaded use only: no other thread may
     drive [rt] while stepping. *)
 let step_block rt (ctx : Context.t) ~(choices : bool list) : block_result =
-  if is_stepped rt then invalid_arg "Exec.step_block: already stepping";
+  (match rt.mode with
+  | Nested -> ()
+  | Stepped _ -> invalid_arg "Exec.step_block: already stepping"
+  | Scheduled _ -> invalid_arg "Exec.step_block: runtime is under a scheduler");
   if not ctx.Context.alive then
     invalid_arg "Exec.step_block: machine is deleted";
   let sp = { sp_choices = choices; sp_yield = false } in
-  rt.stepped <- Some sp;
+  rt.mode <- Stepped sp;
   Fun.protect
-    ~finally:(fun () -> rt.stepped <- None)
+    ~finally:(fun () -> rt.mode <- Nested)
     (fun () ->
       try
         run_machine rt ctx;

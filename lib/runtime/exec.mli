@@ -28,6 +28,48 @@ type stepped = {
 exception Choice_needed
 (** A [*] was evaluated past the end of [sp_choices]. *)
 
+(** Scheduled (effects) mode: sends, spawns, [*] choices and quantum
+    expiry perform effects handled by a {!Sched} fiber handler, so one
+    domain multiplexes many machines without per-machine threads.
+    [sc_left] is the running fiber's remaining dequeue budget; at zero the
+    machine loop performs {!Sched_yield} at its next dequeue point. *)
+type sched_mode = {
+  sc_quantum : int;
+  mutable sc_left : int;
+}
+
+type mode =
+  | Nested  (** run-to-completion on the calling thread (the d = 0 schedule) *)
+  | Stepped of stepped  (** differential replay via {!step_block} *)
+  | Scheduled of sched_mode  (** cooperative fibers under a {!Sched} handler *)
+
+(** The effects performed by machine code in [Scheduled] mode; handled
+    exclusively by [Sched.run_fiber]. *)
+type _ Effect.t +=
+  | Sched_send : {
+      src : Context.t;
+      dst : int;
+      event : int;
+      payload : Rt_value.t;
+    }
+      -> Context.backpressure Effect.t
+  | Sched_spawn : {
+      creator : Context.t;
+      ty : int;
+      inits : (int * Rt_value.t) list;
+    }
+      -> int Effect.t
+  | Sched_yield : Context.t -> unit Effect.t
+  | Sched_choose : Context.t -> bool Effect.t
+
+exception
+  Mailbox_overflow of {
+    dst : int;
+    event : string;
+    capacity : int;
+  }
+(** A bounded mailbox rejected an event in a mode with no shed path. *)
+
 (** Metric handles resolved once by {!set_metrics}: [runtime.sends],
     [runtime.dequeues], [runtime.creates] counters and the
     [runtime.queue_len_hwm] inbox high-water gauge. *)
@@ -46,11 +88,31 @@ type t = {
   lock : Mutex.t;
   mutable trace_hook : (Rt_trace.item -> unit) option;
   mutable meters : rt_meters option;
-  mutable stepped : stepped option;
-      (** [Some _] only inside {!step_block} *)
+  mutable mode : mode;
+      (** [Stepped _] only inside {!step_block}; [Scheduled _] only under a
+          {!Sched} handler *)
+  mutable default_capacity : int;
+      (** mailbox capacity for instances created from here on *)
+  mutable n_dequeued : int;  (** events processed, all modes *)
 }
 
 val create : Tables.driver -> t
+
+val set_mailbox_capacity : t -> int -> unit
+(** Bound the mailboxes of instances created from here on (existing
+    instances keep their capacity). Raises [Invalid_argument] when not
+    positive; the default is [max_int] (the semantics' unbounded queues). *)
+
+val scheduled_mode : t -> quantum:int -> unit
+(** Switch the runtime into [Scheduled] mode with the given per-activation
+    dequeue budget. Only a {!Sched} handler should call this. *)
+
+val reset_quantum : t -> unit
+(** Refill the running fiber's dequeue budget (called by the scheduler at
+    each activation boundary); no-op outside [Scheduled] mode. *)
+
+val events_dequeued : t -> int
+(** Events processed since [create], any mode — a cheap stat read. *)
 
 (** Point the runtime at a metrics registry; [None] (the initial state)
     turns metrics off and makes every instrumented point a cheap
@@ -59,17 +121,39 @@ val set_metrics : t -> P_obs.Metrics.t option -> unit
 val register_foreign : t -> string -> foreign_fn -> unit
 val find_instance : t -> int -> Context.t option
 
+val emit : t -> Rt_trace.item -> unit
+(** Feed the trace hook, if set (the scheduler emits [Sent] items so the
+    effects driver's observable trace matches the nested driver's). *)
+
+val event_name : t -> int -> string
+
 val create_instance : t -> creator:int option -> int -> Context.t
 (** Allocate and register an instance of machine type [ty] (by index); the
     entry statement is on its agenda but has not run. *)
 
-val deliver : t -> src:int -> int -> int -> Rt_value.t -> unit
-(** [deliver rt ~src dst event payload]: enqueue with [⊕]; if [dst] is
-    idle, claim it and run it to completion on this thread. *)
+val adopt_instance : t -> self:int -> creator:int option -> int -> Context.t
+(** Like {!create_instance} with an externally-allocated handle — the
+    shard layer assigns handles from a global counter so a machine's home
+    shard is a pure function of its id. Raises [Invalid_argument] if the
+    handle is already registered. *)
 
-val run_if_idle : t -> Context.t -> unit
+val fresh_handle : t -> int
+(** Allocate the next instance handle without creating an instance. *)
+
+val deliver : t -> src:int -> int -> int -> Rt_value.t -> Context.backpressure
+(** [deliver rt ~src dst event payload]: enqueue with [⊕]; if [dst] is
+    idle, claim it and run it to completion on this thread ([Accepted]),
+    otherwise leave it queued ([Queued]). [Shed] reports a full bounded
+    mailbox (nothing enqueued, receiver not run). *)
+
+val run_if_idle : t -> Context.t -> bool
 (** Claim-and-drain: run the machine if no other thread holds it,
-    re-checking for events that race in while finishing. *)
+    re-checking for events that race in while finishing. Returns whether
+    this thread claimed (and ran) the machine. *)
+
+val raise_overflow : t -> int -> int -> 'a
+(** Raise {!Mailbox_overflow} for a shed delivery of event [e] to [dst]
+    (looks up the target's capacity for the report). *)
 
 val run_machine : t -> Context.t -> unit
 (** One drain pass (no claim); internal, exposed for tests. *)

@@ -1,0 +1,352 @@
+(** The effects-based cooperative scheduler: one domain multiplexing many
+    machine fibers over a single {!Exec} runtime in [Scheduled] mode.
+
+    Each machine runs as a fiber — {!Exec.run_machine} under an
+    [Effect.Deep] handler. Machine code performs {!Exec.Sched_send},
+    {!Exec.Sched_spawn}, {!Exec.Sched_yield} and {!Exec.Sched_choose}
+    instead of recursing on the caller's stack, and the handler decides
+    what a send or spawn *means*:
+
+    - [Causal] replays the nested run-to-completion discipline exactly: a
+      send to an idle machine runs the receiver to quiescence inside the
+      handler before the sender resumes — the d = 0 causal schedule, so
+      the observable trace is identical to the threads driver
+      (test/test_sched.ml asserts this). Fibers never suspend.
+    - [Fifo] is the serving discipline: sends only enqueue and mark the
+      receiver ready; fibers are activated from a FIFO ready queue and
+      preempted at dequeue points when their quantum runs out, so one
+      chatty machine cannot starve ten thousand quiet ones.
+
+    Everything here runs on one domain, so contexts need no locking; the
+    shard layer ({!Shard}) pins one scheduler per domain and routes
+    cross-shard traffic through its transfer queues via the [router]. *)
+
+module Tables = P_compile.Tables
+
+type policy = Causal | Fifo
+
+(** Final answer of a machine fiber: ran to quiescence, or parked a
+    continuation in the ready queue (Fifo quantum expiry only). *)
+type outcome = Done | Suspended
+
+type entry =
+  | Start of Context.t  (** activate via {!Exec.run_machine} *)
+  | Resume of Context.t * (unit, outcome) Effect.Deep.continuation
+
+(** Hooks the shard layer installs to stretch one scheduler across many:
+    a global handle allocator, the home predicate, and the cross-shard
+    send/spawn paths (which enqueue into another shard's transfer queue
+    and never touch its contexts directly). *)
+type router = {
+  rt_alloc : unit -> int;
+  rt_home : int -> bool;
+  rt_send :
+    src:int -> dst:int -> event:int -> payload:Rt_value.t -> Context.backpressure;
+  rt_spawn :
+    handle:int -> creator:int -> ty:int -> inits:(int * Rt_value.t) list -> unit;
+}
+
+type meters = {
+  sm_activations : P_obs.Metrics.counter;  (** [runtime.sched_activations] *)
+  sm_yields : P_obs.Metrics.counter;  (** [runtime.sched_yields] *)
+  sm_shed_mailbox : P_obs.Metrics.counter;  (** [runtime.sched_shed_mailbox] *)
+  sm_dead_letters : P_obs.Metrics.counter;  (** [runtime.sched_dead_letters] *)
+  sm_ready_hwm : P_obs.Metrics.gauge;  (** [runtime.sched_ready_hwm] *)
+}
+
+type t = {
+  rt : Exec.t;
+  policy : policy;
+  ready : entry Queue.t;
+  rng : Random.State.t option;  (** resolves ghost [*] when present *)
+  router : router option;
+  mutable meters : meters option;
+  (* single-writer counters; cross-domain reads (telemetry) may be stale *)
+  mutable c_sends : int;
+  mutable c_spawns : int;
+  mutable c_activations : int;
+  mutable c_yields : int;
+  mutable c_shed_mailbox : int;
+  mutable c_dead_letters : int;
+  mutable ready_hwm : int;
+  (* last values pushed to [meters], so flushes add deltas *)
+  mutable f_activations : int;
+  mutable f_yields : int;
+  mutable f_shed_mailbox : int;
+  mutable f_dead_letters : int;
+}
+
+type stats = {
+  st_sends : int;  (** local deliveries (deduplicated sends included) *)
+  st_spawns : int;
+  st_activations : int;
+  st_yields : int;  (** quantum preemptions (Fifo only) *)
+  st_shed_mailbox : int;  (** drops at a full bounded mailbox *)
+  st_dead_letters : int;  (** sends to deleted machines (Fifo only) *)
+  st_dequeues : int;  (** events processed by this scheduler's runtime *)
+  st_ready_hwm : int;  (** ready-queue high-water mark *)
+}
+
+let create ?(policy = Fifo) ?(quantum = 64) ?capacity ?seed ?router
+    (driver : Tables.driver) : t =
+  let rt = Exec.create driver in
+  (match capacity with None -> () | Some c -> Exec.set_mailbox_capacity rt c);
+  (* causal fibers run to completion: an infinite quantum means the yield
+     effect is never performed on the hot path *)
+  Exec.scheduled_mode rt
+    ~quantum:(match policy with Causal -> max_int | Fifo -> quantum);
+  { rt;
+    policy;
+    ready = Queue.create ();
+    rng = Option.map (fun s -> Random.State.make [| s |]) seed;
+    router;
+    meters = None;
+    c_sends = 0;
+    c_spawns = 0;
+    c_activations = 0;
+    c_yields = 0;
+    c_shed_mailbox = 0;
+    c_dead_letters = 0;
+    ready_hwm = 0;
+    f_activations = 0;
+    f_yields = 0;
+    f_shed_mailbox = 0;
+    f_dead_letters = 0 }
+
+let exec t = t.rt
+
+let set_metrics t (reg : P_obs.Metrics.t option) : unit =
+  Exec.set_metrics t.rt reg;
+  t.meters <-
+    Option.map
+      (fun reg ->
+        { sm_activations = P_obs.Metrics.counter reg "runtime.sched_activations";
+          sm_yields = P_obs.Metrics.counter reg "runtime.sched_yields";
+          sm_shed_mailbox = P_obs.Metrics.counter reg "runtime.sched_shed_mailbox";
+          sm_dead_letters = P_obs.Metrics.counter reg "runtime.sched_dead_letters";
+          sm_ready_hwm = P_obs.Metrics.gauge reg "runtime.sched_ready_hwm" })
+      reg
+
+(** Push the counter deltas since the last flush into the metrics
+    registry (called by the shard loop at telemetry ticks and once at
+    shutdown; counters stay plain ints on the hot path). *)
+let flush_metrics t =
+  match t.meters with
+  | None -> ()
+  | Some m ->
+    let add c last cur = P_obs.Metrics.add c (cur - last) in
+    add m.sm_activations t.f_activations t.c_activations;
+    add m.sm_yields t.f_yields t.c_yields;
+    add m.sm_shed_mailbox t.f_shed_mailbox t.c_shed_mailbox;
+    add m.sm_dead_letters t.f_dead_letters t.c_dead_letters;
+    P_obs.Metrics.set_max m.sm_ready_hwm (float_of_int t.ready_hwm);
+    t.f_activations <- t.c_activations;
+    t.f_yields <- t.c_yields;
+    t.f_shed_mailbox <- t.c_shed_mailbox;
+    t.f_dead_letters <- t.c_dead_letters
+
+let stats t : stats =
+  { st_sends = t.c_sends;
+    st_spawns = t.c_spawns;
+    st_activations = t.c_activations;
+    st_yields = t.c_yields;
+    st_shed_mailbox = t.c_shed_mailbox;
+    st_dead_letters = t.c_dead_letters;
+    st_dequeues = Exec.events_dequeued t.rt;
+    st_ready_hwm = t.ready_hwm }
+
+let ready_length t = Queue.length t.ready
+
+let push_ready t entry =
+  Queue.push entry t.ready;
+  let n = Queue.length t.ready in
+  if n > t.ready_hwm then t.ready_hwm <- n
+
+(* ------------------------------------------------------------------ *)
+(* The fiber handler                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [ctx] as a fiber until it quiesces or (Fifo) parks itself. The
+   deep handler stays installed across resumptions, so a parked
+   continuation re-enters scheduling simply by being continued. *)
+let rec run_fiber t (ctx : Context.t) : outcome =
+  Effect.Deep.match_with
+    (fun () -> Exec.run_machine t.rt ctx)
+    ()
+    { retc =
+        (fun () ->
+          ctx.Context.scheduled <- false;
+          Done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Exec.Sched_send { src; dst; event; payload } ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                match route_send t ~src:src.Context.self dst event payload with
+                | bp -> Effect.Deep.continue k bp
+                | exception e -> Effect.Deep.discontinue k e)
+          | Exec.Sched_spawn { creator; ty; inits } ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                match spawn_child t ~creator:creator.Context.self ty inits with
+                | handle -> Effect.Deep.continue k handle
+                | exception e -> Effect.Deep.discontinue k e)
+          | Exec.Sched_yield yctx ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                match t.policy with
+                | Causal -> Effect.Deep.continue k ()
+                | Fifo ->
+                  t.c_yields <- t.c_yields + 1;
+                  push_ready t (Resume (yctx, k));
+                  Suspended)
+          | Exec.Sched_choose cctx ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                match t.rng with
+                | Some st -> Effect.Deep.continue k (Random.State.bool st)
+                | None ->
+                  Effect.Deep.discontinue k
+                    (Exec.Runtime_error
+                       (Fmt.str
+                          "machine %s #%d: nondeterministic '*' needs a seed \
+                           in scheduled mode"
+                          cctx.Context.table.mt_name cctx.Context.self)))
+          | _ -> None) }
+
+(* Activate an idle machine: claim it and run its fiber (Causal), or just
+   mark it ready (Fifo). *)
+and activate t (target : Context.t) : Context.backpressure =
+  if target.Context.scheduled || not target.Context.alive then Context.Queued
+  else begin
+    target.Context.scheduled <- true;
+    match t.policy with
+    | Causal ->
+      (* the receiver preempts the sender and quiesces first — the d = 0
+         causal stack order of the nested driver *)
+      t.c_activations <- t.c_activations + 1;
+      let (_ : outcome) = run_fiber t target in
+      Context.Accepted
+    | Fifo ->
+      push_ready t (Start target);
+      Context.Queued
+  end
+
+and local_send t ~src dst event payload : Context.backpressure =
+  let rt = t.rt in
+  match Exec.find_instance rt dst with
+  | None -> (
+    match t.policy with
+    | Causal ->
+      (* equivalence with the nested driver demands the same error *)
+      Exec.error "send to deleted machine #%d (event %s)" dst
+        (Exec.event_name rt event)
+    | Fifo ->
+      (* a serving system drops mail for the departed and keeps going *)
+      t.c_dead_letters <- t.c_dead_letters + 1;
+      Context.Shed)
+  | Some target -> (
+    match Context.enqueue target event payload with
+    | Context.Enq_overflow ->
+      t.c_shed_mailbox <- t.c_shed_mailbox + 1;
+      (match t.policy with
+      | Causal -> Exec.raise_overflow rt dst event
+      | Fifo -> Context.Shed)
+    | Context.Enq_ok | Context.Enq_duplicate ->
+      t.c_sends <- t.c_sends + 1;
+      (match rt.Exec.meters with
+      | None -> ()
+      | Some m ->
+        P_obs.Metrics.incr m.Exec.rm_sends;
+        P_obs.Metrics.set_max m.Exec.rm_queue_hwm
+          (float_of_int (Context.inbox_length target)));
+      if rt.Exec.trace_hook <> None then
+        Exec.emit rt
+          (Rt_trace.Sent
+             { src;
+               dst;
+               event = Exec.event_name rt event;
+               payload = Fmt.str "%a" Rt_value.pp payload });
+      activate t target)
+
+and route_send t ~src dst event payload : Context.backpressure =
+  match t.router with
+  | Some r when not (r.rt_home dst) -> r.rt_send ~src ~dst ~event ~payload
+  | _ -> local_send t ~src dst event payload
+
+and spawn_child t ~creator ty inits : int =
+  t.c_spawns <- t.c_spawns + 1;
+  match t.router with
+  | Some r ->
+    let handle = r.rt_alloc () in
+    if r.rt_home handle then adopt_spawn t ~handle ~creator:(Some creator) ty inits
+    else r.rt_spawn ~handle ~creator ~ty ~inits;
+    handle
+  | None ->
+    let handle = Exec.fresh_handle t.rt in
+    adopt_spawn t ~handle ~creator:(Some creator) ty inits;
+    handle
+
+(** Materialize a machine with a pre-allocated handle (local spawns and
+    the shard layer's remote-spawn delivery) and schedule its entry. *)
+and adopt_spawn t ~handle ~creator ty inits : unit =
+  let child = Exec.adopt_instance t.rt ~self:handle ~creator ty in
+  List.iter (fun (y, v) -> Exec.assign child y v) inits;
+  let (_ : Context.backpressure) = activate t child in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Driving                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Run up to [fuel] activations off the ready queue; returns how many
+    ran. Causal schedulers keep their queue empty (everything runs inside
+    the posting call), so this is the Fifo pump. *)
+let run_ready t ~fuel : int =
+  let n = ref 0 in
+  while !n < fuel && not (Queue.is_empty t.ready) do
+    incr n;
+    t.c_activations <- t.c_activations + 1;
+    Exec.reset_quantum t.rt;
+    match Queue.pop t.ready with
+    | Start ctx -> ignore (run_fiber t ctx : outcome)
+    | Resume (_, k) -> ignore (Effect.Deep.continue k () : outcome)
+  done;
+  !n
+
+(** Pump until quiescent. *)
+let run t : unit =
+  while not (Queue.is_empty t.ready) do
+    ignore (run_ready t ~fuel:max_int : int)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* External entry points (the host side of the ingress)                *)
+(* ------------------------------------------------------------------ *)
+
+(** Post an event by event id; [src = -1] marks host origin. Causal
+    policies run the receiver before returning ([Accepted]); Fifo marks
+    it ready for the next {!run_ready} pump. *)
+let post t ~src dst event payload : Context.backpressure =
+  Exec.reset_quantum t.rt;
+  local_send t ~src dst event payload
+
+let add_event t dst (event : string) payload : Context.backpressure =
+  match Tables.event_id_of_name t.rt.Exec.driver event with
+  | None -> Exec.error "unknown event %s" event
+  | Some e -> post t ~src:(-1) dst e payload
+
+(** Create (and in Causal mode, start) an instance of the named machine
+    type, optionally with a caller-allocated handle. *)
+let create_machine t ?handle (machine : string) : int =
+  match Tables.machine_ty_of_name t.rt.Exec.driver machine with
+  | None -> Exec.error "unknown machine type %s" machine
+  | Some ty ->
+    let self =
+      match handle with Some h -> h | None -> Exec.fresh_handle t.rt
+    in
+    Exec.reset_quantum t.rt;
+    adopt_spawn t ~handle:self ~creator:None ty [];
+    self

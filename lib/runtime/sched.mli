@@ -1,0 +1,104 @@
+(** The effects-based cooperative scheduler: one domain multiplexing many
+    machine fibers over one {!Exec} runtime in [Scheduled] mode. Machine
+    code performs {!Exec.Sched_send} / {!Exec.Sched_spawn} /
+    {!Exec.Sched_yield} / {!Exec.Sched_choose}; the handler here gives
+    them meaning under one of two policies:
+
+    - [Causal]: a send to an idle machine runs the receiver to quiescence
+      inside the handler before the sender resumes — the nested driver's
+      d = 0 schedule, observably trace-identical to it.
+    - [Fifo]: the serving discipline — sends only enqueue and mark ready;
+      fibers are activated FIFO and preempted at dequeue points when
+      their quantum expires.
+
+    Single-domain by construction: contexts are never locked here. The
+    {!Shard} layer pins one scheduler per domain and stitches them
+    together through the [router]. *)
+
+module Tables = P_compile.Tables
+
+type policy = Causal | Fifo
+
+(** Final answer of a machine fiber: ran to quiescence, or (Fifo quantum
+    expiry) parked its continuation in the ready queue. *)
+type outcome = Done | Suspended
+
+(** Hooks the shard layer installs: a global handle allocator, the home
+    predicate, and cross-shard send/spawn paths (which enqueue into
+    another shard's transfer queue and never touch its contexts). *)
+type router = {
+  rt_alloc : unit -> int;
+  rt_home : int -> bool;
+  rt_send :
+    src:int -> dst:int -> event:int -> payload:Rt_value.t -> Context.backpressure;
+  rt_spawn :
+    handle:int -> creator:int -> ty:int -> inits:(int * Rt_value.t) list -> unit;
+}
+
+type t
+
+(** Scheduler-level stats; single-writer, so cross-domain reads may be
+    slightly stale (exact after the owning domain has joined). *)
+type stats = {
+  st_sends : int;  (** local deliveries (deduplicated sends included) *)
+  st_spawns : int;
+  st_activations : int;
+  st_yields : int;  (** quantum preemptions (Fifo only) *)
+  st_shed_mailbox : int;  (** drops at a full bounded mailbox *)
+  st_dead_letters : int;  (** sends to deleted machines (Fifo only) *)
+  st_dequeues : int;  (** events processed by this scheduler's runtime *)
+  st_ready_hwm : int;  (** ready-queue high-water mark *)
+}
+
+val create :
+  ?policy:policy ->
+  ?quantum:int ->
+  ?capacity:int ->
+  ?seed:int ->
+  ?router:router ->
+  Tables.driver ->
+  t
+(** [quantum] is the per-activation dequeue budget (default 64; forced
+    unbounded under [Causal]); [capacity] bounds every mailbox; [seed]
+    enables ghost [*] resolution (full tables under simulation); [router]
+    is installed by the shard layer. Default policy is [Fifo]. *)
+
+val exec : t -> Exec.t
+(** The underlying runtime — for foreign registration, trace hooks, and
+    introspection ({!Exec.find_instance} etc.). *)
+
+val set_metrics : t -> P_obs.Metrics.t option -> unit
+(** Resolve [runtime.sched_*] handles (plus the {!Exec} meters) in the
+    registry; counter values reach it on {!flush_metrics}. *)
+
+val flush_metrics : t -> unit
+(** Push counter deltas since the last flush into the registry (the shard
+    loop calls this at telemetry ticks and shutdown). *)
+
+val stats : t -> stats
+val ready_length : t -> int
+
+val run_ready : t -> fuel:int -> int
+(** Run up to [fuel] activations off the ready queue; returns how many
+    ran (0 = quiescent). The Fifo pump; Causal queues are always empty. *)
+
+val run : t -> unit
+(** Pump until quiescent. *)
+
+val post : t -> src:int -> int -> int -> Rt_value.t -> Context.backpressure
+(** Post an event by event id ([src = -1] marks host origin). [Causal]
+    runs the receiver before returning ([Accepted]); [Fifo] leaves it for
+    the next pump ([Queued]), or sheds at a full mailbox. *)
+
+val add_event : t -> int -> string -> Rt_value.t -> Context.backpressure
+(** {!post} by event name. *)
+
+val create_machine : t -> ?handle:int -> string -> int
+(** Create an instance of the named machine type (with a caller-allocated
+    handle under sharding); [Causal] runs its entry before returning. *)
+
+val adopt_spawn :
+  t -> handle:int -> creator:int option -> int -> (int * Rt_value.t) list -> unit
+(** Materialize a machine with a pre-allocated handle and initial
+    variable values, then schedule its entry — the shard layer's
+    remote-spawn delivery. *)

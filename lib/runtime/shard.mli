@@ -1,0 +1,93 @@
+(** N domain-pinned {!Sched} shards serving one machine population.
+
+    Home shard = avalanche hash of the machine handle; handles come from
+    one global atomic counter. Cross-shard sends ride per-shard MPSC
+    transfer queues (Treiber stacks of batches: one CAS per produced
+    batch, one exchange per drain). Backpressure is two-level — a
+    per-shard ingress bound ({!post} sheds synchronously) and per-mailbox
+    capacity (asynchronous sheds, counted) — so memory stays bounded at
+    any arrival rate. *)
+
+module Tables = P_compile.Tables
+
+type t
+
+val create :
+  ?shards:int ->
+  ?policy:Sched.policy ->
+  ?quantum:int ->
+  ?capacity:int ->
+  ?ingress_capacity:int ->
+  ?batch:int ->
+  ?fuel:int ->
+  ?seed:int ->
+  ?metrics:P_obs.Metrics.t ->
+  ?telemetry:P_obs.Telemetry.t ->
+  Tables.driver ->
+  t
+(** Defaults: 1 shard, [Fifo] policy, unbounded mailboxes, 65536 in-flight
+    transfer messages per shard, 32-message producer batches, 1024
+    activations of loop fuel. [seed] enables ghost [*] resolution (shard
+    [s] uses [seed + s]). [metrics]/[telemetry] wire the shard loops into
+    the observability stack ([runtime.sched_*]). *)
+
+val exec_of : t -> int -> Exec.t
+(** Shard [s]'s runtime, for introspection (instances live on their home
+    shard only). *)
+
+val home : t -> int -> int
+(** The home shard of a machine handle (pure). *)
+
+val register_foreign : t -> string -> Exec.foreign_fn -> unit
+(** Register on every shard; the closure runs on owning-shard domains. *)
+
+val register_foreign_per_shard : t -> string -> (int -> Exec.foreign_fn) -> unit
+(** Like {!register_foreign} with a per-shard closure factory (shard-local
+    accumulators need no synchronization). *)
+
+val event_id : t -> string -> int
+(** Resolve an event name once; {!post} takes the id. *)
+
+val start : t -> unit
+(** Spawn the shard domains. Call after {!create_machine} setup. *)
+
+val create_machine : t -> string -> int
+(** Create a machine pre-[start] (its entry runs when the shards start).
+    After [start], machines are created by machine code ([new]). *)
+
+val post : t -> int -> event:int -> Rt_value.t -> Context.backpressure
+(** Post an event from the host into the target's home shard: [Queued],
+    or synchronous [Shed] when that shard's transfer queue is full. *)
+
+val quiesce : ?timeout_s:float -> t -> bool
+(** Wait until every shard is idle with drained queues (or failure/stop);
+    [false] on timeout. *)
+
+type stats = {
+  sh_shards : int;
+  sh_machines : int;  (** live instances across shards *)
+  sh_sends : int;  (** local (intra-shard) deliveries *)
+  sh_spawns : int;
+  sh_activations : int;
+  sh_yields : int;
+  sh_dequeues : int;  (** events processed *)
+  sh_shed_mailbox : int;  (** drops at full bounded mailboxes *)
+  sh_shed_ingress : int;  (** posts refused at full transfer queues *)
+  sh_dead_letters : int;  (** sends to deleted machines *)
+  sh_xfer_batches : int;  (** cross-shard batches consumed *)
+  sh_xfer_msgs : int;  (** cross-shard messages consumed *)
+}
+
+val stats : t -> stats
+(** Aggregate counters; exact once the domains have joined ({!stop}),
+    slightly stale while they run. *)
+
+val events_processed : t -> int
+val shed_total : t -> int
+val ready_total : t -> int
+(** Cheap racy reads for telemetry probes and progress displays. *)
+
+val stop : t -> stats
+(** Stop and join the shard domains; returns final stats. Re-raises the
+    first failure a shard hit ({!Exec.Runtime_error} from machine code,
+    assertion failures, ...). *)

@@ -14,6 +14,7 @@ let () =
       ("compile", Test_compile.suite);
       ("runtime", Test_runtime.suite);
       ("equiv", Test_equiv.suite);
+      ("sched", Test_sched.suite);
       ("host", Test_host.suite);
       ("examples", Test_examples.suite);
       ("extensions", Test_extensions.suite);

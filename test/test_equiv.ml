@@ -13,12 +13,26 @@ module Rt_trace = P_runtime.Rt_trace
 let check = Alcotest.check
 let bool_t = Alcotest.bool
 
+(* Both runtime drivers behind one face, selected by PCAML_TEST_SCHED:
+   "threads" (default) is the historical nested run-to-completion driver;
+   "effects" is the causal-policy effects scheduler, which must produce
+   the same observable traces (and so transitively the same d=0
+   equivalence with the simulator). *)
+let make_runtime driver =
+  match Sys.getenv_opt "PCAML_TEST_SCHED" with
+  | Some "effects" ->
+    let s = P_runtime.Sched.create ~policy:P_runtime.Sched.Causal driver in
+    (P_runtime.Sched.exec s, fun main -> P_runtime.Sched.create_machine s main)
+  | _ ->
+    let rt = P_runtime.Api.create driver in
+    (rt, fun main -> P_runtime.Api.create_machine rt main)
+
 let runtime_trace program main =
   let { P_compile.Compile.driver; _ } = P_compile.Compile.compile program in
-  let rt = P_runtime.Api.create driver in
+  let rt, create_machine = make_runtime driver in
   let items = ref [] in
   P_runtime.Api.set_trace_hook rt (Some (fun it -> items := it :: !items));
-  let _ = P_runtime.Api.create_machine rt main in
+  let _ = create_machine main in
   Rt_trace.observable (List.rev !items)
 
 let simulator_trace program =
@@ -70,7 +84,7 @@ let test_token_ring () =
   let sim = P_semantics.Simulate.run ~max_blocks:60 tab in
   let sim_items = Rt_trace.of_semantics_trace sim.trace in
   let { P_compile.Compile.driver; _ } = P_compile.Compile.compile program in
-  let rt = P_runtime.Api.create driver in
+  let rt, create_machine = make_runtime driver in
   let items = ref [] in
   let count = ref 0 in
   let exception Enough in
@@ -80,7 +94,7 @@ let test_token_ring () =
          items := it :: !items;
          incr count;
          if !count > 2_000 then raise Enough));
-  (try ignore (P_runtime.Api.create_machine rt "Starter") with Enough -> ());
+  (try ignore (create_machine "Starter") with Enough -> ());
   let rt_items = Rt_trace.observable (List.rev !items) in
   let n = min (List.length sim_items) (List.length rt_items) in
   let take n l = List.filteri (fun i _ -> i < n) l in
@@ -93,11 +107,11 @@ let test_switch_led_erased () =
      quiesces; both engines must agree on that tiny trace too *)
   let program = P_examples_lib.Switch_led.program () in
   let { P_compile.Compile.erased; driver } = P_compile.Compile.compile program in
-  let rt = P_runtime.Api.create driver in
+  let rt, create_machine = make_runtime driver in
   P_runtime.Api.register_foreign rt "set_led" (fun _ _ -> P_runtime.Rt_value.Null);
   let items = ref [] in
   P_runtime.Api.set_trace_hook rt (Some (fun it -> items := it :: !items));
-  let _ = P_runtime.Api.create_machine rt "SwitchLed" in
+  let _ = create_machine "SwitchLed" in
   let rt_items = Rt_trace.observable (List.rev !items) in
   let sim_items = simulator_trace erased in
   assert_equal_traces "switchled-erased" rt_items sim_items

@@ -461,7 +461,8 @@ let test_telemetry_sampling () =
             frontier = 7.0;
             steals = 3;
             steal_attempts = 4;
-            store_bytes = 8 * !states });
+            store_bytes = 8 * !states;
+            shed = !states / 100 });
       states := 1_000;
       Telemetry.tick t;
       states := 3_000;
@@ -477,6 +478,7 @@ let test_telemetry_sampling () =
         check bool_t "steal success rate" true
           (Float.abs (s2.Telemetry.steal_success_rate -. 0.75) < 1e-9);
         check bool_t "frontier carried" true (s2.Telemetry.frontier = 7.0);
+        check int_t "shed carried" 30 s2.Telemetry.shed;
         check bool_t "bytes per state positive" true
           (s2.Telemetry.bytes_per_state > 0.0)
       | _ -> Alcotest.fail "expected exactly two samples");

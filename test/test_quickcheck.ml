@@ -33,7 +33,13 @@
      must explore at most as many states as exact, any error it reports
      must also be one exact reports, and whenever it is more optimistic
      than exact (fewer states, or a missed error) its summary must flag
-     the loss (lossy_dups > 0). *)
+     the loss (lossy_dups > 0).
+
+   PCAML_TEST_SCHED=effects adds a third axis over the runtime driver:
+   every generated program additionally runs under both the historical
+   nested run-to-completion driver and the Causal effects scheduler,
+   which must produce byte-identical observable traces (machine-visible
+   event orders) and identical error outcomes. *)
 
 open P_checker
 
@@ -56,6 +62,14 @@ let store_under_test =
     | Ok k -> k
     | Error e -> failwith ("PCAML_TEST_STORE: " ^ e))
 
+(* The runtime-driver axis: nested threads driver vs Causal effects
+   scheduler. Off by default (the default runtest already exercises the
+   nested driver through Differential); CI enables it explicitly. *)
+let sched_effects_under_test =
+  match Sys.getenv_opt "PCAML_TEST_SCHED" with
+  | Some "effects" -> true
+  | Some _ | None -> false
+
 let gen_one ~ghost ~risky seed : P_syntax.Ast.program =
   let rand =
     Random.State.make
@@ -71,6 +85,68 @@ let verdict_kind (r : Search.result) =
 let ce_of (r : Search.result) =
   match r.verdict with Search.Error_found ce -> Some ce | Search.No_error -> None
 
+(* Run a compiled program under one of the two runtime drivers, collecting
+   the raw trace (stricter than [Rt_trace.observable]: both drivers emit at
+   the same points, so internal items must line up too). The cutoff bounds
+   programs that circulate forever; both drivers abort at the same item
+   when their schedules agree. *)
+type run_outcome = Run_completed | Run_cutoff | Run_failed of string
+
+let runtime_trace_cutoff = 10_000
+
+let runtime_run ~effects driver main =
+  let exception Enough in
+  let items = ref [] in
+  let count = ref 0 in
+  let hook it =
+    items := Fmt.str "%a" P_runtime.Rt_trace.pp_item it :: !items;
+    incr count;
+    if !count > runtime_trace_cutoff then raise Enough
+  in
+  let rt, create_machine =
+    if effects then
+      let s = P_runtime.Sched.create ~policy:P_runtime.Sched.Causal driver in
+      ( P_runtime.Sched.exec s,
+        fun m -> ignore (P_runtime.Sched.create_machine s m : int) )
+    else
+      let rt = P_runtime.Api.create driver in
+      (rt, fun m -> ignore (P_runtime.Api.create_machine rt m : int))
+  in
+  P_runtime.Api.set_trace_hook rt (Some hook);
+  let outcome =
+    match create_machine main with
+    | () -> Run_completed
+    | exception Enough -> Run_cutoff
+    | exception P_runtime.Exec.Runtime_error m -> Run_failed m
+  in
+  (outcome, List.rev !items)
+
+let outcome_str = function
+  | Run_completed -> "completed"
+  | Run_cutoff -> "cutoff"
+  | Run_failed m -> "error: " ^ m
+
+let check_sched_axis seed (p : P_syntax.Ast.program) =
+  let driver = (P_compile.Compile.compile p).P_compile.Compile.driver in
+  let main = P_syntax.Names.Machine.to_string p.main in
+  let t_out, t_items = runtime_run ~effects:false driver main in
+  let e_out, e_items = runtime_run ~effects:true driver main in
+  if outcome_str t_out <> outcome_str e_out then
+    failf seed "sched axis: threads outcome %S <> effects outcome %S"
+      (outcome_str t_out) (outcome_str e_out);
+  if t_items <> e_items then begin
+    let rec first i = function
+      | [], [] -> failf seed "sched axis: traces differ (unlocated)"
+      | a :: _, [] -> failf seed "sched axis: item %d %S only under threads" i a
+      | [], b :: _ -> failf seed "sched axis: item %d %S only under effects" i b
+      | a :: ta, b :: tb ->
+        if a <> b then
+          failf seed "sched axis: item %d: threads %S <> effects %S" i a b
+        else first (Stdlib.( + ) i 1) (ta, tb)
+    in
+    first 0 (t_items, e_items)
+  end
+
 let check_program ~ghost ~risky seed =
   let p = gen_one ~ghost ~risky seed in
   let tab =
@@ -80,6 +156,7 @@ let check_program ~ghost ~risky seed =
       failf seed "generated program not statically clean: %a"
         P_static.Check.pp_diagnostics diagnostics
   in
+  if sched_effects_under_test then check_sched_axis seed p;
   let max_states = 4_000 in
   let seq = Delay_bounded.explore ~delay_bound:1 ~max_states tab in
   let par1 = Parallel.explore ~domains:1 ~delay_bound:1 ~max_states tab in

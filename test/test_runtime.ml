@@ -180,17 +180,17 @@ let test_inbox_bulk_enqueue_is_fast () =
   let { P_compile.Compile.driver; _ } =
     P_compile.Compile.compile (P_examples_lib.Pingpong.program ())
   in
-  let ctx = Context.create ~self:0 ~ty:0 ~table:driver.dr_machines.(0) in
+  let ctx = Context.create ~self:0 ~ty:0 ~table:driver.dr_machines.(0) () in
   (* drop entry code from the agenda so only the queue is in play *)
   ctx.Context.agenda <- [];
   let n = 10_000 in
   let t0 = Sys.time () in
   for i = 1 to n do
-    Context.enqueue ctx 0 (Rt_value.Int i)
+    ignore (Context.enqueue ctx 0 (Rt_value.Int i) : Context.enqueue_result)
   done;
   check int_t "all queued" n (Context.inbox_length ctx);
   (* the deduplicating ⊕ drops an identical (event, payload) pair *)
-  Context.enqueue ctx 0 (Rt_value.Int 1);
+  ignore (Context.enqueue ctx 0 (Rt_value.Int 1) : Context.enqueue_result);
   check int_t "duplicate dropped" n (Context.inbox_length ctx);
   (* drain in FIFO order *)
   let ok = ref true in
@@ -211,15 +211,15 @@ let test_inbox_interleaved_enqueue_dequeue () =
   let { P_compile.Compile.driver; _ } =
     P_compile.Compile.compile (P_examples_lib.Pingpong.program ())
   in
-  let ctx = Context.create ~self:0 ~ty:0 ~table:driver.dr_machines.(0) in
+  let ctx = Context.create ~self:0 ~ty:0 ~table:driver.dr_machines.(0) () in
   ctx.Context.agenda <- [];
-  Context.enqueue ctx 0 (Rt_value.Int 1);
-  Context.enqueue ctx 0 (Rt_value.Int 2);
+  ignore (Context.enqueue ctx 0 (Rt_value.Int 1) : Context.enqueue_result);
+  ignore (Context.enqueue ctx 0 (Rt_value.Int 2) : Context.enqueue_result);
   check bool_t "first out" true (Context.dequeue ctx = Some (0, Rt_value.Int 1));
-  Context.enqueue ctx 0 (Rt_value.Int 3);
+  ignore (Context.enqueue ctx 0 (Rt_value.Int 3) : Context.enqueue_result);
   check bool_t "second out" true (Context.dequeue ctx = Some (0, Rt_value.Int 2));
   (* a dequeued pair may be enqueued again — membership must have aged out *)
-  Context.enqueue ctx 0 (Rt_value.Int 1);
+  ignore (Context.enqueue ctx 0 (Rt_value.Int 1) : Context.enqueue_result);
   check bool_t "third out" true (Context.dequeue ctx = Some (0, Rt_value.Int 3));
   check bool_t "re-enqueued out" true (Context.dequeue ctx = Some (0, Rt_value.Int 1));
   check bool_t "empty" true (Context.dequeue ctx = None)

@@ -1,0 +1,230 @@
+(* The effects scheduler ({!P_runtime.Sched}) and the sharded serving
+   runtime ({!P_runtime.Shard}):
+
+   - the Causal policy is observably trace-identical to the historical
+     nested run-to-completion driver (and hence, via test_equiv, to the
+     d = 0 slice of the delaying scheduler);
+   - the Fifo serving discipline completes the same programs under
+     quantum preemption;
+   - typed backpressure holds at every layer: Context mailbox bounds,
+     the Api Shed/overflow contract, scheduler-level silent shedding,
+     and the shard ingress bound;
+   - a multi-shard fleet spawns and converses across domains through
+     the batched transfer queues. *)
+
+module Rt_value = P_runtime.Rt_value
+module Rt_trace = P_runtime.Rt_trace
+module Context = P_runtime.Context
+module Exec = P_runtime.Exec
+module Api = P_runtime.Api
+module Sched = P_runtime.Sched
+module Shard = P_runtime.Shard
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let state_t = Alcotest.option Alcotest.string
+
+let compile p = (P_compile.Compile.compile p).P_compile.Compile.driver
+let item_str it = Fmt.str "%a" Rt_trace.pp_item it
+
+let nested_trace driver main =
+  let rt = Api.create driver in
+  let items = ref [] in
+  Api.set_trace_hook rt (Some (fun it -> items := it :: !items));
+  let _ = Api.create_machine rt main in
+  Rt_trace.observable (List.rev !items)
+
+let causal_trace driver main =
+  let s = Sched.create ~policy:Sched.Causal driver in
+  let items = ref [] in
+  Api.set_trace_hook (Sched.exec s) (Some (fun it -> items := it :: !items));
+  let _ = Sched.create_machine s main in
+  Rt_trace.observable (List.rev !items)
+
+(* ------------------------------------------------------------------ *)
+(* Causal policy ≡ nested driver                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_causal_matches_nested () =
+  List.iter
+    (fun (name, program, main) ->
+      let driver = compile program in
+      let nested = List.map item_str (nested_trace driver main) in
+      let causal = List.map item_str (causal_trace driver main) in
+      check (Alcotest.list Alcotest.string) name nested causal)
+    [ ("pingpong-1", P_examples_lib.Pingpong.program ~rounds:1 (), "Pinger");
+      ("pingpong-5", P_examples_lib.Pingpong.program ~rounds:5 (), "Pinger");
+      ( "boundedbuffer-4-2",
+        P_examples_lib.Bounded_buffer.program ~items:4 ~credits:2 (),
+        "Producer" ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Fifo serving discipline                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo_completes () =
+  let driver = compile (P_examples_lib.Pingpong.program ~rounds:3 ()) in
+  let s = Sched.create ~policy:Sched.Fifo driver in
+  let h = Sched.create_machine s "Pinger" in
+  (* serving discipline: creation only schedules; nothing ran yet *)
+  check int_t "start entry is parked in the ready queue" 1 (Sched.ready_length s);
+  Sched.run s;
+  check int_t "quiescent" 0 (Sched.ready_length s);
+  check state_t "pinger played all rounds" (Some "Finished")
+    (Api.current_state_name (Sched.exec s) h);
+  let st = Sched.stats s in
+  check bool_t "activations counted" true (st.Sched.st_activations > 0);
+  check bool_t "deliveries counted" true (st.Sched.st_sends > 0);
+  check bool_t "dequeues counted" true (st.Sched.st_dequeues > 0);
+  check int_t "one spawn (the ponger)" 1 st.Sched.st_spawns;
+  check int_t "nothing shed" 0 st.Sched.st_shed_mailbox
+
+let test_quantum_preemption () =
+  let driver = compile (P_examples_lib.Pingpong.program ~rounds:8 ()) in
+  let s = Sched.create ~policy:Sched.Fifo ~quantum:1 driver in
+  let h = Sched.create_machine s "Pinger" in
+  Sched.run s;
+  check state_t "completes under a 1-dequeue quantum" (Some "Finished")
+    (Api.current_state_name (Sched.exec s) h);
+  let st = Sched.stats s in
+  check bool_t "fibers were preempted" true (st.Sched.st_yields > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure, layer by layer                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A machine that never consumes [E]: the smallest program whose mailbox
+   fills, isolating the capacity path from program behavior. *)
+let defer_program () =
+  let open P_syntax.Builder in
+  program
+    ~events:[ event "E" ~payload:P_syntax.Ptype.Int ]
+    ~machines:[ machine "M" [ state "Idle" ~defer:[ "E" ] ~entry:skip ] ]
+    "M"
+
+let test_context_capacity () =
+  let driver = compile (defer_program ()) in
+  let table = driver.P_compile.Tables.dr_machines.(0) in
+  let ctx = Context.create ~capacity:2 ~self:1 ~ty:0 ~table () in
+  let enq payload = Context.enqueue ctx 0 (Rt_value.Int payload) in
+  check bool_t "first enqueue" true (enq 1 = Context.Enq_ok);
+  check bool_t "⊕ absorbs duplicates below capacity" true (enq 1 = Context.Enq_duplicate);
+  check bool_t "second enqueue" true (enq 2 = Context.Enq_ok);
+  check bool_t "full mailbox overflows" true (enq 3 = Context.Enq_overflow);
+  check int_t "overflow enqueued nothing" 2 (Context.inbox_length ctx);
+  (* membership is checked before the bound: a duplicate of a queued entry
+     is still absorbed at a full mailbox (it occupies no new slot) *)
+  check bool_t "⊕ absorbs duplicates at capacity" true (enq 2 = Context.Enq_duplicate);
+  check bool_t "capacity must be positive" true
+    (try
+       ignore (Context.create ~capacity:0 ~self:2 ~ty:0 ~table () : Context.t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_api_backpressure () =
+  let driver = compile (defer_program ()) in
+  let rt = Api.create driver in
+  Api.set_mailbox_capacity rt 1;
+  let h = Api.create_machine rt "M" in
+  check bool_t "first event admitted" true
+    (Api.try_add_event rt h "E" (Rt_value.Int 1) <> Context.Shed);
+  check bool_t "second event shed" true
+    (Api.try_add_event rt h "E" (Rt_value.Int 2) = Context.Shed);
+  check bool_t "duplicate absorbed, not shed" true
+    (Api.try_add_event rt h "E" (Rt_value.Int 1) <> Context.Shed);
+  check int_t "mailbox stayed at its bound" 1 (Api.queue_length rt h);
+  check bool_t "add_event raises on the same condition" true
+    (try
+       Api.add_event rt h "E" (Rt_value.Int 3);
+       false
+     with Exec.Mailbox_overflow { capacity = 1; _ } -> true)
+
+let test_sched_mailbox_shed () =
+  let driver = compile (defer_program ()) in
+  let s = Sched.create ~policy:Sched.Fifo ~capacity:2 driver in
+  let h = Sched.create_machine s "M" in
+  Sched.run s;
+  check bool_t "admitted" true (Sched.add_event s h "E" (Rt_value.Int 1) = Context.Queued);
+  check bool_t "admitted" true (Sched.add_event s h "E" (Rt_value.Int 2) = Context.Queued);
+  check bool_t "shed at the bound" true
+    (Sched.add_event s h "E" (Rt_value.Int 3) = Context.Shed);
+  Sched.run s;
+  let st = Sched.stats s in
+  check int_t "sheds counted" 1 st.Sched.st_shed_mailbox;
+  check int_t "mailbox bounded" 2 (Api.queue_length (Sched.exec s) h)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded fleet                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_fleet () =
+  let driver = compile (P_examples_lib.Pingpong.program ~rounds:3 ()) in
+  let t = Shard.create ~shards:4 driver in
+  let handles = List.init 64 (fun _ -> Shard.create_machine t "Pinger") in
+  Shard.start t;
+  check bool_t "fleet quiesced" true (Shard.quiesce ~timeout_s:60.0 t);
+  let st = Shard.stop t in
+  List.iter
+    (fun h ->
+      check state_t "every pinger finished" (Some "Finished")
+        (Api.current_state_name (Shard.exec_of t (Shard.home t h)) h))
+    handles;
+  check int_t "each pinger spawned its ponger" 64 st.Shard.sh_spawns;
+  check int_t "pongers deleted themselves" 64 st.Shard.sh_machines;
+  check bool_t "conversations crossed shards" true (st.Shard.sh_xfer_msgs > 0);
+  check int_t "nothing shed" 0 (st.Shard.sh_shed_mailbox + st.Shard.sh_shed_ingress);
+  check int_t "no dead letters" 0 st.Shard.sh_dead_letters
+
+let test_shard_ingress_shed () =
+  let driver = compile (defer_program ()) in
+  let t = Shard.create ~shards:1 ~ingress_capacity:4 driver in
+  let h = Shard.create_machine t "M" in
+  let e = Shard.event_id t "E" in
+  let outcomes = List.init 10 (fun i -> Shard.post t h ~event:e (Rt_value.Int i)) in
+  let shed = List.length (List.filter (fun o -> o = Context.Shed) outcomes) in
+  check int_t "posts above the ingress bound shed synchronously" 6 shed;
+  Shard.start t;
+  check bool_t "quiesced" true (Shard.quiesce ~timeout_s:60.0 t);
+  let st = Shard.stop t in
+  check int_t "ingress sheds counted" 6 st.Shard.sh_shed_ingress;
+  check int_t "admitted posts were all delivered" 4
+    (Api.queue_length (Shard.exec_of t 0) h)
+
+(* ------------------------------------------------------------------ *)
+(* Ghost [*] under the scheduler                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_seeded_nondet () =
+  (* full tables: the ghost switch (and its [*] choices) survive *)
+  let driver = P_compile.Compile.compile_full (P_examples_lib.Switch_led.program ()) in
+  let run seed =
+    let s = Sched.create ~policy:Sched.Causal ?seed driver in
+    let rt = Sched.exec s in
+    Api.register_foreign rt "set_led" (fun _ _ -> Rt_value.Null);
+    let items = ref [] in
+    Api.set_trace_hook rt (Some (fun it -> items := it :: !items));
+    let _ = Sched.create_machine s "GhostSwitch" in
+    List.rev_map item_str !items
+  in
+  let a = run (Some 42) in
+  let b = run (Some 42) in
+  check bool_t "same seed, same schedule" true (a = b);
+  check bool_t "the ghost actually drove the device" true
+    (List.length a > 5);
+  check bool_t "unseeded * is a runtime error under the scheduler" true
+    (try
+       ignore (run None : string list);
+       false
+     with Exec.Runtime_error _ -> true)
+
+let suite =
+  [ Alcotest.test_case "causal policy ≡ nested driver" `Quick test_causal_matches_nested;
+    Alcotest.test_case "fifo serving completes pingpong" `Quick test_fifo_completes;
+    Alcotest.test_case "quantum preemption" `Quick test_quantum_preemption;
+    Alcotest.test_case "context mailbox capacity" `Quick test_context_capacity;
+    Alcotest.test_case "api backpressure contract" `Quick test_api_backpressure;
+    Alcotest.test_case "scheduler sheds at bounded mailboxes" `Quick test_sched_mailbox_shed;
+    Alcotest.test_case "4-shard pingpong fleet" `Quick test_shard_fleet;
+    Alcotest.test_case "shard ingress backpressure" `Quick test_shard_ingress_shed;
+    Alcotest.test_case "seeded ghost choices" `Quick test_seeded_nondet ]
