@@ -19,6 +19,10 @@
                                                 --events N, --rate HZ, --shards N
                                                 pin one cell, --smoke shrinks
                                                 the budgets)
+           dune exec bench/main.exe -- reduce  (state-space reduction: sleep-set
+                                                POR + symmetry across the example
+                                                suite and the USB stack; --smoke
+                                                shrinks the budgets)
            dune exec bench/main.exe -- protocol-scaling
                                                (German's directory with n clients)
            dune exec bench/main.exe -- micro   (Bechamel micro-benchmarks)
@@ -727,6 +731,117 @@ let micro () =
   record "micro" (Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
+(* bench reduce: state-space reduction across the example suite        *)
+(* ------------------------------------------------------------------ *)
+
+(* For each workload, explore under every reduction mode and report the
+   state count next to the unreduced baseline. The soundness contract —
+   the reduced search reports an error iff the unreduced one does — is
+   asserted here, not just measured; a verdict-kind mismatch fails the
+   bench. State counts are deterministic, so they (and the ratios) are
+   emitted as exact integers and gate in [compare]. *)
+let reduce_bench ?(smoke = false) () : bool =
+  line "== State-space reduction: sleep-set POR + symmetry ==";
+  let subjects =
+    let usb_cap = if smoke then 12 else 20 in
+    [ ("token-ring", tab_of (P_examples_lib.Token_ring.program ()), 2, None);
+      ("elevator", tab_of (P_examples_lib.Elevator.program ()), 2, None) ]
+    @ (if smoke then []
+       else
+         [ ("elevator[d=3]", tab_of (P_examples_lib.Elevator.program ()), 3, None);
+           ( "german[n=3,r=2]",
+             tab_of (P_examples_lib.German.program ~n:3 ~requests:2 ()),
+             2, None ) ])
+    @ [ ("usb-stack", tab_of (P_usb.Stack.program ()), 2, Some usb_cap) ]
+  in
+  let verdict_kind (r : Search.result) =
+    match r.verdict with
+    | Search.No_error -> "ok"
+    | Search.Error_found e -> "error:" ^ P_semantics.Errors.to_string e.error
+  in
+  line "%-16s %-9s %10s %10s %8s %9s" "workload" "reduce" "states" "pruned"
+    "ratio" "time(s)";
+  let rows = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun (name, tab, delay_bound, max_depth) ->
+      let explore reduce =
+        match max_depth with
+        | None ->
+          Delay_bounded.explore ~delay_bound ~max_states:2_000_000 ~reduce tab
+        | Some max_depth ->
+          Delay_bounded.explore ~delay_bound ~max_depth ~max_states:2_000_000
+            ~reduce tab
+      in
+      let none = explore Reduce.none in
+      List.iter
+        (fun reduce ->
+          let r = if Reduce.is_none reduce then none else explore reduce in
+          if verdict_kind r <> verdict_kind none then begin
+            line "FAIL: %s under %a: verdict %s, unreduced says %s" name
+              Reduce.pp reduce (verdict_kind r) (verdict_kind none);
+            ok := false
+          end;
+          if r.stats.states > none.stats.states then begin
+            line "FAIL: %s under %a explored more states than unreduced" name
+              Reduce.pp reduce;
+            ok := false
+          end;
+          let ratio =
+            float_of_int r.stats.states /. float_of_int none.stats.states
+          in
+          line "%-16s %-9s %10d %10d %8.3f %9.2f" name
+            (Reduce.to_string reduce) r.stats.states r.stats.pruned ratio
+            r.stats.elapsed_s;
+          rows :=
+            Json.Obj
+              [ (* the mode is part of the row identity so that [compare]
+                   lines reduced rows up with reduced rows *)
+                ( "name",
+                  Json.String (name ^ ":" ^ Reduce.to_string reduce) );
+                ("mode", Json.String (Reduce.to_string reduce));
+                ("delay_bound", Json.Int delay_bound);
+                ("verdict", Json.String (verdict_kind r));
+                ("states", Json.Int r.stats.states);
+                ("pruned", Json.Int r.stats.pruned);
+                ("state_ratio", Json.String (Fmt.str "%.3f" ratio));
+                ("elapsed_s", Json.Float r.stats.elapsed_s) ]
+            :: !rows)
+        Reduce.all;
+      hr ())
+    subjects;
+  (* the workloads here are exactly the ones where reduction is claimed
+     to help; no strict win on a flagship subject is a regression *)
+  let states_of name mode =
+    List.find_map
+      (fun row ->
+        match row with
+        | Json.Obj fields
+          when List.assoc_opt "name" fields
+               = Some (Json.String (name ^ ":" ^ mode)) ->
+          (match List.assoc_opt "states" fields with
+          | Some (Json.Int n) -> Some n
+          | _ -> None)
+        | _ -> None)
+      !rows
+  in
+  List.iter
+    (fun name ->
+      match (states_of name "none", states_of name "full") with
+      | Some n, Some f when f < n -> ()
+      | Some n, Some f ->
+        line "FAIL: %s: full reduction explored %d states vs %d unreduced" name
+          f n;
+        ok := false
+      | _ ->
+        line "FAIL: %s: missing rows" name;
+        ok := false)
+    (if smoke then [ "token-ring"; "elevator"; "usb-stack" ]
+     else [ "token-ring"; "elevator"; "german[n=3,r=2]"; "usb-stack" ]);
+  record "reduce" (Json.List (List.rev !rows));
+  !ok
+
+(* ------------------------------------------------------------------ *)
 (* bench load: open-loop serving throughput on the sharded runtime     *)
 (* ------------------------------------------------------------------ *)
 
@@ -774,6 +889,19 @@ let load_bench ?(machines = 100_000) ?(events = 500_000) ?(rate_hz = 0.0)
           line "FAIL: smoke expects nonzero throughput and zero shed";
           ok := false
         end;
+        let sh = s.ld_shard_stats in
+        if shards = 1 && sh.P_runtime.Shard.sh_xfer_batches <> 0 then begin
+          (* host posts ride the ingress queues; a single shard has no
+             peers, so any transfer batch is a routing bug *)
+          line "FAIL: single-shard run consumed %d cross-shard batch(es)"
+            sh.P_runtime.Shard.sh_xfer_batches;
+          ok := false
+        end;
+        if s.ld_quiesced && sh.P_runtime.Shard.sh_pending <> 0 then begin
+          line "FAIL: %d ingress slot(s) still reserved after quiescence"
+            sh.P_runtime.Shard.sh_pending;
+          ok := false
+        end;
         line "%-14s %10d %10d %12.0f %10.0f %10.0f %10.0f"
           (Fmt.str "%d shard(s)" shards)
           s.ld_completed s.ld_shed s.ld_events_per_s s.ld_p50_us s.ld_p95_us
@@ -788,6 +916,11 @@ let load_bench ?(machines = 100_000) ?(events = 500_000) ?(rate_hz = 0.0)
               ("valid_parallelism", Json.Bool (valid_parallelism || shards = 1));
               ("completed", Json.Float (float_of_int s.ld_completed));
               ("shed", Json.Float (float_of_int s.ld_shed));
+              ( "xfer_batches",
+                Json.Float (float_of_int sh.P_runtime.Shard.sh_xfer_batches) );
+              ( "ingress_msgs",
+                Json.Float (float_of_int sh.P_runtime.Shard.sh_ingress_msgs) );
+              ("pending", Json.Float (float_of_int sh.P_runtime.Shard.sh_pending));
               ("quiesced", Json.Bool s.ld_quiesced);
               ("elapsed_s", Json.Float s.ld_elapsed_s);
               ("events_per_s", Json.Float s.ld_events_per_s);
@@ -1196,6 +1329,9 @@ let () =
         "usage: bench compare OLD.json NEW.json [--threshold PCT] \
          [--exact-only]";
       exit 2)
+  | "reduce" :: rest ->
+    let smoke, _rest = extract_flag "--smoke" rest in
+    if not (reduce_bench ~smoke ()) then exit 1
   | "protocol-scaling" :: _ -> protocol_scaling ()
   | "digest-throughput" :: _ | "digest" :: _ -> digest_throughput ()
   | "micro" :: _ -> micro ()
@@ -1228,6 +1364,11 @@ let () =
       not
         (load_bench ~machines:500 ~events:5_000 ~shard_counts:[ 1; 2 ]
            ~smoke:true ())
-    then exit 1
+    then exit 1;
+    hr ();
+    (* reduction soundness (same verdicts) and the strict-win contract are
+       hard failures; the reduced state counts land in the document as
+       exact metrics, so [compare] pins them across runs *)
+    if not (reduce_bench ~smoke:true ()) then exit 1
   | [] | _ -> all ());
   match json_path with None -> () | Some path -> write_results path

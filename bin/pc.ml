@@ -139,8 +139,8 @@ let default_ce_path file example =
   | _ -> "counterexample.jsonl"
 
 let run_verify file example delay_bound max_states liveness show_trace domains
-    fingerprint store store_capacity stats_json trace_out profile_out progress
-    seed ce_out no_ce =
+    fingerprint store store_capacity reduce stats_json trace_out profile_out
+    progress seed ce_out no_ce =
   (match (seed, domains) with
   | Some _, Some _ -> or_die (Error "--seed is not supported with --domains")
   | _ -> ());
@@ -148,6 +148,7 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   let program = or_die (load_program file example) in
   let fingerprint = or_die (P_checker.Fingerprint.mode_of_string fingerprint) in
   let store = or_die (P_checker.State_store.kind_of_string store) in
+  let reduce = or_die (P_checker.Reduce.of_string reduce) in
   (match store_capacity with
   | Some c when c < 1 -> or_die (Error "--store-capacity must be positive")
   | Some _ when store = P_checker.State_store.Exact ->
@@ -193,7 +194,7 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   P_obs.Profile.start_gc profiler;
   let report =
     P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~fingerprint
-      ~store ?store_capacity ?seed ?domains ~instr program
+      ~store ?store_capacity ~reduce ?seed ?domains ~instr program
   in
   P_obs.Telemetry.force telemetry;
   telemetry_sink_close ();
@@ -294,6 +295,20 @@ let verify_cmd =
              (bits); rounded up to a power of two. Default: sized from \
              $(b,--max-states).")
   in
+  let reduce =
+    Arg.(
+      value
+      & opt string "none"
+      & info [ "reduce" ] ~docv:"MODE"
+          ~doc:
+            "State-space reduction: $(b,none) (the default), $(b,por) \
+             (sleep-set partial-order reduction over scheduler choices), \
+             $(b,symmetry) (canonicalize machine identities before \
+             fingerprinting, so symmetric peers collapse to one state), or \
+             $(b,full) (both). Reduced runs reach the same verdict with \
+             never more states; validate a specific program with $(b,pc \
+             replay --differential) on the reduced counterexample.")
+  in
   let stats_json =
     Arg.(
       value
@@ -361,8 +376,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Systematic testing with the causal delay-bounded scheduler.")
     Term.(
       const run_verify $ file_arg $ example_arg $ delay $ max_states $ liveness $ trace
-      $ domains $ fingerprint $ store $ store_capacity $ stats_json $ trace_out
-      $ profile_out $ progress $ seed $ ce_out $ no_ce)
+      $ domains $ fingerprint $ store $ store_capacity $ reduce $ stats_json
+      $ trace_out $ profile_out $ progress $ seed $ ce_out $ no_ce)
 
 (* ---------------- random ---------------- *)
 
@@ -526,7 +541,10 @@ let run_simulate_sharded program shards max_blocks seed stats_json =
             ("shed_ingress", P_obs.Json.Int st.Shard.sh_shed_ingress);
             ("dead_letters", P_obs.Json.Int st.Shard.sh_dead_letters);
             ("xfer_batches", P_obs.Json.Int st.Shard.sh_xfer_batches);
-            ("xfer_msgs", P_obs.Json.Int st.Shard.sh_xfer_msgs) ]
+            ("xfer_msgs", P_obs.Json.Int st.Shard.sh_xfer_msgs);
+            ("ingress_batches", P_obs.Json.Int st.Shard.sh_ingress_batches);
+            ("ingress_msgs", P_obs.Json.Int st.Shard.sh_ingress_msgs);
+            ("pending", P_obs.Json.Int st.Shard.sh_pending) ]
         in
         let fields =
           match metrics with

@@ -41,6 +41,7 @@ val explore :
   ?resolver:Engine.resolver ->
   ?store:State_store.kind ->
   ?store_capacity:int ->
+  ?reduce:Reduce.t ->
   ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->
@@ -58,6 +59,9 @@ val explore :
     off-heap arena — see {!State_store} — and report their omission bound
     in [stats.store]). [resolver] (default [Exhaustive]) switches
     ghost [*] resolution to sampling — one drawn outcome per block instead
-    of all of them — for seeded reproducible runs ([pc verify --seed]). [instr] reports metrics, a lifecycle span,
-    and progress heartbeats while the search runs; the result is identical
-    with or without it. *)
+    of all of them — for seeded reproducible runs ([pc verify --seed]).
+    [reduce] (default {!Reduce.none}) enables sleep-set partial-order
+    reduction and/or symmetry canonicalization — same verdict kind, never
+    more states; slept moves are counted in [stats.pruned]. [instr]
+    reports metrics, a lifecycle span, and progress heartbeats while the
+    search runs; the result is identical with or without it. *)

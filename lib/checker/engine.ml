@@ -169,13 +169,17 @@ type 'sched spec = {
   store : State_store.kind;  (** seen-set representation (default exact) *)
   store_capacity : int option;
       (** arena slots/bits override; [None] sizes from [max_states] *)
+  reduce : Reduce.t;
+      (** state-space reduction: sleep-set POR and/or symmetry
+          canonicalization (default {!Reduce.none}, which reproduces the
+          unreduced engine byte for byte) *)
 }
 
 let spec ?(bound = max_int) ?(truncate_on_exhaust = false) ?(frontier = Bfs)
     ?(resolver = Exhaustive) ?(track_seen = true) ?(dedup = true)
     ?(stop_on_error = true) ?(max_states = 1_000_000) ?(max_depth = max_int)
     ?(fp_mode = Fingerprint.Incremental) ?(store = State_store.Exact)
-    ?store_capacity scheduler =
+    ?store_capacity ?(reduce = Reduce.none) scheduler =
   { scheduler;
     bound;
     truncate_on_exhaust;
@@ -188,7 +192,8 @@ let spec ?(bound = max_int) ?(truncate_on_exhaust = false) ?(frontier = Bfs)
     max_depth;
     fp_mode;
     store;
-    store_capacity }
+    store_capacity;
+    reduce }
 
 (* ------------------------------------------------------------------ *)
 (* The core                                                            *)
@@ -250,51 +255,120 @@ let resolve ?on_overflow spec tab config mid : Search.resolved list =
     in
     [ go [] ]
 
+(* The state key of (config, sched) under the spec's store and reduction.
+   Without symmetry it is byte-identical to the unreduced engine's key.
+   Symmetry computes the canonical renaming from the configuration alone
+   and applies it both inside the fingerprint and to the scheduler extras
+   (stack entries denote machine identifiers), so isomorphic
+   (config, stack) pairs collide. *)
+let state_key (spec : 'sched spec) fp config sched =
+  let rename =
+    if spec.reduce.Reduce.symmetry then Fingerprint.renaming fp config else None
+  in
+  let extras = spec.scheduler.encode sched in
+  let extras =
+    match rename with None -> extras | Some rn -> List.map rn extras
+  in
+  if spec.store = State_store.Exact then
+    (Fingerprint.digest ?rename fp config extras, 0)
+  else ("", Fingerprint.digest_int ?rename fp config extras)
+
 (* Expand one node into raw successors. Pure apart from the fingerprint
    cache and the optional per-resolution counter, both of which are
-   worker-local under [run_parallel]. *)
-let expand ?expansions ?on_overflow ~fp (t : 'sched t) (node : 'sched node) :
-    'sched successor list =
+   worker-local under [run_parallel]. [on_prune] reports how many enabled
+   moves sleep-set reduction suppressed at this node.
+
+   Sleep-set POR works parent-side: every move is executed (the
+   footprints need the resolutions), and a move whose footprint is
+   disjoint from an earlier surviving move's — they commute, whichever
+   order they run in — is dropped together with its successors, so a
+   pruned successor is never keyed and never claimed in the store. The
+   scheduler orders moves cheapest-first, so the surviving move of each
+   commuting pair is the one that spends no more budget than the pruned
+   one. Pruning depends only on the node's (config, sched) — the state
+   key — so expansion stays a pure function of the key and the parallel
+   engine's determinism contract holds under reduction. Failing moves are
+   never pruned and never prune ([Reduce.independent] rejects them), so
+   every error edge of the reduced graph is an error edge of the full
+   one. *)
+let expand ?expansions ?on_overflow ?on_prune ~fp (t : 'sched t)
+    (node : 'sched node) : 'sched successor list =
   let budget_left = t.spec.bound - node.spent in
-  List.concat_map
-    (fun (code, sched_m, mid, cost) ->
-      List.filter_map
-        (fun (r : Search.resolved) ->
-          (match expansions with
-          | None -> ()
-          | Some c -> P_obs.Metrics.incr c);
-          let mk ?(s_fp = 0) s_digest s_next =
-            { s_digest;
-              s_fp;
-              s_resolved = r;
-              s_by = mid;
-              s_next;
-              s_spent = node.spent + cost;
-              s_depth = node.depth + 1;
-              s_parent_idx = node.idx;
-              s_parent_sidx = node.sidx;
-              s_parent_config = node.config;
-              s_move = code }
-          in
-          match r.outcome with
-          | Step.Failed _ -> Some (mk "" None)
-          | Step.Need_more_choices -> assert false
-          | outcome -> (
-            match t.spec.scheduler.apply sched_m outcome with
-            | None -> None
-            | Some ((config', sched') as next) -> (
-              match fp with
-              | None -> Some (mk "" (Some next))
-              | Some fp ->
-                let extras = t.spec.scheduler.encode sched' in
-                if t.spec.store = State_store.Exact then
-                  Some (mk (Fingerprint.digest fp config' extras) (Some next))
-                else
-                  Some
-                    (mk ~s_fp:(Fingerprint.digest_int fp config' extras) ""
-                       (Some next)))))
-        (resolve ?on_overflow t.spec t.tab node.config mid))
-    (t.spec.scheduler.moves t.tab node.config node.sched ~budget_left)
+  let moves = t.spec.scheduler.moves t.tab node.config node.sched ~budget_left in
+  let resolved =
+    Array.of_list
+      (List.map
+         (fun ((_, _, mid, _) as mv) ->
+           (mv, resolve ?on_overflow t.spec t.tab node.config mid))
+         moves)
+  in
+  let pruned =
+    if not t.spec.reduce.Reduce.por then [||]
+    else begin
+      let fprints =
+        Array.map (fun ((_, _, mid, _), rs) -> Reduce.footprint mid rs) resolved
+      in
+      let n = Array.length fprints in
+      let pruned = Array.make n false in
+      let n_pruned = ref 0 in
+      for j = 1 to n - 1 do
+        let covered = ref false in
+        for i = 0 to j - 1 do
+          if
+            (not !covered) && (not pruned.(i))
+            && Reduce.independent fprints.(i) fprints.(j)
+          then covered := true
+        done;
+        if !covered then begin
+          pruned.(j) <- true;
+          incr n_pruned
+        end
+      done;
+      (match on_prune with
+      | Some f when !n_pruned > 0 -> f !n_pruned
+      | _ -> ());
+      pruned
+    end
+  in
+  List.concat
+    (List.mapi
+       (fun i ((code, sched_m, mid, cost), rs) ->
+         if Array.length pruned > 0 && pruned.(i) then []
+         else
+           List.filter_map
+             (fun (r : Search.resolved) ->
+               (match expansions with
+               | None -> ()
+               | Some c -> P_obs.Metrics.incr c);
+               let mk ?(s_fp = 0) s_digest s_next =
+                 { s_digest;
+                   s_fp;
+                   s_resolved = r;
+                   s_by = mid;
+                   s_next;
+                   s_spent = node.spent + cost;
+                   s_depth = node.depth + 1;
+                   s_parent_idx = node.idx;
+                   s_parent_sidx = node.sidx;
+                   s_parent_config = node.config;
+                   s_move = code }
+               in
+               match r.outcome with
+               | Step.Failed _ -> Some (mk "" None)
+               | Step.Need_more_choices -> assert false
+               | outcome -> (
+                 match t.spec.scheduler.apply sched_m outcome with
+                 | None -> None
+                 | Some ((config', sched') as next) -> (
+                   match fp with
+                   | None -> Some (mk "" (Some next))
+                   | Some fp ->
+                     let digest, fpi = state_key t.spec fp config' sched' in
+                     if t.spec.store = State_store.Exact then
+                       Some (mk digest (Some next))
+                     else Some (mk ~s_fp:fpi "" (Some next)))))
+             rs)
+       (Array.to_list resolved))
 
 (* Replay the edge chain leading to edge-table index [idx] to rebuild the
    trace from the initial configuration, along with the
@@ -444,9 +518,7 @@ let make_store ?observer ~workers ~profile (spec : 'sched spec) =
 
 (* The root's key under whichever store the spec picked. *)
 let root_key (spec : 'sched spec) fp config0 sched0 =
-  let extras = spec.scheduler.encode sched0 in
-  if spec.store = State_store.Exact then (Fingerprint.digest fp config0 extras, 0)
-  else ("", Fingerprint.digest_int fp config0 extras)
+  state_key spec fp config0 sched0
 
 (* Shared prologue: context, root node, root bookkeeping. *)
 let init_run ?observer ~instr ~engine (spec : 'sched spec) tab ~fp =
@@ -466,7 +538,12 @@ let init_run ?observer ~instr ~engine (spec : 'sched spec) tab ~fp =
   let sched0 = spec.scheduler.init id0 in
   Dynarray.add_last t.edges None;
   let root =
-    { config = config0; sched = sched0; spent = 0; depth = 0; idx = 0; sidx = 0 }
+    { config = config0;
+      sched = sched0;
+      spent = 0;
+      depth = 0;
+      idx = 0;
+      sidx = 0 }
   in
   if spec.track_seen then begin
     let digest, fpi = root_key spec (Option.get fp) config0 sched0 in
@@ -575,7 +652,10 @@ let run ?(instr = Search.no_instr) ?observer ?(span_args = []) ~engine
              final span, never the aggregate totals of completed ones *)
           let pt0 = P_obs.Profile.start instr.Search.profile in
           List.iter (integrate t ~push)
-            (expand ~on_overflow:(fun () -> t.stats.truncated <- true) ~fp t node);
+            (expand
+               ~on_overflow:(fun () -> t.stats.truncated <- true)
+               ~on_prune:(fun k -> t.stats.pruned <- t.stats.pruned + k)
+               ~fp t node);
           P_obs.Profile.record instr.Search.profile ~worker:0 P_obs.Profile.Expand
             ~t0:pt0
         end
@@ -702,7 +782,8 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
         stats;
         meters = Search.meters ~engine instr;
         ticker = Search.ticker instr stats;
-        observer = None }
+        observer = None;
+        }
     in
     let states = Atomic.make 0 in
     let pending = Atomic.make 0 in
@@ -722,6 +803,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     let barrier = Barrier.make n in
     (* per-worker tallies, merged after the join *)
     let w_transitions = Array.make n 0 in
+    let w_pruned = Array.make n 0 in
     let w_dedup = Array.make n 0 in
     let w_maxdepth = Array.make n 0 in
     let w_qhwm = Array.make n 0.0 in
@@ -836,6 +918,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
                 bucket_add w s.s_spent (s.s_digest, s.s_fp, node'))
           (expand ?expansions
              ~on_overflow:(fun () -> Atomic.set truncated true)
+             ~on_prune:(fun k -> w_pruned.(w) <- w_pruned.(w) + k)
              ~fp:(Some fps.(w)) t node)
     in
     let steal_from w =
@@ -969,7 +1052,12 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     let sched0 = spec.scheduler.init id0 in
     let root_digest, root_fp = root_key spec fps.(0) config0 sched0 in
     let root =
-      { config = config0; sched = sched0; spent = 0; depth = 0; idx = 0; sidx = 0 }
+      { config = config0;
+        sched = sched0;
+        spent = 0;
+        depth = 0;
+        idx = 0;
+        sidx = 0 }
     in
     bucket_add 0 0 (root_digest, root_fp, root);
     let handles =
@@ -984,6 +1072,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     (* merge the per-worker tallies *)
     stats.states <- Atomic.get states;
     stats.transitions <- Array.fold_left ( + ) 0 w_transitions;
+    stats.pruned <- Array.fold_left ( + ) 0 w_pruned;
     stats.max_depth <- Array.fold_left max 0 w_maxdepth;
     stats.truncated <- Atomic.get truncated;
     stats.store <- Some (State_store.summary store);

@@ -109,6 +109,13 @@ type 'sched spec = {
           (supertrace bit array with a reported omission bound) *)
   store_capacity : int option;
       (** arena slots/bits override; [None] sizes from [max_states] *)
+  reduce : Reduce.t;
+      (** state-space reduction: sleep-set POR over the scheduler's choice
+          points and/or symmetry canonicalization of machine identities
+          (default {!Reduce.none}). Reduced runs reach the same verdict
+          kind with never more states; the sleep set is part of the state
+          key, so expansion stays a pure function of the key and
+          {!run_parallel}'s determinism contract is preserved. *)
 }
 
 val spec :
@@ -124,6 +131,7 @@ val spec :
   ?fp_mode:Fingerprint.mode ->
   ?store:State_store.kind ->
   ?store_capacity:int ->
+  ?reduce:Reduce.t ->
   'sched scheduler ->
   'sched spec
 (** Spec builder with the common defaults: unbounded budget, BFS,

@@ -35,11 +35,30 @@ val create : ?mode:mode -> P_static.Symtab.t -> t
 
 val mode : t -> mode
 
-val digest : t -> P_semantics.Config.t -> int list -> string
-(** [digest t config extra]: the state key of [config] plus the scheduler
-    [extra] integers, per the context's mode. *)
+val renaming : t -> P_semantics.Config.t -> (int -> int) option
+(** Symmetry reduction's canonical permutation of machine identifiers for
+    this configuration, or [None] when it is already canonical. The live
+    identifiers (sorted) are handed out in first-visit order of a
+    breadth-first walk over the machine-reference graph from the root
+    machine, reseeded at orphans by a memoised identity-blind shape
+    digest; dangling identifiers stay fixed. Equal canonical keys witness
+    isomorphic configurations for any such permutation — the traversal
+    choice only decides how many actually merge. Pass the result as
+    [?rename] to {!digest}/{!digest_int} (and apply it yourself to any
+    scheduler [extra] integers that denote machine identifiers). *)
 
-val digest_int : t -> P_semantics.Config.t -> int list -> int
+val digest :
+  ?rename:(int -> int) -> t -> P_semantics.Config.t -> int list -> string
+(** [digest t config extra]: the state key of [config] plus the scheduler
+    [extra] integers, per the context's mode. With [?rename] the key is
+    that of the π-renamed configuration; the per-machine memo is bypassed
+    (it caches identity-renamed digests), but the key equals what the
+    same context would produce for the materialized canonical
+    configuration — renamed and identity keys of isomorphic states
+    collide, which is the whole point. *)
+
+val digest_int :
+  ?rename:(int -> int) -> t -> P_semantics.Config.t -> int list -> int
 (** A 63-bit integer fingerprint of the same state key, for the arena
     state stores ({!State_store}): [Incremental] streams the memoised
     per-machine digests straight into a FNV-1a hash with no per-state

@@ -62,6 +62,9 @@ let resolutions ?fuel ?dedup ?(budget = default_enumeration_budget)
 type stats = {
   mutable states : int;  (** distinct scheduler states visited *)
   mutable transitions : int;  (** atomic blocks executed *)
+  mutable pruned : int;
+      (** enabled moves suppressed by sleep-set reduction; 0 with
+          reduction off *)
   mutable max_depth : int;  (** longest path from the initial state, in blocks *)
   mutable truncated : bool;  (** a bound cut the exploration short *)
   mutable elapsed_s : float;
@@ -73,6 +76,7 @@ type stats = {
 let new_stats () =
   { states = 0;
     transitions = 0;
+    pruned = 0;
     max_depth = 0;
     truncated = false;
     elapsed_s = 0.;
@@ -83,6 +87,7 @@ let pp_stats ppf s =
     s.max_depth
     (if s.truncated then " (truncated)" else "")
     s.elapsed_s;
+  if s.pruned > 0 then Fmt.pf ppf " [%d moves slept]" s.pruned;
   (* the default exact store is the historical output; only the lossy
      stores announce themselves (and their honesty bound) *)
   match s.store with

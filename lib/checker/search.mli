@@ -36,6 +36,9 @@ val resolutions :
 type stats = {
   mutable states : int;  (** distinct scheduler states visited *)
   mutable transitions : int;  (** atomic blocks executed *)
+  mutable pruned : int;
+      (** enabled moves suppressed by sleep-set reduction ({!Reduce});
+          0 with reduction off *)
   mutable max_depth : int;
   mutable truncated : bool;  (** a bound cut the exploration short *)
   mutable elapsed_s : float;

@@ -73,7 +73,7 @@ let sampled_resolver seed =
     the report. *)
 let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
     ?liveness_max_states ?(fingerprint = Fingerprint.Incremental)
-    ?(store = State_store.Exact) ?store_capacity ?seed
+    ?(store = State_store.Exact) ?store_capacity ?(reduce = Reduce.none) ?seed
     ?domains ?(instr = Search.no_instr) (program : P_syntax.Ast.program) :
     report =
   (if seed <> None && domains <> None then
@@ -92,13 +92,13 @@ let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
       match domains with
       | Some d ->
         Parallel.explore ~domains:d ~delay_bound ~max_states ~fingerprint
-          ~store ?store_capacity ~instr symtab
+          ~store ?store_capacity ~reduce ~instr symtab
       | None ->
         let resolver =
           match seed with None -> Engine.Exhaustive | Some s -> sampled_resolver s
         in
         Delay_bounded.explore ~delay_bound ~max_states ~fingerprint ~resolver
-          ~store ?store_capacity ~instr symtab
+          ~store ?store_capacity ~reduce ~instr symtab
     in
     let liveness_result =
       if liveness && safety.verdict = Search.No_error then

@@ -28,6 +28,7 @@ val verify :
   ?fingerprint:Fingerprint.mode ->
   ?store:State_store.kind ->
   ?store_capacity:int ->
+  ?reduce:Reduce.t ->
   ?seed:int ->
   ?domains:int ->
   ?instr:Search.instr ->
@@ -40,7 +41,10 @@ val verify :
     cross-checks the incremental cache against full re-encoding). [store]
     picks the safety search's seen-set representation (default [Exact];
     see {!State_store}), [store_capacity] overrides the arena sizing.
-    [seed]
+    [reduce] (default {!Reduce.none}) applies sleep-set POR and/or
+    symmetry canonicalization to the safety search — same verdict kind,
+    never more states; the liveness pass always explores unreduced (its
+    fair-cycle analysis needs the full graph). [seed]
     switches the safety search from exhaustive ghost-choice enumeration to
     seeded sampling (one drawn resolution per block) and records the seed
     in the report, so a sampled failure is reproducible. [domains] runs

@@ -37,15 +37,20 @@ type node = Nil | Batch of { msgs : msg list; next : node }
     single-writer (the owning domain); cross-domain reads may be stale. *)
 type shard = {
   sched : Sched.t;
-  inbound : node Atomic.t;
-  pending : int Atomic.t;  (** in-flight transfer messages, soft-bounded *)
+  inbound : node Atomic.t;  (** shard-to-shard transfer batches *)
+  ingress : node Atomic.t;  (** host posts ({!post}); separate from
+      [inbound] so transfer counters honestly measure only cross-shard
+      traffic — a single-shard run consumes zero transfer batches *)
+  pending : int Atomic.t;  (** in-flight transfer + ingress messages *)
   idle : bool Atomic.t;
   (* producer-side buffers for every destination, owned by this shard's
      domain: out.(d) are messages bound for shard d, newest first *)
   out : msg list array;
   outn : int array;
-  mutable c_xfer_batches : int;  (** batches this shard consumed *)
+  mutable c_xfer_batches : int;  (** cross-shard batches this shard consumed *)
   mutable c_xfer_msgs : int;
+  mutable c_ingress_batches : int;  (** host-ingress batches consumed *)
+  mutable c_ingress_msgs : int;
 }
 
 type t = {
@@ -119,22 +124,21 @@ let buffer t s d msg =
   sh.outn.(d) <- sh.outn.(d) + 1;
   if sh.outn.(d) >= t.batch then flush_one t s d
 
-(* Drain shard [s]'s inbound queue: one exchange takes every batch pushed
-   since the last drain; reversal restores per-producer FIFO order.
-   Returns the number of messages processed. *)
-let drain_inbound t s =
-  let sh = t.shards.(s) in
-  match Atomic.exchange sh.inbound Nil with
-  | Nil -> 0
+(* Drain one of shard [sh]'s queues: one exchange takes every batch
+   pushed since the last drain; reversal restores per-producer FIFO
+   order. Returns [(batches, messages)] processed. *)
+let drain_queue (sh : shard) (q : node Atomic.t) : int * int =
+  match Atomic.exchange q Nil with
+  | Nil -> (0, 0)
   | node ->
     let rec batches acc = function
       | Nil -> acc  (* acc is oldest-first after the walk *)
       | Batch { msgs; next } -> batches (msgs :: acc) next
     in
-    let n = ref 0 in
+    let nb = ref 0 and n = ref 0 in
     List.iter
       (fun msgs ->
-        sh.c_xfer_batches <- sh.c_xfer_batches + 1;
+        incr nb;
         List.iter
           (fun msg ->
             incr n;
@@ -149,8 +153,23 @@ let drain_inbound t s =
             ignore (Atomic.fetch_and_add sh.pending (-1) : int))
           (List.rev msgs))
       (batches [] node);
-    sh.c_xfer_msgs <- sh.c_xfer_msgs + !n;
-    !n
+    (!nb, !n)
+
+(* Cross-shard transfer traffic. *)
+let drain_inbound t s =
+  let sh = t.shards.(s) in
+  let nb, n = drain_queue sh sh.inbound in
+  sh.c_xfer_batches <- sh.c_xfer_batches + nb;
+  sh.c_xfer_msgs <- sh.c_xfer_msgs + n;
+  n
+
+(* Host posts. *)
+let drain_ingress t s =
+  let sh = t.shards.(s) in
+  let nb, n = drain_queue sh sh.ingress in
+  sh.c_ingress_batches <- sh.c_ingress_batches + nb;
+  sh.c_ingress_msgs <- sh.c_ingress_msgs + n;
+  n
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -174,7 +193,14 @@ let create ?(shards = 1) ?(policy = Sched.Fifo) ?quantum ?capacity
                     (fun ~src ~dst ~event ~payload ->
                       let t = Lazy.force t in
                       let d = home t dst in
-                      if reserve t d then begin
+                      if d = s then
+                        (* shard-local: straight into the local mailbox —
+                           never through the transfer machinery. [Sched]
+                           already routes [rt_home] destinations locally,
+                           so this is the layer's own guarantee, not a
+                           reachable round trip. *)
+                        Sched.post t.shards.(s).sched ~src dst event payload
+                      else if reserve t d then begin
                         buffer t s d (M_send { src; dst; event; payload });
                         Context.Queued
                       end
@@ -183,15 +209,20 @@ let create ?(shards = 1) ?(policy = Sched.Fifo) ?quantum ?capacity
                     (fun ~handle ~creator ~ty ~inits ->
                       let t = Lazy.force t in
                       let d = home t handle in
-                      (* no admission control for spawns: dropping a child
-                         would dangle the handle the parent already holds.
-                         [pending] still tracks it for quiescence. *)
-                      ignore (Atomic.fetch_and_add t.shards.(d).pending 1 : int);
-                      buffer t s d
-                        (M_spawn { handle; creator = Some creator; ty; inits });
-                      (* materialization must be ordered before any message
-                         that can carry the child's handle *)
-                      flush_one t s d) }
+                      if d = s then
+                        Sched.adopt_spawn t.shards.(s).sched ~handle
+                          ~creator:(Some creator) ty inits
+                      else begin
+                        (* no admission control for spawns: dropping a child
+                           would dangle the handle the parent already holds.
+                           [pending] still tracks it for quiescence. *)
+                        ignore (Atomic.fetch_and_add t.shards.(d).pending 1 : int);
+                        buffer t s d
+                          (M_spawn { handle; creator = Some creator; ty; inits });
+                        (* materialization must be ordered before any message
+                           that can carry the child's handle *)
+                        flush_one t s d
+                      end) }
               in
               let sched =
                 Sched.create ~policy ?quantum ?capacity ?seed:
@@ -201,12 +232,15 @@ let create ?(shards = 1) ?(policy = Sched.Fifo) ?quantum ?capacity
               Sched.set_metrics sched metrics;
               { sched;
                 inbound = Atomic.make Nil;
+                ingress = Atomic.make Nil;
                 pending = Atomic.make 0;
                 idle = Atomic.make false;
                 out = Array.make shards [];
                 outn = Array.make shards 0;
                 c_xfer_batches = 0;
-                c_xfer_msgs = 0 });
+                c_xfer_msgs = 0;
+                c_ingress_batches = 0;
+                c_ingress_msgs = 0 });
         next_handle;
         stop = Atomic.make false;
         failure = Atomic.make None;
@@ -247,7 +281,7 @@ let shard_loop t s =
   let idle_rounds = ref 0 in
   (try
      while not (Atomic.get t.stop) do
-       let drained = drain_inbound t s in
+       let drained = drain_ingress t s + drain_inbound t s in
        let ran = Sched.run_ready sh.sched ~fuel:t.fuel in
        flush_all t s;
        P_obs.Telemetry.tick t.telemetry;
@@ -295,7 +329,7 @@ let post t dst ~event payload : Context.backpressure =
   let d = home t dst in
   if not (reserve t d) then Context.Shed
   else begin
-    push_node t.shards.(d).inbound
+    push_node t.shards.(d).ingress
       [ M_send { src = -1; dst; event; payload } ];
     Context.Queued
   end
@@ -309,7 +343,8 @@ let all_idle t =
     (fun sh ->
       Atomic.get sh.idle
       && Atomic.get sh.pending = 0
-      && Atomic.get sh.inbound = Nil)
+      && Atomic.get sh.inbound = Nil
+      && Atomic.get sh.ingress = Nil)
     t.shards
 
 (** Wait until every shard is idle with empty queues (stable across two
@@ -347,6 +382,9 @@ type stats = {
   sh_dead_letters : int;  (** sends to deleted machines *)
   sh_xfer_batches : int;  (** cross-shard batches consumed *)
   sh_xfer_msgs : int;  (** cross-shard messages consumed *)
+  sh_ingress_batches : int;  (** host-post batches consumed *)
+  sh_ingress_msgs : int;  (** host-post messages consumed *)
+  sh_pending : int;  (** unreleased ingress/transfer slots; 0 once drained *)
 }
 
 let stats t : stats =
@@ -362,7 +400,10 @@ let stats t : stats =
       sh_shed_ingress = Atomic.get t.shed_ingress;
       sh_dead_letters = 0;
       sh_xfer_batches = 0;
-      sh_xfer_msgs = 0 }
+      sh_xfer_msgs = 0;
+      sh_ingress_batches = 0;
+      sh_ingress_msgs = 0;
+      sh_pending = 0 }
   in
   Array.fold_left
     (fun acc sh ->
@@ -378,7 +419,10 @@ let stats t : stats =
         sh_shed_mailbox = acc.sh_shed_mailbox + s.Sched.st_shed_mailbox;
         sh_dead_letters = acc.sh_dead_letters + s.Sched.st_dead_letters;
         sh_xfer_batches = acc.sh_xfer_batches + sh.c_xfer_batches;
-        sh_xfer_msgs = acc.sh_xfer_msgs + sh.c_xfer_msgs })
+        sh_xfer_msgs = acc.sh_xfer_msgs + sh.c_xfer_msgs;
+        sh_ingress_batches = acc.sh_ingress_batches + sh.c_ingress_batches;
+        sh_ingress_msgs = acc.sh_ingress_msgs + sh.c_ingress_msgs;
+        sh_pending = acc.sh_pending + Atomic.get sh.pending })
     z t.shards
 
 (** Total events processed and total sheds — cheap racy reads for

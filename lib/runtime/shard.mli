@@ -1,12 +1,16 @@
 (** N domain-pinned {!Sched} shards serving one machine population.
 
     Home shard = avalanche hash of the machine handle; handles come from
-    one global atomic counter. Cross-shard sends ride per-shard MPSC
-    transfer queues (Treiber stacks of batches: one CAS per produced
-    batch, one exchange per drain). Backpressure is two-level — a
-    per-shard ingress bound ({!post} sheds synchronously) and per-mailbox
-    capacity (asynchronous sheds, counted) — so memory stays bounded at
-    any arrival rate. *)
+    one global atomic counter. Shard-local sends go straight into the
+    local scheduler mailbox; only genuinely cross-shard sends ride the
+    per-shard MPSC transfer queues (Treiber stacks of batches: one CAS
+    per produced batch, one exchange per drain). Host {!post}s land in a
+    separate per-shard ingress queue, so the transfer counters measure
+    only shard-to-shard traffic — a single-shard run consumes zero
+    transfer batches. Backpressure is two-level — a per-shard ingress
+    bound ({!post} sheds synchronously) and per-mailbox capacity
+    (asynchronous sheds, counted) — so memory stays bounded at any
+    arrival rate. *)
 
 module Tables = P_compile.Tables
 
@@ -76,6 +80,9 @@ type stats = {
   sh_dead_letters : int;  (** sends to deleted machines *)
   sh_xfer_batches : int;  (** cross-shard batches consumed *)
   sh_xfer_msgs : int;  (** cross-shard messages consumed *)
+  sh_ingress_batches : int;  (** host-post batches consumed *)
+  sh_ingress_msgs : int;  (** host-post messages consumed *)
+  sh_pending : int;  (** unreleased ingress/transfer slots; 0 once drained *)
 }
 
 val stats : t -> stats

@@ -61,6 +61,11 @@ type t = {
           rebuilt) machine is bound into a configuration, so a non-empty
           memo is only ever carried by a physically shared, untouched
           machine. *)
+  mutable shape_memo : string;
+      (** second scratch slot with the same ownership and invalidation
+          rules: the machine's identity-blind shape digest (every machine
+          identifier in the encoding masked), used by symmetry reduction to
+          order same-type machines without re-encoding them per state. *)
 }
 
 let top_frame t =
@@ -82,7 +87,8 @@ let create ~name ~self ~initial ~entry ~store =
     arg = Value.Null;
     agenda = [ Exec entry ];
     queue = Equeue.empty;
-    digest_memo = "" }
+    digest_memo = "";
+    shape_memo = "" }
 
 (* ------------------------------------------------------------------ *)
 (* Effective deferred set and handler resolution (rule DEQUEUE).       *)

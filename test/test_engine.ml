@@ -350,6 +350,127 @@ let test_changed_machines_small () =
   walk config0 0;
   check bool_t "walk made progress" true (!seen_changes > 0)
 
+(* ---------------- state-space reduction ---------------- *)
+
+(* Reduction differential: [full] must report the same verdict kind as
+   [none] while never claiming more states, strictly fewer where the
+   commutativity structure exists. The reduced counts are pinned — the
+   pruning decision is a pure function of the expanded state, so they are
+   part of the determinism contract. *)
+let test_reduction_differential () =
+  List.iter
+    (fun (name, tab, d, pinned) ->
+      let explore reduce =
+        Delay_bounded.explore ~delay_bound:d ~max_states:500_000 ~reduce tab
+      in
+      let none = explore Reduce.none and full = explore Reduce.full in
+      check bool_t
+        (Fmt.str "%s d=%d same verdict kind" name d)
+        true
+        ((none.verdict = Search.No_error) = (full.verdict = Search.No_error));
+      check bool_t
+        (Fmt.str "%s d=%d never more states" name d)
+        true
+        (full.stats.states <= none.stats.states);
+      check int_t (Fmt.str "%s d=%d unreduced off" name d) 0 none.stats.pruned;
+      match pinned with
+      | None -> ()
+      | Some (states, pruned) ->
+        check int_t (Fmt.str "%s d=%d reduced states" name d) states
+          full.stats.states;
+        check int_t (Fmt.str "%s d=%d moves slept" name d) pruned
+          full.stats.pruned)
+    [ ("pingpong", tab_of (P_examples_lib.Pingpong.program ()), 2, None);
+      ("switch_led", tab_of (P_examples_lib.Switch_led.program ()), 2, None);
+      ("token_ring", tab_of (P_examples_lib.Token_ring.program ()), 2, Some (170, 106));
+      ("bounded_buffer", tab_of (P_examples_lib.Bounded_buffer.program ()), 2, None);
+      ("elevator", elevator (), 2, Some (1112, 71));
+      ("elevator_buggy", elevator_buggy (), 2, None);
+      ( "german",
+        tab_of (P_examples_lib.German.program ~n:3 ~requests:2 ()),
+        2,
+        Some (1930, 859) );
+      ( "german_buggy",
+        tab_of (P_examples_lib.German.buggy_program ~n:3 ~requests:2 ()),
+        2,
+        None ) ]
+
+(* The USB stack's value space is unbounded (sequence counters ride the
+   payloads), so its reduction workload is depth-capped: within any BFS
+   depth the reduced reachable set is a subset of the unreduced one. *)
+let test_reduction_usb_depth_capped () =
+  let tab = tab_of (P_usb.Stack.program ()) in
+  let explore reduce =
+    Delay_bounded.explore ~delay_bound:2 ~max_depth:20 ~max_states:500_000
+      ~reduce tab
+  in
+  let none = explore Reduce.none in
+  let full = explore Reduce.full in
+  let sym = explore Reduce.symmetry in
+  check int_t "usb unreduced states" 33410 none.stats.states;
+  check int_t "usb reduced states" 13145 full.stats.states;
+  check bool_t "usb symmetry alone also merges" true
+    (sym.stats.states < none.stats.states)
+
+(* Creation-order twins: a ghost choice orders two [new]s of an otherwise
+   indistinguishable machine type, so the two branches reach isomorphic
+   configurations that differ only by the identity permutation. POR can
+   not help (the blocks conflict on the creating machine); symmetry
+   canonicalization must merge them. *)
+let twins_program () =
+  let open P_syntax.Builder in
+  program
+    ~events:[ event "unit" ]
+    ~machines:
+      [ machine "W" [ state "Idle" ~entry:skip ];
+        machine ~ghost:true "Main"
+          ~vars:
+            [ var_decl "a" P_syntax.Ptype.Machine_id;
+              var_decl "b" P_syntax.Ptype.Machine_id ]
+          [ state "Init"
+              ~entry:
+                (if_ nondet
+                   (seq [ new_ "a" "W" []; new_ "b" "W" [] ])
+                   (seq [ new_ "b" "W" []; new_ "a" "W" [] ])) ] ]
+    "Main"
+
+let test_symmetry_merges_twins () =
+  let tab = tab_of (twins_program ()) in
+  let explore reduce = Delay_bounded.explore ~delay_bound:1 ~reduce tab in
+  let none = explore Reduce.none in
+  let sym = explore Reduce.symmetry in
+  check bool_t "both clean" true
+    (none.verdict = Search.No_error && sym.verdict = Search.No_error);
+  check bool_t "creation orders split unreduced" true
+    (sym.stats.states < none.stats.states)
+
+(* Parallel exploration under reduction keeps the sequential contract:
+   same verdict, same states, same pruned count, and a counterexample
+   whose schedule still replays to the same failure in the compiled
+   runtime. *)
+let test_reduction_parallel_and_replay () =
+  let tab = tab_of (P_examples_lib.German.buggy_program ~n:3 ~requests:2 ()) in
+  let reduce = Reduce.full in
+  let seq =
+    Delay_bounded.explore ~delay_bound:2 ~max_states:500_000 ~reduce tab
+  in
+  let par =
+    Parallel.explore ~domains:4 ~delay_bound:2 ~max_states:500_000 ~reduce tab
+  in
+  check int_t "par states = seq states" seq.stats.states par.stats.states;
+  check int_t "par pruned = seq pruned" seq.stats.pruned par.stats.pruned;
+  match (seq.verdict, par.verdict) with
+  | Search.Error_found sce, Search.Error_found pce ->
+    check int_t "ce depths agree" sce.Search.depth pce.Search.depth;
+    check bool_t "ce schedules agree" true
+      (sce.Search.schedule = pce.Search.schedule);
+    (match Differential.run tab sce.Search.schedule with
+    | Ok (Differential.Agree { verdict = Differential.Agree_error _; _ }) -> ()
+    | Ok o ->
+      Alcotest.failf "reduced counterexample replay: %a" Differential.pp_outcome o
+    | Error e -> Alcotest.failf "differential setup failed: %s" e)
+  | _ -> Alcotest.fail "expected an error from both engines"
+
 let suite =
   [ Alcotest.test_case "delay-bounded pre-refactor triples" `Quick
       test_delay_bounded_triples;
@@ -371,4 +492,12 @@ let suite =
     Alcotest.test_case "incremental fingerprint ≡ Canon partition" `Quick
       test_incremental_matches_canon_partition;
     Alcotest.test_case "atomic blocks share untouched machines" `Quick
-      test_changed_machines_small ]
+      test_changed_machines_small;
+    Alcotest.test_case "reduction differential on the example suite" `Quick
+      test_reduction_differential;
+    Alcotest.test_case "reduction on the depth-capped USB stack" `Quick
+      test_reduction_usb_depth_capped;
+    Alcotest.test_case "symmetry merges creation-order twins" `Quick
+      test_symmetry_merges_twins;
+    Alcotest.test_case "reduced parallel search and replay" `Quick
+      test_reduction_parallel_and_replay ]

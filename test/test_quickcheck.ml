@@ -39,7 +39,14 @@
    every generated program additionally runs under both the historical
    nested run-to-completion driver and the Causal effects scheduler,
    which must produce byte-identical observable traces (machine-visible
-   event orders) and identical error outcomes. *)
+   event orders) and identical error outcomes.
+
+   PCAML_TEST_REDUCE={por,symmetry,full} adds a fourth axis over the
+   state-space reduction: the sequential and parallel explorations re-run
+   with the reduction on and must report the same verdict kind as the
+   unreduced reference, never more states (a pruned successor is never
+   claimed), agree with each other exactly, and produce counterexamples
+   that still replay through the compiled runtime. *)
 
 open P_checker
 
@@ -69,6 +76,17 @@ let sched_effects_under_test =
   match Sys.getenv_opt "PCAML_TEST_SCHED" with
   | Some "effects" -> true
   | Some _ | None -> false
+
+(* The reduction axis: [none] is always the reference run; any other mode
+   re-runs the explorations reduced and compares. *)
+let reduce_under_test =
+  match Sys.getenv_opt "PCAML_TEST_REDUCE" with
+  | None | Some "" -> None
+  | Some s -> (
+    match Reduce.of_string s with
+    | Ok r when Reduce.is_none r -> None
+    | Ok r -> Some r
+    | Error e -> failwith ("PCAML_TEST_REDUCE: " ^ e))
 
 let gen_one ~ghost ~risky seed : P_syntax.Ast.program =
   let rand =
@@ -147,6 +165,39 @@ let check_sched_axis seed (p : P_syntax.Ast.program) =
     first 0 (t_items, e_items)
   end
 
+let check_reduce_axis seed tab (seq : Search.result) reduce =
+  let red = Delay_bounded.explore ~delay_bound:1 ~max_states:4_000 ~reduce tab in
+  let redp =
+    Parallel.explore ~domains:domains_under_test ~delay_bound:1
+      ~max_states:4_000 ~reduce tab
+  in
+  if verdict_kind red <> verdict_kind seq then
+    failf seed "reduce %a: verdict %s <> unreduced %s" Reduce.pp reduce
+      (verdict_kind red) (verdict_kind seq);
+  if verdict_kind redp <> verdict_kind red then
+    failf seed "reduce %a: parallel verdict %s <> sequential %s" Reduce.pp
+      reduce (verdict_kind redp) (verdict_kind red);
+  if red.stats.states <> redp.stats.states then
+    failf seed "reduce %a: parallel states %d <> sequential %d" Reduce.pp
+      reduce redp.stats.states red.stats.states;
+  if not (seq.stats.truncated || red.stats.truncated) then begin
+    if red.stats.states > seq.stats.states then
+      failf seed "reduce %a explored %d states, unreduced only %d" Reduce.pp
+        reduce red.stats.states seq.stats.states
+  end;
+  match ce_of red with
+  | None -> ()
+  | Some ce -> (
+    match ce.error.kind with
+    | P_semantics.Errors.Livelock | P_semantics.Errors.Fuel_exhausted -> ()
+    | _ -> (
+      match Differential.run tab ce.schedule with
+      | Error e -> failf seed "reduce %a: differential setup failed: %s" Reduce.pp reduce e
+      | Ok (Differential.Agree { verdict = Differential.Agree_error _; _ }) -> ()
+      | Ok o ->
+        failf seed "reduce %a: counterexample replay: %a" Reduce.pp reduce
+          Differential.pp_outcome o))
+
 let check_program ~ghost ~risky seed =
   let p = gen_one ~ghost ~risky seed in
   let tab =
@@ -213,6 +264,9 @@ let check_program ~ghost ~risky seed =
     | None, None, None -> ()
     | _ -> () (* verdict kinds already compared above *)
   end;
+  (match reduce_under_test with
+  | None -> ()
+  | Some reduce -> check_reduce_axis seed tab seq reduce);
   match store_under_test with
   | State_store.Exact -> ()
   | State_store.Compact ->

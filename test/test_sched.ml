@@ -191,6 +191,117 @@ let test_shard_ingress_shed () =
   check int_t "admitted posts were all delivered" 4
     (Api.queue_length (Shard.exec_of t 0) h)
 
+(* A sink that consumes every [E]: the counting tests need deliveries,
+   not mailbox growth. *)
+let sink_program () =
+  let open P_syntax.Builder in
+  program
+    ~events:[ event "E" ~payload:P_syntax.Ptype.Int ]
+    ~machines:[ machine "M" [ state "Idle" ~entry:skip ] ~steps:[ ("Idle", "E", "Idle") ] ]
+    "M"
+
+let test_shard_local_no_xfer () =
+  (* host posts ride the ingress queue; with one shard nothing is ever
+     cross-shard, so the transfer counters must stay at zero *)
+  let driver = compile (sink_program ()) in
+  let t = Shard.create ~shards:1 driver in
+  let h = Shard.create_machine t "M" in
+  let e = Shard.event_id t "E" in
+  Shard.start t;
+  let outcomes = List.init 50 (fun i -> Shard.post t h ~event:e (Rt_value.Int i)) in
+  check int_t "all posts admitted" 50
+    (List.length (List.filter (( = ) Context.Queued) outcomes));
+  check bool_t "quiesced" true (Shard.quiesce ~timeout_s:60.0 t);
+  let st = Shard.stop t in
+  check int_t "host posts counted as ingress" 50 st.Shard.sh_ingress_msgs;
+  check int_t "zero cross-shard batches" 0 st.Shard.sh_xfer_batches;
+  check int_t "zero cross-shard messages" 0 st.Shard.sh_xfer_msgs;
+  check int_t "every ingress slot released" 0 st.Shard.sh_pending;
+  check int_t "every post served" 50 st.Shard.sh_dequeues
+
+let test_ingress_conservation () =
+  (* K producer domains race the ingress bound; every offered post must be
+     accounted exactly once: delivered or shed, with its slot released *)
+  let driver = compile (sink_program ()) in
+  let t = Shard.create ~shards:2 ~ingress_capacity:64 driver in
+  let machines = Array.init 32 (fun _ -> Shard.create_machine t "M") in
+  let e = Shard.event_id t "E" in
+  Shard.start t;
+  let k = 4 and per = 2000 in
+  let queued = Array.make k 0 in
+  let producers =
+    Array.init k (fun p ->
+        Domain.spawn (fun () ->
+            let q = ref 0 in
+            for i = 0 to per - 1 do
+              match
+                Shard.post t
+                  machines.((p + i) mod Array.length machines)
+                  ~event:e
+                  (Rt_value.Int ((p * per) + i))
+              with
+              | Context.Queued -> incr q
+              | _ -> ()
+            done;
+            queued.(p) <- !q))
+  in
+  Array.iter Domain.join producers;
+  check bool_t "quiesced" true (Shard.quiesce ~timeout_s:60.0 t);
+  let st = Shard.stop t in
+  let admitted = Array.fold_left ( + ) 0 queued in
+  check int_t "each admitted post delivered exactly once" admitted
+    st.Shard.sh_ingress_msgs;
+  check int_t "shed + delivered = offered" (k * per)
+    (st.Shard.sh_shed_ingress + st.Shard.sh_ingress_msgs);
+  check int_t "every ingress slot released" 0 st.Shard.sh_pending;
+  check int_t "no cross-shard traffic from host posts" 0 st.Shard.sh_xfer_msgs
+
+(* A machine that perpetually mails itself: the fleet never goes idle, so
+   quiescence must time out (and report it) rather than hang. *)
+let spinner_program () =
+  let open P_syntax.Builder in
+  program
+    ~events:[ event "Tick" ]
+    ~machines:
+      [ machine "M"
+          [ state "Spin" ~entry:(send this "Tick") ]
+          ~steps:[ ("Spin", "Tick", "Spin") ] ]
+    "M"
+
+let test_quiesce_timeout () =
+  let driver = compile (spinner_program ()) in
+  let t = Shard.create ~shards:1 driver in
+  let (_ : int) = Shard.create_machine t "M" in
+  Shard.start t;
+  check bool_t "a busy fleet times out" false (Shard.quiesce ~timeout_s:0.2 t);
+  let st = Shard.stop t in
+  check bool_t "the spinner was actually running" true (st.Shard.sh_dequeues > 0)
+
+(* Self-deleting machine: posts that arrive after the delete are mail for
+   the departed — dead-lettered and dropped, with their slots released. *)
+let ephemeral_program () =
+  let open P_syntax.Builder in
+  program
+    ~events:[ event "E" ~payload:P_syntax.Ptype.Int ]
+    ~machines:[ machine "M" [ state "Gone" ~entry:delete ] ]
+    "M"
+
+let test_dead_letter_counts () =
+  let driver = compile (ephemeral_program ()) in
+  let t = Shard.create ~shards:1 driver in
+  let h = Shard.create_machine t "M" in
+  let e = Shard.event_id t "E" in
+  Shard.start t;
+  check bool_t "machine deleted itself" true (Shard.quiesce ~timeout_s:60.0 t);
+  let outcomes = List.init 7 (fun i -> Shard.post t h ~event:e (Rt_value.Int i)) in
+  check int_t "routing admits posts for deleted handles" 7
+    (List.length (List.filter (( = ) Context.Queued) outcomes));
+  check bool_t "drained the dead letters" true (Shard.quiesce ~timeout_s:60.0 t);
+  let st = Shard.stop t in
+  check int_t "dead letters counted" 7 st.Shard.sh_dead_letters;
+  check int_t "dead letters release their slots" 0 st.Shard.sh_pending;
+  check int_t "no live machines" 0 st.Shard.sh_machines
+
 (* ------------------------------------------------------------------ *)
 (* Ghost [*] under the scheduler                                       *)
 (* ------------------------------------------------------------------ *)
@@ -227,4 +338,8 @@ let suite =
     Alcotest.test_case "scheduler sheds at bounded mailboxes" `Quick test_sched_mailbox_shed;
     Alcotest.test_case "4-shard pingpong fleet" `Quick test_shard_fleet;
     Alcotest.test_case "shard ingress backpressure" `Quick test_shard_ingress_shed;
+    Alcotest.test_case "single shard: zero transfer batches" `Quick test_shard_local_no_xfer;
+    Alcotest.test_case "ingress slot conservation" `Quick test_ingress_conservation;
+    Alcotest.test_case "quiesce timeout returns false" `Quick test_quiesce_timeout;
+    Alcotest.test_case "dead letters after delete" `Quick test_dead_letter_counts;
     Alcotest.test_case "seeded ghost choices" `Quick test_seeded_nondet ]
