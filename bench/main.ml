@@ -23,6 +23,12 @@
                                                 POR + symmetry across the example
                                                 suite and the USB stack; --smoke
                                                 shrinks the budgets)
+           dune exec bench/main.exe -- faults  (adversarial host: fault-injected
+                                                verdicts/states per protocol
+                                                family x fault class, plus the
+                                                serving runtime's injection
+                                                counters; --smoke shrinks the
+                                                budgets)
            dune exec bench/main.exe -- protocol-scaling
                                                (German's directory with n clients)
            dune exec bench/main.exe -- micro   (Bechamel micro-benchmarks)
@@ -934,6 +940,154 @@ let load_bench ?(machines = 100_000) ?(events = 500_000) ?(rate_hz = 0.0)
   end
 
 (* ------------------------------------------------------------------ *)
+(* bench faults: the adversarial host over the protocol families       *)
+(* ------------------------------------------------------------------ *)
+
+(* Per (family x fault class): a fault-injected exploration of the two
+   distributed-protocol workload families, recording verdict, exact state
+   and transition counts, fired-fault counts, and states/s — exact
+   metrics pin the determinism contract in [compare], the derived
+   states_per_s gates throughput. A second leg runs each family under
+   the serving runtime's adversarial host and records the per-class
+   injection and crash-restart counters (single-domain and seeded, so
+   they are exact too). Hard contracts: fault-free both families are
+   clean, and at least one fault class must change each family's
+   verdict — that verdict flip is the point of the experiment. *)
+
+let fault_classes =
+  let open P_semantics.Fault in
+  [ ("none", none);
+    ("drop", { none with drop = 200 });
+    ("dup", { none with dup = 300 });
+    ("reorder", { none with reorder = 300 });
+    ("delay", { none with delay = 300 });
+    ("crash", { none with crash = 100 });
+    ("mixed", { none with drop = 100; dup = 150; reorder = 100; crash = 50 }) ]
+
+let faults_bench ?(smoke = false) () : bool =
+  line "== Fault injection: adversarial host over the protocol families ==";
+  line "   (verdict flips are the experiment: dup past ⊕ trips the counted";
+  line "    assertions; drop/reorder/crash stall safely)";
+  let max_states = if smoke then 30_000 else 300_000 in
+  (* checker leg at the exhaustive-exploration size; the serving-runtime
+     leg is a single linear schedule, so it affords a larger instance *)
+  let host_n = if smoke then 6 else 12 in
+  let families =
+    [ ( "leader-ring",
+        (fun n -> P_examples_lib.Leader_ring.program ~n ()),
+        "Starter" );
+      ( "failover-chain",
+        (fun n -> P_examples_lib.Failover_chain.program ~n ()),
+        "Net" ) ]
+  in
+  let rows = ref [] in
+  let ok = ref true in
+  line "%-16s %-9s %-10s %9s %12s %8s %12s" "family" "class" "verdict" "states"
+    "transitions" "faults" "states/s";
+  List.iter
+    (fun (fname, family, main) ->
+      let tab = tab_of (family 3) in
+      let refuted = ref 0 in
+      List.iter
+        (fun (cname, plan) ->
+          let faults = P_semantics.Fault.with_seed 0 plan in
+          let r =
+            if P_semantics.Fault.is_none plan then
+              Delay_bounded.explore ~delay_bound:2 ~max_states tab
+            else Delay_bounded.explore ~delay_bound:2 ~max_states ~faults tab
+          in
+          let verdict =
+            match r.verdict with
+            | Search.No_error -> "clean"
+            | Search.Error_found _ ->
+              incr refuted;
+              "refuted"
+          in
+          if P_semantics.Fault.is_none plan && verdict <> "clean" then begin
+            line "FAIL: %s must be clean without injection" fname;
+            ok := false
+          end;
+          let per_s =
+            if r.stats.elapsed_s > 0.0 then
+              float_of_int r.stats.states /. r.stats.elapsed_s
+            else 0.0
+          in
+          line "%-16s %-9s %-10s %9d %12d %8d %12.0f" fname cname verdict
+            r.stats.states r.stats.transitions r.stats.faults per_s;
+          rows :=
+            Json.Obj
+              [ ("name", Json.String (fname ^ "/" ^ cname));
+                ("family", Json.String fname);
+                ("class", Json.String cname);
+                ("verdict", Json.String verdict);
+                ("states", Json.Int r.stats.states);
+                ("transitions", Json.Int r.stats.transitions);
+                ("faults_fired", Json.Int r.stats.faults);
+                ("truncated", Json.Bool r.stats.truncated);
+                ("elapsed_s", Json.Float r.stats.elapsed_s) ]
+            :: !rows)
+        fault_classes;
+      if !refuted = 0 then begin
+        line "FAIL: no fault class changed %s's verdict" fname;
+        ok := false
+      end;
+      (* serving-runtime leg: the same family under the scheduler's
+         adversarial host (delay is checker-only, so the mixed plan here
+         carries the other four classes) *)
+      (* gentler rates than the checker leg: the single schedule must
+         survive its one-shot wiring phase to generate protocol traffic *)
+      let host_plan =
+        P_semantics.Fault.with_seed 2
+          { P_semantics.Fault.none with
+            drop = 30;
+            dup = 80;
+            reorder = 60;
+            crash = 40 }
+      in
+      let driver = P_compile.Compile.compile_full (family host_n) in
+      let fleet = if smoke then 20 else 200 in
+      let s =
+        P_runtime.Sched.create ~policy:P_runtime.Sched.Fifo ~seed:1
+          ~faults:host_plan driver
+      in
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        try
+          for _ = 1 to fleet do
+            ignore (P_runtime.Sched.create_machine s main : int)
+          done;
+          P_runtime.Sched.run s;
+          "quiescent"
+        with P_runtime.Exec.Runtime_error _ -> "assertion-refuted"
+      in
+      let host_elapsed = Unix.gettimeofday () -. t0 in
+      let st = P_runtime.Sched.stats s in
+      line
+        "%-16s %-9s %-10s dequeues=%d drops=%d dups=%d reorders=%d restarts=%d"
+        fname "host" outcome st.P_runtime.Sched.st_dequeues
+        st.P_runtime.Sched.st_fault_drops st.P_runtime.Sched.st_fault_dups
+        st.P_runtime.Sched.st_fault_reorders st.P_runtime.Sched.st_crash_restarts;
+      rows :=
+        Json.Obj
+          [ ("name", Json.String (fname ^ "/host"));
+            ("family", Json.String fname);
+            ("class", Json.String "host-mixed");
+            ("fleet", Json.Int fleet);
+            ("outcome", Json.String outcome);
+            ("dequeues", Json.Int st.P_runtime.Sched.st_dequeues);
+            ("sends", Json.Int st.P_runtime.Sched.st_sends);
+            ("fault_drops", Json.Int st.P_runtime.Sched.st_fault_drops);
+            ("fault_dups", Json.Int st.P_runtime.Sched.st_fault_dups);
+            ("fault_reorders", Json.Int st.P_runtime.Sched.st_fault_reorders);
+            ("crash_restarts", Json.Int st.P_runtime.Sched.st_crash_restarts);
+            ("shed_mailbox", Json.Int st.P_runtime.Sched.st_shed_mailbox);
+            ("elapsed_s", Json.Float host_elapsed) ]
+        :: !rows)
+    families;
+  record "faults" (Json.List (List.rev !rows));
+  !ok
+
+(* ------------------------------------------------------------------ *)
 (* bench compare: regression gate between two p-bench/1 documents      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1190,6 +1344,8 @@ let all () =
   hr ();
   ignore (load_bench () : bool);
   hr ();
+  ignore (faults_bench () : bool);
+  hr ();
   digest_throughput ();
   hr ();
   micro ()
@@ -1332,6 +1488,9 @@ let () =
   | "reduce" :: rest ->
     let smoke, _rest = extract_flag "--smoke" rest in
     if not (reduce_bench ~smoke ()) then exit 1
+  | "faults" :: rest ->
+    let smoke, _rest = extract_flag "--smoke" rest in
+    if not (faults_bench ~smoke ()) then exit 1
   | "protocol-scaling" :: _ -> protocol_scaling ()
   | "digest-throughput" :: _ | "digest" :: _ -> digest_throughput ()
   | "micro" :: _ -> micro ()
@@ -1369,6 +1528,11 @@ let () =
     (* reduction soundness (same verdicts) and the strict-win contract are
        hard failures; the reduced state counts land in the document as
        exact metrics, so [compare] pins them across runs *)
-    if not (reduce_bench ~smoke:true ()) then exit 1
+    if not (reduce_bench ~smoke:true ()) then exit 1;
+    hr ();
+    (* the adversarial-host contract: fault-free the protocol families are
+       clean, at least one fault class refutes each, and the per-class
+       counts land as exact metrics the gate pins *)
+    if not (faults_bench ~smoke:true ()) then exit 1
   | [] | _ -> all ());
   match json_path with None -> () | Some path -> write_results path

@@ -23,6 +23,10 @@ let examples : (string * (unit -> P_syntax.Ast.program)) list =
     ("tokenring-buggy", fun () -> P_examples_lib.Token_ring.buggy_program ());
     ("boundedbuffer", fun () -> P_examples_lib.Bounded_buffer.program ());
     ("boundedbuffer-buggy", fun () -> P_examples_lib.Bounded_buffer.buggy_program ());
+    ("leaderring", fun () -> P_examples_lib.Leader_ring.program ());
+    ("leaderring-buggy", fun () -> P_examples_lib.Leader_ring.buggy_program ());
+    ("failoverchain", fun () -> P_examples_lib.Failover_chain.program ());
+    ("failoverchain-buggy", fun () -> P_examples_lib.Failover_chain.buggy_program ());
     ("usb-hsm", fun () -> P_usb.Gen.program_of_spec P_usb.Gen.hsm_spec);
     ("usb-psm30", fun () -> P_usb.Gen.program_of_spec P_usb.Gen.psm30_spec);
     ("usb-psm20", fun () -> P_usb.Gen.program_of_spec P_usb.Gen.psm20_spec);
@@ -132,6 +136,44 @@ let check_domain_count n =
     | Error e ->
       Fmt.epr "pc: warning: %a@." P_checker.Parallel.pp_domains_error e)
 
+(* Resolve --faults SPEC / --fault-seed N into a normalized plan: parse
+   errors die with the parser's message, an all-zero spec means "no
+   injection", and --fault-seed without --faults is a usage error. *)
+let resolve_faults faults fault_seed =
+  match faults with
+  | None ->
+    if fault_seed <> None then
+      or_die (Error "--fault-seed requires --faults");
+    None
+  | Some spec -> (
+    let p = or_die (P_semantics.Fault.of_string spec) in
+    if P_semantics.Fault.is_none p then None
+    else
+      Some
+        (P_semantics.Fault.with_seed (Option.value ~default:0 fault_seed) p))
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Run under a deterministic adversarial host: comma-separated \
+           $(b,class=probability) fields with classes $(b,drop), $(b,dup), \
+           $(b,reorder), $(b,delay), $(b,crash) and probabilities in 0..1 \
+           (e.g. $(b,drop=0.05,crash=0.01)). Every injection is a pure \
+           function of $(b,--fault-seed) and a fault-point counter, so runs \
+           are reproducible and counterexamples replay and shrink.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Seed for the $(b,--faults) schedule (default 0). Recorded in any \
+           counterexample artifact.")
+
 let default_ce_path file example =
   match (file, example) with
   | Some path, None -> Filename.remove_extension path ^ ".counterexample.jsonl"
@@ -140,7 +182,7 @@ let default_ce_path file example =
 
 let run_verify file example delay_bound max_states liveness show_trace domains
     fingerprint store store_capacity reduce stats_json trace_out profile_out
-    progress seed ce_out no_ce =
+    progress seed faults fault_seed ce_out no_ce =
   (match (seed, domains) with
   | Some _, Some _ -> or_die (Error "--seed is not supported with --domains")
   | _ -> ());
@@ -149,6 +191,18 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   let fingerprint = or_die (P_checker.Fingerprint.mode_of_string fingerprint) in
   let store = or_die (P_checker.State_store.kind_of_string store) in
   let reduce = or_die (P_checker.Reduce.of_string reduce) in
+  let faults = resolve_faults faults fault_seed in
+  (match faults with
+  | Some _ when liveness ->
+    or_die (Error "--faults is not supported with --liveness")
+  | Some _ when reduce.P_checker.Reduce.por ->
+    or_die
+      (Error
+         "--faults is not compatible with sleep-set POR (--reduce por|full): \
+          injected faults consume schedule-dependent fault indices, so \
+          commuted blocks are no longer equivalent; use --reduce symmetry \
+          or none")
+  | _ -> ());
   (match store_capacity with
   | Some c when c < 1 -> or_die (Error "--store-capacity must be positive")
   | Some _ when store = P_checker.State_store.Exact ->
@@ -194,7 +248,7 @@ let run_verify file example delay_bound max_states liveness show_trace domains
   P_obs.Profile.start_gc profiler;
   let report =
     P_checker.Verifier.verify ~delay_bound ~max_states ~liveness ~fingerprint
-      ~store ?store_capacity ~reduce ?seed ?domains ~instr program
+      ~store ?store_capacity ~reduce ?seed ?domains ?faults ~instr program
   in
   P_obs.Telemetry.force telemetry;
   telemetry_sink_close ();
@@ -231,7 +285,7 @@ let run_verify file example delay_bound max_states liveness show_trace domains
       match
         P_checker.Replay.record_counterexample
           ~program:(program_provenance file example)
-          ?seed ~engine symtab ce
+          ?seed ?faults ~engine symtab ce
       with
       | Ok tf ->
         P_checker.Trace_file.write_file path tf;
@@ -377,7 +431,8 @@ let verify_cmd =
     Term.(
       const run_verify $ file_arg $ example_arg $ delay $ max_states $ liveness $ trace
       $ domains $ fingerprint $ store $ store_capacity $ reduce $ stats_json
-      $ trace_out $ profile_out $ progress $ seed $ ce_out $ no_ce)
+      $ trace_out $ profile_out $ progress $ seed $ faults_arg $ fault_seed_arg
+      $ ce_out $ no_ce)
 
 (* ---------------- random ---------------- *)
 
@@ -465,7 +520,7 @@ let random_cmd =
    so closed programs drive themselves; [*] choices resolve from --seed.
    The --max-blocks budget maps onto events processed, polled against the
    racy shard counters. *)
-let run_simulate_sharded program shards max_blocks seed stats_json =
+let run_simulate_sharded program shards max_blocks seed faults stats_json =
   let module Shard = P_runtime.Shard in
   let module Exec = P_runtime.Exec in
   (match P_static.Check.run program with
@@ -478,7 +533,7 @@ let run_simulate_sharded program shards max_blocks seed stats_json =
     match stats_json with None -> None | Some _ -> Some (P_obs.Metrics.create ())
   in
   let stats_oc = Option.map open_out_or_die stats_json in
-  let t = Shard.create ~shards ?seed ?metrics driver in
+  let t = Shard.create ~shards ?seed ?faults ?metrics driver in
   (* stub every declared foreign with the ⊥ the interpreter would produce
      for a model-free foreign (the differential harness's convention) *)
   Array.iter
@@ -547,6 +602,19 @@ let run_simulate_sharded program shards max_blocks seed stats_json =
             ("pending", P_obs.Json.Int st.Shard.sh_pending) ]
         in
         let fields =
+          match faults with
+          | None -> fields
+          | Some p ->
+            fields
+            @ [ ( "faults",
+                  P_obs.Json.Obj
+                    [ ("spec", P_obs.Json.String (P_host.Faults.to_string p));
+                      ("seed", P_obs.Json.Int p.P_semantics.Fault.seed);
+                      ( "injected",
+                        P_host.Faults.json_of_summary (P_host.Faults.summary st)
+                      ) ] ) ]
+        in
+        let fields =
           match metrics with
           | None -> fields
           | Some reg -> fields @ [ ("metrics", P_obs.Metrics.dump reg) ]
@@ -561,19 +629,23 @@ let run_simulate_sharded program shards max_blocks seed stats_json =
       (if quiescent then "quiescent" else "block budget exhausted")
       st.Shard.sh_dequeues st.Shard.sh_shards st.Shard.sh_machines
       st.Shard.sh_sends st.Shard.sh_spawns st.Shard.sh_xfer_msgs
-      (st.Shard.sh_shed_mailbox + st.Shard.sh_shed_ingress)
+      (st.Shard.sh_shed_mailbox + st.Shard.sh_shed_ingress);
+    if faults <> None then
+      Fmt.pr "adversarial host: %a@." P_host.Faults.pp_summary
+        (P_host.Faults.summary st)
   | Error msg ->
     Fmt.pr "sharded simulation: error: %s@." msg;
     exit 1)
 
-let run_simulate file example max_blocks seed show_trace trace_out shards
-    stats_json =
+let run_simulate file example max_blocks seed faults fault_seed show_trace
+    trace_out shards stats_json =
+  let faults = resolve_faults faults fault_seed in
   match shards with
   | Some n when n >= 1 ->
     if show_trace || trace_out <> None then
       or_die (Error "--trace/--trace-out are not supported with --shards");
     let program = or_die (load_program file example) in
-    run_simulate_sharded program n max_blocks seed stats_json
+    run_simulate_sharded program n max_blocks seed faults stats_json
   | Some _ -> or_die (Error "--shards must be at least 1")
   | None ->
   let program = or_die (load_program file example) in
@@ -587,7 +659,7 @@ let run_simulate file example max_blocks seed show_trace trace_out shards
       | None -> P_semantics.Simulate.policy_const false
       | Some s -> P_semantics.Simulate.policy_seeded s
     in
-    let r = P_semantics.Simulate.run ~max_blocks ~policy symtab in
+    let r = P_semantics.Simulate.run ~max_blocks ~policy ?faults symtab in
     (match trace_out with
     | None -> ()
     | Some path ->
@@ -645,8 +717,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Deterministic causal (d=0) execution of the closed program.")
     Term.(
-      const run_simulate $ file_arg $ example_arg $ max_blocks $ seed $ trace
-      $ trace_out $ shards $ stats_json)
+      const run_simulate $ file_arg $ example_arg $ max_blocks $ seed
+      $ faults_arg $ fault_seed_arg $ trace $ trace_out $ shards $ stats_json)
 
 (* ---------------- erase / compile / print ---------------- *)
 

@@ -271,4 +271,10 @@ let digest ?rename t (config : Config.t) (extra : int list) : string =
         bindings;
       add_int t (List.length extra);
       List.iter (add_int t) extra;
+      (* Fault-point counter, appended only when a fault plan has consumed
+         indices, so fault-free digests are byte-compatible with every
+         artifact written before fault injection existed. Injective: [extra]
+         is length-prefixed, so a trailing varint cannot be confused with
+         extra content. *)
+      if config.fseq > 0 then add_int t config.fseq;
       Digest.string (Buffer.contents t.buf))

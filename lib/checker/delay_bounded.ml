@@ -35,11 +35,11 @@ let apply_outcome = Engine.apply_outcome
 let explore ?(max_states = 1_000_000) ?(max_depth = max_int) ?(discipline = Causal)
     ?(dedup = true) ?(fingerprint = Fingerprint.Incremental)
     ?(resolver = Engine.Exhaustive) ?(store = State_store.Exact)
-    ?store_capacity ?(reduce = Reduce.none) ?(instr = Search.no_instr)
+    ?store_capacity ?(reduce = Reduce.none) ?faults ?(instr = Search.no_instr)
     ~delay_bound (tab : P_static.Symtab.t) : Search.result =
   let spec =
     Engine.spec ~bound:delay_bound ~dedup ~max_states ~max_depth
-      ~fp_mode:fingerprint ~resolver ~store ?store_capacity ~reduce
+      ~fp_mode:fingerprint ~resolver ~store ?store_capacity ~reduce ?faults
       (Engine.stack_sched discipline)
   in
   Engine.run ~instr ~engine:"delay_bounded"

@@ -221,12 +221,26 @@ let rt_kind = function
     [Error] means the differential could not be set up or the schedule is
     itself invalid (names a machine neither layer has, or under-supplies
     ghost choices in both) — as opposed to [Ok (Mismatch _)], which is the
-    interesting case: the layers disagree. *)
-let run (tab : P_static.Symtab.t) (schedule : (Mid.t * bool list) list) :
+    interesting case: the layers disagree.
+
+    [faults] installs the same deterministic fault plan on both sides:
+    the interpreter threads it through {!Step.run_atomic} (fault index in
+    the configuration), the runtime through {!Exec.set_fault_plan} (fault
+    index on the engine) — both consume indices at the same hooks in the
+    same order, so drops, duplicates, reorders, delays, and
+    crash-restarts land identically and the state comparison stays
+    exact. *)
+let run ?faults (tab : P_static.Symtab.t) (schedule : (Mid.t * bool list) list) :
     (outcome, string) result =
+  let faults =
+    match faults with
+    | Some p when not (P_semantics.Fault.is_none p) -> Some p
+    | _ -> None
+  in
   match make_runtime tab with
   | Error _ as e -> e
   | Ok (rt, driver) ->
+    Exec.set_fault_plan rt faults;
     let config0, _main, _items = Step.initial_config tab in
     let mismatch step reason = Ok (Mismatch { step; reason }) in
     let rec go i config = function
@@ -245,7 +259,7 @@ let run (tab : P_static.Symtab.t) (schedule : (Mid.t * bool list) list) :
         | true, None -> mismatch i (Fmt.str "machine %a is live in the interpreter only" Mid.pp mid)
         | false, Some _ -> mismatch i (Fmt.str "machine %a is live in the runtime only" Mid.pp mid)
         | true, Some ctx -> (
-          let iout, _items = Step.run_atomic ~dedup:true tab config mid ~choices in
+          let iout, _items = Step.run_atomic ~dedup:true ?faults tab config mid ~choices in
           let rout = Exec.step_block rt ctx ~choices in
           match (iout, rout) with
           | Step.Failed e, Exec.Block_error _ ->
@@ -276,7 +290,10 @@ let check_trace (tab : P_static.Symtab.t) (t : Trace_file.t) :
     Error
       "trace was recorded without queue deduplication; the runtime only implements the paper's deduplicating append"
   else
-    match run tab (Replay.schedule_of_trace t) with
+    match Trace_file.fault_plan t with
+    | Error e -> Error e
+    | Ok faults ->
+    match run ?faults tab (Replay.schedule_of_trace t) with
     | Error _ as e -> e
     | Ok (Mismatch _ as o) -> Ok o
     | Ok (Agree { verdict; _ } as o) -> (

@@ -26,16 +26,23 @@ type outcome =
 val pp_outcome : outcome Fmt.t
 
 val run :
+  ?faults:P_semantics.Fault.plan ->
   P_static.Symtab.t ->
   (P_semantics.Mid.t * bool list) list ->
   (outcome, string) result
 (** Run a schedule through both layers. [Error] is a setup or schedule
     problem (uncompilable program, foreign models — which only the
     interpreter can evaluate —, a machine neither layer has); the
-    interesting disagreements are [Ok (Mismatch _)]. *)
+    interesting disagreements are [Ok (Mismatch _)]. [faults] installs
+    the same deterministic fault plan on both sides (interpreter via
+    {!P_semantics.Step.run_atomic}, runtime via
+    {!P_runtime.Exec.set_fault_plan}); both consume fault indices at the
+    same hooks in the same order, so the comparison stays exact under
+    drops, duplicates, reorders, delays, and crash-restarts. *)
 
 val check_trace : P_static.Symtab.t -> Trace_file.t -> (outcome, string) result
 (** {!run} on the artifact's schedule, additionally holding the agreed
     verdict against the error (or clean completion) the artifact
-    recorded. Requires a dedup trace: the runtime queue only implements
-    the paper's deduplicating [⊕]. *)
+    recorded. A fault plan recorded in the artifact's header is
+    re-installed on both layers. Requires a dedup trace: the runtime
+    queue only implements the paper's deduplicating [⊕]. *)

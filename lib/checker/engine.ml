@@ -173,13 +173,34 @@ type 'sched spec = {
       (** state-space reduction: sleep-set POR and/or symmetry
           canonicalization (default {!Reduce.none}, which reproduces the
           unreduced engine byte for byte) *)
+  faults : P_semantics.Fault.plan option;
+      (** deterministic fault injection, forwarded to [run_atomic];
+          [None] (the default) reproduces the fault-free engine byte for
+          byte. Incompatible with sleep-set POR (see {!spec}). *)
 }
 
 let spec ?(bound = max_int) ?(truncate_on_exhaust = false) ?(frontier = Bfs)
     ?(resolver = Exhaustive) ?(track_seen = true) ?(dedup = true)
     ?(stop_on_error = true) ?(max_states = 1_000_000) ?(max_depth = max_int)
     ?(fp_mode = Fingerprint.Incremental) ?(store = State_store.Exact)
-    ?store_capacity ?(reduce = Reduce.none) scheduler =
+    ?store_capacity ?(reduce = Reduce.none) ?faults scheduler =
+  (* an all-zero plan is exactly faults-off; normalizing here keeps the
+     byte-for-byte compatibility guard trivially true *)
+  let faults =
+    match faults with
+    | Some p when P_semantics.Fault.is_none p -> None
+    | f -> f
+  in
+  (* Sleep-set POR argues two commuting blocks reach the same state in
+     either order; with faults on, each block's fault decisions depend on
+     the fault indices consumed before it, so swapping two blocks changes
+     which faults fire and the orders no longer commute. Symmetry stays
+     sound (decisions depend only on the index, never on identities). *)
+  if faults <> None && reduce.Reduce.por then
+    invalid_arg
+      "Engine.spec: sleep-set POR is unsound under fault injection \
+       (fault-index consumption breaks commutativity); use --reduce none \
+       or --reduce symmetry";
   { scheduler;
     bound;
     truncate_on_exhaust;
@@ -193,7 +214,8 @@ let spec ?(bound = max_int) ?(truncate_on_exhaust = false) ?(frontier = Bfs)
     fp_mode;
     store;
     store_capacity;
-    reduce }
+    reduce;
+    faults }
 
 (* ------------------------------------------------------------------ *)
 (* The core                                                            *)
@@ -243,13 +265,18 @@ type 'sched successor = {
 
 let resolve ?on_overflow spec tab config mid : Search.resolved list =
   match spec.resolver with
-  | Exhaustive -> Search.resolutions ~dedup:spec.dedup ?on_overflow tab config mid
+  | Exhaustive ->
+    Search.resolutions ~dedup:spec.dedup ?faults:spec.faults ?on_overflow tab
+      config mid
   | Sampled draw ->
     (* one sampled resolution; draw order matches the historical walker:
        one boolean per Need_more_choices re-run, appended at the end *)
     let rec go rev_choices =
       let choices = List.rev rev_choices in
-      match Step.run_atomic ~dedup:spec.dedup tab config mid ~choices with
+      match
+        Step.run_atomic ~dedup:spec.dedup ?faults:spec.faults tab config mid
+          ~choices
+      with
       | Step.Need_more_choices, _ -> go (draw () :: rev_choices)
       | outcome, items -> { Search.choices; outcome; items }
     in
@@ -390,7 +417,8 @@ let replay (t : 'sched t) idx : Trace.t * (Mid.t * bool list) list =
       | None -> (items, List.rev sched_rev) (* cannot happen on a recorded path *)
       | Some (sched_m, mid) -> (
         let outcome, new_items =
-          Step.run_atomic ~dedup:t.spec.dedup t.tab config mid ~choices:e.choices
+          Step.run_atomic ~dedup:t.spec.dedup ?faults:t.spec.faults t.tab config
+            mid ~choices:e.choices
         in
         let items = items @ new_items in
         let sched_rev = (mid, e.choices) :: sched_rev in
@@ -409,10 +437,18 @@ let observe_edge t (s : 'sched successor) dst =
     o.on_edge ~src:s.s_parent_sidx ~src_config:s.s_parent_config ~by:s.s_by
       ~resolved:s.s_resolved ~dst
 
+(* Injected faults that fired during one resolved block. *)
+let count_faults items =
+  List.fold_left
+    (fun acc it -> match it with Trace.Faulted _ -> acc + 1 | _ -> acc)
+    0 items
+
 (* Merge one successor into the seen set / frontier. Sequential also under
    [run_parallel], which keeps both drivers deterministic. *)
 let integrate (t : 'sched t) ~push (s : 'sched successor) =
   t.stats.transitions <- t.stats.transitions + 1;
+  if t.spec.faults <> None then
+    t.stats.faults <- t.stats.faults + count_faults s.s_resolved.items;
   (match t.meters with
   | None -> ()
   | Some m -> P_obs.Metrics.incr m.Search.m_transitions);
@@ -803,6 +839,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     let barrier = Barrier.make n in
     (* per-worker tallies, merged after the join *)
     let w_transitions = Array.make n 0 in
+    let w_faults = Array.make n 0 in
     let w_pruned = Array.make n 0 in
     let w_dedup = Array.make n 0 in
     let w_maxdepth = Array.make n 0 in
@@ -891,6 +928,8 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
         List.iter
           (fun (s : 'sched successor) ->
             w_transitions.(w) <- w_transitions.(w) + 1;
+            if spec.faults <> None then
+              w_faults.(w) <- w_faults.(w) + count_faults s.s_resolved.items;
             match s.s_next with
             | None ->
               (* a failing edge; [stop_on_error = false] graph builds are
@@ -1072,6 +1111,7 @@ let run_parallel ?(instr = Search.no_instr) ?(span_args = []) ~engine ~domains
     (* merge the per-worker tallies *)
     stats.states <- Atomic.get states;
     stats.transitions <- Array.fold_left ( + ) 0 w_transitions;
+    stats.faults <- Array.fold_left ( + ) 0 w_faults;
     stats.pruned <- Array.fold_left ( + ) 0 w_pruned;
     stats.max_depth <- Array.fold_left max 0 w_maxdepth;
     stats.truncated <- Atomic.get truncated;

@@ -116,6 +116,10 @@ type 'sched spec = {
           kind with never more states; the sleep set is part of the state
           key, so expansion stays a pure function of the key and
           {!run_parallel}'s determinism contract is preserved. *)
+  faults : P_semantics.Fault.plan option;
+      (** deterministic fault injection, forwarded to [run_atomic];
+          [None] (the default) reproduces the fault-free engine byte for
+          byte. Incompatible with sleep-set POR. *)
 }
 
 val spec :
@@ -132,11 +136,18 @@ val spec :
   ?store:State_store.kind ->
   ?store_capacity:int ->
   ?reduce:Reduce.t ->
+  ?faults:P_semantics.Fault.plan ->
   'sched scheduler ->
   'sched spec
 (** Spec builder with the common defaults: unbounded budget, BFS,
     exhaustive choices, seen-set on, dedup on, stop at the first error,
     [max_states] 1,000,000, incremental fingerprints, exact store.
+
+    A [faults] plan with all-zero rates is normalized to [None].
+    Combining an active plan with sleep-set POR raises
+    [Invalid_argument]: fault decisions are indexed by the order blocks
+    execute in, so commuting two blocks changes which faults fire and
+    the independence argument breaks. Symmetry reduction remains sound.
 
     Non-exact stores refuse (at run time, [Invalid_argument]) specs whose
     [bound] exceeds {!State_store.max_exact_spent} — the compact slot

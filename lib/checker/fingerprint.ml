@@ -221,6 +221,8 @@ let incremental ?rename t (config : Config.t) (extra : int list) : string =
            Buffer.add_string t.buf (Canon.machine_digest ~rename:rn t.canon id m)));
   add_int t.buf (List.length extra);
   List.iter (add_int t.buf) extra;
+  (* mirrors Canon.digest: fault counter appended only when nonzero *)
+  if config.fseq > 0 then add_int t.buf config.fseq;
   Digest.string (Buffer.contents t.buf)
 
 (* ------------------------------------------------------------------ *)
@@ -303,4 +305,7 @@ let digest_int ?rename t (config : Config.t) (extra : int list) : int =
              h
     in
     let h = fnv_int h (List.length extra) in
-    finalize (List.fold_left fnv_int h extra)
+    let h = List.fold_left fnv_int h extra in
+    (* mirrors Canon.digest: fault counter mixed in only when nonzero *)
+    let h = if config.fseq > 0 then fnv_int h config.fseq else h in
+    finalize h

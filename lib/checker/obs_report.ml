@@ -11,6 +11,7 @@ let json_of_stats (s : Search.stats) : Json.t =
        ("transitions", Json.Int s.transitions);
        ("max_depth", Json.Int s.max_depth);
        ("truncated", Json.Bool s.truncated);
+       ("faults", Json.Int s.faults);
        ("elapsed_s", Json.Float s.elapsed_s) ]
     @
     match s.store with
@@ -78,6 +79,13 @@ let json_of_report ?metrics ?profile (r : Verifier.report) : Json.t =
         match r.seed with None -> Json.Null | Some s -> Json.Int s );
       ( "domains",
         match r.domains with None -> Json.Null | Some d -> Json.Int d );
+      ( "faults",
+        match r.faults with
+        | None -> Json.Null
+        | Some p ->
+          Json.Obj
+            [ ("spec", Json.String (P_semantics.Fault.to_string p));
+              ("seed", Json.Int p.P_semantics.Fault.seed) ] );
       ( "safety",
         match r.safety with None -> Json.Null | Some s -> json_of_safety s );
       ( "liveness",

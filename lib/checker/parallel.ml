@@ -59,7 +59,7 @@ let validate_domains ?(hard = false) ?recommended requested =
     affects wall-clock time. *)
 let explore ?(max_states = 1_000_000) ?(domains = 4) ?spawn_threshold
     ?(fingerprint = Fingerprint.Incremental) ?(store = State_store.Exact)
-    ?store_capacity ?(reduce = Reduce.none) ?(instr = Search.no_instr)
+    ?store_capacity ?(reduce = Reduce.none) ?faults ?(instr = Search.no_instr)
     ~delay_bound (tab : P_static.Symtab.t) : Search.result =
   (* the work-stealing engine sizes itself; the level-synchronous engine's
      spawn threshold is accepted for compatibility and ignored *)
@@ -71,7 +71,7 @@ let explore ?(max_states = 1_000_000) ?(domains = 4) ?spawn_threshold
   in
   let spec =
     Engine.spec ~bound:delay_bound ~max_states ~fp_mode:fingerprint ~store
-      ?store_capacity ~reduce
+      ?store_capacity ~reduce ?faults
       (Engine.stack_sched Engine.Causal)
   in
   Engine.run_parallel ~instr ~engine:"parallel"

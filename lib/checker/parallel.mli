@@ -41,6 +41,7 @@ val explore :
   ?store:State_store.kind ->
   ?store_capacity:int ->
   ?reduce:Reduce.t ->
+  ?faults:P_semantics.Fault.plan ->
   ?instr:Search.instr ->
   delay_bound:int ->
   P_static.Symtab.t ->

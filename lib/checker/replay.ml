@@ -37,6 +37,9 @@ type divergence =
   | No_error of { expected : string }
       (** the schedule ran out without reproducing the recorded error *)
   | Final_digest_mismatch of { expected : string; got : string }
+  | Bad_header of { reason : string }
+      (** the artifact's header cannot be honoured (e.g. an unparseable
+          fault spec), so the schedule cannot even start *)
 
 let pp_divergence ppf = function
   | Init_digest_mismatch { expected; got } ->
@@ -59,6 +62,7 @@ let pp_divergence ppf = function
     Fmt.pf ppf "schedule completed without reproducing the error: %s" expected
   | Final_digest_mismatch { expected; got } ->
     Fmt.pf ppf "final configuration diverged: recorded %s, got %s" expected got
+  | Bad_header { reason } -> Fmt.pf ppf "cannot honour trace header: %s" reason
 
 type outcome =
   | Reproduced of { steps_used : int; error : string }
@@ -91,7 +95,7 @@ type result = {
     vetoes the successor configuration of step [i] (digest checks);
     [expected_error] is the rendered error the schedule must end in, or
     [None] for a clean trace. *)
-let run_schedule ?(dedup = true) ?check_step ?(expected_error = None)
+let run_schedule ?(dedup = true) ?faults ?check_step ?(expected_error = None)
     (tab : P_static.Symtab.t) (schedule : (Mid.t * bool list) list) : result =
   let config0, _main, items0 = Step.initial_config tab in
   let diverged config items_rev d =
@@ -113,7 +117,7 @@ let run_schedule ?(dedup = true) ?check_step ?(expected_error = None)
       if not (Config.mem config mid) then
         diverged (Some config) items_rev (Unknown_machine { step = i; mid })
       else (
-        match Step.run_atomic ~dedup tab config mid ~choices with
+        match Step.run_atomic ~dedup ?faults tab config mid ~choices with
         | Step.Need_more_choices, _ ->
           diverged (Some config) items_rev (Choices_exhausted { step = i; mid })
         | Step.Failed e, new_items -> (
@@ -141,10 +145,11 @@ let run_schedule ?(dedup = true) ?check_step ?(expected_error = None)
 
 (** Cheap validity check for {!Shrink} candidates: does this schedule still
     reproduce [expected_error]? No digest bookkeeping. *)
-let reproduces ?(dedup = true) (tab : P_static.Symtab.t) ~expected_error schedule :
-    int option =
+let reproduces ?(dedup = true) ?faults (tab : P_static.Symtab.t) ~expected_error
+    schedule : int option =
   match
-    (run_schedule ~dedup ~expected_error:(Some expected_error) tab schedule).outcome
+    (run_schedule ~dedup ?faults ~expected_error:(Some expected_error) tab schedule)
+      .outcome
   with
   | Reproduced { steps_used; _ } -> Some steps_used
   | Clean _ | Diverged _ -> None
@@ -159,9 +164,16 @@ let schedule_of_trace (t : Trace_file.t) : (Mid.t * bool list) list =
 let hex_digest canon config = Digest.to_hex (Canon.digest canon config [])
 
 (** Replay a trace artifact against [tab], checking the verdict and (by
-    default) every recorded fingerprint. *)
+    default) every recorded fingerprint. The fault plan recorded in the
+    header (if any) is re-installed, so fault decisions — keyed by the
+    plan's seed and the per-path fault index — fire at exactly the same
+    points as in the recording. *)
 let run ?(check_digests = true) (tab : P_static.Symtab.t) (t : Trace_file.t) :
     result =
+  match Trace_file.fault_plan t with
+  | Error reason ->
+    { outcome = Diverged (Bad_header { reason }); items = []; final_config = None }
+  | Ok faults ->
   let canon = Canon.create tab in
   let config0, _main, _items = Step.initial_config tab in
   let init_hex = hex_digest canon config0 in
@@ -188,7 +200,7 @@ let run ?(check_digests = true) (tab : P_static.Symtab.t) (t : Trace_file.t) :
             end)
     in
     let r =
-      run_schedule ~dedup:t.dedup ?check_step ~expected_error:t.error tab
+      run_schedule ~dedup:t.dedup ?faults ?check_step ~expected_error:t.error tab
         (schedule_of_trace t)
     in
     match r.outcome with
@@ -218,16 +230,29 @@ let run ?(check_digests = true) (tab : P_static.Symtab.t) (t : Trace_file.t) :
     carries the rendered error; a run that completes cleanly records a
     clean trace. Recording itself diverging (bad machine, short choices)
     is an [Error]. *)
-let record ?program ?seed ?(dedup = true) ~engine (tab : P_static.Symtab.t)
-    (schedule : (Mid.t * bool list) list) : (Trace_file.t, string) Stdlib.result =
+let record ?program ?seed ?faults ?(dedup = true) ~engine
+    (tab : P_static.Symtab.t) (schedule : (Mid.t * bool list) list) :
+    (Trace_file.t, string) Stdlib.result =
+  let faults =
+    match faults with
+    | Some p when not (P_semantics.Fault.is_none p) -> Some p
+    | _ -> None
+  in
+  let fault_fields =
+    match faults with
+    | None -> (None, None)
+    | Some p ->
+      (Some (P_semantics.Fault.to_string p), Some p.P_semantics.Fault.seed)
+  in
+  let fspec, fault_seed = fault_fields in
   let canon = Canon.create tab in
   let config0, _main, _items = Step.initial_config tab in
   let init_digest = hex_digest canon config0 in
   let rec go i config prev_hex steps_rev = function
     | [] ->
       Ok
-        (Trace_file.make ?program ?seed ~dedup ~engine ~init_digest
-           ~final_digest:prev_hex
+        (Trace_file.make ?program ?seed ?faults:fspec ?fault_seed ~dedup ~engine
+           ~init_digest ~final_digest:prev_hex
            (List.rev steps_rev))
     | (mid, choices) :: rest ->
       if not (Config.mem config mid) then
@@ -235,7 +260,7 @@ let record ?program ?seed ?(dedup = true) ~engine (tab : P_static.Symtab.t)
           (Fmt.str "recording diverged at step %d: machine %a does not exist" i
              Mid.pp mid)
       else (
-        match Step.run_atomic ~dedup tab config mid ~choices with
+        match Step.run_atomic ~dedup ?faults tab config mid ~choices with
         | Step.Need_more_choices, _ ->
           Error
             (Fmt.str "recording diverged at step %d: ghost choices exhausted" i)
@@ -245,8 +270,9 @@ let record ?program ?seed ?(dedup = true) ~engine (tab : P_static.Symtab.t)
           in
           ignore rest;
           Ok
-            (Trace_file.make ?program ~error:(Errors.to_string e) ?seed ~dedup
-               ~engine ~init_digest ~final_digest:prev_hex
+            (Trace_file.make ?program ~error:(Errors.to_string e) ?seed
+               ?faults:fspec ?fault_seed ~dedup ~engine ~init_digest
+               ~final_digest:prev_hex
                (List.rev (step :: steps_rev)))
         | outcome, _ ->
           let config' = Option.get (Step.outcome_config outcome) in
@@ -256,9 +282,9 @@ let record ?program ?seed ?(dedup = true) ~engine (tab : P_static.Symtab.t)
   in
   go 0 config0 init_digest [] schedule
 
-let record_counterexample ?program ?seed ?dedup ~engine tab
+let record_counterexample ?program ?seed ?faults ?dedup ~engine tab
     (ce : Search.counterexample) : (Trace_file.t, string) Stdlib.result =
-  record ?program ?seed ?dedup ~engine tab ce.Search.schedule
+  record ?program ?seed ?faults ?dedup ~engine tab ce.Search.schedule
 
 (* ------------------------------------------------------------------ *)
 (* Sampling clean schedules                                            *)
@@ -281,13 +307,13 @@ let rand_int rng bound =
     error, quiescence, or [max_blocks]. Unlike {!Random_walk}, the point
     is the schedule itself — food for the replay / shrink / differential
     tests — not bug-finding statistics. *)
-let sample_schedule ?(seed = 1) ?(max_blocks = 200) ?(dedup = true)
+let sample_schedule ?(seed = 1) ?(max_blocks = 200) ?(dedup = true) ?faults
     (tab : P_static.Symtab.t) : (Mid.t * bool list) list =
   let rng = make_rng seed in
   let config0, _main, _items = Step.initial_config tab in
   let rec resolve config mid rev_choices =
     let choices = List.rev rev_choices in
-    match Step.run_atomic ~dedup tab config mid ~choices with
+    match Step.run_atomic ~dedup ?faults tab config mid ~choices with
     | Step.Need_more_choices, _ ->
       resolve config mid ((rand_int rng 2 = 1) :: rev_choices)
     | outcome, _ -> (choices, outcome)

@@ -11,6 +11,9 @@ type divergence =
   | Unexpected_error of { step : int; error : string }
   | No_error of { expected : string }
   | Final_digest_mismatch of { expected : string; got : string }
+  | Bad_header of { reason : string }
+      (** the artifact's header cannot be honoured (e.g. an unparseable
+          fault spec) *)
 
 val pp_divergence : divergence Fmt.t
 
@@ -34,6 +37,7 @@ type result = {
 
 val run_schedule :
   ?dedup:bool ->
+  ?faults:P_semantics.Fault.plan ->
   ?check_step:(int -> P_semantics.Config.t -> divergence option) ->
   ?expected_error:string option ->
   P_static.Symtab.t ->
@@ -43,10 +47,13 @@ val run_schedule :
     initial configuration. [check_step i config] may veto the successor
     configuration of step [i]; [expected_error] (rendered
     {!P_semantics.Errors.t}) makes reproduction of exactly that error the
-    success criterion, [None] expects a clean run. *)
+    success criterion, [None] expects a clean run. [faults] re-installs a
+    fault-injection plan; replaying a fault-recorded schedule without it
+    (or with a different plan) diverges. *)
 
 val reproduces :
   ?dedup:bool ->
+  ?faults:P_semantics.Fault.plan ->
   P_static.Symtab.t ->
   expected_error:string ->
   (P_semantics.Mid.t * bool list) list ->
@@ -59,11 +66,14 @@ val schedule_of_trace : Trace_file.t -> (P_semantics.Mid.t * bool list) list
 val run : ?check_digests:bool -> P_static.Symtab.t -> Trace_file.t -> result
 (** Replay a trace artifact: re-execute its schedule and check the verdict
     — and, unless [check_digests:false], the initial, per-step, and final
-    configuration fingerprints recorded in the artifact. *)
+    configuration fingerprints recorded in the artifact. A fault plan
+    recorded in the artifact's header is re-installed automatically, so
+    fault-induced counterexamples replay byte-identically. *)
 
 val record :
   ?program:string ->
   ?seed:int ->
+  ?faults:P_semantics.Fault.plan ->
   ?dedup:bool ->
   engine:string ->
   P_static.Symtab.t ->
@@ -71,11 +81,15 @@ val record :
   (Trace_file.t, string) Stdlib.result
 (** Execute a schedule and record it as a trace artifact with per-step
     fingerprints. A failing run ends the artifact at the failing block and
-    records the rendered error; a clean run records a clean trace. *)
+    records the rendered error; a clean run records a clean trace.
+    [faults] runs the schedule under that plan and stamps its spec and
+    seed into the header (an all-zero plan is normalized away), so
+    {!run} can re-install it. *)
 
 val record_counterexample :
   ?program:string ->
   ?seed:int ->
+  ?faults:P_semantics.Fault.plan ->
   ?dedup:bool ->
   engine:string ->
   P_static.Symtab.t ->
@@ -87,6 +101,7 @@ val sample_schedule :
   ?seed:int ->
   ?max_blocks:int ->
   ?dedup:bool ->
+  ?faults:P_semantics.Fault.plan ->
   P_static.Symtab.t ->
   (P_semantics.Mid.t * bool list) list
 (** One seeded random walk recorded as a schedule (random enabled machine,

@@ -24,7 +24,7 @@ type resolved = {
     flipped forward once per [run_atomic] call. *)
 let default_enumeration_budget = 256
 
-let resolutions ?fuel ?dedup ?(budget = default_enumeration_budget)
+let resolutions ?fuel ?dedup ?faults ?(budget = default_enumeration_budget)
     ?on_overflow (tab : Symtab.t) (config : Config.t) (mid : Mid.t) :
     resolved list =
   let acc = ref [] in
@@ -45,7 +45,7 @@ let resolutions ?fuel ?dedup ?(budget = default_enumeration_budget)
     else begin
       decr remaining;
       let choices = List.rev rev_choices in
-      match Step.run_atomic ?fuel ?dedup tab config mid ~choices with
+      match Step.run_atomic ?fuel ?dedup ?faults tab config mid ~choices with
       | Step.Need_more_choices, _ ->
         go (false :: rev_choices);
         go (true :: rev_choices)
@@ -67,6 +67,9 @@ type stats = {
           reduction off *)
   mutable max_depth : int;  (** longest path from the initial state, in blocks *)
   mutable truncated : bool;  (** a bound cut the exploration short *)
+  mutable faults : int;
+      (** injected faults that fired (drop/dup/reorder/delay/crash trace
+          items observed); 0 with fault injection off *)
   mutable elapsed_s : float;
   mutable store : State_store.summary option;
       (** the seen set's end-of-run summary (kind, footprint, occupancy,
@@ -79,6 +82,7 @@ let new_stats () =
     pruned = 0;
     max_depth = 0;
     truncated = false;
+    faults = 0;
     elapsed_s = 0.;
     store = None }
 
@@ -88,6 +92,7 @@ let pp_stats ppf s =
     (if s.truncated then " (truncated)" else "")
     s.elapsed_s;
   if s.pruned > 0 then Fmt.pf ppf " [%d moves slept]" s.pruned;
+  if s.faults > 0 then Fmt.pf ppf " [%d faults injected]" s.faults;
   (* the default exact store is the historical output; only the lossy
      stores announce themselves (and their honesty bound) *)
   match s.store with

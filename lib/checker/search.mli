@@ -15,6 +15,7 @@ val default_enumeration_budget : int
 val resolutions :
   ?fuel:int ->
   ?dedup:bool ->
+  ?faults:P_semantics.Fault.plan ->
   ?budget:int ->
   ?on_overflow:(unit -> unit) ->
   P_static.Symtab.t ->
@@ -41,6 +42,9 @@ type stats = {
           0 with reduction off *)
   mutable max_depth : int;
   mutable truncated : bool;  (** a bound cut the exploration short *)
+  mutable faults : int;
+      (** injected faults that fired (drop/dup/reorder/delay/crash trace
+          items observed); 0 with fault injection off *)
   mutable elapsed_s : float;
   mutable store : State_store.summary option;
       (** the seen set's end-of-run summary (kind, footprint, occupancy,

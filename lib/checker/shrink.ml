@@ -51,6 +51,13 @@ let count_trues (sched : schedule) =
 type ctx = {
   tab : P_static.Symtab.t;
   dedup : bool;
+  faults : P_semantics.Fault.plan option;
+      (** the plan the trace was recorded under; candidates are validated
+          under the same plan. Removing steps shifts the fault index of
+          everything after the cut, so most removals near the triggering
+          fault desynchronise and fail to reproduce — they are discarded
+          like any diverging candidate, and the surviving 1-minimal
+          schedule still contains the fault(s) the error needs. *)
   expected : string;
   mutable c_candidates : int;
   mutable c_valid : int;
@@ -64,7 +71,10 @@ type ctx = {
 let try_candidate (cx : ctx) (sched : schedule) : schedule option =
   cx.c_candidates <- cx.c_candidates + 1;
   Option.iter P_obs.Metrics.incr cx.m_candidates;
-  match Replay.reproduces ~dedup:cx.dedup cx.tab ~expected_error:cx.expected sched with
+  match
+    Replay.reproduces ~dedup:cx.dedup ?faults:cx.faults cx.tab
+      ~expected_error:cx.expected sched
+  with
   | None -> None
   | Some steps_used ->
     cx.c_valid <- cx.c_valid + 1;
@@ -134,9 +144,10 @@ let simplify_choices (cx : ctx) (sched : schedule) : schedule =
 
 let run ?(instr = Search.no_instr) (tab : P_static.Symtab.t) (t : Trace_file.t) :
     (Trace_file.t * stats, string) Stdlib.result =
-  match t.error with
-  | None -> Error "trace is clean: there is no error to preserve while shrinking"
-  | Some expected ->
+  match (t.error, Trace_file.fault_plan t) with
+  | None, _ -> Error "trace is clean: there is no error to preserve while shrinking"
+  | Some _, Error reason -> Error reason
+  | Some expected, Ok faults ->
     let started = P_obs.Mclock.start () in
     let t0_us = P_obs.Mclock.now_us () in
     let meter name =
@@ -147,6 +158,7 @@ let run ?(instr = Search.no_instr) (tab : P_static.Symtab.t) (t : Trace_file.t) 
     let cx =
       { tab;
         dedup = t.dedup;
+        faults;
         expected;
         c_candidates = 0;
         c_valid = 0;
@@ -197,8 +209,8 @@ let run ?(instr = Search.no_instr) (tab : P_static.Symtab.t) (t : Trace_file.t) 
               ("rounds", P_obs.Json.Int stats.rounds) ]
           ();
       match
-        Replay.record ?program:t.program ?seed:t.seed ~dedup:t.dedup ~engine:t.engine
-          tab final
+        Replay.record ?program:t.program ?seed:t.seed ?faults ~dedup:t.dedup
+          ~engine:t.engine tab final
       with
       | Error e -> Error (Fmt.str "re-recording the shrunk schedule failed: %s" e)
       | Ok shrunk -> (

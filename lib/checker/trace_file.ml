@@ -40,6 +40,13 @@ type t = {
       (** rendered {!P_semantics.Errors.t} the trace must reproduce;
           [None] for the trace of a clean (non-failing) run *)
   seed : int option;  (** PRNG seed of a sampled run, for provenance *)
+  faults : string option;
+      (** rendered {!P_semantics.Fault} plan the schedule ran under (rates
+          only, [Fault.to_string]); absent for a well-behaved host. Replay
+          must re-install the same plan or the fault decisions — and hence
+          the trace — change. *)
+  fault_seed : int option;
+      (** the fault plan's seed; present exactly when [faults] is *)
   dedup : bool;  (** whether the [⊕] queue append was on (it always is
                      outside ablations; replay must match) *)
   init_digest : string;  (** hex MD5 fingerprint of the initial config *)
@@ -50,13 +57,15 @@ type t = {
   steps : step list;
 }
 
-let make ?program ?error ?seed ?(dedup = true) ~engine ~init_digest ~final_digest
-    steps =
+let make ?program ?error ?seed ?faults ?fault_seed ?(dedup = true) ~engine
+    ~init_digest ~final_digest steps =
   { version = current_version;
     program;
     engine;
     error;
     seed;
+    faults;
+    fault_seed;
     dedup;
     init_digest;
     final_digest;
@@ -75,6 +84,10 @@ let header_json (t : t) : Json.t =
     @ [ ("engine", Json.String t.engine) ]
     @ List.map (fun e -> ("error", Json.String e)) (opt_str t.error)
     @ (match t.seed with None -> [] | Some s -> [ ("seed", Json.Int s) ])
+    @ List.map (fun f -> ("faults", Json.String f)) (opt_str t.faults)
+    @ (match t.fault_seed with
+      | None -> []
+      | Some s -> [ ("fault_seed", Json.Int s) ])
     @ [ ("dedup", Json.Bool t.dedup);
         ("init_digest", Json.String t.init_digest);
         ("final_digest", Json.String t.final_digest);
@@ -142,6 +155,8 @@ let parse_header j : (t, string) result =
           engine;
           error = Option.bind (field "error" j) Json.to_str;
           seed = Option.bind (field "seed" j) Json.to_int;
+          faults = Option.bind (field "faults" j) Json.to_str;
+          fault_seed = Option.bind (field "fault_seed" j) Json.to_int;
           dedup;
           init_digest;
           final_digest;
@@ -202,8 +217,18 @@ let read_file path : (t, string) result =
   | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
   | exception Sys_error msg -> Error msg
 
+let fault_plan (t : t) : (P_semantics.Fault.plan option, string) result =
+  match t.faults with
+  | None -> Ok None
+  | Some spec ->
+    (match P_semantics.Fault.of_string spec with
+    | Error e -> Error (Fmt.str "header: bad faults spec %S: %s" spec e)
+    | Ok p ->
+      let seed = Option.value ~default:0 t.fault_seed in
+      Ok (Some (P_semantics.Fault.with_seed seed p)))
+
 let pp_summary ppf (t : t) =
-  Fmt.pf ppf "%d step(s), engine %s%a%a" (List.length t.steps) t.engine
+  Fmt.pf ppf "%d step(s), engine %s%a%a%a" (List.length t.steps) t.engine
     (fun ppf -> function
       | Some e -> Fmt.pf ppf ", expecting %s" e
       | None -> Fmt.pf ppf ", clean")
@@ -212,3 +237,7 @@ let pp_summary ppf (t : t) =
       | Some s -> Fmt.pf ppf ", seed %d" s
       | None -> ())
     t.seed
+    (fun ppf -> function
+      | Some f -> Fmt.pf ppf ", faults %s" f
+      | None -> ())
+    t.faults

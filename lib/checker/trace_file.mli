@@ -31,6 +31,12 @@ type t = {
   error : string option;
       (** rendered error the trace must reproduce; [None] for a clean run *)
   seed : int option;  (** PRNG seed of a sampled run *)
+  faults : string option;
+      (** rendered fault plan (rates only, {!P_semantics.Fault.to_string})
+          the schedule ran under; [None] for a well-behaved host. Replay
+          must re-install the same plan or the decisions change. *)
+  fault_seed : int option;
+      (** the fault plan's seed; [Some _] exactly when [faults] is *)
   dedup : bool;  (** whether [⊕] queue dedup was on; replay must match *)
   init_digest : string;  (** hex MD5 fingerprint of the initial config *)
   final_digest : string;
@@ -43,6 +49,8 @@ val make :
   ?program:string ->
   ?error:string ->
   ?seed:int ->
+  ?faults:string ->
+  ?fault_seed:int ->
   ?dedup:bool ->
   engine:string ->
   init_digest:string ->
@@ -50,6 +58,11 @@ val make :
   step list ->
   t
 (** Build a trace at {!current_version}. [dedup] defaults to [true]. *)
+
+val fault_plan : t -> (P_semantics.Fault.plan option, string) result
+(** Reconstruct the fault plan the artifact was recorded under: [Ok None]
+    for a fault-free trace, [Ok (Some plan)] with the header's rates and
+    seed re-installed, [Error] when the [faults] field does not parse. *)
 
 val write_file : string -> t -> unit
 (** Write the JSONL artifact (header line, then one line per step). *)
@@ -63,4 +76,5 @@ val of_lines : string list -> (t, string) result
 (** {!read_file} on in-memory lines (first line is the header). *)
 
 val pp_summary : t Fmt.t
-(** One-line description: step count, engine, expected error, seed. *)
+(** One-line description: step count, engine, expected error, seed, fault
+    spec. *)

@@ -15,6 +15,9 @@ type report = {
   domains : int option;
       (** how many domains the safety search ran across ([verify
           ?domains]); [None] for the sequential engine *)
+  faults : P_semantics.Fault.plan option;
+      (** the fault-injection plan the safety search ran under ([verify
+          ?faults]); [None] for a well-behaved host *)
 }
 
 let is_clean r =
@@ -39,6 +42,12 @@ let pp_report ppf r =
   | None -> ());
   (match r.domains with
   | Some d -> Fmt.pf ppf "domains: %d (work-stealing parallel safety search)@." d
+  | None -> ());
+  (match r.faults with
+  | Some p ->
+    Fmt.pf ppf "faults: %a (seed %d; rerun with --faults %a --fault-seed %d)@."
+      P_semantics.Fault.pp p p.P_semantics.Fault.seed P_semantics.Fault.pp p
+      p.P_semantics.Fault.seed
   | None -> ());
   match r.liveness with
   | None -> ()
@@ -74,31 +83,42 @@ let sampled_resolver seed =
 let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
     ?liveness_max_states ?(fingerprint = Fingerprint.Incremental)
     ?(store = State_store.Exact) ?store_capacity ?(reduce = Reduce.none) ?seed
-    ?domains ?(instr = Search.no_instr) (program : P_syntax.Ast.program) :
-    report =
+    ?domains ?faults ?(instr = Search.no_instr)
+    (program : P_syntax.Ast.program) : report =
   (if seed <> None && domains <> None then
      (* sampled resolution draws from one shared PRNG closure, which the
         parallel workers would race on *)
      invalid_arg "Verifier.verify: ~seed and ~domains are mutually exclusive");
+  let faults =
+    match faults with
+    | Some p when P_semantics.Fault.is_none p -> None
+    | f -> f
+  in
+  (if faults <> None && liveness then
+     (* the liveness graph is built by a separate engine that does not
+        thread fault plans yet; refuse rather than silently checking the
+        fault-free graph *)
+     invalid_arg "Verifier.verify: ~faults and ~liveness are not supported together");
   let { P_static.Check.symtab; diagnostics } = P_static.Check.run program in
   if diagnostics <> [] then
     { static_diagnostics = diagnostics;
       safety = None;
       liveness = None;
       seed;
-      domains }
+      domains;
+      faults }
   else
     let safety =
       match domains with
       | Some d ->
         Parallel.explore ~domains:d ~delay_bound ~max_states ~fingerprint
-          ~store ?store_capacity ~reduce ~instr symtab
+          ~store ?store_capacity ~reduce ?faults ~instr symtab
       | None ->
         let resolver =
           match seed with None -> Engine.Exhaustive | Some s -> sampled_resolver s
         in
         Delay_bounded.explore ~delay_bound ~max_states ~fingerprint ~resolver
-          ~store ?store_capacity ~reduce ~instr symtab
+          ~store ?store_capacity ~reduce ?faults ~instr symtab
     in
     let liveness_result =
       if liveness && safety.verdict = Search.No_error then
@@ -109,4 +129,5 @@ let verify ?(delay_bound = 2) ?(max_states = 200_000) ?(liveness = false)
       safety = Some safety;
       liveness = liveness_result;
       seed;
-      domains }
+      domains;
+      faults }

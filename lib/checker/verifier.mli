@@ -13,6 +13,9 @@ type report = {
   domains : int option;
       (** how many domains the safety search ran across ([verify
           ?domains]); [None] for the sequential engine *)
+  faults : P_semantics.Fault.plan option;
+      (** the fault-injection plan the safety search ran under ([verify
+          ?faults]); [None] for a well-behaved host *)
 }
 
 val is_clean : report -> bool
@@ -31,6 +34,7 @@ val verify :
   ?reduce:Reduce.t ->
   ?seed:int ->
   ?domains:int ->
+  ?faults:P_semantics.Fault.plan ->
   ?instr:Search.instr ->
   P_syntax.Ast.program ->
   report
@@ -53,6 +57,12 @@ val verify :
     counterexample are unchanged (see {!Parallel}); the count is recorded
     in the report. [seed] and [domains] are mutually exclusive
     ([Invalid_argument]): sampled resolution draws from one shared PRNG.
-    [instr] is threaded to the safety search and (when requested) the
-    liveness analysis; with the default {!Search.no_instr} the pipeline
-    behaves exactly as before. *)
+    [faults] runs the safety search under deterministic fault injection
+    (see {!P_semantics.Fault}): drops, duplicates, reorders, delays, and
+    crash-restarts decided by a pure function of the plan's seed and the
+    per-path fault index, so verdicts and counts are reproducible and
+    domain-count independent. A plan with all-zero rates is normalized to
+    [None]. [faults] with [liveness] or with sleep-set POR raises
+    [Invalid_argument]. [instr] is threaded to the safety search and
+    (when requested) the liveness analysis; with the default
+    {!Search.no_instr} the pipeline behaves exactly as before. *)

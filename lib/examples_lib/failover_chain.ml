@@ -1,0 +1,209 @@
+(** A primary-backup failover chain of [n] replicas — the control plane
+    of chain replication, parameterized by size. A monitor promotes
+    replica 0; a ghost network reports up to [n] losses; on each loss the
+    monitor demotes-and-crashes the current primary, *waits for the
+    demotion acknowledgement*, and only then promotes the next replica in
+    the chain. When the chain is exhausted the monitor halts.
+
+    Split-brain freedom is the counted assertion of [examples/p/failover.p]
+    scaled to [n] nodes: promotion and demotion acknowledgements carry a
+    wrapping sequence number (so the [⊕] queue never coalesces two acks
+    in flight) and the monitor asserts the active count never exceeds one.
+
+    As a fault-injection subject the family is fragile by design: the
+    seqno'd ack counting assumes every ack is delivered exactly once, in
+    order, by a replica that remembers sending it, and at delay bound 2
+    *every* fault class — drop, dup, reorder, delay, crash-restart —
+    ends in the same split-brain assertion (see the verdict table in
+    EXPERIMENTS.md; duplication past [⊕] finds the shortest
+    counterexample). The planted bug removes the ack wait (defect #4 in
+    the failover.p changelog): promotion races the demotion and two
+    actives overlap with no adversary at all. *)
+
+open P_syntax.Builder
+
+let events =
+  [ event "Wire" ~payload:P_syntax.Ptype.Machine_id;
+    event "Promote";
+    event "Demote";
+    event "Crash";
+    event "AckActive" ~payload:P_syntax.Ptype.Int;
+    event "AckStandby" ~payload:P_syntax.Ptype.Int;
+    event "Loss";
+    event "unit";
+    event "halt" ]
+
+(* A replica: standby until promoted, acks both directions with a
+   wrapping seqno, and can be crashed by the monitor. [Boot] defers the
+   control events so a reordering adversary can't race them ahead of the
+   wiring message. *)
+let replica_machine =
+  machine "Replica"
+    ~vars:
+      [ var_decl "mon" P_syntax.Ptype.Machine_id;
+        var_decl "seqno" P_syntax.Ptype.Int;
+        var_decl "active" P_syntax.Ptype.Bool ]
+    ~actions:[ action "Ignore" skip ]
+    [ state "Boot" ~defer:[ "Promote"; "Demote"; "Crash" ];
+      state "WireUp"
+        ~entry:
+          (seq
+             [ assign "mon" arg;
+               assign "seqno" (int 0);
+               assign "active" fls;
+               raise_ "unit" ]);
+      state "Standby"
+        ~entry:
+          (when_
+             (v "active" == tru)
+             (seq
+                [ assign "active" fls;
+                  send (v "mon") "AckStandby" ~payload:(v "seqno");
+                  assign "seqno" ((v "seqno" + int 1) % int 8) ]));
+      state "Active"
+        ~entry:
+          (when_
+             (v "active" == fls)
+             (seq
+                [ assign "active" tru;
+                  send (v "mon") "AckActive" ~payload:(v "seqno");
+                  assign "seqno" ((v "seqno" + int 1) % int 8) ]));
+      state "Dead"
+        ~defer:[ "Promote"; "Demote"; "Crash"; "Wire" ]
+        ~postpone:[ "Promote"; "Demote"; "Crash"; "Wire" ] ]
+    ~steps:
+      [ ("Boot", "Wire", "WireUp");
+        ("WireUp", "unit", "Standby");
+        ("Standby", "Promote", "Active");
+        ("Active", "Demote", "Standby");
+        ("Standby", "Crash", "Dead");
+        ("Active", "Crash", "Dead") ]
+    ~bindings:
+      [ on ("Standby", "Demote") ~do_:"Ignore";
+        on ("Active", "Promote") ~do_:"Ignore";
+        (* a duplicated wiring message is ignored, not a protocol error *)
+        on ("Standby", "Wire") ~do_:"Ignore";
+        on ("Active", "Wire") ~do_:"Ignore" ]
+
+let rep_name i = Fmt.str "rp%d" i
+
+(* One statement per replica: if (cur == i) send(rp_i, ev). The builder
+   has no arrays, so current-primary dispatch is an if-chain. *)
+let send_cur ~n ?payload ev =
+  seq (List.init n (fun i -> when_ (v "cur" == int i) (send (v (rep_name i)) ev ?payload)))
+
+(** The monitor for a chain of [n] replicas. [eager_promote] plants the
+    split-brain bug: promote the successor inside [Failover] instead of
+    waiting for the demotion acknowledgement. *)
+let monitor ~n ~eager_promote =
+  let vars =
+    var_decl "cur" P_syntax.Ptype.Int
+    :: var_decl "actives" P_syntax.Ptype.Int
+    :: List.init n (fun i -> var_decl (rep_name i) P_syntax.Ptype.Machine_id)
+  in
+  let advance_and_promote =
+    seq
+      [ assign "cur" (v "cur" + int 1);
+        if_ (v "cur" == int n) (raise_ "halt")
+          (seq [ send_cur ~n "Promote"; raise_ "unit" ]) ]
+  in
+  let failover =
+    if eager_promote then
+      (* BUG: no ack wait — the successor's promotion races the old
+         primary's demotion acknowledgement *)
+      state "Failover" ~defer:[ "Loss" ]
+        ~entry:
+          (seq [ send_cur ~n "Demote"; send_cur ~n "Crash"; advance_and_promote ])
+    else
+      state "Failover" ~defer:[ "Loss" ]
+        ~entry:(seq [ send_cur ~n "Demote"; send_cur ~n "Crash" ])
+  in
+  let steps =
+    [ ("Init", "unit", "Watch"); ("Watch", "Loss", "Failover") ]
+    @ (if eager_promote then
+         [ ("Failover", "unit", "Watch"); ("Failover", "halt", "Halt") ]
+       else
+         [ ("Failover", "AckStandby", "DoPromote");
+           ("DoPromote", "unit", "Watch");
+           ("DoPromote", "halt", "Halt") ])
+  in
+  let states =
+    [ state "Init"
+        ~entry:
+          (seq
+             (List.init n (fun i -> new_ (rep_name i) "Replica" [])
+             @ List.init n (fun i -> send (v (rep_name i)) "Wire" ~payload:this)
+             @ [ assign "cur" (int 0);
+                 assign "actives" (int 0);
+                 send (v (rep_name 0)) "Promote";
+                 raise_ "unit" ]));
+      state "Watch" ~entry:skip;
+      failover;
+      state "Halt"
+        ~defer:[ "Loss"; "AckActive"; "AckStandby" ]
+        ~postpone:[ "Loss"; "AckActive"; "AckStandby" ] ]
+    @
+    if eager_promote then []
+    else
+      [ state "DoPromote" ~defer:[ "Loss" ]
+          ~entry:
+            (seq
+               [ (* the ack that brought us here was consumed by the step,
+                    so the decrement happens on entry *)
+                 assign "actives" (v "actives" - int 1);
+                 assert_ (v "actives" >= int 0);
+                 advance_and_promote ]) ]
+  in
+  machine "Monitor" ~vars ~steps
+    ~actions:
+      [ action "CountActive"
+          (seq
+             [ assign "actives" (v "actives" + int 1);
+               assert_ (v "actives" <= int 1) ]);
+        action "CountStandby"
+          (seq
+             [ assign "actives" (v "actives" - int 1);
+               assert_ (v "actives" >= int 0) ]) ]
+    ~bindings:
+      [ on ("Watch", "AckActive") ~do_:"CountActive";
+        on ("Watch", "AckStandby") ~do_:"CountStandby";
+        on ("Failover", "AckActive") ~do_:"CountActive" ]
+    states
+
+(** The ghost network: reports up to [n] losses (one per possible
+    failover plus one to exhaust the chain), nondeterministically, always
+    sending before looping. *)
+let net ~n =
+  machine "Net" ~ghost:true
+    ~vars:
+      [ var_decl ~ghost:true "mon" P_syntax.Ptype.Machine_id;
+        var_decl ~ghost:true "losses" P_syntax.Ptype.Int ]
+    [ state "Start"
+        ~entry:
+          (seq [ new_ "mon" "Monitor" []; assign "losses" (int 0); raise_ "unit" ]);
+      state "Run"
+        ~entry:
+          (when_
+             (v "losses" < int n)
+             (if_nondet
+                (seq
+                   [ send (v "mon") "Loss";
+                     assign "losses" (v "losses" + int 1);
+                     raise_ "unit" ]))) ]
+    ~steps:[ ("Start", "unit", "Run"); ("Run", "unit", "Run") ]
+
+let make ~n ~eager_promote =
+  if Stdlib.( < ) n 2 then
+    invalid_arg "Failover_chain.program: n must be at least 2";
+  program ~events
+    ~machines:[ net ~n; monitor ~n ~eager_promote; replica_machine ]
+    "Net"
+
+(** Closed failover chain over [n] (default 3; at least 2) replicas;
+    clean under fault-free exploration at small delay bounds. *)
+let program ?(n = 3) () = make ~n ~eager_promote:false
+
+(** The split-brain bug: the monitor promotes the successor without
+    waiting for the old primary's demotion acknowledgement, so two
+    actives can overlap and the counted assertion fails. *)
+let buggy_program ?(n = 3) () = make ~n ~eager_promote:true

@@ -1,0 +1,17 @@
+(** A primary-backup failover chain of [n] replicas: a monitor demotes a
+    lost primary, waits for its acknowledgement, and promotes the next
+    replica; a counted assertion checks at most one replica is ever
+    acknowledged active (split-brain freedom). *)
+
+val events : P_syntax.Ast.event_decl list
+val replica_machine : P_syntax.Ast.machine
+val monitor : n:int -> eager_promote:bool -> P_syntax.Ast.machine
+val net : n:int -> P_syntax.Ast.machine
+
+val program : ?n:int -> unit -> P_syntax.Ast.program
+(** A chain of [n] (default 3; at least 2) replicas with up to [n] ghost
+    loss reports; clean under fault-free exploration. *)
+
+val buggy_program : ?n:int -> unit -> P_syntax.Ast.program
+(** The monitor promotes without waiting for the demotion ack, so two
+    actives overlap — the split-brain assertion fails. *)

@@ -1,0 +1,137 @@
+(** Chang–Roberts leader election on a unidirectional ring of [n] nodes
+    with distinct identities 0..n-1. Every node launches its own identity
+    clockwise; a node forwards identities larger than its own, swallows
+    smaller ones, and a node that receives its own identity back has won.
+    The winner announces itself to a monitor that asserts (a) the winner
+    is the maximum identity and (b) at most one leader is ever announced.
+
+    The family is a first-class fault-injection subject: dropping a
+    [Candidate] stalls the election (safe — nobody wins), reordering is
+    absorbed by the [Boot] defer, but *duplicating* the winner's own
+    candidate past the [⊕] queue makes it announce twice — the
+    at-most-one-leader assertion is exactly the property an adversarial
+    host refutes. *)
+
+open P_syntax.Builder
+
+let events =
+  [ event "Candidate" ~payload:P_syntax.Ptype.Int;
+    event "Elected" ~payload:P_syntax.Ptype.Int;
+    event "SetNext" ~payload:P_syntax.Ptype.Machine_id;
+    event "unit" ]
+
+(* A ring node. [Boot] defers an early [Candidate] (a reordering
+   adversary can push one ahead of the wiring message); the judging state
+   re-raises [unit] so the node is back in [Run] for the next candidate. *)
+let node_machine =
+  machine "Node"
+    ~vars:
+      [ var_decl "myid" P_syntax.Ptype.Int;
+        var_decl "mon" P_syntax.Ptype.Machine_id;
+        var_decl "next" P_syntax.Ptype.Machine_id ]
+    ~actions:[ action "Ignore" skip ]
+    ~bindings:
+      [ (* a duplicated wiring message is ignored, not a protocol error:
+           the family's interesting adversarial surface is the election
+           traffic, not one-shot configuration *)
+        on ("Run", "SetNext") ~do_:"Ignore" ]
+    [ state "Boot" ~defer:[ "Candidate" ];
+      state "Wire" ~entry:(seq [ assign "next" arg; raise_ "unit" ]);
+      state "Launch"
+        ~entry:
+          (seq [ send (v "next") "Candidate" ~payload:(v "myid"); raise_ "unit" ]);
+      state "Run" ~entry:skip;
+      state "Judge"
+        ~entry:
+          (seq
+             [ if_
+                 (arg > v "myid")
+                 (send (v "next") "Candidate" ~payload:arg)
+                 (when_
+                    (arg == v "myid")
+                    (send (v "mon") "Elected" ~payload:(v "myid")));
+               raise_ "unit" ]) ]
+    ~steps:
+      [ ("Boot", "SetNext", "Wire");
+        ("Wire", "unit", "Launch");
+        ("Launch", "unit", "Run");
+        ("Run", "Candidate", "Judge");
+        ("Judge", "unit", "Run") ]
+
+(* The election observer: the winner must be the maximum identity, and
+   there must never be a second announcement. *)
+let monitor_machine =
+  machine "Monitor"
+    ~vars:[ var_decl "expect" P_syntax.Ptype.Int; var_decl "winners" P_syntax.Ptype.Int ]
+    [ state "Wait" ~entry:skip;
+      state "Count"
+        ~entry:
+          (seq
+             [ assert_ (arg == v "expect");
+               assign "winners" (v "winners" + int 1);
+               assert_ (v "winners" <= int 1);
+               raise_ "unit" ]) ]
+    ~steps:[ ("Wait", "Elected", "Count"); ("Count", "unit", "Wait") ]
+
+let node_name i = Fmt.str "nd%d" i
+
+(** The starter wires [n] nodes into a ring (node [i]'s successor is
+    [(i+1) mod n]) under one monitor expecting winner [n-1]. *)
+let starter ~n =
+  let make =
+    List.init n (fun i ->
+        new_ (node_name i) "Node" [ ("myid", int i); ("mon", v "mon") ])
+  in
+  let wire =
+    List.init n (fun i ->
+        send
+          (v (node_name i))
+          "SetNext"
+          ~payload:(v (node_name (Stdlib.( mod ) (Stdlib.( + ) i 1) n))))
+  in
+  machine "Starter"
+    ~vars:
+      (var_decl "mon" P_syntax.Ptype.Machine_id
+      :: List.init n (fun i -> var_decl (node_name i) P_syntax.Ptype.Machine_id))
+    [ state "Init"
+        ~entry:
+          (seq
+             ((new_ "mon" "Monitor" [ ("expect", int (Stdlib.( - ) n 1)); ("winners", int 0) ]
+              :: make)
+             @ wire)) ]
+
+(** Closed leader-election program over a ring of [n] (default 3) nodes. *)
+let program ?(n = 3) () =
+  if Stdlib.( < ) n 2 then invalid_arg "Leader_ring.program: n must be at least 2";
+  program ~events ~machines:[ starter ~n; node_machine; monitor_machine ] "Starter"
+
+(** Seeded bug: the comparison is inverted — nodes forward *smaller*
+    identities and swallow larger ones, so the minimum identity survives
+    the lap and the monitor's winner-is-maximum assertion fails. *)
+let buggy_program ?(n = 3) () =
+  let p = program ~n () in
+  { p with
+    P_syntax.Ast.machines =
+      List.map
+        (fun (m : P_syntax.Ast.machine) ->
+          if P_syntax.Names.Machine.to_string m.machine_name = "Node" then
+            { m with
+              P_syntax.Ast.states =
+                List.map
+                  (fun (st : P_syntax.Ast.state) ->
+                    if P_syntax.Names.State.to_string st.state_name = "Judge" then
+                      state "Judge"
+                        ~entry:
+                          (seq
+                             [ if_
+                                 (* BUG: < instead of >; the minimum wins *)
+                                 (arg < v "myid")
+                                 (send (v "next") "Candidate" ~payload:arg)
+                                 (when_
+                                    (arg == v "myid")
+                                    (send (v "mon") "Elected" ~payload:(v "myid")));
+                               raise_ "unit" ])
+                    else st)
+                  m.P_syntax.Ast.states }
+          else m)
+        p.P_syntax.Ast.machines }

@@ -1,0 +1,17 @@
+(** Chang–Roberts leader election on a ring of [n] nodes: forward larger
+    identities, swallow smaller, self-receipt wins. A monitor asserts the
+    winner is the maximum identity and that at most one leader is ever
+    announced — the property a duplicating adversarial host refutes. *)
+
+val events : P_syntax.Ast.event_decl list
+val node_machine : P_syntax.Ast.machine
+val monitor_machine : P_syntax.Ast.machine
+val starter : n:int -> P_syntax.Ast.machine
+
+val program : ?n:int -> unit -> P_syntax.Ast.program
+(** A ring of [n] (default 3; at least 2) nodes electing a leader; clean
+    under fault-free exploration. *)
+
+val buggy_program : ?n:int -> unit -> P_syntax.Ast.program
+(** The forwarding comparison is inverted, so the minimum identity wins
+    and the monitor's winner-is-maximum assertion fails. *)

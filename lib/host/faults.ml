@@ -1,0 +1,77 @@
+(** The adversarial host: fault injection for serving runtimes.
+
+    A {!P_semantics.Fault.plan} is the portable description of a hostile
+    environment — per-mille rates for dropping, duplicating and
+    reordering events and for crash-restarting machines, every decision a
+    pure function of the plan's seed and a monotone fault-point counter.
+    The checker consumes plans through {!P_semantics.Step.run_atomic};
+    this module is the host-side counterpart: build plans from CLI-style
+    specs, attach them to the serving runtimes ({!P_runtime.Sched} /
+    {!P_runtime.Shard} take them at [create]), and read back what the
+    adversary actually did from shard stats.
+
+    Delay (dequeue reordering at the receiver) is a checker-only class:
+    the serving schedulers already interleave freely, so only the four
+    wire/crash classes are injected there. Plans carrying a delay rate
+    are still accepted — the rate is simply never consulted. *)
+
+type plan = P_semantics.Fault.plan
+
+let none = P_semantics.Fault.none
+let is_none = P_semantics.Fault.is_none
+let with_seed = P_semantics.Fault.with_seed
+let to_string = P_semantics.Fault.to_string
+let pp = P_semantics.Fault.pp
+
+(* Probability (0..1) to per-mille, clamped — same rounding as
+   [Fault.of_string] so [plan] and spec parsing agree. *)
+let mille p =
+  if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+    invalid_arg "Faults.plan: probabilities must be within [0, 1]"
+  else int_of_float ((p *. 1000.0) +. 0.5)
+
+let plan ?(seed = 0) ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
+    ?(delay = 0.0) ?(crash = 0.0) () : plan =
+  { P_semantics.Fault.seed;
+    drop = mille drop;
+    dup = mille dup;
+    reorder = mille reorder;
+    delay = mille delay;
+    crash = mille crash }
+
+let of_spec ?(seed = 0) spec : (plan, string) result =
+  match P_semantics.Fault.of_string spec with
+  | Error _ as e -> e
+  | Ok p -> Ok (P_semantics.Fault.with_seed seed p)
+
+let of_spec_exn ?seed spec : plan =
+  match of_spec ?seed spec with
+  | Ok p -> p
+  | Error e -> invalid_arg (Fmt.str "Faults.of_spec_exn: %s" e)
+
+(** What the adversary did to a serving run, summed across shards. *)
+type summary = {
+  fs_drops : int;
+  fs_dups : int;
+  fs_reorders : int;
+  fs_crashes : int;
+}
+
+let total s = s.fs_drops + s.fs_dups + s.fs_reorders + s.fs_crashes
+
+let summary (st : P_runtime.Shard.stats) : summary =
+  { fs_drops = st.P_runtime.Shard.sh_fault_drops;
+    fs_dups = st.P_runtime.Shard.sh_fault_dups;
+    fs_reorders = st.P_runtime.Shard.sh_fault_reorders;
+    fs_crashes = st.P_runtime.Shard.sh_crash_restarts }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d faults (%d dropped, %d duplicated, %d reordered, %d crash-restarts)"
+    (total s) s.fs_drops s.fs_dups s.fs_reorders s.fs_crashes
+
+let json_of_summary (s : summary) : P_obs.Json.t =
+  P_obs.Json.Obj
+    [ ("drops", P_obs.Json.Int s.fs_drops);
+      ("dups", P_obs.Json.Int s.fs_dups);
+      ("reorders", P_obs.Json.Int s.fs_reorders);
+      ("crash_restarts", P_obs.Json.Int s.fs_crashes) ]

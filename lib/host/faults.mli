@@ -1,0 +1,55 @@
+(** The adversarial host: fault injection for serving runtimes.
+
+    Build deterministic fault plans (drop / duplicate / reorder / delay /
+    crash-restart, each a probability) from code or CLI-style specs,
+    attach them to the serving runtimes via [?faults] on
+    {!P_runtime.Sched.create} and {!P_runtime.Shard.create}, and read
+    back what the adversary actually did from shard stats. The same plan
+    type drives the checker's fault-injected exploration
+    ({!P_semantics.Step.run_atomic}), so a schedule the checker found
+    hostile can be replayed against the serving stack and vice versa.
+
+    Delay is checker-only (the serving schedulers already interleave
+    freely); plans carrying a delay rate are accepted but the rate is
+    never consulted by {!P_runtime.Sched}. *)
+
+type plan = P_semantics.Fault.plan
+
+val none : plan
+val is_none : plan -> bool
+val with_seed : int -> plan -> plan
+val to_string : plan -> string
+val pp : plan Fmt.t
+
+val plan :
+  ?seed:int ->
+  ?drop:float ->
+  ?dup:float ->
+  ?reorder:float ->
+  ?delay:float ->
+  ?crash:float ->
+  unit ->
+  plan
+(** Build a plan from per-class probabilities in [0..1] (default 0),
+    rounded to per-mille exactly as {!of_spec} rounds.
+    @raise Invalid_argument on a probability outside [0..1]. *)
+
+val of_spec : ?seed:int -> string -> (plan, string) result
+(** Parse a CLI-style spec such as ["drop=0.05,crash=0.01"]
+    ({!P_semantics.Fault.of_string}) and install [seed] (default 0). *)
+
+val of_spec_exn : ?seed:int -> string -> plan
+(** @raise Invalid_argument on parse error. *)
+
+(** What the adversary did to a serving run, summed across shards. *)
+type summary = {
+  fs_drops : int;
+  fs_dups : int;
+  fs_reorders : int;
+  fs_crashes : int;
+}
+
+val summary : P_runtime.Shard.stats -> summary
+val total : summary -> int
+val pp_summary : summary Fmt.t
+val json_of_summary : summary -> P_obs.Json.t

@@ -65,6 +65,12 @@ let encode (item : Trace.item) : string * int * (string * Json.t) list =
     ( "delete",
       Mid.to_int mid,
       [ ("kind", Json.String "deleted"); ("mid", mid_json mid) ] )
+  | Trace.Faulted { mid; fault } ->
+    ( Fmt.str "fault %s" fault,
+      Mid.to_int mid,
+      [ ("kind", Json.String "faulted");
+        ("mid", mid_json mid);
+        ("fault", Json.String fault) ] )
 
 (** Emit a whole trace; item [i] lands at [t0_us + i] microseconds. *)
 let emit sink ?(t0_us = 0.0) (t : Trace.t) : unit =

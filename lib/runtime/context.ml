@@ -30,14 +30,17 @@ type enqueue_result = Enq_ok | Enq_duplicate | Enq_overflow
 (** The input FIFO: a two-list functional queue (amortized O(1) enqueue)
     plus a membership table for the deduplicating [⊕] of the SEND rule.
     The historical representation was a plain list appended with [@],
-    which made every enqueue O(n) and bursty workloads O(n²). [⊕] keeps
-    the queue duplicate-free, so plain key presence is enough for the
-    membership table. *)
+    which made every enqueue O(n) and bursty workloads O(n²). The
+    membership table counts occurrences rather than recording presence:
+    [⊕] keeps the queue duplicate-free on its own, but a duplication
+    fault ({!enqueue_no_dedup}) deliberately bypasses it, and a counting
+    table keeps [⊕] correct after the first copy of a duplicated entry
+    dequeues. *)
 type inbox = {
   mutable ib_front : (int * Rt_value.t) list;  (** next to dequeue first *)
   mutable ib_back : (int * Rt_value.t) list;  (** reversed: newest first *)
   mutable ib_size : int;
-  ib_members : (int * Rt_value.t, unit) Hashtbl.t;
+  ib_members : (int * Rt_value.t, int) Hashtbl.t;  (** occurrence counts *)
 }
 
 type task =
@@ -119,14 +122,54 @@ let is_deferred t event =
     membership is a hash lookup ([Rt_value] values are plain immutable
     variants, so generic hashing and equality agree with
     {!Rt_value.equal}), and the entry is consed onto the back list. *)
+let member_count (ib : inbox) key =
+  Option.value ~default:0 (Hashtbl.find_opt ib.ib_members key)
+
+let member_incr (ib : inbox) key =
+  Hashtbl.replace ib.ib_members key (member_count ib key + 1)
+
+let member_decr (ib : inbox) key =
+  match member_count ib key with
+  | n when n <= 1 -> Hashtbl.remove ib.ib_members key
+  | n -> Hashtbl.replace ib.ib_members key (n - 1)
+
 let enqueue t event payload : enqueue_result =
   let ib = t.inbox in
   let key = (event, payload) in
-  if Hashtbl.mem ib.ib_members key then Enq_duplicate
+  if member_count ib key > 0 then Enq_duplicate
   else if ib.ib_size >= t.capacity then Enq_overflow
   else begin
-    Hashtbl.replace ib.ib_members key ();
+    member_incr ib key;
     ib.ib_back <- key :: ib.ib_back;
+    ib.ib_size <- ib.ib_size + 1;
+    Enq_ok
+  end
+
+(** Append bypassing the deduplicating [⊕] — the second copy of a
+    duplication fault ({!P_semantics.Equeue.append_no_dedup}'s twin).
+    Still respects the mailbox bound. *)
+let enqueue_no_dedup t event payload : enqueue_result =
+  let ib = t.inbox in
+  let key = (event, payload) in
+  if ib.ib_size >= t.capacity then Enq_overflow
+  else begin
+    member_incr ib key;
+    ib.ib_back <- key :: ib.ib_back;
+    ib.ib_size <- ib.ib_size + 1;
+    Enq_ok
+  end
+
+(** Insert at the FRONT of the FIFO — a reordering fault
+    ({!P_semantics.Equeue.push_front}'s twin). Membership-checked like
+    [⊕]: an entry already queued is absorbed. *)
+let enqueue_front t event payload : enqueue_result =
+  let ib = t.inbox in
+  let key = (event, payload) in
+  if member_count ib key > 0 then Enq_duplicate
+  else if ib.ib_size >= t.capacity then Enq_overflow
+  else begin
+    member_incr ib key;
+    ib.ib_front <- key :: ib.ib_front;
     ib.ib_size <- ib.ib_size + 1;
     Enq_ok
   end
@@ -151,11 +194,31 @@ let dequeue t : (int * Rt_value.t) option =
       else begin
         ib.ib_front <- List.rev_append skipped rest;
         ib.ib_size <- ib.ib_size - 1;
-        Hashtbl.remove ib.ib_members entry;
+        member_decr ib entry;
         Some entry
       end
   in
   scan [] ib.ib_front
+
+(** Dequeue the SECOND non-deferred entry — a delay fault
+    ({!P_semantics.Equeue.dequeue_second}'s twin). Falls back to the
+    first when only one entry is dequeuable. *)
+let dequeue_second t : (int * Rt_value.t) option =
+  let ib = t.inbox in
+  normalize ib;
+  let rec scan seen_first skipped = function
+    | [] -> if seen_first then dequeue t else None
+    | ((e, _) as entry) :: rest ->
+      if is_deferred t e || not seen_first then
+        scan (seen_first || not (is_deferred t e)) (entry :: skipped) rest
+      else begin
+        ib.ib_front <- List.rev_append skipped rest;
+        ib.ib_size <- ib.ib_size - 1;
+        member_decr ib entry;
+        Some entry
+      end
+  in
+  scan false [] ib.ib_front
 
 let inbox_length t = t.inbox.ib_size
 
@@ -168,3 +231,28 @@ let has_dequeuable t =
   || List.exists not_deferred t.inbox.ib_back
 
 let is_runnable t = t.alive && (t.agenda <> [] || has_dequeuable t)
+
+(** Crash-restart: re-enter the initial state with the persistent store
+    (variable values) intact — the runtime twin of
+    {!P_semantics.Step.restart}. Frames, agenda, [msg]/[arg], and the
+    whole inbox reset to a fresh machine's; the handle, type, capacity,
+    and external memory survive. *)
+let restart t : unit =
+  let n_events =
+    match t.table.mt_states with
+    | [||] -> 0
+    | states -> Array.length states.(0).st_deferred
+  in
+  t.msg <- None;
+  t.arg <- Rt_value.Null;
+  t.frames <-
+    [ { f_state = 0; f_amap = Array.make (max 1 n_events) HNone; f_cont = [] } ];
+  t.agenda <-
+    (match t.table.mt_states with
+    | [||] -> []
+    | states -> [ Exec states.(0).st_entry ]);
+  let ib = t.inbox in
+  ib.ib_front <- [];
+  ib.ib_back <- [];
+  ib.ib_size <- 0;
+  Hashtbl.reset ib.ib_members

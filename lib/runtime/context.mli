@@ -38,12 +38,15 @@ type frame = {
 
 (** The input FIFO: a two-list functional queue with a membership table
     for the deduplicating [⊕], making enqueue amortized O(1) (the
-    historical list-append representation made bursty workloads O(n²)). *)
+    historical list-append representation made bursty workloads O(n²)).
+    The table counts occurrences: a duplication fault
+    ({!enqueue_no_dedup}) can put the same entry in the queue twice, and
+    [⊕] must stay correct after the first copy dequeues. *)
 type inbox = {
   mutable ib_front : (int * Rt_value.t) list;  (** next to dequeue first *)
   mutable ib_back : (int * Rt_value.t) list;  (** reversed: newest first *)
   mutable ib_size : int;
-  ib_members : (int * Rt_value.t, unit) Hashtbl.t;
+  ib_members : (int * Rt_value.t, int) Hashtbl.t;  (** occurrence counts *)
 }
 
 type t = {
@@ -80,9 +83,21 @@ val enqueue : t -> int -> Rt_value.t -> enqueue_result
 (** Append with the deduplicating [⊕] of the SEND rule, respecting the
     mailbox capacity. *)
 
+val enqueue_no_dedup : t -> int -> Rt_value.t -> enqueue_result
+(** Append bypassing [⊕] (never [Enq_duplicate]) — the second copy of a
+    duplication fault; still respects the mailbox capacity. *)
+
+val enqueue_front : t -> int -> Rt_value.t -> enqueue_result
+(** Insert at the front of the FIFO — a reordering fault.
+    Membership-checked like [⊕]: an entry already queued is absorbed. *)
+
 val dequeue : t -> (int * Rt_value.t) option
 (** Dequeue the first non-deferred entry, if any; deferred entries keep
     their queue positions. *)
+
+val dequeue_second : t -> (int * Rt_value.t) option
+(** Dequeue the SECOND non-deferred entry — a delay fault; falls back to
+    the first when only one entry is dequeuable. *)
 
 val inbox_length : t -> int
 
@@ -91,3 +106,9 @@ val inbox_list : t -> (int * Rt_value.t) list
 
 val has_dequeuable : t -> bool
 val is_runnable : t -> bool
+
+val restart : t -> unit
+(** Crash-restart: re-enter the initial state keeping only the persistent
+    store (variable values) — frames, agenda, [msg]/[arg], and the inbox
+    reset to a fresh machine's. The runtime twin of
+    {!P_semantics.Step.restart}. *)

@@ -116,6 +116,11 @@ type t = {
   mutable default_capacity : int;
       (** mailbox capacity for instances created from here on *)
   mutable n_dequeued : int;  (** events processed, all modes; cheap stat *)
+  mutable fault_plan : P_semantics.Fault.plan option;
+      (** deterministic fault injection for {!step_block}-driven replay;
+          decisions are a pure function of the plan's seed and [fseq], so
+          a stepped run mirrors the interpreter's faults exactly *)
+  mutable fseq : int;  (** fault points consumed so far (monotone) *)
 }
 
 let create (driver : Tables.driver) : t =
@@ -128,7 +133,9 @@ let create (driver : Tables.driver) : t =
     meters = None;
     mode = Nested;
     default_capacity = max_int;
-    n_dequeued = 0 }
+    n_dequeued = 0;
+    fault_plan = None;
+    fseq = 0 }
 
 let is_stepped rt = match rt.mode with Stepped _ -> true | _ -> false
 let stepped_yield rt = match rt.mode with Stepped sp -> sp.sp_yield | _ -> false
@@ -146,6 +153,27 @@ let reset_quantum rt =
   match rt.mode with Scheduled sc -> sc.sc_left <- sc.sc_quantum | _ -> ()
 
 let events_dequeued rt = rt.n_dequeued
+
+(** Install (or clear) the fault plan stepped execution runs under. An
+    all-zero plan is normalized to [None]; the fault-point counter resets,
+    so decisions from the next {!step_block} on mirror an interpreter run
+    started from the initial configuration under the same plan. *)
+let set_fault_plan rt plan =
+  rt.fault_plan <-
+    (match plan with
+    | Some p when not (P_semantics.Fault.is_none p) -> Some p
+    | _ -> None);
+  rt.fseq <- 0
+
+(* Consume one fault index (stepped mode only; the caller has already
+   established the fault point is due, e.g. the send target exists). *)
+let send_fault rt : P_semantics.Fault.send_fault =
+  match (rt.mode, rt.fault_plan) with
+  | Stepped _, Some plan ->
+    let index = rt.fseq in
+    rt.fseq <- index + 1;
+    P_semantics.Fault.on_send plan ~index
+  | _ -> P_semantics.Fault.Deliver
 
 (** Point the runtime at a metrics registry ([None] turns metrics off). *)
 let set_metrics (rt : t) (reg : P_obs.Metrics.t option) : unit =
@@ -272,8 +300,20 @@ let rec run_machine rt (ctx : Context.t) : unit =
     | _ -> ());
     match ctx.agenda with
     | [] -> (
-      (* DEQUEUE *)
-      let entry = with_lock rt (fun () -> Context.dequeue ctx) in
+      (* DEQUEUE — under a stepped-mode fault plan this is a fault point
+         (one index per attempt with something dequeuable, exactly like the
+         interpreter); a delay fault takes the second dequeuable entry *)
+      let entry =
+        with_lock rt (fun () ->
+            match (rt.mode, rt.fault_plan) with
+            | Stepped _, Some plan when Context.has_dequeuable ctx ->
+              let index = rt.fseq in
+              rt.fseq <- index + 1;
+              if P_semantics.Fault.on_dequeue plan ~index then
+                Context.dequeue_second ctx
+              else Context.dequeue ctx
+            | _ -> Context.dequeue ctx)
+      in
       match entry with
       | None -> continue := false
       | Some (e, v) ->
@@ -494,7 +534,22 @@ and deliver rt ~src dst e v : Context.backpressure =
         match Hashtbl.find_opt rt.instances dst with
         | None -> None
         | Some target ->
-          let enq = Context.enqueue target e v in
+          (* the fault point sits after target resolution, like the
+             interpreter's (Config.find, then the decision) *)
+          let enq =
+            match send_fault rt with
+            | P_semantics.Fault.Deliver -> Context.enqueue target e v
+            | P_semantics.Fault.Drop ->
+              (* dropped on the wire: the sender observes success *)
+              Context.Enq_ok
+            | P_semantics.Fault.Duplicate -> (
+              (* first copy respects ⊕, the duplicate bypasses it *)
+              match Context.enqueue target e v with
+              | Context.Enq_overflow -> Context.Enq_overflow
+              | Context.Enq_ok | Context.Enq_duplicate ->
+                Context.enqueue_no_dedup target e v)
+            | P_semantics.Fault.Reorder -> Context.enqueue_front target e v
+          in
           (match rt.meters with
           | None -> ()
           | Some m ->
@@ -583,6 +638,16 @@ let step_block rt (ctx : Context.t) ~(choices : bool list) : block_result =
     ~finally:(fun () -> rt.mode <- Nested)
     (fun () ->
       try
+        (* block start is a fault point: the machine about to run may
+           crash-restart (keeping its store), mirroring the interpreter's
+           hook before the block's first task *)
+        (match rt.fault_plan with
+        | None -> ()
+        | Some plan ->
+          let index = rt.fseq in
+          rt.fseq <- index + 1;
+          if P_semantics.Fault.on_block_start plan ~index then
+            Context.restart ctx);
         run_machine rt ctx;
         if sp.sp_yield then Block_progress
         else if not ctx.Context.alive then Block_terminated

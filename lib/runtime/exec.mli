@@ -94,6 +94,10 @@ type t = {
   mutable default_capacity : int;
       (** mailbox capacity for instances created from here on *)
   mutable n_dequeued : int;  (** events processed, all modes *)
+  mutable fault_plan : P_semantics.Fault.plan option;
+      (** deterministic fault injection for stepped (differential) replay;
+          install via {!set_fault_plan} *)
+  mutable fseq : int;  (** fault points consumed so far (monotone) *)
 }
 
 val create : Tables.driver -> t
@@ -113,6 +117,16 @@ val reset_quantum : t -> unit
 
 val events_dequeued : t -> int
 (** Events processed since [create], any mode — a cheap stat read. *)
+
+val set_fault_plan : t -> P_semantics.Fault.plan option -> unit
+(** Install (or clear) the fault plan {!step_block}-driven replay runs
+    under, and reset the fault-point counter. An all-zero plan is
+    normalized to [None]. Stepped execution then consumes fault points at
+    exactly the interpreter's hooks — block start (crash-restart keeping
+    the store), send (drop / duplicate / reorder after target
+    resolution), and dequeue when something is dequeuable (delay) — so a
+    schedule replayed through both layers sees identical faults. Faults
+    are inert outside stepped mode. *)
 
 (** Point the runtime at a metrics registry; [None] (the initial state)
     turns metrics off and makes every instrumented point a cheap

@@ -48,7 +48,7 @@ let of_semantics_trace (t : P_semantics.Trace.t) : item list =
       | P_semantics.Trace.Deleted { mid } ->
         Some (Deleted { mid = P_semantics.Mid.to_int mid })
       | P_semantics.Trace.Raised _ | P_semantics.Trace.Entered _
-      | P_semantics.Trace.Popped _ -> None)
+      | P_semantics.Trace.Popped _ | P_semantics.Trace.Faulted _ -> None)
     t
 
 (** Keep only the comparable kinds of a runtime trace (drop state entries). *)

@@ -51,8 +51,31 @@ type meters = {
   sm_yields : P_obs.Metrics.counter;  (** [runtime.sched_yields] *)
   sm_shed_mailbox : P_obs.Metrics.counter;  (** [runtime.sched_shed_mailbox] *)
   sm_dead_letters : P_obs.Metrics.counter;  (** [runtime.sched_dead_letters] *)
+  sm_faults : P_obs.Metrics.counter;  (** [runtime.sched_faults] (all classes) *)
   sm_ready_hwm : P_obs.Metrics.gauge;  (** [runtime.sched_ready_hwm] *)
 }
+
+(** The scheduler's adversarial-host state: the pure {!P_semantics.Fault}
+    plan plus this scheduler's own monotone fault-point counter, so
+    decisions are a deterministic function of the plan's seed and the
+    order this scheduler reaches its fault points (sends and
+    activations). Single-writer like the other counters. *)
+type faults = {
+  sf_plan : P_semantics.Fault.plan;
+  mutable sf_next : int;  (** next fault index *)
+  mutable sf_drops : int;
+  mutable sf_dups : int;
+  mutable sf_reorders : int;
+  mutable sf_crashes : int;
+}
+
+let make_faults plan =
+  { sf_plan = plan;
+    sf_next = 0;
+    sf_drops = 0;
+    sf_dups = 0;
+    sf_reorders = 0;
+    sf_crashes = 0 }
 
 type t = {
   rt : Exec.t;
@@ -60,6 +83,7 @@ type t = {
   ready : entry Queue.t;
   rng : Random.State.t option;  (** resolves ghost [*] when present *)
   router : router option;
+  faults : faults option;  (** adversarial host; [None] = well-behaved *)
   mutable meters : meters option;
   (* single-writer counters; cross-domain reads (telemetry) may be stale *)
   mutable c_sends : int;
@@ -74,6 +98,7 @@ type t = {
   mutable f_yields : int;
   mutable f_shed_mailbox : int;
   mutable f_dead_letters : int;
+  mutable f_faults : int;
 }
 
 type stats = {
@@ -85,9 +110,13 @@ type stats = {
   st_dead_letters : int;  (** sends to deleted machines (Fifo only) *)
   st_dequeues : int;  (** events processed by this scheduler's runtime *)
   st_ready_hwm : int;  (** ready-queue high-water mark *)
+  st_fault_drops : int;  (** injected drops (event lost on the wire) *)
+  st_fault_dups : int;  (** injected duplications (⊕ bypassed once) *)
+  st_fault_reorders : int;  (** injected reorders (front-of-queue insert) *)
+  st_crash_restarts : int;  (** injected crash-restarts at activation *)
 }
 
-let create ?(policy = Fifo) ?(quantum = 64) ?capacity ?seed ?router
+let create ?(policy = Fifo) ?(quantum = 64) ?capacity ?seed ?faults ?router
     (driver : Tables.driver) : t =
   let rt = Exec.create driver in
   (match capacity with None -> () | Some c -> Exec.set_mailbox_capacity rt c);
@@ -100,6 +129,10 @@ let create ?(policy = Fifo) ?(quantum = 64) ?capacity ?seed ?router
     ready = Queue.create ();
     rng = Option.map (fun s -> Random.State.make [| s |]) seed;
     router;
+    faults =
+      (match faults with
+      | Some p when not (P_semantics.Fault.is_none p) -> Some (make_faults p)
+      | _ -> None);
     meters = None;
     c_sends = 0;
     c_spawns = 0;
@@ -111,7 +144,11 @@ let create ?(policy = Fifo) ?(quantum = 64) ?capacity ?seed ?router
     f_activations = 0;
     f_yields = 0;
     f_shed_mailbox = 0;
-    f_dead_letters = 0 }
+    f_dead_letters = 0;
+    f_faults = 0 }
+
+let fault_total (sf : faults) =
+  sf.sf_drops + sf.sf_dups + sf.sf_reorders + sf.sf_crashes
 
 let exec t = t.rt
 
@@ -124,6 +161,7 @@ let set_metrics t (reg : P_obs.Metrics.t option) : unit =
           sm_yields = P_obs.Metrics.counter reg "runtime.sched_yields";
           sm_shed_mailbox = P_obs.Metrics.counter reg "runtime.sched_shed_mailbox";
           sm_dead_letters = P_obs.Metrics.counter reg "runtime.sched_dead_letters";
+          sm_faults = P_obs.Metrics.counter reg "runtime.sched_faults";
           sm_ready_hwm = P_obs.Metrics.gauge reg "runtime.sched_ready_hwm" })
       reg
 
@@ -139,6 +177,12 @@ let flush_metrics t =
     add m.sm_yields t.f_yields t.c_yields;
     add m.sm_shed_mailbox t.f_shed_mailbox t.c_shed_mailbox;
     add m.sm_dead_letters t.f_dead_letters t.c_dead_letters;
+    (match t.faults with
+    | None -> ()
+    | Some sf ->
+      let cur = fault_total sf in
+      add m.sm_faults t.f_faults cur;
+      t.f_faults <- cur);
     P_obs.Metrics.set_max m.sm_ready_hwm (float_of_int t.ready_hwm);
     t.f_activations <- t.c_activations;
     t.f_yields <- t.c_yields;
@@ -153,7 +197,11 @@ let stats t : stats =
     st_shed_mailbox = t.c_shed_mailbox;
     st_dead_letters = t.c_dead_letters;
     st_dequeues = Exec.events_dequeued t.rt;
-    st_ready_hwm = t.ready_hwm }
+    st_ready_hwm = t.ready_hwm;
+    st_fault_drops = (match t.faults with None -> 0 | Some sf -> sf.sf_drops);
+    st_fault_dups = (match t.faults with None -> 0 | Some sf -> sf.sf_dups);
+    st_fault_reorders = (match t.faults with None -> 0 | Some sf -> sf.sf_reorders);
+    st_crash_restarts = (match t.faults with None -> 0 | Some sf -> sf.sf_crashes) }
 
 let ready_length t = Queue.length t.ready
 
@@ -248,7 +296,46 @@ and local_send t ~src dst event payload : Context.backpressure =
       t.c_dead_letters <- t.c_dead_letters + 1;
       Context.Shed)
   | Some target -> (
-    match Context.enqueue target event payload with
+    (* fault point: one index per send whose target exists, like the
+       interpreter's hook after target resolution *)
+    let decision =
+      match t.faults with
+      | None -> P_semantics.Fault.Deliver
+      | Some sf ->
+        let index = sf.sf_next in
+        sf.sf_next <- index + 1;
+        P_semantics.Fault.on_send sf.sf_plan ~index
+    in
+    match decision with
+    | P_semantics.Fault.Drop ->
+      (* dropped on the wire: the sender observes a normal queued send;
+         the slot accounting above us is unaffected because nothing was
+         accepted into a mailbox *)
+      (match t.faults with
+      | Some sf -> sf.sf_drops <- sf.sf_drops + 1
+      | None -> ());
+      Context.Queued
+    | (P_semantics.Fault.Deliver | P_semantics.Fault.Duplicate
+      | P_semantics.Fault.Reorder) as decision -> (
+    let enq =
+      match decision with
+      | P_semantics.Fault.Deliver | P_semantics.Fault.Drop ->
+        Context.enqueue target event payload
+      | P_semantics.Fault.Duplicate -> (
+        match Context.enqueue target event payload with
+        | Context.Enq_overflow -> Context.Enq_overflow
+        | Context.Enq_ok | Context.Enq_duplicate ->
+          (match t.faults with
+          | Some sf -> sf.sf_dups <- sf.sf_dups + 1
+          | None -> ());
+          Context.enqueue_no_dedup target event payload)
+      | P_semantics.Fault.Reorder ->
+        (match t.faults with
+        | Some sf -> sf.sf_reorders <- sf.sf_reorders + 1
+        | None -> ());
+        Context.enqueue_front target event payload
+    in
+    match enq with
     | Context.Enq_overflow ->
       t.c_shed_mailbox <- t.c_shed_mailbox + 1;
       (match t.policy with
@@ -269,7 +356,7 @@ and local_send t ~src dst event payload : Context.backpressure =
                dst;
                event = Exec.event_name rt event;
                payload = Fmt.str "%a" Rt_value.pp payload });
-      activate t target)
+      activate t target))
 
 and route_send t ~src dst event payload : Context.backpressure =
   match t.router with
@@ -310,7 +397,25 @@ let run_ready t ~fuel : int =
     incr n;
     t.c_activations <- t.c_activations + 1;
     Exec.reset_quantum t.rt;
-    match Queue.pop t.ready with
+    let entry = Queue.pop t.ready in
+    (* activation is a fault point: the machine about to run may
+       crash-restart, keeping its store but losing frames, agenda, and
+       mailbox (the {!Context.restart} contract). Safe for parked
+       continuations too: the fiber suspends at the top of the machine
+       loop, which re-reads the context's agenda on resume. *)
+    (match t.faults with
+    | None -> ()
+    | Some sf ->
+      let ctx = match entry with Start c | Resume (c, _) -> c in
+      if ctx.Context.alive then begin
+        let index = sf.sf_next in
+        sf.sf_next <- index + 1;
+        if P_semantics.Fault.on_block_start sf.sf_plan ~index then begin
+          sf.sf_crashes <- sf.sf_crashes + 1;
+          Context.restart ctx
+        end
+      end);
+    match entry with
     | Start ctx -> ignore (run_fiber t ctx : outcome)
     | Resume (_, k) -> ignore (Effect.Deep.continue k () : outcome)
   done;

@@ -48,6 +48,10 @@ type stats = {
   st_dead_letters : int;  (** sends to deleted machines (Fifo only) *)
   st_dequeues : int;  (** events processed by this scheduler's runtime *)
   st_ready_hwm : int;  (** ready-queue high-water mark *)
+  st_fault_drops : int;  (** injected drops (event lost on the wire) *)
+  st_fault_dups : int;  (** injected duplications (⊕ bypassed once) *)
+  st_fault_reorders : int;  (** injected reorders (front-of-queue insert) *)
+  st_crash_restarts : int;  (** injected crash-restarts at activation *)
 }
 
 val create :
@@ -55,13 +59,23 @@ val create :
   ?quantum:int ->
   ?capacity:int ->
   ?seed:int ->
+  ?faults:P_semantics.Fault.plan ->
   ?router:router ->
   Tables.driver ->
   t
 (** [quantum] is the per-activation dequeue budget (default 64; forced
     unbounded under [Causal]); [capacity] bounds every mailbox; [seed]
     enables ghost [*] resolution (full tables under simulation); [router]
-    is installed by the shard layer. Default policy is [Fifo]. *)
+    is installed by the shard layer. Default policy is [Fifo].
+
+    [faults] makes this scheduler an adversarial host: sends whose target
+    exists may be dropped, duplicated (bypassing [⊕] once), or reordered
+    (front-of-queue insert), and machines may crash-restart at activation
+    — each decision a pure function of the plan's seed and this
+    scheduler's own monotone fault-point counter, so a fixed workload
+    sees a fixed fault schedule. An all-zero plan is normalized to no
+    injection. Per-class counts are reported in {!stats} and flushed to
+    the [runtime.sched_faults] metric. *)
 
 val exec : t -> Exec.t
 (** The underlying runtime — for foreign registration, trace hooks, and

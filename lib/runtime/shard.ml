@@ -176,9 +176,21 @@ let drain_ingress t s =
 (* ------------------------------------------------------------------ *)
 
 let create ?(shards = 1) ?(policy = Sched.Fifo) ?quantum ?capacity
-    ?(ingress_capacity = 1 lsl 16) ?(batch = 32) ?(fuel = 1024) ?seed ?metrics
-    ?(telemetry = P_obs.Telemetry.null) (driver : Tables.driver) : t =
+    ?(ingress_capacity = 1 lsl 16) ?(batch = 32) ?(fuel = 1024) ?seed ?faults
+    ?metrics ?(telemetry = P_obs.Telemetry.null) (driver : Tables.driver) : t =
   if shards < 1 then invalid_arg "Shard.create: shards";
+  (* Decorrelate the fault schedules of different shards: each gets the
+     same rates under a seed offset by a large odd constant times the
+     shard index, so shard populations don't crash or drop in lockstep. *)
+  let shard_faults s =
+    match faults with
+    | Some p when not (P_semantics.Fault.is_none p) ->
+      Some
+        (P_semantics.Fault.with_seed
+           (p.P_semantics.Fault.seed + ((s + 1) * 1_000_003))
+           p)
+    | _ -> None
+  in
   let next_handle = Atomic.make 0 in
   let rec t =
     lazy
@@ -227,7 +239,7 @@ let create ?(shards = 1) ?(policy = Sched.Fifo) ?quantum ?capacity
               let sched =
                 Sched.create ~policy ?quantum ?capacity ?seed:
                   (Option.map (fun sd -> sd + s) seed)
-                  ~router driver
+                  ?faults:(shard_faults s) ~router driver
               in
               Sched.set_metrics sched metrics;
               { sched;
@@ -385,6 +397,10 @@ type stats = {
   sh_ingress_batches : int;  (** host-post batches consumed *)
   sh_ingress_msgs : int;  (** host-post messages consumed *)
   sh_pending : int;  (** unreleased ingress/transfer slots; 0 once drained *)
+  sh_fault_drops : int;  (** injected drops across shards *)
+  sh_fault_dups : int;  (** injected duplications across shards *)
+  sh_fault_reorders : int;  (** injected reorders across shards *)
+  sh_crash_restarts : int;  (** injected crash-restarts across shards *)
 }
 
 let stats t : stats =
@@ -403,7 +419,11 @@ let stats t : stats =
       sh_xfer_msgs = 0;
       sh_ingress_batches = 0;
       sh_ingress_msgs = 0;
-      sh_pending = 0 }
+      sh_pending = 0;
+      sh_fault_drops = 0;
+      sh_fault_dups = 0;
+      sh_fault_reorders = 0;
+      sh_crash_restarts = 0 }
   in
   Array.fold_left
     (fun acc sh ->
@@ -422,7 +442,11 @@ let stats t : stats =
         sh_xfer_msgs = acc.sh_xfer_msgs + sh.c_xfer_msgs;
         sh_ingress_batches = acc.sh_ingress_batches + sh.c_ingress_batches;
         sh_ingress_msgs = acc.sh_ingress_msgs + sh.c_ingress_msgs;
-        sh_pending = acc.sh_pending + Atomic.get sh.pending })
+        sh_pending = acc.sh_pending + Atomic.get sh.pending;
+        sh_fault_drops = acc.sh_fault_drops + s.Sched.st_fault_drops;
+        sh_fault_dups = acc.sh_fault_dups + s.Sched.st_fault_dups;
+        sh_fault_reorders = acc.sh_fault_reorders + s.Sched.st_fault_reorders;
+        sh_crash_restarts = acc.sh_crash_restarts + s.Sched.st_crash_restarts })
     z t.shards
 
 (** Total events processed and total sheds — cheap racy reads for

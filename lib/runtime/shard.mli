@@ -25,6 +25,7 @@ val create :
   ?batch:int ->
   ?fuel:int ->
   ?seed:int ->
+  ?faults:P_semantics.Fault.plan ->
   ?metrics:P_obs.Metrics.t ->
   ?telemetry:P_obs.Telemetry.t ->
   Tables.driver ->
@@ -32,8 +33,11 @@ val create :
 (** Defaults: 1 shard, [Fifo] policy, unbounded mailboxes, 65536 in-flight
     transfer messages per shard, 32-message producer batches, 1024
     activations of loop fuel. [seed] enables ghost [*] resolution (shard
-    [s] uses [seed + s]). [metrics]/[telemetry] wire the shard loops into
-    the observability stack ([runtime.sched_*]). *)
+    [s] uses [seed + s]). [faults] turns every shard's scheduler into an
+    adversarial host (see {!Sched.create}); shard [s] runs the plan under
+    a decorrelated seed ([seed + (s+1) * 1_000_003]) so fault schedules
+    don't align across shards. [metrics]/[telemetry] wire the shard loops
+    into the observability stack ([runtime.sched_*]). *)
 
 val exec_of : t -> int -> Exec.t
 (** Shard [s]'s runtime, for introspection (instances live on their home
@@ -83,6 +87,10 @@ type stats = {
   sh_ingress_batches : int;  (** host-post batches consumed *)
   sh_ingress_msgs : int;  (** host-post messages consumed *)
   sh_pending : int;  (** unreleased ingress/transfer slots; 0 once drained *)
+  sh_fault_drops : int;  (** injected drops across shards *)
+  sh_fault_dups : int;  (** injected duplications across shards *)
+  sh_fault_reorders : int;  (** injected reorders across shards *)
+  sh_crash_restarts : int;  (** injected crash-restarts across shards *)
 }
 
 val stats : t -> stats

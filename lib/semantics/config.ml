@@ -4,9 +4,18 @@
     to a deleted machine ([M[id] = ⊥] in the paper) — sending to it is the
     SEND-FAIL2 error. *)
 
-type t = { machines : Machine.t Mid.Map.t; next_id : Mid.t }
+type t = {
+  machines : Machine.t Mid.Map.t;
+  next_id : Mid.t;
+  fseq : int;
+      (** Fault-point counter: number of fault points consumed on the path
+          to this configuration. Stays 0 when no fault plan is active, so
+          fault-free state identity is unchanged. With faults on, it is part
+          of state identity (two configurations that look alike but sit at
+          different fault indices have different futures). *)
+}
 
-let empty = { machines = Mid.Map.empty; next_id = Mid.first }
+let empty = { machines = Mid.Map.empty; next_id = Mid.first; fseq = 0 }
 
 let find t id = Mid.Map.find_opt id t.machines
 
@@ -53,7 +62,10 @@ let changed_machines ~before ~after =
 
 let compare a b =
   match Mid.compare a.next_id b.next_id with
-  | 0 -> Mid.Map.compare Machine.compare a.machines b.machines
+  | 0 -> (
+    match Int.compare a.fseq b.fseq with
+    | 0 -> Mid.Map.compare Machine.compare a.machines b.machines
+    | c -> c)
   | c -> c
 
 let equal a b = compare a b = 0

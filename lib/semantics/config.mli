@@ -3,7 +3,14 @@
     identifier smaller than [next_id] absent from the map belongs to a
     deleted machine ([M[id] = ⊥]); sending to it is the SEND-FAIL2 error. *)
 
-type t = { machines : Machine.t Mid.Map.t; next_id : Mid.t }
+type t = {
+  machines : Machine.t Mid.Map.t;
+  next_id : Mid.t;
+  fseq : int;
+      (** Fault-point counter: number of fault points consumed on the path
+          to this configuration (see {!Fault}). Always 0 when no fault plan
+          is active; with faults on it is part of state identity. *)
+}
 
 val empty : t
 val find : t -> Mid.t -> Machine.t option

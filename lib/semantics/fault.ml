@@ -1,0 +1,142 @@
+(** Deterministic fault plans for adversarial-environment testing.
+
+    A {!plan} is a pure description of an adversarial host: per-mille rates
+    for each fault class plus a seed. Whether a given fault fires is a pure
+    function of [(seed, index, class)] — the [index] is a global fault-point
+    counter threaded through the configuration ([Config.fseq]) so that the
+    decision sequence is independent of exploration order, domain count, and
+    scheduler. This is the determinism contract: replaying the same schedule
+    with the same plan injects exactly the same faults.
+
+    Fault classes:
+
+    - [drop]: a send is silently discarded (lossy channel).
+    - [dup]: a send is delivered twice (at-least-once channel).
+    - [reorder]: a sent event is placed at the {e front} of the target's
+      queue instead of the back (non-FIFO channel).
+    - [delay]: a dequeue skips past the first dequeuable event and delivers
+      the second one instead, when one exists (delayed delivery).
+    - [crash]: a machine is crash-restarted at the start of an atomic block —
+      control returns to the initial state's entry handler with an empty
+      queue, but the persistent store survives (crash-recovery semantics).
+
+    Rates are expressed in per-mille (0..1000). [of_string] accepts the CLI
+    spec syntax ["drop=0.05,crash=0.01"] with probabilities in [0..1]. *)
+
+type plan = {
+  seed : int;
+  drop : int;  (** per-mille *)
+  dup : int;  (** per-mille *)
+  reorder : int;  (** per-mille *)
+  delay : int;  (** per-mille *)
+  crash : int;  (** per-mille *)
+}
+
+let none = { seed = 0; drop = 0; dup = 0; reorder = 0; delay = 0; crash = 0 }
+
+let is_none p =
+  p.drop = 0 && p.dup = 0 && p.reorder = 0 && p.delay = 0 && p.crash = 0
+
+let with_seed seed p = { p with seed }
+
+(* Distinct salts per fault class so that one index yields independent
+   decisions for each class probed at the same fault point. *)
+let salt_drop = 0x9e3779b9
+let salt_dup = 0x85ebca6b
+let salt_reorder = 0xc2b2ae35
+let salt_delay = 0x27d4eb2f
+let salt_crash = 0x165667b1
+
+(* SplitMix64-style finalizer, truncated to 62 bits so the result is a
+   non-negative OCaml int on 64-bit platforms. Pure in its inputs. *)
+let mix (a : int) (b : int) (c : int) : int =
+  let z = a * 0x2545F4914F6CDD1D in
+  let z = z lxor b in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = z lxor c in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  let z = z lxor (z lsr 31) in
+  z land max_int
+
+(* [fires plan ~index ~salt rate]: does the fault with class-[salt] and
+   per-mille [rate] fire at fault point [index]? *)
+let fires plan ~index ~salt rate =
+  rate > 0 && mix plan.seed index salt mod 1000 < rate
+
+type send_fault = Deliver | Drop | Duplicate | Reorder
+
+(** [on_send plan ~index]: decision for the fault point of one send. Classes
+    are probed in priority order drop > dup > reorder; at most one fires. *)
+let on_send plan ~index : send_fault =
+  if fires plan ~index ~salt:salt_drop plan.drop then Drop
+  else if fires plan ~index ~salt:salt_dup plan.dup then Duplicate
+  else if fires plan ~index ~salt:salt_reorder plan.reorder then Reorder
+  else Deliver
+
+(** [on_dequeue plan ~index]: deliver the second dequeuable event instead of
+    the first? *)
+let on_dequeue plan ~index : bool = fires plan ~index ~salt:salt_delay plan.delay
+
+(** [on_block_start plan ~index]: crash-restart the machine before it runs
+    this atomic block? *)
+let on_block_start plan ~index : bool =
+  fires plan ~index ~salt:salt_crash plan.crash
+
+(* ---- spec syntax -------------------------------------------------------- *)
+
+let class_names = [ "drop"; "dup"; "reorder"; "delay"; "crash" ]
+
+let to_string p =
+  let field name v = if v = 0 then [] else [ Fmt.str "%s=%g" name (float_of_int v /. 1000.) ] in
+  String.concat ","
+    (List.concat
+       [
+         field "drop" p.drop;
+         field "dup" p.dup;
+         field "reorder" p.reorder;
+         field "delay" p.delay;
+         field "crash" p.crash;
+       ])
+
+(** Parse a fault spec such as ["drop=0.05,crash=0.01"]. Probabilities are
+    in [0..1] and are rounded to per-mille resolution. The seed of the
+    returned plan is 0; set it with {!with_seed}. *)
+let of_string s : (plan, string) result =
+  let parse_field acc field =
+    match acc with
+    | Error _ as e -> e
+    | Ok p -> (
+      match String.index_opt field '=' with
+      | None -> Error (Fmt.str "fault spec %S: expected name=prob" field)
+      | Some i ->
+        let name = String.sub field 0 i in
+        let value = String.sub field (i + 1) (String.length field - i - 1) in
+        (match float_of_string_opt value with
+        | None -> Error (Fmt.str "fault spec %S: bad probability %S" field value)
+        | Some f when f < 0.0 || f > 1.0 ->
+          Error (Fmt.str "fault spec %S: probability out of [0,1]" field)
+        | Some f -> (
+          let pm = int_of_float (Float.round (f *. 1000.)) in
+          match name with
+          | "drop" -> Ok { p with drop = pm }
+          | "dup" -> Ok { p with dup = pm }
+          | "reorder" -> Ok { p with reorder = pm }
+          | "delay" -> Ok { p with delay = pm }
+          | "crash" -> Ok { p with crash = pm }
+          | _ ->
+            Error
+              (Fmt.str "fault spec: unknown class %S (expected one of %s)" name
+                 (String.concat ", " class_names)))))
+  in
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+    |> List.fold_left parse_field (Ok none)
+
+let of_string_exn s =
+  match of_string s with Ok p -> p | Error msg -> invalid_arg msg
+
+let pp ppf p = Fmt.string ppf (to_string p)

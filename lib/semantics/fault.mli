@@ -1,0 +1,51 @@
+(** Deterministic fault plans for adversarial-environment testing.
+
+    A {!plan} describes an adversarial host: per-mille rates for dropping,
+    duplicating, reordering, and delaying events, and crash-restarting
+    machines. Every decision is a pure function of [(plan.seed, index,
+    fault class)], where [index] is the global fault-point counter threaded
+    through {!Config.t} — so fault schedules are deterministic, replayable,
+    and independent of exploration order or domain count. *)
+
+type plan = {
+  seed : int;
+  drop : int;  (** per-mille *)
+  dup : int;  (** per-mille *)
+  reorder : int;  (** per-mille *)
+  delay : int;  (** per-mille *)
+  crash : int;  (** per-mille *)
+}
+
+val none : plan
+(** All rates zero (seed 0). *)
+
+val is_none : plan -> bool
+(** [true] iff every rate is zero (the seed is ignored). *)
+
+val with_seed : int -> plan -> plan
+
+type send_fault = Deliver | Drop | Duplicate | Reorder
+
+val on_send : plan -> index:int -> send_fault
+(** Decision for the fault point of one send. Classes are probed in priority
+    order drop > dup > reorder; at most one fires. *)
+
+val on_dequeue : plan -> index:int -> bool
+(** Deliver the second dequeuable event instead of the first? *)
+
+val on_block_start : plan -> index:int -> bool
+(** Crash-restart the machine before this atomic block? *)
+
+val of_string : string -> (plan, string) result
+(** Parse a spec such as ["drop=0.05,crash=0.01"]: comma-separated
+    [class=probability] fields with probabilities in [0..1], rounded to
+    per-mille. [""] and ["none"] parse to {!none}. The seed of the result is
+    0; set it with {!with_seed}. *)
+
+val of_string_exn : string -> plan
+(** @raise Invalid_argument on parse error. *)
+
+val to_string : plan -> string
+(** Inverse of {!of_string} (rates rendered as probabilities; seed omitted). *)
+
+val pp : plan Fmt.t

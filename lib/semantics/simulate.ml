@@ -42,18 +42,25 @@ let policy_seeded seed : int -> bool =
     state := (!state * 1103515245) + 12345;
     !state land 0x10000 <> 0
 
-(* Run one atomic block, growing the choice list on demand via [policy]. *)
-let run_block tab config mid ~policy =
+(* Run one atomic block, growing the choice list on demand via [policy].
+   Fault decisions are a pure function of (config, plan), so they are
+   stable across the choice-growing retries. *)
+let run_block ?faults tab config mid ~policy =
   let rec go choices =
-    match Step.run_atomic tab config mid ~choices with
+    match Step.run_atomic ?faults tab config mid ~choices with
     | Step.Need_more_choices, _ -> go (choices @ [ policy (List.length choices) ])
     | outcome, trace -> (outcome, trace)
   in
   go []
 
 (** Execute the program from its initial configuration. *)
-let run ?(max_blocks = 10_000) ?(policy = policy_const false) (tab : Symtab.t) : result
-    =
+let run ?(max_blocks = 10_000) ?(policy = policy_const false) ?faults
+    (tab : Symtab.t) : result =
+  let faults =
+    match faults with
+    | Some p when not (Fault.is_none p) -> Some p
+    | _ -> None
+  in
   let config0, id0, trace0 = Step.initial_config tab in
   let rec drive config stack trace blocks =
     if blocks >= max_blocks then
@@ -62,7 +69,7 @@ let run ?(max_blocks = 10_000) ?(policy = policy_const false) (tab : Symtab.t) :
       match stack with
       | [] -> { status = Quiescent; config; trace = List.rev trace; blocks }
       | top :: rest -> (
-        let outcome, items = run_block tab config top ~policy in
+        let outcome, items = run_block ?faults tab config top ~policy in
         let trace = List.rev_append items trace in
         match outcome with
         | Step.Progress (config, Step.Sent { target; _ }) ->
@@ -84,6 +91,6 @@ let run ?(max_blocks = 10_000) ?(policy = policy_const false) (tab : Symtab.t) :
   drive config0 [ id0 ] (List.rev trace0) 0
 
 (** Convenience: statically check, then simulate. *)
-let run_program ?max_blocks ?policy (program : Ast.program) : result =
+let run_program ?max_blocks ?policy ?faults (program : Ast.program) : result =
   let tab = P_static.Check.run_exn program in
-  run ?max_blocks ?policy tab
+  run ?max_blocks ?policy ?faults tab

@@ -26,12 +26,20 @@ val policy_seeded : int -> int -> bool
 val run :
   ?max_blocks:int ->
   ?policy:(int -> bool) ->
+  ?faults:Fault.plan ->
   P_static.Symtab.t ->
   result
 (** Execute from the initial configuration until quiescence, an error, or
     the [max_blocks] budget (default 10000). [policy] resolves ghost
-    choices (default: always [false]). *)
+    choices (default: always [false]). [faults] runs the whole simulation
+    under a deterministic fault-injection plan (see {!Fault}); the same
+    plan and seed reproduce the same run. An all-zero plan is normalized
+    away. *)
 
 val run_program :
-  ?max_blocks:int -> ?policy:(int -> bool) -> P_syntax.Ast.program -> result
+  ?max_blocks:int ->
+  ?policy:(int -> bool) ->
+  ?faults:Fault.plan ->
+  P_syntax.Ast.program ->
+  result
 (** Statically check with {!P_static.Check.run_exn}, then {!run}. *)

@@ -182,13 +182,40 @@ let handle_event ?(emit = fun (_ : Trace.item) -> ()) tab (mi : Symtab.machine_i
 (* One atomic block                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Crash-restart: control returns to the entry handler of the initial state
+   with an empty queue and no message in flight, but the persistent store
+   survives — the machine recovers from its last committed state. *)
+let restart (mi : Symtab.machine_info) (m : Machine.t) : Machine.t =
+  Machine.create ~name:m.name ~self:m.self ~initial:mi.m_initial
+    ~entry:(Symtab.entry_stmt mi mi.m_initial) ~store:m.store
+
 (* Execute tasks of machine [mid] until a scheduling point, quiescence,
-   termination, or an error. [trace] accumulates happenings in reverse. *)
-let run_atomic ?(fuel = 100_000) ?(dedup = true) (tab : Symtab.t) (config : Config.t)
-    (mid : Mid.t) ~(choices : bool list) : outcome * Trace.item list =
+   termination, or an error. [trace] accumulates happenings in reverse.
+
+   Fault injection ([?faults]) threads the fault-point counter through
+   [Config.fseq]: each fault point (block start, send, dequeue) consumes
+   exactly one index whether or not a fault fires, so the decision sequence
+   is a pure function of the schedule prefix — independent of exploration
+   order and domain count, and stable across the [Need_more_choices] retry
+   loop (which re-runs from the same configuration). *)
+let run_atomic ?(fuel = 100_000) ?(dedup = true) ?faults (tab : Symtab.t)
+    (config : Config.t) (mid : Mid.t) ~(choices : bool list) :
+    outcome * Trace.item list =
+  let faults =
+    match faults with Some p when not (Fault.is_none p) -> Some p | _ -> None
+  in
   let oracle = { remaining = choices } in
   let trace = ref [] in
   let emit item = trace := item :: !trace in
+  (* Consume one fault index; when faults are off the counter never moves,
+     so fault-free digests are byte-compatible with older artifacts. *)
+  let fault_point config =
+    match faults with
+    | None -> (config, None)
+    | Some plan ->
+      let index = config.Config.fseq in
+      ({ config with Config.fseq = index + 1 }, Some (plan, index))
+  in
   let fail name kind = Failed { Errors.machine = name; mid; kind } in
   (* Brent's cycle detection over the machine's local configuration: a saved
      snapshot is compared against every subsequent microstep, and re-snapshot
@@ -212,18 +239,34 @@ let run_atomic ?(fuel = 100_000) ?(dedup = true) (tab : Symtab.t) (config : Conf
         | [] -> (
           (* DEQUEUE: scan past deferred events *)
           let deferred = Machine.effective_deferred mi m in
-          match Equeue.dequeue_first ~deferred m.queue with
-          | None -> (Blocked config, List.rev !trace)
-          | Some (entry, rest) ->
-            emit (Trace.Dequeued { mid; event = entry.event; payload = entry.payload });
-            let m =
-              { m with
-                queue = rest;
-                msg = Some entry.event;
-                arg = entry.payload;
-                agenda = [ Machine.Handle (entry.event, entry.payload) ] }
+          if not (Equeue.has_dequeuable ~deferred m.queue) then
+            (Blocked config, List.rev !trace)
+          else
+            (* fault point: the delay fault delivers the second dequeuable
+               event instead of the first *)
+            let config, decision = fault_point config in
+            let delayed =
+              match decision with
+              | None -> false
+              | Some (plan, index) -> Fault.on_dequeue plan ~index
             in
-            loop (Config.update config mid m) (fuel - 1) seen)
+            let dequeue =
+              if delayed then Equeue.dequeue_second else Equeue.dequeue_first
+            in
+            match dequeue ~deferred m.queue with
+            | None -> assert false (* has_dequeuable checked above *)
+            | Some (entry, rest) ->
+              if delayed then emit (Trace.Faulted { mid; fault = "delay" });
+              emit
+                (Trace.Dequeued { mid; event = entry.event; payload = entry.payload });
+              let m =
+                { m with
+                  queue = rest;
+                  msg = Some entry.event;
+                  arg = entry.payload;
+                  agenda = [ Machine.Handle (entry.event, entry.payload) ] }
+              in
+              loop (Config.update config mid m) (fuel - 1) seen)
         | task :: rest -> (
           match exec_task config mi m task rest with
           | `Continue config -> loop config (fuel - 1) seen
@@ -340,8 +383,28 @@ let run_atomic ?(fuel = 100_000) ?(dedup = true) (tab : Symtab.t) (config : Conf
         | Some target_m ->
           (* [dedup = false] disables the ⊕ operator for the ablation study *)
           let append = if dedup then Equeue.append else Equeue.append_no_dedup in
-          let target_m = { target_m with queue = append target_m.queue event v } in
+          (* fault point: the channel may drop, duplicate, or reorder *)
+          let config, decision = fault_point config in
+          let send_fault =
+            match decision with
+            | None -> Fault.Deliver
+            | Some (plan, index) -> Fault.on_send plan ~index
+          in
           emit (Trace.Sent { src = mid; dst; event; payload = v });
+          let queue =
+            match send_fault with
+            | Fault.Deliver -> append target_m.queue event v
+            | Fault.Drop ->
+              emit (Trace.Faulted { mid = dst; fault = "drop" });
+              target_m.queue
+            | Fault.Duplicate ->
+              emit (Trace.Faulted { mid = dst; fault = "dup" });
+              Equeue.append_no_dedup (append target_m.queue event v) event v
+            | Fault.Reorder ->
+              emit (Trace.Faulted { mid = dst; fault = "reorder" });
+              Equeue.push_front target_m.queue event v
+          in
+          let target_m = { target_m with queue } in
           `Yield (Config.update config dst target_m, Sent { target = dst; event }))
       | _ ->
         `Failed
@@ -377,6 +440,25 @@ let run_atomic ?(fuel = 100_000) ?(dedup = true) (tab : Symtab.t) (config : Conf
       let _ = List.map (eval tab mi m oracle) args in
       ignore f;
       continue { m with agenda = rest }
+  in
+  (* fault point: crash-restart the machine before it runs this block. The
+     decision depends only on [config.fseq], so the [Need_more_choices]
+     retry (same configuration, longer choice list) replays it exactly. *)
+  let config =
+    match (faults, Config.find config mid) with
+    | Some _, Some m ->
+      let config, decision = fault_point config in
+      let crashed =
+        match decision with
+        | None -> false
+        | Some (plan, index) -> Fault.on_block_start plan ~index
+      in
+      if crashed then (
+        emit (Trace.Faulted { mid; fault = "crash" });
+        let mi = Symtab.machine_info_exn tab m.Machine.name in
+        Config.update config mid (restart mi m))
+      else config
+    | _ -> config
   in
   try loop config fuel (None, 0, 16)
   with Choice_exhausted -> (Need_more_choices, [])

@@ -29,6 +29,7 @@ type outcome =
 val run_atomic :
   ?fuel:int ->
   ?dedup:bool ->
+  ?faults:Fault.plan ->
   P_static.Symtab.t ->
   Config.t ->
   Mid.t ->
@@ -40,6 +41,13 @@ val run_atomic :
     as [Errors.Livelock] (Brent cycle detection). [dedup:false] disables
     the [⊕] queue append (ablation only). The returned items are the
     chronological happenings of the block.
+
+    [faults] enables deterministic fault injection (see {!Fault}): block
+    start probes crash-restart, each send probes drop/duplicate/reorder,
+    each dequeue probes delay. Every fault point consumes one index of
+    {!Config.fseq} whether or not a fault fires, which makes the block a
+    pure function of [(config, mid, choices, plan)]. Passing a plan with
+    all-zero rates is equivalent to omitting [faults].
 
     Sharing guarantee: every configuration update inside the block goes
     through {!Config.update}, so in the successor configuration only the

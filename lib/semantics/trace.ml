@@ -13,6 +13,9 @@ type item =
   | Popped of { mid : Mid.t; state : Names.State.t option }
       (** a frame was popped; [state] is the new top of the call stack *)
   | Deleted of { mid : Mid.t }
+  | Faulted of { mid : Mid.t; fault : string }
+      (** an injected fault fired at this machine; [fault] names the class
+          (["drop"], ["dup"], ["reorder"], ["delay"], ["crash"]) *)
 
 let pp_item ppf = function
   | Created { creator; created; kind } ->
@@ -33,6 +36,7 @@ let pp_item ppf = function
       Fmt.(option ~none:(any "<empty>") Names.State.pp)
       state
   | Deleted { mid } -> Fmt.pf ppf "%a deleted" Mid.pp mid
+  | Faulted { mid; fault } -> Fmt.pf ppf "%a fault:%s" Mid.pp mid fault
 
 type t = item list (* chronological order *)
 
@@ -49,5 +53,5 @@ let observable ?(only : Mid.Set.t option) (t : t) : item list =
       | Sent { src; dst; _ } -> keep src && keep dst
       | Dequeued { mid; _ } -> keep mid
       | Deleted { mid } -> keep mid
-      | Raised _ | Entered _ | Popped _ -> false)
+      | Raised _ | Entered _ | Popped _ | Faulted _ -> false)
     t

@@ -16,6 +16,10 @@ type item =
   | Popped of { mid : Mid.t; state : Names.State.t option }
       (** a frame was popped; [state] is the new top of the call stack *)
   | Deleted of { mid : Mid.t }
+  | Faulted of { mid : Mid.t; fault : string }
+      (** an injected fault fired at this machine; [fault] names the class.
+          Not observable: fault injection must not perturb the
+          scheduler-equivalence comparisons. *)
 
 val pp_item : item Fmt.t
 

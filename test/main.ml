@@ -10,6 +10,7 @@ let () =
       ("engine", Test_engine.suite);
       ("store", Test_store.suite);
       ("replay", Test_replay.suite);
+      ("faults", Test_faults.suite);
       ("obs", Test_obs.suite);
       ("compile", Test_compile.suite);
       ("runtime", Test_runtime.suite);

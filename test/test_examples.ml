@@ -16,7 +16,9 @@ let good_examples =
     ("german", P_examples_lib.German.program ());
     ("switchled", P_examples_lib.Switch_led.program ());
     ("tokenring", P_examples_lib.Token_ring.program ());
-    ("boundedbuffer", P_examples_lib.Bounded_buffer.program ()) ]
+    ("boundedbuffer", P_examples_lib.Bounded_buffer.program ());
+    ("leaderring", P_examples_lib.Leader_ring.program ());
+    ("failoverchain", P_examples_lib.Failover_chain.program ()) ]
 
 let buggy_examples =
   [ ("elevator", P_examples_lib.Elevator.buggy_program ());
@@ -24,7 +26,9 @@ let buggy_examples =
     ("german", P_examples_lib.German.buggy_program ());
     ("switchled", P_examples_lib.Switch_led.buggy_program ());
     ("tokenring", P_examples_lib.Token_ring.buggy_program ());
-    ("boundedbuffer", P_examples_lib.Bounded_buffer.buggy_program ()) ]
+    ("boundedbuffer", P_examples_lib.Bounded_buffer.buggy_program ());
+    ("leaderring", P_examples_lib.Leader_ring.buggy_program ());
+    ("failoverchain", P_examples_lib.Failover_chain.buggy_program ()) ]
 
 let test_examples_statically_clean () =
   List.iter

@@ -127,6 +127,120 @@ let gen_program : Ast.program t =
   let* ghost = QCheck2.Gen.bool in
   gen_program_with ~ghost ()
 
+(* ---------------- multi-machine topology generators ---------------- *)
+
+(* A token ring of [n] node instances: a starter news and wires them,
+   then launches a hop-counting token that dies after [k] hops. Random in
+   the ring size, hop budget, and (risky) an assertion bound the token
+   value may or may not reach — so a fraction of risky rings carry
+   genuinely reachable cross-machine counterexamples. *)
+let gen_ring_program ?(risky = false) () : Ast.program t =
+  let open Builder in
+  let* n = int_range 2 4 in
+  let* k = int_range 1 6 in
+  let* bound = int_range 1 6 in
+  let node_name i = Fmt.str "nd%d" i in
+  let fwd =
+    (if risky then [ assert_ (arg < int bound) ] else [])
+    @ [ assign "x" (arg + int 1);
+        when_ (v "x" < int k) (send (v "next") "Token" ~payload:(v "x"));
+        raise_ "unit" ]
+  in
+  let node =
+    machine "Node"
+      ~vars:[ var_decl "next" Ptype.Machine_id; var_decl "x" Ptype.Int ]
+      [ state "Boot" ~defer:[ "Token" ];
+        state "Wire" ~entry:(seq [ assign "next" arg; raise_ "unit" ]);
+        state "Run" ~entry:skip;
+        state "Fwd" ~entry:(seq fwd) ]
+      ~steps:
+        [ ("Boot", "SetNext", "Wire");
+          ("Wire", "unit", "Run");
+          ("Run", "Token", "Fwd");
+          ("Fwd", "unit", "Run") ]
+  in
+  let starter =
+    machine "Starter"
+      ~vars:(List.init n (fun i -> var_decl (node_name i) Ptype.Machine_id))
+      [ state "Init"
+          ~entry:
+            (seq
+               (List.init n (fun i -> new_ (node_name i) "Node" [])
+               @ List.init n (fun i ->
+                     send
+                       (v (node_name i))
+                       "SetNext"
+                       ~payload:
+                         (v (node_name (Stdlib.( mod ) (Stdlib.( + ) i 1) n))))
+               @ [ send (v (node_name 0)) "Token" ~payload:(int 0) ])) ]
+  in
+  pure
+    (program
+       ~events:
+         [ event "SetNext" ~payload:Ptype.Machine_id;
+           event "Token" ~payload:Ptype.Int;
+           event "unit" ]
+       ~machines:[ starter; node ] "Starter")
+
+(* A supervision chain: each node spawns a child until [depth_limit];
+   the leaf reports [Down], and every interior node carries a restart
+   handler — respawn the subtree once, then escalate the failure to its
+   own parent. Random in the chain depth and (risky) an assertion over
+   depth + retry count that the escalation path may or may not reach. *)
+let gen_spawn_chain_program ?(risky = false) () : Ast.program t =
+  let open Builder in
+  let* depth_limit = int_range 1 3 in
+  let* bound = int_range 1 4 in
+  let spawn_kid depth_expr =
+    new_ "kid" "Chain"
+      [ ("depth", depth_expr); ("parent", this); ("retried", int 0) ]
+  in
+  let chain =
+    machine "Chain"
+      ~vars:
+        [ var_decl "depth" Ptype.Int;
+          var_decl "parent" Ptype.Machine_id;
+          var_decl "kid" Ptype.Machine_id;
+          var_decl "retried" Ptype.Int ]
+      [ state "Boot"
+          ~entry:
+            (seq
+               [ if_
+                   (v "depth" < int depth_limit)
+                   (spawn_kid (v "depth" + int 1))
+                   (send (v "parent") "Down" ~payload:(v "depth"));
+                 raise_ "unit" ]);
+        state "Wait" ~entry:skip;
+        state "Restart"
+          ~entry:
+            (seq
+               ((if risky then [ assert_ (v "depth" + v "retried" < int bound) ]
+                 else [])
+               @ [ if_
+                     (v "retried" == int 0)
+                     (seq [ assign "retried" (int 1); spawn_kid (v "depth" + int 1) ])
+                     (send (v "parent") "Down" ~payload:(v "depth"));
+                   raise_ "unit" ])) ]
+      ~steps:
+        [ ("Boot", "unit", "Wait");
+          ("Wait", "Down", "Restart");
+          ("Restart", "unit", "Wait") ]
+  in
+  let main =
+    machine "Main"
+      ~vars:[ var_decl "root" Ptype.Machine_id ]
+      [ state "Init"
+          ~entry:
+            (new_ "root" "Chain"
+               [ ("depth", int 0); ("parent", this); ("retried", int 0) ]);
+        state "Sink" ~entry:skip ]
+      ~steps:[ ("Init", "Down", "Sink"); ("Sink", "Down", "Sink") ]
+  in
+  pure
+    (program
+       ~events:[ event "Down" ~payload:Ptype.Int; event "unit" ]
+       ~machines:[ main; chain ] "Main")
+
 (* ---------------- properties ---------------- *)
 
 let statically_clean p = (P_static.Check.run p).diagnostics = []

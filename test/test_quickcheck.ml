@@ -88,6 +88,15 @@ let reduce_under_test =
     | Ok r -> Some r
     | Error e -> failwith ("PCAML_TEST_REDUCE: " ^ e))
 
+(* The fault-injection axis: every generated program re-explores under a
+   seeded random fault plan, and the determinism contract must hold —
+   repeated runs bit-identical, domain-count invariant, counterexamples
+   replayable through the compiled runtime under the same plan. *)
+let faults_under_test =
+  match Sys.getenv_opt "PCAML_TEST_FAULTS" with
+  | None | Some "" | Some "0" | Some "none" -> false
+  | Some _ -> true
+
 let gen_one ~ghost ~risky seed : P_syntax.Ast.program =
   let rand =
     Random.State.make
@@ -198,8 +207,64 @@ let check_reduce_axis seed tab (seq : Search.result) reduce =
         failf seed "reduce %a: counterexample replay: %a" Reduce.pp reduce
           Differential.pp_outcome o))
 
-let check_program ~ghost ~risky seed =
-  let p = gen_one ~ghost ~risky seed in
+(* The seeded fault-schedule generator: a random plan whose rates and
+   fault seed are a pure function of the program seed, so a failing seed
+   reproduces the whole (program, plan) pair. *)
+let gen_fault_plan seed =
+  let rand = Random.State.make [| base_seed; seed; 0xFA17 |] in
+  let rate bound = Random.State.int rand bound in
+  P_semantics.Fault.with_seed
+    (Random.State.int rand 1_000_000)
+    { P_semantics.Fault.none with
+      drop = rate 250;
+      dup = rate 250;
+      reorder = rate 250;
+      delay = rate 150;
+      crash = rate 80 }
+
+let check_faults_axis seed tab =
+  let faults = gen_fault_plan seed in
+  let max_states = 4_000 in
+  let digest (r : Search.result) =
+    (verdict_kind r, r.stats.states, r.stats.transitions, r.stats.faults)
+  in
+  let f1 = Delay_bounded.explore ~delay_bound:1 ~max_states ~faults tab in
+  let f2 = Delay_bounded.explore ~delay_bound:1 ~max_states ~faults tab in
+  if digest f1 <> digest f2 then
+    failf seed "fault axis: repeated fault-injected search diverged";
+  let fp =
+    Parallel.explore ~domains:domains_under_test ~delay_bound:1 ~max_states
+      ~faults tab
+  in
+  if verdict_kind fp <> verdict_kind f1 then
+    failf seed "fault axis: parallel(%d) verdict %s <> sequential %s"
+      domains_under_test (verdict_kind fp) (verdict_kind f1);
+  if not (f1.stats.truncated || fp.stats.truncated) then begin
+    if fp.stats.states <> f1.stats.states then
+      failf seed "fault axis: parallel(%d) states %d <> sequential %d"
+        domains_under_test fp.stats.states f1.stats.states;
+    match (ce_of f1, ce_of fp) with
+    | Some sce, Some pce ->
+      if pce.schedule <> sce.schedule then
+        failf seed "fault axis: parallel(%d) ce schedule differs from sequential"
+          domains_under_test
+    | None, None -> ()
+    | _ -> ()
+  end;
+  match ce_of f1 with
+  | None -> ()
+  | Some ce -> (
+    match ce.error.kind with
+    | P_semantics.Errors.Livelock | P_semantics.Errors.Fuel_exhausted -> ()
+    | _ -> (
+      match Differential.run ~faults tab ce.schedule with
+      | Error e -> failf seed "fault axis: differential setup failed: %s" e
+      | Ok (Differential.Agree { verdict = Differential.Agree_error _; _ }) -> ()
+      | Ok o ->
+        failf seed "fault axis: counterexample replay: %a" Differential.pp_outcome
+          o))
+
+let check_generated seed (p : P_syntax.Ast.program) =
   let tab =
     match P_static.Check.run p with
     | { diagnostics = []; symtab } -> symtab
@@ -264,6 +329,7 @@ let check_program ~ghost ~risky seed =
     | None, None, None -> ()
     | _ -> () (* verdict kinds already compared above *)
   end;
+  if faults_under_test then check_faults_axis seed tab;
   (match reduce_under_test with
   | None -> ()
   | Some reduce -> check_reduce_axis seed tab seq reduce);
@@ -343,14 +409,43 @@ let check_program ~ghost ~risky seed =
       | _ -> ()
     end
 
+let check_program ~ghost ~risky seed = check_generated seed (gen_one ~ghost ~risky seed)
+
 let family_case name ~ghost ~risky first_seed =
   Alcotest.test_case name `Quick (fun () ->
       for i = 0 to programs_per_family - 1 do
         check_program ~ghost ~risky (first_seed + i)
       done)
 
+(* The multi-machine topology families: seeded rings and supervision
+   chains (with restart handlers) from [Test_properties], run through the
+   same differential gauntlet — these are the programs whose cross-machine
+   traffic the fault axis has something to bite on. *)
+let topology_programs = 20
+
+let gen_topology gen ~risky ~tag seed : P_syntax.Ast.program =
+  let rand =
+    Random.State.make [| base_seed; seed; tag; (if risky then 1 else 0) |]
+  in
+  QCheck2.Gen.generate1 ~rand ((gen ?risky:(Some risky) () : _ QCheck2.Gen.t))
+
+let topology_case name gen ~risky ~tag first_seed =
+  Alcotest.test_case name `Quick (fun () ->
+      for i = 0 to topology_programs - 1 do
+        let seed = first_seed + i in
+        check_generated seed (gen_topology gen ~risky ~tag seed)
+      done)
+
 let suite =
   [ family_case "ghost-free clean" ~ghost:false ~risky:false 1_000;
     family_case "ghost-free risky" ~ghost:false ~risky:true 2_000;
     family_case "ghost-bearing clean" ~ghost:true ~risky:false 3_000;
-    family_case "ghost-bearing risky" ~ghost:true ~risky:true 4_000 ]
+    family_case "ghost-bearing risky" ~ghost:true ~risky:true 4_000;
+    topology_case "token rings clean" Test_properties.gen_ring_program
+      ~risky:false ~tag:0x21 5_000;
+    topology_case "token rings risky" Test_properties.gen_ring_program
+      ~risky:true ~tag:0x21 6_000;
+    topology_case "spawn chains clean" Test_properties.gen_spawn_chain_program
+      ~risky:false ~tag:0x22 7_000;
+    topology_case "spawn chains risky" Test_properties.gen_spawn_chain_program
+      ~risky:true ~tag:0x22 8_000 ]

@@ -169,6 +169,15 @@ let test_shrink_refuses_clean_trace () =
 
 (* ---------------- differential replay ---------------- *)
 
+let parse_p_example name =
+  let path =
+    List.find Sys.file_exists
+      (List.map
+         (fun prefix -> Filename.concat prefix (Filename.concat "examples/p" name))
+         [ "."; ".."; "../.."; "../../.."; "../../../.." ])
+  in
+  P_parser.Parser.program_of_file path
+
 let all_examples =
   [ ("elevator", P_examples_lib.Elevator.program ());
     ("elevator-buggy", P_examples_lib.Elevator.buggy_program ());
@@ -181,7 +190,14 @@ let all_examples =
     ("tokenring", P_examples_lib.Token_ring.program ());
     ("tokenring-buggy", P_examples_lib.Token_ring.buggy_program ());
     ("boundedbuffer", P_examples_lib.Bounded_buffer.program ());
-    ("boundedbuffer-buggy", P_examples_lib.Bounded_buffer.buggy_program ()) ]
+    ("boundedbuffer-buggy", P_examples_lib.Bounded_buffer.buggy_program ());
+    ("leaderring", P_examples_lib.Leader_ring.program ());
+    ("leaderring-buggy", P_examples_lib.Leader_ring.buggy_program ());
+    ("failoverchain", P_examples_lib.Failover_chain.program ());
+    ("failoverchain-buggy", P_examples_lib.Failover_chain.buggy_program ());
+    (* the shipped concrete-syntax protocols ride the same harness *)
+    ("ring.p", parse_p_example "ring.p");
+    ("failover.p", parse_p_example "failover.p") ]
 
 let test_differential_sampled_schedules () =
   (* every example program: a seeded random schedule must execute
@@ -244,6 +260,103 @@ let test_differential_usb_stack () =
   | Ok (Differential.Mismatch _ as o) ->
     Alcotest.failf "usb stack: %a" Differential.pp_outcome o
 
+(* ---------------- fault-schedule replay ---------------- *)
+
+(* A fault-induced counterexample on a program that is clean under a
+   well-behaved host: a duplicating adversary double-counts the
+   leader-election announcement / the failover promotion ack. *)
+let recorded_fault_ce p =
+  let faults =
+    P_semantics.Fault.with_seed 0 { P_semantics.Fault.none with dup = 300 }
+  in
+  let tab = tab_of p in
+  match (Verifier.verify ~delay_bound:2 ~max_states:300_000 ~faults p).safety with
+  | Some { verdict = Search.Error_found ce; _ } -> (
+    match
+      Replay.record_counterexample ~faults ~engine:"delay_bounded" tab ce
+    with
+    | Error e -> Alcotest.failf "recording failed: %s" e
+    | Ok t -> (tab, t, faults))
+  | _ -> Alcotest.fail "expected a fault-induced counterexample"
+
+let fault_subjects () =
+  [ ("leaderring", P_examples_lib.Leader_ring.program ());
+    ("failoverchain", P_examples_lib.Failover_chain.program ()) ]
+
+let test_fault_ce_replays () =
+  List.iter
+    (fun (name, p) ->
+      let tab, t, faults = recorded_fault_ce p in
+      check bool_t (name ^ ": spec in header") true
+        (t.Trace_file.faults = Some (P_semantics.Fault.to_string faults));
+      check bool_t (name ^ ": seed in header") true
+        (t.Trace_file.fault_seed = Some faults.P_semantics.Fault.seed);
+      (* the plan is re-installed from the header alone *)
+      match (Replay.run tab t).outcome with
+      | Replay.Reproduced { error; _ } ->
+        check bool_t (name ^ ": recorded error") true (t.error = Some error)
+      | o -> Alcotest.failf "%s: not reproduced: %a" name Replay.pp_outcome o)
+    (fault_subjects ())
+
+let test_fault_ce_survives_file_roundtrip () =
+  let tab, t, _ = recorded_fault_ce (P_examples_lib.Leader_ring.program ()) in
+  let path = Filename.temp_file "pcaml" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_file.write_file path t;
+      match Trace_file.read_file path with
+      | Error e -> Alcotest.failf "read back failed: %s" e
+      | Ok t' -> (
+        check bool_t "faults preserved" true
+          (t.Trace_file.faults = t'.Trace_file.faults);
+        check bool_t "fault seed preserved" true
+          (t.Trace_file.fault_seed = t'.Trace_file.fault_seed);
+        match (Replay.run tab t').outcome with
+        | Replay.Reproduced _ -> ()
+        | o -> Alcotest.failf "roundtripped trace diverged: %a" Replay.pp_outcome o))
+
+let test_fault_ce_differential () =
+  (* both layers run the recorded schedule under the header's plan and
+     must fail in the same atomic block *)
+  List.iter
+    (fun (name, p) ->
+      let tab, t, _ = recorded_fault_ce p in
+      match Differential.check_trace tab t with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok (Differential.Agree { verdict = Differential.Agree_error _; _ }) -> ()
+      | Ok o ->
+        Alcotest.failf "%s: expected agreed error: %a" name Differential.pp_outcome o)
+    (fault_subjects ())
+
+let test_fault_ce_shrinks () =
+  List.iter
+    (fun (name, p) ->
+      let tab, t, _ = recorded_fault_ce p in
+      match Shrink.run tab t with
+      | Error e -> Alcotest.failf "%s: shrink failed: %s" name e
+      | Ok (shrunk, stats) -> (
+        check bool_t (name ^ ": no growth") true
+          (stats.shrunk_steps <= stats.original_steps);
+        (* the minimized schedule still carries the plan (the triggering
+           fault shrinks with it, never away) and still reproduces *)
+        check bool_t (name ^ ": plan kept") true
+          (shrunk.Trace_file.faults = t.Trace_file.faults
+          && shrunk.Trace_file.fault_seed = t.Trace_file.fault_seed);
+        match (Replay.run tab shrunk).outcome with
+        | Replay.Reproduced { error; _ } ->
+          check bool_t (name ^ ": same error") true (shrunk.error = Some error)
+        | o -> Alcotest.failf "%s: shrunk trace diverged: %a" name Replay.pp_outcome o))
+    (fault_subjects ())
+
+let test_fault_header_must_parse () =
+  (* an artifact with a corrupt fault spec is refused, not silently
+     replayed fault-free *)
+  let tab, t, _ = recorded_fault_ce (P_examples_lib.Leader_ring.program ()) in
+  match (Replay.run tab { t with Trace_file.faults = Some "drop=2.5" }).outcome with
+  | Replay.Diverged (Replay.Bad_header _) -> ()
+  | o -> Alcotest.failf "bad spec not refused: %a" Replay.pp_outcome o
+
 (* ---------------- seeded (sampled) verification ---------------- *)
 
 let test_verifier_records_seed () =
@@ -298,5 +411,10 @@ let suite =
     Alcotest.test_case "differential binop choice order" `Quick
       test_differential_binop_choice_order;
     Alcotest.test_case "differential usb stack" `Slow test_differential_usb_stack;
+    Alcotest.test_case "fault ce replays" `Quick test_fault_ce_replays;
+    Alcotest.test_case "fault ce file roundtrip" `Quick test_fault_ce_survives_file_roundtrip;
+    Alcotest.test_case "fault ce differential" `Quick test_fault_ce_differential;
+    Alcotest.test_case "fault ce shrinks" `Quick test_fault_ce_shrinks;
+    Alcotest.test_case "fault header must parse" `Quick test_fault_header_must_parse;
     Alcotest.test_case "verifier records seed" `Quick test_verifier_records_seed;
     Alcotest.test_case "fixture replays" `Quick test_fixture_replays ]

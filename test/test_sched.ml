@@ -329,6 +329,182 @@ let test_seeded_nondet () =
        false
      with Exec.Runtime_error _ -> true)
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial host: fault injection under the serving runtime         *)
+(* ------------------------------------------------------------------ *)
+
+let plan ?(drop = 0) ?(dup = 0) ?(reorder = 0) ?(crash = 0) seed =
+  P_semantics.Fault.with_seed seed
+    { P_semantics.Fault.none with drop; dup; reorder; crash }
+
+let test_fault_drop_accounting () =
+  (* a dropped send is invisible to the sender (Queued) and charged to
+     the drop counter, never to delivery, shedding, or dead letters *)
+  let driver = compile (defer_program ()) in
+  let s = Sched.create ~policy:Sched.Fifo ~capacity:2 ~faults:(plan ~drop:1000 0) driver in
+  let h = Sched.create_machine s "M" in
+  Sched.run s;
+  let outcomes = List.init 5 (fun i -> Sched.add_event s h "E" (Rt_value.Int i)) in
+  check int_t "drops report Queued (the sender can't tell)" 5
+    (List.length (List.filter (( = ) Context.Queued) outcomes));
+  Sched.run s;
+  let st = Sched.stats s in
+  check int_t "every send dropped" 5 st.Sched.st_fault_drops;
+  check int_t "dropped events were never delivered" 0 st.Sched.st_sends;
+  check int_t "mailbox untouched" 0 (Api.queue_length (Sched.exec s) h);
+  (* capacity is 2 and we offered 5: without the drops this would shed *)
+  check int_t "drops are not sheds" 0 st.Sched.st_shed_mailbox;
+  check int_t "drops are not dead letters" 0 st.Sched.st_dead_letters
+
+let test_fault_dup_bypasses_dedup () =
+  let driver = compile (defer_program ()) in
+  let s = Sched.create ~policy:Sched.Fifo ~faults:(plan ~dup:1000 0) driver in
+  let h = Sched.create_machine s "M" in
+  Sched.run s;
+  ignore (Sched.add_event s h "E" (Rt_value.Int 7) : Context.backpressure);
+  ignore (Sched.add_event s h "E" (Rt_value.Int 7) : Context.backpressure);
+  let st = Sched.stats s in
+  check int_t "both sends duplicated" 2 st.Sched.st_fault_dups;
+  (* fault-free, the second identical send is absorbed by ⊕ and the
+     mailbox holds exactly one entry; each injected duplicate bypasses
+     dedup once, so the ⊕-absorbed send still lands its extra copy *)
+  check int_t "⊕ bypassed: one deduped entry plus two forced copies" 3
+    (Api.queue_length (Sched.exec s) h)
+
+let test_fault_reorder_conserves () =
+  let driver = compile (sink_program ()) in
+  let s = Sched.create ~policy:Sched.Fifo ~faults:(plan ~reorder:1000 0) driver in
+  let h = Sched.create_machine s "M" in
+  Sched.run s;
+  List.iter
+    (fun i -> ignore (Sched.add_event s h "E" (Rt_value.Int i) : Context.backpressure))
+    [ 1; 2; 3 ];
+  Sched.run s;
+  let st = Sched.stats s in
+  check int_t "every send reordered" 3 st.Sched.st_fault_reorders;
+  check int_t "reordering loses nothing" 3 st.Sched.st_dequeues;
+  check int_t "mailbox drained" 0 (Api.queue_length (Sched.exec s) h)
+
+let test_fault_crash_restart_mailbox () =
+  (* crash-restart at activation: the machine re-enters its initial
+     state and its mailbox is cleared — which must also release the
+     bounded-mailbox slots, or the bound wedges the restarted machine *)
+  let driver = compile (defer_program ()) in
+  let s = Sched.create ~policy:Sched.Fifo ~capacity:1 ~faults:(plan ~crash:1000 0) driver in
+  let h = Sched.create_machine s "M" in
+  Sched.run s;
+  check state_t "restarted into its initial state" (Some "Idle")
+    (Api.current_state_name (Sched.exec s) h);
+  check bool_t "admitted at capacity 1" true
+    (Sched.add_event s h "E" (Rt_value.Int 1) = Context.Queued);
+  check int_t "mailbox holds it" 1 (Api.queue_length (Sched.exec s) h);
+  Sched.run s;
+  check int_t "the crash cleared the mailbox" 0 (Api.queue_length (Sched.exec s) h);
+  check bool_t "slot released: the bound admits the next event" true
+    (Sched.add_event s h "E" (Rt_value.Int 2) = Context.Queued);
+  Sched.run s;
+  let st = Sched.stats s in
+  check bool_t "crash-restarts counted" true (st.Sched.st_crash_restarts >= 3);
+  check int_t "crashed mail is never dequeued" 0 st.Sched.st_dequeues;
+  check int_t "nothing shed" 0 st.Sched.st_shed_mailbox;
+  check state_t "machine survives every crash" (Some "Idle")
+    (Api.current_state_name (Sched.exec s) h)
+
+let test_fault_schedule_deterministic () =
+  (* same workload + same plan ⇒ same fault schedule: stats and the full
+     observable trace are bit-identical across runs *)
+  let run () =
+    let driver = compile (sink_program ()) in
+    let s =
+      Sched.create ~policy:Sched.Fifo
+        ~faults:(plan ~drop:300 ~dup:250 ~reorder:250 ~crash:150 11)
+        driver
+    in
+    let items = ref [] in
+    Api.set_trace_hook (Sched.exec s) (Some (fun it -> items := it :: !items));
+    let h = Sched.create_machine s "M" in
+    for i = 0 to 49 do
+      ignore (Sched.add_event s h "E" (Rt_value.Int i) : Context.backpressure);
+      if i mod 8 = 0 then Sched.run s
+    done;
+    Sched.run s;
+    (Sched.stats s, List.rev_map item_str !items)
+  in
+  let st1, tr1 = run () in
+  let st2, tr2 = run () in
+  check bool_t "identical stats under the same plan" true (st1 = st2);
+  check bool_t "identical traces under the same plan" true (tr1 = tr2);
+  check bool_t "the adversary actually injected" true
+    (st1.Sched.st_fault_drops + st1.Sched.st_fault_dups + st1.Sched.st_fault_reorders
+     + st1.Sched.st_crash_restarts
+    > 0)
+
+let test_shard_fault_conservation () =
+  (* exact slot conservation under an adversarial host: every offered
+     post is delivered, dropped, or duplicated — dequeues must equal
+     offered - drops + forced duplicates, with every ingress slot
+     released *)
+  let driver = compile (sink_program ()) in
+  let t = Shard.create ~shards:2 ~faults:(plan ~drop:400 ~dup:300 ~reorder:200 5) driver in
+  let machines = Array.init 8 (fun _ -> Shard.create_machine t "M") in
+  let e = Shard.event_id t "E" in
+  Shard.start t;
+  Array.iteri
+    (fun i h ->
+      for j = 0 to 24 do
+        ignore (Shard.post t h ~event:e (Rt_value.Int ((i * 25) + j)) : Context.backpressure)
+      done)
+    machines;
+  check bool_t "quiesced" true (Shard.quiesce ~timeout_s:60.0 t);
+  let st = Shard.stop t in
+  check bool_t "drops injected" true (st.Shard.sh_fault_drops > 0);
+  check bool_t "dups injected" true (st.Shard.sh_fault_dups > 0);
+  check bool_t "reorders injected" true (st.Shard.sh_fault_reorders > 0);
+  check int_t "every post reached its home shard" 200 st.Shard.sh_ingress_msgs;
+  check int_t "dequeues = offered - drops + duplicates"
+    (200 - st.Shard.sh_fault_drops + st.Shard.sh_fault_dups)
+    st.Shard.sh_dequeues;
+  check int_t "every ingress slot released" 0 st.Shard.sh_pending;
+  check int_t "nothing shed" 0 (st.Shard.sh_shed_mailbox + st.Shard.sh_shed_ingress)
+
+let test_shard_dead_letters_exact_under_drops () =
+  (* the send fault point sits on *live* targets only: mail for departed
+     machines is dead-lettered exactly, never charged as a drop *)
+  let driver = compile (ephemeral_program ()) in
+  let t = Shard.create ~shards:1 ~faults:(plan ~drop:1000 0) driver in
+  let h = Shard.create_machine t "M" in
+  let e = Shard.event_id t "E" in
+  Shard.start t;
+  check bool_t "machine deleted itself" true (Shard.quiesce ~timeout_s:60.0 t);
+  let outcomes = List.init 7 (fun i -> Shard.post t h ~event:e (Rt_value.Int i)) in
+  check int_t "posts admitted" 7
+    (List.length (List.filter (( = ) Context.Queued) outcomes));
+  check bool_t "drained" true (Shard.quiesce ~timeout_s:60.0 t);
+  let st = Shard.stop t in
+  check int_t "dead letters exact" 7 st.Shard.sh_dead_letters;
+  check int_t "no drops charged for dead mail" 0 st.Shard.sh_fault_drops;
+  check int_t "dead letters release their slots" 0 st.Shard.sh_pending
+
+let test_shard_crash_restart () =
+  let driver = compile (defer_program ()) in
+  let t = Shard.create ~shards:1 ~capacity:4 ~faults:(plan ~crash:1000 0) driver in
+  let h = Shard.create_machine t "M" in
+  let e = Shard.event_id t "E" in
+  Shard.start t;
+  ignore (Shard.quiesce ~timeout_s:60.0 t : bool);
+  List.iter
+    (fun i -> ignore (Shard.post t h ~event:e (Rt_value.Int i) : Context.backpressure))
+    [ 0; 1; 2 ];
+  check bool_t "quiesced" true (Shard.quiesce ~timeout_s:60.0 t);
+  let st = Shard.stop t in
+  check bool_t "crash-restarts counted" true (st.Shard.sh_crash_restarts > 0);
+  check state_t "machine survives in its initial state" (Some "Idle")
+    (Api.current_state_name (Shard.exec_of t (Shard.home t h)) h);
+  check int_t "crashed mail was cleared" 0
+    (Api.queue_length (Shard.exec_of t (Shard.home t h)) h);
+  check int_t "within the bound: nothing shed" 0 st.Shard.sh_shed_mailbox;
+  check int_t "every ingress slot released" 0 st.Shard.sh_pending
+
 let suite =
   [ Alcotest.test_case "causal policy ≡ nested driver" `Quick test_causal_matches_nested;
     Alcotest.test_case "fifo serving completes pingpong" `Quick test_fifo_completes;
@@ -342,4 +518,13 @@ let suite =
     Alcotest.test_case "ingress slot conservation" `Quick test_ingress_conservation;
     Alcotest.test_case "quiesce timeout returns false" `Quick test_quiesce_timeout;
     Alcotest.test_case "dead letters after delete" `Quick test_dead_letter_counts;
-    Alcotest.test_case "seeded ghost choices" `Quick test_seeded_nondet ]
+    Alcotest.test_case "seeded ghost choices" `Quick test_seeded_nondet;
+    Alcotest.test_case "fault: drop accounting" `Quick test_fault_drop_accounting;
+    Alcotest.test_case "fault: dup bypasses ⊕" `Quick test_fault_dup_bypasses_dedup;
+    Alcotest.test_case "fault: reorder conserves" `Quick test_fault_reorder_conserves;
+    Alcotest.test_case "fault: crash-restart mailbox" `Quick test_fault_crash_restart_mailbox;
+    Alcotest.test_case "fault: deterministic schedule" `Quick test_fault_schedule_deterministic;
+    Alcotest.test_case "shard fault conservation" `Quick test_shard_fault_conservation;
+    Alcotest.test_case "shard dead letters under drops" `Quick
+      test_shard_dead_letters_exact_under_drops;
+    Alcotest.test_case "shard crash-restart" `Quick test_shard_crash_restart ]
